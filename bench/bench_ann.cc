@@ -1,0 +1,165 @@
+// ANN-substrate ablations called out in DESIGN.md:
+//   * index family comparison (Flat vs IVF vs HNSW): recall@k, distance
+//     computations, and end-to-end cache hit rate when each backs Sine;
+//   * tau_sim sweep: the §4.2 trade-off between stage-1 recall and stage-2
+//     judger workload.
+#include <iostream>
+
+#include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
+#include "ann/ivf_index.h"
+#include "ann/pq.h"
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+namespace {
+
+std::unique_ptr<VectorIndex> Make(IndexType type, std::size_t dim) {
+  return MakeIndex(type, dim);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+
+  // --- Recall/work comparison on embedded workload queries ---
+  std::cout << "=== ANN index ablation: recall@5 vs distance computations"
+               " ===\n";
+  auto profile = SearchDatasetProfile::HotpotQa();
+  const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
+  HashedEmbedder embedder;
+
+  // Corpus: one embedding per topic (first paraphrase); queries: another
+  // paraphrase of each topic.
+  std::vector<Vector> corpus, queries;
+  for (const auto& t : bundle.universe->topics()) {
+    corpus.push_back(embedder.Embed(t.paraphrases[0]));
+    queries.push_back(embedder.Embed(t.paraphrases[3]));
+  }
+
+  FlatIndex truth(embedder.dimension());
+  for (std::size_t i = 0; i < corpus.size(); ++i) truth.Add(i, corpus[i]);
+
+  TextTable ann_table({"index", "recall@5 vs flat", "dist comps / query",
+                       "self-hit rate"});
+  for (const IndexType type :
+       {IndexType::kFlat, IndexType::kIvf, IndexType::kHnsw,
+        IndexType::kPq}) {
+    auto idx = Make(type, embedder.dimension());
+    for (std::size_t i = 0; i < corpus.size(); ++i) idx->Add(i, corpus[i]);
+    int found = 0, total = 0, self_hits = 0;
+    const auto comps_before = idx->distance_computations();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto exact = truth.Search(queries[i], 5, -1.0);
+      const auto approx = idx->Search(queries[i], 5, -1.0);
+      for (const auto& e : exact) {
+        ++total;
+        for (const auto& a : approx) {
+          if (a.id == e.id) {
+            ++found;
+            break;
+          }
+        }
+      }
+      if (!approx.empty() && approx[0].id == i) ++self_hits;
+    }
+    const double comps =
+        static_cast<double>(idx->distance_computations() - comps_before) /
+        static_cast<double>(queries.size());
+    const char* name = type == IndexType::kFlat  ? "flat"
+                       : type == IndexType::kIvf ? "ivf"
+                       : type == IndexType::kHnsw ? "hnsw"
+                                                  : "pq";
+    ann_table.AddRow({name,
+                      TextTable::Percent(static_cast<double>(found) / total),
+                      TextTable::Num(comps, 0),
+                      TextTable::Percent(static_cast<double>(self_hits) /
+                                         queries.size())});
+  }
+  ann_table.Print(std::cout, csv);
+  std::cout << '\n';
+
+  // --- End-to-end: each index type backing the full engine ---
+  std::cout << "=== End-to-end hit rate by index backend ===\n";
+  auto small = SearchDatasetProfile::HotpotQa();
+  small.num_tasks = 600;
+  const WorkloadBundle e2e = BuildSkewedSearchWorkload(small);
+  TextTable backend({"index", "throughput (req/s)", "hit rate",
+                     "mean cache check (s)"});
+  for (const IndexType type :
+       {IndexType::kFlat, IndexType::kIvf, IndexType::kHnsw,
+        IndexType::kPq}) {
+    ExperimentConfig config;
+    config.system = System::kCortex;
+    config.cache_ratio = 0.5;
+    config.engine.index_type = type;
+    config.driver = OpenLoop(3.0);
+    const auto r = RunExperiment(e2e, config);
+    const char* name = type == IndexType::kFlat  ? "flat"
+                       : type == IndexType::kIvf ? "ivf"
+                       : type == IndexType::kHnsw ? "hnsw"
+                                                  : "pq";
+    backend.AddRow({name, TextTable::Num(r.metrics.Throughput()),
+                    TextTable::Percent(r.metrics.CacheHitRate()),
+                    TextTable::Num(r.metrics.MeanCacheCheckSeconds(), 3)});
+  }
+  backend.Print(std::cout, csv);
+  std::cout << '\n';
+
+  // --- tau_sim sweep: stage-1 recall vs judger workload (§4.2) ---
+  std::cout << "=== tau_sim sweep: candidate recall vs judger load ===\n";
+  TextTable sweep({"tau_sim", "hit rate", "judger calls / lookup",
+                   "accuracy"});
+  for (const double tau : {0.25, 0.38, 0.5, 0.62, 0.75}) {
+    ExperimentConfig config;
+    config.system = System::kCortex;
+    config.cache_ratio = 0.5;
+    config.engine.cache.sine.tau_sim = tau;
+    config.driver = OpenLoop(1.5);
+    // Count judger calls through the recalibrator-free engine telemetry:
+    // approximate via cache-check time is indirect, so re-measure directly.
+    HashedEmbedder emb;
+    JudgerModel judger(e2e.oracle.get());
+    CortexEngineOptions opts = config.engine;
+    opts.cache.capacity_tokens = 0.5 * e2e.TotalKnowledgeTokens();
+    opts.recalibration_enabled = false;
+    CortexEngine engine(&emb, &judger, opts);
+    std::size_t judger_calls = 0, lookups = 0, hits = 0, wrong = 0;
+    double now = 0.0;
+    for (const auto& task : e2e.tasks) {
+      for (const auto& step : task.steps) {
+        now += 0.4;
+        ++lookups;
+        auto out = engine.Lookup(step.query, now);
+        judger_calls += out.cache.sine.judger_calls;
+        if (out.cache.hit) {
+          ++hits;
+          if (!e2e.oracle->InfoCorrect(step.query, out.cache.hit->value)) {
+            ++wrong;
+          }
+        } else {
+          engine.InsertFetched(step.query, step.expected_info,
+                               std::move(out.cache.query_embedding), 0.4,
+                               0.005, now);
+        }
+      }
+    }
+    sweep.AddRow({TextTable::Num(tau, 2),
+                  TextTable::Percent(static_cast<double>(hits) / lookups),
+                  TextTable::Num(static_cast<double>(judger_calls) / lookups,
+                                 2),
+                  TextTable::Percent(
+                      hits ? 1.0 - static_cast<double>(wrong) / hits : 1.0)});
+  }
+  sweep.Print(std::cout, csv);
+  std::cout << "(lower tau_sim: more candidates reach the judger — higher"
+               " recall, more validation work; higher tau_sim discards"
+               " correct matches early)\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 7: co-location efficiency — dedicated two-GPU deployment vs
+// co-located MPS 80/20 partition at a representative cache ratio (0.6).
+// Plus an ablation over the MPS split the design space allows.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 800));
+
+  auto profile = SearchDatasetProfile::Musique();
+  profile.num_tasks = tasks;
+  const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
+
+  auto run = [&](DeploymentConfig gpu) {
+    ExperimentConfig config;
+    config.system = System::kCortex;
+    config.cache_ratio = 0.6;
+    config.gpu = gpu;
+    // Closed loop against the unlimited RAG backend: the GPU is the
+    // binding resource, so placement differences are what the numbers
+    // measure (the paper's Table 7 regime).
+    config.driver = ClosedLoop(16);
+    config.service = RemoteDataService::SelfHostedRag();
+    return RunExperiment(bundle, config);
+  };
+
+  std::cout << "=== Table 7: co-location efficiency ===\n\n";
+  const auto dedicated = run(DeploymentConfig::DedicatedTwoGpu());
+  const auto colocated = run(DeploymentConfig::Colocated80_20());
+  TextTable table({"Metric", "Dedicated-2GPU", "Co-located (MPS 80/20)"});
+  table.AddRow({"Throughput (req/s)",
+                TextTable::Num(dedicated.metrics.Throughput()),
+                TextTable::Num(colocated.metrics.Throughput())});
+  table.AddRow({"p99 latency (ms)",
+                TextTable::Num(dedicated.metrics.P99Latency() * 1000, 0),
+                TextTable::Num(colocated.metrics.P99Latency() * 1000, 0)});
+  table.AddRow({"GPUs", std::to_string(dedicated.num_gpus),
+                std::to_string(colocated.num_gpus)});
+  table.Print(std::cout, csv);
+  std::cout << "throughput retention: "
+            << TextTable::Percent(colocated.metrics.Throughput() /
+                                  dedicated.metrics.Throughput())
+            << " (paper: 2.72 vs 2.89 req/s = 94% retained, p99 +9.5%)\n\n";
+
+  // --- Ablation: MPS split sweep ---
+  std::cout << "=== Ablation: MPS compute split (agent share) ===\n";
+  TextTable sweep({"agent share", "throughput (req/s)", "p99 (s)",
+                   "mean cache check (s)"});
+  for (const double share : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    DeploymentConfig gpu = DeploymentConfig::Colocated80_20();
+    gpu.agent_compute_fraction = share;
+    gpu.judger_compute_fraction = 1.0 - share;
+    const auto r = run(gpu);
+    sweep.AddRow({TextTable::Percent(share, 0),
+                  TextTable::Num(r.metrics.Throughput()),
+                  TextTable::Num(r.metrics.P99Latency(), 1),
+                  TextTable::Num(r.metrics.MeanCacheCheckSeconds(), 3)});
+  }
+  sweep.Print(std::cout, csv);
+  std::cout << "(larger agent shares speed up the latency-critical path;"
+               " the judger tolerates a small slice because validation is"
+               " prefill-only)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_common.h"
+
+namespace cortex::bench {
+
+std::string SystemName(System system) {
+  switch (system) {
+    case System::kVanilla: return "Agent_vanilla";
+    case System::kExact: return "Agent_exact";
+    case System::kAnnOnly: return "Agent_ANN";
+    case System::kCortex: return "Agent_Cortex";
+  }
+  return "?";
+}
+
+DriverOptions OpenLoop(double rate) {
+  DriverOptions opts;
+  opts.arrival = DriverOptions::Arrival::kOpenLoop;
+  opts.request_rate = rate;
+  return opts;
+}
+
+DriverOptions ClosedLoop(std::size_t concurrency) {
+  DriverOptions opts;
+  opts.arrival = DriverOptions::Arrival::kClosedLoop;
+  opts.concurrency = concurrency;
+  return opts;
+}
+
+ExperimentResult RunExperiment(const WorkloadBundle& bundle,
+                               const ExperimentConfig& config) {
+  HashedEmbedder embedder;
+  const auto corpus = bundle.AllQueries();
+  embedder.FitIdf(corpus);
+  JudgerModel judger(bundle.oracle.get());
+  AgentModel agent;
+  const DeploymentConfig gpu_config = config.gpu.value_or(
+      config.system == System::kVanilla || config.system == System::kExact
+          ? DeploymentConfig::AgentOnly()
+          : DeploymentConfig::Colocated80_20());
+  ColocationSimulator gpu(gpu_config);
+  RemoteDataService service(config.service);
+
+  const double capacity =
+      std::max(1.0, config.cache_ratio * bundle.TotalKnowledgeTokens());
+  ResolverEnvironment env{&gpu, &service, bundle.oracle.get()};
+
+  std::unique_ptr<ToolResolver> resolver;
+  std::unique_ptr<CortexEngine> engine;
+  CortexResolver* cortex_resolver = nullptr;
+  switch (config.system) {
+    case System::kVanilla:
+      resolver = std::make_unique<VanillaResolver>(env);
+      break;
+    case System::kExact:
+      resolver = std::make_unique<ExactCacheResolver>(
+          env, ExactCacheOptions{.capacity_tokens = capacity});
+      break;
+    case System::kAnnOnly:
+    case System::kCortex: {
+      CortexEngineOptions opts = config.engine;
+      opts.cache.capacity_tokens = capacity;
+      opts.eviction = config.eviction;
+      opts.prefetch_enabled = config.prefetch_enabled;
+      opts.recalibration_enabled = config.recalibration_enabled;
+      opts.cache.sine.use_judger = config.system == System::kCortex;
+      engine = std::make_unique<CortexEngine>(&embedder, &judger, opts);
+      auto r = std::make_unique<CortexResolver>(env, engine.get());
+      cortex_resolver = r.get();
+      resolver = std::move(r);
+      break;
+    }
+  }
+
+  DriverOptions driver_opts = config.driver;
+  if (!bundle.arrivals.empty() && driver_opts.explicit_arrivals.empty()) {
+    driver_opts.explicit_arrivals = bundle.arrivals;
+  }
+
+  ServingDriver driver(agent, gpu, *resolver, driver_opts);
+  ExperimentResult result;
+  result.metrics = driver.Run(bundle.tasks);
+
+  result.api_calls = service.total_calls();
+  result.api_retries = service.total_retries();
+  result.api_cost_dollars = service.total_cost_dollars();
+  result.retry_ratio = service.RetryRatio();
+  result.num_gpus = gpu.NumGpus();
+  result.wallclock_sec =
+      result.metrics.last_completion() - result.metrics.first_arrival();
+  result.gpu_cost_dollars = result.wallclock_sec / 3600.0 *
+                            kGpuDollarsPerHour *
+                            static_cast<double>(result.num_gpus);
+  if (engine) {
+    result.prefetches =
+        cortex_resolver ? cortex_resolver->prefetch_issued() : 0;
+    result.recalibrations =
+        cortex_resolver ? cortex_resolver->recalibration_rounds() : 0;
+    result.evictions = engine->cache().counters().evictions;
+    result.expirations = engine->cache().counters().expirations;
+    result.final_tau_lsm = engine->cache().sine().options().tau_lsm;
+  }
+  return result;
+}
+
+}  // namespace cortex::bench

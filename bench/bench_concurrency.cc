@@ -1,0 +1,47 @@
+// Figure 10: end-to-end throughput under varying offered request rate on
+// the Musique dataset at cache ratio 0.4.  Baselines plateau at the remote
+// service's effective capacity; Cortex scales until the GPU saturates.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 1000));
+
+  auto profile = SearchDatasetProfile::Musique();
+  profile.num_tasks = tasks;
+  const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
+
+  std::cout << "=== Figure 10: throughput vs request rate (Musique, cache"
+               " ratio 0.4) ===\n\n";
+
+  TextTable table({"request rate (req/s)", "system", "throughput (req/s)",
+                   "hit rate", "p99 latency (s)"});
+  for (const double rate : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (const System system :
+         {System::kVanilla, System::kExact, System::kCortex}) {
+      ExperimentConfig config;
+      config.system = system;
+      config.cache_ratio = 0.4;
+      config.driver = OpenLoop(rate);
+      const auto r = RunExperiment(bundle, config);
+      table.AddRow({TextTable::Num(rate, 1), SystemName(system),
+                    TextTable::Num(r.metrics.Throughput()),
+                    TextTable::Percent(r.metrics.CacheHitRate()),
+                    TextTable::Num(r.metrics.P99Latency(), 1)});
+    }
+  }
+  table.Print(std::cout, csv);
+  std::cout << "\npaper shape: Agent_vanilla/Agent_exact plateau around ~1"
+               " req/s (rate-limit bound); Agent_Cortex scales nearly"
+               " linearly to several req/s (paper: 4.89 vs 1.09/0.86 at"
+               " rate 8 -> 4.5x/5.7x).\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 12 + Table 4: rate-limit analysis.
+//
+// Fig. 12: total remote API calls and retry ratio for Agent_vanilla vs
+// Agent_Cortex on the same task set — Cortex slashes call volume (~92% in
+// the paper) and with it the throttling-induced retries (25% -> ~0.5%).
+//
+// Table 4: normalized throughput with and without an API rate limit, on a
+// self-hosted RAG service (the setting the paper uses because the Google
+// quota cannot be lifted).
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 800));
+
+  auto profile = SearchDatasetProfile::HotpotQa();
+  profile.num_tasks = tasks;
+  const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
+
+  // --- Figure 12 ---
+  std::cout << "=== Figure 12: data retrieval calls and retry ratio ===\n";
+  // Moderate load: enough to brush against the quota without a meltdown
+  // (the paper reports a 25% retry ratio for the vanilla agent).
+  TextTable fig12({"system", "API calls", "retries", "retry ratio"});
+  std::uint64_t vanilla_calls = 0, cortex_calls = 0;
+  for (const System system : {System::kVanilla, System::kCortex}) {
+    ExperimentConfig config;
+    config.system = system;
+    config.cache_ratio = 0.8;
+    // Offered load just above the quota: the vanilla agent throttles (the
+    // paper's ~25% retry regime) while Cortex stays under it.
+    config.driver = OpenLoop(0.92);
+    const auto r = RunExperiment(bundle, config);
+    (system == System::kVanilla ? vanilla_calls : cortex_calls) =
+        r.api_calls - r.api_retries;  // distinct requests reaching the API
+    fig12.AddRow({SystemName(system), std::to_string(r.api_calls),
+                  std::to_string(r.api_retries),
+                  TextTable::Percent(r.retry_ratio, 2)});
+  }
+  fig12.Print(std::cout, csv);
+  const double reduction =
+      vanilla_calls
+          ? 1.0 - static_cast<double>(cortex_calls) /
+                      static_cast<double>(vanilla_calls)
+          : 0.0;
+  std::cout << "successful-call reduction: " << TextTable::Percent(reduction)
+            << " (paper: ~1300 -> 103 calls, a 92% reduction; retries"
+               " 25% -> 0.5%)\n\n";
+
+  // --- Table 4 ---
+  std::cout << "=== Table 4: normalized throughput w/o vs w/ API rate limit"
+               " (RAG backend) ===\n";
+  TextTable table4(
+      {"system", "Without API Rate Limit", "With API Rate Limit"});
+  double base_unlimited = 0.0, base_limited = 0.0;
+  std::vector<std::vector<std::string>> rows;
+  for (const System system : {System::kVanilla, System::kCortex}) {
+    double thpt[2];
+    for (const bool limited : {false, true}) {
+      ExperimentConfig config;
+      config.system = system;
+      config.cache_ratio = 0.4;
+      // Closed loop: latency translates into throughput, so removing the
+      // remote round trip shows up even without a quota.
+      config.driver = ClosedLoop(8);
+      config.service = RemoteDataService::SelfHostedRag(limited);
+      const auto r = RunExperiment(bundle, config);
+      thpt[limited ? 1 : 0] = r.metrics.Throughput();
+    }
+    if (system == System::kVanilla) {
+      base_unlimited = thpt[0];
+      base_limited = thpt[1];
+    }
+    table4.AddRow({SystemName(system),
+                   TextTable::Num(thpt[0] / base_unlimited, 2),
+                   TextTable::Num(thpt[1] / base_limited, 2)});
+  }
+  table4.Print(std::cout, csv);
+  std::cout << "(paper: 1.5x without a limit, 4.16x with the limit — rate"
+               " limiting alone contributes ~2.8x)\n\n";
+
+  // --- Ablation: transient remote failures (injected 5xx) ---
+  std::cout << "=== Ablation: resilience to injected transient failures"
+               " ===\n";
+  TextTable flaky({"5xx probability", "system", "throughput (req/s)",
+                   "p99 (s)", "transient failures absorbed"});
+  for (const double p_fail : {0.0, 0.1, 0.25}) {
+    for (const System system : {System::kVanilla, System::kCortex}) {
+      ExperimentConfig config;
+      config.system = system;
+      config.cache_ratio = 0.5;
+      config.driver = ClosedLoop(8);
+      config.service = RemoteDataService::SelfHostedRag();
+      config.service.transient_failure_probability = p_fail;
+      const auto r = RunExperiment(bundle, config);
+      flaky.AddRow({TextTable::Percent(p_fail, 0), SystemName(system),
+                    TextTable::Num(r.metrics.Throughput()),
+                    TextTable::Num(r.metrics.P99Latency(), 2),
+                    std::to_string(r.api_retries)});
+    }
+  }
+  flaky.Print(std::cout, csv);
+  std::cout << "(caching shrinks the exposure: most requests never touch the"
+               " flaky service, so tail latency degrades far less)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: end-to-end agent serving on the four skewed search datasets
+// (Zilliz-GPT, HotpotQA, Musique, 2Wiki) under varying cache-size ratio:
+// throughput (req/s), cache hit rate, and mean latency per system.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 1000));
+  const double rate = flags.GetDouble("rate", 6.0);
+
+  std::cout << "=== Figure 7: skewed search workloads, zipf-0.99 popularity"
+               " ===\n"
+            << "offered load " << rate << " req/s, " << tasks
+            << " tasks per dataset\n\n";
+
+  const std::vector<double> ratios = {0.1, 0.2, 0.4, 0.6, 0.8};
+  for (auto profile : SearchDatasetProfile::AllFigure7()) {
+    profile.num_tasks = tasks;
+    const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
+    TextTable table({"cache ratio", "system", "throughput (req/s)",
+                     "hit rate", "mean latency (s)", "p99 (s)"});
+    for (const double ratio : ratios) {
+      for (const System system :
+           {System::kVanilla, System::kExact, System::kCortex}) {
+        if (system == System::kVanilla && ratio != ratios.front()) {
+          continue;  // no cache: one row is enough
+        }
+        ExperimentConfig config;
+        config.system = system;
+        config.cache_ratio = ratio;
+        config.driver = OpenLoop(rate);
+        const auto r = RunExperiment(bundle, config);
+        table.AddRow({TextTable::Num(ratio, 1), SystemName(system),
+                      TextTable::Num(r.metrics.Throughput()),
+                      TextTable::Percent(r.metrics.CacheHitRate()),
+                      TextTable::Num(r.metrics.MeanLatency(), 2),
+                      TextTable::Num(r.metrics.P99Latency(), 1)});
+      }
+    }
+    std::cout << "--- dataset: " << bundle.name << " ---\n";
+    table.Print(std::cout, csv);
+    std::cout << '\n';
+  }
+  std::cout << "paper shape: Cortex sustains high hit rates (>85% at large"
+               " ratios) vs <20% for exact matching, up to ~3.6x throughput"
+               " and ~4x latency reduction.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9: end-to-end agent serving on the SWE-bench coding workload
+// (sqlfluff-style repository, self-hosted RAG backend) under varying cache
+// ratios, closed-loop concurrency.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+
+  SweBenchProfile profile;
+  profile.num_issues =
+      static_cast<std::size_t>(flags.GetInt("issues", 300));
+  const auto concurrency =
+      static_cast<std::size_t>(flags.GetInt("concurrency", 6));
+  const WorkloadBundle bundle = BuildSweBenchWorkload(profile);
+
+  std::cout << "=== Figure 9: SWE-bench coding workload ("
+            << bundle.tasks.size() << " issues, " << profile.num_files
+            << " files, concurrency " << concurrency << ") ===\n\n";
+
+  TextTable table({"cache ratio", "system", "throughput (req/s)", "hit rate",
+                   "mean latency (s)", "RAG calls"});
+  for (const double ratio : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    for (const System system :
+         {System::kVanilla, System::kExact, System::kCortex}) {
+      if (system == System::kVanilla && ratio != 0.1) continue;
+      ExperimentConfig config;
+      config.system = system;
+      config.cache_ratio = ratio;
+      config.driver = ClosedLoop(concurrency);
+      config.service = RemoteDataService::SelfHostedRag();
+      const auto r = RunExperiment(bundle, config);
+      table.AddRow({TextTable::Num(ratio, 1), SystemName(system),
+                    TextTable::Num(r.metrics.Throughput()),
+                    TextTable::Percent(r.metrics.CacheHitRate()),
+                    TextTable::Num(r.metrics.MeanLatency(), 2),
+                    std::to_string(r.api_calls)});
+    }
+  }
+  table.Print(std::cout, csv);
+  std::cout << "\npaper shape: ~45% hit rate from shared file dependencies"
+               " across issues, ~20% throughput gain over both baselines;"
+               " exact matching misses re-phrasings of the same file"
+               " request.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 8: end-to-end serving on the trend-driven (bursty) workload under
+// varying cache ratios.  The staticity-aware LCFU policy self-cleans after
+// each spike, which is what keeps the hit rate high with small caches.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+
+  TrendProfile profile;
+  profile.duration_sec = flags.GetDouble("duration", 600.0);
+  const WorkloadBundle bundle = BuildTrendWorkload(profile);
+  std::cout << "=== Figure 8: trend-driven workload (" << bundle.tasks.size()
+            << " tasks over " << profile.duration_sec << "s, "
+            << profile.num_trend_topics << " spikes) ===\n\n";
+
+  TextTable table({"cache ratio", "system", "throughput (req/s)", "hit rate",
+                   "mean latency (s)", "prefetches", "evictions"});
+  for (const double ratio : {0.1, 0.2, 0.3, 0.5}) {
+    for (const System system :
+         {System::kVanilla, System::kExact, System::kCortex}) {
+      if (system == System::kVanilla && ratio != 0.1) continue;
+      ExperimentConfig config;
+      config.system = system;
+      config.cache_ratio = ratio;
+      // Arrivals come from the trace itself (bundle.arrivals).
+      const auto r = RunExperiment(bundle, config);
+      table.AddRow({TextTable::Num(ratio, 1), SystemName(system),
+                    TextTable::Num(r.metrics.Throughput()),
+                    TextTable::Percent(r.metrics.CacheHitRate()),
+                    TextTable::Num(r.metrics.MeanLatency(), 2),
+                    std::to_string(r.prefetches),
+                    std::to_string(r.evictions)});
+    }
+  }
+  table.Print(std::cout, csv);
+  std::cout << "\npaper shape: up to ~3.8x throughput over Agent_vanilla"
+               " with ~95% hit rate; LCFU's staticity term evicts stale"
+               " trend content to absorb the next wave.\n";
+  return 0;
+}

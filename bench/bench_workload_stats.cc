@@ -1,0 +1,82 @@
+// Regenerates the workload-analysis artifacts:
+//   Figure 2 — Zipfian popularity of search interests,
+//   Figure 3 — bursty, correlated query spikes,
+//   Table 2  — SWE-bench file access frequencies on the sqlfluff repo.
+#include <iostream>
+
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/workload_stats.h"
+#include "workload/workloads.h"
+
+using namespace cortex;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+
+  // --- Figure 2: head topics dominate, long tail follows a power law ---
+  std::cout << "=== Figure 2: Zipfian popularity of search topics ===\n";
+  auto profile = SearchDatasetProfile::HotpotQa();
+  profile.num_tasks = 2000;
+  const auto search = BuildSkewedSearchWorkload(profile);
+  const auto pop = ComputePopularity(search);
+  TextTable fig2({"rank", "topic id", "queries", "share"});
+  for (std::size_t r = 0; r < std::min<std::size_t>(10, pop.ranked.size());
+       ++r) {
+    fig2.AddRow({std::to_string(r + 1), std::to_string(pop.ranked[r].first),
+                 std::to_string(pop.ranked[r].second),
+                 TextTable::Percent(
+                     static_cast<double>(pop.ranked[r].second) /
+                     static_cast<double>(pop.total_queries))});
+  }
+  fig2.Print(std::cout, csv);
+  std::cout << "total queries: " << pop.total_queries
+            << ", top-5 share: " << TextTable::Percent(pop.HeadShare(5))
+            << ", log-log slope: " << TextTable::Num(pop.zipf_slope, 2)
+            << " (paper: head topics dominate 24h/7d windows; zipf-like"
+               " decay)\n\n";
+
+  // --- Figure 3: bursty and correlated spikes ---
+  std::cout << "=== Figure 3: bursty, correlated query spikes ===\n";
+  TrendProfile trend;
+  const auto trace = BuildTrendWorkload(trend);
+  const std::size_t group = 1 + trend.related_per_trend;
+  const auto series =
+      TopicTimeSeries(trace, 30.0, trend.num_trend_topics * group);
+  TextTable fig3({"trend topic", "peak bin", "burstiness (peak/mean)",
+                  "corr. with related-1", "corr. with related-2"});
+  for (std::size_t s = 0; s < trend.num_trend_topics; ++s) {
+    const auto& head = series[s * group];
+    std::size_t peak_bin = 0;
+    for (std::size_t b = 1; b < head.size(); ++b) {
+      if (head[b] > head[peak_bin]) peak_bin = b;
+    }
+    fig3.AddRow({"trend-" + std::to_string(s), std::to_string(peak_bin),
+                 TextTable::Num(Burstiness(head)),
+                 TextTable::Num(
+                     PearsonCorrelation(head, series[s * group + 1]), 3),
+                 TextTable::Num(
+                     PearsonCorrelation(head, series[s * group + 2]), 3)});
+  }
+  fig3.Print(std::cout, csv);
+  std::cout << "(paper: external events cause surges in a topic and its"
+               " related themes together)\n\n";
+
+  // --- Table 2: SWE-bench file access frequency ---
+  std::cout << "=== Table 2: file access frequency (sqlfluff / SWE-bench)"
+               " ===\n";
+  SweBenchProfile swe;
+  swe.num_issues = 2000;
+  const auto code = BuildSweBenchWorkload(swe);
+  const auto freqs = FileAccessFrequencies(code);
+  TextTable table2({"File-ID", "Access Freq. (measured)",
+                    "Access Freq. (paper)"});
+  for (std::size_t f = 0; f < swe.head_frequencies.size(); ++f) {
+    table2.AddRow({std::to_string(f + 1), TextTable::Num(freqs[f]),
+                   TextTable::Num(swe.head_frequencies[f])});
+  }
+  table2.Print(std::cout, csv);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "ann/flat_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cortex {
+
+FlatIndex::FlatIndex(std::size_t dimension) : dimension_(dimension) {
+  assert(dimension > 0);
+}
+
+void FlatIndex::Add(VectorId id, std::span<const float> vector) {
+  assert(vector.size() == dimension_);
+  const auto it = id_to_slot_.find(id);
+  if (it != id_to_slot_.end()) {
+    std::copy(vector.begin(), vector.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(it->second *
+                                                          dimension_));
+    return;
+  }
+  const std::size_t slot = slot_to_id_.size();
+  data_.insert(data_.end(), vector.begin(), vector.end());
+  slot_to_id_.push_back(id);
+  id_to_slot_.emplace(id, slot);
+}
+
+bool FlatIndex::Remove(VectorId id) {
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  const std::size_t slot = it->second;
+  const std::size_t last = slot_to_id_.size() - 1;
+  if (slot != last) {
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(last * dimension_),
+                dimension_,
+                data_.begin() + static_cast<std::ptrdiff_t>(slot * dimension_));
+    slot_to_id_[slot] = slot_to_id_[last];
+    id_to_slot_[slot_to_id_[slot]] = slot;
+  }
+  data_.resize(last * dimension_);
+  slot_to_id_.pop_back();
+  id_to_slot_.erase(it);
+  return true;
+}
+
+std::vector<SearchResult> FlatIndex::Search(std::span<const float> query,
+                                            std::size_t k,
+                                            double min_similarity) const {
+  assert(query.size() == dimension_);
+  if (k == 0 || slot_to_id_.empty()) return {};
+  std::vector<SearchResult> results;
+  results.reserve(slot_to_id_.size());
+  for (std::size_t slot = 0; slot < slot_to_id_.size(); ++slot) {
+    const std::span<const float> v(data_.data() + slot * dimension_,
+                                   dimension_);
+    ++distcomp_;
+    const double sim = CosineSimilarity(query, v);
+    if (sim >= min_similarity) {
+      results.push_back({slot_to_id_[slot], sim});
+    }
+  }
+  const std::size_t top = std::min(k, results.size());
+  std::partial_sort(results.begin(),
+                    results.begin() + static_cast<std::ptrdiff_t>(top),
+                    results.end(), [](const auto& a, const auto& b) {
+                      return a.similarity > b.similarity;
+                    });
+  results.resize(top);
+  return results;
+}
+
+bool FlatIndex::Contains(VectorId id) const {
+  return id_to_slot_.contains(id);
+}
+
+std::optional<Vector> FlatIndex::Get(VectorId id) const {
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return std::nullopt;
+  const auto begin =
+      data_.begin() + static_cast<std::ptrdiff_t>(it->second * dimension_);
+  return Vector(begin, begin + static_cast<std::ptrdiff_t>(dimension_));
+}
+
+}  // namespace cortex

@@ -1,0 +1,286 @@
+#include "ann/hnsw_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace cortex {
+
+HnswIndex::HnswIndex(std::size_t dimension, HnswOptions options)
+    : dimension_(dimension),
+      options_(options),
+      rng_(options.seed),
+      level_lambda_(1.0 / std::log(static_cast<double>(
+                              std::max<std::size_t>(options.M, 2)))) {
+  assert(dimension > 0 && options.M >= 2);
+}
+
+double HnswIndex::Sim(std::span<const float> a, Slot b) const noexcept {
+  ++distcomp_;
+  return CosineSimilarity(a, nodes_[b].vector);
+}
+
+int HnswIndex::RandomLevel() {
+  const double u = rng_.NextDouble();
+  const int level =
+      static_cast<int>(-std::log(std::max(u, 1e-12)) * level_lambda_);
+  return std::min(level, 24);  // clamp against pathological draws
+}
+
+HnswIndex::Slot HnswIndex::GreedyDescend(std::span<const float> query,
+                                         Slot entry, int from_level,
+                                         int target_layer) const {
+  Slot current = entry;
+  double current_sim = Sim(query, current);
+  for (int layer = from_level; layer > target_layer; --layer) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (layer >= static_cast<int>(nodes_[current].links.size())) continue;
+      for (Slot nb : nodes_[current].links[static_cast<std::size_t>(layer)]) {
+        const double s = Sim(query, nb);
+        if (s > current_sim) {
+          current_sim = s;
+          current = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<std::pair<HnswIndex::Slot, double>> HnswIndex::SearchLayer(
+    std::span<const float> query, Slot entry, std::size_t ef,
+    int layer) const {
+  // Max-heap of candidates to expand; min-heap of current best `ef` results.
+  using Scored = std::pair<double, Slot>;
+  std::priority_queue<Scored> candidates;  // best-first
+  std::priority_queue<Scored, std::vector<Scored>, std::greater<>>
+      best;  // worst-first, capped at ef
+  std::unordered_set<Slot> visited;
+
+  const double entry_sim = Sim(query, entry);
+  candidates.emplace(entry_sim, entry);
+  best.emplace(entry_sim, entry);
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    const auto [sim, slot] = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && sim < best.top().first) break;
+    if (layer < static_cast<int>(nodes_[slot].links.size())) {
+      for (Slot nb : nodes_[slot].links[static_cast<std::size_t>(layer)]) {
+        if (!visited.insert(nb).second) continue;
+        const double s = Sim(query, nb);
+        if (best.size() < ef || s > best.top().first) {
+          candidates.emplace(s, nb);
+          best.emplace(s, nb);
+          if (best.size() > ef) best.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<std::pair<Slot, double>> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.emplace_back(best.top().second, best.top().first);
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // best-first
+  return out;
+}
+
+void HnswIndex::SelectNeighbors(
+    std::span<const float> target,
+    std::vector<std::pair<Slot, double>>& candidates,
+    std::size_t max_links) const {
+  if (candidates.size() <= max_links) return;
+  if (!options_.heuristic_selection) {
+    // Simple top-M (candidates arrive best-first from SearchLayer).
+    candidates.resize(max_links);
+    return;
+  }
+  // Alg. 4: accept a candidate only if it is closer to the target than to
+  // every neighbour already accepted — otherwise it is redundant (the
+  // accepted neighbour already routes toward it).
+  std::vector<std::pair<Slot, double>> selected;
+  selected.reserve(max_links);
+  for (const auto& [slot, sim_to_target] : candidates) {
+    bool diverse = true;
+    for (const auto& [kept, kept_sim] : selected) {
+      if (Sim(nodes_[kept].vector, slot) > sim_to_target) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      selected.emplace_back(slot, sim_to_target);
+      if (selected.size() == max_links) break;
+    }
+  }
+  // Back-fill with the best remaining candidates if diversity pruning left
+  // slots unused (keeps connectivity on tiny or degenerate inputs).
+  if (selected.size() < max_links) {
+    for (const auto& candidate : candidates) {
+      if (selected.size() == max_links) break;
+      bool already = false;
+      for (const auto& s : selected) {
+        if (s.first == candidate.first) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) selected.push_back(candidate);
+    }
+  }
+  candidates = std::move(selected);
+  (void)target;
+}
+
+void HnswIndex::PruneLinks(Slot slot, int layer) {
+  auto& links = nodes_[slot].links[static_cast<std::size_t>(layer)];
+  const std::size_t max_links = layer == 0 ? options_.M * 2 : options_.M;
+  if (links.size() <= max_links) return;
+  std::vector<std::pair<Slot, double>> scored;
+  scored.reserve(links.size());
+  for (Slot nb : links) {
+    scored.emplace_back(nb, Sim(nodes_[slot].vector, nb));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  scored.resize(max_links);
+  links.clear();
+  for (const auto& [nb, s] : scored) links.push_back(nb);
+}
+
+void HnswIndex::InsertNode(Slot slot) {
+  Node& node = nodes_[slot];
+  const int node_level = static_cast<int>(node.links.size()) - 1;
+
+  if (entry_point_ == kInvalidSlot) {
+    entry_point_ = slot;
+    max_level_ = node_level;
+    return;
+  }
+
+  Slot entry = entry_point_;
+  if (max_level_ > node_level) {
+    entry = GreedyDescend(node.vector, entry, max_level_, node_level);
+  }
+
+  for (int layer = std::min(node_level, max_level_); layer >= 0; --layer) {
+    auto candidates =
+        SearchLayer(node.vector, entry, options_.ef_construction, layer);
+    entry = candidates.front().first;
+    SelectNeighbors(node.vector, candidates, options_.M);
+    auto& links = node.links[static_cast<std::size_t>(layer)];
+    for (const auto& [nb, s] : candidates) {
+      if (nb == slot) continue;
+      links.push_back(nb);
+      nodes_[nb].links[static_cast<std::size_t>(layer)].push_back(slot);
+      PruneLinks(nb, layer);
+    }
+  }
+
+  if (node_level > max_level_) {
+    max_level_ = node_level;
+    entry_point_ = slot;
+  }
+}
+
+void HnswIndex::Add(VectorId id, std::span<const float> vector) {
+  assert(vector.size() == dimension_);
+  const auto it = id_to_slot_.find(id);
+  if (it != id_to_slot_.end() && !nodes_[it->second].deleted) {
+    // Replace: tombstone the old node and insert fresh (graph links for the
+    // old vector are no longer meaningful).
+    nodes_[it->second].deleted = true;
+    --live_count_;
+  }
+
+  const auto slot = static_cast<Slot>(nodes_.size());
+  Node node;
+  node.id = id;
+  node.vector.assign(vector.begin(), vector.end());
+  node.links.resize(static_cast<std::size_t>(RandomLevel()) + 1);
+  nodes_.push_back(std::move(node));
+  id_to_slot_[id] = slot;
+  ++live_count_;
+  InsertNode(slot);
+  RebuildIfNeeded();
+}
+
+bool HnswIndex::Remove(VectorId id) {
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end() || nodes_[it->second].deleted) return false;
+  nodes_[it->second].deleted = true;
+  --live_count_;
+  id_to_slot_.erase(it);
+  RebuildIfNeeded();
+  return true;
+}
+
+void HnswIndex::RebuildIfNeeded() {
+  if (nodes_.empty() || live_count_ == nodes_.size()) return;
+  const double tombstone_ratio =
+      static_cast<double>(nodes_.size() - live_count_) /
+      static_cast<double>(nodes_.size());
+  if (tombstone_ratio < options_.tombstone_rebuild_ratio) return;
+
+  std::vector<Node> old = std::move(nodes_);
+  nodes_.clear();
+  id_to_slot_.clear();
+  live_count_ = 0;
+  entry_point_ = kInvalidSlot;
+  max_level_ = -1;
+  for (auto& n : old) {
+    if (n.deleted) continue;
+    const auto slot = static_cast<Slot>(nodes_.size());
+    Node node;
+    node.id = n.id;
+    node.vector = std::move(n.vector);
+    node.links.resize(static_cast<std::size_t>(RandomLevel()) + 1);
+    nodes_.push_back(std::move(node));
+    id_to_slot_[nodes_.back().id] = slot;
+    ++live_count_;
+    InsertNode(slot);
+  }
+}
+
+std::vector<SearchResult> HnswIndex::Search(std::span<const float> query,
+                                            std::size_t k,
+                                            double min_similarity) const {
+  assert(query.size() == dimension_);
+  if (k == 0 || live_count_ == 0) return {};
+  const Slot entry =
+      GreedyDescend(query, entry_point_, max_level_, 0);
+  const std::size_t ef = std::max(options_.ef_search, k);
+  auto found = SearchLayer(query, entry, ef + tombstone_count(), 0);
+
+  std::vector<SearchResult> results;
+  results.reserve(k);
+  for (const auto& [slot, sim] : found) {
+    if (nodes_[slot].deleted || sim < min_similarity) continue;
+    results.push_back({nodes_[slot].id, sim});
+    if (results.size() == k) break;
+  }
+  return results;
+}
+
+bool HnswIndex::Contains(VectorId id) const {
+  const auto it = id_to_slot_.find(id);
+  return it != id_to_slot_.end() && !nodes_[it->second].deleted;
+}
+
+std::optional<Vector> HnswIndex::Get(VectorId id) const {
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end() || nodes_[it->second].deleted) {
+    return std::nullopt;
+  }
+  return nodes_[it->second].vector;
+}
+
+}  // namespace cortex

@@ -1,0 +1,101 @@
+// HnswIndex: Hierarchical Navigable Small World graph ANN
+// (Malkov & Yashunin, 2018) — the graph-based index family the paper cites
+// alongside FAISS/DiskANN.
+//
+// Deletion support: HNSW graphs do not support cheap structural deletes, so
+// Remove() tombstones the node (it keeps routing but is filtered from
+// results); when tombstones exceed half the graph the index compacts by
+// rebuilding from live nodes.  This mirrors how production systems (e.g.
+// hnswlib + periodic rebuilds) run HNSW under churn, which a cache induces
+// constantly via eviction.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ann/vector_index.h"
+#include "util/rng.h"
+
+namespace cortex {
+
+struct HnswOptions {
+  std::size_t M = 12;                // max links per node on upper layers
+  std::size_t ef_construction = 64;  // beam width during insertion
+  std::size_t ef_search = 32;        // beam width during queries
+  // Diversity-aware neighbour pruning (Malkov & Yashunin, Alg. 4): keep a
+  // candidate only if it is closer to the new node than to any neighbour
+  // already kept.  Prevents clustered corpora from producing graphs whose
+  // links all point into one clump.
+  bool heuristic_selection = true;
+  double tombstone_rebuild_ratio = 0.5;
+  std::uint64_t seed = 7;
+};
+
+class HnswIndex final : public VectorIndex {
+ public:
+  HnswIndex(std::size_t dimension, HnswOptions options = {});
+
+  void Add(VectorId id, std::span<const float> vector) override;
+  bool Remove(VectorId id) override;
+  std::vector<SearchResult> Search(std::span<const float> query,
+                                   std::size_t k,
+                                   double min_similarity) const override;
+  bool Contains(VectorId id) const override;
+  std::optional<Vector> Get(VectorId id) const override;
+  std::size_t size() const override { return live_count_; }
+  std::size_t dimension() const override { return dimension_; }
+  std::uint64_t distance_computations() const override { return distcomp_; }
+
+  std::size_t graph_size() const noexcept { return nodes_.size(); }
+  std::size_t tombstone_count() const noexcept {
+    return nodes_.size() - live_count_;
+  }
+  int max_level() const noexcept { return max_level_; }
+
+ private:
+  struct Node {
+    VectorId id = 0;
+    Vector vector;
+    bool deleted = false;
+    // links[l] = neighbour slots at layer l; size() == level + 1.
+    std::vector<std::vector<std::uint32_t>> links;
+  };
+
+  using Slot = std::uint32_t;
+  static constexpr Slot kInvalidSlot = ~Slot{0};
+
+  double Sim(std::span<const float> a, Slot b) const noexcept;
+  int RandomLevel();
+  // Beam search at a single layer; returns up to `ef` (slot, sim) pairs,
+  // best-first.  Visits tombstoned nodes (for routing) but they are included
+  // in results and must be filtered by callers that need live nodes only.
+  std::vector<std::pair<Slot, double>> SearchLayer(
+      std::span<const float> query, Slot entry, std::size_t ef,
+      int layer) const;
+  // Greedy descent from the top layer to `target_layer + 1`.
+  Slot GreedyDescend(std::span<const float> query, Slot entry, int from_level,
+                     int target_layer) const;
+  // Prunes `candidates` (best-first by similarity to `target`) down to at
+  // most max_links, using heuristic diversity selection when enabled.
+  void SelectNeighbors(std::span<const float> target,
+                       std::vector<std::pair<Slot, double>>& candidates,
+                       std::size_t max_links) const;
+  void PruneLinks(Slot slot, int layer);
+  void RebuildIfNeeded();
+  void InsertNode(Slot slot);
+
+  std::size_t dimension_;
+  HnswOptions options_;
+  Rng rng_;
+  double level_lambda_;  // 1 / ln(M)
+
+  std::vector<Node> nodes_;
+  std::unordered_map<VectorId, Slot> id_to_slot_;
+  std::size_t live_count_ = 0;
+  Slot entry_point_ = kInvalidSlot;
+  int max_level_ = -1;
+  mutable std::uint64_t distcomp_ = 0;
+};
+
+}  // namespace cortex

@@ -1,0 +1,148 @@
+#include "ann/ivf_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cortex {
+
+IvfIndex::IvfIndex(std::size_t dimension, IvfOptions options)
+    : dimension_(dimension), options_(options) {
+  assert(dimension > 0 && options.num_lists > 0);
+  options_.num_probes = std::min(options_.num_probes, options_.num_lists);
+}
+
+void IvfIndex::Add(VectorId id, std::span<const float> vector) {
+  assert(vector.size() == dimension_);
+  auto [it, inserted] = entries_.try_emplace(id);
+  if (!inserted && trained_) {
+    // Replacing: remove from its current list first.
+    auto& list = lists_[it->second.list];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+  it->second.vector.assign(vector.begin(), vector.end());
+  if (trained_) {
+    AssignToList(id, it->second);
+  }
+  MaybeTrain();
+}
+
+void IvfIndex::AssignToList(VectorId id, Entry& e) {
+  e.list = NearestCentroid(e.vector, centroids_, options_.num_lists,
+                           dimension_);
+  lists_[e.list].push_back(id);
+}
+
+bool IvfIndex::Remove(VectorId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  if (trained_) {
+    auto& list = lists_[it->second.list];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+  entries_.erase(it);
+  return true;
+}
+
+void IvfIndex::MaybeTrain() {
+  const std::size_t train_threshold =
+      std::max(options_.num_lists * options_.train_points_per_list,
+               2 * options_.num_lists);
+  if (!trained_) {
+    if (entries_.size() >= train_threshold) Train();
+    return;
+  }
+  // Retrain when the corpus drifted far from what the quantiser saw.
+  const auto size = entries_.size();
+  if (size >= train_threshold &&
+      (size > trained_at_size_ * options_.retrain_growth_factor ||
+       size * options_.retrain_growth_factor < trained_at_size_)) {
+    Train();
+  }
+}
+
+void IvfIndex::Train() {
+  const std::size_t n = entries_.size();
+  if (n < options_.num_lists) return;
+  std::vector<float> data;
+  data.reserve(n * dimension_);
+  std::vector<VectorId> ids;
+  ids.reserve(n);
+  for (const auto& [id, e] : entries_) {
+    data.insert(data.end(), e.vector.begin(), e.vector.end());
+    ids.push_back(id);
+  }
+  KMeansOptions kopts;
+  kopts.seed = options_.seed;
+  const auto km =
+      KMeans(data, n, dimension_, options_.num_lists, kopts);
+  centroids_ = km.centroids;
+  lists_.assign(options_.num_lists, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& e = entries_.at(ids[i]);
+    e.list = km.assignments[i];
+    lists_[e.list].push_back(ids[i]);
+  }
+  trained_ = true;
+  trained_at_size_ = n;
+}
+
+std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
+                                           std::size_t k,
+                                           double min_similarity) const {
+  assert(query.size() == dimension_);
+  if (k == 0 || entries_.empty()) return {};
+
+  std::vector<SearchResult> results;
+  auto scan = [&](VectorId id, const Vector& v) {
+    ++distcomp_;
+    const double sim = CosineSimilarity(query, v);
+    if (sim >= min_similarity) results.push_back({id, sim});
+  };
+
+  if (!trained_) {
+    // Warm-up: exact scan.
+    for (const auto& [id, e] : entries_) scan(id, e.vector);
+  } else {
+    // Rank lists by centroid distance, probe the closest nprobe.
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(options_.num_lists);
+    for (std::size_t c = 0; c < options_.num_lists; ++c) {
+      ++distcomp_;
+      ranked.emplace_back(
+          L2DistanceSquared(query,
+                            std::span<const float>(
+                                centroids_.data() + c * dimension_,
+                                dimension_)),
+          c);
+    }
+    const std::size_t probes = std::min(options_.num_probes, ranked.size());
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(probes),
+                      ranked.end());
+    for (std::size_t p = 0; p < probes; ++p) {
+      for (VectorId id : lists_[ranked[p].second]) {
+        scan(id, entries_.at(id).vector);
+      }
+    }
+  }
+
+  const std::size_t top = std::min(k, results.size());
+  std::partial_sort(results.begin(),
+                    results.begin() + static_cast<std::ptrdiff_t>(top),
+                    results.end(), [](const auto& a, const auto& b) {
+                      return a.similarity > b.similarity;
+                    });
+  results.resize(top);
+  return results;
+}
+
+bool IvfIndex::Contains(VectorId id) const { return entries_.contains(id); }
+
+std::optional<Vector> IvfIndex::Get(VectorId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.vector;
+}
+
+}  // namespace cortex

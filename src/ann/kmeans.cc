@@ -1,0 +1,114 @@
+#include "ann/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cortex {
+
+namespace {
+
+std::span<const float> Row(std::span<const float> data, std::size_t i,
+                           std::size_t dim) {
+  return data.subspan(i * dim, dim);
+}
+
+}  // namespace
+
+std::size_t NearestCentroid(std::span<const float> point,
+                            std::span<const float> centroids, std::size_t k,
+                            std::size_t dimension) noexcept {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    const double d = L2DistanceSquared(
+        point, centroids.subspan(c * dimension, dimension));
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeans(std::span<const float> data, std::size_t n,
+                    std::size_t dimension, std::size_t k,
+                    const KMeansOptions& options) {
+  assert(k >= 1 && n >= k && data.size() == n * dimension);
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.k = k;
+  result.dimension = dimension;
+  result.centroids.resize(k * dimension);
+  result.assignments.assign(n, 0);
+
+  // --- k-means++ seeding ---
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  std::size_t first = static_cast<std::size_t>(rng.NextBelow(n));
+  std::copy_n(Row(data, first, dimension).begin(), dimension,
+              result.centroids.begin());
+  for (std::size_t c = 1; c < k; ++c) {
+    const std::span<const float> prev(
+        result.centroids.data() + (c - 1) * dimension, dimension);
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] =
+          std::min(min_dist[i], L2DistanceSquared(Row(data, i, dimension),
+                                                  prev));
+    }
+    const std::size_t chosen = rng.WeightedIndex(min_dist);
+    std::copy_n(Row(data, chosen, dimension).begin(), dimension,
+                result.centroids.begin() +
+                    static_cast<std::ptrdiff_t>(c * dimension));
+  }
+
+  // --- Lloyd iterations ---
+  std::vector<double> sums(k * dimension);
+  std::vector<std::size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    double inertia = 0.0;
+    // Track the globally worst-assigned point to re-seed empty clusters.
+    std::size_t worst_point = 0;
+    double worst_dist = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto point = Row(data, i, dimension);
+      const std::size_t c =
+          NearestCentroid(point, result.centroids, k, dimension);
+      result.assignments[i] = c;
+      const double d = L2DistanceSquared(
+          point, std::span<const float>(result.centroids.data() + c * dimension,
+                                        dimension));
+      inertia += d;
+      if (d > worst_dist) {
+        worst_dist = d;
+        worst_point = i;
+      }
+      ++counts[c];
+      for (std::size_t j = 0; j < dimension; ++j) {
+        sums[c * dimension + j] += point[j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed from the farthest point.
+        std::copy_n(Row(data, worst_point, dimension).begin(), dimension,
+                    result.centroids.begin() +
+                        static_cast<std::ptrdiff_t>(c * dimension));
+        continue;
+      }
+      for (std::size_t j = 0; j < dimension; ++j) {
+        result.centroids[c * dimension + j] = static_cast<float>(
+            sums[c * dimension + j] / static_cast<double>(counts[c]));
+      }
+    }
+    result.inertia = inertia;
+    if (prev_inertia - inertia <= options.tolerance * prev_inertia) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace cortex

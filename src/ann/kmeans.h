@@ -1,0 +1,47 @@
+// Lloyd's k-means with k-means++ seeding; the coarse quantiser for IvfIndex.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "embedding/vector_ops.h"
+#include "util/rng.h"
+
+namespace cortex {
+
+struct KMeansResult {
+  // k * dimension row-major centroids.
+  std::vector<float> centroids;
+  // Cluster assignment per input point.
+  std::vector<std::size_t> assignments;
+  std::size_t k = 0;
+  std::size_t dimension = 0;
+  std::size_t iterations_run = 0;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+
+  std::span<const float> Centroid(std::size_t c) const {
+    return {centroids.data() + c * dimension, dimension};
+  }
+};
+
+struct KMeansOptions {
+  std::size_t max_iterations = 25;
+  // Stop early when inertia improves by less than this relative amount.
+  double tolerance = 1e-4;
+  std::uint64_t seed = 42;
+};
+
+// Clusters `n` points of `dimension` floats stored row-major in `data`.
+// Requires k >= 1 and n >= k.  Empty clusters are re-seeded from the point
+// farthest from its centroid.
+KMeansResult KMeans(std::span<const float> data, std::size_t n,
+                    std::size_t dimension, std::size_t k,
+                    const KMeansOptions& options = {});
+
+// Index of the nearest centroid to `point` (L2).
+std::size_t NearestCentroid(std::span<const float> point,
+                            std::span<const float> centroids,
+                            std::size_t k, std::size_t dimension) noexcept;
+
+}  // namespace cortex

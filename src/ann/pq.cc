@@ -1,0 +1,187 @@
+#include "ann/pq.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ann/kmeans.h"
+
+namespace cortex {
+
+// ---------------------------------------------------------------------------
+// ProductQuantizer
+
+ProductQuantizer::ProductQuantizer(std::size_t dimension, PqOptions options)
+    : dimension_(dimension), options_(options) {
+  assert(dimension > 0 && options.num_subspaces > 0);
+  assert(dimension % options.num_subspaces == 0);
+  assert(options.codebook_size >= 2 && options.codebook_size <= 256);
+  subdim_ = dimension / options.num_subspaces;
+}
+
+void ProductQuantizer::Train(std::span<const float> data, std::size_t n) {
+  assert(data.size() == n * dimension_);
+  if (n < 2) return;
+  const std::size_t k = std::min(options_.codebook_size, n);
+  codebooks_.assign(options_.num_subspaces, {});
+
+  std::vector<float> sub(n * subdim_);
+  for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy_n(data.begin() +
+                      static_cast<std::ptrdiff_t>(i * dimension_ + m * subdim_),
+                  subdim_,
+                  sub.begin() + static_cast<std::ptrdiff_t>(i * subdim_));
+    }
+    KMeansOptions kopts;
+    kopts.max_iterations = options_.kmeans_iterations;
+    kopts.seed = options_.seed + m;
+    codebooks_[m] = KMeans(sub, n, subdim_, k, kopts).centroids;
+  }
+  trained_k_ = k;
+  trained_ = true;
+}
+
+std::vector<std::uint8_t> ProductQuantizer::Encode(
+    std::span<const float> vector) const {
+  assert(trained_ && vector.size() == dimension_);
+  std::vector<std::uint8_t> code(options_.num_subspaces);
+  for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
+    const auto sub = vector.subspan(m * subdim_, subdim_);
+    code[m] = static_cast<std::uint8_t>(
+        NearestCentroid(sub, codebooks_[m], trained_k_, subdim_));
+  }
+  return code;
+}
+
+Vector ProductQuantizer::Decode(std::span<const std::uint8_t> code) const {
+  assert(trained_ && code.size() == options_.num_subspaces);
+  Vector out(dimension_);
+  for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
+    std::copy_n(codebooks_[m].begin() +
+                    static_cast<std::ptrdiff_t>(code[m] * subdim_),
+                subdim_,
+                out.begin() + static_cast<std::ptrdiff_t>(m * subdim_));
+  }
+  return out;
+}
+
+std::vector<float> ProductQuantizer::BuildDotTable(
+    std::span<const float> query) const {
+  assert(trained_ && query.size() == dimension_);
+  std::vector<float> table(options_.num_subspaces * trained_k_);
+  for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
+    const auto qsub = query.subspan(m * subdim_, subdim_);
+    for (std::size_t c = 0; c < trained_k_; ++c) {
+      const std::span<const float> centroid(
+          codebooks_[m].data() + c * subdim_, subdim_);
+      table[m * trained_k_ + c] = static_cast<float>(Dot(qsub, centroid));
+    }
+  }
+  return table;
+}
+
+double ProductQuantizer::DotFromTable(
+    std::span<const float> table, std::span<const std::uint8_t> code) const {
+  double acc = 0.0;
+  for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
+    acc += table[m * trained_k_ + code[m]];
+  }
+  return acc;
+}
+
+double ProductQuantizer::ReconstructionError(std::span<const float> data,
+                                             std::size_t n) const {
+  assert(trained_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.subspan(i * dimension_, dimension_);
+    const Vector approx = Decode(Encode(row));
+    total += L2DistanceSquared(row, approx);
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// PqIndex
+
+PqIndex::PqIndex(std::size_t dimension, PqOptions options)
+    : dimension_(dimension), options_(options), pq_(dimension, options) {}
+
+void PqIndex::MaybeTrain() {
+  if (pq_.trained() || exact_.size() < options_.train_points) return;
+  std::vector<float> data;
+  data.reserve(exact_.size() * dimension_);
+  std::vector<VectorId> ids;
+  for (const auto& [id, v] : exact_) {
+    data.insert(data.end(), v.begin(), v.end());
+    ids.push_back(id);
+  }
+  pq_.Train(data, ids.size());
+  for (VectorId id : ids) {
+    codes_[id] = pq_.Encode(exact_.at(id));
+  }
+}
+
+void PqIndex::Add(VectorId id, std::span<const float> vector) {
+  assert(vector.size() == dimension_);
+  exact_[id] = Vector(vector.begin(), vector.end());
+  if (pq_.trained()) {
+    codes_[id] = pq_.Encode(vector);
+  } else {
+    codes_[id] = {};  // placeholder until training back-fills
+  }
+  MaybeTrain();
+}
+
+bool PqIndex::Remove(VectorId id) {
+  const bool existed = exact_.erase(id) > 0;
+  codes_.erase(id);
+  return existed;
+}
+
+std::vector<SearchResult> PqIndex::Search(std::span<const float> query,
+                                          std::size_t k,
+                                          double min_similarity) const {
+  assert(query.size() == dimension_);
+  if (k == 0 || exact_.empty()) return {};
+  std::vector<SearchResult> results;
+  results.reserve(exact_.size());
+
+  if (!pq_.trained()) {
+    for (const auto& [id, v] : exact_) {
+      ++distcomp_;
+      const double sim = CosineSimilarity(query, v);
+      if (sim >= min_similarity) results.push_back({id, sim});
+    }
+  } else {
+    // ADC: one table build, then M lookups per candidate.  Unit vectors
+    // make the dot product a cosine approximation.
+    const auto table = pq_.BuildDotTable(query);
+    const double qnorm = L2Norm(query);
+    for (const auto& [id, code] : codes_) {
+      ++distcomp_;
+      double sim = pq_.DotFromTable(table, code);
+      if (qnorm > 0.0) sim /= qnorm;  // codes decode to ~unit vectors
+      if (sim >= min_similarity) results.push_back({id, sim});
+    }
+  }
+
+  const std::size_t top = std::min(k, results.size());
+  std::partial_sort(results.begin(),
+                    results.begin() + static_cast<std::ptrdiff_t>(top),
+                    results.end(), [](const auto& a, const auto& b) {
+                      return a.similarity > b.similarity;
+                    });
+  results.resize(top);
+  return results;
+}
+
+bool PqIndex::Contains(VectorId id) const { return exact_.contains(id); }
+
+std::optional<Vector> PqIndex::Get(VectorId id) const {
+  const auto it = exact_.find(id);
+  if (it == exact_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cortex

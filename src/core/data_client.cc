@@ -1,0 +1,65 @@
+#include "core/data_client.h"
+
+#include <cassert>
+
+namespace cortex {
+
+DataClient::DataClient(CortexEngine* engine, RemoteFetcher fetcher)
+    : engine_(engine), fetcher_(std::move(fetcher)) {
+  assert(engine_ != nullptr && fetcher_ != nullptr);
+}
+
+DataClient::TurnResult DataClient::InterceptTurn(std::string_view agent_output,
+                                                 double now,
+                                                 std::uint64_t session_id) {
+  ++turns_seen_;
+  pending_prefetches_.clear();
+
+  TurnResult result;
+  const auto segments = ParseTagged(agent_output);
+  const auto tool = FirstToolCall(segments);
+  if (!tool) {
+    return result;  // nothing to intercept (e.g. the final <answer> turn)
+  }
+  result.tool_call = true;
+  result.query = tool->content;
+  ++tool_calls_seen_;
+
+  auto lookup = engine_->Lookup(result.query, now, session_id);
+  pending_prefetches_ = std::move(lookup.prefetches);
+
+  if (lookup.cache.hit) {
+    ++served_from_cache_;
+    result.from_cache = true;
+    result.observation = WrapTag(TagKind::kInfo, lookup.cache.hit->value);
+    return result;
+  }
+
+  const FetchResultView fetched = fetcher_(result.query, now);
+  if (fetched.info.empty()) {
+    result.fetch_failed = true;
+    result.observation = WrapTag(TagKind::kInfo, "");
+    return result;
+  }
+  engine_->InsertFetched(result.query, fetched.info,
+                         std::move(lookup.cache.query_embedding),
+                         fetched.latency_sec, fetched.cost_dollars, now);
+  result.observation = WrapTag(TagKind::kInfo, fetched.info);
+  return result;
+}
+
+std::size_t DataClient::RunPendingPrefetches(double now) {
+  std::size_t fetched_count = 0;
+  for (const auto& prediction : pending_prefetches_) {
+    if (engine_->cache().ContainsKey(prediction.query)) continue;
+    const FetchResultView fetched = fetcher_(prediction.query, now);
+    if (fetched.info.empty()) continue;
+    engine_->InsertPrefetched(prediction.query, fetched.info,
+                              fetched.latency_sec, fetched.cost_dollars, now);
+    ++fetched_count;
+  }
+  pending_prefetches_.clear();
+  return fetched_count;
+}
+
+}  // namespace cortex

@@ -1,0 +1,29 @@
+#include "core/eviction.h"
+
+#include <cmath>
+
+namespace cortex {
+
+double LcfuPolicy::Score(const SemanticElement& se, double now) const {
+  if (se.size_tokens <= 0.0 || se.TtlRemaining(now) <= 0.0) return 0.0;
+  const double score =
+      std::log(static_cast<double>(se.frequency) + 1.0) *
+      std::log(se.retrieval_cost_dollars * 1e3 + 1.0) *
+      std::log(se.retrieval_latency_sec + 1.0) *
+      std::log(se.staticity + 1.0);
+  return score / se.size_tokens;
+}
+
+double LruPolicy::Score(const SemanticElement& se, double now) const {
+  if (se.TtlRemaining(now) <= 0.0) return 0.0;
+  // More recently used => higher retention priority.  Shift by 1 so that a
+  // just-inserted item (last_access == now == 0) still outranks expired.
+  return se.last_access + 1.0;
+}
+
+double LfuPolicy::Score(const SemanticElement& se, double now) const {
+  if (se.TtlRemaining(now) <= 0.0) return 0.0;
+  return static_cast<double>(se.frequency) + 1.0;
+}
+
+}  // namespace cortex

@@ -1,0 +1,65 @@
+#include "core/exact_cache.h"
+
+#include <limits>
+
+#include "llm/tags.h"
+
+namespace cortex {
+
+ExactCache::ExactCache(ExactCacheOptions options) : options_(options) {}
+
+std::optional<std::string> ExactCache::Lookup(std::string_view key,
+                                              double now) {
+  ++lookups_;
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.expiration_time <= now) {
+    Remove(it->first);
+    return std::nullopt;
+  }
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  ++hits_;
+  return it->second.value;
+}
+
+void ExactCache::Insert(std::string key, std::string value, double now) {
+  const double size_tokens = static_cast<double>(ApproxTokenCount(value));
+  if (size_tokens > options_.capacity_tokens) return;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    Remove(it->first);
+  }
+  while (usage_tokens_ + size_tokens > options_.capacity_tokens &&
+         !entries_.empty()) {
+    EvictLru();
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.value = std::move(value);
+  entry.size_tokens = size_tokens;
+  entry.expiration_time =
+      options_.ttl_enabled ? now + options_.ttl_sec
+                           : std::numeric_limits<double>::infinity();
+  entry.lru_position = lru_.begin();
+  usage_tokens_ += size_tokens;
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
+bool ExactCache::Contains(std::string_view key) const {
+  return entries_.contains(std::string(key));
+}
+
+void ExactCache::Remove(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  usage_tokens_ -= it->second.size_tokens;
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+}
+
+void ExactCache::EvictLru() {
+  if (lru_.empty()) return;
+  Remove(lru_.back());
+}
+
+}  // namespace cortex

@@ -1,0 +1,65 @@
+// ExactCache: the Agent_exact baseline — a traditional storage cache
+// (Redis/Memcached-style) keyed on the exact query string, with LRU
+// eviction and optional TTL.  It shares the token-capacity accounting of
+// SemanticCache so "cache ratio" sweeps compare like for like, but it has
+// no notion of semantic equivalence: any rephrasing is a miss (§2.4).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cortex {
+
+struct ExactCacheOptions {
+  double capacity_tokens = 50000.0;
+  bool ttl_enabled = true;
+  double ttl_sec = 3600.0;
+};
+
+class ExactCache {
+ public:
+  explicit ExactCache(ExactCacheOptions options = {});
+
+  // Returns the cached value on an exact key match (and refreshes LRU
+  // position), nullopt otherwise.
+  std::optional<std::string> Lookup(std::string_view key, double now);
+
+  void Insert(std::string key, std::string value, double now);
+  bool Contains(std::string_view key) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  double usage_tokens() const noexcept { return usage_tokens_; }
+  double capacity_tokens() const noexcept { return options_.capacity_tokens; }
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  double HitRate() const noexcept {
+    return lookups_ ? static_cast<double>(hits_) /
+                          static_cast<double>(lookups_)
+                    : 0.0;
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    double size_tokens = 0.0;
+    double expiration_time = 0.0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  void Remove(const std::string& key);
+  void EvictLru();
+
+  ExactCacheOptions options_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  double usage_tokens_ = 0.0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace cortex

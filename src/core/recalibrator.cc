@@ -1,0 +1,83 @@
+#include "core/recalibrator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cortex {
+
+Recalibrator::Recalibrator(RecalibratorOptions options) : options_(options) {}
+
+void Recalibrator::LogJudgment(JudgedSample sample) {
+  log_.push_back(std::move(sample));
+  while (log_.size() > options_.max_log) log_.pop_front();
+}
+
+RecalibrationRound Recalibrator::RunRound(
+    const std::function<std::string(std::string_view)>& fetch_gt, Rng& rng) {
+  RecalibrationRound round;
+  if (log_.empty()) return round;
+
+  // D_sample: a diverse subset of the recent log (uniform without
+  // replacement over the retained window).
+  std::vector<std::size_t> order(log_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const std::size_t take =
+      std::min(options_.samples_per_round, order.size());
+
+  for (std::size_t i = 0; i < take; ++i) {
+    const JudgedSample& s = log_[order[i]];
+    const std::string ground = fetch_gt(s.query);
+    ++round.gt_fetches;
+    // A failed ground-truth fetch (throttled/unavailable) is not evidence
+    // about the judger — skip rather than mislabel.
+    if (ground.empty()) continue;
+    // EvaluateGT: the cached answer is correct iff it matches what a fresh
+    // retrieval for the query returns.
+    validation_.push_back({s.judger_score, ground == s.cached_value});
+    ++round.annotated;
+  }
+  while (validation_.size() > options_.max_validation_set) {
+    validation_.pop_front();
+  }
+
+  // Need both classes represented before the curve is meaningful.
+  if (validation_.size() < 2 * options_.samples_per_round) return round;
+
+  auto tau = ThresholdForPrecision(
+      std::vector<LabeledSample>(validation_.begin(), validation_.end()),
+      options_.target_precision);
+  if (tau) {
+    round.new_tau = std::clamp(*tau, options_.min_tau, options_.max_tau);
+  }
+  return round;
+}
+
+std::optional<double> Recalibrator::ThresholdForPrecision(
+    std::vector<LabeledSample> samples, double target) {
+  if (samples.empty()) return std::nullopt;
+  std::sort(samples.begin(), samples.end(),
+            [](const LabeledSample& a, const LabeledSample& b) {
+              return a.score > b.score;
+            });
+  // Walk thresholds from strict to permissive, tracking precision of the
+  // predicted-positive prefix; remember the most permissive threshold that
+  // still meets the target.
+  std::optional<double> best;
+  std::size_t positives = 0, correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ++positives;
+    if (samples[i].correct) ++correct;
+    // Thresholds are only valid at boundaries between distinct scores
+    // (otherwise the cutoff would split equal scores inconsistently).
+    if (i + 1 < samples.size() && samples[i + 1].score == samples[i].score) {
+      continue;
+    }
+    const double precision =
+        static_cast<double>(correct) / static_cast<double>(positives);
+    if (precision >= target) best = samples[i].score;
+  }
+  return best;
+}
+
+}  // namespace cortex

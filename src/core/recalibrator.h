@@ -1,0 +1,88 @@
+// Recalibrator: periodic offline threshold recalibration (paper §4.2,
+// Algorithm 1).
+//
+// The judger's acceptance threshold tau_lsm is brittle under workload
+// drift, so Cortex keeps a log of recent judgments, periodically samples a
+// handful, fetches ground truth for them (a real remote call — the paper
+// samples ~5 queries/minute), labels the cached answers correct/incorrect,
+// and re-derives the smallest threshold whose precision on the accumulated
+// validation set meets the target.  Smallest-meeting-target maximises hit
+// rate subject to the precision constraint.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cortex {
+
+struct RecalibratorOptions {
+  double target_precision = 0.97;   // Algorithm 1's P_target
+  std::size_t samples_per_round = 5;
+  std::size_t max_log = 2000;            // L_recent capacity
+  std::size_t max_validation_set = 400;  // D_val capacity (ring)
+  double min_tau = 0.45;
+  double max_tau = 0.98;
+};
+
+// One judged (query, cached answer) pair from the live lookup path.
+struct JudgedSample {
+  std::string query;
+  std::string cached_key;
+  std::string cached_value;
+  double judger_score = 0.0;
+};
+
+// An annotated sample: judger score plus ground-truth label.
+struct LabeledSample {
+  double score = 0.0;
+  bool correct = false;
+};
+
+struct RecalibrationRound {
+  std::optional<double> new_tau;  // unset when D_val is still too small
+  std::size_t annotated = 0;      // fresh labels this round
+  std::size_t gt_fetches = 0;     // remote ground-truth calls issued
+};
+
+class Recalibrator {
+ public:
+  explicit Recalibrator(RecalibratorOptions options = {});
+
+  // Logs a judgment from the live path (L_recent).
+  void LogJudgment(JudgedSample sample);
+
+  // Runs Algorithm 1: samples the recent log, annotates via `fetch_gt`
+  // (query -> ground-truth result), extends D_val, and recomputes the
+  // threshold from the precision curve.
+  RecalibrationRound RunRound(
+      const std::function<std::string(std::string_view)>& fetch_gt, Rng& rng);
+
+  // FindThreshold(CalcPrecisionCurve(scores), P_target): smallest score
+  // cutoff whose precision over samples >= cutoff meets `target`; nullopt
+  // if no cutoff does (callers keep the previous threshold, or clamp).
+  static std::optional<double> ThresholdForPrecision(
+      std::vector<LabeledSample> samples, double target);
+
+  std::size_t log_size() const noexcept { return log_.size(); }
+  std::size_t validation_size() const noexcept { return validation_.size(); }
+  const RecalibratorOptions& options() const noexcept { return options_; }
+
+  // The accumulated annotated set (paper §4.2: "The annotated set can also
+  // fine-tune the LSM").  Consumers use it as judger training data.
+  std::vector<LabeledSample> Annotations() const {
+    return {validation_.begin(), validation_.end()};
+  }
+
+ private:
+  RecalibratorOptions options_;
+  std::deque<JudgedSample> log_;
+  std::deque<LabeledSample> validation_;
+};
+
+}  // namespace cortex

@@ -1,0 +1,260 @@
+#include "core/semantic_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "llm/tags.h"
+
+namespace cortex {
+
+SemanticCache::SemanticCache(const Embedder* embedder,
+                             std::unique_ptr<VectorIndex> index,
+                             const JudgerModel* judger,
+                             std::unique_ptr<EvictionPolicy> eviction,
+                             SemanticCacheOptions options)
+    : sine_(embedder, std::move(index), judger, options.sine),
+      eviction_(std::move(eviction)),
+      options_(options) {
+  assert(eviction_ != nullptr);
+  assert(options_.capacity_tokens > 0.0);
+}
+
+SemanticCache::LookupResult SemanticCache::Lookup(std::string_view query,
+                                                  double now) {
+  ++counters_.lookups;
+  LookupResult result;
+  result.query_embedding = sine_.EmbedQuery(query);
+
+  // Expired entries must not serve hits; purge lazily before matching.
+  RemoveExpired(now);
+
+  // An SE whose retrieval completes in the future must not serve hits yet
+  // (inserts are recorded eagerly with their completion-time timestamps;
+  // visibility honours the clock).
+  result.sine = sine_.Lookup(query, result.query_embedding,
+                             [this, now](SeId id) -> const SemanticElement* {
+                               const SemanticElement* se = Get(id);
+                               return se && se->created_at <= now ? se
+                                                                  : nullptr;
+                             });
+  if (result.sine.match) {
+    auto it = store_.find(result.sine.match->id);
+    assert(it != store_.end());
+    SemanticElement& se = it->second;
+    ++se.frequency;
+    se.last_access = now;
+    ++counters_.hits;
+    result.hit = CacheHit{se.id, se.value, se.key,
+                          result.sine.match->similarity,
+                          result.sine.match->judger_score};
+  }
+  return result;
+}
+
+std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now) {
+  const double size_tokens =
+      static_cast<double>(ApproxTokenCount(request.value));
+  if (size_tokens > options_.capacity_tokens) {
+    ++counters_.rejected_too_large;
+    return std::nullopt;
+  }
+
+  // Admission doorkeeper: under capacity pressure, knowledge must prove
+  // itself (be fetched twice in the recent window) before it may displace
+  // resident content.  Counting by value means paraphrases pool their
+  // evidence.
+  if (options_.admission_enabled) {
+    admission_sketch_.Add(request.value);
+    // Age the sketch so "recently" tracks a sliding window.
+    if (admission_sketch_.total_additions() >
+        16 * std::max<std::uint64_t>(1, store_.size())) {
+      admission_sketch_.Halve();
+    }
+    const bool under_pressure =
+        usage_tokens_ + size_tokens >
+        options_.admission_pressure * options_.capacity_tokens;
+    if (under_pressure && !ContainsValue(request.value) &&
+        admission_sketch_.Estimate(request.value) <
+            options_.admission_threshold) {
+      ++counters_.admission_rejects;
+      return std::nullopt;
+    }
+  }
+
+  // Value-identity dedup: the same knowledge fetched under a different
+  // phrasing refreshes the existing SE instead of spending capacity twice.
+  const std::size_t value_hash = std::hash<std::string>{}(request.value);
+  for (auto [it, end] = value_hash_to_id_.equal_range(value_hash); it != end;
+       ++it) {
+    const auto se_it = store_.find(it->second);
+    if (se_it == store_.end() || se_it->second.value != request.value) {
+      continue;
+    }
+    SemanticElement& se = se_it->second;
+    se.frequency += request.initial_frequency;
+    se.last_access = now;
+    // The content was just re-retrieved fresh, so renew its lifetime.
+    if (options_.ttl_enabled) {
+      se.expiration_time = now + options_.min_ttl_sec +
+                           (options_.max_ttl_sec - options_.min_ttl_sec) *
+                               (se.staticity - 1.0) / 9.0;
+    }
+    ++counters_.dedup_refreshes;
+    return se.id;
+  }
+
+  // Replace semantics on exact key collision.
+  if (const auto it = key_to_id_.find(std::string(request.key));
+      it != key_to_id_.end()) {
+    RemoveInternal(it->second, /*expired=*/false);
+  }
+
+  RemoveExpired(now);
+  EvictDownTo(options_.capacity_tokens - size_tokens, now);
+
+  SemanticElement se;
+  se.id = next_id_++;
+  se.key = std::move(request.key);
+  se.value = std::move(request.value);
+  se.embedding = request.embedding ? std::move(*request.embedding)
+                                   : sine_.EmbedQuery(se.key);
+  se.staticity = std::clamp(request.staticity, 1.0, 10.0);
+  se.frequency = request.initial_frequency;
+  se.retrieval_latency_sec = request.retrieval_latency_sec;
+  se.retrieval_cost_dollars = request.retrieval_cost_dollars;
+  se.size_tokens = size_tokens;
+  se.created_at = now;
+  se.last_access = now;
+  se.expiration_time =
+      options_.ttl_enabled
+          ? now + options_.min_ttl_sec +
+                (options_.max_ttl_sec - options_.min_ttl_sec) *
+                    (se.staticity - 1.0) / 9.0
+          : std::numeric_limits<double>::infinity();
+
+  usage_tokens_ += se.size_tokens;
+  sine_.Insert(se);
+  key_to_id_.emplace(se.key, se.id);
+  value_hash_to_id_.emplace(value_hash, se.id);
+  const SeId id = se.id;
+  store_.emplace(id, std::move(se));
+  ++counters_.insertions;
+  return id;
+}
+
+std::optional<SeId> SemanticCache::RestoreElement(SemanticElement se,
+                                                  double now) {
+  if (se.ExpiredAt(now)) return std::nullopt;
+  se.size_tokens = static_cast<double>(ApproxTokenCount(se.value));
+  if (se.size_tokens > options_.capacity_tokens) {
+    ++counters_.rejected_too_large;
+    return std::nullopt;
+  }
+  if (se.embedding.size() != sine_.index().dimension()) {
+    se.embedding = sine_.EmbedQuery(se.key);
+  }
+
+  // Value-identity dedup: keep whichever copy has the richer history.
+  const std::size_t value_hash = std::hash<std::string>{}(se.value);
+  for (auto [it, end] = value_hash_to_id_.equal_range(value_hash); it != end;
+       ++it) {
+    const auto se_it = store_.find(it->second);
+    if (se_it == store_.end() || se_it->second.value != se.value) continue;
+    SemanticElement& existing = se_it->second;
+    existing.frequency = std::max(existing.frequency, se.frequency);
+    existing.last_access = std::max(existing.last_access, se.last_access);
+    existing.expiration_time =
+        std::max(existing.expiration_time, se.expiration_time);
+    ++counters_.dedup_refreshes;
+    return existing.id;
+  }
+
+  if (const auto it = key_to_id_.find(se.key); it != key_to_id_.end()) {
+    RemoveInternal(it->second, /*expired=*/false);
+  }
+  RemoveExpired(now);
+  EvictDownTo(options_.capacity_tokens - se.size_tokens, now);
+
+  se.id = next_id_++;
+  usage_tokens_ += se.size_tokens;
+  sine_.Insert(se);
+  key_to_id_.emplace(se.key, se.id);
+  value_hash_to_id_.emplace(value_hash, se.id);
+  const SeId id = se.id;
+  store_.emplace(id, std::move(se));
+  ++counters_.insertions;
+  return id;
+}
+
+bool SemanticCache::ContainsKey(std::string_view key) const {
+  return key_to_id_.contains(std::string(key));
+}
+
+bool SemanticCache::ContainsValue(std::string_view value) const {
+  const std::size_t value_hash = std::hash<std::string_view>{}(value);
+  for (auto [it, end] = value_hash_to_id_.equal_range(value_hash); it != end;
+       ++it) {
+    const auto se_it = store_.find(it->second);
+    if (se_it != store_.end() && se_it->second.value == value) return true;
+  }
+  return false;
+}
+
+std::size_t SemanticCache::RemoveExpired(double now) {
+  std::vector<SeId> expired;
+  for (const auto& [id, se] : store_) {
+    if (se.ExpiredAt(now)) expired.push_back(id);
+  }
+  for (SeId id : expired) RemoveInternal(id, /*expired=*/true);
+  return expired.size();
+}
+
+void SemanticCache::EvictDownTo(double target_tokens, double now) {
+  target_tokens = std::max(target_tokens, 0.0);
+  while (usage_tokens_ > target_tokens && !store_.empty()) {
+    SeId victim = 0;
+    double victim_score = std::numeric_limits<double>::infinity();
+    for (const auto& [id, se] : store_) {
+      const double score = eviction_->Score(se, now);
+      if (score < victim_score) {
+        victim_score = score;
+        victim = id;
+      }
+    }
+    RemoveInternal(victim, /*expired=*/false);
+    ++counters_.evictions;
+  }
+}
+
+void SemanticCache::RemoveInternal(SeId id, bool expired) {
+  const auto it = store_.find(id);
+  if (it == store_.end()) return;
+  usage_tokens_ -= it->second.size_tokens;
+  key_to_id_.erase(it->second.key);
+  const std::size_t value_hash = std::hash<std::string>{}(it->second.value);
+  for (auto [vit, vend] = value_hash_to_id_.equal_range(value_hash);
+       vit != vend; ++vit) {
+    if (vit->second == id) {
+      value_hash_to_id_.erase(vit);
+      break;
+    }
+  }
+  sine_.Remove(id);
+  if (expired) ++counters_.expirations;
+  store_.erase(it);
+}
+
+bool SemanticCache::Remove(SeId id) {
+  if (!store_.contains(id)) return false;
+  RemoveInternal(id, /*expired=*/false);
+  return true;
+}
+
+const SemanticElement* SemanticCache::Get(SeId id) const {
+  const auto it = store_.find(id);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cortex

@@ -1,0 +1,161 @@
+// SemanticCache: the cache architecture layered on Sine (paper §4.3).
+//
+// Turns Sine's probabilistic matches into deterministic cache behaviour:
+//   * a lookup is a *hit* only when a candidate passes both retrieval
+//     stages — a hit increments the SE's confirmed frequency;
+//   * capacity is bounded (in value tokens); admission evicts expired items
+//     first (TTL purge), then the lowest-scoring items under the configured
+//     eviction policy (LCFU by default, LRU/LFU for the Table-6 baselines);
+//   * every entry carries a staticity-scaled TTL, so even high-value items
+//     are periodically refreshed (§4.3's aging mechanism).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/eviction.h"
+#include "core/sine.h"
+#include "util/count_min.h"
+
+namespace cortex {
+
+struct SemanticCacheOptions {
+  // Capacity in value tokens; "cache ratio" benches set this to
+  // ratio x workload knowledge footprint.
+  double capacity_tokens = 50000.0;
+  SineOptions sine;
+  // TTL grows linearly with staticity: stat=1 -> min, stat=10 -> max.
+  bool ttl_enabled = true;
+  double min_ttl_sec = 600.0;
+  double max_ttl_sec = 4.0 * 3600.0;
+
+  // Admission doorkeeper (TinyLFU-style) — an answer to §3.2's open
+  // question "how should admission operate".  When the cache is under
+  // capacity pressure, newly fetched knowledge is only admitted once its
+  // *value* has been fetched at least `admission_threshold` times within
+  // the recent window (tracked by a count-min sketch, so semantically
+  // equivalent queries that fetch the same knowledge count together).
+  // One-hit-wonder fetches then stop evicting proven content.
+  bool admission_enabled = false;
+  std::uint32_t admission_threshold = 2;
+  // Pressure point: admission control only engages above this fill level
+  // (an underfull cache should take everything).
+  double admission_pressure = 0.9;
+};
+
+struct CacheHit {
+  SeId id = 0;
+  std::string value;
+  std::string matched_key;
+  double similarity = 0.0;
+  double judger_score = 0.0;
+};
+
+struct CacheCounters {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+  std::uint64_t rejected_too_large = 0;
+  std::uint64_t dedup_refreshes = 0;
+  std::uint64_t admission_rejects = 0;
+
+  double HitRate() const noexcept {
+    return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+struct InsertRequest {
+  std::string key;
+  std::string value;
+  // Pass the embedding if already computed during the miss lookup;
+  // otherwise the cache embeds the key itself.
+  std::optional<Vector> embedding;
+  double staticity = 5.0;
+  double retrieval_latency_sec = 0.0;
+  double retrieval_cost_dollars = 0.0;
+  // A prefetched SE enters with zero confirmed frequency (§4.3).
+  std::uint64_t initial_frequency = 0;
+};
+
+class SemanticCache {
+ public:
+  SemanticCache(const Embedder* embedder, std::unique_ptr<VectorIndex> index,
+                const JudgerModel* judger,
+                std::unique_ptr<EvictionPolicy> eviction,
+                SemanticCacheOptions options = {});
+
+  struct LookupResult {
+    std::optional<CacheHit> hit;
+    // The query's embedding, reusable by an insert after a miss.
+    Vector query_embedding;
+    // Stage telemetry for latency modelling and recalibration logging.
+    SineLookupResult sine;
+  };
+
+  // Two-stage semantic lookup at time `now`.  A hit bumps the SE's
+  // frequency and last_access.
+  LookupResult Lookup(std::string_view query, double now);
+
+  // Inserts (evicting as needed); returns the new SE's id, or nullopt when
+  // the value alone exceeds capacity.  Re-inserting an existing exact key
+  // replaces that entry.  If an SE with a byte-identical value already
+  // exists, the insert dedups onto it instead: the existing SE is
+  // refreshed (frequency credited, TTL renewed) and its id returned —
+  // re-fetching the same knowledge under a different phrasing must not
+  // spend capacity twice.
+  std::optional<SeId> Insert(InsertRequest request, double now);
+
+  // Re-admits a fully-populated SE (e.g. from a snapshot), preserving its
+  // accumulated metadata — frequency, timestamps, expiration — instead of
+  // resetting it the way Insert does.  Subject to the usual capacity,
+  // key-replace, value-dedup, and TTL rules; ids are reassigned.
+  std::optional<SeId> RestoreElement(SemanticElement se, double now);
+
+  // Exact-key presence probe (Algorithm 3's Cache.Contains guard).
+  bool ContainsKey(std::string_view key) const;
+  // Value-identity presence probe (is this knowledge already resident?).
+  bool ContainsValue(std::string_view value) const;
+
+  // TTL purge; returns the number of entries removed.
+  std::size_t RemoveExpired(double now);
+
+  bool Remove(SeId id);
+  const SemanticElement* Get(SeId id) const;
+
+  std::size_t size() const noexcept { return store_.size(); }
+  double usage_tokens() const noexcept { return usage_tokens_; }
+  double capacity_tokens() const noexcept { return options_.capacity_tokens; }
+  const CacheCounters& counters() const noexcept { return counters_; }
+  const EvictionPolicy& eviction_policy() const noexcept { return *eviction_; }
+  Sine& sine() noexcept { return sine_; }
+  const Sine& sine() const noexcept { return sine_; }
+
+  // Iteration support for diagnostics and tests.
+  const std::unordered_map<SeId, SemanticElement>& entries() const noexcept {
+    return store_;
+  }
+
+ private:
+  void EvictDownTo(double target_tokens, double now);
+  void RemoveInternal(SeId id, bool expired);
+
+  Sine sine_;
+  std::unique_ptr<EvictionPolicy> eviction_;
+  SemanticCacheOptions options_;
+  std::unordered_map<SeId, SemanticElement> store_;
+  std::unordered_map<std::string, SeId> key_to_id_;
+  // Value-identity dedup index: hash of value -> ids holding that hash
+  // (hash collisions resolved by comparing the actual values).
+  std::unordered_multimap<std::size_t, SeId> value_hash_to_id_;
+  double usage_tokens_ = 0.0;
+  SeId next_id_ = 1;
+  CacheCounters counters_;
+  CountMinSketch admission_sketch_;
+};
+
+}  // namespace cortex

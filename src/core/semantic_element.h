@@ -1,0 +1,48 @@
+// SemanticElement (SE): Cortex's caching unit (paper §4.1, Fig. 5).
+//
+// A key-value pair — the agent's tool query and the retrieved knowledge —
+// augmented with the metadata that drives every cache policy decision: the
+// embedding fingerprint used for matching, the staticity score used for
+// TTL/eviction, and the per-item performance profile (frequency, retrieval
+// latency, monetary cost, size).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "embedding/vector_ops.h"
+
+namespace cortex {
+
+using SeId = std::uint64_t;
+
+struct SemanticElement {
+  SeId id = 0;
+  std::string key;    // the tool query (semantic key)
+  std::string value;  // the retrieved information
+
+  Vector embedding;   // unit-length semantic fingerprint of `key`
+
+  // 1 (ephemeral: weather) .. 10 (time-invariant fact: where the Louvre is).
+  double staticity = 5.0;
+  // Confirmed semantic hits (a prefetched SE starts at 0 — §4.3).
+  std::uint64_t frequency = 0;
+  // Cost profile of the original remote retrieval.
+  double retrieval_latency_sec = 0.0;
+  double retrieval_cost_dollars = 0.0;
+  // Value size in tokens (the LCFU normaliser).
+  double size_tokens = 0.0;
+
+  // Lifecycle timestamps (simulation seconds).
+  double created_at = 0.0;
+  double last_access = 0.0;
+  double expiration_time = std::numeric_limits<double>::infinity();
+
+  bool ExpiredAt(double now) const noexcept { return expiration_time <= now; }
+  double TtlRemaining(double now) const noexcept {
+    return expiration_time - now;
+  }
+};
+
+}  // namespace cortex

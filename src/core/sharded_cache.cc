@@ -1,0 +1,108 @@
+#include "core/sharded_cache.h"
+
+#include <cassert>
+
+#include "core/engine.h"
+#include "util/rng.h"
+
+namespace cortex {
+
+namespace {
+
+std::uint64_t HashToken(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+ShardedSemanticCache::ShardedSemanticCache(const HashedEmbedder* embedder,
+                                           const JudgerModel* judger,
+                                           ShardedCacheOptions options)
+    : embedder_(embedder) {
+  assert(embedder != nullptr && options.num_shards > 0);
+  SemanticCacheOptions per_shard = options.cache;
+  per_shard.capacity_tokens =
+      options.cache.capacity_tokens / static_cast<double>(options.num_shards);
+  shards_.reserve(options.num_shards);
+  for (std::size_t i = 0; i < options.num_shards; ++i) {
+    shards_.push_back(std::make_unique<SemanticCache>(
+        embedder, MakeIndex(IndexType::kFlat, embedder->dimension()), judger,
+        std::make_unique<LcfuPolicy>(), per_shard));
+  }
+}
+
+std::size_t ShardedSemanticCache::ShardFor(std::string_view query) const {
+  const auto tokens = tokenizer_.Tokenize(query);
+  if (tokens.empty()) {
+    return HashToken(query) % shards_.size();
+  }
+  // Route on the most discriminative token: max IDF weight, ties broken by
+  // lexicographic order so the choice is deterministic across paraphrases.
+  const std::string* anchor = &tokens.front();
+  double best_weight = embedder_->IdfWeight(*anchor);
+  for (const auto& token : tokens) {
+    const double weight = embedder_->IdfWeight(token);
+    if (weight > best_weight ||
+        (weight == best_weight && token < *anchor)) {
+      best_weight = weight;
+      anchor = &token;
+    }
+  }
+  return HashToken(*anchor) % shards_.size();
+}
+
+SemanticCache::LookupResult ShardedSemanticCache::Lookup(
+    std::string_view query, double now) {
+  return shards_[ShardFor(query)]->Lookup(query, now);
+}
+
+std::optional<SeId> ShardedSemanticCache::Insert(InsertRequest request,
+                                                 double now) {
+  const std::size_t shard = ShardFor(request.key);
+  return shards_[shard]->Insert(std::move(request), now);
+}
+
+bool ShardedSemanticCache::ContainsKey(std::string_view key) const {
+  return shards_[ShardFor(key)]->ContainsKey(key);
+}
+
+std::size_t ShardedSemanticCache::RemoveExpired(double now) {
+  std::size_t removed = 0;
+  for (auto& shard : shards_) removed += shard->RemoveExpired(now);
+  return removed;
+}
+
+CacheCounters ShardedSemanticCache::TotalCounters() const {
+  CacheCounters total;
+  for (const auto& shard : shards_) {
+    const auto& c = shard->counters();
+    total.lookups += c.lookups;
+    total.hits += c.hits;
+    total.insertions += c.insertions;
+    total.evictions += c.evictions;
+    total.expirations += c.expirations;
+    total.rejected_too_large += c.rejected_too_large;
+    total.dedup_refreshes += c.dedup_refreshes;
+    total.admission_rejects += c.admission_rejects;
+  }
+  return total;
+}
+
+std::size_t ShardedSemanticCache::TotalSize() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+double ShardedSemanticCache::TotalUsageTokens() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) total += shard->usage_tokens();
+  return total;
+}
+
+}  // namespace cortex

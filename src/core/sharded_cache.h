@@ -1,0 +1,62 @@
+// ShardedSemanticCache: the multi-tenant deployment of Fig. 4, where
+// several agent applications share one regional Cortex tier.
+//
+// The cache is partitioned into N independent shards (each a full
+// SemanticCache with its own ANN index), so lookups scale with shards and a
+// shard-sized index stays small.  Routing must send every paraphrase of a
+// piece of knowledge to the same shard even though the strings differ —
+// exact-key hashing would scatter them.  Cortex routes on the query's most
+// *discriminative* token (highest IDF under the shared embedder): content
+// words survive paraphrasing, so "everest height please" and "what is the
+// height of everest" land together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/semantic_cache.h"
+#include "embedding/hashed_embedder.h"
+
+namespace cortex {
+
+struct ShardedCacheOptions {
+  std::size_t num_shards = 4;
+  // Per-shard options; capacity_tokens here is the TOTAL budget, divided
+  // evenly across shards.
+  SemanticCacheOptions cache;
+};
+
+class ShardedSemanticCache {
+ public:
+  // The embedder must be the IDF-fitted HashedEmbedder shared by the
+  // deployment (routing uses its token weights).  All borrowed pointers
+  // must outlive the cache.
+  ShardedSemanticCache(const HashedEmbedder* embedder,
+                       const JudgerModel* judger,
+                       ShardedCacheOptions options = {});
+
+  // Which shard serves this query.  Deterministic; paraphrase-stable as
+  // long as the paraphrases share their most discriminative token.
+  std::size_t ShardFor(std::string_view query) const;
+
+  SemanticCache::LookupResult Lookup(std::string_view query, double now);
+  std::optional<SeId> Insert(InsertRequest request, double now);
+  bool ContainsKey(std::string_view key) const;
+  std::size_t RemoveExpired(double now);
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  SemanticCache& shard(std::size_t i) { return *shards_.at(i); }
+  const SemanticCache& shard(std::size_t i) const { return *shards_.at(i); }
+
+  // Aggregated counters across shards.
+  CacheCounters TotalCounters() const;
+  std::size_t TotalSize() const;
+  double TotalUsageTokens() const;
+
+ private:
+  const HashedEmbedder* embedder_;
+  Tokenizer tokenizer_;
+  std::vector<std::unique_ptr<SemanticCache>> shards_;
+};
+
+}  // namespace cortex

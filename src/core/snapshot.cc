@@ -1,0 +1,149 @@
+#include "core/snapshot.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cortex {
+
+namespace {
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void WriteVector(std::ostream& out, const Vector& v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::uint32_t ReadU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::uint64_t ReadU64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+double ReadF64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::string ReadString(std::istream& in) {
+  const auto size = ReadU64(in);
+  if (size > (1ULL << 30)) {
+    throw std::runtime_error("snapshot: implausible string length");
+  }
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  return s;
+}
+Vector ReadVector(std::istream& in) {
+  const auto size = ReadU64(in);
+  if (size > (1ULL << 24)) {
+    throw std::runtime_error("snapshot: implausible vector length");
+  }
+  Vector v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(float)));
+  return v;
+}
+
+void CheckStream(const std::ios& stream, const char* what) {
+  if (!stream.good()) {
+    throw std::runtime_error(std::string("snapshot: stream failure while ") +
+                             what);
+  }
+}
+
+}  // namespace
+
+SnapshotStats SaveCacheSnapshot(const SemanticCache& cache,
+                                std::ostream& out) {
+  SnapshotStats stats;
+  WriteU32(out, kSnapshotMagic);
+  WriteU32(out, kSnapshotVersion);
+  WriteU64(out, cache.size());
+  for (const auto& [id, se] : cache.entries()) {
+    WriteString(out, se.key);
+    WriteString(out, se.value);
+    WriteVector(out, se.embedding);
+    WriteF64(out, se.staticity);
+    WriteU64(out, se.frequency);
+    WriteF64(out, se.retrieval_latency_sec);
+    WriteF64(out, se.retrieval_cost_dollars);
+    WriteF64(out, se.created_at);
+    WriteF64(out, se.last_access);
+    WriteF64(out, se.expiration_time);
+    ++stats.entries_written;
+  }
+  CheckStream(out, "writing");
+  return stats;
+}
+
+SnapshotStats LoadCacheSnapshot(SemanticCache& cache, std::istream& in,
+                                double now) {
+  SnapshotStats stats;
+  if (ReadU32(in) != kSnapshotMagic) {
+    throw std::runtime_error("snapshot: bad magic");
+  }
+  if (const auto version = ReadU32(in); version != kSnapshotVersion) {
+    throw std::runtime_error("snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto count = ReadU64(in);
+  CheckStream(in, "reading header");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SemanticElement se;
+    se.key = ReadString(in);
+    se.value = ReadString(in);
+    se.embedding = ReadVector(in);
+    se.staticity = ReadF64(in);
+    se.frequency = ReadU64(in);
+    se.retrieval_latency_sec = ReadF64(in);
+    se.retrieval_cost_dollars = ReadF64(in);
+    se.created_at = ReadF64(in);
+    se.last_access = ReadF64(in);
+    se.expiration_time = ReadF64(in);
+    CheckStream(in, "reading entry");
+    if (se.ExpiredAt(now)) {
+      ++stats.entries_expired;
+      continue;
+    }
+    if (cache.RestoreElement(std::move(se), now)) {
+      ++stats.entries_restored;
+    } else {
+      ++stats.entries_rejected;
+    }
+  }
+  return stats;
+}
+
+SnapshotStats SaveCacheSnapshotFile(const SemanticCache& cache,
+                                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("snapshot: cannot open " + path);
+  return SaveCacheSnapshot(cache, out);
+}
+
+SnapshotStats LoadCacheSnapshotFile(SemanticCache& cache,
+                                    const std::string& path, double now) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open " + path);
+  return LoadCacheSnapshot(cache, in, now);
+}
+
+}  // namespace cortex

@@ -1,0 +1,47 @@
+// Cache snapshots: serialize a SemanticCache's full contents — keys,
+// values, embeddings, and the per-SE metadata every policy depends on — so
+// a deployment can restart warm instead of re-paying a cold cache's worth
+// of remote fetches.  TTLs are preserved as absolute times; entries whose
+// lifetime has passed by load time are dropped.
+//
+// Format: a little self-describing binary stream (magic + version, then
+// length-prefixed records).  Written and read with native endianness — a
+// node restarts on the machine class it ran on; cross-architecture
+// portability is out of scope.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/semantic_cache.h"
+
+namespace cortex {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x43524358;  // "CRCX"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct SnapshotStats {
+  std::size_t entries_written = 0;
+  std::size_t entries_restored = 0;
+  std::size_t entries_expired = 0;   // dropped at load time (TTL passed)
+  std::size_t entries_rejected = 0;  // did not fit the target's capacity
+};
+
+// Writes every resident SE.  Returns stats; throws std::runtime_error on a
+// stream failure.
+SnapshotStats SaveCacheSnapshot(const SemanticCache& cache, std::ostream& out);
+
+// Restores a snapshot into `cache` (which may already hold entries; keys
+// and values dedup as usual).  `now` is the load-time clock used for TTL
+// filtering.  Throws std::runtime_error on malformed input.
+SnapshotStats LoadCacheSnapshot(SemanticCache& cache, std::istream& in,
+                                double now);
+
+// File-path conveniences.
+SnapshotStats SaveCacheSnapshotFile(const SemanticCache& cache,
+                                    const std::string& path);
+SnapshotStats LoadCacheSnapshotFile(SemanticCache& cache,
+                                    const std::string& path, double now);
+
+}  // namespace cortex

@@ -1,0 +1,22 @@
+// Embedder: the interface the cache uses to turn a query string into a
+// semantic fingerprint (the paper uses Qwen3-Embedding-0.6B; Cortex ships a
+// deterministic hashed-token embedder with the same contract).
+#pragma once
+
+#include <string_view>
+
+#include "embedding/vector_ops.h"
+
+namespace cortex {
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  // Embeds the text into a unit-length vector of dimension().
+  virtual Vector Embed(std::string_view text) const = 0;
+
+  virtual std::size_t dimension() const noexcept = 0;
+};
+
+}  // namespace cortex

@@ -1,0 +1,95 @@
+#include "embedding/hashed_embedder.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace cortex {
+
+HashedEmbedder::HashedEmbedder(HashedEmbedderOptions options)
+    : options_(options) {}
+
+namespace {
+
+std::uint64_t HashString(std::string_view s, std::uint64_t seed) noexcept {
+  // FNV-1a folded through Mix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+void HashedEmbedder::AddFeature(Vector& v, std::string_view feature,
+                                double weight) const noexcept {
+  std::uint64_t h = HashString(feature, options_.hash_seed);
+  for (std::size_t k = 0; k < options_.slots_per_feature; ++k) {
+    h = Mix64(h + k + 1);
+    const std::size_t slot = h % options_.dimension;
+    const float sign = (h >> 63) ? 1.0f : -1.0f;
+    v[slot] += sign * static_cast<float>(weight);
+  }
+}
+
+void HashedEmbedder::FitIdf(std::span<const std::string> corpus) {
+  idf_.clear();
+  std::unordered_map<std::string, std::size_t> df;
+  for (const auto& text : corpus) {
+    const auto tokens = tokenizer_.Tokenize(text);
+    std::unordered_map<std::string, bool> seen;
+    for (const auto& t : tokens) {
+      if (seen.emplace(t, true).second) ++df[t];
+    }
+  }
+  if (df.empty()) return;
+  const double n = static_cast<double>(corpus.size());
+  for (const auto& [token, count] : df) {
+    idf_[token] = std::log(1.0 + n / static_cast<double>(count));
+  }
+  // Unseen tokens are treated as maximally rare.
+  default_idf_ = std::log(1.0 + n);
+}
+
+double HashedEmbedder::IdfWeight(std::string_view token) const {
+  if (idf_.empty()) return 1.0;
+  const auto it = idf_.find(std::string(token));
+  return it == idf_.end() ? default_idf_ : it->second;
+}
+
+Vector HashedEmbedder::Embed(std::string_view text) const {
+  Vector v(options_.dimension, 0.0f);
+  const auto tokens = tokenizer_.Tokenize(text);
+  if (tokens.empty()) {
+    // Degenerate input (all stopwords / punctuation): hash the raw text so
+    // identical inputs still embed identically instead of to the zero vector.
+    AddFeature(v, text, 1.0);
+    Normalize(v);
+    return v;
+  }
+
+  std::unordered_map<std::string, int> tf;
+  for (const auto& t : tokens) ++tf[t];
+  for (const auto& [token, count] : tf) {
+    double w = options_.sublinear_tf
+                   ? 1.0 + std::log(static_cast<double>(count))
+                   : static_cast<double>(count);
+    w *= IdfWeight(token);
+    AddFeature(v, token, w);
+  }
+
+  if (options_.bigram_weight > 0.0) {
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const std::string bigram = tokens[i] + '\x1f' + tokens[i + 1];
+      AddFeature(v, bigram, options_.bigram_weight);
+    }
+  }
+
+  Normalize(v);
+  return v;
+}
+
+}  // namespace cortex

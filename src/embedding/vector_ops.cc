@@ -1,0 +1,56 @@
+#include "embedding/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cortex {
+
+double Dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double L2Norm(std::span<const float> v) noexcept {
+  return std::sqrt(Dot(v, v));
+}
+
+double L2DistanceSquared(std::span<const float> a,
+                         std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double CosineSimilarity(std::span<const float> a,
+                        std::span<const float> b) noexcept {
+  const double na = L2Norm(a);
+  const double nb = L2Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void Normalize(std::span<float> v) noexcept {
+  const double n = L2Norm(v);
+  if (n == 0.0) return;
+  const auto inv = static_cast<float>(1.0 / n);
+  for (auto& x : v) x *= inv;
+}
+
+void AddInPlace(std::span<float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void ScaleInPlace(std::span<float> a, float s) noexcept {
+  for (auto& x : a) x *= s;
+}
+
+}  // namespace cortex

@@ -1,0 +1,29 @@
+// Dense vector math used by the embedder and the ANN indexes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cortex {
+
+using Vector = std::vector<float>;
+
+double Dot(std::span<const float> a, std::span<const float> b) noexcept;
+double L2Norm(std::span<const float> v) noexcept;
+double L2DistanceSquared(std::span<const float> a,
+                         std::span<const float> b) noexcept;
+
+// Cosine similarity in [-1, 1]; zero vectors compare as 0.
+double CosineSimilarity(std::span<const float> a,
+                        std::span<const float> b) noexcept;
+
+// In-place L2 normalisation; zero vectors are left untouched.
+void Normalize(std::span<float> v) noexcept;
+
+// a += b (sizes must match).
+void AddInPlace(std::span<float> a, std::span<const float> b) noexcept;
+// a *= s.
+void ScaleInPlace(std::span<float> a, float s) noexcept;
+
+}  // namespace cortex

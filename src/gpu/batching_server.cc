@@ -1,0 +1,71 @@
+#include "gpu/batching_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cortex {
+
+BatchingServer::BatchingServer(BatchingServerOptions options)
+    : options_(options) {
+  assert(options_.compute_fraction > 0.0 && options_.compute_fraction <= 1.0);
+  assert(options_.max_batch >= 1);
+}
+
+void BatchingServer::Prune(double now) noexcept {
+  completions_.erase(
+      std::remove_if(completions_.begin(), completions_.end(),
+                     [now](double t) { return t <= now; }),
+      completions_.end());
+}
+
+std::size_t BatchingServer::InFlightAt(double now) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(completions_.begin(), completions_.end(),
+                    [now](double t) { return t > now; }));
+}
+
+DispatchResult BatchingServer::Dispatch(double now, double base_service_sec) {
+  assert(base_service_sec >= 0.0);
+  Prune(now);
+
+  DispatchResult r;
+  double start = now;
+  if (completions_.size() >= options_.max_batch) {
+    // Queue until a slot frees: start at the k-th earliest completion where
+    // k = (in-flight - max_batch + 1).
+    std::vector<double> sorted = completions_;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t k = sorted.size() - options_.max_batch;
+    start = std::max(start, sorted[k]);
+    // Requests that complete before `start` no longer occupy the batch.
+    completions_.erase(
+        std::remove_if(completions_.begin(), completions_.end(),
+                       [start](double t) { return t <= start; }),
+        completions_.end());
+  }
+
+  const std::size_t occupancy = completions_.size() + 1;
+  const double slowdown =
+      1.0 + options_.slowdown_alpha * static_cast<double>(occupancy - 1);
+  const double service =
+      base_service_sec / options_.compute_fraction * slowdown;
+
+  r.start_time = start;
+  r.completion_time = start + service;
+  r.queue_delay = start - now;
+  r.batch_occupancy = occupancy;
+  completions_.push_back(r.completion_time);
+
+  // Busy-time accounting: approximate the partition as busy from start to
+  // completion for the marginal request, without double counting overlap.
+  const double busy_from = std::max(start, last_completion_);
+  if (r.completion_time > busy_from) {
+    busy_seconds_ += r.completion_time - busy_from;
+  }
+  last_completion_ = std::max(last_completion_, r.completion_time);
+  ++dispatched_;
+  queue_delays_.Add(r.queue_delay);
+  return r;
+}
+
+}  // namespace cortex

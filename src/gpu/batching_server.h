@@ -1,0 +1,61 @@
+// BatchingServer: a continuous-batching inference partition.
+//
+// Models a vLLM-style engine holding a (possibly fractional, under MPS) slice
+// of a GPU.  Up to `max_batch` requests run concurrently; each additional
+// in-flight request degrades per-request token rate slightly (decode is
+// bandwidth-bound, so batching is cheap but not free).  Requests beyond the
+// batch limit queue FIFO.  Arrival times must be non-decreasing — the
+// discrete-event simulation guarantees this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace cortex {
+
+struct BatchingServerOptions {
+  double compute_fraction = 1.0;  // MPS share of the device
+  std::size_t max_batch = 16;
+  double slowdown_alpha = 0.06;   // per-extra-request service inflation
+};
+
+struct DispatchResult {
+  double start_time = 0.0;       // when execution began (after queueing)
+  double completion_time = 0.0;  // when the request finished
+  double queue_delay = 0.0;      // start_time - arrival
+  std::size_t batch_occupancy = 0;  // in-flight count at start (incl. this)
+};
+
+class BatchingServer {
+ public:
+  explicit BatchingServer(BatchingServerOptions options = {});
+
+  // Dispatches a request arriving at `now` whose service time at an empty
+  // server and full device would be `base_service_sec`.  Returns timing.
+  DispatchResult Dispatch(double now, double base_service_sec);
+
+  // In-flight requests at time `now` (completions before `now` are dropped).
+  std::size_t InFlightAt(double now) const noexcept;
+
+  double busy_seconds() const noexcept { return busy_seconds_; }
+  std::uint64_t dispatched() const noexcept { return dispatched_; }
+  const Histogram& queue_delays() const noexcept { return queue_delays_; }
+
+  const BatchingServerOptions& options() const noexcept { return options_; }
+
+ private:
+  void Prune(double now) noexcept;
+
+  BatchingServerOptions options_;
+  // Completion times of in-flight requests, unordered (small: <= max_batch
+  // plus queued tail).
+  std::vector<double> completions_;
+  double busy_seconds_ = 0.0;
+  double last_completion_ = 0.0;
+  std::uint64_t dispatched_ = 0;
+  Histogram queue_delays_;
+};
+
+}  // namespace cortex

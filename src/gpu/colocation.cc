@@ -1,0 +1,81 @@
+#include "gpu/colocation.h"
+
+#include <algorithm>
+
+#include "llm/model_spec.h"
+
+namespace cortex {
+
+namespace {
+
+BatchingServerOptions AgentServerOptions(const DeploymentConfig& c) {
+  return {.compute_fraction = c.AgentFraction(),
+          .max_batch = c.agent_max_batch,
+          .slowdown_alpha = c.batch_slowdown_alpha};
+}
+
+BatchingServerOptions JudgerServerOptions(const DeploymentConfig& c) {
+  return {.compute_fraction = c.JudgerFraction(),
+          .max_batch = c.judger_max_batch,
+          .slowdown_alpha = c.batch_slowdown_alpha};
+}
+
+}  // namespace
+
+ColocationSimulator::ColocationSimulator(DeploymentConfig config)
+    : config_(config),
+      agent_(AgentServerOptions(config)),
+      judger_(JudgerServerOptions(config)),
+      memory_(config.agent_static_kv_gb, config.judger_static_kv_gb,
+              config.dynamic_pool_gb) {}
+
+double ColocationSimulator::RunAgentTurn(double now, std::size_t prompt_tokens,
+                                         std::size_t output_tokens) {
+  const double base =
+      InferenceSeconds(config_.agent, prompt_tokens, output_tokens, 1.0);
+  const double kv_gb =
+      KvBytes(config_.agent, prompt_tokens + output_tokens) / (1024.0 * 1024.0 * 1024.0);
+  // The agent has absolute priority: it reserves memory unconditionally
+  // (the admission controller sheds judger load, never agent load).  If the
+  // pool is truly exhausted the reservation falls through to static
+  // accounting — we still run, as vLLM would after preempting background
+  // work.
+  const bool reserved = memory_.TryReserve(PoolClient::kAgent, kv_gb);
+  const DispatchResult r = agent_.Dispatch(now, base);
+  if (reserved) memory_.Release(PoolClient::kAgent, kv_gb);
+  last_agent_completion_ = std::max(last_agent_completion_, r.completion_time);
+  return r.completion_time;
+}
+
+double ColocationSimulator::RunJudgerCall(double now,
+                                          std::size_t prompt_tokens) {
+  const double base = InferenceSeconds(config_.judger, prompt_tokens, 1, 1.0);
+  double dispatch_at = now;
+  if (config_.mode == PlacementMode::kColocated) {
+    const double kv_gb = KvBytes(config_.judger, prompt_tokens) /
+                         (1024.0 * 1024.0 * 1024.0);
+    // Priority guardrail: if this call would dip into the dynamic pool
+    // while agent work is in flight, defer it behind the agent's current
+    // batch (paper: the scheduler services Q_A exhaustively and admits Q_J
+    // only when the agent queue is empty or lacks memory pressure).
+    if (memory_.WouldUseDynamic(PoolClient::kJudger, kv_gb) &&
+        agent_.InFlightAt(now) > 0) {
+      dispatch_at = std::max(dispatch_at, last_agent_completion_);
+      ++judger_deferrals_;
+    }
+    const bool reserved = memory_.TryReserve(PoolClient::kJudger, kv_gb);
+    const DispatchResult r = judger_.Dispatch(dispatch_at, base);
+    if (reserved) memory_.Release(PoolClient::kJudger, kv_gb);
+    return r.completion_time;
+  }
+  return judger_.Dispatch(dispatch_at, base).completion_time;
+}
+
+double ColocationSimulator::RunEmbedding(double now, std::size_t tokens) {
+  // The embedder shares the judger's partition (both are the 0.6B side
+  // models); encoding is prefill-only.
+  const double base = InferenceSeconds(config_.embedder, tokens, 0, 1.0);
+  return judger_.Dispatch(now, base).completion_time;
+}
+
+}  // namespace cortex

@@ -1,0 +1,59 @@
+// ColocationSimulator: one (or two) GPUs serving the agent LLM and the
+// judger/embedder side models (paper §4.4, Fig. 6).
+//
+// Combines three mechanisms:
+//   1. static asymmetric compute partitioning (MPS): the agent and judger
+//      BatchingServers hold fixed fractions of the device;
+//   2. KV memory plan: static per-model partitions + unified dynamic pool;
+//   3. priority-aware admission: judger work is deferrable — a judger call
+//      that would need dynamic memory while agent work is in flight waits
+//      until the agent frees the device.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/batching_server.h"
+#include "gpu/gpu_spec.h"
+#include "gpu/memory_pool.h"
+
+namespace cortex {
+
+class ColocationSimulator {
+ public:
+  explicit ColocationSimulator(DeploymentConfig config = {});
+
+  // Runs an agent turn arriving at `now`; returns its completion time.
+  double RunAgentTurn(double now, std::size_t prompt_tokens,
+                      std::size_t output_tokens);
+
+  // Runs one judger validation (prefill-only, single output token).
+  double RunJudgerCall(double now, std::size_t prompt_tokens);
+
+  // Runs one embedding encode.
+  double RunEmbedding(double now, std::size_t tokens);
+
+  const DeploymentConfig& config() const noexcept { return config_; }
+  int NumGpus() const noexcept { return config_.NumGpus(); }
+
+  // GPU-seconds consumed so far across all devices (for cost accounting,
+  // billed as wall-clock x device count by callers; this is busy time).
+  double agent_busy_seconds() const noexcept { return agent_.busy_seconds(); }
+  double judger_busy_seconds() const noexcept {
+    return judger_.busy_seconds();
+  }
+  std::uint64_t judger_deferrals() const noexcept {
+    return judger_deferrals_;
+  }
+  const BatchingServer& agent_server() const noexcept { return agent_; }
+  const BatchingServer& judger_server() const noexcept { return judger_; }
+
+ private:
+  DeploymentConfig config_;
+  BatchingServer agent_;
+  BatchingServer judger_;
+  KvMemoryPool memory_;
+  std::uint64_t judger_deferrals_ = 0;
+  double last_agent_completion_ = 0.0;
+};
+
+}  // namespace cortex

@@ -1,0 +1,33 @@
+#include "gpu/gpu_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cortex {
+
+double DeploymentConfig::EffectiveShare(double share) const noexcept {
+  share = std::clamp(share, 0.01, 1.0);
+  return std::pow(share, mps_efficiency_exponent);
+}
+
+DeploymentConfig DeploymentConfig::Colocated80_20() {
+  DeploymentConfig c;
+  c.mode = PlacementMode::kColocated;
+  c.agent_compute_fraction = 0.8;
+  c.judger_compute_fraction = 0.2;
+  return c;
+}
+
+DeploymentConfig DeploymentConfig::DedicatedTwoGpu() {
+  DeploymentConfig c;
+  c.mode = PlacementMode::kDedicated;
+  return c;
+}
+
+DeploymentConfig DeploymentConfig::AgentOnly() {
+  DeploymentConfig c;
+  c.mode = PlacementMode::kAgentOnly;
+  return c;
+}
+
+}  // namespace cortex

@@ -1,0 +1,56 @@
+#include "gpu/memory_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cortex {
+
+KvMemoryPool::KvMemoryPool(double agent_static_gb, double judger_static_gb,
+                           double dynamic_gb)
+    : dynamic_total_(dynamic_gb) {
+  agent_.static_total = agent_static_gb;
+  judger_.static_total = judger_static_gb;
+}
+
+bool KvMemoryPool::WouldUseDynamic(PoolClient client,
+                                   double gb) const noexcept {
+  const auto& s = State(client);
+  return s.static_used + gb > s.static_total;
+}
+
+bool KvMemoryPool::TryReserve(PoolClient client, double gb) noexcept {
+  assert(gb >= 0.0);
+  auto& s = State(client);
+  const double static_room = s.static_total - s.static_used;
+  const double from_static = std::min(gb, static_room);
+  const double from_dynamic = gb - from_static;
+  if (from_dynamic > dynamic_total_ - dynamic_used_) {
+    ++rejections_;
+    return false;
+  }
+  s.static_used += from_static;
+  s.dynamic_used += from_dynamic;
+  dynamic_used_ += from_dynamic;
+  return true;
+}
+
+void KvMemoryPool::Release(PoolClient client, double gb) noexcept {
+  auto& s = State(client);
+  // Release dynamic first (LIFO of how we acquired).
+  const double from_dynamic = std::min(gb, s.dynamic_used);
+  s.dynamic_used -= from_dynamic;
+  dynamic_used_ -= from_dynamic;
+  s.static_used = std::max(0.0, s.static_used - (gb - from_dynamic));
+}
+
+double KvMemoryPool::static_free_gb(PoolClient client) const noexcept {
+  const auto& s = State(client);
+  return s.static_total - s.static_used;
+}
+
+double KvMemoryPool::used_gb(PoolClient client) const noexcept {
+  const auto& s = State(client);
+  return s.static_used + s.dynamic_used;
+}
+
+}  // namespace cortex

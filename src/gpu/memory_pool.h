@@ -1,0 +1,57 @@
+// KvMemoryPool: the two-tier KV-cache memory plan of paper §4.4 / Fig. 6.
+//
+// Each model owns a static KV partition sized for its common case; a
+// unified dynamic pool absorbs overflow.  The priority-aware admission
+// controller grants the agent dynamic memory unconditionally, while judger
+// overflow is admitted only when the pool has headroom — judger work is
+// deferrable, agent work is latency-critical.
+#pragma once
+
+#include <cstdint>
+
+namespace cortex {
+
+enum class PoolClient { kAgent, kJudger };
+
+class KvMemoryPool {
+ public:
+  KvMemoryPool(double agent_static_gb, double judger_static_gb,
+               double dynamic_gb);
+
+  // Attempts to reserve `gb` for the client.  Static partition first, then
+  // the dynamic pool.  Returns false (reserving nothing) if neither fits.
+  bool TryReserve(PoolClient client, double gb) noexcept;
+  // Releases a previous reservation of exactly `gb`.
+  void Release(PoolClient client, double gb) noexcept;
+
+  // Would a reservation of `gb` need to dip into the dynamic pool?
+  bool WouldUseDynamic(PoolClient client, double gb) const noexcept;
+  double dynamic_free_gb() const noexcept {
+    return dynamic_total_ - dynamic_used_;
+  }
+  double static_free_gb(PoolClient client) const noexcept;
+  double used_gb(PoolClient client) const noexcept;
+
+  std::uint64_t rejections() const noexcept { return rejections_; }
+
+ private:
+  struct ClientState {
+    double static_total = 0.0;
+    double static_used = 0.0;
+    double dynamic_used = 0.0;
+  };
+  ClientState& State(PoolClient c) noexcept {
+    return c == PoolClient::kAgent ? agent_ : judger_;
+  }
+  const ClientState& State(PoolClient c) const noexcept {
+    return c == PoolClient::kAgent ? agent_ : judger_;
+  }
+
+  ClientState agent_;
+  ClientState judger_;
+  double dynamic_total_;
+  double dynamic_used_ = 0.0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace cortex

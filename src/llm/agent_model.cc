@@ -1,0 +1,57 @@
+#include "llm/agent_model.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace cortex {
+
+AgentSession::AgentSession(AgentTask task) : task_(std::move(task)) {
+  context_tokens_ = ApproxTokenCount(task_.description);
+}
+
+AgentModel::AgentModel(ModelSpec spec) : spec_(std::move(spec)) {}
+
+AgentTurn AgentModel::Next(AgentSession& session,
+                           std::optional<std::string> info) const {
+  assert(!session.finished_);
+  if (session.step_ == 0) {
+    assert(!info.has_value());
+  } else {
+    assert(info.has_value());
+    // The observation joins the context (the agent "reads" it).
+    session.observations_.push_back(*info);
+    const std::string wrapped = WrapTag(TagKind::kInfo, *info);
+    session.context_tokens_ += ApproxTokenCount(wrapped);
+  }
+
+  AgentTurn turn;
+  turn.prompt_tokens = session.context_tokens_;
+
+  if (session.step_ < session.task_.steps.size()) {
+    const ToolStep& step = session.task_.steps[session.step_];
+    turn.text = WrapTag(TagKind::kThink, step.think) +
+                WrapTag(TagKind::kSearch, step.query);
+    turn.tool_query = step.query;
+  } else {
+    turn.text = WrapTag(TagKind::kThink, session.task_.final_think) +
+                WrapTag(TagKind::kAnswer, session.task_.final_answer);
+    turn.answer = session.task_.final_answer;
+    session.finished_ = true;
+  }
+  turn.output_tokens = ApproxTokenCount(turn.text);
+  session.context_tokens_ += turn.output_tokens;
+  ++session.step_;
+  return turn;
+}
+
+bool AnswerIsCorrect(const AgentTask& task, bool all_observations_correct) {
+  if (!all_observations_correct) return false;
+  // Deterministic Bernoulli(base_correctness) draw keyed on the task id.
+  const double u =
+      static_cast<double>(Mix64(task.id ^ 0xa5a5a5a5deadbeefULL) >> 11) *
+      0x1.0p-53;
+  return u < task.base_correctness;
+}
+
+}  // namespace cortex

@@ -1,0 +1,100 @@
+// AgentModel: a deterministic simulation of an agentic LLM's
+// think->act->observe loop (paper §2.1, Fig. 1).
+//
+// The workload layer scripts *what* the agent asks (the tool queries and
+// the information it needs); this model supplies the serving-side
+// behaviour: tagged text output, context growth, token counts, and — via
+// ModelSpec — inference latency.  The cache under test only ever sees the
+// tagged output stream, exactly as it would with a real model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/model_spec.h"
+#include "llm/tags.h"
+
+namespace cortex {
+
+// One scripted tool interaction within a task.
+struct ToolStep {
+  std::string think;          // reasoning text emitted before the call
+  std::string query;          // the tool-call query text
+  std::string expected_info;  // ground-truth retrieval result for the query
+};
+
+// A complete agent task (one user request end-to-end).
+struct AgentTask {
+  std::uint64_t id = 0;
+  std::string description;        // the user prompt
+  std::vector<ToolStep> steps;    // remote interactions, in order
+  std::string final_think;
+  std::string final_answer;
+  // Probability the agent produces the right answer when every observation
+  // it received was correct (agents are imperfect even with good data —
+  // this is why the paper's vanilla EM is ~0.79, not 1.0).
+  double base_correctness = 0.78;
+};
+
+// One model "turn": everything generated between two tool observations.
+struct AgentTurn {
+  std::string text;                       // full tagged output
+  std::optional<std::string> tool_query;  // set unless this is the final turn
+  std::optional<std::string> answer;      // set on the final turn
+  std::size_t prompt_tokens = 0;          // context consumed by this turn
+  std::size_t output_tokens = 0;          // tokens generated this turn
+};
+
+// Mutable per-task state held by the serving loop.
+class AgentSession {
+ public:
+  explicit AgentSession(AgentTask task);
+
+  const AgentTask& task() const noexcept { return task_; }
+  std::size_t step_index() const noexcept { return step_; }
+  std::size_t context_tokens() const noexcept { return context_tokens_; }
+  bool finished() const noexcept { return finished_; }
+  const std::vector<std::string>& observations() const noexcept {
+    return observations_;
+  }
+
+ private:
+  friend class AgentModel;
+  AgentTask task_;
+  std::size_t step_ = 0;
+  std::size_t context_tokens_ = 0;
+  std::vector<std::string> observations_;
+  bool finished_ = false;
+};
+
+class AgentModel {
+ public:
+  explicit AgentModel(ModelSpec spec = ModelSpec::Agent7B());
+
+  const ModelSpec& spec() const noexcept { return spec_; }
+
+  // Produces the next turn.  `info` must be nullopt on the first call and
+  // the observation for the previous tool call afterwards.  Calling after
+  // the session finished is a logic error (asserts).
+  AgentTurn Next(AgentSession& session,
+                 std::optional<std::string> info = std::nullopt) const;
+
+  // Inference latency of a turn at the given GPU compute share.
+  double TurnSeconds(const AgentTurn& turn,
+                     double compute_fraction = 1.0) const noexcept {
+    return InferenceSeconds(spec_, turn.prompt_tokens, turn.output_tokens,
+                            compute_fraction);
+  }
+
+ private:
+  ModelSpec spec_;
+};
+
+// Whether the finished task's answer counts as an exact match, given
+// whether every observation served to the agent was semantically correct.
+// Deterministic in the task id so runs are reproducible.
+bool AnswerIsCorrect(const AgentTask& task, bool all_observations_correct);
+
+}  // namespace cortex

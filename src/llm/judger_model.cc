@@ -1,0 +1,109 @@
+#include "llm/judger_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "llm/tags.h"
+#include "util/rng.h"
+
+namespace cortex {
+
+namespace {
+
+std::uint64_t HashText(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Deterministic standard-normal-ish value derived from a hash: sum of four
+// uniforms (Irwin-Hall), centred and scaled — adequate tails for evidence
+// noise and fully reproducible.
+double HashNormal(std::uint64_t h) noexcept {
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h = Mix64(h + 0x9e3779b97f4a7c15ULL);
+    acc += static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+  return (acc - 2.0) * std::sqrt(3.0);  // variance of sum of 4 U(0,1) = 1/3
+}
+
+double Sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+JudgerModel::JudgerModel(const EquivalenceOracle* oracle,
+                         JudgerOptions options, ModelSpec spec)
+    : oracle_(oracle), options_(options), spec_(std::move(spec)) {
+  assert(oracle != nullptr);
+}
+
+double JudgerModel::NoiseFor(std::string_view a, std::string_view b,
+                             std::uint64_t salt) const noexcept {
+  const std::uint64_t h =
+      Mix64(HashText(a) ^ Mix64(HashText(b)) ^ options_.seed ^ salt);
+  return HashNormal(h);
+}
+
+double JudgerModel::Judge(const JudgeRequest& request) const {
+  const bool equivalent =
+      oracle_->Equivalent(request.query, request.cached_query);
+  double evidence =
+      equivalent ? options_.mu_equivalent : options_.mu_different;
+  // Auxiliary signals a real judger would pick up from the prompt: vector
+  // proximity and lexical overlap, centred so they shift rather than
+  // dominate.
+  evidence += options_.embedding_weight *
+              (request.embedding_similarity - options_.embedding_center) *
+              options_.embedding_scale;
+  evidence += options_.lexical_weight *
+              (tokenizer_.LexicalOverlap(request.query, request.cached_query) -
+               0.5);
+  evidence +=
+      options_.noise_sigma * NoiseFor(request.query, request.cached_query, 1);
+  return Sigmoid(evidence);
+}
+
+double JudgerModel::ScoreStaticity(std::string_view query,
+                                   std::string_view result) const {
+  const double truth = oracle_->Staticity(query);
+  const double noisy = truth + 1.2 * NoiseFor(query, result, 2);
+  return std::clamp(noisy, 1.0, 10.0);
+}
+
+JudgerModel::FinetuneReport JudgerModel::Finetune(std::size_t num_examples) {
+  FinetuneReport report;
+  if (num_examples >= kMinFinetuneExamples) {
+    report.examples_used = num_examples;
+    // Diminishing returns in the example count; hard bounds keep the
+    // simulated model from becoming an impossible perfect classifier.
+    const double strength =
+        std::log2(static_cast<double>(num_examples) /
+                  static_cast<double>(kMinFinetuneExamples) + 1.0);
+    options_.mu_equivalent =
+        std::min(kMaxMuEquivalent, options_.mu_equivalent + 0.15 * strength);
+    options_.mu_different =
+        std::max(kMinMuDifferent, options_.mu_different - 0.15 * strength);
+    options_.noise_sigma =
+        std::max(kMinNoiseSigma, options_.noise_sigma - 0.05 * strength);
+  }
+  report.mu_equivalent_after = options_.mu_equivalent;
+  report.mu_different_after = options_.mu_different;
+  report.noise_sigma_after = options_.noise_sigma;
+  return report;
+}
+
+double JudgerModel::JudgeSeconds(const JudgeRequest& request,
+                                 double compute_fraction) const noexcept {
+  const std::size_t prompt_tokens =
+      ApproxTokenCount(request.query) + ApproxTokenCount(request.cached_query) +
+      ApproxTokenCount(request.cached_result) + 32 /* instruction template */;
+  // Classification: a single generated token.
+  return InferenceSeconds(spec_, prompt_tokens, 1, compute_fraction);
+}
+
+}  // namespace cortex

@@ -1,0 +1,72 @@
+#include "llm/model_spec.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cortex {
+
+ModelSpec ModelSpec::Agent7B() {
+  ModelSpec s;
+  s.name = "search-r1-7b";
+  s.params_billions = 7.0;
+  s.prefill_tokens_per_sec = 16000.0;
+  s.decode_tokens_per_sec = 220.0;
+  s.kv_bytes_per_token = 160.0 * 1024.0;
+  return s;
+}
+
+ModelSpec ModelSpec::Coder8B() {
+  ModelSpec s;
+  s.name = "qwen3-8b";
+  s.params_billions = 8.0;
+  s.prefill_tokens_per_sec = 14000.0;
+  s.decode_tokens_per_sec = 190.0;
+  s.kv_bytes_per_token = 176.0 * 1024.0;
+  return s;
+}
+
+ModelSpec ModelSpec::Judger06B() {
+  ModelSpec s;
+  s.name = "qwen3-0.6b-judger";
+  s.params_billions = 0.6;
+  // Small model: much faster prefill; it generates a single token
+  // (classification), so decode rate barely matters.
+  s.prefill_tokens_per_sec = 90000.0;
+  s.decode_tokens_per_sec = 900.0;
+  s.kv_bytes_per_token = 24.0 * 1024.0;
+  s.fixed_overhead_sec = 0.002;
+  return s;
+}
+
+ModelSpec ModelSpec::Embedder06B() {
+  ModelSpec s;
+  s.name = "qwen3-0.6b-embedding";
+  s.params_billions = 0.6;
+  s.prefill_tokens_per_sec = 110000.0;
+  s.decode_tokens_per_sec = 0.0;  // encoder-style: no decoding
+  s.kv_bytes_per_token = 0.0;
+  s.fixed_overhead_sec = 0.001;
+  return s;
+}
+
+double InferenceSeconds(const ModelSpec& spec, std::size_t prompt_tokens,
+                        std::size_t output_tokens,
+                        double compute_fraction) noexcept {
+  assert(compute_fraction > 0.0 && compute_fraction <= 1.0);
+  double t = spec.fixed_overhead_sec;
+  if (prompt_tokens > 0 && spec.prefill_tokens_per_sec > 0.0) {
+    t += static_cast<double>(prompt_tokens) /
+         (spec.prefill_tokens_per_sec * compute_fraction);
+  }
+  if (output_tokens > 0 && spec.decode_tokens_per_sec > 0.0) {
+    t += static_cast<double>(output_tokens) /
+         (spec.decode_tokens_per_sec * compute_fraction);
+  }
+  return t;
+}
+
+double KvBytes(const ModelSpec& spec, std::size_t context_tokens) noexcept {
+  return spec.kv_bytes_per_token * static_cast<double>(context_tokens);
+}
+
+}  // namespace cortex

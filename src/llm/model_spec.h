@@ -1,0 +1,42 @@
+// Performance specifications of the simulated models.
+//
+// We model an LLM's serving behaviour with three numbers: prefill rate
+// (prompt tokens/s), decode rate (generated tokens/s), and KV-cache bytes
+// per resident token.  Defaults approximate the paper's setup: a 7B agent
+// and a 0.6B judger/embedder on one H100 (§6.1); the agent's ~0.6 s
+// per-request inference (Fig. 11) emerges from these rates and the token
+// counts the workload generates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cortex {
+
+struct ModelSpec {
+  std::string name;
+  double params_billions = 7.0;
+  // Tokens per second at 100% of the GPU.
+  double prefill_tokens_per_sec = 16000.0;
+  double decode_tokens_per_sec = 220.0;
+  // KV-cache footprint per token of context (bytes).
+  double kv_bytes_per_token = 160.0 * 1024.0;
+  // Fixed per-request overhead (scheduling, tokenisation), seconds.
+  double fixed_overhead_sec = 0.004;
+
+  static ModelSpec Agent7B();    // Search-R1-7B-like
+  static ModelSpec Coder8B();    // Qwen3-8B-like
+  static ModelSpec Judger06B();  // Qwen3-0.6B judger/staticity scorer
+  static ModelSpec Embedder06B();
+};
+
+// Service time for one inference call given the share of GPU compute the
+// model currently holds (compute_fraction in (0, 1]).
+double InferenceSeconds(const ModelSpec& spec, std::size_t prompt_tokens,
+                        std::size_t output_tokens,
+                        double compute_fraction = 1.0) noexcept;
+
+// KV-cache bytes needed to hold a request's context resident.
+double KvBytes(const ModelSpec& spec, std::size_t context_tokens) noexcept;
+
+}  // namespace cortex

@@ -1,0 +1,128 @@
+#include "llm/tags.h"
+
+#include <array>
+#include <cctype>
+
+namespace cortex {
+
+namespace {
+
+struct TagSpec {
+  TagKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<TagSpec, 5> kTags = {{
+    {TagKind::kThink, "think"},
+    {TagKind::kSearch, "search"},
+    {TagKind::kTool, "tool"},
+    {TagKind::kInfo, "info"},
+    {TagKind::kAnswer, "answer"},
+}};
+
+std::optional<TagKind> KindFor(std::string_view name) {
+  for (const auto& spec : kTags) {
+    if (spec.name == name) return spec.kind;
+  }
+  return std::nullopt;
+}
+
+void PushText(std::vector<TaggedSegment>& out, std::string_view text) {
+  // Skip pure-whitespace glue between tags.
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return;
+  const auto last = text.find_last_not_of(" \t\r\n");
+  out.push_back({TagKind::kText, std::string(text.substr(first, last - first + 1))});
+}
+
+}  // namespace
+
+std::string_view TagName(TagKind kind) noexcept {
+  for (const auto& spec : kTags) {
+    if (spec.kind == kind) return spec.name;
+  }
+  return "text";
+}
+
+std::vector<TaggedSegment> ParseTagged(std::string_view text) {
+  std::vector<TaggedSegment> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto open = text.find('<', pos);
+    if (open == std::string_view::npos) {
+      PushText(out, text.substr(pos));
+      break;
+    }
+    const auto close = text.find('>', open + 1);
+    if (close == std::string_view::npos) {
+      PushText(out, text.substr(pos));
+      break;
+    }
+    const std::string_view name = text.substr(open + 1, close - open - 1);
+    const auto kind = KindFor(name);
+    if (!kind) {
+      // Not one of ours: emit up to and including '<' as text and move on.
+      PushText(out, text.substr(pos, close + 1 - pos));
+      pos = close + 1;
+      continue;
+    }
+    PushText(out, text.substr(pos, open - pos));
+    const std::string closing = "</" + std::string(name) + ">";
+    const auto end = text.find(closing, close + 1);
+    if (end == std::string_view::npos) {
+      // Unterminated tag: content runs to end of input.
+      out.push_back({*kind, std::string(text.substr(close + 1))});
+      pos = text.size();
+    } else {
+      out.push_back({*kind, std::string(text.substr(close + 1, end - close - 1))});
+      pos = end + closing.size();
+    }
+  }
+  return out;
+}
+
+std::string WrapTag(TagKind kind, std::string_view content) {
+  const auto name = TagName(kind);
+  std::string out;
+  out.reserve(content.size() + 2 * name.size() + 5);
+  out.push_back('<');
+  out.append(name);
+  out.push_back('>');
+  out.append(content);
+  out.append("</");
+  out.append(name);
+  out.push_back('>');
+  return out;
+}
+
+std::optional<TaggedSegment> FirstToolCall(
+    const std::vector<TaggedSegment>& segments) {
+  for (const auto& seg : segments) {
+    if (seg.kind == TagKind::kSearch || seg.kind == TagKind::kTool) {
+      return seg;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FinalAnswer(
+    const std::vector<TaggedSegment>& segments) {
+  for (const auto& seg : segments) {
+    if (seg.kind == TagKind::kAnswer) return seg.content;
+  }
+  return std::nullopt;
+}
+
+std::size_t ApproxTokenCount(std::string_view text) noexcept {
+  std::size_t words = 0;
+  bool in_word = false;
+  for (char c : text) {
+    const bool space = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (!space && !in_word) ++words;
+    in_word = !space;
+  }
+  if (words == 0) return text.empty() ? 0 : 1;
+  return (words * 4 + 2) / 3;
+}
+
+}  // namespace cortex

@@ -1,0 +1,55 @@
+// Tagged agent-output parsing (paper §2.1/§4.1).
+//
+// Agentic LLMs wrap each step in tags: <think>...</think> for reasoning,
+// <search>/<tool>...</> for tool calls, <info>...</info> for observations,
+// <answer>...</answer> for the final answer.  Cortex's data client parses
+// these blocks to lift (query -> result) pairs into Semantic Elements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cortex {
+
+enum class TagKind {
+  kThink,
+  kSearch,   // search tool call
+  kTool,     // generic tool call
+  kInfo,     // retrieved observation
+  kAnswer,   // final answer
+  kText,     // untagged text between blocks
+};
+
+std::string_view TagName(TagKind kind) noexcept;
+
+struct TaggedSegment {
+  TagKind kind = TagKind::kText;
+  std::string content;
+
+  friend bool operator==(const TaggedSegment&, const TaggedSegment&) = default;
+};
+
+// Parses a model output string into ordered segments.  Unknown tags and
+// text outside tags become kText segments; unterminated tags run to the end
+// of input (matching how agent frameworks tolerate truncated generations).
+std::vector<TaggedSegment> ParseTagged(std::string_view text);
+
+// Wraps content in the tag for the kind, e.g. "<search>q</search>".
+std::string WrapTag(TagKind kind, std::string_view content);
+
+// First tool-call segment (kSearch or kTool) in the parse, if any.
+std::optional<TaggedSegment> FirstToolCall(
+    const std::vector<TaggedSegment>& segments);
+
+// First answer segment, if any.
+std::optional<std::string> FinalAnswer(
+    const std::vector<TaggedSegment>& segments);
+
+// Rough token count used by the latency models: whitespace-delimited words
+// scaled by 4/3 (the usual words->BPE-tokens rule of thumb), minimum 1 for
+// non-empty text.
+std::size_t ApproxTokenCount(std::string_view text) noexcept;
+
+}  // namespace cortex

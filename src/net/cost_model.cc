@@ -1,0 +1,17 @@
+#include "net/cost_model.h"
+
+namespace cortex {
+
+std::vector<ApiPricing> StandardApiPricing() {
+  return {
+      {"Google", "Search API", 5.0},
+      {"OpenAI", "Web Search Preview", 25.0},
+      {"OpenAI", "Web Search", 10.0},
+  };
+}
+
+ApiPricing GoogleSearchPricing() { return {"Google", "Search API", 5.0}; }
+
+ApiPricing SelfHostedPricing() { return {"Self-hosted", "RAG", 0.0}; }
+
+}  // namespace cortex

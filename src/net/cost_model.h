@@ -1,0 +1,61 @@
+// Monetary cost accounting (paper Table 1, §2.2, §6.5).
+//
+// Two cost streams: per-call remote-API fees and GPU-hours.  The bench
+// harnesses use this to regenerate Table 1 (price list), the §2.2 headline
+// arithmetic, and Table 5 (cost/performance across configurations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cortex {
+
+struct ApiPricing {
+  std::string provider;
+  std::string operation;
+  double dollars_per_1k_calls = 0.0;
+
+  double PerCall() const noexcept { return dollars_per_1k_calls / 1000.0; }
+};
+
+// The paper's Table 1 price list.
+std::vector<ApiPricing> StandardApiPricing();
+
+// Google Search API: $5 per 1k requests.
+ApiPricing GoogleSearchPricing();
+// Self-hosted RAG service: no per-call fee (GPU cost is tracked separately).
+ApiPricing SelfHostedPricing();
+
+// H100 rental, $1.49/hour (paper §2.2, Hyperbolic pricing).
+inline constexpr double kGpuDollarsPerHour = 1.49;
+
+class CostTracker {
+ public:
+  void AddApiCall(const ApiPricing& pricing, std::uint64_t calls = 1) {
+    api_calls_ += calls;
+    api_dollars_ += pricing.PerCall() * static_cast<double>(calls);
+  }
+  void AddGpuSeconds(double seconds, double num_gpus = 1.0) {
+    gpu_seconds_ += seconds * num_gpus;
+  }
+
+  std::uint64_t api_calls() const noexcept { return api_calls_; }
+  double api_dollars() const noexcept { return api_dollars_; }
+  double gpu_seconds() const noexcept { return gpu_seconds_; }
+  double gpu_dollars() const noexcept {
+    return gpu_seconds_ / 3600.0 * kGpuDollarsPerHour;
+  }
+  double total_dollars() const noexcept {
+    return api_dollars() + gpu_dollars();
+  }
+
+  void Reset() { *this = CostTracker{}; }
+
+ private:
+  std::uint64_t api_calls_ = 0;
+  double api_dollars_ = 0.0;
+  double gpu_seconds_ = 0.0;
+};
+
+}  // namespace cortex

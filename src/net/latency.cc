@@ -1,0 +1,47 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cortex {
+
+double LatencyDistribution::Sample(Rng& rng) const noexcept {
+  const double tail = rng.LogNormal(params_.lognorm_mu, params_.lognorm_sigma);
+  return std::clamp(params_.base_sec + tail, params_.min_sec, params_.max_sec);
+}
+
+double LatencyDistribution::mean_estimate() const noexcept {
+  // E[lognormal] = exp(mu + sigma^2/2); clamping ignored (small effect).
+  return params_.base_sec +
+         std::exp(params_.lognorm_mu +
+                  params_.lognorm_sigma * params_.lognorm_sigma / 2.0);
+}
+
+LatencyDistribution LatencyDistribution::CrossRegionSearchApi() {
+  // base 0.30 s + lognormal tail with median ~85 ms -> mean ~0.40 s,
+  // p99 ~0.55 s: the paper's 300-500 ms band.
+  return LatencyDistribution({.base_sec = 0.30,
+                              .lognorm_mu = -2.46,
+                              .lognorm_sigma = 0.55,
+                              .min_sec = 0.30,
+                              .max_sec = 2.0});
+}
+
+LatencyDistribution LatencyDistribution::SelfHostedRag() {
+  // Tight 300 ms average round trip.
+  return LatencyDistribution({.base_sec = 0.27,
+                              .lognorm_mu = -3.6,
+                              .lognorm_sigma = 0.4,
+                              .min_sec = 0.25,
+                              .max_sec = 1.0});
+}
+
+LatencyDistribution LatencyDistribution::LocalService() {
+  return LatencyDistribution({.base_sec = 0.004,
+                              .lognorm_mu = -7.0,
+                              .lognorm_sigma = 0.5,
+                              .min_sec = 0.002,
+                              .max_sec = 0.05});
+}
+
+}  // namespace cortex

@@ -1,0 +1,39 @@
+// Wide-area latency models for the remote data services (paper §2.2/§6.1:
+// cross-region tool calls cost 300-500 ms end-to-end; the self-hosted RAG
+// backend averages 300 ms).
+#pragma once
+
+#include "util/rng.h"
+
+namespace cortex {
+
+// A shifted log-normal: base one-way floor plus a heavy-ish tail, clamped
+// to [min, max].  Parameterised to match published inter-region RTT shapes.
+class LatencyDistribution {
+ public:
+  struct Params {
+    double base_sec = 0.25;    // propagation + service floor
+    double lognorm_mu = -3.0;  // tail component: exp(mu) ~ median extra
+    double lognorm_sigma = 0.6;
+    double min_sec = 0.05;
+    double max_sec = 5.0;
+  };
+
+  explicit LatencyDistribution(Params params) : params_(params) {}
+
+  double Sample(Rng& rng) const noexcept;
+  double mean_estimate() const noexcept;
+  const Params& params() const noexcept { return params_; }
+
+  // Google Cloud Search API from another region: 300-500 ms typical.
+  static LatencyDistribution CrossRegionSearchApi();
+  // Self-deployed FAISS RAG service, ~300 ms average round trip.
+  static LatencyDistribution SelfHostedRag();
+  // Same-region/local service for ablations (~5 ms).
+  static LatencyDistribution LocalService();
+
+ private:
+  Params params_;
+};
+
+}  // namespace cortex

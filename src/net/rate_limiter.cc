@@ -1,0 +1,47 @@
+#include "net/rate_limiter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cortex {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
+  assert(rate_per_sec > 0.0 && burst >= 1.0);
+}
+
+void TokenBucket::Refill(double now) noexcept {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryAcquire(double now) noexcept {
+  Refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++accepted_;
+    return true;
+  }
+  ++rejected_;
+  return false;
+}
+
+double TokenBucket::NextAvailable(double now) const noexcept {
+  // Compute without mutating: tokens after refill at `now`.
+  const double tokens =
+      std::min(burst_, tokens_ + std::max(0.0, now - last_refill_) * rate_);
+  if (tokens >= 1.0) return now;
+  return now + (1.0 - tokens) / rate_;
+}
+
+double TokenBucket::TokensAt(double now) const noexcept {
+  return std::min(burst_, tokens_ + std::max(0.0, now - last_refill_) * rate_);
+}
+
+TokenBucket UnlimitedBucket() {
+  return TokenBucket(std::numeric_limits<double>::max() / 4.0, 1e9);
+}
+
+}  // namespace cortex

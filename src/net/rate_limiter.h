@@ -1,0 +1,47 @@
+// Token-bucket rate limiter modelling commercial API quotas (paper §2.2:
+// Google Cloud Search caps at 100 queries/minute and throttles beyond it).
+// Operates on simulation time passed in by the caller.
+#pragma once
+
+#include <cstdint>
+
+namespace cortex {
+
+class TokenBucket {
+ public:
+  // rate: sustained tokens per second; burst: bucket capacity.
+  TokenBucket(double rate_per_sec, double burst);
+
+  // Attempts to take one token at time `now` (seconds).  Returns true and
+  // consumes a token on success.  `now` must be monotonically non-decreasing
+  // across calls.
+  bool TryAcquire(double now) noexcept;
+
+  // Earliest time >= now at which a token would be available (does not
+  // consume).  Equals `now` if one is available immediately.
+  double NextAvailable(double now) const noexcept;
+
+  // Current token count after refilling to `now` (observational).
+  double TokensAt(double now) const noexcept;
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+  std::uint64_t accepted() const noexcept { return accepted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  void Refill(double now) noexcept;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+// An "unlimited" limiter for services without quotas.
+TokenBucket UnlimitedBucket();
+
+}  // namespace cortex

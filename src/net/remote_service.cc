@@ -1,0 +1,92 @@
+#include "net/remote_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cortex {
+
+double RetryPolicy::BackoffSeconds(std::size_t attempt,
+                                   Rng& rng) const noexcept {
+  // attempt is 1-based: backoff after the attempt-th failure.
+  const double base =
+      std::min(initial_backoff_sec *
+                   std::pow(backoff_multiplier,
+                            static_cast<double>(attempt > 0 ? attempt - 1 : 0)),
+               max_backoff_sec);
+  const double jitter = base * jitter_fraction;
+  return std::max(0.0, base + rng.Uniform(-jitter, jitter));
+}
+
+RemoteDataService::RemoteDataService(RemoteServiceOptions options)
+    : options_(options),
+      bucket_(options.rate_limit_per_min > 0.0
+                  ? TokenBucket(options.rate_limit_per_min / 60.0,
+                                options.burst)
+                  : UnlimitedBucket()),
+      limiter_enabled_(options.rate_limit_per_min > 0.0),
+      rng_(options.seed) {}
+
+FetchResult RemoteDataService::Fetch(double now, std::string_view /*query*/,
+                                     std::string ground_truth_info,
+                                     double cost_scale,
+                                     double latency_scale) {
+  FetchResult result;
+  result.start_time = now;
+  double t = now;
+  for (std::size_t attempt = 1; attempt <= options_.retry.max_attempts;
+       ++attempt) {
+    result.attempts = attempt;
+    ++total_calls_;
+    if (bucket_.TryAcquire(t)) {
+      // Only admitted requests are billed; throttled 429s are free.
+      result.cost_dollars += options_.pricing.PerCall() * cost_scale;
+      t += options_.latency.Sample(rng_) * latency_scale;
+      if (rng_.Bernoulli(options_.transient_failure_probability)) {
+        // Injected 5xx: the round trip was paid, the response is useless;
+        // back off and retry like any other transient error.
+        ++total_transient_failures_;
+        ++total_retries_;
+        t += options_.retry.BackoffSeconds(attempt, rng_);
+        continue;
+      }
+      result.completion_time = t;
+      result.success = true;
+      result.info = std::move(ground_truth_info);
+      break;
+    }
+    // Throttled: fast 429, then back off before retrying.
+    ++total_retries_;
+    t += options_.rejection_rtt_sec +
+         options_.retry.BackoffSeconds(attempt, rng_);
+  }
+  if (!result.success) {
+    result.completion_time = t;
+  }
+  result.retries = result.attempts - 1;
+  total_cost_ += result.cost_dollars;
+  return result;
+}
+
+void RemoteDataService::ResetCounters() noexcept {
+  total_calls_ = 0;
+  total_retries_ = 0;
+  total_cost_ = 0.0;
+}
+
+RemoteServiceOptions RemoteDataService::GoogleSearchApi() {
+  RemoteServiceOptions o;
+  o.latency = LatencyDistribution::CrossRegionSearchApi();
+  o.pricing = GoogleSearchPricing();
+  o.rate_limit_per_min = 100.0;
+  return o;
+}
+
+RemoteServiceOptions RemoteDataService::SelfHostedRag(bool rate_limited) {
+  RemoteServiceOptions o;
+  o.latency = LatencyDistribution::SelfHostedRag();
+  o.pricing = SelfHostedPricing();
+  o.rate_limit_per_min = rate_limited ? 100.0 : -1.0;
+  return o;
+}
+
+}  // namespace cortex

@@ -1,0 +1,114 @@
+// RemoteDataService: the simulated cross-region knowledge source.
+//
+// Stands in for the Google Cloud Search API / self-hosted RAG backend of
+// the paper's testbed.  Composes a WAN latency distribution, a token-bucket
+// rate limiter (throttled calls fail fast and are retried with exponential
+// backoff — the paper's 25% retry ratio under load emerges from this), and
+// per-call billing.  Because the service is simulated, the *content* of a
+// response is supplied by the workload's ground truth; the service decides
+// only when the response arrives and what it costs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/cost_model.h"
+#include "net/latency.h"
+#include "net/rate_limiter.h"
+#include "util/rng.h"
+
+namespace cortex {
+
+struct RetryPolicy {
+  // Clients keep retrying under throttling (requests eventually succeed;
+  // the cost shows up as queueing latency, not failures — §6.2's note that
+  // absolute latencies exceed raw RTTs under rate limits).  The ceiling
+  // exists only to bound pathological runs.
+  std::size_t max_attempts = 256;
+  double initial_backoff_sec = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_sec = 8.0;
+  double jitter_fraction = 0.25;  // +/- uniform jitter on each backoff
+
+  double BackoffSeconds(std::size_t attempt, Rng& rng) const noexcept;
+};
+
+struct FetchResult {
+  std::string info;           // the retrieved knowledge (ground truth text)
+  double start_time = 0.0;    // when the first attempt was issued
+  double completion_time = 0; // when the final response arrived
+  std::size_t attempts = 0;   // total attempts (1 == no retries)
+  std::size_t retries = 0;    // attempts - 1, throttled or failed tries
+  bool success = false;       // false if max_attempts exhausted
+  double cost_dollars = 0.0;  // billed API fees for all attempts
+
+  double Latency() const noexcept { return completion_time - start_time; }
+};
+
+struct RemoteServiceOptions {
+  LatencyDistribution latency = LatencyDistribution::CrossRegionSearchApi();
+  ApiPricing pricing = GoogleSearchPricing();
+  // Rate limit; <= 0 disables limiting entirely.
+  double rate_limit_per_min = 100.0;
+  double burst = 10.0;
+  RetryPolicy retry;
+  // Latency of a throttled rejection (fast 429 response).
+  double rejection_rtt_sec = 0.08;
+  // Transient failure injection: probability an admitted request dies with
+  // a 5xx after the full round trip (and is retried like a throttle).
+  double transient_failure_probability = 0.0;
+  std::uint64_t seed = 99;
+};
+
+class RemoteDataService {
+ public:
+  explicit RemoteDataService(RemoteServiceOptions options = {});
+
+  // Simulates a blocking fetch starting at `now`.  `ground_truth_info` is
+  // the content this (simulated) service would return for the query.
+  // `cost_scale`/`latency_scale` model per-query heterogeneity (premium
+  // APIs, response-length-dependent service time).
+  FetchResult Fetch(double now, std::string_view query,
+                    std::string ground_truth_info, double cost_scale = 1.0,
+                    double latency_scale = 1.0);
+
+  // Running totals across all fetches.
+  std::uint64_t total_calls() const noexcept { return total_calls_; }
+  std::uint64_t total_retries() const noexcept { return total_retries_; }
+  std::uint64_t total_transient_failures() const noexcept {
+    return total_transient_failures_;
+  }
+  double total_cost_dollars() const noexcept { return total_cost_; }
+  double RetryRatio() const noexcept {
+    return total_calls_ ? static_cast<double>(total_retries_) /
+                              static_cast<double>(total_calls_)
+                        : 0.0;
+  }
+
+  bool rate_limited() const noexcept { return limiter_enabled_; }
+  // Tokens currently available in the quota bucket (infinite-ish when the
+  // limiter is disabled).  Lets clients shed optional traffic (prefetch)
+  // when quota is scarce.
+  double AvailableQuota(double now) const noexcept {
+    return bucket_.TokensAt(now);
+  }
+  const RemoteServiceOptions& options() const noexcept { return options_; }
+
+  void ResetCounters() noexcept;
+
+  // Presets mirroring the paper's two testbeds.
+  static RemoteServiceOptions GoogleSearchApi();
+  static RemoteServiceOptions SelfHostedRag(bool rate_limited = false);
+
+ private:
+  RemoteServiceOptions options_;
+  TokenBucket bucket_;
+  bool limiter_enabled_;
+  Rng rng_;
+  std::uint64_t total_calls_ = 0;
+  std::uint64_t total_retries_ = 0;
+  std::uint64_t total_transient_failures_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace cortex

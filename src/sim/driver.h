@@ -1,0 +1,61 @@
+// ServingDriver: runs agent tasks end-to-end on the simulated serving stack.
+//
+// Owns the think->act->observe loop: each task's turns execute on the
+// ColocationSimulator (GPU), each tool call is satisfied by the configured
+// ToolResolver (vanilla / exact cache / Cortex), and per-task records feed
+// RunMetrics.  Supports open-loop (Poisson or paced arrivals at a target
+// request rate — Fig. 10's x-axis) and closed-loop (fixed concurrency)
+// load generation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpu/colocation.h"
+#include "llm/agent_model.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/serving.h"
+#include "util/rng.h"
+
+namespace cortex {
+
+struct DriverOptions {
+  enum class Arrival { kOpenLoop, kClosedLoop };
+  Arrival arrival = Arrival::kOpenLoop;
+  double request_rate = 1.0;     // open loop: mean arrivals per second
+  bool poisson_arrivals = true;  // open loop: exponential vs fixed spacing
+  std::size_t concurrency = 4;   // closed loop: in-flight tasks
+  // Arrival times may also follow an explicit schedule (trend workloads);
+  // when non-empty it overrides rate/concurrency and must match task count.
+  std::vector<double> explicit_arrivals;
+  std::uint64_t seed = 2024;
+};
+
+class ServingDriver {
+ public:
+  ServingDriver(const AgentModel& agent, ColocationSimulator& gpu,
+                ToolResolver& resolver, DriverOptions options = {});
+
+  // Runs all tasks to completion; returns aggregated metrics.
+  RunMetrics Run(std::vector<AgentTask> tasks);
+
+ private:
+  struct TaskState;
+
+  void StartTask(Simulation& sim, std::shared_ptr<TaskState> state);
+  void RunTurn(Simulation& sim, std::shared_ptr<TaskState> state,
+               std::optional<std::string> info);
+  void FinishTask(Simulation& sim, std::shared_ptr<TaskState> state);
+
+  const AgentModel& agent_;
+  ColocationSimulator& gpu_;
+  ToolResolver& resolver_;
+  DriverOptions options_;
+  Rng rng_;
+
+  RunMetrics* metrics_ = nullptr;  // valid during Run()
+  std::vector<AgentTask> pending_;  // closed loop: tasks not yet started
+};
+
+}  // namespace cortex

@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cortex {
+
+void Simulation::ScheduleAt(double when, Action action) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(action)});
+}
+
+std::size_t Simulation::Run(double until) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) break;
+    // Move the action out before popping so re-entrant scheduling is safe.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace cortex

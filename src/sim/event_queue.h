@@ -1,0 +1,54 @@
+// Discrete-event simulation engine.
+//
+// All Cortex experiments run on a virtual clock: components compute service
+// times synchronously at the current simulation time, and continuations are
+// scheduled as future events.  Events at equal times run in FIFO order
+// (stable sequence numbers), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cortex {
+
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  // Schedules `action` at absolute time `when` (>= now, clamped otherwise).
+  void ScheduleAt(double when, Action action);
+  // Schedules `action` after `delay` seconds.
+  void ScheduleAfter(double delay, Action action) {
+    ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  // Runs until the queue drains or the clock passes `until` (infinity by
+  // default).  Returns the number of events executed.
+  std::size_t Run(double until = 1e300);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cortex

@@ -1,0 +1,52 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cortex {
+
+void WriteTaskRecordsCsv(const RunMetrics& metrics, std::ostream& out) {
+  out << "task_id,arrival,completion,latency,agent_s,cache_check_s,tool_s,"
+         "tool_calls,cache_hits,api_calls,retries,cost,answer_correct\n";
+  for (const auto& r : metrics.records()) {
+    out << r.task_id << ',' << r.arrival_time << ',' << r.completion_time
+        << ',' << r.Latency() << ',' << r.agent_seconds << ','
+        << r.cache_check_seconds << ',' << r.tool_seconds << ','
+        << r.tool_calls << ',' << r.cache_hits << ',' << r.api_calls << ','
+        << r.retries << ',' << r.cost_dollars << ','
+        << (r.answer_correct ? 1 : 0) << '\n';
+  }
+}
+
+void WriteTaskRecordsCsvFile(const RunMetrics& metrics,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("trace export: cannot open " + path);
+  WriteTaskRecordsCsv(metrics, out);
+}
+
+void WriteLatencyCdfCsv(const RunMetrics& metrics, std::ostream& out,
+                        std::size_t points) {
+  out << "quantile,latency_seconds\n";
+  if (points < 2) points = 2;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out << q << ',' << metrics.latency().Quantile(q) << '\n';
+  }
+}
+
+void WriteSummaryCsv(const RunMetrics& metrics, std::ostream& out,
+                     const std::string& label, bool include_header) {
+  if (include_header) {
+    out << "label,tasks,throughput,hit_rate,accuracy,mean_latency,"
+           "p99_latency,api_calls,retries,api_cost\n";
+  }
+  out << label << ',' << metrics.completed_tasks() << ','
+      << metrics.Throughput() << ',' << metrics.CacheHitRate() << ','
+      << metrics.Accuracy() << ',' << metrics.MeanLatency() << ','
+      << metrics.P99Latency() << ',' << metrics.total_api_calls() << ','
+      << metrics.total_retries() << ',' << metrics.api_dollars() << '\n';
+}
+
+}  // namespace cortex

@@ -1,0 +1,29 @@
+// Trace export: per-task records and latency distributions as CSV, so runs
+// can be analysed outside the harness (pandas, gnuplot, spreadsheets).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace cortex {
+
+// One CSV row per completed task:
+//   task_id,arrival,completion,latency,agent_s,cache_check_s,tool_s,
+//   tool_calls,cache_hits,api_calls,retries,cost,answer_correct
+void WriteTaskRecordsCsv(const RunMetrics& metrics, std::ostream& out);
+void WriteTaskRecordsCsvFile(const RunMetrics& metrics,
+                             const std::string& path);
+
+// Latency CDF at the given number of evenly spaced quantiles:
+//   quantile,latency_seconds
+void WriteLatencyCdfCsv(const RunMetrics& metrics, std::ostream& out,
+                        std::size_t points = 100);
+
+// One-line run summary (throughput, hit rate, accuracy, costs) as a
+// header+row CSV, concatenable across runs for sweep analysis.
+void WriteSummaryCsv(const RunMetrics& metrics, std::ostream& out,
+                     const std::string& label, bool include_header = true);
+
+}  // namespace cortex

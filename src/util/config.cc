@@ -1,0 +1,130 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cortex {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Config Config::FromString(std::string_view text) {
+  Config config;
+  std::string section;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    line = Trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::invalid_argument("config line " +
+                                    std::to_string(line_number) +
+                                    ": malformed section header");
+      }
+      section = std::string(Trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("config line " +
+                                  std::to_string(line_number) +
+                                  ": expected key = value");
+    }
+    const auto key = Trim(line.substr(0, eq));
+    const auto value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::invalid_argument("config line " +
+                                  std::to_string(line_number) +
+                                  ": empty key");
+    }
+    const std::string full_key =
+        section.empty() ? std::string(key) : section + "." + std::string(key);
+    config.values_[full_key] = std::string(value);
+  }
+  return config;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromString(buffer.str());
+}
+
+bool Config::Has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Config::GetString(std::string_view key,
+                              std::string default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Config::GetInt(std::string_view key,
+                            std::int64_t default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + std::string(key) +
+                                "' expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+double Config::GetDouble(std::string_view key, double default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + std::string(key) +
+                                "' expects a number, got '" + it->second +
+                                "'");
+  }
+}
+
+bool Config::GetBool(std::string_view key, bool default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("config key '" + std::string(key) +
+                              "' expects a boolean, got '" + v + "'");
+}
+
+void Config::Set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace cortex

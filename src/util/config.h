@@ -1,0 +1,48 @@
+// Minimal INI-style configuration files for the experiment driver tools.
+//
+//   # comment
+//   [workload]
+//   type = skewed
+//   tasks = 1000
+//
+// Keys are addressed as "section.key" ("key" alone for entries before any
+// section header).  Values are raw strings; typed getters parse on demand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cortex {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses config text; throws std::invalid_argument with a line number on
+  // malformed input.
+  static Config FromString(std::string_view text);
+  // Loads and parses a file; throws std::runtime_error if unreadable.
+  static Config FromFile(const std::string& path);
+
+  bool Has(std::string_view key) const;
+  std::string GetString(std::string_view key,
+                        std::string default_value = "") const;
+  std::int64_t GetInt(std::string_view key, std::int64_t default_value) const;
+  double GetDouble(std::string_view key, double default_value) const;
+  bool GetBool(std::string_view key, bool default_value) const;
+
+  // Explicit set (tools layer command-line overrides).
+  void Set(std::string key, std::string value);
+
+  // All keys, sorted (diagnostics, strict-mode validation).
+  std::vector<std::string> Keys() const;
+  std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace cortex

@@ -1,0 +1,65 @@
+#include "util/count_min.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace cortex {
+
+namespace {
+
+std::uint64_t HashItem(std::string_view s, std::uint64_t seed) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed),
+      counters_(width * depth, 0) {
+  assert(width > 0 && depth > 0);
+}
+
+std::size_t CountMinSketch::Slot(std::string_view item,
+                                 std::size_t row) const {
+  return row * width_ +
+         HashItem(item, seed_ + 0x9e3779b97f4a7c15ULL * (row + 1)) % width_;
+}
+
+void CountMinSketch::Add(std::string_view item, std::uint32_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    auto& counter = counters_[Slot(item, row)];
+    counter = counter > std::numeric_limits<std::uint32_t>::max() - count
+                  ? std::numeric_limits<std::uint32_t>::max()
+                  : counter + count;
+  }
+  additions_ += count;
+}
+
+std::uint32_t CountMinSketch::Estimate(std::string_view item) const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[Slot(item, row)]);
+  }
+  return best;
+}
+
+void CountMinSketch::Halve() {
+  for (auto& counter : counters_) counter >>= 1;
+  additions_ >>= 1;
+}
+
+void CountMinSketch::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  additions_ = 0;
+}
+
+}  // namespace cortex

@@ -1,0 +1,44 @@
+// Count-min sketch: fixed-memory approximate frequency counts with
+// one-sided error (never under-counts).  Used by the cache's admission
+// doorkeeper to estimate how often a query fingerprint has been seen
+// recently without storing the queries themselves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cortex {
+
+class CountMinSketch {
+ public:
+  // width: counters per row (error ~ total/width); depth: independent rows
+  // (failure probability ~ exp(-depth)).
+  CountMinSketch(std::size_t width = 1024, std::size_t depth = 4,
+                 std::uint64_t seed = 0xC0FFEE);
+
+  void Add(std::string_view item, std::uint32_t count = 1);
+  // Estimated count; >= the true count, never less.
+  std::uint32_t Estimate(std::string_view item) const;
+
+  // Halves every counter — the TinyLFU aging step that keeps estimates
+  // tracking the recent window instead of all of history.
+  void Halve();
+
+  std::uint64_t total_additions() const noexcept { return additions_; }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+
+  void Reset();
+
+ private:
+  std::size_t Slot(std::string_view item, std::size_t row) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> counters_;  // depth_ x width_, row-major
+  std::uint64_t additions_ = 0;
+};
+
+}  // namespace cortex

@@ -1,0 +1,76 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace cortex {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {
+      throw std::invalid_argument("bare '--' is not a valid flag");
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      if (eq == 0) throw std::invalid_argument("flag with empty name");
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) !=
+                                   "--") {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::Lookup(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Flags::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::GetString(std::string_view name,
+                             std::string default_value) const {
+  auto v = Lookup(name);
+  return v ? *v : default_value;
+}
+
+std::int64_t Flags::GetInt(std::string_view name,
+                           std::int64_t default_value) const {
+  auto v = Lookup(name);
+  if (!v) return default_value;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Flags::GetDouble(std::string_view name, double default_value) const {
+  auto v = Lookup(name);
+  if (!v) return default_value;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects a number, got '" + *v + "'");
+  }
+}
+
+bool Flags::GetBool(std::string_view name, bool default_value) const {
+  auto v = Lookup(name);
+  if (!v) return default_value;
+  return !(*v == "false" || *v == "0" || *v == "no");
+}
+
+}  // namespace cortex

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cortex {
+
+class Flags {
+ public:
+  // Parses argv; unknown positional arguments are kept in positional().
+  // Throws std::invalid_argument on malformed input (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  bool Has(std::string_view name) const;
+
+  std::string GetString(std::string_view name,
+                        std::string default_value = "") const;
+  std::int64_t GetInt(std::string_view name, std::int64_t default_value) const;
+  double GetDouble(std::string_view name, double default_value) const;
+  // A bare `--flag` counts as true; "false"/"0"/"no" are false.
+  bool GetBool(std::string_view name, bool default_value = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::optional<std::string> Lookup(std::string_view name) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cortex

@@ -1,0 +1,60 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace cortex {
+
+double Rng::Normal(double mean, double stddev) noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+std::size_t Rng::WeightedIndex(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double target = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on the last item
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : cdf_(n), skew_(s) {
+  assert(n > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const noexcept {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double ZipfSampler::Pmf(std::size_t rank) const noexcept {
+  assert(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace cortex

@@ -1,0 +1,165 @@
+// Deterministic random number generation for Cortex simulations.
+//
+// Every stochastic component in the repository draws from a seeded Rng so
+// that benches and tests are reproducible bit-for-bit across runs.  We use
+// xoshiro256** seeded via SplitMix64 (the construction recommended by the
+// xoshiro authors) rather than std::mt19937 because the standard engines do
+// not guarantee identical distribution output across library versions.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cortex {
+
+// SplitMix64: a tiny 64-bit PRNG used for seeding and hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Stateless 64-bit mix; used as a hash for feature hashing and Markov keys.
+constexpr std::uint64_t Mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality 256-bit-state generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t NextBelow(std::uint64_t n) noexcept {
+    assert(n > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool Bernoulli(double p) noexcept { return NextDouble() < p; }
+
+  // Standard normal via Marsaglia polar method.
+  double Normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) noexcept {
+    return -std::log(1.0 - NextDouble()) / rate;
+  }
+
+  // Log-normal parameterised by the mean/stddev of the underlying normal.
+  double LogNormal(double mu, double sigma) noexcept {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  // Pareto with scale x_m and shape alpha (heavy-tailed latencies).
+  double Pareto(double x_m, double alpha) noexcept {
+    return x_m / std::pow(1.0 - NextDouble(), 1.0 / alpha);
+  }
+
+  // Pick a uniformly random element index of a non-empty span.
+  template <typename T>
+  std::size_t PickIndex(std::span<const T> items) noexcept {
+    assert(!items.empty());
+    return static_cast<std::size_t>(NextBelow(items.size()));
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[NextBelow(i)]);
+    }
+  }
+
+  // Sample an index from unnormalised non-negative weights (linear scan).
+  std::size_t WeightedIndex(std::span<const double> weights) noexcept;
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+// Zipf(s) sampler over ranks {0, 1, ..., n-1} using precomputed CDF
+// inversion (exact, O(log n) per sample).  Rank 0 is the most popular item.
+class ZipfSampler {
+ public:
+  // n: universe size; s: skew exponent (the paper uses zipfian-0.99).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t Sample(Rng& rng) const noexcept;
+
+  // Probability mass of the given rank.
+  double Pmf(std::size_t rank) const noexcept;
+
+  std::size_t universe_size() const noexcept { return cdf_.size(); }
+  double skew() const noexcept { return skew_; }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.0
+  double skew_;
+};
+
+}  // namespace cortex

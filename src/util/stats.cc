@@ -1,0 +1,156 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace cortex {
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::Merge(const StreamingStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double min_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  assert(min_value > 0.0 && growth > 1.0);
+}
+
+std::size_t Histogram::BucketFor(double value) const noexcept {
+  if (value <= min_value_) return 0;
+  const double b = std::log(value / min_value_) / log_growth_;
+  return static_cast<std::size_t>(b) + 1;
+}
+
+double Histogram::BucketUpper(std::size_t bucket) const noexcept {
+  if (bucket == 0) return min_value_;
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(bucket));
+}
+
+void Histogram::Add(double value) noexcept {
+  value = std::max(value, 0.0);
+  const std::size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(min_value_ == other.min_value_ && log_growth_ == other.log_growth_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() noexcept {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << p50()
+     << " p99=" << p99() << " max=" << max();
+  return os.str();
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const auto n = static_cast<double>(a.size());
+  double sa = 0, sb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sa += a[i];
+    sb += b[i];
+  }
+  const double ma = sa / n, mb = sb / n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double LogLogSlope(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  if (lx.size() < 2) return 0.0;
+  const auto n = static_cast<double>(lx.size());
+  double sx = 0, sy = 0, sxy = 0, sxx = 0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxy += lx[i] * ly[i];
+    sxx += lx[i] * lx[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace cortex

@@ -1,0 +1,118 @@
+// Streaming statistics and latency histograms used by the simulation
+// metrics layer and the bench harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cortex {
+
+// Welford-style streaming mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void Add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  void Merge(const StreamingStats& other) noexcept;
+  void Reset() noexcept { *this = StreamingStats{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// HDR-style histogram over non-negative values with bounded relative error.
+// Buckets grow geometrically, giving ~1% resolution across nine decades;
+// percentile queries are exact to bucket resolution.
+class Histogram {
+ public:
+  // growth: per-bucket geometric growth factor (default ~1% relative error).
+  explicit Histogram(double min_value = 1e-6, double growth = 1.02);
+
+  void Add(double value) noexcept;
+  void Merge(const Histogram& other);
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  // q in [0, 1]; returns a value v such that ~q of samples are <= v.
+  double Quantile(double q) const noexcept;
+  double p50() const noexcept { return Quantile(0.50); }
+  double p90() const noexcept { return Quantile(0.90); }
+  double p99() const noexcept { return Quantile(0.99); }
+
+  void Reset() noexcept;
+
+  // One-line summary, e.g. "n=100 mean=1.2 p50=1.1 p99=3.4 max=5.0".
+  std::string Summary() const;
+
+ private:
+  std::size_t BucketFor(double value) const noexcept;
+  double BucketUpper(std::size_t bucket) const noexcept;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Ratio counter for hit rates, retry ratios, etc.
+class RatioCounter {
+ public:
+  void AddHit() noexcept { ++hits_; }
+  void AddMiss() noexcept { ++misses_; }
+  void Add(bool hit) noexcept { hit ? ++hits_ : ++misses_; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t total() const noexcept { return hits_ + misses_; }
+  double ratio() const noexcept {
+    const auto t = total();
+    return t ? static_cast<double>(hits_) / static_cast<double>(t) : 0.0;
+  }
+  void Reset() noexcept { hits_ = misses_ = 0; }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Pearson correlation of two equal-length series (used by workload
+// burst-correlation analysis for Figure 3).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+// Least-squares slope of log(y) vs log(x) — used to verify Zipf exponents.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace cortex

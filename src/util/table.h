@@ -1,0 +1,38 @@
+// Text table printing for bench binaries: each experiment harness prints
+// the paper's rows/series as an aligned ASCII table, and optionally CSV.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cortex {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+  static std::string Percent(double ratio, int precision = 1);
+
+  // Renders as an aligned ASCII table with a header separator.
+  std::string Render() const;
+  // Renders as CSV (RFC-4180-ish quoting).
+  std::string RenderCsv() const;
+
+  void Print(std::ostream& os, bool csv = false) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cortex

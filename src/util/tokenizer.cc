@@ -1,0 +1,102 @@
+#include "util/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cortex {
+
+namespace {
+
+constexpr const char* kStopwords[] = {
+    "a",    "an",   "and",  "are",   "as",    "at",    "be",   "by",
+    "did",  "do",   "does", "for",   "from",  "had",   "has",  "have",
+    "how",  "i",    "in",   "is",    "it",    "its",   "me",   "my",
+    "of",   "on",   "or",   "out",   "please", "s",    "so",   "tell",
+    "that", "the",  "their", "them", "then",  "there", "these", "they",
+    "this", "to",   "us",   "was",   "we",    "were",  "what", "when",
+    "where", "which", "who", "whom", "why",   "will",  "with", "you",
+    "your", "about", "can", "could", "would", "should",
+};
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  for (const char* w : kStopwords) stopwords_.insert(w);
+}
+
+bool Tokenizer::IsStopword(std::string_view token) const {
+  return stopwords_.contains(std::string(token));
+}
+
+std::string Tokenizer::Stem(std::string token) {
+  auto ends_with = [&](std::string_view suffix) {
+    return token.size() > suffix.size() &&
+           token.compare(token.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+  };
+  // Possessive, then plural, then verbal suffixes — so inflection stacks
+  // ("paintings" -> "painting" -> "paint") reduce to one stem.  Keep stems
+  // >= 3 chars so short words ("red") are not mangled.
+  if (ends_with("'s")) token.resize(token.size() - 2);
+  if (ends_with("ies") && token.size() > 4) {
+    token.resize(token.size() - 3);
+    token.push_back('y');
+  } else if (ends_with("es") && token.size() > 4) {
+    token.resize(token.size() - 2);
+  } else if (ends_with("s") && !ends_with("ss") && token.size() > 3) {
+    token.resize(token.size() - 1);
+  }
+  if (ends_with("ing") && token.size() > 5) {
+    token.resize(token.size() - 3);
+  } else if (ends_with("ed") && token.size() > 4) {
+    token.resize(token.size() - 2);
+  }
+  return token;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() < options_.min_token_length) {
+      current.clear();
+      return;
+    }
+    if (options_.stem) current = Stem(std::move(current));
+    if (!options_.drop_stopwords || !stopwords_.contains(current)) {
+      tokens.push_back(std::move(current));
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '\'' || c == '_') {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(uc))
+                            : c);
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return tokens;
+}
+
+double Tokenizer::LexicalOverlap(std::string_view a,
+                                 std::string_view b) const {
+  const auto ta = Tokenize(a);
+  const auto tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  std::unordered_set<std::string> sa(ta.begin(), ta.end());
+  std::unordered_set<std::string> sb(tb.begin(), tb.end());
+  std::size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.contains(t)) ++inter;
+  }
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace cortex

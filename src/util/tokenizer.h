@@ -1,0 +1,45 @@
+// Lightweight text tokenizer shared by the embedding model, the judger's
+// lexical-overlap evidence, and the workload paraphrase generator.
+//
+// The pipeline is: lowercase -> split on non-alphanumerics -> drop stopwords
+// -> suffix-strip stemming.  This mirrors what a production semantic cache
+// would do before feature hashing (GPTCache-style preprocessing).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace cortex {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool drop_stopwords = true;
+  bool stem = true;
+  std::size_t min_token_length = 1;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  // Content tokens of the text, in order (duplicates preserved).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Jaccard similarity of the two texts' token *sets* in [0, 1].
+  double LexicalOverlap(std::string_view a, std::string_view b) const;
+
+  // True if the token survives the stopword filter.
+  bool IsStopword(std::string_view token) const;
+
+  // Strip common English suffixes (plural s/es, ing, ed, 's).  Public so
+  // tests can pin the behaviour.
+  static std::string Stem(std::string token);
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace cortex

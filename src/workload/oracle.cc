@@ -1,0 +1,68 @@
+#include "workload/oracle.h"
+
+#include <cassert>
+
+namespace cortex {
+
+GroundTruthOracle::GroundTruthOracle(const TopicUniverse* universe)
+    : universe_(universe) {
+  assert(universe != nullptr);
+}
+
+void GroundTruthOracle::RegisterQuery(std::string query,
+                                      std::uint64_t topic_id) {
+  assert(topic_id < universe_->size());
+  registry_.insert_or_assign(std::move(query), topic_id);
+}
+
+std::optional<std::uint64_t> GroundTruthOracle::TopicOf(
+    std::string_view query) const {
+  const auto it = registry_.find(std::string(query));
+  if (it == registry_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string GroundTruthOracle::ExpectedInfo(std::string_view query) const {
+  const auto topic = TopicOf(query);
+  return topic ? universe_->topic(*topic).answer : std::string{};
+}
+
+bool GroundTruthOracle::InfoCorrect(std::string_view query,
+                                    std::string_view info) const {
+  const auto topic = TopicOf(query);
+  if (!topic) return false;
+  return universe_->topic(*topic).answer == info;
+}
+
+double GroundTruthOracle::FetchCostScale(std::string_view query) const {
+  const auto topic = TopicOf(query);
+  return topic ? universe_->topic(*topic).fetch_cost_scale : 1.0;
+}
+
+double GroundTruthOracle::FetchLatencyScale(std::string_view query) const {
+  const auto topic = TopicOf(query);
+  return topic ? universe_->topic(*topic).fetch_latency_scale : 1.0;
+}
+
+bool GroundTruthOracle::Equivalent(std::string_view query,
+                                   std::string_view cached_query) const {
+  const auto a = TopicOf(query);
+  const auto b = TopicOf(cached_query);
+  return a && b && *a == *b;
+}
+
+double GroundTruthOracle::Staticity(std::string_view query) const {
+  const auto topic = TopicOf(query);
+  return topic ? universe_->topic(*topic).staticity : 5.0;
+}
+
+void RegisterAllParaphrases(GroundTruthOracle& oracle,
+                            const TopicUniverse& universe) {
+  for (const auto& topic : universe.topics()) {
+    for (const auto& q : topic.paraphrases) {
+      oracle.RegisterQuery(q, topic.id);
+    }
+  }
+}
+
+}  // namespace cortex

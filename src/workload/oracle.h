@@ -1,0 +1,57 @@
+// GroundTruthOracle: the workload's knowledge of which queries mean the
+// same thing.  Implements the llm-layer EquivalenceOracle consumed by the
+// judger, and additionally serves as the simulated remote services' source
+// of truth (ExpectedInfo) and as the evaluation referee (Fig. 13's EM
+// scoring checks served results against it).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "llm/judger_model.h"
+#include "workload/topic_universe.h"
+
+namespace cortex {
+
+class GroundTruthOracle final : public EquivalenceOracle {
+ public:
+  explicit GroundTruthOracle(const TopicUniverse* universe);
+
+  // Registers a query string as asking for `topic_id`.  Workload generators
+  // register every query they emit (including prefetchable ones).
+  void RegisterQuery(std::string query, std::uint64_t topic_id);
+
+  // Topic behind a registered query; nullopt for unknown text.
+  std::optional<std::uint64_t> TopicOf(std::string_view query) const;
+
+  // Ground-truth retrieval result for the query ("" for unknown queries).
+  std::string ExpectedInfo(std::string_view query) const;
+
+  // True if `info` is the correct knowledge for `query`.
+  bool InfoCorrect(std::string_view query, std::string_view info) const;
+
+  // Retrieval cost/latency multipliers of the service behind the query's
+  // topic (1.0 for unknown queries).  The simulated remote services apply
+  // these; LCFU's cost-awareness is exercised through them.
+  double FetchCostScale(std::string_view query) const;
+  double FetchLatencyScale(std::string_view query) const;
+
+  // EquivalenceOracle interface (consumed by the JudgerModel).
+  bool Equivalent(std::string_view query,
+                  std::string_view cached_query) const override;
+  double Staticity(std::string_view query) const override;
+
+  const TopicUniverse& universe() const noexcept { return *universe_; }
+  std::size_t registered_queries() const noexcept { return registry_.size(); }
+
+ private:
+  const TopicUniverse* universe_;  // not owned; must outlive the oracle
+  std::unordered_map<std::string, std::uint64_t> registry_;
+};
+
+// Registers every paraphrase of every topic (generators call this once).
+void RegisterAllParaphrases(GroundTruthOracle& oracle,
+                            const TopicUniverse& universe);
+
+}  // namespace cortex

@@ -1,0 +1,75 @@
+#include "workload/task_factory.h"
+
+#include <cassert>
+
+namespace cortex {
+
+namespace {
+
+std::string PickParaphrase(const Topic& topic, Rng& rng) {
+  assert(!topic.paraphrases.empty());
+  return topic.paraphrases[rng.NextBelow(topic.paraphrases.size())];
+}
+
+}  // namespace
+
+AgentTask MakeSearchTask(std::uint64_t task_id, const TopicUniverse& universe,
+                         std::span<const std::uint64_t> topic_ids, Rng& rng,
+                         const TaskFactoryOptions& options) {
+  assert(!topic_ids.empty());
+  AgentTask task;
+  task.id = task_id;
+  task.base_correctness = options.base_correctness;
+  const Topic& first = universe.topic(topic_ids.front());
+  task.description =
+      "answer the user question about " + first.entity + " " + first.aspect;
+  for (std::uint64_t id : topic_ids) {
+    const Topic& t = universe.topic(id);
+    ToolStep step;
+    // Reasoning traces are verbose in practice (Search-R1 emits tens of
+    // tokens of chain-of-thought per hop); length here calibrates the
+    // agent's share of per-request latency (Fig. 11's ~0.6 s).
+    step.think = "The user is asking about " + t.entity +
+                 ". To answer I must establish the " + t.aspect + " of " +
+                 t.entity +
+                 ", which my context does not contain, so I will query the"
+                 " external search tool and integrate the result.";
+    step.query = PickParaphrase(t, rng);
+    step.expected_info = t.answer;
+    task.steps.push_back(std::move(step));
+  }
+  task.final_think =
+      "The retrieved passages are consistent and sufficient, so I can"
+      " compose the final answer without further tool calls.";
+  task.final_answer = "fact#" + std::to_string(topic_ids.back());
+  return task;
+}
+
+AgentTask MakeCodingTask(std::uint64_t task_id, const TopicUniverse& universe,
+                         std::span<const std::uint64_t> file_topic_ids,
+                         Rng& rng, const TaskFactoryOptions& options) {
+  assert(!file_topic_ids.empty());
+  AgentTask task;
+  task.id = task_id;
+  task.base_correctness = options.base_correctness;
+  task.description = "resolve issue #" + std::to_string(task_id) +
+                     " in the repository";
+  for (std::uint64_t id : file_topic_ids) {
+    const Topic& t = universe.topic(id);
+    ToolStep step;
+    step.think = "Working on this issue requires understanding " + t.entity +
+                 ": the failure most likely originates in this module, so I"
+                 " will retrieve its source and inspect the implicated"
+                 " functions before drafting a fix.";
+    step.query = PickParaphrase(t, rng);
+    step.expected_info = t.answer;
+    task.steps.push_back(std::move(step));
+  }
+  task.final_think =
+      "All relevant files are in context and the root cause is clear and"
+      " localised, so I can write the patch.";
+  task.final_answer = "patch for issue #" + std::to_string(task_id);
+  return task;
+}
+
+}  // namespace cortex

@@ -1,0 +1,30 @@
+// Builds AgentTasks (scripted think->act->observe trajectories) from topics.
+#pragma once
+
+#include <span>
+
+#include "llm/agent_model.h"
+#include "util/rng.h"
+#include "workload/topic_universe.h"
+
+namespace cortex {
+
+struct TaskFactoryOptions {
+  double base_correctness = 0.78;
+};
+
+// One task whose i-th tool step asks for topics[i], using a paraphrase
+// chosen by `rng`.  Registering the queries with the oracle is the
+// caller's responsibility (done once per universe via
+// RegisterAllParaphrases).
+AgentTask MakeSearchTask(std::uint64_t task_id, const TopicUniverse& universe,
+                         std::span<const std::uint64_t> topic_ids, Rng& rng,
+                         const TaskFactoryOptions& options = {});
+
+// A coding-agent task resolving a GitHub-style issue that needs the given
+// files (topics).  Phrasing uses file-request templates.
+AgentTask MakeCodingTask(std::uint64_t task_id, const TopicUniverse& universe,
+                         std::span<const std::uint64_t> file_topic_ids,
+                         Rng& rng, const TaskFactoryOptions& options = {});
+
+}  // namespace cortex

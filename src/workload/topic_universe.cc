@@ -1,0 +1,169 @@
+#include "workload/topic_universe.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <unordered_set>
+
+#include "llm/tags.h"
+#include "workload/vocab.h"
+
+namespace cortex {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kQualifiers = {
+    "myths", "analysis", "guide", "comparison",
+    "timeline", "breakdown", "summary", "update",
+};
+
+std::string ReplaceAll(std::string text, std::string_view what,
+                       std::string_view with) {
+  std::size_t pos = 0;
+  while ((pos = text.find(what, pos)) != std::string::npos) {
+    text.replace(pos, what.size(), with);
+    pos += with.size();
+  }
+  return text;
+}
+
+// Conversational tails built purely from stopwords: they change the query
+// string (defeating exact-match caching) without moving the embedding
+// (the tokenizer drops them) — mirroring how users decorate the same
+// question with filler.
+constexpr std::array<std::string_view, 4> kStopwordTails = {
+    "", " please", " for me", " can you",
+};
+
+std::string InstantiateTemplate(std::string_view tmpl, const Topic& t,
+                                std::string_view tail) {
+  std::string q = ReplaceAll(std::string(tmpl), "{E}", t.entity);
+  q = ReplaceAll(q, "{A}", t.aspect);
+  if (!t.qualifier.empty()) {
+    q += ' ';
+    q += t.qualifier;
+  }
+  q += tail;
+  return q;
+}
+
+}  // namespace
+
+std::string TopicUniverse::MakeAnswer(const Topic& t, Rng& rng) const {
+  // Distinct topics must yield textually distinct answers (EM scoring), so
+  // the fact id is embedded.  Padding words give realistic size variance
+  // for the LCFU size term.
+  std::string answer = "fact#" + std::to_string(t.id) + ": the " + t.aspect +
+                       " of " + t.entity;
+  if (!t.qualifier.empty()) answer += " (" + t.qualifier + ")";
+  answer += " is documented as follows.";
+  const double target =
+      std::max(12.0, rng.LogNormal(std::log(options_.mean_answer_tokens), 0.5));
+  const auto entities = EntityWords();
+  while (ApproxTokenCount(answer) < static_cast<std::size_t>(target)) {
+    answer += " see also ";
+    answer += entities[rng.NextBelow(entities.size())];
+  }
+  return answer;
+}
+
+TopicUniverse::TopicUniverse(std::vector<Topic> topics)
+    : topics_(std::move(topics)) {
+  for (std::size_t i = 0; i < topics_.size(); ++i) {
+    assert(topics_[i].id == i);
+  }
+}
+
+TopicUniverse::TopicUniverse(TopicUniverseOptions options)
+    : options_(options) {
+  assert(options_.num_topics > 0);
+  Rng rng(options_.seed);
+  const auto entities = EntityWords();
+  const auto aspects = AspectWords();
+  const auto templates = QuestionTemplates();
+
+  // Distinct topics must never share the full (entity, aspect, qualifier)
+  // triple, or their query strings would collide and two different pieces
+  // of knowledge would be indistinguishable even to an exact-match system.
+  std::unordered_set<std::string> used_triples;
+  auto triple_key = [](const Topic& t) {
+    return t.entity + '\x1f' + t.aspect + '\x1f' + t.qualifier;
+  };
+
+  topics_.reserve(options_.num_topics);
+  for (std::size_t i = 0; i < options_.num_topics; ++i) {
+    Topic t;
+    t.id = i;
+    const bool make_trap =
+        i > 0 && rng.Bernoulli(options_.trap_fraction);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (make_trap) {
+        // Sibling of a random earlier topic: same entity and aspect,
+        // distinguished only by a qualifier — maximally confusable.
+        const auto& parent = topics_[rng.NextBelow(i)];
+        t.entity = parent.entity;
+        t.aspect = parent.aspect;
+        t.qualifier =
+            std::string(kQualifiers[rng.NextBelow(kQualifiers.size())]);
+        t.trap_of = parent.id;
+      } else {
+        t.entity = std::string(entities[rng.NextBelow(entities.size())]);
+        t.aspect = std::string(aspects[rng.NextBelow(aspects.size())]);
+        t.qualifier.clear();
+        t.trap_of.reset();
+      }
+      if (used_triples.insert(triple_key(t)).second) break;
+    }
+
+    // Staticity mix.
+    const double mix = rng.NextDouble();
+    if (mix < options_.static_fraction) {
+      t.staticity = rng.Uniform(8.0, 10.0);
+    } else if (mix < options_.static_fraction + options_.ephemeral_fraction) {
+      t.staticity = rng.Uniform(1.0, 4.0);
+    } else {
+      t.staticity = rng.Uniform(4.0, 8.0);
+    }
+
+    t.answer = MakeAnswer(t, rng);
+
+    // Retrieval-cost heterogeneity: premium-API topics plus a mild
+    // response-length effect on latency.
+    if (rng.Bernoulli(options_.premium_fraction)) {
+      t.fetch_cost_scale = options_.premium_cost_scale;
+      t.fetch_latency_scale = options_.premium_latency_scale;
+    }
+    t.fetch_latency_scale *=
+        0.9 + 0.2 * static_cast<double>(ApproxTokenCount(t.answer)) /
+                  std::max(1.0, options_.mean_answer_tokens);
+
+    // Paraphrases: distinct templates first, then stopword-tail variants
+    // once templates are exhausted (count may exceed the template pool).
+    std::vector<std::size_t> order(templates.size());
+    for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+    rng.Shuffle(order);
+    const std::size_t count = std::min(
+        options_.paraphrases_per_topic,
+        templates.size() * kStopwordTails.size());
+    t.paraphrases.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const auto tmpl = templates[order[j % templates.size()]];
+      const auto tail = kStopwordTails[j / templates.size()];
+      t.paraphrases.push_back(InstantiateTemplate(tmpl, t, tail));
+    }
+    topics_.push_back(std::move(t));
+  }
+
+  // Correlation structure: with probability correlation_strength, a topic's
+  // successor is its neighbour (stable clusters of related interest);
+  // otherwise a random topic.  Prefetching can learn the former.
+  for (auto& t : topics_) {
+    if (rng.Bernoulli(options_.correlation_strength)) {
+      t.next_topic = (t.id + 1) % topics_.size();
+    } else {
+      t.next_topic = rng.NextBelow(topics_.size());
+    }
+  }
+}
+
+}  // namespace cortex

@@ -1,0 +1,84 @@
+// TopicUniverse: the synthetic knowledge world behind the workloads.
+//
+// Stands in for the paper's QA datasets (Zilliz-GPT, HotpotQA, Musique,
+// 2Wiki, StrategyQA).  A *topic* is one unit of remote knowledge: it has a
+// canonical entity+aspect, a ground-truth answer, a staticity score, and a
+// set of paraphrase queries that all ask for it.  A controllable fraction
+// of topics are *traps*: near-duplicates of another topic (same entity and
+// aspect, different qualifier) whose queries embed close to the parent's
+// but require a different answer — the "apple nutrition facts" vs "Apple
+// stock price" failure mode that defeats similarity-only caching (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cortex {
+
+struct Topic {
+  std::uint64_t id = 0;
+  std::string entity;
+  std::string aspect;
+  std::string qualifier;  // empty unless this topic disambiguates a trap pair
+  double staticity = 5.0;  // 1 (ephemeral) .. 10 (time-invariant fact)
+  std::string answer;      // ground-truth retrieval result
+  // Retrieval-cost heterogeneity: some knowledge lives behind premium APIs
+  // (cf. Table 1's $5-$25/1k spread) and larger responses take longer to
+  // serve (§6.1: "300-500 ms depending on response length").  LCFU's
+  // advantage over LRU/LFU comes precisely from this heterogeneity.
+  double fetch_cost_scale = 1.0;
+  double fetch_latency_scale = 1.0;
+  std::vector<std::string> paraphrases;  // equivalent query phrasings
+  // If set, this topic is a near-miss sibling of the given topic.
+  std::optional<std::uint64_t> trap_of;
+  // Topic likely to be queried right after this one (prefetch structure).
+  std::uint64_t next_topic = 0;
+};
+
+struct TopicUniverseOptions {
+  std::size_t num_topics = 250;
+  std::size_t paraphrases_per_topic = 8;
+  // Fraction of topics generated as near-miss siblings of earlier topics.
+  double trap_fraction = 0.15;
+  // Staticity mix: P(static 8-10), P(ephemeral 1-4); remainder is 4-8.
+  double static_fraction = 0.45;
+  double ephemeral_fraction = 0.2;
+  // Mean answer length in tokens (log-normal around this).
+  double mean_answer_tokens = 60.0;
+  // Probability that next_topic follows cluster structure rather than
+  // being random (strength of query-to-query correlation, Fig. 3).
+  double correlation_strength = 0.8;
+  // Fraction of topics served by a premium (more expensive, slower) API.
+  double premium_fraction = 0.25;
+  double premium_cost_scale = 5.0;   // e.g. OpenAI $25/1k vs Google $5/1k
+  double premium_latency_scale = 2.0;
+  std::uint64_t seed = 1;
+};
+
+class TopicUniverse {
+ public:
+  explicit TopicUniverse(TopicUniverseOptions options = {});
+
+  // Builds a universe from explicitly constructed topics (used by the
+  // SWE-bench workload, whose topics are repository files, and by tests).
+  // Topics must have dense ids 0..n-1 matching their position.
+  explicit TopicUniverse(std::vector<Topic> topics);
+
+  const std::vector<Topic>& topics() const noexcept { return topics_; }
+  const Topic& topic(std::uint64_t id) const { return topics_.at(id); }
+  std::size_t size() const noexcept { return topics_.size(); }
+
+  const TopicUniverseOptions& options() const noexcept { return options_; }
+
+ private:
+  std::string MakeAnswer(const Topic& t, Rng& rng) const;
+
+  TopicUniverseOptions options_;
+  std::vector<Topic> topics_;
+};
+
+}  // namespace cortex

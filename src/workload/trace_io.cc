@@ -1,0 +1,200 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cortex {
+
+namespace {
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t ReadU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::uint64_t ReadU64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+double ReadF64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::string ReadString(std::istream& in) {
+  const auto size = ReadU64(in);
+  if (size > (1ULL << 30)) {
+    throw std::runtime_error("trace: implausible string length");
+  }
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  return s;
+}
+
+void CheckStream(const std::ios& stream, const char* what) {
+  if (!stream.good()) {
+    throw std::runtime_error(std::string("trace: stream failure while ") +
+                             what);
+  }
+}
+
+}  // namespace
+
+void SaveWorkloadTrace(const WorkloadBundle& bundle, std::ostream& out) {
+  WriteU32(out, kTraceMagic);
+  WriteU32(out, kTraceVersion);
+  WriteString(out, bundle.name);
+
+  // --- Universe ---
+  WriteU64(out, bundle.universe->size());
+  for (const auto& t : bundle.universe->topics()) {
+    WriteString(out, t.entity);
+    WriteString(out, t.aspect);
+    WriteString(out, t.qualifier);
+    WriteF64(out, t.staticity);
+    WriteString(out, t.answer);
+    WriteF64(out, t.fetch_cost_scale);
+    WriteF64(out, t.fetch_latency_scale);
+    WriteU64(out, t.trap_of ? *t.trap_of + 1 : 0);  // 0 = none
+    WriteU64(out, t.next_topic);
+    WriteU64(out, t.paraphrases.size());
+    for (const auto& p : t.paraphrases) WriteString(out, p);
+  }
+
+  // --- Tasks ---
+  WriteU64(out, bundle.tasks.size());
+  for (const auto& task : bundle.tasks) {
+    WriteU64(out, task.id);
+    WriteString(out, task.description);
+    WriteString(out, task.final_think);
+    WriteString(out, task.final_answer);
+    WriteF64(out, task.base_correctness);
+    WriteU64(out, task.steps.size());
+    for (const auto& step : task.steps) {
+      WriteString(out, step.think);
+      WriteString(out, step.query);
+      WriteString(out, step.expected_info);
+    }
+  }
+
+  // --- Arrivals ---
+  WriteU64(out, bundle.arrivals.size());
+  for (double t : bundle.arrivals) WriteF64(out, t);
+
+  CheckStream(out, "writing");
+}
+
+void SaveWorkloadTraceFile(const WorkloadBundle& bundle,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  SaveWorkloadTrace(bundle, out);
+}
+
+WorkloadBundle LoadWorkloadTrace(std::istream& in) {
+  if (ReadU32(in) != kTraceMagic) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  if (const auto version = ReadU32(in); version != kTraceVersion) {
+    throw std::runtime_error("trace: unsupported version " +
+                             std::to_string(version));
+  }
+  WorkloadBundle bundle;
+  bundle.name = ReadString(in);
+
+  const auto num_topics = ReadU64(in);
+  if (num_topics > (1ULL << 24)) {
+    throw std::runtime_error("trace: implausible topic count");
+  }
+  std::vector<Topic> topics;
+  topics.reserve(num_topics);
+  for (std::uint64_t i = 0; i < num_topics; ++i) {
+    Topic t;
+    t.id = i;
+    t.entity = ReadString(in);
+    t.aspect = ReadString(in);
+    t.qualifier = ReadString(in);
+    t.staticity = ReadF64(in);
+    t.answer = ReadString(in);
+    t.fetch_cost_scale = ReadF64(in);
+    t.fetch_latency_scale = ReadF64(in);
+    if (const auto trap = ReadU64(in); trap != 0) t.trap_of = trap - 1;
+    t.next_topic = ReadU64(in);
+    const auto num_paraphrases = ReadU64(in);
+    if (num_paraphrases > (1ULL << 16)) {
+      throw std::runtime_error("trace: implausible paraphrase count");
+    }
+    t.paraphrases.reserve(num_paraphrases);
+    for (std::uint64_t p = 0; p < num_paraphrases; ++p) {
+      t.paraphrases.push_back(ReadString(in));
+    }
+    CheckStream(in, "reading topic");
+    topics.push_back(std::move(t));
+  }
+  bundle.universe = std::make_shared<TopicUniverse>(std::move(topics));
+  bundle.oracle = std::make_shared<GroundTruthOracle>(bundle.universe.get());
+  RegisterAllParaphrases(*bundle.oracle, *bundle.universe);
+
+  const auto num_tasks = ReadU64(in);
+  if (num_tasks > (1ULL << 28)) {
+    throw std::runtime_error("trace: implausible task count");
+  }
+  bundle.tasks.reserve(num_tasks);
+  for (std::uint64_t i = 0; i < num_tasks; ++i) {
+    AgentTask task;
+    task.id = ReadU64(in);
+    task.description = ReadString(in);
+    task.final_think = ReadString(in);
+    task.final_answer = ReadString(in);
+    task.base_correctness = ReadF64(in);
+    const auto num_steps = ReadU64(in);
+    if (num_steps > (1ULL << 16)) {
+      throw std::runtime_error("trace: implausible step count");
+    }
+    task.steps.reserve(num_steps);
+    for (std::uint64_t s = 0; s < num_steps; ++s) {
+      ToolStep step;
+      step.think = ReadString(in);
+      step.query = ReadString(in);
+      step.expected_info = ReadString(in);
+      task.steps.push_back(std::move(step));
+    }
+    CheckStream(in, "reading task");
+    bundle.tasks.push_back(std::move(task));
+  }
+
+  const auto num_arrivals = ReadU64(in);
+  if (num_arrivals > (1ULL << 28)) {
+    throw std::runtime_error("trace: implausible arrival count");
+  }
+  bundle.arrivals.reserve(num_arrivals);
+  for (std::uint64_t i = 0; i < num_arrivals; ++i) {
+    bundle.arrivals.push_back(ReadF64(in));
+  }
+  CheckStream(in, "reading arrivals");
+  return bundle;
+}
+
+WorkloadBundle LoadWorkloadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return LoadWorkloadTrace(in);
+}
+
+}  // namespace cortex

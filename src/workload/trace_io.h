@@ -1,0 +1,32 @@
+// Workload trace files: freeze a generated WorkloadBundle — topic universe,
+// tasks, and arrival times — to disk and reload it byte-identically, so an
+// interesting run can be archived, shared, and replayed independent of the
+// generator's parameters and seeds.
+//
+// Binary format in the same style as core/snapshot.h (magic + version +
+// length-prefixed records, native endianness).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "workload/workloads.h"
+
+namespace cortex {
+
+inline constexpr std::uint32_t kTraceMagic = 0x43545243;  // "CTRC"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+// Writes the full bundle.  Throws std::runtime_error on stream failure.
+void SaveWorkloadTrace(const WorkloadBundle& bundle, std::ostream& out);
+void SaveWorkloadTraceFile(const WorkloadBundle& bundle,
+                           const std::string& path);
+
+// Reads a bundle back; the oracle is rebuilt and all paraphrases
+// re-registered, so the result is immediately servable.  Throws
+// std::runtime_error on malformed input.
+WorkloadBundle LoadWorkloadTrace(std::istream& in);
+WorkloadBundle LoadWorkloadTraceFile(const std::string& path);
+
+}  // namespace cortex

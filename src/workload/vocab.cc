@@ -1,0 +1,127 @@
+#include "workload/vocab.h"
+
+#include <array>
+
+namespace cortex {
+
+namespace {
+
+constexpr std::array<std::string_view, 184> kEntities = {
+    "mona_lisa",    "louvre",       "eiffel_tower", "amazon_river",
+    "mount_everest", "pacific_ocean", "sahara",      "nile",
+    "beethoven",    "mozart",       "einstein",     "newton",
+    "darwin",       "curie",        "tesla",        "edison",
+    "shakespeare",  "hemingway",    "tolstoy",      "austen",
+    "python",       "kubernetes",   "linux",        "postgres",
+    "bitcoin",      "ethereum",     "nasdaq",       "sp500",
+    "apple",        "google",       "microsoft",    "nvidia",
+    "openai",       "anthropic",    "deepmind",     "meta",
+    "mars",         "jupiter",      "saturn",       "europa",
+    "voyager",      "hubble",       "webb_telescope", "iss",
+    "olympics",     "world_cup",    "wimbledon",    "tour_de_france",
+    "picasso",      "van_gogh",     "rembrandt",    "monet",
+    "rome",         "athens",       "cairo",        "kyoto",
+    "tokyo",        "london",       "paris",        "berlin",
+    "everest_base", "grand_canyon", "yellowstone",  "serengeti",
+    "quantum_computing", "machine_learning", "neural_network", "blockchain",
+    "photosynthesis", "mitochondria", "dna",         "crispr",
+    "relativity",   "thermodynamics", "electromagnetism", "gravity",
+    "renaissance",  "industrial_revolution", "cold_war", "silk_road",
+    "great_wall",   "colosseum",    "machu_picchu", "stonehenge",
+    "elizabeth_ii", "charles_iii",  "lincoln",      "churchill",
+    "gandhi",       "mandela",      "cleopatra",    "napoleon",
+    "gpt5",         "llama",        "gemini",       "claude_model",
+    "transformer",  "attention",    "diffusion",    "reinforcement",
+    "soccer",       "basketball",   "tennis",       "cricket",
+    "graham_greene", "veronika",    "taylor_swift", "beyonce",
+    "interstellar", "inception",    "oppenheimer",  "dune",
+    "chess",        "go_game",      "poker",        "scrabble",
+    "coffee",       "chocolate",    "sushi",        "pizza",
+    "yoga",         "meditation",   "marathon",     "triathlon",
+    "solar_panel",  "wind_turbine", "nuclear_fusion", "geothermal",
+    "vaccine",      "antibiotic",   "insulin",      "aspirin",
+    "volcano",      "earthquake",   "hurricane",    "tsunami",
+    "coral_reef",   "rainforest",   "glacier",      "permafrost",
+    "honeybee",     "monarch_butterfly", "blue_whale", "octopus",
+    "falcon",       "condor",       "penguin",      "albatross",
+    "redwood",      "baobab",       "bamboo",       "sequoia",
+    "samurai",      "viking",       "aztec",        "sparta",
+    "jazz",         "opera",        "hip_hop",      "symphony",
+    "violin",       "piano",        "guitar",       "cello",
+    "calculus",     "topology",     "prime_number", "fibonacci",
+    "compiler",     "interpreter",  "garbage_collector", "scheduler",
+    "tcp_protocol", "dns",          "http3",        "quic",
+    "rust_lang",    "golang",       "typescript",   "haskell",
+    "mercury",      "venus",        "neptune",      "pluto",
+};
+
+constexpr std::array<std::string_view, 48> kAspects = {
+    "history",      "location",     "height",       "population",
+    "nutrition",    "stock_price",  "founder",      "inventor",
+    "release_date", "schedule",     "weather",      "forecast",
+    "biography",    "discovery",    "architecture", "composition",
+    "ingredients",  "recipe",       "rules",        "champion",
+    "record",       "speed",        "depth",        "temperature",
+    "origin",       "meaning",      "definition",   "symptoms",
+    "treatment",    "causes",       "effects",      "benefits",
+    "risks",        "cost",         "revenue",      "market_cap",
+    "ceo",          "headquarters", "employees",    "competitors",
+    "latest_news",  "controversy",  "review",       "rating",
+    "specification", "performance",  "roadmap",      "alternatives",
+};
+
+// Paraphrase templates: all templates with the same {E}/{A} slots express
+// the same retrieval intent, so instantiating several of them for one topic
+// yields semantically equivalent, textually different queries.
+constexpr std::array<std::string_view, 12> kQuestionTemplates = {
+    "what is the {A} of {E}",
+    "tell me about the {A} of {E}",
+    "{E} {A}",
+    "{A} of {E} please",
+    "can you find the {A} of {E}",
+    "I need information on {E} {A}",
+    "looking for {E} {A} details",
+    "give me {E} {A} facts",
+    "search {E} {A}",
+    "find {A} for {E}",
+    "what's {E}'s {A}",
+    "{E}: {A} overview",
+};
+
+constexpr std::array<std::string_view, 40> kCodeModules = {
+    "core",       "parser",    "lexer",     "dialects",
+    "rules",      "linter",    "templater", "cli",
+    "config",     "errors",    "helpers",   "segments",
+    "grammar",    "crawler",   "fixes",     "plugin",
+    "formatter",  "diff",      "cache",     "utils",
+    "base",       "ansi",      "bigquery",  "mysql",
+    "postgres_dialect", "snowflake", "sqlite",  "teradata",
+    "reflow",     "indent",    "aliasing",  "ambiguous",
+    "capitalisation", "convention", "layout", "references",
+    "structure",  "jinja",     "dbt",       "placeholder",
+};
+
+constexpr std::array<std::string_view, 8> kFileRequestTemplates = {
+    "show the contents of {F}",
+    "open {F} and display it",
+    "read file {F}",
+    "fetch the source of {F}",
+    "retrieve {F} from the repository",
+    "I need to inspect {F}",
+    "load {F} for review",
+    "print the implementation in {F}",
+};
+
+}  // namespace
+
+std::span<const std::string_view> EntityWords() { return kEntities; }
+std::span<const std::string_view> AspectWords() { return kAspects; }
+std::span<const std::string_view> QuestionTemplates() {
+  return kQuestionTemplates;
+}
+std::span<const std::string_view> CodeModuleWords() { return kCodeModules; }
+std::span<const std::string_view> FileRequestTemplates() {
+  return kFileRequestTemplates;
+}
+
+}  // namespace cortex

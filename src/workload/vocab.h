@@ -1,0 +1,23 @@
+// Word lists used to synthesise query text.  The universe needs enough
+// lexical diversity that feature-hashed embeddings behave like real ones:
+// distinct topics are far apart unless they genuinely share content words.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace cortex {
+
+// Entity-like content words (subjects of queries).
+std::span<const std::string_view> EntityWords();
+// Attribute/aspect content words ("nutrition", "stock", "schedule", ...).
+std::span<const std::string_view> AspectWords();
+// Question templates with {E} entity and {A} aspect placeholders; sets of
+// mutually paraphrastic templates (same intent, different wording).
+std::span<const std::string_view> QuestionTemplates();
+// Source-file path fragments for the code workload.
+std::span<const std::string_view> CodeModuleWords();
+// Phrasings for "fetch file {F}" tool calls in the code workload.
+std::span<const std::string_view> FileRequestTemplates();
+
+}  // namespace cortex

@@ -1,0 +1,91 @@
+#include "workload/workload_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace cortex {
+
+double PopularityStats::HeadShare(std::size_t k) const noexcept {
+  if (total_queries == 0) return 0.0;
+  std::size_t head = 0;
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    head += ranked[i].second;
+  }
+  return static_cast<double>(head) / static_cast<double>(total_queries);
+}
+
+PopularityStats ComputePopularity(const WorkloadBundle& bundle) {
+  PopularityStats stats;
+  std::unordered_map<std::uint64_t, std::size_t> counts;
+  for (const auto& task : bundle.tasks) {
+    for (const auto& step : task.steps) {
+      const auto topic = bundle.oracle->TopicOf(step.query);
+      if (topic) {
+        ++counts[*topic];
+        ++stats.total_queries;
+      }
+    }
+  }
+  stats.ranked.assign(counts.begin(), counts.end());
+  std::sort(stats.ranked.begin(), stats.ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<double> ranks, freqs;
+  for (std::size_t i = 0; i < stats.ranked.size(); ++i) {
+    ranks.push_back(static_cast<double>(i + 1));
+    freqs.push_back(static_cast<double>(stats.ranked[i].second));
+  }
+  stats.zipf_slope = LogLogSlope(ranks, freqs);
+  return stats;
+}
+
+std::vector<std::vector<double>> TopicTimeSeries(const WorkloadBundle& bundle,
+                                                 double bin_sec,
+                                                 std::size_t num_topics) {
+  std::vector<std::vector<double>> series(num_topics);
+  if (bundle.arrivals.empty() || bundle.tasks.empty()) return series;
+  const double span =
+      *std::max_element(bundle.arrivals.begin(), bundle.arrivals.end());
+  const auto num_bins = static_cast<std::size_t>(span / bin_sec) + 1;
+  for (auto& s : series) s.assign(num_bins, 0.0);
+  for (std::size_t i = 0; i < bundle.tasks.size(); ++i) {
+    const auto& task = bundle.tasks[i];
+    if (task.steps.empty()) continue;
+    const auto topic = bundle.oracle->TopicOf(task.steps.front().query);
+    if (!topic || *topic >= num_topics) continue;
+    const auto bin = static_cast<std::size_t>(bundle.arrivals[i] / bin_sec);
+    series[*topic][bin] += 1.0;
+  }
+  return series;
+}
+
+double Burstiness(const std::vector<double>& series) {
+  if (series.empty()) return 1.0;
+  double peak = 0.0, sum = 0.0;
+  for (double v : series) {
+    peak = std::max(peak, v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(series.size());
+  return mean > 0.0 ? peak / mean : 1.0;
+}
+
+std::vector<double> FileAccessFrequencies(const WorkloadBundle& bundle) {
+  std::vector<double> freq(bundle.universe->size(), 0.0);
+  if (bundle.tasks.empty()) return freq;
+  for (const auto& task : bundle.tasks) {
+    std::unordered_set<std::uint64_t> touched;
+    for (const auto& step : task.steps) {
+      const auto topic = bundle.oracle->TopicOf(step.query);
+      if (topic) touched.insert(*topic);
+    }
+    for (auto t : touched) freq[t] += 1.0;
+  }
+  for (auto& f : freq) f /= static_cast<double>(bundle.tasks.size());
+  return freq;
+}
+
+}  // namespace cortex

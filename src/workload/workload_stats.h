@@ -1,0 +1,41 @@
+// Trace statistics used to regenerate the paper's workload-analysis
+// artifacts: Fig. 2 (Zipfian popularity), Fig. 3 (bursty, correlated
+// spikes), and Table 2 (SWE-bench file access frequencies).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workloads.h"
+
+namespace cortex {
+
+struct PopularityStats {
+  // (topic id, request count), sorted descending by count.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  // Least-squares slope of log(count) vs log(rank); Zipf(s) gives ~-s.
+  double zipf_slope = 0.0;
+  std::size_t total_queries = 0;
+
+  // Head share: fraction of queries landing on the top-k topics.
+  double HeadShare(std::size_t k) const noexcept;
+};
+
+// Counts every tool-call topic in the bundle's tasks.
+PopularityStats ComputePopularity(const WorkloadBundle& bundle);
+
+// Per-topic arrival counts over fixed time bins (requires bundle.arrivals).
+// series[t][b] = queries for topic t in bin b.  Only the first
+// `num_topics` topic ids are tracked.
+std::vector<std::vector<double>> TopicTimeSeries(const WorkloadBundle& bundle,
+                                                 double bin_sec,
+                                                 std::size_t num_topics);
+
+// Burstiness of one series: peak bin rate / mean bin rate (>= 1).
+double Burstiness(const std::vector<double>& series);
+
+// Per-file access frequency: fraction of tasks (issues) that touch each
+// topic (file), indexed by topic id — Table 2's measurement.
+std::vector<double> FileAccessFrequencies(const WorkloadBundle& bundle);
+
+}  // namespace cortex

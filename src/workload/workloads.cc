@@ -1,0 +1,312 @@
+#include "workload/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "llm/tags.h"
+#include "workload/vocab.h"
+
+namespace cortex {
+
+double WorkloadBundle::TotalKnowledgeTokens() const {
+  double total = 0.0;
+  for (const auto& t : universe->topics()) {
+    total += static_cast<double>(ApproxTokenCount(t.answer));
+  }
+  return total;
+}
+
+std::vector<std::string> WorkloadBundle::AllQueries() const {
+  std::vector<std::string> queries;
+  for (const auto& t : universe->topics()) {
+    queries.insert(queries.end(), t.paraphrases.begin(),
+                   t.paraphrases.end());
+  }
+  return queries;
+}
+
+// ---------------------------------------------------------------------------
+// Skewed search
+
+SearchDatasetProfile SearchDatasetProfile::ZillizGpt() {
+  SearchDatasetProfile p;
+  p.name = "zilliz-gpt";
+  p.universe.num_topics = 200;
+  p.universe.paraphrases_per_topic = 20;
+  p.universe.trap_fraction = 0.12;
+  p.universe.seed = 101;
+  p.multi_hop_prob = 0.1;
+  p.base_correctness = 0.82;
+  p.seed = 111;
+  return p;
+}
+
+SearchDatasetProfile SearchDatasetProfile::HotpotQa() {
+  SearchDatasetProfile p;
+  p.name = "hotpotqa";
+  p.universe.num_topics = 250;
+  p.universe.paraphrases_per_topic = 16;
+  p.universe.trap_fraction = 0.15;
+  p.universe.seed = 102;
+  p.multi_hop_prob = 0.6;
+  p.base_correctness = 0.79;
+  p.seed = 112;
+  return p;
+}
+
+SearchDatasetProfile SearchDatasetProfile::Musique() {
+  SearchDatasetProfile p;
+  p.name = "musique";
+  p.universe.num_topics = 250;
+  p.universe.paraphrases_per_topic = 16;
+  p.universe.trap_fraction = 0.18;
+  p.universe.seed = 103;
+  p.multi_hop_prob = 0.8;
+  p.third_hop_prob = 0.3;
+  p.base_correctness = 0.72;
+  p.seed = 113;
+  return p;
+}
+
+SearchDatasetProfile SearchDatasetProfile::TwoWiki() {
+  SearchDatasetProfile p;
+  p.name = "2wiki";
+  p.universe.num_topics = 220;
+  p.universe.paraphrases_per_topic = 16;
+  p.universe.trap_fraction = 0.15;
+  p.universe.seed = 104;
+  p.multi_hop_prob = 0.5;
+  p.base_correctness = 0.77;
+  p.seed = 114;
+  return p;
+}
+
+SearchDatasetProfile SearchDatasetProfile::StrategyQa() {
+  SearchDatasetProfile p;
+  p.name = "strategyqa";
+  p.universe.num_topics = 230;
+  p.universe.paraphrases_per_topic = 16;
+  p.universe.trap_fraction = 0.2;
+  p.universe.seed = 105;
+  p.multi_hop_prob = 0.4;
+  p.base_correctness = 0.79;
+  p.seed = 115;
+  return p;
+}
+
+std::vector<SearchDatasetProfile> SearchDatasetProfile::AllFigure7() {
+  return {ZillizGpt(), HotpotQa(), Musique(), TwoWiki()};
+}
+
+WorkloadBundle BuildSkewedSearchWorkload(const SearchDatasetProfile& profile) {
+  WorkloadBundle bundle;
+  bundle.name = profile.name;
+  bundle.universe = std::make_shared<TopicUniverse>(profile.universe);
+  bundle.oracle = std::make_shared<GroundTruthOracle>(bundle.universe.get());
+  RegisterAllParaphrases(*bundle.oracle, *bundle.universe);
+
+  Rng rng(profile.seed);
+  const std::size_t num_clusters =
+      std::max<std::size_t>(1, std::min(profile.num_clusters,
+                                        bundle.universe->size()));
+  const ZipfSampler cluster_zipf(num_clusters, profile.zipf_exponent);
+  const std::size_t universe_size = bundle.universe->size();
+  // One intra-cluster sampler per cluster size (sizes differ by at most 1).
+  auto intra_sampler = [&](std::size_t size) {
+    return ZipfSampler(std::max<std::size_t>(1, size),
+                       profile.intra_cluster_zipf);
+  };
+  std::vector<ZipfSampler> intra;
+  intra.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const std::size_t begin = c * universe_size / num_clusters;
+    const std::size_t end = (c + 1) * universe_size / num_clusters;
+    intra.push_back(intra_sampler(end - begin));
+  }
+  auto sample_topic = [&]() -> std::uint64_t {
+    const std::size_t c = cluster_zipf.Sample(rng);
+    const std::size_t begin = c * universe_size / num_clusters;
+    return begin + intra[c].Sample(rng);
+  };
+  TaskFactoryOptions task_opts{.base_correctness = profile.base_correctness};
+
+  bundle.tasks.reserve(profile.num_tasks);
+  for (std::size_t i = 0; i < profile.num_tasks; ++i) {
+    std::vector<std::uint64_t> hops;
+    const std::uint64_t head = sample_topic();
+    hops.push_back(head);
+    auto next_hop = [&](std::uint64_t from) {
+      return rng.Bernoulli(profile.hop_correlation)
+                 ? bundle.universe->topic(from).next_topic
+                 : static_cast<std::uint64_t>(
+                       rng.NextBelow(bundle.universe->size()));
+    };
+    if (rng.Bernoulli(profile.multi_hop_prob)) {
+      hops.push_back(next_hop(hops.back()));
+      if (rng.Bernoulli(profile.third_hop_prob)) {
+        hops.push_back(next_hop(hops.back()));
+      }
+    }
+    bundle.tasks.push_back(
+        MakeSearchTask(i, *bundle.universe, hops, rng, task_opts));
+  }
+  return bundle;
+}
+
+// ---------------------------------------------------------------------------
+// Trend-driven
+
+WorkloadBundle BuildTrendWorkload(const TrendProfile& profile) {
+  WorkloadBundle bundle;
+  bundle.name = profile.name;
+
+  // Build the universe, then force the trending topics (and their related
+  // siblings) to be ephemeral: trend knowledge goes stale quickly, which is
+  // what LCFU's staticity term exploits (Fig. 8 discussion).
+  TopicUniverse base(profile.universe);
+  std::vector<Topic> topics(base.topics());
+  const std::size_t group = 1 + profile.related_per_trend;
+  const std::size_t trend_span = profile.num_trend_topics * group;
+  assert(trend_span < topics.size());
+  Rng rng(profile.seed);
+  for (std::size_t i = 0; i < trend_span; ++i) {
+    topics[i].staticity = rng.Uniform(1.5, 3.0);
+    // Chain related topics after their trend head so the follow-up queries
+    // are learnable by the Markov prefetcher.
+    topics[i].next_topic = (i % group == group - 1) ? i : i + 1;
+  }
+  bundle.universe = std::make_shared<TopicUniverse>(std::move(topics));
+  bundle.oracle = std::make_shared<GroundTruthOracle>(bundle.universe.get());
+  RegisterAllParaphrases(*bundle.oracle, *bundle.universe);
+
+  // Spike centres spread over the trace; each trend topic spikes once.
+  std::vector<double> centres(profile.num_trend_topics);
+  for (std::size_t i = 0; i < centres.size(); ++i) {
+    centres[i] = profile.duration_sec * (0.5 + static_cast<double>(i)) /
+                 static_cast<double>(profile.num_trend_topics);
+  }
+  auto spike_rate = [&](std::size_t trend, double t) {
+    const double z = (t - centres[trend]) / profile.spike_width_sec;
+    return profile.peak_rate * std::exp(-0.5 * z * z);
+  };
+
+  const ZipfSampler zipf(bundle.universe->size(), profile.zipf_exponent);
+  TaskFactoryOptions task_opts{.base_correctness = profile.base_correctness};
+
+  // Thinning over a fine time grid: total rate = background + spikes.
+  std::vector<std::pair<double, std::uint64_t>> arrivals;  // (time, topic)
+  const double dt = 0.05;
+  for (double t = 0.0; t < profile.duration_sec; t += dt) {
+    double total = profile.background_rate;
+    for (std::size_t s = 0; s < profile.num_trend_topics; ++s) {
+      total += spike_rate(s, t);
+    }
+    if (!rng.Bernoulli(std::min(1.0, total * dt))) continue;
+    // Attribute the arrival to a source proportionally.
+    double u = rng.NextDouble() * total;
+    std::uint64_t topic;
+    if (u < profile.background_rate) {
+      topic = zipf.Sample(rng);
+    } else {
+      u -= profile.background_rate;
+      std::size_t s = 0;
+      while (s + 1 < profile.num_trend_topics && u >= spike_rate(s, t)) {
+        u -= spike_rate(s, t);
+        ++s;
+      }
+      // Within a spike, queries hit the trend head or one of its related
+      // topics (correlated interest, Fig. 3).
+      const std::size_t offset = rng.NextBelow(group);
+      topic = s * group + offset;
+    }
+    arrivals.emplace_back(t, topic);
+  }
+
+  bundle.tasks.reserve(arrivals.size());
+  bundle.arrivals.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const std::uint64_t topic = arrivals[i].second;
+    std::vector<std::uint64_t> hops = {topic};
+    // Trend queries frequently chain to a related follow-up.
+    if (rng.Bernoulli(0.5)) {
+      hops.push_back(bundle.universe->topic(topic).next_topic);
+    }
+    bundle.tasks.push_back(
+        MakeSearchTask(i, *bundle.universe, hops, rng, task_opts));
+    bundle.arrivals.push_back(arrivals[i].first);
+  }
+  return bundle;
+}
+
+// ---------------------------------------------------------------------------
+// SWE-bench coding
+
+WorkloadBundle BuildSweBenchWorkload(const SweBenchProfile& profile) {
+  WorkloadBundle bundle;
+  bundle.name = profile.name;
+
+  Rng rng(profile.seed);
+  const auto modules = CodeModuleWords();
+  const auto templates = FileRequestTemplates();
+
+  // Topics are repository files; the paraphrases are different ways an
+  // agent phrases "fetch this file".
+  std::vector<Topic> topics;
+  topics.reserve(profile.num_files);
+  for (std::size_t i = 0; i < profile.num_files; ++i) {
+    Topic t;
+    t.id = i;
+    const auto mod = modules[i % modules.size()];
+    t.entity = "src/sqlfluff/" + std::string(mod) + "/" +
+               std::string(mod) + "_" + std::to_string(i) + ".py";
+    t.aspect = "source";
+    t.staticity = rng.Uniform(8.5, 10.0);  // files are stable across issues
+    // File contents: sized like real modules, distinct per file.
+    t.answer = "file#" + std::to_string(i) + " contents of " + t.entity + ":";
+    const double target = std::max(
+        60.0, rng.LogNormal(std::log(profile.mean_file_tokens), 0.6));
+    while (ApproxTokenCount(t.answer) < static_cast<std::size_t>(target)) {
+      t.answer += " def fn_" + std::to_string(rng.NextBelow(1000)) +
+                  "(ctx) -> result";
+    }
+    const std::size_t count =
+        std::min(profile.paraphrases_per_file, templates.size());
+    for (std::size_t j = 0; j < count; ++j) {
+      std::string q(templates[j]);
+      const auto pos = q.find("{F}");
+      q.replace(pos, 3, t.entity);
+      t.paraphrases.push_back(std::move(q));
+    }
+    t.next_topic = (i + 1) % profile.num_files;
+    topics.push_back(std::move(t));
+  }
+  bundle.universe = std::make_shared<TopicUniverse>(std::move(topics));
+  bundle.oracle = std::make_shared<GroundTruthOracle>(bundle.universe.get());
+  RegisterAllParaphrases(*bundle.oracle, *bundle.universe);
+
+  const std::size_t num_head = profile.head_frequencies.size();
+  const std::size_t num_tail = profile.num_files - num_head;
+  const ZipfSampler tail_zipf(std::max<std::size_t>(num_tail, 1),
+                              profile.tail_zipf);
+  TaskFactoryOptions task_opts{.base_correctness = profile.base_correctness};
+
+  bundle.tasks.reserve(profile.num_issues);
+  for (std::size_t i = 0; i < profile.num_issues; ++i) {
+    std::vector<std::uint64_t> files;
+    for (std::size_t h = 0; h < num_head; ++h) {
+      if (rng.Bernoulli(profile.head_frequencies[h])) {
+        files.push_back(h);
+      }
+    }
+    for (std::size_t k = 0; k < profile.tail_files_per_issue; ++k) {
+      files.push_back(num_head + tail_zipf.Sample(rng));
+    }
+    if (files.empty()) files.push_back(0);
+    bundle.tasks.push_back(
+        MakeCodingTask(i, *bundle.universe, files, rng, task_opts));
+  }
+  return bundle;
+}
+
+}  // namespace cortex

@@ -1,0 +1,113 @@
+// The three workload families of the paper's evaluation (§6.1):
+//   * skewed search (Zipfian topic popularity; dataset profiles standing in
+//     for Zilliz-GPT / HotpotQA / Musique / 2Wiki / StrategyQA),
+//   * trend-driven search (bursty Google-Trends-style spikes),
+//   * SWE-bench coding (file accesses with the Table-2 head frequencies).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/oracle.h"
+#include "workload/task_factory.h"
+#include "workload/topic_universe.h"
+
+namespace cortex {
+
+// A generated workload plus its ground truth, ready for the driver.
+struct WorkloadBundle {
+  std::string name;
+  std::shared_ptr<TopicUniverse> universe;
+  std::shared_ptr<GroundTruthOracle> oracle;
+  std::vector<AgentTask> tasks;
+  // Non-empty for trace-shaped workloads (trend): per-task arrival times.
+  std::vector<double> arrivals;
+
+  // Sum of answer token sizes over all topics — the footprint against
+  // which "cache ratio" capacities are computed (ratio 1.0 holds every
+  // distinct piece of knowledge exactly once).
+  double TotalKnowledgeTokens() const;
+
+  // Every query phrasing the workload can emit (all paraphrases of all
+  // topics).  Serving stacks fit the embedder's IDF weights on this —
+  // modelling an embedding model adapted to the query domain.
+  std::vector<std::string> AllQueries() const;
+};
+
+// ---------------------------------------------------------------------------
+// Skewed search workload (Fig. 7)
+
+struct SearchDatasetProfile {
+  std::string name;
+  TopicUniverseOptions universe;
+  // The paper k-means the dataset's questions into 10 representative
+  // clusters and makes the *clusters* Zipf-popular (§6.1): popularity is
+  // zipf(zipf_exponent) over clusters, uniform within a cluster.
+  std::size_t num_clusters = 10;
+  double zipf_exponent = 0.99;
+  // Question popularity within a cluster is itself skewed (the paper's
+  // ~250 sampled questions are replayed into a skewed distribution).
+  double intra_cluster_zipf = 1.4;
+  std::size_t num_tasks = 1000;
+  // Probability a task issues a second (third) correlated hop.
+  double multi_hop_prob = 0.0;
+  double third_hop_prob = 0.0;
+  // When multi-hopping, probability the next hop follows the universe's
+  // correlation structure (learnable by the prefetcher) vs a random topic.
+  double hop_correlation = 0.8;
+  double base_correctness = 0.78;
+  std::uint64_t seed = 11;
+
+  static SearchDatasetProfile ZillizGpt();
+  static SearchDatasetProfile HotpotQa();
+  static SearchDatasetProfile Musique();
+  static SearchDatasetProfile TwoWiki();
+  static SearchDatasetProfile StrategyQa();
+  static std::vector<SearchDatasetProfile> AllFigure7();
+};
+
+WorkloadBundle BuildSkewedSearchWorkload(const SearchDatasetProfile& profile);
+
+// ---------------------------------------------------------------------------
+// Trend-driven workload (Fig. 8; trace dynamics of Figs. 2-3)
+
+struct TrendProfile {
+  std::string name = "google-trends-10min";
+  std::size_t num_trend_topics = 4;
+  std::size_t related_per_trend = 3;  // correlated topics spiking together
+  double duration_sec = 600.0;        // 12h of trends compressed to 10 min
+  double background_rate = 0.6;       // req/s of baseline Zipf traffic
+  double peak_rate = 5.0;             // extra req/s at each spike's peak
+  double spike_width_sec = 60.0;      // Gaussian spike std-dev
+  TopicUniverseOptions universe;      // background topic universe
+  double zipf_exponent = 0.99;
+  double base_correctness = 0.78;
+  std::uint64_t seed = 23;
+};
+
+WorkloadBundle BuildTrendWorkload(const TrendProfile& profile);
+
+// ---------------------------------------------------------------------------
+// SWE-bench coding workload (Fig. 9, Table 2)
+
+struct SweBenchProfile {
+  std::string name = "swebench-sqlfluff";
+  std::size_t num_files = 120;
+  std::size_t num_issues = 300;
+  // Per-issue access probability of the head files (paper Table 2).
+  std::vector<double> head_frequencies = {1.0,  0.28, 0.22, 0.14, 0.1,
+                                          0.08, 0.04, 0.04, 0.04};
+  // Tail files are drawn Zipf with this exponent.
+  double tail_zipf = 0.9;
+  // Additional tail files per issue (beyond head hits).
+  std::size_t tail_files_per_issue = 3;
+  double mean_file_tokens = 400.0;  // files are bigger than QA snippets
+  std::size_t paraphrases_per_file = 8;
+  double base_correctness = 0.7;
+  std::uint64_t seed = 31;
+};
+
+WorkloadBundle BuildSweBenchWorkload(const SweBenchProfile& profile);
+
+}  // namespace cortex

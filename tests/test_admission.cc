@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "core/semantic_cache.h"
+#include "test_helpers.h"
+#include "util/count_min.h"
+
+namespace cortex {
+namespace {
+
+using cortex::testing::MiniWorld;
+
+// --- CountMinSketch ---
+
+TEST(CountMinSketch, NeverUndercounts) {
+  CountMinSketch sketch(256, 4);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Add("item " + std::to_string(i % 10));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GE(sketch.Estimate("item " + std::to_string(i)), 10u);
+  }
+}
+
+TEST(CountMinSketch, UnseenItemsEstimateNearZero) {
+  CountMinSketch sketch(1024, 4);
+  for (int i = 0; i < 50; ++i) sketch.Add("seen " + std::to_string(i));
+  // With 50 additions spread over 1024 counters, collisions are unlikely.
+  int zero = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (sketch.Estimate("unseen " + std::to_string(i)) == 0) ++zero;
+  }
+  EXPECT_GE(zero, 45);
+}
+
+TEST(CountMinSketch, AccurateForHeavyHitters) {
+  CountMinSketch sketch(2048, 4);
+  for (int i = 0; i < 1000; ++i) sketch.Add("hot");
+  for (int i = 0; i < 2000; ++i) sketch.Add("noise " + std::to_string(i));
+  const auto estimate = sketch.Estimate("hot");
+  EXPECT_GE(estimate, 1000u);
+  EXPECT_LE(estimate, 1020u);  // small over-count from collisions
+}
+
+TEST(CountMinSketch, HalveAgesCounters) {
+  CountMinSketch sketch(256, 4);
+  for (int i = 0; i < 8; ++i) sketch.Add("x");
+  EXPECT_GE(sketch.Estimate("x"), 8u);
+  sketch.Halve();
+  EXPECT_LE(sketch.Estimate("x"), 4u);
+  EXPECT_GE(sketch.Estimate("x"), 4u);
+  EXPECT_EQ(sketch.total_additions(), 4u);
+}
+
+TEST(CountMinSketch, ResetClears) {
+  CountMinSketch sketch;
+  sketch.Add("x", 100);
+  sketch.Reset();
+  EXPECT_EQ(sketch.Estimate("x"), 0u);
+  EXPECT_EQ(sketch.total_additions(), 0u);
+}
+
+TEST(CountMinSketch, SaturatesInsteadOfOverflowing) {
+  CountMinSketch sketch(16, 2);
+  sketch.Add("x", 0xFFFFFFFFu);
+  sketch.Add("x", 10);
+  EXPECT_EQ(sketch.Estimate("x"), 0xFFFFFFFFu);
+}
+
+// --- Admission doorkeeper ---
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<SemanticCache> MakeCache(bool admission,
+                                           double capacity) {
+    SemanticCacheOptions opts;
+    opts.capacity_tokens = capacity;
+    opts.admission_enabled = admission;
+    opts.admission_threshold = 2;
+    opts.admission_pressure = 0.0;  // always under pressure (simpler tests)
+    return std::make_unique<SemanticCache>(
+        &world_.embedder,
+        std::make_unique<FlatIndex>(world_.embedder.dimension()),
+        world_.judger.get(), std::make_unique<LcfuPolicy>(), opts);
+  }
+
+  InsertRequest RequestFor(std::size_t topic, std::size_t paraphrase = 0) {
+    InsertRequest req;
+    req.key = world_.query(topic, paraphrase);
+    req.value = world_.answer(topic);
+    req.staticity = 5.0;
+    req.retrieval_latency_sec = 0.4;
+    req.retrieval_cost_dollars = 0.005;
+    req.initial_frequency = 1;
+    return req;
+  }
+
+  MiniWorld world_;
+};
+
+TEST_F(AdmissionTest, FirstFetchIsRejectedSecondAdmitted) {
+  auto cache = MakeCache(/*admission=*/true, /*capacity=*/1e6);
+  EXPECT_FALSE(cache->Insert(RequestFor(0), 0.0).has_value());
+  EXPECT_EQ(cache->counters().admission_rejects, 1u);
+  // The second fetch of the same knowledge passes the doorkeeper.
+  EXPECT_TRUE(cache->Insert(RequestFor(0), 1.0).has_value());
+  EXPECT_EQ(cache->size(), 1u);
+}
+
+TEST_F(AdmissionTest, ParaphrasesPoolTheirEvidence) {
+  auto cache = MakeCache(true, 1e6);
+  // Two different phrasings fetching the SAME knowledge count together.
+  EXPECT_FALSE(cache->Insert(RequestFor(0, 0), 0.0).has_value());
+  EXPECT_TRUE(cache->Insert(RequestFor(0, 3), 1.0).has_value());
+}
+
+TEST_F(AdmissionTest, ResidentValuesBypassTheDoorkeeper) {
+  auto cache = MakeCache(true, 1e6);
+  cache->Insert(RequestFor(0), 0.0);
+  ASSERT_TRUE(cache->Insert(RequestFor(0), 1.0).has_value());
+  // A re-fetch of resident knowledge dedups (no admission question at all).
+  const auto id = cache->Insert(RequestFor(0, 2), 2.0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_GE(cache->counters().dedup_refreshes, 1u);
+}
+
+TEST_F(AdmissionTest, DisabledDoorkeeperAdmitsEverything) {
+  auto cache = MakeCache(false, 1e6);
+  EXPECT_TRUE(cache->Insert(RequestFor(0), 0.0).has_value());
+  EXPECT_EQ(cache->counters().admission_rejects, 0u);
+}
+
+TEST_F(AdmissionTest, UnderfullCacheAdmitsWhenPressureGateIsSet) {
+  SemanticCacheOptions opts;
+  opts.capacity_tokens = 1e6;
+  opts.admission_enabled = true;
+  opts.admission_threshold = 2;
+  opts.admission_pressure = 0.9;  // realistic gate
+  SemanticCache cache(&world_.embedder,
+                      std::make_unique<FlatIndex>(world_.embedder.dimension()),
+                      world_.judger.get(), std::make_unique<LcfuPolicy>(),
+                      opts);
+  // Far below 90% full: everything is admitted on first sight.
+  EXPECT_TRUE(cache.Insert(RequestFor(0), 0.0).has_value());
+  EXPECT_EQ(cache.counters().admission_rejects, 0u);
+}
+
+TEST_F(AdmissionTest, DoorkeeperReducesChurnUnderScanPressure) {
+  // Tight cache holding ~4 answers; a hot working set of 3 topics is
+  // scanned over by a long parade of one-hit wonders.
+  const double capacity = 4.5 * 70.0;
+  auto guarded = MakeCache(true, capacity);
+  auto open = MakeCache(false, capacity);
+  auto run = [&](SemanticCache& cache) {
+    double now = 0.0;
+    // Establish the hot set (each value fetched twice to pass the gate).
+    for (int round = 0; round < 2; ++round) {
+      for (std::size_t topic = 0; topic < 3; ++topic) {
+        cache.Insert(RequestFor(topic, round), now += 1.0);
+      }
+    }
+    // Scan: 20 distinct one-hit wonders.
+    for (std::size_t topic = 5; topic < 25; ++topic) {
+      cache.Insert(RequestFor(topic), now += 1.0);
+    }
+    // How much of the hot set survived?
+    int survivors = 0;
+    for (std::size_t topic = 0; topic < 3; ++topic) {
+      if (cache.ContainsValue(world_.answer(topic))) ++survivors;
+    }
+    return survivors;
+  };
+  const int guarded_survivors = run(*guarded);
+  const int open_survivors = run(*open);
+  // The doorkeeper keeps the proven hot set resident through the scan.
+  EXPECT_EQ(guarded_survivors, 3);
+  EXPECT_GE(guarded_survivors, open_survivors);
+  EXPECT_GT(guarded->counters().admission_rejects, 10u);
+  EXPECT_LT(guarded->counters().evictions, open->counters().evictions);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,142 @@
+// Property tests that every VectorIndex implementation must satisfy,
+// parameterised over index type — the cache treats them interchangeably.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
+#include "ann/ivf_index.h"
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+enum class Kind { kFlat, kIvf, kHnsw };
+
+std::unique_ptr<VectorIndex> Make(Kind kind, std::size_t dim) {
+  switch (kind) {
+    case Kind::kFlat:
+      return std::make_unique<FlatIndex>(dim);
+    case Kind::kIvf: {
+      IvfOptions opts;
+      opts.num_lists = 8;
+      opts.num_probes = 8;  // full probing for deterministic recall
+      return std::make_unique<IvfIndex>(dim, opts);
+    }
+    case Kind::kHnsw:
+      return std::make_unique<HnswIndex>(dim);
+  }
+  return nullptr;
+}
+
+std::string KindName(Kind k) {
+  switch (k) {
+    case Kind::kFlat: return "flat";
+    case Kind::kIvf: return "ivf";
+    case Kind::kHnsw: return "hnsw";
+  }
+  return "?";
+}
+
+Vector RandomUnit(std::size_t dim, Rng& rng) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  Normalize(v);
+  return v;
+}
+
+class IndexPropertyTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(IndexPropertyTest, InsertThenContainsAndGet) {
+  auto idx = Make(GetParam(), 8);
+  Rng rng(1);
+  const auto v = RandomUnit(8, rng);
+  idx->Add(5, v);
+  EXPECT_TRUE(idx->Contains(5));
+  ASSERT_TRUE(idx->Get(5).has_value());
+  EXPECT_EQ(*idx->Get(5), v);
+  EXPECT_EQ(idx->size(), 1u);
+  EXPECT_EQ(idx->dimension(), 8u);
+}
+
+TEST_P(IndexPropertyTest, RemoveMakesIdInvisible) {
+  auto idx = Make(GetParam(), 8);
+  Rng rng(2);
+  for (VectorId i = 0; i < 40; ++i) idx->Add(i, RandomUnit(8, rng));
+  EXPECT_TRUE(idx->Remove(11));
+  EXPECT_FALSE(idx->Contains(11));
+  EXPECT_FALSE(idx->Get(11).has_value());
+  EXPECT_EQ(idx->size(), 39u);
+  const auto results = idx->Search(RandomUnit(8, rng), 39, -1.0);
+  for (const auto& r : results) EXPECT_NE(r.id, 11u);
+}
+
+TEST_P(IndexPropertyTest, RemoveMissingIdReturnsFalse) {
+  auto idx = Make(GetParam(), 4);
+  EXPECT_FALSE(idx->Remove(123));
+}
+
+TEST_P(IndexPropertyTest, ResultsSortedByDescendingSimilarity) {
+  auto idx = Make(GetParam(), 12);
+  Rng rng(3);
+  for (VectorId i = 0; i < 100; ++i) idx->Add(i, RandomUnit(12, rng));
+  const auto results = idx->Search(RandomUnit(12, rng), 10, -1.0);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].similarity, results[i].similarity);
+  }
+}
+
+TEST_P(IndexPropertyTest, ResultsRespectMinSimilarity) {
+  auto idx = Make(GetParam(), 12);
+  Rng rng(4);
+  for (VectorId i = 0; i < 100; ++i) idx->Add(i, RandomUnit(12, rng));
+  const auto results = idx->Search(RandomUnit(12, rng), 100, 0.3);
+  for (const auto& r : results) EXPECT_GE(r.similarity, 0.3);
+}
+
+TEST_P(IndexPropertyTest, ResultsNeverExceedK) {
+  auto idx = Make(GetParam(), 8);
+  Rng rng(5);
+  for (VectorId i = 0; i < 64; ++i) idx->Add(i, RandomUnit(8, rng));
+  EXPECT_LE(idx->Search(RandomUnit(8, rng), 7, -1.0).size(), 7u);
+}
+
+TEST_P(IndexPropertyTest, SelfQueryRecall) {
+  auto idx = Make(GetParam(), 16);
+  Rng rng(6);
+  std::vector<Vector> vecs;
+  for (VectorId i = 0; i < 128; ++i) {
+    vecs.push_back(RandomUnit(16, rng));
+    idx->Add(i, vecs.back());
+  }
+  int correct = 0;
+  for (VectorId i = 0; i < 128; ++i) {
+    const auto r = idx->Search(vecs[i], 1, -1.0);
+    if (!r.empty() && r[0].id == i) ++correct;
+  }
+  EXPECT_GE(correct, 120);  // >= 94% even for approximate indexes
+}
+
+TEST_P(IndexPropertyTest, ChurnKeepsIndexConsistent) {
+  auto idx = Make(GetParam(), 8);
+  Rng rng(7);
+  // Interleave adds and removes; size bookkeeping must stay exact.
+  std::size_t expected = 0;
+  for (VectorId i = 0; i < 200; ++i) {
+    idx->Add(i, RandomUnit(8, rng));
+    ++expected;
+    if (i % 3 == 0) {
+      if (idx->Remove(i / 2)) --expected;
+    }
+    ASSERT_EQ(idx->size(), expected) << "at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexPropertyTest,
+                         ::testing::Values(Kind::kFlat, Kind::kIvf,
+                                           Kind::kHnsw),
+                         [](const auto& info) { return KindName(info.param); });
+
+}  // namespace
+}  // namespace cortex

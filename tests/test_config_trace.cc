@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace_export.h"
+#include "util/config.h"
+
+namespace cortex {
+namespace {
+
+// --- Config ---
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto config = Config::FromString(
+      "# comment\n"
+      "top = 1\n"
+      "[workload]\n"
+      "type = skewed\n"
+      "tasks = 1000\n"
+      "\n"
+      "[cache]\n"
+      "ratio = 0.4\n"
+      "prefetch = true\n");
+  EXPECT_EQ(config.GetInt("top", 0), 1);
+  EXPECT_EQ(config.GetString("workload.type"), "skewed");
+  EXPECT_EQ(config.GetInt("workload.tasks", 0), 1000);
+  EXPECT_DOUBLE_EQ(config.GetDouble("cache.ratio", 0.0), 0.4);
+  EXPECT_TRUE(config.GetBool("cache.prefetch", false));
+  EXPECT_EQ(config.size(), 5u);
+}
+
+TEST(Config, WhitespaceAndCommentsIgnored) {
+  const auto config = Config::FromString(
+      "  [ s ]  \n"
+      "  key   =   spaced value  \n"
+      "; semicolon comment\n");
+  EXPECT_EQ(config.GetString("s.key"), "spaced value");
+}
+
+TEST(Config, MissingKeysFallBackToDefaults) {
+  const auto config = Config::FromString("");
+  EXPECT_EQ(config.GetString("nope", "fallback"), "fallback");
+  EXPECT_EQ(config.GetInt("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(config.GetDouble("nope", 1.5), 1.5);
+  EXPECT_TRUE(config.GetBool("nope", true));
+  EXPECT_FALSE(config.Has("nope"));
+}
+
+TEST(Config, BooleanSpellings) {
+  const auto config = Config::FromString(
+      "a = true\nb = yes\nc = on\nd = 1\ne = false\nf = off\n");
+  for (const char* key : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(config.GetBool(key, false)) << key;
+  }
+  EXPECT_FALSE(config.GetBool("e", true));
+  EXPECT_FALSE(config.GetBool("f", true));
+}
+
+TEST(Config, MalformedInputThrowsWithLineNumber) {
+  try {
+    Config::FromString("ok = 1\nthis line has no equals\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(Config::FromString("[unterminated\n"), std::invalid_argument);
+  EXPECT_THROW(Config::FromString("= value\n"), std::invalid_argument);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto config = Config::FromString("n = abc\nb = maybe\n");
+  EXPECT_THROW(config.GetInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(config.GetDouble("n", 0.0), std::invalid_argument);
+  EXPECT_THROW(config.GetBool("b", false), std::invalid_argument);
+}
+
+TEST(Config, SetOverrides) {
+  auto config = Config::FromString("[cache]\nratio = 0.4\n");
+  config.Set("cache.ratio", "0.8");
+  EXPECT_DOUBLE_EQ(config.GetDouble("cache.ratio", 0.0), 0.8);
+}
+
+TEST(Config, KeysAreSorted) {
+  const auto config = Config::FromString("b = 1\na = 2\n[z]\nc = 3\n");
+  const auto keys = config.Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_EQ(keys[2], "z.c");
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(Config::FromFile("/nonexistent/cortex.conf"),
+               std::runtime_error);
+}
+
+// --- Trace export ---
+
+RunMetrics MakeMetrics() {
+  RunMetrics metrics;
+  for (int i = 0; i < 5; ++i) {
+    TaskRecord r;
+    r.task_id = 100 + i;
+    r.arrival_time = i;
+    r.completion_time = i + 1.5;
+    r.agent_seconds = 0.5;
+    r.tool_seconds = 0.8;
+    r.tool_calls = 2;
+    r.cache_hits = 1;
+    r.api_calls = 1;
+    r.cost_dollars = 0.005;
+    r.answer_correct = i % 2 == 0;
+    metrics.Record(r);
+  }
+  return metrics;
+}
+
+TEST(TraceExport, RecordsCsvHasHeaderAndRows) {
+  const auto metrics = MakeMetrics();
+  std::ostringstream out;
+  WriteTaskRecordsCsv(metrics, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("task_id,arrival,completion"), std::string::npos);
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+  EXPECT_NE(csv.find("100,0,1.5,1.5,0.5,0,0.8,2,1,1,0,0.005,1"),
+            std::string::npos);
+}
+
+TEST(TraceExport, LatencyCdfIsMonotone) {
+  const auto metrics = MakeMetrics();
+  std::ostringstream out;
+  WriteLatencyCdfCsv(metrics, out, 20);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  double prev_latency = -1.0;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    const double latency = std::stod(line.substr(comma + 1));
+    EXPECT_GE(latency, prev_latency);
+    prev_latency = latency;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 20);
+}
+
+TEST(TraceExport, SummaryCsvRoundTripsValues) {
+  const auto metrics = MakeMetrics();
+  std::ostringstream out;
+  WriteSummaryCsv(metrics, out, "unit-test");
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("label,tasks,throughput"), std::string::npos);
+  EXPECT_NE(csv.find("unit-test,5,"), std::string::npos);
+  // Header suppression for appends.
+  std::ostringstream no_header;
+  WriteSummaryCsv(metrics, no_header, "x", /*include_header=*/false);
+  EXPECT_EQ(no_header.str().find("label,"), std::string::npos);
+}
+
+TEST(TraceExport, FileWriteFailsLoudly) {
+  const auto metrics = MakeMetrics();
+  EXPECT_THROW(WriteTaskRecordsCsvFile(metrics, "/nonexistent/dir/x.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cortex

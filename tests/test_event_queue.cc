@@ -1,0 +1,98 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cortex {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, EqualTimesRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ReentrantSchedulingWorks) {
+  Simulation sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.ScheduleAfter(1.0, step);
+  };
+  sim.ScheduleAt(0.0, step);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.ScheduleAt(10.0, [&] {
+    sim.ScheduleAt(1.0, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(Simulation, RunUntilStopsEarly) {
+  Simulation sim;
+  int executed = 0;
+  sim.ScheduleAt(1.0, [&] { ++executed; });
+  sim.ScheduleAt(100.0, [&] { ++executed; });
+  EXPECT_EQ(sim.Run(50.0), 1u);
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.Run(), 1u);
+  EXPECT_EQ(executed, 2);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  double when = 0.0;
+  sim.ScheduleAt(7.0, [&] {
+    sim.ScheduleAfter(2.5, [&] { when = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(when, 9.5);
+}
+
+TEST(Simulation, EmptyQueueRunsZeroEvents) {
+  Simulation sim;
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.Run(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, ManyInterleavedEventsKeepClockMonotone) {
+  Simulation sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = (i * 37 % 100) / 10.0;
+    sim.ScheduleAt(t, [&, t] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace cortex

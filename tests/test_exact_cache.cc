@@ -1,0 +1,118 @@
+#include "core/exact_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace cortex {
+namespace {
+
+ExactCacheOptions Unbounded() {
+  ExactCacheOptions opts;
+  opts.capacity_tokens = 1e9;
+  return opts;
+}
+
+TEST(ExactCache, HitRequiresExactKey) {
+  ExactCache cache(Unbounded());
+  cache.Insert("who painted the mona lisa", "da vinci", 0.0);
+  EXPECT_TRUE(cache.Lookup("who painted the mona lisa", 1.0).has_value());
+  // Any rephrasing misses — the paper's core criticism of storage caches.
+  EXPECT_FALSE(cache.Lookup("mona lisa painter", 1.0).has_value());
+  EXPECT_FALSE(cache.Lookup("who painted the mona lisa ", 1.0).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.lookups(), 3u);
+}
+
+TEST(ExactCache, ValueRoundTrips) {
+  ExactCache cache(Unbounded());
+  cache.Insert("k", "the value", 0.0);
+  EXPECT_EQ(*cache.Lookup("k", 1.0), "the value");
+}
+
+TEST(ExactCache, TtlExpiresEntries) {
+  ExactCacheOptions opts = Unbounded();
+  opts.ttl_sec = 10.0;
+  ExactCache cache(opts);
+  cache.Insert("k", "v", 0.0);
+  EXPECT_TRUE(cache.Lookup("k", 9.0).has_value());
+  EXPECT_FALSE(cache.Lookup("k", 11.0).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // expired entry removed on access
+}
+
+TEST(ExactCache, TtlDisabled) {
+  ExactCacheOptions opts = Unbounded();
+  opts.ttl_enabled = false;
+  ExactCache cache(opts);
+  cache.Insert("k", "v", 0.0);
+  EXPECT_TRUE(cache.Lookup("k", 1e12).has_value());
+}
+
+TEST(ExactCache, LruEvictionOrder) {
+  ExactCacheOptions opts;
+  // Each "value x" is 3 tokens; room for exactly 2 entries.
+  opts.capacity_tokens = 6.0;
+  ExactCache cache(opts);
+  cache.Insert("a", "value a", 0.0);
+  cache.Insert("b", "value b", 1.0);
+  // Touch "a" so "b" becomes least recent.
+  EXPECT_TRUE(cache.Lookup("a", 2.0).has_value());
+  cache.Insert("c", "value c", 3.0);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+}
+
+TEST(ExactCache, ReinsertUpdatesValueAndRecency) {
+  ExactCache cache(Unbounded());
+  cache.Insert("k", "old", 0.0);
+  cache.Insert("k", "new", 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Lookup("k", 2.0), "new");
+}
+
+TEST(ExactCache, OversizedValueNotInserted) {
+  ExactCacheOptions opts;
+  opts.capacity_tokens = 3.0;
+  ExactCache cache(opts);
+  cache.Insert("k", "this value is far too large to fit in three tokens",
+               0.0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ExactCache, UsageNeverExceedsCapacity) {
+  ExactCacheOptions opts;
+  opts.capacity_tokens = 50.0;
+  ExactCache cache(opts);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("key " + std::to_string(i),
+                 "some cached value number " + std::to_string(i),
+                 static_cast<double>(i));
+    ASSERT_LE(cache.usage_tokens(), opts.capacity_tokens);
+  }
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(ExactCache, HitRefreshesLruPosition) {
+  ExactCacheOptions opts;
+  opts.capacity_tokens = 9.0;  // three 3-token entries fit
+  ExactCache cache(opts);
+  cache.Insert("a", "va x", 0.0);
+  cache.Insert("b", "vb x", 1.0);
+  cache.Insert("c", "vc x", 2.0);
+  // Keep touching "a": it must survive repeated insertions.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(cache.Lookup("a", 3.0 + i).has_value());
+    cache.Insert("new" + std::to_string(i), "vn x", 4.0 + i);
+  }
+  EXPECT_TRUE(cache.Contains("a"));
+}
+
+TEST(ExactCache, HitRateAccounting) {
+  ExactCache cache(Unbounded());
+  cache.Insert("k", "v", 0.0);
+  cache.Lookup("k", 1.0);
+  cache.Lookup("miss", 1.0);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace cortex

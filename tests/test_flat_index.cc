@@ -1,0 +1,125 @@
+#include "ann/flat_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+Vector UnitVec(std::initializer_list<float> vals) {
+  Vector v(vals);
+  Normalize(v);
+  return v;
+}
+
+TEST(FlatIndex, EmptySearchReturnsNothing) {
+  FlatIndex idx(4);
+  const Vector q = UnitVec({1, 0, 0, 0});
+  EXPECT_TRUE(idx.Search(q, 5, -1.0).empty());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(FlatIndex, AddContainsGet) {
+  FlatIndex idx(3);
+  const Vector v = UnitVec({1, 2, 3});
+  idx.Add(7, v);
+  EXPECT_TRUE(idx.Contains(7));
+  EXPECT_FALSE(idx.Contains(8));
+  ASSERT_TRUE(idx.Get(7).has_value());
+  EXPECT_EQ(*idx.Get(7), v);
+  EXPECT_FALSE(idx.Get(8).has_value());
+}
+
+TEST(FlatIndex, SearchReturnsSortedTopK) {
+  FlatIndex idx(2);
+  idx.Add(1, UnitVec({1, 0}));
+  idx.Add(2, UnitVec({0.9f, 0.1f}));
+  idx.Add(3, UnitVec({0, 1}));
+  const auto results = idx.Search(UnitVec({1, 0}), 2, -1.0);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_EQ(results[1].id, 2u);
+  EXPECT_GE(results[0].similarity, results[1].similarity);
+}
+
+TEST(FlatIndex, MinSimilarityFilters) {
+  FlatIndex idx(2);
+  idx.Add(1, UnitVec({1, 0}));
+  idx.Add(2, UnitVec({0, 1}));
+  const auto results = idx.Search(UnitVec({1, 0}), 10, 0.5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 1u);
+}
+
+TEST(FlatIndex, KZeroReturnsEmpty) {
+  FlatIndex idx(2);
+  idx.Add(1, UnitVec({1, 0}));
+  EXPECT_TRUE(idx.Search(UnitVec({1, 0}), 0, -1.0).empty());
+}
+
+TEST(FlatIndex, RemoveSwapsLastSlot) {
+  FlatIndex idx(2);
+  idx.Add(1, UnitVec({1, 0}));
+  idx.Add(2, UnitVec({0, 1}));
+  idx.Add(3, UnitVec({-1, 0}));
+  EXPECT_TRUE(idx.Remove(2));
+  EXPECT_FALSE(idx.Remove(2));
+  EXPECT_EQ(idx.size(), 2u);
+  // The remaining vectors are still searchable and correct.
+  const auto r1 = idx.Search(UnitVec({1, 0}), 1, -1.0);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].id, 1u);
+  const auto r3 = idx.Search(UnitVec({-1, 0}), 1, -1.0);
+  EXPECT_EQ(r3[0].id, 3u);
+}
+
+TEST(FlatIndex, ReAddReplacesVector) {
+  FlatIndex idx(2);
+  idx.Add(1, UnitVec({1, 0}));
+  idx.Add(1, UnitVec({0, 1}));
+  EXPECT_EQ(idx.size(), 1u);
+  const auto r = idx.Search(UnitVec({0, 1}), 1, -1.0);
+  EXPECT_EQ(r[0].id, 1u);
+  EXPECT_NEAR(r[0].similarity, 1.0, 1e-6);
+}
+
+TEST(FlatIndex, DistanceComputationCounterAdvances) {
+  FlatIndex idx(2);
+  idx.Add(1, UnitVec({1, 0}));
+  idx.Add(2, UnitVec({0, 1}));
+  const auto before = idx.distance_computations();
+  idx.Search(UnitVec({1, 0}), 1, -1.0);
+  EXPECT_EQ(idx.distance_computations(), before + 2);
+}
+
+TEST(FlatIndex, ManyVectorsTopKMatchesBruteForce) {
+  constexpr std::size_t kDim = 16, kN = 300;
+  FlatIndex idx(kDim);
+  Rng rng(3);
+  std::vector<Vector> vecs(kN, Vector(kDim));
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (auto& x : vecs[i]) x = static_cast<float>(rng.Normal());
+    Normalize(vecs[i]);
+    idx.Add(i, vecs[i]);
+  }
+  Vector q(kDim);
+  for (auto& x : q) x = static_cast<float>(rng.Normal());
+  Normalize(q);
+
+  const auto results = idx.Search(q, 10, -1.0);
+  ASSERT_EQ(results.size(), 10u);
+  std::vector<std::pair<double, std::size_t>> truth;
+  for (std::size_t i = 0; i < kN; ++i) {
+    truth.emplace_back(CosineSimilarity(q, vecs[i]), i);
+  }
+  std::sort(truth.rbegin(), truth.rend());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[i].id, truth[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace cortex

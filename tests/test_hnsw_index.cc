@@ -1,0 +1,226 @@
+#include "ann/hnsw_index.h"
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+Vector RandomUnit(std::size_t dim, Rng& rng) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  Normalize(v);
+  return v;
+}
+
+TEST(HnswIndex, EmptyAndSingle) {
+  HnswIndex idx(8);
+  Rng rng(1);
+  EXPECT_TRUE(idx.Search(RandomUnit(8, rng), 3, -1.0).empty());
+  const auto v = RandomUnit(8, rng);
+  idx.Add(9, v);
+  const auto r = idx.Search(v, 3, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].id, 9u);
+  EXPECT_NEAR(r[0].similarity, 1.0, 1e-6);
+}
+
+TEST(HnswIndex, SelfQueriesFindSelf) {
+  HnswIndex idx(16);
+  Rng rng(2);
+  std::vector<Vector> vecs;
+  for (VectorId i = 0; i < 200; ++i) {
+    vecs.push_back(RandomUnit(16, rng));
+    idx.Add(i, vecs.back());
+  }
+  int correct = 0;
+  for (VectorId i = 0; i < 200; ++i) {
+    const auto r = idx.Search(vecs[i], 1, -1.0);
+    if (!r.empty() && r[0].id == i) ++correct;
+  }
+  EXPECT_GE(correct, 195);  // graph search is approximate but near-exact here
+}
+
+TEST(HnswIndex, RecallAtTenVsFlat) {
+  constexpr std::size_t kDim = 24, kN = 500;
+  HnswIndex hnsw(kDim);
+  FlatIndex flat(kDim);
+  Rng rng(3);
+  for (VectorId i = 0; i < kN; ++i) {
+    const auto v = RandomUnit(kDim, rng);
+    hnsw.Add(i, v);
+    flat.Add(i, v);
+  }
+  int found = 0, total = 0;
+  for (int t = 0; t < 40; ++t) {
+    const auto q = RandomUnit(kDim, rng);
+    const auto truth = flat.Search(q, 10, -1.0);
+    const auto approx = hnsw.Search(q, 10, -1.0);
+    for (const auto& tr : truth) {
+      ++total;
+      for (const auto& ap : approx) {
+        if (ap.id == tr.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(found) / total, 0.8);
+}
+
+TEST(HnswIndex, RemoveTombstonesAndFiltersResults) {
+  HnswIndex idx(8);
+  Rng rng(4);
+  std::vector<Vector> vecs;
+  for (VectorId i = 0; i < 50; ++i) {
+    vecs.push_back(RandomUnit(8, rng));
+    idx.Add(i, vecs.back());
+  }
+  EXPECT_TRUE(idx.Remove(7));
+  EXPECT_FALSE(idx.Remove(7));
+  EXPECT_FALSE(idx.Contains(7));
+  EXPECT_FALSE(idx.Get(7).has_value());
+  EXPECT_EQ(idx.size(), 49u);
+  const auto r = idx.Search(vecs[7], 10, -1.0);
+  for (const auto& res : r) EXPECT_NE(res.id, 7u);
+}
+
+TEST(HnswIndex, RebuildCompactsTombstones) {
+  HnswOptions opts;
+  opts.tombstone_rebuild_ratio = 0.3;
+  HnswIndex idx(8, opts);
+  Rng rng(5);
+  for (VectorId i = 0; i < 60; ++i) idx.Add(i, RandomUnit(8, rng));
+  for (VectorId i = 0; i < 25; ++i) idx.Remove(i);
+  // Compaction keeps the tombstone ratio below the configured bound.
+  EXPECT_EQ(idx.size(), 35u);
+  EXPECT_LT(static_cast<double>(idx.tombstone_count()),
+            0.3 * static_cast<double>(idx.graph_size()) + 1.0);
+  EXPECT_LT(idx.graph_size(), 60u);  // at least one rebuild happened
+  // Survivors remain searchable.
+  const auto v = *idx.Get(40);
+  const auto r = idx.Search(v, 1, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].id, 40u);
+}
+
+TEST(HnswIndex, ReAddAfterRemoveWorks) {
+  HnswIndex idx(8);
+  Rng rng(6);
+  const auto v1 = RandomUnit(8, rng);
+  const auto v2 = RandomUnit(8, rng);
+  idx.Add(1, v1);
+  idx.Remove(1);
+  idx.Add(1, v2);
+  EXPECT_TRUE(idx.Contains(1));
+  const auto r = idx.Search(v2, 1, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].similarity, 1.0, 1e-6);
+}
+
+TEST(HnswIndex, ReAddLiveIdReplacesVector) {
+  HnswIndex idx(8);
+  Rng rng(7);
+  const auto v1 = RandomUnit(8, rng);
+  const auto v2 = RandomUnit(8, rng);
+  idx.Add(1, v1);
+  idx.Add(1, v2);
+  EXPECT_EQ(idx.size(), 1u);
+  ASSERT_TRUE(idx.Get(1).has_value());
+  EXPECT_EQ(*idx.Get(1), v2);
+}
+
+TEST(HnswIndex, MinSimilarityFilters) {
+  HnswIndex idx(2);
+  Vector a = {1, 0}, b = {0, 1};
+  idx.Add(1, a);
+  idx.Add(2, b);
+  const auto r = idx.Search(a, 10, 0.5);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].id, 1u);
+}
+
+TEST(HnswIndex, SurvivesHeavyChurn) {
+  HnswIndex idx(8);
+  Rng rng(8);
+  for (int round = 0; round < 10; ++round) {
+    for (VectorId i = 0; i < 30; ++i) {
+      idx.Add(round * 100 + i, RandomUnit(8, rng));
+    }
+    for (VectorId i = 0; i < 20; ++i) {
+      idx.Remove(round * 100 + i);
+    }
+  }
+  EXPECT_EQ(idx.size(), 100u);
+  // All survivors findable by self query.
+  int correct = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (VectorId i = 20; i < 30; ++i) {
+      const VectorId id = round * 100 + i;
+      const auto r = idx.Search(*idx.Get(id), 1, -1.0);
+      if (!r.empty() && r[0].id == id) ++correct;
+    }
+  }
+  EXPECT_GE(correct, 95);
+}
+
+TEST(HnswIndex, HeuristicSelectionHelpsOnClusteredData) {
+  // Tight clusters with a few bridge points: plain top-M linking tends to
+  // point every edge into the local clump, hurting cross-cluster recall.
+  constexpr std::size_t kDim = 16, kClusters = 8, kPerCluster = 60;
+  Rng rng(11);
+  std::vector<Vector> centres;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    centres.push_back(RandomUnit(kDim, rng));
+  }
+  std::vector<Vector> data;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (std::size_t i = 0; i < kPerCluster; ++i) {
+      Vector v = centres[c];
+      for (auto& x : v) x += static_cast<float>(rng.Normal(0, 0.08));
+      Normalize(v);
+      data.push_back(std::move(v));
+    }
+  }
+
+  auto recall = [&](bool heuristic) {
+    HnswOptions opts;
+    opts.heuristic_selection = heuristic;
+    HnswIndex idx(kDim, opts);
+    FlatIndex flat(kDim);
+    for (VectorId i = 0; i < data.size(); ++i) {
+      idx.Add(i, data[i]);
+      flat.Add(i, data[i]);
+    }
+    int found = 0, total = 0;
+    Rng qrng(12);
+    for (int t = 0; t < 60; ++t) {
+      Vector q = centres[qrng.NextBelow(kClusters)];
+      for (auto& x : q) x += static_cast<float>(qrng.Normal(0, 0.1));
+      Normalize(q);
+      const auto truth = flat.Search(q, 10, -1.0);
+      const auto approx = idx.Search(q, 10, -1.0);
+      for (const auto& tr : truth) {
+        ++total;
+        for (const auto& ap : approx) {
+          if (ap.id == tr.id) {
+            ++found;
+            break;
+          }
+        }
+      }
+    }
+    return static_cast<double>(found) / total;
+  };
+
+  const double with_heuristic = recall(true);
+  const double without = recall(false);
+  EXPECT_GE(with_heuristic + 0.02, without);  // never meaningfully worse
+  EXPECT_GT(with_heuristic, 0.85);
+}
+
+}  // namespace
+}  // namespace cortex

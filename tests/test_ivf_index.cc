@@ -1,0 +1,150 @@
+#include "ann/ivf_index.h"
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+Vector RandomUnit(std::size_t dim, Rng& rng) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  Normalize(v);
+  return v;
+}
+
+TEST(IvfIndex, UntrainedFallsBackToExactScan) {
+  IvfIndex idx(8);
+  Rng rng(1);
+  for (VectorId i = 0; i < 10; ++i) idx.Add(i, RandomUnit(8, rng));
+  EXPECT_FALSE(idx.is_trained());
+  const auto q = *idx.Get(3);
+  const auto r = idx.Search(q, 1, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].id, 3u);
+  EXPECT_NEAR(r[0].similarity, 1.0, 1e-6);
+}
+
+TEST(IvfIndex, TrainsAutomaticallyAtThreshold) {
+  IvfOptions opts;
+  opts.num_lists = 4;
+  opts.train_points_per_list = 4;
+  IvfIndex idx(8, opts);
+  Rng rng(2);
+  for (VectorId i = 0; i < 16; ++i) idx.Add(i, RandomUnit(8, rng));
+  EXPECT_TRUE(idx.is_trained());
+}
+
+TEST(IvfIndex, SelfQueryFindsSelfAfterTraining) {
+  IvfOptions opts;
+  opts.num_lists = 4;
+  opts.num_probes = 4;  // probe everything: recall must be exact
+  IvfIndex idx(8, opts);
+  Rng rng(3);
+  for (VectorId i = 0; i < 64; ++i) idx.Add(i, RandomUnit(8, rng));
+  ASSERT_TRUE(idx.is_trained());
+  for (VectorId i = 0; i < 64; ++i) {
+    const auto r = idx.Search(*idx.Get(i), 1, -1.0);
+    ASSERT_FALSE(r.empty());
+    EXPECT_EQ(r[0].id, i);
+  }
+}
+
+TEST(IvfIndex, RecallCloseToFlatWithPartialProbes) {
+  constexpr std::size_t kDim = 16, kN = 400;
+  IvfOptions opts;
+  opts.num_lists = 16;
+  opts.num_probes = 6;
+  IvfIndex ivf(kDim, opts);
+  FlatIndex flat(kDim);
+  Rng rng(4);
+  for (VectorId i = 0; i < kN; ++i) {
+    const auto v = RandomUnit(kDim, rng);
+    ivf.Add(i, v);
+    flat.Add(i, v);
+  }
+  ASSERT_TRUE(ivf.is_trained());
+  int found = 0, total = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto q = RandomUnit(kDim, rng);
+    const auto truth = flat.Search(q, 5, -1.0);
+    const auto approx = ivf.Search(q, 5, -1.0);
+    for (const auto& tr : truth) {
+      ++total;
+      for (const auto& ap : approx) {
+        if (ap.id == tr.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(found) / total, 0.6);
+}
+
+TEST(IvfIndex, ProbingFewerListsDoesLessWork) {
+  constexpr std::size_t kDim = 16, kN = 400;
+  IvfOptions narrow, wide;
+  narrow.num_lists = wide.num_lists = 16;
+  narrow.num_probes = 1;
+  wide.num_probes = 16;
+  IvfIndex a(kDim, narrow), b(kDim, wide);
+  Rng rng(5);
+  for (VectorId i = 0; i < kN; ++i) {
+    const auto v = RandomUnit(kDim, rng);
+    a.Add(i, v);
+    b.Add(i, v);
+  }
+  const auto q = RandomUnit(kDim, rng);
+  const auto da0 = a.distance_computations();
+  const auto db0 = b.distance_computations();
+  a.Search(q, 5, -1.0);
+  b.Search(q, 5, -1.0);
+  EXPECT_LT(a.distance_computations() - da0, b.distance_computations() - db0);
+}
+
+TEST(IvfIndex, RemoveWorksBeforeAndAfterTraining) {
+  IvfOptions opts;
+  opts.num_lists = 4;
+  opts.train_points_per_list = 8;
+  IvfIndex idx(8, opts);
+  Rng rng(6);
+  idx.Add(100, RandomUnit(8, rng));
+  EXPECT_TRUE(idx.Remove(100));
+  EXPECT_FALSE(idx.Remove(100));
+  for (VectorId i = 0; i < 40; ++i) idx.Add(i, RandomUnit(8, rng));
+  ASSERT_TRUE(idx.is_trained());
+  EXPECT_TRUE(idx.Remove(5));
+  EXPECT_FALSE(idx.Contains(5));
+  const auto r = idx.Search(RandomUnit(8, rng), 40, -1.0);
+  for (const auto& res : r) EXPECT_NE(res.id, 5u);
+}
+
+TEST(IvfIndex, ReAddReplacesAndRelists) {
+  IvfOptions opts;
+  opts.num_lists = 2;
+  opts.train_points_per_list = 2;
+  IvfIndex idx(4, opts);
+  Rng rng(7);
+  for (VectorId i = 0; i < 8; ++i) idx.Add(i, RandomUnit(4, rng));
+  ASSERT_TRUE(idx.is_trained());
+  const auto v = RandomUnit(4, rng);
+  idx.Add(3, v);
+  EXPECT_EQ(idx.size(), 8u);
+  const auto r = idx.Search(v, 1, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].id, 3u);
+}
+
+TEST(IvfIndex, ManualTrainOnSmallCorpusIsSafe) {
+  IvfIndex idx(4);
+  Rng rng(8);
+  idx.Add(0, RandomUnit(4, rng));
+  idx.Train();  // fewer points than lists: stays untrained
+  EXPECT_FALSE(idx.is_trained());
+}
+
+}  // namespace
+}  // namespace cortex

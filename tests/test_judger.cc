@@ -1,0 +1,210 @@
+#include "llm/judger_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+
+namespace cortex {
+namespace {
+
+// A scripted oracle: queries are equivalent iff they share the value in the
+// map; staticity comes from the same map.
+class FakeOracle final : public EquivalenceOracle {
+ public:
+  void Set(std::string query, int topic, double staticity = 5.0) {
+    topics_[std::move(query)] = {topic, staticity};
+  }
+  bool Equivalent(std::string_view a, std::string_view b) const override {
+    const auto ia = topics_.find(std::string(a));
+    const auto ib = topics_.find(std::string(b));
+    return ia != topics_.end() && ib != topics_.end() &&
+           ia->second.first == ib->second.first;
+  }
+  double Staticity(std::string_view q) const override {
+    const auto it = topics_.find(std::string(q));
+    return it == topics_.end() ? 5.0 : it->second.second;
+  }
+
+ private:
+  std::map<std::string, std::pair<int, double>> topics_;
+};
+
+class JudgerTest : public ::testing::Test {
+ protected:
+  JudgerTest() : judger_(&oracle_) {
+    oracle_.Set("q1 painter mona lisa", 1, 9.5);
+    oracle_.Set("q1b who painted mona lisa", 1, 9.5);
+    oracle_.Set("q2 weather tokyo", 2, 1.5);
+  }
+  FakeOracle oracle_;
+  JudgerModel judger_;
+};
+
+TEST_F(JudgerTest, EquivalentPairsScoreAboveDifferentPairs) {
+  JudgeRequest same{"q1 painter mona lisa", "q1b who painted mona lisa",
+                    "da vinci", 0.8};
+  JudgeRequest diff{"q1 painter mona lisa", "q2 weather tokyo", "rainy", 0.8};
+  EXPECT_GT(judger_.Judge(same), judger_.Judge(diff));
+  EXPECT_GT(judger_.Judge(same), 0.5);
+  EXPECT_LT(judger_.Judge(diff), 0.5);
+}
+
+TEST_F(JudgerTest, ScoresAreDeterministic) {
+  JudgeRequest req{"q1 painter mona lisa", "q1b who painted mona lisa",
+                   "da vinci", 0.8};
+  EXPECT_DOUBLE_EQ(judger_.Judge(req), judger_.Judge(req));
+}
+
+TEST_F(JudgerTest, ScoresAreProbabilities) {
+  for (const char* cached :
+       {"q1b who painted mona lisa", "q2 weather tokyo", "unknown text"}) {
+    JudgeRequest req{"q1 painter mona lisa", cached, "v", 0.5};
+    const double s = judger_.Judge(req);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(JudgerTest, EmbeddingSimilarityShiftsEvidence) {
+  JudgeRequest low{"q1 painter mona lisa", "q1b who painted mona lisa",
+                   "da vinci", 0.4};
+  JudgeRequest high = low;
+  high.embedding_similarity = 0.95;
+  EXPECT_GT(judger_.Judge(high), judger_.Judge(low));
+}
+
+TEST_F(JudgerTest, ClassifierIsImperfectButCalibrated) {
+  // Across many synthetic pairs, positives overlap negatives (so threshold
+  // choice matters) while remaining separable on average.
+  FakeOracle oracle;
+  JudgerModel judger(&oracle);
+  StreamingStats pos, neg;
+  for (int i = 0; i < 500; ++i) {
+    const std::string a = "query alpha " + std::to_string(i);
+    const std::string b = "query beta " + std::to_string(i);
+    oracle.Set(a, i);
+    oracle.Set(b, i % 2 ? i : i + 10000);  // half equivalent, half not
+    const double s = judger.Judge({a, b, "value", 0.7});
+    (i % 2 ? pos : neg).Add(s);
+  }
+  EXPECT_GT(pos.mean(), 0.8);
+  EXPECT_LT(neg.mean(), 0.2);
+  // Overlap exists: the best positive is not separated from the worst
+  // negative by a hard margin.
+  EXPECT_GT(neg.max(), pos.min());
+}
+
+TEST_F(JudgerTest, StaticityTracksOracleWithBoundedNoise) {
+  const double stable =
+      judger_.ScoreStaticity("q1 painter mona lisa", "da vinci");
+  const double ephemeral = judger_.ScoreStaticity("q2 weather tokyo", "rainy");
+  EXPECT_GT(stable, ephemeral);
+  EXPECT_GE(stable, 1.0);
+  EXPECT_LE(stable, 10.0);
+  EXPECT_GE(ephemeral, 1.0);
+  EXPECT_LE(ephemeral, 10.0);
+}
+
+TEST_F(JudgerTest, StaticityIsDeterministic) {
+  EXPECT_DOUBLE_EQ(judger_.ScoreStaticity("q2 weather tokyo", "rainy"),
+                   judger_.ScoreStaticity("q2 weather tokyo", "rainy"));
+}
+
+TEST_F(JudgerTest, JudgeSecondsGrowsWithPayloadAndShrinksWithCompute) {
+  JudgeRequest small{"q", "cq", "short", 0.5};
+  JudgeRequest big{"q", "cq",
+                   "a much longer cached result with many more words to "
+                   "prefill through the judger model attention stack",
+                   0.5};
+  EXPECT_GT(judger_.JudgeSeconds(big), judger_.JudgeSeconds(small));
+  EXPECT_GT(judger_.JudgeSeconds(small, 0.2), judger_.JudgeSeconds(small, 1.0));
+}
+
+TEST_F(JudgerTest, DifferentSeedsGiveDifferentJudgers) {
+  JudgerOptions opts;
+  opts.seed = 999;
+  JudgerModel other(&oracle_, opts);
+  JudgeRequest req{"q1 painter mona lisa", "q1b who painted mona lisa",
+                   "da vinci", 0.8};
+  EXPECT_NE(judger_.Judge(req), other.Judge(req));
+}
+
+TEST_F(JudgerTest, ThresholdSweepTradesPrecisionForRecall) {
+  FakeOracle oracle;
+  JudgerModel judger(&oracle);
+  // Build a labelled pool.
+  std::vector<std::pair<double, bool>> scored;
+  for (int i = 0; i < 400; ++i) {
+    const std::string a = "lhs " + std::to_string(i);
+    const std::string b = "rhs " + std::to_string(i);
+    oracle.Set(a, i);
+    const bool equivalent = i % 2 == 0;
+    oracle.Set(b, equivalent ? i : i + 5000);
+    scored.emplace_back(judger.Judge({a, b, "v", 0.7}), equivalent);
+  }
+  auto metrics = [&](double tau) {
+    int tp = 0, fp = 0, fn = 0;
+    for (const auto& [s, label] : scored) {
+      if (s >= tau) {
+        label ? ++tp : ++fp;
+      } else if (label) {
+        ++fn;
+      }
+    }
+    const double precision = tp + fp ? tp / double(tp + fp) : 1.0;
+    const double recall = tp + fn ? tp / double(tp + fn) : 0.0;
+    return std::make_pair(precision, recall);
+  };
+  const auto [p_low, r_low] = metrics(0.2);
+  const auto [p_high, r_high] = metrics(0.9);
+  EXPECT_GE(p_high, p_low);
+  EXPECT_LE(r_high, r_low);
+  EXPECT_GT(r_low, 0.95);
+}
+
+TEST_F(JudgerTest, FinetuneImprovesSeparationWithBounds) {
+  JudgerModel judger(&oracle_);
+  const auto before = judger.options();
+  // Too few examples: no effect.
+  const auto noop = judger.Finetune(JudgerModel::kMinFinetuneExamples - 1);
+  EXPECT_EQ(noop.examples_used, 0u);
+  EXPECT_DOUBLE_EQ(judger.options().mu_equivalent, before.mu_equivalent);
+
+  // A real annotated set widens the margins and shrinks the noise.
+  const auto report = judger.Finetune(512);
+  EXPECT_EQ(report.examples_used, 512u);
+  EXPECT_GT(judger.options().mu_equivalent, before.mu_equivalent);
+  EXPECT_LT(judger.options().mu_different, before.mu_different);
+  EXPECT_LT(judger.options().noise_sigma, before.noise_sigma);
+
+  // Repeated rounds converge to the hard bounds instead of diverging.
+  for (int i = 0; i < 200; ++i) judger.Finetune(4096);
+  EXPECT_LE(judger.options().mu_equivalent, JudgerModel::kMaxMuEquivalent);
+  EXPECT_GE(judger.options().mu_different, JudgerModel::kMinMuDifferent);
+  EXPECT_GE(judger.options().noise_sigma, JudgerModel::kMinNoiseSigma);
+}
+
+TEST_F(JudgerTest, FinetunedJudgerMakesFewerMistakes) {
+  FakeOracle oracle;
+  JudgerModel base(&oracle), tuned(&oracle);
+  tuned.Finetune(100000);
+  int base_errors = 0, tuned_errors = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string a = "q lhs " + std::to_string(i);
+    const std::string b = "q rhs " + std::to_string(i);
+    oracle.Set(a, i);
+    const bool equivalent = i % 2 == 0;
+    oracle.Set(b, equivalent ? i : i + 50000);
+    const bool base_says = base.Judge({a, b, "v", 0.7}) >= 0.6;
+    const bool tuned_says = tuned.Judge({a, b, "v", 0.7}) >= 0.6;
+    if (base_says != equivalent) ++base_errors;
+    if (tuned_says != equivalent) ++tuned_errors;
+  }
+  EXPECT_LT(tuned_errors, base_errors);
+}
+
+}  // namespace
+}  // namespace cortex

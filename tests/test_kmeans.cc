@@ -1,0 +1,118 @@
+#include "ann/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+// Three well-separated 2D blobs.
+std::vector<float> MakeBlobs(std::size_t per_blob, Rng& rng) {
+  const float centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  std::vector<float> data;
+  data.reserve(per_blob * 3 * 2);
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      data.push_back(c[0] + static_cast<float>(rng.Normal(0, 0.5)));
+      data.push_back(c[1] + static_cast<float>(rng.Normal(0, 0.5)));
+    }
+  }
+  return data;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  const auto data = MakeBlobs(50, rng);
+  const auto result = KMeans(data, 150, 2, 3);
+  EXPECT_EQ(result.k, 3u);
+  EXPECT_EQ(result.assignments.size(), 150u);
+  // Each blob's points share one cluster, and the three clusters differ.
+  std::set<std::size_t> blob_clusters;
+  for (int blob = 0; blob < 3; ++blob) {
+    const std::size_t c0 = result.assignments[blob * 50];
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(result.assignments[blob * 50 + i], c0);
+    }
+    blob_clusters.insert(c0);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+}
+
+TEST(KMeans, InertiaIsLowForTightBlobs) {
+  Rng rng(2);
+  const auto data = MakeBlobs(40, rng);
+  const auto result = KMeans(data, 120, 2, 3);
+  // Variance 0.25 per axis -> expected inertia ~ 120 * 0.5.
+  EXPECT_LT(result.inertia, 120.0);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  Rng rng(3);
+  std::vector<float> data;
+  for (int i = 0; i < 5; ++i) {
+    data.push_back(static_cast<float>(i * 10));
+    data.push_back(0.0f);
+  }
+  const auto result = KMeans(data, 5, 2, 5);
+  std::set<std::size_t> clusters(result.assignments.begin(),
+                                 result.assignments.end());
+  EXPECT_EQ(clusters.size(), 5u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, SingleCluster) {
+  Rng rng(4);
+  const auto data = MakeBlobs(20, rng);
+  const auto result = KMeans(data, 60, 2, 1);
+  for (auto a : result.assignments) EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  Rng rng(5);
+  const auto data = MakeBlobs(30, rng);
+  KMeansOptions opts;
+  opts.seed = 99;
+  const auto a = KMeans(data, 90, 2, 3, opts);
+  const auto b = KMeans(data, 90, 2, 3, opts);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  // All-identical points force empty clusters; the reseed path must cope.
+  std::vector<float> data(40, 1.0f);  // 20 identical 2D points
+  const auto result = KMeans(data, 20, 2, 4);
+  EXPECT_EQ(result.assignments.size(), 20u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, StopsEarlyOnConvergence) {
+  Rng rng(6);
+  const auto data = MakeBlobs(50, rng);
+  KMeansOptions opts;
+  opts.max_iterations = 50;
+  const auto result = KMeans(data, 150, 2, 3, opts);
+  EXPECT_LT(result.iterations_run, 50u);
+}
+
+TEST(NearestCentroid, PicksClosest) {
+  const std::vector<float> centroids = {0, 0, 10, 10};
+  const std::vector<float> p1 = {1, 1};
+  const std::vector<float> p2 = {9, 9};
+  EXPECT_EQ(NearestCentroid(p1, centroids, 2, 2), 0u);
+  EXPECT_EQ(NearestCentroid(p2, centroids, 2, 2), 1u);
+}
+
+TEST(KMeans, CentroidAccessorReturnsRows) {
+  Rng rng(7);
+  const auto data = MakeBlobs(10, rng);
+  const auto result = KMeans(data, 30, 2, 2);
+  EXPECT_EQ(result.Centroid(0).size(), 2u);
+  EXPECT_EQ(result.Centroid(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/driver.h"
+#include "sim/metrics.h"
+
+namespace cortex {
+namespace {
+
+// --- RunMetrics ---
+
+TaskRecord MakeRecord(double arrival, double completion, bool correct,
+                      std::uint64_t tool_calls = 1,
+                      std::uint64_t cache_hits = 0) {
+  TaskRecord r;
+  r.arrival_time = arrival;
+  r.completion_time = completion;
+  r.answer_correct = correct;
+  r.tool_calls = tool_calls;
+  r.cache_hits = cache_hits;
+  r.agent_seconds = 0.5;
+  r.tool_seconds = 0.4;
+  r.api_calls = tool_calls - cache_hits;
+  return r;
+}
+
+TEST(RunMetrics, ThroughputOverSpan) {
+  RunMetrics m;
+  m.Record(MakeRecord(0.0, 1.0, true));
+  m.Record(MakeRecord(1.0, 4.0, true));
+  // 2 tasks over [0, 4].
+  EXPECT_DOUBLE_EQ(m.Throughput(), 0.5);
+  EXPECT_EQ(m.completed_tasks(), 2u);
+}
+
+TEST(RunMetrics, HitRateAggregatesToolCalls) {
+  RunMetrics m;
+  m.Record(MakeRecord(0, 1, true, /*tool_calls=*/4, /*cache_hits=*/3));
+  m.Record(MakeRecord(1, 2, true, /*tool_calls=*/2, /*cache_hits=*/0));
+  EXPECT_DOUBLE_EQ(m.CacheHitRate(), 0.5);
+  EXPECT_EQ(m.total_tool_calls(), 6u);
+}
+
+TEST(RunMetrics, AccuracyIsFractionCorrect) {
+  RunMetrics m;
+  m.Record(MakeRecord(0, 1, true));
+  m.Record(MakeRecord(0, 1, false));
+  m.Record(MakeRecord(0, 1, true));
+  EXPECT_NEAR(m.Accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunMetrics, LatencyPercentiles) {
+  RunMetrics m;
+  for (int i = 1; i <= 100; ++i) {
+    m.Record(MakeRecord(0.0, static_cast<double>(i), true));
+  }
+  EXPECT_NEAR(m.P99Latency(), 99.0, 3.0);
+  EXPECT_NEAR(m.MeanLatency(), 50.5, 0.01);
+}
+
+TEST(RunMetrics, RetryRatio) {
+  RunMetrics m;
+  TaskRecord r = MakeRecord(0, 1, true);
+  r.api_calls = 4;
+  r.retries = 1;
+  m.Record(r);
+  EXPECT_DOUBLE_EQ(m.RetryRatio(), 0.25);
+}
+
+TEST(RunMetrics, EmptyMetricsAreZero) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.Throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(m.CacheHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+}
+
+// --- ServingDriver with a scripted resolver ---
+
+class ScriptedResolver final : public ToolResolver {
+ public:
+  explicit ScriptedResolver(double delay) : delay_(delay) {}
+
+  void Resolve(Simulation& sim, const ToolStep& step, std::uint64_t task_id,
+               ResolveCallback done) override {
+    ++calls_;
+    last_task_id_ = task_id;
+    ResolveOutcome out;
+    out.info = step.expected_info;
+    out.from_cache = false;
+    out.tool_seconds = delay_;
+    out.api_calls = 1;
+    sim.ScheduleAfter(delay_, [done = std::move(done), out] { done(out); });
+  }
+  std::string name() const override { return "scripted"; }
+
+  int calls() const { return calls_; }
+  std::uint64_t last_task_id() const { return last_task_id_; }
+
+ private:
+  double delay_;
+  int calls_ = 0;
+  std::uint64_t last_task_id_ = 0;
+};
+
+std::vector<AgentTask> MakeTasks(std::size_t n, std::size_t steps) {
+  std::vector<AgentTask> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    AgentTask t;
+    t.id = 1000 + i;
+    t.description = "task " + std::to_string(i);
+    t.base_correctness = 1.0;
+    for (std::size_t s = 0; s < steps; ++s) {
+      t.steps.push_back({"think", "query " + std::to_string(s),
+                         "info " + std::to_string(s)});
+    }
+    t.final_answer = "answer";
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+TEST(ServingDriver, CompletesAllTasksOpenLoop) {
+  AgentModel agent;
+  ColocationSimulator gpu(DeploymentConfig::Colocated80_20());
+  ScriptedResolver resolver(0.1);
+  DriverOptions opts;
+  opts.request_rate = 5.0;
+  ServingDriver driver(agent, gpu, resolver, opts);
+  const auto metrics = driver.Run(MakeTasks(20, 2));
+  EXPECT_EQ(metrics.completed_tasks(), 20u);
+  EXPECT_EQ(resolver.calls(), 40);
+  EXPECT_EQ(metrics.total_tool_calls(), 40u);
+  EXPECT_DOUBLE_EQ(metrics.Accuracy(), 1.0);  // base_correctness = 1
+}
+
+TEST(ServingDriver, TaskIdReachesResolver) {
+  AgentModel agent;
+  ColocationSimulator gpu(DeploymentConfig::Colocated80_20());
+  ScriptedResolver resolver(0.01);
+  ServingDriver driver(agent, gpu, resolver, {});
+  driver.Run(MakeTasks(1, 1));
+  EXPECT_EQ(resolver.last_task_id(), 1000u);
+}
+
+TEST(ServingDriver, OpenLoopPacedArrivalsAreSpaced) {
+  AgentModel agent;
+  ColocationSimulator gpu(DeploymentConfig::Colocated80_20());
+  ScriptedResolver resolver(0.0);
+  DriverOptions opts;
+  opts.request_rate = 2.0;
+  opts.poisson_arrivals = false;  // fixed 0.5 s spacing
+  ServingDriver driver(agent, gpu, resolver, opts);
+  const auto metrics = driver.Run(MakeTasks(10, 1));
+  std::vector<double> arrivals;
+  for (const auto& r : metrics.records()) arrivals.push_back(r.arrival_time);
+  std::sort(arrivals.begin(), arrivals.end());
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_NEAR(arrivals[i] - arrivals[i - 1], 0.5, 1e-9);
+  }
+}
+
+TEST(ServingDriver, ClosedLoopBoundsConcurrency) {
+  AgentModel agent;
+  ColocationSimulator gpu(DeploymentConfig::Colocated80_20());
+  ScriptedResolver resolver(0.5);
+  DriverOptions opts;
+  opts.arrival = DriverOptions::Arrival::kClosedLoop;
+  opts.concurrency = 2;
+  ServingDriver driver(agent, gpu, resolver, opts);
+  const auto metrics = driver.Run(MakeTasks(12, 1));
+  EXPECT_EQ(metrics.completed_tasks(), 12u);
+  // With 2 in flight, at most 2 tasks share any arrival time; later tasks
+  // arrive only as earlier ones finish.
+  std::size_t at_zero = 0;
+  for (const auto& r : metrics.records()) {
+    if (r.arrival_time == 0.0) ++at_zero;
+  }
+  EXPECT_EQ(at_zero, 2u);
+}
+
+TEST(ServingDriver, ExplicitArrivalsAreHonoured) {
+  AgentModel agent;
+  ColocationSimulator gpu(DeploymentConfig::Colocated80_20());
+  ScriptedResolver resolver(0.01);
+  DriverOptions opts;
+  opts.explicit_arrivals = {0.0, 2.5, 7.0};
+  ServingDriver driver(agent, gpu, resolver, opts);
+  const auto metrics = driver.Run(MakeTasks(3, 1));
+  std::vector<double> arrivals;
+  for (const auto& r : metrics.records()) arrivals.push_back(r.arrival_time);
+  std::sort(arrivals.begin(), arrivals.end());
+  EXPECT_DOUBLE_EQ(arrivals[0], 0.0);
+  EXPECT_DOUBLE_EQ(arrivals[1], 2.5);
+  EXPECT_DOUBLE_EQ(arrivals[2], 7.0);
+}
+
+TEST(ServingDriver, RecordsContainComponentBreakdown) {
+  AgentModel agent;
+  ColocationSimulator gpu(DeploymentConfig::Colocated80_20());
+  ScriptedResolver resolver(0.25);
+  ServingDriver driver(agent, gpu, resolver, {});
+  const auto metrics = driver.Run(MakeTasks(1, 2));
+  ASSERT_EQ(metrics.records().size(), 1u);
+  const auto& r = metrics.records()[0];
+  EXPECT_GT(r.agent_seconds, 0.0);
+  EXPECT_NEAR(r.tool_seconds, 0.5, 1e-9);  // two resolves at 0.25 each
+  EXPECT_EQ(r.api_calls, 2u);
+  EXPECT_GT(r.completion_time, r.arrival_time);
+  // Latency covers agent + tool time.
+  EXPECT_GE(r.Latency(), r.agent_seconds + r.tool_seconds - 1e-9);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,79 @@
+#include "llm/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cortex {
+namespace {
+
+TEST(ModelSpec, PresetsAreOrderedBySize) {
+  EXPECT_GT(ModelSpec::Coder8B().params_billions,
+            ModelSpec::Agent7B().params_billions);
+  EXPECT_LT(ModelSpec::Judger06B().params_billions, 1.0);
+}
+
+TEST(InferenceSeconds, IncludesFixedOverhead) {
+  const auto spec = ModelSpec::Agent7B();
+  EXPECT_DOUBLE_EQ(InferenceSeconds(spec, 0, 0), spec.fixed_overhead_sec);
+}
+
+TEST(InferenceSeconds, MonotoneInTokens) {
+  const auto spec = ModelSpec::Agent7B();
+  double prev = 0.0;
+  for (std::size_t tokens = 0; tokens <= 1000; tokens += 100) {
+    const double t = InferenceSeconds(spec, tokens, tokens / 10);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(InferenceSeconds, DecodeDominatesPrefillPerToken) {
+  const auto spec = ModelSpec::Agent7B();
+  const double prefill_only = InferenceSeconds(spec, 100, 0);
+  const double decode_only = InferenceSeconds(spec, 0, 100);
+  EXPECT_GT(decode_only, prefill_only);
+}
+
+TEST(InferenceSeconds, ScalesInverselyWithComputeFraction) {
+  const auto spec = ModelSpec::Agent7B();
+  const double full = InferenceSeconds(spec, 1000, 100, 1.0);
+  const double fifth = InferenceSeconds(spec, 1000, 100, 0.2);
+  // Token time scales 5x; the fixed overhead does not.
+  EXPECT_NEAR(fifth - spec.fixed_overhead_sec,
+              5.0 * (full - spec.fixed_overhead_sec), 1e-9);
+}
+
+TEST(InferenceSeconds, JudgerCallIsMilliseconds) {
+  const auto spec = ModelSpec::Judger06B();
+  // ~150 prompt tokens + 1 output token at full GPU.
+  const double t = InferenceSeconds(spec, 150, 1);
+  EXPECT_LT(t, 0.01);
+  EXPECT_GT(t, 0.001);
+}
+
+TEST(InferenceSeconds, AgentRequestIsHundredsOfMilliseconds) {
+  const auto spec = ModelSpec::Agent7B();
+  // A Search-R1-like turn: ~200-token prompt, ~120 generated tokens.
+  const double t = InferenceSeconds(spec, 200, 120);
+  EXPECT_GT(t, 0.3);
+  EXPECT_LT(t, 1.0);
+}
+
+TEST(InferenceSeconds, EncoderWithZeroDecodeRateIgnoresOutput) {
+  const auto spec = ModelSpec::Embedder06B();
+  EXPECT_DOUBLE_EQ(InferenceSeconds(spec, 100, 0),
+                   InferenceSeconds(spec, 100, 50));
+}
+
+TEST(KvBytes, LinearInContext) {
+  const auto spec = ModelSpec::Agent7B();
+  EXPECT_DOUBLE_EQ(KvBytes(spec, 0), 0.0);
+  EXPECT_DOUBLE_EQ(KvBytes(spec, 200), 2.0 * KvBytes(spec, 100));
+}
+
+TEST(KvBytes, JudgerFootprintMuchSmallerThanAgent) {
+  EXPECT_LT(KvBytes(ModelSpec::Judger06B(), 1000),
+            KvBytes(ModelSpec::Agent7B(), 1000) / 4.0);
+}
+
+}  // namespace
+}  // namespace cortex

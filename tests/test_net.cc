@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "net/cost_model.h"
+#include "net/latency.h"
+#include "net/rate_limiter.h"
+#include "net/remote_service.h"
+#include "util/stats.h"
+
+namespace cortex {
+namespace {
+
+// --- LatencyDistribution ---
+
+TEST(LatencyDistribution, SamplesWithinBounds) {
+  auto dist = LatencyDistribution::CrossRegionSearchApi();
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double s = dist.Sample(rng);
+    EXPECT_GE(s, dist.params().min_sec);
+    EXPECT_LE(s, dist.params().max_sec);
+  }
+}
+
+TEST(LatencyDistribution, CrossRegionMatchesPaperBand) {
+  // Paper §6.1: 300-500 ms per-request average depending on response.
+  auto dist = LatencyDistribution::CrossRegionSearchApi();
+  Rng rng(2);
+  StreamingStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_GT(stats.mean(), 0.30);
+  EXPECT_LT(stats.mean(), 0.50);
+  EXPECT_NEAR(stats.mean(), dist.mean_estimate(), 0.02);
+}
+
+TEST(LatencyDistribution, RagAveragesThreeHundredMs) {
+  auto dist = LatencyDistribution::SelfHostedRag();
+  Rng rng(3);
+  StreamingStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(dist.Sample(rng));
+  EXPECT_NEAR(stats.mean(), 0.30, 0.03);
+}
+
+TEST(LatencyDistribution, LocalIsMilliseconds) {
+  auto dist = LatencyDistribution::LocalService();
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(dist.Sample(rng), 0.05);
+}
+
+// --- TokenBucket ---
+
+TEST(TokenBucket, BurstThenThrottle) {
+  TokenBucket bucket(1.0, 5.0);  // 1/s, burst 5
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  EXPECT_EQ(bucket.accepted(), 5u);
+  EXPECT_EQ(bucket.rejected(), 1u);
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(2.0, 2.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.4));  // only 0.8 tokens accrued
+  EXPECT_TRUE(bucket.TryAcquire(0.6));   // 1.2 accrued
+}
+
+TEST(TokenBucket, NextAvailablePredictsAcquireTime) {
+  TokenBucket bucket(1.0, 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  const double next = bucket.NextAvailable(0.0);
+  EXPECT_NEAR(next, 1.0, 1e-9);
+  EXPECT_FALSE(bucket.TryAcquire(next - 0.01));
+  EXPECT_TRUE(bucket.TryAcquire(next));
+}
+
+TEST(TokenBucket, NextAvailableIsNowWhenTokensExist) {
+  TokenBucket bucket(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(bucket.NextAvailable(5.0), 5.0);
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket bucket(100.0, 3.0);
+  EXPECT_NEAR(bucket.TokensAt(1000.0), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, UnlimitedNeverRejects) {
+  auto bucket = UnlimitedBucket();
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+}
+
+TEST(TokenBucket, SustainedRateConvergesToLimit) {
+  TokenBucket bucket(100.0 / 60.0, 10.0);  // the paper's 100/min quota
+  int accepted = 0;
+  for (int i = 0; i < 6000; ++i) {
+    if (bucket.TryAcquire(i * 0.1)) ++accepted;  // offered 10/s for 600 s
+  }
+  EXPECT_NEAR(accepted, 1010, 30);  // ~100/min x 10 min + burst
+}
+
+// --- RetryPolicy ---
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.0;
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, rng), 0.5);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, rng), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, rng), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(10, rng), policy.max_backoff_sec);
+}
+
+TEST(RetryPolicy, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double b = policy.BackoffSeconds(2, rng);
+    EXPECT_GE(b, 1.0 * (1 - policy.jitter_fraction) - 1e-9);
+    EXPECT_LE(b, 1.0 * (1 + policy.jitter_fraction) + 1e-9);
+  }
+}
+
+// --- CostModel ---
+
+TEST(CostModel, Table1Prices) {
+  const auto pricing = StandardApiPricing();
+  ASSERT_EQ(pricing.size(), 3u);
+  EXPECT_EQ(pricing[0].provider, "Google");
+  EXPECT_DOUBLE_EQ(pricing[0].dollars_per_1k_calls, 5.0);
+  EXPECT_DOUBLE_EQ(GoogleSearchPricing().PerCall(), 0.005);
+  EXPECT_DOUBLE_EQ(SelfHostedPricing().PerCall(), 0.0);
+}
+
+TEST(CostModel, TrackerAccumulates) {
+  CostTracker tracker;
+  tracker.AddApiCall(GoogleSearchPricing(), 1000);
+  tracker.AddGpuSeconds(3600.0, 2.0);
+  EXPECT_DOUBLE_EQ(tracker.api_dollars(), 5.0);
+  EXPECT_DOUBLE_EQ(tracker.gpu_dollars(), 2.0 * kGpuDollarsPerHour);
+  EXPECT_DOUBLE_EQ(tracker.total_dollars(),
+                   5.0 + 2.0 * kGpuDollarsPerHour);
+  EXPECT_EQ(tracker.api_calls(), 1000u);
+  tracker.Reset();
+  EXPECT_DOUBLE_EQ(tracker.total_dollars(), 0.0);
+}
+
+// --- RemoteDataService ---
+
+TEST(RemoteService, UnthrottledFetchSucceedsFirstAttempt) {
+  auto opts = RemoteDataService::SelfHostedRag();
+  RemoteDataService service(opts);
+  const auto r = service.Fetch(0.0, "query", "the info");
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.retries, 0u);
+  EXPECT_EQ(r.info, "the info");
+  EXPECT_GT(r.Latency(), 0.2);
+  EXPECT_DOUBLE_EQ(r.cost_dollars, 0.0);
+  EXPECT_EQ(service.total_calls(), 1u);
+}
+
+TEST(RemoteService, GoogleFetchIsBilled) {
+  RemoteDataService service(RemoteDataService::GoogleSearchApi());
+  const auto r = service.Fetch(0.0, "q", "info");
+  EXPECT_DOUBLE_EQ(r.cost_dollars, 0.005);
+  EXPECT_DOUBLE_EQ(service.total_cost_dollars(), 0.005);
+}
+
+TEST(RemoteService, ThrottlingCausesRetriesAndDelays) {
+  auto opts = RemoteDataService::GoogleSearchApi();
+  opts.burst = 1.0;
+  RemoteDataService service(opts);
+  ASSERT_TRUE(service.Fetch(0.0, "a", "x").success);
+  const auto r = service.Fetch(0.0, "b", "y");  // bucket empty now
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.Latency(), 0.5);  // rejection RTT + backoff + service time
+  EXPECT_GT(service.RetryRatio(), 0.0);
+}
+
+TEST(RemoteService, RetryRatioGrowsWithOfferedLoad) {
+  auto opts = RemoteDataService::GoogleSearchApi();
+  RemoteDataService light(opts), heavy(opts);
+  for (int i = 0; i < 200; ++i) {
+    light.Fetch(i * 2.0, "q", "v");   // 0.5 req/s < 1.67/s quota
+    heavy.Fetch(i * 0.25, "q", "v");  // 4 req/s  > quota
+  }
+  EXPECT_LT(light.RetryRatio(), 0.01);
+  EXPECT_GT(heavy.RetryRatio(), 0.3);
+}
+
+TEST(RemoteService, DisabledLimiterNeverRetries) {
+  auto opts = RemoteDataService::SelfHostedRag(/*rate_limited=*/false);
+  RemoteDataService service(opts);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(service.Fetch(i * 0.01, "q", "v").retries, 0u);
+  }
+  EXPECT_FALSE(service.rate_limited());
+}
+
+TEST(RemoteService, RateLimitedRagPreset) {
+  auto opts = RemoteDataService::SelfHostedRag(/*rate_limited=*/true);
+  RemoteDataService service(opts);
+  EXPECT_TRUE(service.rate_limited());
+}
+
+TEST(RemoteService, CountersResetCleanly) {
+  RemoteDataService service(RemoteDataService::GoogleSearchApi());
+  service.Fetch(0.0, "q", "v");
+  service.ResetCounters();
+  EXPECT_EQ(service.total_calls(), 0u);
+  EXPECT_DOUBLE_EQ(service.total_cost_dollars(), 0.0);
+}
+
+TEST(RemoteService, InjectedTransientFailuresAreRetriedToSuccess) {
+  auto opts = RemoteDataService::SelfHostedRag();
+  opts.transient_failure_probability = 0.3;
+  RemoteDataService service(opts);
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = service.Fetch(i * 2.0, "q", "v");
+    if (r.success) ++successes;
+  }
+  EXPECT_EQ(successes, 200);  // retries absorb every injected failure
+  EXPECT_GT(service.total_transient_failures(), 30u);
+  // ~30% of attempts fail -> mean attempts ~1/0.7.
+  EXPECT_NEAR(static_cast<double>(service.total_calls()) / 200.0, 1.43, 0.2);
+}
+
+TEST(RemoteService, FailedAttemptsAreStillBilled) {
+  auto opts = RemoteDataService::GoogleSearchApi();
+  opts.rate_limit_per_min = -1.0;
+  opts.transient_failure_probability = 0.5;
+  RemoteDataService service(opts);
+  const auto r = service.Fetch(0.0, "q", "v");
+  EXPECT_TRUE(r.success);
+  // Every admitted attempt consumed a round trip and its fee.
+  EXPECT_DOUBLE_EQ(r.cost_dollars, 0.005 * static_cast<double>(r.attempts));
+}
+
+TEST(RemoteService, FailureInjectionInflatesTailLatency) {
+  auto reliable_opts = RemoteDataService::SelfHostedRag();
+  auto flaky_opts = RemoteDataService::SelfHostedRag();
+  flaky_opts.transient_failure_probability = 0.25;
+  RemoteDataService reliable(reliable_opts), flaky(flaky_opts);
+  Histogram h_reliable, h_flaky;
+  for (int i = 0; i < 500; ++i) {
+    h_reliable.Add(reliable.Fetch(i * 2.0, "q", "v").Latency());
+    h_flaky.Add(flaky.Fetch(i * 2.0, "q", "v").Latency());
+  }
+  EXPECT_GT(h_flaky.p99(), h_reliable.p99() + 0.3);  // backoff in the tail
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,188 @@
+#include "ann/pq.h"
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+Vector RandomUnit(std::size_t dim, Rng& rng) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  Normalize(v);
+  return v;
+}
+
+std::vector<float> RandomCorpus(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<float> data;
+  data.reserve(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = RandomUnit(dim, rng);
+    data.insert(data.end(), v.begin(), v.end());
+  }
+  return data;
+}
+
+PqOptions SmallPq() {
+  PqOptions opts;
+  opts.num_subspaces = 8;
+  opts.codebook_size = 32;
+  opts.train_points = 64;
+  return opts;
+}
+
+// --- ProductQuantizer ---
+
+TEST(ProductQuantizer, EncodeDecodeRoundTripApproximates) {
+  constexpr std::size_t kDim = 32, kN = 300;
+  Rng rng(1);
+  const auto data = RandomCorpus(kN, kDim, rng);
+  ProductQuantizer pq(kDim, SmallPq());
+  pq.Train(data, kN);
+  ASSERT_TRUE(pq.trained());
+  // Reconstruction error well below the squared norm (=1) of the inputs.
+  EXPECT_LT(pq.ReconstructionError(data, kN), 0.6);
+}
+
+TEST(ProductQuantizer, CodesAreCompact) {
+  constexpr std::size_t kDim = 32;
+  Rng rng(2);
+  const auto data = RandomCorpus(128, kDim, rng);
+  ProductQuantizer pq(kDim, SmallPq());
+  pq.Train(data, 128);
+  const auto code = pq.Encode(std::span<const float>(data).first(kDim));
+  EXPECT_EQ(code.size(), 8u);  // M bytes for a 32-float vector
+  for (auto c : code) EXPECT_LT(c, pq.codebook_size());
+}
+
+TEST(ProductQuantizer, AdcTableMatchesDecodedDot) {
+  constexpr std::size_t kDim = 32;
+  Rng rng(3);
+  const auto data = RandomCorpus(128, kDim, rng);
+  ProductQuantizer pq(kDim, SmallPq());
+  pq.Train(data, 128);
+  const auto q = RandomUnit(kDim, rng);
+  const auto table = pq.BuildDotTable(q);
+  for (int i = 0; i < 10; ++i) {
+    const auto row = std::span<const float>(data).subspan(i * kDim, kDim);
+    const auto code = pq.Encode(row);
+    const double via_table = pq.DotFromTable(table, code);
+    const double via_decode = Dot(q, pq.Decode(code));
+    EXPECT_NEAR(via_table, via_decode, 1e-5);
+  }
+}
+
+TEST(ProductQuantizer, TinyCorpusShrinksCodebook) {
+  constexpr std::size_t kDim = 16;
+  Rng rng(4);
+  const auto data = RandomCorpus(10, kDim, rng);
+  PqOptions opts;
+  opts.num_subspaces = 4;
+  opts.codebook_size = 256;
+  ProductQuantizer pq(kDim, opts);
+  pq.Train(data, 10);
+  EXPECT_TRUE(pq.trained());
+  EXPECT_LE(pq.codebook_size(), 10u);
+}
+
+// --- PqIndex ---
+
+TEST(PqIndex, ExactScanBeforeTraining) {
+  PqIndex idx(16, SmallPq());
+  Rng rng(5);
+  const auto v = RandomUnit(16, rng);
+  idx.Add(1, v);
+  EXPECT_FALSE(idx.is_trained());
+  const auto r = idx.Search(v, 1, -1.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].similarity, 1.0, 1e-6);
+}
+
+TEST(PqIndex, TrainsAtThresholdAndStillFindsSelf) {
+  PqIndex idx(32, SmallPq());
+  Rng rng(6);
+  std::vector<Vector> vecs;
+  for (VectorId i = 0; i < 100; ++i) {
+    vecs.push_back(RandomUnit(32, rng));
+    idx.Add(i, vecs.back());
+  }
+  ASSERT_TRUE(idx.is_trained());
+  int correct = 0;
+  for (VectorId i = 0; i < 100; ++i) {
+    const auto r = idx.Search(vecs[i], 1, -1.0);
+    if (!r.empty() && r[0].id == i) ++correct;
+  }
+  // ADC is approximate, but self-queries should mostly win.
+  EXPECT_GE(correct, 70);
+}
+
+TEST(PqIndex, RecallAtFiveVsFlat) {
+  constexpr std::size_t kDim = 32, kN = 400;
+  PqIndex pq(kDim, SmallPq());
+  FlatIndex flat(kDim);
+  Rng rng(7);
+  for (VectorId i = 0; i < kN; ++i) {
+    const auto v = RandomUnit(kDim, rng);
+    pq.Add(i, v);
+    flat.Add(i, v);
+  }
+  int found = 0, total = 0;
+  for (int t = 0; t < 40; ++t) {
+    const auto q = RandomUnit(kDim, rng);
+    const auto truth = flat.Search(q, 5, -1.0);
+    const auto approx = pq.Search(q, 5, -1.0);
+    for (const auto& tr : truth) {
+      ++total;
+      for (const auto& ap : approx) {
+        if (ap.id == tr.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  // Random gaussian unit vectors are PQ's worst case (no cluster
+  // structure for the codebooks to exploit); real embedding corpora fare
+  // far better (see bench_ann).
+  EXPECT_GT(static_cast<double>(found) / total, 0.35);
+}
+
+TEST(PqIndex, RemoveAndContains) {
+  PqIndex idx(16, SmallPq());
+  Rng rng(8);
+  for (VectorId i = 0; i < 80; ++i) idx.Add(i, RandomUnit(16, rng));
+  EXPECT_TRUE(idx.Contains(3));
+  EXPECT_TRUE(idx.Remove(3));
+  EXPECT_FALSE(idx.Remove(3));
+  EXPECT_FALSE(idx.Contains(3));
+  EXPECT_EQ(idx.size(), 79u);
+  const auto r = idx.Search(RandomUnit(16, rng), 79, -1.0);
+  for (const auto& res : r) EXPECT_NE(res.id, 3u);
+}
+
+TEST(PqIndex, GetReturnsExactVector) {
+  PqIndex idx(16, SmallPq());
+  Rng rng(9);
+  const auto v = RandomUnit(16, rng);
+  idx.Add(42, v);
+  ASSERT_TRUE(idx.Get(42).has_value());
+  EXPECT_EQ(*idx.Get(42), v);  // exact, not the decoded approximation
+}
+
+TEST(PqIndex, CompressedFootprintIsSmall) {
+  PqIndex idx(256, SmallPq());
+  EXPECT_EQ(idx.bytes_per_vector(), 8u);  // vs 1024 bytes of float32
+}
+
+TEST(PqIndex, MinSimilarityFilterHolds) {
+  PqIndex idx(32, SmallPq());
+  Rng rng(10);
+  for (VectorId i = 0; i < 120; ++i) idx.Add(i, RandomUnit(32, rng));
+  const auto r = idx.Search(RandomUnit(32, rng), 120, 0.4);
+  for (const auto& res : r) EXPECT_GE(res.similarity, 0.4);
+}
+
+}  // namespace
+}  // namespace cortex

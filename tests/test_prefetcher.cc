@@ -1,0 +1,165 @@
+#include "core/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace cortex {
+namespace {
+
+PrefetcherOptions Loose() {
+  PrefetcherOptions opts;
+  opts.confidence_threshold = 0.5;
+  opts.min_observations = 2;
+  return opts;
+}
+
+TEST(MarkovPrefetcher, LearnsRepeatedTransition) {
+  MarkovPrefetcher p(Loose());
+  for (int i = 0; i < 5; ++i) {
+    p.Record("query a");
+    p.Record("query b");
+  }
+  const auto preds = p.Predict("query a");
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].query, "query b");
+  EXPECT_GT(preds[0].probability, 0.9);
+}
+
+TEST(MarkovPrefetcher, NoPredictionBelowSupport) {
+  MarkovPrefetcher p(Loose());
+  p.Record("a");
+  p.Record("b");  // a->b observed once; min_observations = 2
+  EXPECT_TRUE(p.Predict("a").empty());
+}
+
+TEST(MarkovPrefetcher, ThresholdFiltersWeakTransitions) {
+  PrefetcherOptions opts = Loose();
+  opts.confidence_threshold = 0.6;
+  MarkovPrefetcher p(opts);
+  // a -> b twice, a -> c twice, a -> d once: no successor reaches 0.6.
+  for (const char* next : {"b", "c", "b", "c", "d"}) {
+    p.Record("a");
+    p.Record(next);
+  }
+  EXPECT_TRUE(p.Predict("a").empty());
+}
+
+TEST(MarkovPrefetcher, TransitionProbabilityNormalises) {
+  MarkovPrefetcher p(Loose());
+  for (const char* next : {"b", "b", "b", "c"}) {
+    p.Record("a");
+    p.Record(next);
+  }
+  const double pb = p.TransitionProbability("a", "b");
+  const double pc = p.TransitionProbability("a", "c");
+  EXPECT_GT(pb, pc);
+  EXPECT_NEAR(pb + pc, 1.0, 0.05);  // decay makes this approximate
+  EXPECT_DOUBLE_EQ(p.TransitionProbability("a", "zzz"), 0.0);
+  EXPECT_DOUBLE_EQ(p.TransitionProbability("unknown", "b"), 0.0);
+}
+
+TEST(MarkovPrefetcher, SelfTransitionsAreIgnored) {
+  MarkovPrefetcher p(Loose());
+  for (int i = 0; i < 5; ++i) p.Record("same");
+  EXPECT_EQ(p.num_states(), 0u);
+}
+
+TEST(MarkovPrefetcher, SessionStreamsDoNotInterleave) {
+  MarkovPrefetcher p(Loose());
+  // Two sessions interleaved in real time; transitions must be learned
+  // within each session only.
+  for (int i = 0; i < 4; ++i) {
+    p.Record(1, "s1 first");
+    p.Record(2, "s2 first");
+    p.Record(1, "s1 second");
+    p.Record(2, "s2 second");
+  }
+  const auto preds1 = p.Predict("s1 first");
+  ASSERT_EQ(preds1.size(), 1u);
+  EXPECT_EQ(preds1[0].query, "s1 second");
+  // No cross-session transition learned.
+  EXPECT_DOUBLE_EQ(p.TransitionProbability("s1 first", "s2 first"), 0.0);
+}
+
+TEST(MarkovPrefetcher, GlobalStreamWouldInterleave) {
+  // Demonstrates why the keyed overload exists: the same interleaving fed
+  // through the global stream learns the wrong transitions.
+  MarkovPrefetcher p(Loose());
+  for (int i = 0; i < 4; ++i) {
+    p.Record("s1 first");
+    p.Record("s2 first");
+    p.Record("s1 second");
+    p.Record("s2 second");
+  }
+  EXPECT_GT(p.TransitionProbability("s1 first", "s2 first"), 0.5);
+}
+
+TEST(MarkovPrefetcher, DecayFadesStaleSuccessors) {
+  PrefetcherOptions opts = Loose();
+  opts.decay_factor = 0.5;
+  MarkovPrefetcher p(opts);
+  // Old regime: a -> b.
+  for (int i = 0; i < 6; ++i) {
+    p.Record("a");
+    p.Record("b");
+  }
+  // New regime: a -> c.
+  for (int i = 0; i < 6; ++i) {
+    p.Record("a");
+    p.Record("c");
+  }
+  EXPECT_GT(p.TransitionProbability("a", "c"),
+            p.TransitionProbability("a", "b"));
+}
+
+TEST(MarkovPrefetcher, SuccessorFanOutIsCapped) {
+  PrefetcherOptions opts = Loose();
+  opts.max_successors_per_state = 3;
+  MarkovPrefetcher p(opts);
+  for (int i = 0; i < 20; ++i) {
+    p.Record("hub");
+    p.Record("spoke " + std::to_string(i));
+  }
+  // Internal cap: predictions can never exceed the fan-out cap.
+  EXPECT_LE(p.Predict("hub").size(), 3u);
+}
+
+TEST(MarkovPrefetcher, MaxPredictionsLimitsOutput) {
+  PrefetcherOptions opts = Loose();
+  opts.confidence_threshold = 0.1;
+  opts.max_predictions = 1;
+  MarkovPrefetcher p(opts);
+  for (int i = 0; i < 10; ++i) {
+    p.Record("a");
+    p.Record(i % 2 ? "b" : "c");
+  }
+  EXPECT_LE(p.Predict("a").size(), 1u);
+}
+
+TEST(MarkovPrefetcher, PredictionsAreSortedByProbability) {
+  PrefetcherOptions opts = Loose();
+  opts.confidence_threshold = 0.05;
+  opts.max_predictions = 5;
+  MarkovPrefetcher p(opts);
+  for (int i = 0; i < 30; ++i) {
+    p.Record("a");
+    p.Record(i % 3 == 0 ? "rare" : "common");
+  }
+  const auto preds = p.Predict("a");
+  ASSERT_GE(preds.size(), 2u);
+  EXPECT_EQ(preds[0].query, "common");
+  EXPECT_GE(preds[0].probability, preds[1].probability);
+}
+
+TEST(MarkovPrefetcher, ResetForgetsEverything) {
+  MarkovPrefetcher p(Loose());
+  for (int i = 0; i < 5; ++i) {
+    p.Record("a");
+    p.Record("b");
+  }
+  p.Reset();
+  EXPECT_EQ(p.num_states(), 0u);
+  EXPECT_TRUE(p.Predict("a").empty());
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,336 @@
+#include "core/resolvers.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace cortex {
+namespace {
+
+using cortex::testing::MiniWorld;
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest()
+      : gpu_(DeploymentConfig::Colocated80_20()),
+        service_(RemoteDataService::SelfHostedRag()) {}
+
+  ResolverEnvironment Env() {
+    return {&gpu_, &service_, world_.oracle.get()};
+  }
+
+  ToolStep StepFor(std::size_t topic, std::size_t paraphrase = 0) {
+    return {"think", world_.query(topic, paraphrase), world_.answer(topic)};
+  }
+
+  // Runs a single resolve to completion and returns the outcome.
+  ResolveOutcome RunOne(ToolResolver& resolver, const ToolStep& step,
+                        double start = 0.0, std::uint64_t task_id = 1) {
+    Simulation sim;
+    std::optional<ResolveOutcome> result;
+    sim.ScheduleAt(start, [&] {
+      resolver.Resolve(sim, step, task_id,
+                       [&](ResolveOutcome out) { result = std::move(out); });
+    });
+    sim.Run();
+    EXPECT_TRUE(result.has_value());
+    return std::move(*result);
+  }
+
+  MiniWorld world_;
+  ColocationSimulator gpu_;
+  RemoteDataService service_;
+};
+
+// --- VanillaResolver ---
+
+TEST_F(ResolverTest, VanillaAlwaysFetchesRemotely) {
+  VanillaResolver resolver(Env());
+  EXPECT_EQ(resolver.name(), "vanilla");
+  for (int i = 0; i < 3; ++i) {
+    const auto out = RunOne(resolver, StepFor(0), i * 10.0);
+    EXPECT_FALSE(out.from_cache);
+    EXPECT_TRUE(out.info_correct);
+    EXPECT_EQ(out.info, world_.answer(0));
+    EXPECT_EQ(out.api_calls, 1u);
+    EXPECT_GT(out.tool_seconds, 0.2);
+    EXPECT_DOUBLE_EQ(out.cache_check_seconds, 0.0);
+  }
+  EXPECT_EQ(service_.total_calls(), 3u);
+}
+
+// --- ExactCacheResolver ---
+
+TEST_F(ResolverTest, ExactCachesIdenticalStringsOnly) {
+  ExactCacheResolver resolver(Env(), {.capacity_tokens = 1e9});
+  const auto first = RunOne(resolver, StepFor(0, 0), 0.0);
+  EXPECT_FALSE(first.from_cache);
+
+  const auto repeat = RunOne(resolver, StepFor(0, 0), 10.0);
+  EXPECT_TRUE(repeat.from_cache);
+  EXPECT_TRUE(repeat.info_correct);
+  EXPECT_EQ(repeat.api_calls, 0u);
+  EXPECT_DOUBLE_EQ(repeat.tool_seconds, 0.0);
+
+  const auto paraphrase = RunOne(resolver, StepFor(0, 1), 20.0);
+  EXPECT_FALSE(paraphrase.from_cache);  // rephrasing defeats exact match
+  EXPECT_EQ(service_.total_calls(), 2u);
+}
+
+TEST_F(ResolverTest, ExactHitIsFastLocalLookup) {
+  ExactCacheResolver resolver(Env(), {.capacity_tokens = 1e9});
+  RunOne(resolver, StepFor(0, 0), 0.0);
+  Simulation sim;
+  double completed_at = -1.0;
+  sim.ScheduleAt(100.0, [&] {
+    resolver.Resolve(sim, StepFor(0, 0), 1,
+                     [&](ResolveOutcome) { completed_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_NEAR(completed_at, 100.0, 0.01);  // ~1 ms local lookup
+}
+
+// --- CortexResolver ---
+
+struct CortexHarness {
+  explicit CortexHarness(MiniWorld& world, CortexEngineOptions opts = {}) {
+    if (opts.cache.capacity_tokens == SemanticCacheOptions{}.capacity_tokens) {
+      opts.cache.capacity_tokens = 1e6;
+    }
+    engine = std::make_unique<CortexEngine>(&world.embedder,
+                                            world.judger.get(), opts);
+  }
+  std::unique_ptr<CortexEngine> engine;
+};
+
+TEST_F(ResolverTest, CortexMissFetchesAndAdmits) {
+  CortexHarness harness(world_);
+  CortexResolver resolver(Env(), harness.engine.get());
+  EXPECT_EQ(resolver.name(), "cortex");
+  const auto out = RunOne(resolver, StepFor(0, 0), 0.0);
+  EXPECT_FALSE(out.from_cache);
+  EXPECT_TRUE(out.info_correct);
+  EXPECT_GE(out.api_calls, 1u);
+  EXPECT_GT(out.cache_check_seconds, 0.0);  // embedding + ANN ran
+  EXPECT_EQ(harness.engine->cache().size(), 1u);
+}
+
+TEST_F(ResolverTest, CortexServesParaphraseFromCache) {
+  CortexHarness harness(world_);
+  CortexResolver resolver(Env(), harness.engine.get());
+  RunOne(resolver, StepFor(0, 0), 0.0);
+  const auto out = RunOne(resolver, StepFor(0, 3), 10.0);
+  EXPECT_TRUE(out.from_cache);
+  EXPECT_TRUE(out.info_correct);
+  EXPECT_EQ(out.info, world_.answer(0));
+  EXPECT_EQ(out.api_calls, 0u);
+  EXPECT_DOUBLE_EQ(out.tool_seconds, 0.0);
+  EXPECT_GT(out.cache_check_seconds, 0.0);
+  EXPECT_LT(out.cache_check_seconds, 0.15);  // far cheaper than the fetch
+}
+
+TEST_F(ResolverTest, CortexHitIsFasterThanRemoteFetch) {
+  CortexHarness harness(world_);
+  CortexResolver resolver(Env(), harness.engine.get());
+  const auto miss = RunOne(resolver, StepFor(0, 0), 0.0);
+  const auto hit = RunOne(resolver, StepFor(0, 2), 10.0);
+  EXPECT_LT(hit.cache_check_seconds,
+            miss.tool_seconds);  // the paper's core trade (Fig. 11)
+}
+
+TEST_F(ResolverTest, AnnOnlyVariantReportsItsName) {
+  CortexEngineOptions opts;
+  opts.cache.sine.use_judger = false;
+  // Accept any stage-1 survivor so the hit path is deterministic.
+  opts.cache.sine.ann_only_threshold = opts.cache.sine.tau_sim;
+  CortexHarness harness(world_, opts);
+  CortexResolver resolver(Env(), harness.engine.get());
+  EXPECT_EQ(resolver.name(), "ann-only");
+  // And it still serves paraphrase hits, without judger latency.
+  RunOne(resolver, StepFor(0, 0), 0.0);
+  const auto out = RunOne(resolver, StepFor(0, 1), 10.0);
+  EXPECT_TRUE(out.from_cache);
+}
+
+TEST_F(ResolverTest, RecalibrationRunsOnScheduleAndCountsCalls) {
+  CortexEngineOptions opts;
+  opts.recalibration_enabled = true;
+  opts.recalibration_interval_sec = 5.0;
+  CortexHarness harness(world_, opts);
+  CortexResolver resolver(Env(), harness.engine.get());
+  for (int i = 0; i < 8; ++i) {
+    RunOne(resolver, StepFor(i % 3, i % 5), i * 3.0);
+  }
+  EXPECT_GE(resolver.recalibration_rounds(), 2u);
+}
+
+TEST_F(ResolverTest, PrefetchIssuesBackgroundFetches) {
+  CortexEngineOptions opts;
+  opts.prefetch.min_observations = 2;
+  opts.prefetch.confidence_threshold = 0.5;
+  opts.recalibration_enabled = false;
+  // Tiny capacity would complicate things; keep it large but evict topic 1
+  // manually to create a prefetch opportunity.
+  CortexHarness harness(world_, opts);
+  CortexResolver resolver(Env(), harness.engine.get());
+  // Teach transition q(0) -> q(1) across sessions, then remove topic 1.
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    RunOne(resolver, StepFor(0, 0), s * 20.0, /*task=*/s);
+    RunOne(resolver, StepFor(1, 0), s * 20.0 + 1.0, /*task=*/s);
+  }
+  // Evict topic 1's entry so the next prediction is actionable.
+  std::vector<SeId> to_remove;
+  for (const auto& [id, se] : harness.engine->cache().entries()) {
+    if (world_.oracle->TopicOf(se.key) == 1u) to_remove.push_back(id);
+  }
+  for (SeId id : to_remove) harness.engine->cache().Remove(id);
+
+  const auto before = resolver.prefetch_issued();
+  RunOne(resolver, StepFor(0, 1), 200.0, /*task=*/77);
+  EXPECT_GT(resolver.prefetch_issued(), before);
+  // The prefetched knowledge landed in the cache under topic 1's key.
+  EXPECT_TRUE(harness.engine->cache().ContainsKey(world_.query(1, 0)));
+}
+
+TEST_F(ResolverTest, BackgroundCallAccountingCanBeDisabled) {
+  CortexEngineOptions opts;
+  opts.recalibration_enabled = true;
+  opts.recalibration_interval_sec = 1.0;
+  CortexHarness harness(world_, opts);
+  CortexResolverOptions ropts;
+  ropts.count_background_calls = false;
+  CortexResolver resolver(Env(), harness.engine.get(), ropts);
+  RunOne(resolver, StepFor(0, 0), 0.0);
+  const auto out = RunOne(resolver, StepFor(1, 0), 100.0);
+  // Only the foreground fetch is attributed.
+  EXPECT_EQ(out.api_calls, 1u);
+}
+
+TEST_F(ResolverTest, SingleFlightCoalescesIdenticalConcurrentMisses) {
+  CortexHarness harness(world_);
+  CortexResolver resolver(Env(), harness.engine.get());
+  Simulation sim;
+  int completed = 0;
+  std::string info_a, info_b;
+  const ToolStep step = StepFor(0, 0);
+  sim.ScheduleAt(0.0, [&] {
+    resolver.Resolve(sim, step, 1, [&](ResolveOutcome out) {
+      ++completed;
+      info_a = out.info;
+    });
+    // Second identical request before the first fetch returns.
+    resolver.Resolve(sim, step, 2, [&](ResolveOutcome out) {
+      ++completed;
+      info_b = out.info;
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(resolver.coalesced_requests(), 1u);
+  EXPECT_EQ(info_a, world_.answer(0));
+  EXPECT_EQ(info_b, world_.answer(0));
+  // Only ONE remote fetch went out for the two concurrent misses.
+  EXPECT_EQ(service_.total_calls(), 1u);
+}
+
+TEST_F(ResolverTest, CoalescingCanBeDisabled) {
+  CortexHarness harness(world_);
+  CortexResolverOptions ropts;
+  ropts.coalesce_inflight = false;
+  CortexResolver resolver(Env(), harness.engine.get(), ropts);
+  Simulation sim;
+  const ToolStep step = StepFor(0, 0);
+  int completed = 0;
+  sim.ScheduleAt(0.0, [&] {
+    resolver.Resolve(sim, step, 1, [&](ResolveOutcome) { ++completed; });
+    resolver.Resolve(sim, step, 2, [&](ResolveOutcome) { ++completed; });
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(resolver.coalesced_requests(), 0u);
+  EXPECT_EQ(service_.total_calls(), 2u);
+}
+
+TEST_F(ResolverTest, CoalescedWaiterAfterCompletionStartsFreshFetch) {
+  CortexHarness harness(world_);
+  // Disable insertion confusions: use a paraphrase whose repeat would hit.
+  CortexResolver resolver(Env(), harness.engine.get());
+  const auto first = RunOne(resolver, StepFor(0, 0), 0.0);
+  EXPECT_FALSE(first.from_cache);
+  // Sequential (not concurrent) repeat: the in-flight entry was cleaned up,
+  // and the cache now serves it — no stale registry entry.
+  const auto repeat = RunOne(resolver, StepFor(0, 0), 100.0);
+  EXPECT_TRUE(repeat.from_cache);
+  EXPECT_EQ(resolver.coalesced_requests(), 0u);
+}
+
+TEST_F(ResolverTest, SemanticCoalescingJoinsEquivalentInflightFetch) {
+  CortexHarness harness(world_);
+  CortexResolver resolver(Env(), harness.engine.get());
+  Simulation sim;
+  int completed = 0;
+  std::string info_b;
+  sim.ScheduleAt(0.0, [&] {
+    // Two *different paraphrases* of the same topic miss concurrently.
+    resolver.Resolve(sim, StepFor(0, 0), 1,
+                     [&](ResolveOutcome) { ++completed; });
+    resolver.Resolve(sim, StepFor(0, 2), 2, [&](ResolveOutcome out) {
+      ++completed;
+      info_b = out.info;
+      EXPECT_TRUE(out.info_correct);
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(resolver.coalesced_requests(), 1u);
+  EXPECT_EQ(info_b, world_.answer(0));
+  EXPECT_EQ(service_.total_calls(), 1u);  // one fetch served both
+}
+
+TEST_F(ResolverTest, SemanticCoalescingDisabledStillCoalescesExact) {
+  CortexHarness harness(world_);
+  CortexResolverOptions ropts;
+  ropts.semantic_coalescing = false;
+  CortexResolver resolver(Env(), harness.engine.get(), ropts);
+  Simulation sim;
+  int completed = 0;
+  sim.ScheduleAt(0.0, [&] {
+    resolver.Resolve(sim, StepFor(0, 0), 1,
+                     [&](ResolveOutcome) { ++completed; });
+    // Different paraphrase: no semantic coalescing, so a second fetch.
+    resolver.Resolve(sim, StepFor(0, 2), 2,
+                     [&](ResolveOutcome) { ++completed; });
+    // Exact repeat still coalesces.
+    resolver.Resolve(sim, StepFor(0, 0), 3,
+                     [&](ResolveOutcome) { ++completed; });
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(resolver.coalesced_requests(), 1u);
+  EXPECT_EQ(service_.total_calls(), 2u);
+}
+
+TEST_F(ResolverTest, UnrelatedConcurrentMissesDoNotCoalesce) {
+  CortexHarness harness(world_);
+  CortexResolver resolver(Env(), harness.engine.get());
+  // Find a topic with a different entity than topic 0.
+  std::size_t other = 1;
+  while (world_.topic(other).entity == world_.topic(0).entity) ++other;
+  Simulation sim;
+  int completed = 0;
+  sim.ScheduleAt(0.0, [&] {
+    resolver.Resolve(sim, StepFor(0, 0), 1,
+                     [&](ResolveOutcome) { ++completed; });
+    resolver.Resolve(sim, StepFor(other, 0), 2, [&](ResolveOutcome out) {
+      ++completed;
+      EXPECT_EQ(out.info, world_.answer(other));  // its own fetch
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(resolver.coalesced_requests(), 0u);
+  EXPECT_EQ(service_.total_calls(), 2u);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,218 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace cortex {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = Mix64(0x123456789abcdef0ULL);
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = Mix64(0x123456789abcdef0ULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  const double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Rng, ReproducibleAfterReseed) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 50; ++i) first.push_back(rng.NextU64());
+  rng.Reseed(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextU64(), first[i]);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(n), n);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, 500);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(17);
+  double sum = 0, sumsq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(-1.0, 0.8), 0.0);
+  }
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(1.5, 2.0), 1.5);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kN), 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.75, 0.02);
+}
+
+// --- ZipfSampler ---
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 0.99);
+  double total = 0;
+  for (std::size_t r = 0; r < 100; ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsDecreasingInRank) {
+  const ZipfSampler zipf(50, 1.2);
+  for (std::size_t r = 1; r < 50; ++r) {
+    EXPECT_GT(zipf.Pmf(r - 1), zipf.Pmf(r));
+  }
+}
+
+TEST(ZipfSampler, SingleItemUniverse) {
+  const ZipfSampler zipf(1, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler zipf(20, 0.99);
+  Rng rng(43);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kN), zipf.Pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+// Parameterized sweep: Zipf head share grows with the exponent.
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, HeadShareGrowsWithSkew) {
+  const double s = GetParam();
+  const ZipfSampler zipf(1000, s);
+  double head = 0;
+  for (std::size_t r = 0; r < 10; ++r) head += zipf.Pmf(r);
+  // Reference: head share at s=0.5 is ~0.09; at 1.5 it is ~0.86.
+  if (s >= 1.5) {
+    EXPECT_GT(head, 0.7);
+  }
+  if (s <= 0.5) {
+    EXPECT_LT(head, 0.15);
+  }
+  // Always more concentrated than uniform.
+  EXPECT_GT(head, 10.0 / 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.2, 1.5));
+
+}  // namespace
+}  // namespace cortex

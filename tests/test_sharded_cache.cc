@@ -1,0 +1,136 @@
+#include "core/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.h"
+
+namespace cortex {
+namespace {
+
+using cortex::testing::MiniWorld;
+
+class ShardedCacheTest : public ::testing::Test {
+ protected:
+  ShardedCacheTest() : world_(60, /*seed=*/41) {}
+
+  std::unique_ptr<ShardedSemanticCache> MakeCache(std::size_t shards,
+                                                  double capacity = 1e6) {
+    ShardedCacheOptions opts;
+    opts.num_shards = shards;
+    opts.cache.capacity_tokens = capacity;
+    return std::make_unique<ShardedSemanticCache>(&world_.embedder,
+                                                  world_.judger.get(), opts);
+  }
+
+  InsertRequest RequestFor(std::size_t topic, std::size_t paraphrase = 0) {
+    InsertRequest req;
+    req.key = world_.query(topic, paraphrase);
+    req.value = world_.answer(topic);
+    req.staticity = world_.topic(topic).staticity;
+    req.retrieval_latency_sec = 0.4;
+    req.retrieval_cost_dollars = 0.005;
+    req.initial_frequency = 1;
+    return req;
+  }
+
+  MiniWorld world_;
+};
+
+TEST_F(ShardedCacheTest, ParaphrasesRouteToTheSameShard) {
+  auto cache = MakeCache(8);
+  int stable_topics = 0;
+  for (std::size_t topic = 0; topic < world_.universe->size(); ++topic) {
+    std::set<std::size_t> shards;
+    for (const auto& q : world_.topic(topic).paraphrases) {
+      shards.insert(cache->ShardFor(q));
+    }
+    if (shards.size() == 1) ++stable_topics;
+  }
+  // IDF-anchored routing keeps the overwhelming majority of topics
+  // shard-stable (an occasional template word can out-weigh the entity).
+  EXPECT_GE(stable_topics,
+            static_cast<int>(world_.universe->size() * 9 / 10));
+}
+
+TEST_F(ShardedCacheTest, RoutingIsDeterministic) {
+  auto cache = MakeCache(4);
+  for (std::size_t topic = 0; topic < 10; ++topic) {
+    const auto& q = world_.query(topic, 0);
+    EXPECT_EQ(cache->ShardFor(q), cache->ShardFor(q));
+  }
+}
+
+TEST_F(ShardedCacheTest, LookupFindsParaphraseAcrossTheShardedTier) {
+  auto cache = MakeCache(4);
+  int hits = 0, attempts = 0;
+  for (std::size_t topic = 0; topic < 30; ++topic) {
+    ASSERT_TRUE(cache->Insert(RequestFor(topic, 0), 0.0).has_value());
+    ++attempts;
+    if (cache->Lookup(world_.query(topic, 3), 1.0).hit) ++hits;
+  }
+  // Same semantic behaviour as a monolithic cache for shard-stable topics.
+  EXPECT_GE(hits, attempts * 8 / 10);
+}
+
+TEST_F(ShardedCacheTest, ShardsSplitTheCapacityBudget) {
+  auto cache = MakeCache(4, /*capacity=*/1000.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cache->shard(i).capacity_tokens(), 250.0);
+  }
+}
+
+TEST_F(ShardedCacheTest, LoadSpreadsAcrossShards) {
+  auto cache = MakeCache(4);
+  for (std::size_t topic = 0; topic < world_.universe->size(); ++topic) {
+    cache->Insert(RequestFor(topic), 0.0);
+  }
+  // No shard should hold everything (routing is roughly balanced).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(cache->shard(i).size(), world_.universe->size());
+    EXPECT_GT(cache->shard(i).size(), 0u);
+  }
+  EXPECT_EQ(cache->TotalSize(), cache->shard(0).size() +
+                                    cache->shard(1).size() +
+                                    cache->shard(2).size() +
+                                    cache->shard(3).size());
+}
+
+TEST_F(ShardedCacheTest, AggregatedCountersSumShards) {
+  auto cache = MakeCache(2);
+  cache->Insert(RequestFor(0), 0.0);
+  cache->Insert(RequestFor(1), 0.0);
+  cache->Lookup(world_.query(0, 1), 1.0);
+  cache->Lookup(world_.query(1, 1), 1.0);
+  const auto totals = cache->TotalCounters();
+  EXPECT_EQ(totals.insertions, 2u);
+  EXPECT_EQ(totals.lookups, 2u);
+  EXPECT_GE(totals.hits, 1u);
+  EXPECT_GT(cache->TotalUsageTokens(), 0.0);
+}
+
+TEST_F(ShardedCacheTest, ContainsKeyAndExpiryWorkThroughTheRouter) {
+  ShardedCacheOptions opts;
+  opts.num_shards = 4;
+  opts.cache.capacity_tokens = 1e6;
+  opts.cache.min_ttl_sec = 10.0;
+  opts.cache.max_ttl_sec = 20.0;
+  ShardedSemanticCache cache(&world_.embedder, world_.judger.get(), opts);
+  cache.Insert(RequestFor(0), 0.0);
+  EXPECT_TRUE(cache.ContainsKey(world_.query(0, 0)));
+  EXPECT_EQ(cache.RemoveExpired(100.0), 1u);
+  EXPECT_FALSE(cache.ContainsKey(world_.query(0, 0)));
+}
+
+TEST_F(ShardedCacheTest, SingleShardDegeneratesToMonolith) {
+  auto sharded = MakeCache(1);
+  for (std::size_t topic = 0; topic < 20; ++topic) {
+    sharded->Insert(RequestFor(topic), 0.0);
+  }
+  EXPECT_EQ(sharded->shard(0).size(), sharded->TotalSize());
+  EXPECT_TRUE(sharded->Lookup(world_.query(5, 2), 1.0).hit.has_value());
+}
+
+}  // namespace
+}  // namespace cortex

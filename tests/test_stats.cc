@@ -1,0 +1,160 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, MatchesClosedForm) {
+  StreamingStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeEqualsCombinedStream) {
+  Rng rng(1);
+  StreamingStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsIdentity) {
+  StreamingStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Histogram, QuantilesOnKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  // ~2% relative resolution from the geometric buckets.
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.03);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.03);
+  EXPECT_NEAR(h.Quantile(0.1), 100.0, 100.0 * 0.03);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.LogNormal(0.0, 2.0));
+  EXPECT_LE(h.Quantile(1.0), h.max());
+  EXPECT_GE(h.Quantile(0.0), 0.0);
+}
+
+TEST(Histogram, HandlesZeroAndNegativeByClamping) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, MergePreservesTotals) {
+  Histogram a, b;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) a.Add(rng.Uniform(0, 10));
+  for (int i = 0; i < 300; ++i) b.Add(rng.Uniform(5, 20));
+  const double max_before = std::max(a.max(), b.max());
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 800u);
+  EXPECT_EQ(a.max(), max_before);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Add(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(2.0);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(RatioCounter, BasicRatios) {
+  RatioCounter r;
+  EXPECT_EQ(r.ratio(), 0.0);
+  r.AddHit();
+  r.AddMiss();
+  r.AddMiss();
+  r.Add(true);
+  EXPECT_EQ(r.hits(), 2u);
+  EXPECT_EQ(r.misses(), 2u);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.5);
+  r.Reset();
+  EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> inv(y.rbegin(), y.rend());
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, inv), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(LogLogSlope, RecoversPowerLawExponent) {
+  std::vector<double> x, y;
+  for (int r = 1; r <= 100; ++r) {
+    x.push_back(r);
+    y.push_back(1000.0 / std::pow(r, 0.99));
+  }
+  EXPECT_NEAR(LogLogSlope(x, y), -0.99, 1e-6);
+}
+
+TEST(LogLogSlope, IgnoresNonPositivePoints) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y = {5.0, 1.0, 2.0, 4.0};
+  EXPECT_NEAR(LogLogSlope(x, y), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace cortex {
+namespace {
+
+// --- TextTable ---
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "2"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2     |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|------"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters) {
+  TextTable t({"k", "v"});
+  t.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::Percent(0.856, 1), "85.6%");
+}
+
+// --- Flags ---
+
+TEST(Flags, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--tasks=100", "--ratio=0.5"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.GetInt("tasks", 0), 100);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0.0), 0.5);
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--name", "cortex"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.GetString("name"), "cortex");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags f(2, argv);
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_FALSE(f.Has("quiet"));
+}
+
+TEST(Flags, FalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no", "--d=yes"};
+  Flags f(5, argv);
+  EXPECT_FALSE(f.GetBool("a", true));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_FALSE(f.GetBool("c", true));
+  EXPECT_TRUE(f.GetBool("d", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_EQ(f.GetString("s", "x"), "x");
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 1.5), 1.5);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "input.txt", "--k=1", "more"};
+  Flags f(4, argv);
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, MalformedInputThrows) {
+  const char* bare[] = {"prog", "--"};
+  EXPECT_THROW(Flags(2, bare), std::invalid_argument);
+  const char* empty_name[] = {"prog", "--=v"};
+  EXPECT_THROW(Flags(2, empty_name), std::invalid_argument);
+}
+
+TEST(Flags, NonNumericValueThrowsOnTypedGet) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Flags f(2, argv);
+  EXPECT_THROW(f.GetInt("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.GetDouble("n", 0.0), std::invalid_argument);
+  EXPECT_EQ(f.GetString("n"), "abc");  // string access still fine
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,128 @@
+#include "llm/tags.h"
+
+#include <gtest/gtest.h>
+
+namespace cortex {
+namespace {
+
+TEST(Tags, WrapProducesCanonicalForm) {
+  EXPECT_EQ(WrapTag(TagKind::kSearch, "who painted the mona lisa"),
+            "<search>who painted the mona lisa</search>");
+  EXPECT_EQ(WrapTag(TagKind::kThink, ""), "<think></think>");
+}
+
+TEST(Tags, ParseSingleBlock) {
+  const auto segs = ParseTagged("<think>plan the query</think>");
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].kind, TagKind::kThink);
+  EXPECT_EQ(segs[0].content, "plan the query");
+}
+
+TEST(Tags, ParseAgentTurnSequence) {
+  const auto segs = ParseTagged(
+      "<think>I need the painter.</think>"
+      "<search>who painted the mona lisa</search>");
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].kind, TagKind::kThink);
+  EXPECT_EQ(segs[1].kind, TagKind::kSearch);
+  EXPECT_EQ(segs[1].content, "who painted the mona lisa");
+}
+
+TEST(Tags, RoundTripThroughWrapAndParse) {
+  for (TagKind kind : {TagKind::kThink, TagKind::kSearch, TagKind::kTool,
+                       TagKind::kInfo, TagKind::kAnswer}) {
+    const auto segs = ParseTagged(WrapTag(kind, "payload text"));
+    ASSERT_EQ(segs.size(), 1u);
+    EXPECT_EQ(segs[0].kind, kind);
+    EXPECT_EQ(segs[0].content, "payload text");
+  }
+}
+
+TEST(Tags, TextBetweenBlocksIsPreserved) {
+  const auto segs =
+      ParseTagged("preamble <info>data</info> trailing words");
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].kind, TagKind::kText);
+  EXPECT_EQ(segs[0].content, "preamble");
+  EXPECT_EQ(segs[1].kind, TagKind::kInfo);
+  EXPECT_EQ(segs[2].content, "trailing words");
+}
+
+TEST(Tags, UnknownTagsBecomeText) {
+  const auto segs = ParseTagged("<bold>x</bold>");
+  ASSERT_FALSE(segs.empty());
+  for (const auto& s : segs) EXPECT_EQ(s.kind, TagKind::kText);
+}
+
+TEST(Tags, UnterminatedTagRunsToEnd) {
+  const auto segs = ParseTagged("<answer>truncated generation");
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].kind, TagKind::kAnswer);
+  EXPECT_EQ(segs[0].content, "truncated generation");
+}
+
+TEST(Tags, WhitespaceOnlyGlueIsDropped) {
+  const auto segs = ParseTagged("<think>a</think>\n  <search>b</search>");
+  ASSERT_EQ(segs.size(), 2u);
+}
+
+TEST(Tags, FirstToolCallFindsSearchOrTool) {
+  const auto segs = ParseTagged(
+      "<think>t</think><tool>api call</tool><search>s</search>");
+  const auto tool = FirstToolCall(segs);
+  ASSERT_TRUE(tool.has_value());
+  EXPECT_EQ(tool->kind, TagKind::kTool);
+  EXPECT_EQ(tool->content, "api call");
+}
+
+TEST(Tags, FirstToolCallEmptyWhenAbsent) {
+  EXPECT_FALSE(FirstToolCall(ParseTagged("<think>only</think>")).has_value());
+}
+
+TEST(Tags, FinalAnswerExtracted) {
+  const auto segs =
+      ParseTagged("<think>done</think><answer>Leonardo da Vinci</answer>");
+  const auto answer = FinalAnswer(segs);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(*answer, "Leonardo da Vinci");
+  EXPECT_FALSE(FinalAnswer(ParseTagged("<think>x</think>")).has_value());
+}
+
+TEST(Tags, NestedUnknownAngleBracketsDoNotCrash) {
+  const auto segs = ParseTagged("a < b and c > d <info>ok</info>");
+  bool found_info = false;
+  for (const auto& s : segs) {
+    if (s.kind == TagKind::kInfo) {
+      found_info = true;
+      EXPECT_EQ(s.content, "ok");
+    }
+  }
+  EXPECT_TRUE(found_info);
+}
+
+TEST(Tags, TagNameLookup) {
+  EXPECT_EQ(TagName(TagKind::kSearch), "search");
+  EXPECT_EQ(TagName(TagKind::kText), "text");
+}
+
+TEST(ApproxTokenCount, ScalesWithWords) {
+  EXPECT_EQ(ApproxTokenCount(""), 0u);
+  EXPECT_EQ(ApproxTokenCount("word"), 2u);       // ceil(4/3)
+  EXPECT_EQ(ApproxTokenCount("two words"), 3u);  // ceil(8/3)
+  EXPECT_EQ(ApproxTokenCount("a b c d e f"), 8u);
+  EXPECT_GE(ApproxTokenCount("   "), 1u);  // non-empty but no words
+}
+
+TEST(ApproxTokenCount, MonotoneInWordCount) {
+  std::string text;
+  std::size_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    text += "tok ";
+    const auto count = ApproxTokenCount(text);
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+}
+
+}  // namespace
+}  // namespace cortex

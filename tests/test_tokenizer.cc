@@ -1,0 +1,117 @@
+#include "util/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace cortex {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("Mona-Lisa PAINTER!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "mona");
+  EXPECT_EQ(tokens[1], "lisa");
+  EXPECT_EQ(tokens[2], "painter");
+}
+
+TEST(Tokenizer, DropsStopwords) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("what is the height of everest");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "height");
+  EXPECT_EQ(tokens[1], "everest");
+}
+
+TEST(Tokenizer, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions opts;
+  opts.drop_stopwords = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("the cat").size(), 2u);
+}
+
+TEST(Tokenizer, UnderscoreIsPartOfToken) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("stock_price of apple");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "stock_price");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("?!,. ::").empty());
+}
+
+TEST(Tokenizer, StemmingRules) {
+  EXPECT_EQ(Tokenizer::Stem("running"), "runn");  // suffix strip, not porter
+  EXPECT_EQ(Tokenizer::Stem("cities"), "city");
+  EXPECT_EQ(Tokenizer::Stem("painted"), "paint");
+  EXPECT_EQ(Tokenizer::Stem("boxes"), "box");
+  EXPECT_EQ(Tokenizer::Stem("cats"), "cat");
+  EXPECT_EQ(Tokenizer::Stem("grass"), "grass");   // -ss preserved
+  EXPECT_EQ(Tokenizer::Stem("red"), "red");       // too short for -ed
+  EXPECT_EQ(Tokenizer::Stem("einstein's"), "einstein");
+}
+
+TEST(Tokenizer, StemmingUnifiesInflections) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("paintings")[0], t.Tokenize("painting")[0]);
+}
+
+TEST(Tokenizer, IsStopword) {
+  Tokenizer t;
+  EXPECT_TRUE(t.IsStopword("the"));
+  EXPECT_TRUE(t.IsStopword("please"));
+  EXPECT_FALSE(t.IsStopword("everest"));
+}
+
+TEST(LexicalOverlap, IdenticalTextsAreOne) {
+  Tokenizer t;
+  EXPECT_DOUBLE_EQ(t.LexicalOverlap("apple nutrition", "apple nutrition"),
+                   1.0);
+}
+
+TEST(LexicalOverlap, StopwordDecorationIsInvisible) {
+  Tokenizer t;
+  EXPECT_DOUBLE_EQ(
+      t.LexicalOverlap("apple nutrition", "the apple nutrition please"), 1.0);
+}
+
+TEST(LexicalOverlap, DisjointTextsAreZero) {
+  Tokenizer t;
+  EXPECT_DOUBLE_EQ(t.LexicalOverlap("apple nutrition", "everest height"),
+                   0.0);
+}
+
+TEST(LexicalOverlap, PartialOverlapIsJaccard) {
+  Tokenizer t;
+  // {apple, nutrition} vs {apple, stock_price}: 1 shared of 3 union.
+  EXPECT_NEAR(t.LexicalOverlap("apple nutrition", "apple stock_price"),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(LexicalOverlap, BothEmptyIsOneOneEmptyIsZero) {
+  Tokenizer t;
+  EXPECT_DOUBLE_EQ(t.LexicalOverlap("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(t.LexicalOverlap("apple", ""), 0.0);
+}
+
+TEST(LexicalOverlap, IsSymmetric) {
+  Tokenizer t;
+  const auto a = t.LexicalOverlap("apple nutrition facts", "apple stock");
+  const auto b = t.LexicalOverlap("apple stock", "apple nutrition facts");
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Tokenizer, MinTokenLengthFilters) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  opts.drop_stopwords = false;
+  Tokenizer t(opts);
+  const auto tokens = t.Tokenize("go to mars");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "mar");  // stemmed
+}
+
+}  // namespace
+}  // namespace cortex

@@ -1,0 +1,116 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cortex {
+namespace {
+
+WorkloadBundle SmallBundle() {
+  auto profile = SearchDatasetProfile::HotpotQa();
+  profile.num_tasks = 60;
+  profile.universe.num_topics = 40;
+  return BuildSkewedSearchWorkload(profile);
+}
+
+TEST(TraceIo, RoundTripPreservesUniverse) {
+  const auto original = SmallBundle();
+  std::stringstream stream;
+  SaveWorkloadTrace(original, stream);
+  const auto loaded = LoadWorkloadTrace(stream);
+
+  EXPECT_EQ(loaded.name, original.name);
+  ASSERT_EQ(loaded.universe->size(), original.universe->size());
+  for (std::size_t i = 0; i < original.universe->size(); ++i) {
+    const auto& a = original.universe->topic(i);
+    const auto& b = loaded.universe->topic(i);
+    EXPECT_EQ(a.entity, b.entity);
+    EXPECT_EQ(a.aspect, b.aspect);
+    EXPECT_EQ(a.qualifier, b.qualifier);
+    EXPECT_EQ(a.answer, b.answer);
+    EXPECT_DOUBLE_EQ(a.staticity, b.staticity);
+    EXPECT_DOUBLE_EQ(a.fetch_cost_scale, b.fetch_cost_scale);
+    EXPECT_DOUBLE_EQ(a.fetch_latency_scale, b.fetch_latency_scale);
+    EXPECT_EQ(a.trap_of, b.trap_of);
+    EXPECT_EQ(a.next_topic, b.next_topic);
+    EXPECT_EQ(a.paraphrases, b.paraphrases);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesTasks) {
+  const auto original = SmallBundle();
+  std::stringstream stream;
+  SaveWorkloadTrace(original, stream);
+  const auto loaded = LoadWorkloadTrace(stream);
+
+  ASSERT_EQ(loaded.tasks.size(), original.tasks.size());
+  for (std::size_t i = 0; i < original.tasks.size(); ++i) {
+    const auto& a = original.tasks[i];
+    const auto& b = loaded.tasks[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(a.final_answer, b.final_answer);
+    EXPECT_DOUBLE_EQ(a.base_correctness, b.base_correctness);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t s = 0; s < a.steps.size(); ++s) {
+      EXPECT_EQ(a.steps[s].query, b.steps[s].query);
+      EXPECT_EQ(a.steps[s].expected_info, b.steps[s].expected_info);
+    }
+  }
+}
+
+TEST(TraceIo, LoadedOracleIsFullyRegistered) {
+  const auto original = SmallBundle();
+  std::stringstream stream;
+  SaveWorkloadTrace(original, stream);
+  const auto loaded = LoadWorkloadTrace(stream);
+
+  EXPECT_EQ(loaded.oracle->registered_queries(),
+            original.oracle->registered_queries());
+  for (const auto& task : loaded.tasks) {
+    for (const auto& step : task.steps) {
+      const auto topic = loaded.oracle->TopicOf(step.query);
+      ASSERT_TRUE(topic.has_value());
+      EXPECT_EQ(loaded.oracle->ExpectedInfo(step.query), step.expected_info);
+    }
+  }
+}
+
+TEST(TraceIo, ArrivalsSurviveForTraceShapedWorkloads) {
+  TrendProfile profile;
+  profile.duration_sec = 60.0;
+  const auto original = BuildTrendWorkload(profile);
+  ASSERT_FALSE(original.arrivals.empty());
+  std::stringstream stream;
+  SaveWorkloadTrace(original, stream);
+  const auto loaded = LoadWorkloadTrace(stream);
+  EXPECT_EQ(loaded.arrivals, original.arrivals);
+}
+
+TEST(TraceIo, BadMagicAndTruncationThrow) {
+  std::stringstream garbage;
+  garbage << "definitely not a trace";
+  EXPECT_THROW(LoadWorkloadTrace(garbage), std::runtime_error);
+
+  const auto original = SmallBundle();
+  std::stringstream stream;
+  SaveWorkloadTrace(original, stream);
+  const std::string bytes = stream.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 3));
+  EXPECT_THROW(LoadWorkloadTrace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = SmallBundle();
+  const std::string path = ::testing::TempDir() + "/cortex_trace.bin";
+  SaveWorkloadTraceFile(original, path);
+  const auto loaded = LoadWorkloadTraceFile(path);
+  EXPECT_EQ(loaded.tasks.size(), original.tasks.size());
+  EXPECT_NEAR(loaded.TotalKnowledgeTokens(), original.TotalKnowledgeTokens(),
+              1e-9);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cortex

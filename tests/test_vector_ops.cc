@@ -1,0 +1,94 @@
+#include "embedding/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cortex {
+namespace {
+
+TEST(VectorOps, DotProduct) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+}
+
+TEST(VectorOps, L2NormAndDistance) {
+  const Vector a = {3, 4};
+  EXPECT_DOUBLE_EQ(L2Norm(a), 5.0);
+  const Vector b = {0, 0};
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b), 25.0);
+}
+
+TEST(VectorOps, CosineOfParallelVectorsIsOne) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {2, 4, 6};
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-12);
+}
+
+TEST(VectorOps, CosineOfOrthogonalVectorsIsZero) {
+  const Vector a = {1, 0};
+  const Vector b = {0, 1};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(VectorOps, CosineOfOppositeVectorsIsMinusOne) {
+  const Vector a = {1, 1};
+  const Vector b = {-1, -1};
+  EXPECT_NEAR(CosineSimilarity(a, b), -1.0, 1e-12);
+}
+
+TEST(VectorOps, CosineWithZeroVectorIsZero) {
+  const Vector a = {0, 0};
+  const Vector b = {1, 2};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(VectorOps, NormalizeProducesUnitLength) {
+  Vector v = {3, 4, 12};
+  Normalize(v);
+  EXPECT_NEAR(L2Norm(v), 1.0, 1e-6);
+}
+
+TEST(VectorOps, NormalizeZeroVectorIsNoop) {
+  Vector v = {0, 0, 0};
+  Normalize(v);
+  EXPECT_EQ(v, (Vector{0, 0, 0}));
+}
+
+TEST(VectorOps, AddAndScaleInPlace) {
+  Vector a = {1, 2};
+  const Vector b = {3, 4};
+  AddInPlace(a, b);
+  EXPECT_EQ(a, (Vector{4, 6}));
+  ScaleInPlace(a, 0.5f);
+  EXPECT_EQ(a, (Vector{2, 3}));
+}
+
+TEST(VectorOps, CosineBoundedForRandomVectors) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector a(32), b(32);
+    for (auto& x : a) x = static_cast<float>(rng.Normal());
+    for (auto& x : b) x = static_cast<float>(rng.Normal());
+    const double c = CosineSimilarity(a, b);
+    EXPECT_GE(c, -1.0 - 1e-9);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+}
+
+TEST(VectorOps, TriangleConsistency) {
+  // ||a-b||^2 = ||a||^2 + ||b||^2 - 2<a,b>
+  Rng rng(2);
+  Vector a(16), b(16);
+  for (auto& x : a) x = static_cast<float>(rng.Normal());
+  for (auto& x : b) x = static_cast<float>(rng.Normal());
+  const double lhs = L2DistanceSquared(a, b);
+  const double rhs = Dot(a, a) + Dot(b, b) - 2 * Dot(a, b);
+  EXPECT_NEAR(lhs, rhs, 1e-6);
+}
+
+}  // namespace
+}  // namespace cortex

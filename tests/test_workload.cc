@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/stats.h"
+#include "workload/workload_stats.h"
+#include "workload/workloads.h"
+
+namespace cortex {
+namespace {
+
+// --- TopicUniverse ---
+
+TEST(TopicUniverse, GeneratesRequestedTopicCount) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 50;
+  TopicUniverse u(opts);
+  EXPECT_EQ(u.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(u.topic(i).id, i);
+}
+
+TEST(TopicUniverse, TriplesAreUnique) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 300;
+  opts.trap_fraction = 0.3;
+  TopicUniverse u(opts);
+  std::set<std::tuple<std::string, std::string, std::string>> triples;
+  for (const auto& t : u.topics()) {
+    EXPECT_TRUE(triples.insert({t.entity, t.aspect, t.qualifier}).second)
+        << "duplicate topic " << t.entity << "/" << t.aspect << "/"
+        << t.qualifier;
+  }
+}
+
+TEST(TopicUniverse, QueriesAreGloballyUnique) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 200;
+  TopicUniverse u(opts);
+  std::unordered_set<std::string> queries;
+  for (const auto& t : u.topics()) {
+    for (const auto& q : t.paraphrases) {
+      EXPECT_TRUE(queries.insert(q).second) << "duplicate query: " << q;
+    }
+  }
+}
+
+TEST(TopicUniverse, TrapsShareEntityAndAspectWithParent) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 200;
+  opts.trap_fraction = 0.4;
+  TopicUniverse u(opts);
+  int traps = 0;
+  for (const auto& t : u.topics()) {
+    if (!t.trap_of) continue;
+    ++traps;
+    const auto& parent = u.topic(*t.trap_of);
+    EXPECT_EQ(t.entity, parent.entity);
+    EXPECT_EQ(t.aspect, parent.aspect);
+    EXPECT_FALSE(t.qualifier.empty());
+    EXPECT_NE(t.answer, parent.answer);
+  }
+  EXPECT_GT(traps, 40);
+}
+
+TEST(TopicUniverse, StaticityWithinBoundsAndMixed) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 300;
+  TopicUniverse u(opts);
+  int stable = 0, ephemeral = 0;
+  for (const auto& t : u.topics()) {
+    EXPECT_GE(t.staticity, 1.0);
+    EXPECT_LE(t.staticity, 10.0);
+    if (t.staticity >= 8.0) ++stable;
+    if (t.staticity <= 4.0) ++ephemeral;
+  }
+  EXPECT_GT(stable, 60);
+  EXPECT_GT(ephemeral, 20);
+}
+
+TEST(TopicUniverse, ParaphraseCountCanExceedTemplatePool) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 10;
+  opts.paraphrases_per_topic = 20;
+  TopicUniverse u(opts);
+  for (const auto& t : u.topics()) {
+    EXPECT_EQ(t.paraphrases.size(), 20u);
+    std::unordered_set<std::string> distinct(t.paraphrases.begin(),
+                                             t.paraphrases.end());
+    EXPECT_EQ(distinct.size(), 20u);
+  }
+}
+
+TEST(TopicUniverse, DeterministicForSeed) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 30;
+  TopicUniverse a(opts), b(opts);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.topic(i).entity, b.topic(i).entity);
+    EXPECT_EQ(a.topic(i).paraphrases, b.topic(i).paraphrases);
+  }
+}
+
+TEST(TopicUniverse, ExplicitTopicConstructor) {
+  std::vector<Topic> topics(2);
+  topics[0].id = 0;
+  topics[0].answer = "a0";
+  topics[1].id = 1;
+  topics[1].answer = "a1";
+  TopicUniverse u(std::move(topics));
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.topic(1).answer, "a1");
+}
+
+// --- GroundTruthOracle ---
+
+TEST(Oracle, RegistersAndResolvesQueries) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 20;
+  TopicUniverse u(opts);
+  GroundTruthOracle oracle(&u);
+  RegisterAllParaphrases(oracle, u);
+  EXPECT_GT(oracle.registered_queries(), 100u);
+  const auto& t = u.topic(3);
+  for (const auto& q : t.paraphrases) {
+    EXPECT_EQ(oracle.TopicOf(q), t.id);
+    EXPECT_EQ(oracle.ExpectedInfo(q), t.answer);
+    EXPECT_TRUE(oracle.InfoCorrect(q, t.answer));
+    EXPECT_FALSE(oracle.InfoCorrect(q, u.topic(4).answer));
+    EXPECT_NEAR(oracle.Staticity(q), t.staticity, 1e-12);
+  }
+}
+
+TEST(Oracle, EquivalenceIsTopicIdentity) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 20;
+  TopicUniverse u(opts);
+  GroundTruthOracle oracle(&u);
+  RegisterAllParaphrases(oracle, u);
+  const auto& a = u.topic(0);
+  const auto& b = u.topic(1);
+  EXPECT_TRUE(oracle.Equivalent(a.paraphrases[0], a.paraphrases[1]));
+  EXPECT_FALSE(oracle.Equivalent(a.paraphrases[0], b.paraphrases[0]));
+}
+
+TEST(Oracle, UnknownQueriesAreNeutral) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 5;
+  TopicUniverse u(opts);
+  GroundTruthOracle oracle(&u);
+  EXPECT_FALSE(oracle.TopicOf("never seen").has_value());
+  EXPECT_TRUE(oracle.ExpectedInfo("never seen").empty());
+  EXPECT_FALSE(oracle.Equivalent("never seen", "also unknown"));
+  EXPECT_DOUBLE_EQ(oracle.Staticity("never seen"), 5.0);
+}
+
+// --- Skewed search workload ---
+
+TEST(SkewedWorkload, BuildsRequestedTaskCount) {
+  auto profile = SearchDatasetProfile::HotpotQa();
+  profile.num_tasks = 200;
+  const auto bundle = BuildSkewedSearchWorkload(profile);
+  EXPECT_EQ(bundle.tasks.size(), 200u);
+  EXPECT_EQ(bundle.name, "hotpotqa");
+  EXPECT_TRUE(bundle.arrivals.empty());
+  EXPECT_GT(bundle.TotalKnowledgeTokens(), 1000.0);
+}
+
+TEST(SkewedWorkload, EveryStepQueryIsRegistered) {
+  auto profile = SearchDatasetProfile::Musique();
+  profile.num_tasks = 100;
+  const auto bundle = BuildSkewedSearchWorkload(profile);
+  for (const auto& task : bundle.tasks) {
+    EXPECT_FALSE(task.steps.empty());
+    for (const auto& step : task.steps) {
+      const auto topic = bundle.oracle->TopicOf(step.query);
+      ASSERT_TRUE(topic.has_value()) << step.query;
+      EXPECT_EQ(step.expected_info, bundle.universe->topic(*topic).answer);
+    }
+  }
+}
+
+TEST(SkewedWorkload, MultiHopProbabilityShapesStepCount) {
+  auto single = SearchDatasetProfile::ZillizGpt();   // multi_hop 0.1
+  auto multi = SearchDatasetProfile::Musique();      // multi_hop 0.8
+  single.num_tasks = multi.num_tasks = 300;
+  const auto sb = BuildSkewedSearchWorkload(single);
+  const auto mb = BuildSkewedSearchWorkload(multi);
+  auto mean_steps = [](const WorkloadBundle& b) {
+    double total = 0;
+    for (const auto& t : b.tasks) total += static_cast<double>(t.steps.size());
+    return total / static_cast<double>(b.tasks.size());
+  };
+  EXPECT_LT(mean_steps(sb), 1.3);
+  EXPECT_GT(mean_steps(mb), 1.6);
+}
+
+TEST(SkewedWorkload, PopularityIsHeadHeavy) {
+  auto profile = SearchDatasetProfile::HotpotQa();
+  profile.num_tasks = 1000;
+  const auto bundle = BuildSkewedSearchWorkload(profile);
+  const auto pop = ComputePopularity(bundle);
+  EXPECT_GT(pop.total_queries, 1000u);
+  // Top 10% of topics draw well over 10% of traffic.
+  EXPECT_GT(pop.HeadShare(25), 0.3);
+  // Log-log slope is negative (Zipf-like decay).
+  EXPECT_LT(pop.zipf_slope, -0.5);
+}
+
+// --- Trend workload ---
+
+TEST(TrendWorkload, ArrivalsCoverDurationAndAreSorted) {
+  TrendProfile profile;
+  profile.duration_sec = 120;
+  const auto bundle = BuildTrendWorkload(profile);
+  ASSERT_EQ(bundle.tasks.size(), bundle.arrivals.size());
+  ASSERT_GT(bundle.tasks.size(), 50u);
+  for (std::size_t i = 1; i < bundle.arrivals.size(); ++i) {
+    EXPECT_LE(bundle.arrivals[i - 1], bundle.arrivals[i]);
+  }
+  EXPECT_LT(bundle.arrivals.back(), 120.0);
+}
+
+TEST(TrendWorkload, TrendTopicsAreEphemeralAndBursty) {
+  TrendProfile profile;
+  const auto bundle = BuildTrendWorkload(profile);
+  const std::size_t group = 1 + profile.related_per_trend;
+  for (std::size_t s = 0; s < profile.num_trend_topics * group; ++s) {
+    EXPECT_LE(bundle.universe->topic(s).staticity, 3.0);
+  }
+  const auto series =
+      TopicTimeSeries(bundle, 30.0, profile.num_trend_topics * group);
+  for (std::size_t s = 0; s < profile.num_trend_topics; ++s) {
+    EXPECT_GT(Burstiness(series[s * group]), 2.0) << "trend " << s;
+  }
+}
+
+TEST(TrendWorkload, RelatedTopicsSpikeTogether) {
+  TrendProfile profile;
+  const auto bundle = BuildTrendWorkload(profile);
+  const std::size_t group = 1 + profile.related_per_trend;
+  const auto series =
+      TopicTimeSeries(bundle, 30.0, profile.num_trend_topics * group);
+  for (std::size_t s = 0; s < profile.num_trend_topics; ++s) {
+    EXPECT_GT(PearsonCorrelation(series[s * group], series[s * group + 1]),
+              0.5)
+        << "trend " << s;
+  }
+}
+
+// --- SWE-bench workload ---
+
+TEST(SweBenchWorkload, FileFrequenciesFollowTable2) {
+  SweBenchProfile profile;
+  profile.num_issues = 2000;  // large sample to beat sampling noise
+  const auto bundle = BuildSweBenchWorkload(profile);
+  const auto freqs = FileAccessFrequencies(bundle);
+  // File 1 is needed by essentially every issue; the head decays like the
+  // paper's measurement (1.0, 0.28, 0.22, ...).
+  EXPECT_GT(freqs[0], 0.97);
+  for (std::size_t f = 1; f < profile.head_frequencies.size(); ++f) {
+    EXPECT_NEAR(freqs[f], profile.head_frequencies[f], 0.05) << "file " << f;
+  }
+}
+
+TEST(SweBenchWorkload, FilesAreStableKnowledge) {
+  SweBenchProfile profile;
+  profile.num_issues = 50;
+  const auto bundle = BuildSweBenchWorkload(profile);
+  for (const auto& t : bundle.universe->topics()) {
+    EXPECT_GE(t.staticity, 8.0);
+    EXPECT_GT(ApproxTokenCount(t.answer), 50u);  // file-sized payloads
+  }
+}
+
+TEST(SweBenchWorkload, IssuesTouchHeadAndTailFiles) {
+  SweBenchProfile profile;
+  profile.num_issues = 200;
+  const auto bundle = BuildSweBenchWorkload(profile);
+  std::unordered_set<std::uint64_t> touched;
+  for (const auto& task : bundle.tasks) {
+    EXPECT_GE(task.steps.size(), 1u);
+    for (const auto& step : task.steps) {
+      const auto topic = bundle.oracle->TopicOf(step.query);
+      ASSERT_TRUE(topic.has_value());
+      touched.insert(*topic);
+    }
+  }
+  EXPECT_GT(touched.size(), 30u);  // both head and a spread of tail files
+}
+
+TEST(TopicUniverse, PremiumTopicsCarryHeterogeneousCosts) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 300;
+  opts.premium_fraction = 0.3;
+  TopicUniverse u(opts);
+  int premium = 0;
+  for (const auto& t : u.topics()) {
+    EXPECT_GT(t.fetch_latency_scale, 0.0);
+    if (t.fetch_cost_scale > 1.0) {
+      ++premium;
+      EXPECT_DOUBLE_EQ(t.fetch_cost_scale, opts.premium_cost_scale);
+    }
+  }
+  EXPECT_NEAR(premium, 90, 30);
+}
+
+TEST(Oracle, FetchScalesComeFromTheTopic) {
+  TopicUniverseOptions opts;
+  opts.num_topics = 50;
+  opts.premium_fraction = 1.0;  // everything premium
+  TopicUniverse u(opts);
+  GroundTruthOracle oracle(&u);
+  RegisterAllParaphrases(oracle, u);
+  const auto& q = u.topic(0).paraphrases[0];
+  EXPECT_DOUBLE_EQ(oracle.FetchCostScale(q), u.topic(0).fetch_cost_scale);
+  EXPECT_DOUBLE_EQ(oracle.FetchLatencyScale(q),
+                   u.topic(0).fetch_latency_scale);
+  // Unknown queries fall back to neutral scales.
+  EXPECT_DOUBLE_EQ(oracle.FetchCostScale("unknown"), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.FetchLatencyScale("unknown"), 1.0);
+}
+
+TEST(WorkloadBundle, AllQueriesCoversEveryParaphrase) {
+  auto profile = SearchDatasetProfile::HotpotQa();
+  profile.num_tasks = 10;
+  const auto bundle = BuildSkewedSearchWorkload(profile);
+  const auto queries = bundle.AllQueries();
+  std::size_t expected = 0;
+  for (const auto& t : bundle.universe->topics()) {
+    expected += t.paraphrases.size();
+  }
+  EXPECT_EQ(queries.size(), expected);
+}
+
+// --- Trace statistics helpers ---
+
+TEST(WorkloadStats, BurstinessOfFlatSeriesIsOne) {
+  EXPECT_DOUBLE_EQ(Burstiness({2, 2, 2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Burstiness({}), 1.0);
+  EXPECT_GT(Burstiness({0, 0, 10, 0}), 3.9);
+}
+
+}  // namespace
+}  // namespace cortex
