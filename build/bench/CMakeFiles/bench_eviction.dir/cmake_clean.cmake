@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eviction.dir/bench_eviction.cc.o"
+  "CMakeFiles/bench_eviction.dir/bench_eviction.cc.o.d"
+  "bench_eviction"
+  "bench_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratelimit.dir/bench_ratelimit.cc.o"
+  "CMakeFiles/bench_ratelimit.dir/bench_ratelimit.cc.o.d"
+  "bench_ratelimit"
+  "bench_ratelimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recalibration.dir/bench_recalibration.cc.o"
+  "CMakeFiles/bench_recalibration.dir/bench_recalibration.cc.o.d"
+  "bench_recalibration"
+  "bench_recalibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recalibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

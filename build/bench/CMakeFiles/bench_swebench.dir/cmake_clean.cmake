@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swebench.dir/bench_swebench.cc.o"
+  "CMakeFiles/bench_swebench.dir/bench_swebench.cc.o.d"
+  "bench_swebench"
+  "bench_swebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

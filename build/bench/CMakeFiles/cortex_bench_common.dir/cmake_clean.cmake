@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/cortex_bench_common.dir/bench_common.cc.o.d"
+  "libcortex_bench_common.a"
+  "libcortex_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_agent.dir/coding_agent.cpp.o"
+  "CMakeFiles/coding_agent.dir/coding_agent.cpp.o.d"
+  "coding_agent"
+  "coding_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_agent.dir/search_agent.cpp.o"
+  "CMakeFiles/search_agent.dir/search_agent.cpp.o.d"
+  "search_agent"
+  "search_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_proxy.dir/transparent_proxy.cpp.o"
+  "CMakeFiles/transparent_proxy.dir/transparent_proxy.cpp.o.d"
+  "transparent_proxy"
+  "transparent_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

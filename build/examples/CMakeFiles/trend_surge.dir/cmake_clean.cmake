@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_surge.dir/trend_surge.cpp.o"
+  "CMakeFiles/trend_surge.dir/trend_surge.cpp.o.d"
+  "trend_surge"
+  "trend_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

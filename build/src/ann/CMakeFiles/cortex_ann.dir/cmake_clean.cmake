@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_ann.dir/flat_index.cc.o"
+  "CMakeFiles/cortex_ann.dir/flat_index.cc.o.d"
+  "CMakeFiles/cortex_ann.dir/hnsw_index.cc.o"
+  "CMakeFiles/cortex_ann.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/cortex_ann.dir/ivf_index.cc.o"
+  "CMakeFiles/cortex_ann.dir/ivf_index.cc.o.d"
+  "CMakeFiles/cortex_ann.dir/kmeans.cc.o"
+  "CMakeFiles/cortex_ann.dir/kmeans.cc.o.d"
+  "CMakeFiles/cortex_ann.dir/pq.cc.o"
+  "CMakeFiles/cortex_ann.dir/pq.cc.o.d"
+  "libcortex_ann.a"
+  "libcortex_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

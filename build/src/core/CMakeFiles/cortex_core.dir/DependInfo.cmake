@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_client.cc" "src/core/CMakeFiles/cortex_core.dir/data_client.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/data_client.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/cortex_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/eviction.cc" "src/core/CMakeFiles/cortex_core.dir/eviction.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/eviction.cc.o.d"
+  "/root/repo/src/core/exact_cache.cc" "src/core/CMakeFiles/cortex_core.dir/exact_cache.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/exact_cache.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/core/CMakeFiles/cortex_core.dir/prefetcher.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/prefetcher.cc.o.d"
+  "/root/repo/src/core/recalibrator.cc" "src/core/CMakeFiles/cortex_core.dir/recalibrator.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/recalibrator.cc.o.d"
+  "/root/repo/src/core/resolvers.cc" "src/core/CMakeFiles/cortex_core.dir/resolvers.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/resolvers.cc.o.d"
+  "/root/repo/src/core/semantic_cache.cc" "src/core/CMakeFiles/cortex_core.dir/semantic_cache.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/semantic_cache.cc.o.d"
+  "/root/repo/src/core/sharded_cache.cc" "src/core/CMakeFiles/cortex_core.dir/sharded_cache.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/sharded_cache.cc.o.d"
+  "/root/repo/src/core/sine.cc" "src/core/CMakeFiles/cortex_core.dir/sine.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/sine.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/cortex_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/cortex_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ann/CMakeFiles/cortex_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/cortex_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/cortex_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cortex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cortex_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cortex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cortex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_core.dir/data_client.cc.o"
+  "CMakeFiles/cortex_core.dir/data_client.cc.o.d"
+  "CMakeFiles/cortex_core.dir/engine.cc.o"
+  "CMakeFiles/cortex_core.dir/engine.cc.o.d"
+  "CMakeFiles/cortex_core.dir/eviction.cc.o"
+  "CMakeFiles/cortex_core.dir/eviction.cc.o.d"
+  "CMakeFiles/cortex_core.dir/exact_cache.cc.o"
+  "CMakeFiles/cortex_core.dir/exact_cache.cc.o.d"
+  "CMakeFiles/cortex_core.dir/prefetcher.cc.o"
+  "CMakeFiles/cortex_core.dir/prefetcher.cc.o.d"
+  "CMakeFiles/cortex_core.dir/recalibrator.cc.o"
+  "CMakeFiles/cortex_core.dir/recalibrator.cc.o.d"
+  "CMakeFiles/cortex_core.dir/resolvers.cc.o"
+  "CMakeFiles/cortex_core.dir/resolvers.cc.o.d"
+  "CMakeFiles/cortex_core.dir/semantic_cache.cc.o"
+  "CMakeFiles/cortex_core.dir/semantic_cache.cc.o.d"
+  "CMakeFiles/cortex_core.dir/sharded_cache.cc.o"
+  "CMakeFiles/cortex_core.dir/sharded_cache.cc.o.d"
+  "CMakeFiles/cortex_core.dir/sine.cc.o"
+  "CMakeFiles/cortex_core.dir/sine.cc.o.d"
+  "CMakeFiles/cortex_core.dir/snapshot.cc.o"
+  "CMakeFiles/cortex_core.dir/snapshot.cc.o.d"
+  "libcortex_core.a"
+  "libcortex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

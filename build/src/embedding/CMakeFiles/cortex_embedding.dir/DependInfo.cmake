@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/hashed_embedder.cc" "src/embedding/CMakeFiles/cortex_embedding.dir/hashed_embedder.cc.o" "gcc" "src/embedding/CMakeFiles/cortex_embedding.dir/hashed_embedder.cc.o.d"
+  "/root/repo/src/embedding/vector_ops.cc" "src/embedding/CMakeFiles/cortex_embedding.dir/vector_ops.cc.o" "gcc" "src/embedding/CMakeFiles/cortex_embedding.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_embedding.dir/hashed_embedder.cc.o"
+  "CMakeFiles/cortex_embedding.dir/hashed_embedder.cc.o.d"
+  "CMakeFiles/cortex_embedding.dir/vector_ops.cc.o"
+  "CMakeFiles/cortex_embedding.dir/vector_ops.cc.o.d"
+  "libcortex_embedding.a"
+  "libcortex_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

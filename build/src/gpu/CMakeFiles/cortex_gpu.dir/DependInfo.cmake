@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/batching_server.cc" "src/gpu/CMakeFiles/cortex_gpu.dir/batching_server.cc.o" "gcc" "src/gpu/CMakeFiles/cortex_gpu.dir/batching_server.cc.o.d"
+  "/root/repo/src/gpu/colocation.cc" "src/gpu/CMakeFiles/cortex_gpu.dir/colocation.cc.o" "gcc" "src/gpu/CMakeFiles/cortex_gpu.dir/colocation.cc.o.d"
+  "/root/repo/src/gpu/gpu_spec.cc" "src/gpu/CMakeFiles/cortex_gpu.dir/gpu_spec.cc.o" "gcc" "src/gpu/CMakeFiles/cortex_gpu.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/gpu/memory_pool.cc" "src/gpu/CMakeFiles/cortex_gpu.dir/memory_pool.cc.o" "gcc" "src/gpu/CMakeFiles/cortex_gpu.dir/memory_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/cortex_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/cortex_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_gpu.dir/batching_server.cc.o"
+  "CMakeFiles/cortex_gpu.dir/batching_server.cc.o.d"
+  "CMakeFiles/cortex_gpu.dir/colocation.cc.o"
+  "CMakeFiles/cortex_gpu.dir/colocation.cc.o.d"
+  "CMakeFiles/cortex_gpu.dir/gpu_spec.cc.o"
+  "CMakeFiles/cortex_gpu.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/cortex_gpu.dir/memory_pool.cc.o"
+  "CMakeFiles/cortex_gpu.dir/memory_pool.cc.o.d"
+  "libcortex_gpu.a"
+  "libcortex_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

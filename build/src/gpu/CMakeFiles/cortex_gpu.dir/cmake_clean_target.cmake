@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcortex_gpu.a"
+)

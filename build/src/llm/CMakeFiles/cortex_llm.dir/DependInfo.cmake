@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/agent_model.cc" "src/llm/CMakeFiles/cortex_llm.dir/agent_model.cc.o" "gcc" "src/llm/CMakeFiles/cortex_llm.dir/agent_model.cc.o.d"
+  "/root/repo/src/llm/judger_model.cc" "src/llm/CMakeFiles/cortex_llm.dir/judger_model.cc.o" "gcc" "src/llm/CMakeFiles/cortex_llm.dir/judger_model.cc.o.d"
+  "/root/repo/src/llm/model_spec.cc" "src/llm/CMakeFiles/cortex_llm.dir/model_spec.cc.o" "gcc" "src/llm/CMakeFiles/cortex_llm.dir/model_spec.cc.o.d"
+  "/root/repo/src/llm/tags.cc" "src/llm/CMakeFiles/cortex_llm.dir/tags.cc.o" "gcc" "src/llm/CMakeFiles/cortex_llm.dir/tags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embedding/CMakeFiles/cortex_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

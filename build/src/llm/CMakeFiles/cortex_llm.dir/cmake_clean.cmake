@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_llm.dir/agent_model.cc.o"
+  "CMakeFiles/cortex_llm.dir/agent_model.cc.o.d"
+  "CMakeFiles/cortex_llm.dir/judger_model.cc.o"
+  "CMakeFiles/cortex_llm.dir/judger_model.cc.o.d"
+  "CMakeFiles/cortex_llm.dir/model_spec.cc.o"
+  "CMakeFiles/cortex_llm.dir/model_spec.cc.o.d"
+  "CMakeFiles/cortex_llm.dir/tags.cc.o"
+  "CMakeFiles/cortex_llm.dir/tags.cc.o.d"
+  "libcortex_llm.a"
+  "libcortex_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

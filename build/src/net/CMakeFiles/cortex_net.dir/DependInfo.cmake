@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cost_model.cc" "src/net/CMakeFiles/cortex_net.dir/cost_model.cc.o" "gcc" "src/net/CMakeFiles/cortex_net.dir/cost_model.cc.o.d"
+  "/root/repo/src/net/latency.cc" "src/net/CMakeFiles/cortex_net.dir/latency.cc.o" "gcc" "src/net/CMakeFiles/cortex_net.dir/latency.cc.o.d"
+  "/root/repo/src/net/rate_limiter.cc" "src/net/CMakeFiles/cortex_net.dir/rate_limiter.cc.o" "gcc" "src/net/CMakeFiles/cortex_net.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/net/remote_service.cc" "src/net/CMakeFiles/cortex_net.dir/remote_service.cc.o" "gcc" "src/net/CMakeFiles/cortex_net.dir/remote_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_net.dir/cost_model.cc.o"
+  "CMakeFiles/cortex_net.dir/cost_model.cc.o.d"
+  "CMakeFiles/cortex_net.dir/latency.cc.o"
+  "CMakeFiles/cortex_net.dir/latency.cc.o.d"
+  "CMakeFiles/cortex_net.dir/rate_limiter.cc.o"
+  "CMakeFiles/cortex_net.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/cortex_net.dir/remote_service.cc.o"
+  "CMakeFiles/cortex_net.dir/remote_service.cc.o.d"
+  "libcortex_net.a"
+  "libcortex_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/driver.cc" "src/sim/CMakeFiles/cortex_sim.dir/driver.cc.o" "gcc" "src/sim/CMakeFiles/cortex_sim.dir/driver.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/cortex_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/cortex_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/cortex_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/cortex_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/cortex_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/cortex_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/cortex_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/cortex_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cortex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/cortex_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_sim.dir/driver.cc.o"
+  "CMakeFiles/cortex_sim.dir/driver.cc.o.d"
+  "CMakeFiles/cortex_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cortex_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cortex_sim.dir/metrics.cc.o"
+  "CMakeFiles/cortex_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/cortex_sim.dir/trace_export.cc.o"
+  "CMakeFiles/cortex_sim.dir/trace_export.cc.o.d"
+  "libcortex_sim.a"
+  "libcortex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_util.dir/config.cc.o"
+  "CMakeFiles/cortex_util.dir/config.cc.o.d"
+  "CMakeFiles/cortex_util.dir/count_min.cc.o"
+  "CMakeFiles/cortex_util.dir/count_min.cc.o.d"
+  "CMakeFiles/cortex_util.dir/flags.cc.o"
+  "CMakeFiles/cortex_util.dir/flags.cc.o.d"
+  "CMakeFiles/cortex_util.dir/rng.cc.o"
+  "CMakeFiles/cortex_util.dir/rng.cc.o.d"
+  "CMakeFiles/cortex_util.dir/stats.cc.o"
+  "CMakeFiles/cortex_util.dir/stats.cc.o.d"
+  "CMakeFiles/cortex_util.dir/table.cc.o"
+  "CMakeFiles/cortex_util.dir/table.cc.o.d"
+  "CMakeFiles/cortex_util.dir/tokenizer.cc.o"
+  "CMakeFiles/cortex_util.dir/tokenizer.cc.o.d"
+  "libcortex_util.a"
+  "libcortex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/oracle.cc" "src/workload/CMakeFiles/cortex_workload.dir/oracle.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/oracle.cc.o.d"
+  "/root/repo/src/workload/task_factory.cc" "src/workload/CMakeFiles/cortex_workload.dir/task_factory.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/task_factory.cc.o.d"
+  "/root/repo/src/workload/topic_universe.cc" "src/workload/CMakeFiles/cortex_workload.dir/topic_universe.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/topic_universe.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/cortex_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/vocab.cc" "src/workload/CMakeFiles/cortex_workload.dir/vocab.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/vocab.cc.o.d"
+  "/root/repo/src/workload/workload_stats.cc" "src/workload/CMakeFiles/cortex_workload.dir/workload_stats.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/workload_stats.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/workload/CMakeFiles/cortex_workload.dir/workloads.cc.o" "gcc" "src/workload/CMakeFiles/cortex_workload.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/cortex_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/cortex_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

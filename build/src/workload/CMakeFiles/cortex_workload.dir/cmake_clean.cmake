@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_workload.dir/oracle.cc.o"
+  "CMakeFiles/cortex_workload.dir/oracle.cc.o.d"
+  "CMakeFiles/cortex_workload.dir/task_factory.cc.o"
+  "CMakeFiles/cortex_workload.dir/task_factory.cc.o.d"
+  "CMakeFiles/cortex_workload.dir/topic_universe.cc.o"
+  "CMakeFiles/cortex_workload.dir/topic_universe.cc.o.d"
+  "CMakeFiles/cortex_workload.dir/trace_io.cc.o"
+  "CMakeFiles/cortex_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/cortex_workload.dir/vocab.cc.o"
+  "CMakeFiles/cortex_workload.dir/vocab.cc.o.d"
+  "CMakeFiles/cortex_workload.dir/workload_stats.cc.o"
+  "CMakeFiles/cortex_workload.dir/workload_stats.cc.o.d"
+  "CMakeFiles/cortex_workload.dir/workloads.cc.o"
+  "CMakeFiles/cortex_workload.dir/workloads.cc.o.d"
+  "libcortex_workload.a"
+  "libcortex_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

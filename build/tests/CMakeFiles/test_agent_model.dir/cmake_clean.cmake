@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent_model.dir/test_agent_model.cc.o"
+  "CMakeFiles/test_agent_model.dir/test_agent_model.cc.o.d"
+  "test_agent_model"
+  "test_agent_model.pdb"
+  "test_agent_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

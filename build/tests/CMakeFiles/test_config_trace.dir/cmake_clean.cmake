@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_trace.dir/test_config_trace.cc.o"
+  "CMakeFiles/test_config_trace.dir/test_config_trace.cc.o.d"
+  "test_config_trace"
+  "test_config_trace.pdb"
+  "test_config_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_cache.dir/test_exact_cache.cc.o"
+  "CMakeFiles/test_exact_cache.dir/test_exact_cache.cc.o.d"
+  "test_exact_cache"
+  "test_exact_cache.pdb"
+  "test_exact_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

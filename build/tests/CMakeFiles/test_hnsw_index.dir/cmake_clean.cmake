@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hnsw_index.dir/test_hnsw_index.cc.o"
+  "CMakeFiles/test_hnsw_index.dir/test_hnsw_index.cc.o.d"
+  "test_hnsw_index"
+  "test_hnsw_index.pdb"
+  "test_hnsw_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hnsw_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

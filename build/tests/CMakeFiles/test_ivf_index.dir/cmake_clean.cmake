@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ivf_index.dir/test_ivf_index.cc.o"
+  "CMakeFiles/test_ivf_index.dir/test_ivf_index.cc.o.d"
+  "test_ivf_index"
+  "test_ivf_index.pdb"
+  "test_ivf_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ivf_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_judger.dir/test_judger.cc.o"
+  "CMakeFiles/test_judger.dir/test_judger.cc.o.d"
+  "test_judger"
+  "test_judger.pdb"
+  "test_judger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_judger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

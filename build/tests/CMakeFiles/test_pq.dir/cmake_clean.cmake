@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pq.dir/test_pq.cc.o"
+  "CMakeFiles/test_pq.dir/test_pq.cc.o.d"
+  "test_pq"
+  "test_pq.pdb"
+  "test_pq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

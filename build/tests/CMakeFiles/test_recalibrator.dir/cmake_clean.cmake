@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recalibrator.dir/test_recalibrator.cc.o"
+  "CMakeFiles/test_recalibrator.dir/test_recalibrator.cc.o.d"
+  "test_recalibrator"
+  "test_recalibrator.pdb"
+  "test_recalibrator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recalibrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolvers.dir/test_resolvers.cc.o"
+  "CMakeFiles/test_resolvers.dir/test_resolvers.cc.o.d"
+  "test_resolvers"
+  "test_resolvers.pdb"
+  "test_resolvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

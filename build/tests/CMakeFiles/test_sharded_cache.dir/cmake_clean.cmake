@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_cache.dir/test_sharded_cache.cc.o"
+  "CMakeFiles/test_sharded_cache.dir/test_sharded_cache.cc.o.d"
+  "test_sharded_cache"
+  "test_sharded_cache.pdb"
+  "test_sharded_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

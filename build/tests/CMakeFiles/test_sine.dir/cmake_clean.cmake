@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sine.dir/test_sine.cc.o"
+  "CMakeFiles/test_sine.dir/test_sine.cc.o.d"
+  "test_sine"
+  "test_sine.pdb"
+  "test_sine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

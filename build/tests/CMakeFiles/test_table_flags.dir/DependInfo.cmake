@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_table_flags.cc" "tests/CMakeFiles/test_table_flags.dir/test_table_flags.cc.o" "gcc" "tests/CMakeFiles/test_table_flags.dir/test_table_flags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cortex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/cortex_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cortex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cortex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cortex_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cortex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/cortex_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/cortex_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cortex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tags.dir/test_tags.cc.o"
+  "CMakeFiles/test_tags.dir/test_tags.cc.o.d"
+  "test_tags"
+  "test_tags.pdb"
+  "test_tags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cortex_driver.dir/cortex_sim.cpp.o"
+  "CMakeFiles/cortex_driver.dir/cortex_sim.cpp.o.d"
+  "cortex_driver"
+  "cortex_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cortex_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
