@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the serving-layer concurrency tests under ThreadSanitizer and runs
+# them.  Uses a dedicated build dir so sanitized objects never mix with the
+# regular build.
+#
+# Usage: scripts/tsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+cmake -B "$BUILD_DIR" -S . -DCORTEX_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j \
+  --target test_concurrent_engine test_server_protocol
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -R 'ConcurrentEngine|Frame|Grammar|ServerEndToEnd' "$@"

@@ -52,7 +52,7 @@ std::vector<SearchResult> FlatIndex::Search(std::span<const float> query,
   for (std::size_t slot = 0; slot < slot_to_id_.size(); ++slot) {
     const std::span<const float> v(data_.data() + slot * dimension_,
                                    dimension_);
-    ++distcomp_;
+    distcomp_.fetch_add(1, std::memory_order_relaxed);
     const double sim = CosineSimilarity(query, v);
     if (sim >= min_similarity) {
       results.push_back({slot_to_id_[slot], sim});

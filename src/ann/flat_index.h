@@ -2,6 +2,7 @@
 // reference point for IVF/HNSW and the default for cache-sized corpora.
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
@@ -22,7 +23,9 @@ class FlatIndex final : public VectorIndex {
   std::optional<Vector> Get(VectorId id) const override;
   std::size_t size() const override { return id_to_slot_.size(); }
   std::size_t dimension() const override { return dimension_; }
-  std::uint64_t distance_computations() const override { return distcomp_; }
+  std::uint64_t distance_computations() const override {
+    return distcomp_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::size_t dimension_;
@@ -30,7 +33,9 @@ class FlatIndex final : public VectorIndex {
   std::vector<float> data_;            // size() * dimension_
   std::vector<VectorId> slot_to_id_;   // slot -> id
   std::unordered_map<VectorId, std::size_t> id_to_slot_;
-  mutable std::uint64_t distcomp_ = 0;
+  // Atomic: Search() runs concurrently under the serving tier's shared
+  // (read) locks, and a stats counter must not be the reason it can't.
+  mutable std::atomic<std::uint64_t> distcomp_{0};
 };
 
 }  // namespace cortex

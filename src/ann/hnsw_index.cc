@@ -17,7 +17,7 @@ HnswIndex::HnswIndex(std::size_t dimension, HnswOptions options)
 }
 
 double HnswIndex::Sim(std::span<const float> a, Slot b) const noexcept {
-  ++distcomp_;
+  distcomp_.fetch_add(1, std::memory_order_relaxed);
   return CosineSimilarity(a, nodes_[b].vector);
 }
 

@@ -10,6 +10,7 @@
 // constantly via eviction.
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -45,7 +46,9 @@ class HnswIndex final : public VectorIndex {
   std::optional<Vector> Get(VectorId id) const override;
   std::size_t size() const override { return live_count_; }
   std::size_t dimension() const override { return dimension_; }
-  std::uint64_t distance_computations() const override { return distcomp_; }
+  std::uint64_t distance_computations() const override {
+    return distcomp_.load(std::memory_order_relaxed);
+  }
 
   std::size_t graph_size() const noexcept { return nodes_.size(); }
   std::size_t tombstone_count() const noexcept {
@@ -95,7 +98,9 @@ class HnswIndex final : public VectorIndex {
   std::size_t live_count_ = 0;
   Slot entry_point_ = kInvalidSlot;
   int max_level_ = -1;
-  mutable std::uint64_t distcomp_ = 0;
+  // Atomic so concurrent const Search() calls (shared-lock readers in the
+  // serving tier) stay race-free.
+  mutable std::atomic<std::uint64_t> distcomp_{0};
 };
 
 }  // namespace cortex

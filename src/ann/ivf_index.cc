@@ -95,7 +95,7 @@ std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
 
   std::vector<SearchResult> results;
   auto scan = [&](VectorId id, const Vector& v) {
-    ++distcomp_;
+    distcomp_.fetch_add(1, std::memory_order_relaxed);
     const double sim = CosineSimilarity(query, v);
     if (sim >= min_similarity) results.push_back({id, sim});
   };
@@ -108,7 +108,7 @@ std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
     std::vector<std::pair<double, std::size_t>> ranked;
     ranked.reserve(options_.num_lists);
     for (std::size_t c = 0; c < options_.num_lists; ++c) {
-      ++distcomp_;
+      distcomp_.fetch_add(1, std::memory_order_relaxed);
       ranked.emplace_back(
           L2DistanceSquared(query,
                             std::span<const float>(

@@ -8,6 +8,7 @@
 // has grown or churned substantially since the last training.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -40,7 +41,9 @@ class IvfIndex final : public VectorIndex {
   std::optional<Vector> Get(VectorId id) const override;
   std::size_t size() const override { return entries_.size(); }
   std::size_t dimension() const override { return dimension_; }
-  std::uint64_t distance_computations() const override { return distcomp_; }
+  std::uint64_t distance_computations() const override {
+    return distcomp_.load(std::memory_order_relaxed);
+  }
 
   bool is_trained() const noexcept { return trained_; }
   // Forces (re)training on the current contents.  Exposed for tests.
@@ -62,7 +65,9 @@ class IvfIndex final : public VectorIndex {
   std::vector<std::vector<VectorId>> lists_;     // inverted lists
   bool trained_ = false;
   std::size_t trained_at_size_ = 0;
-  mutable std::uint64_t distcomp_ = 0;
+  // Atomic so concurrent const Search() calls (shared-lock readers in the
+  // serving tier) stay race-free.
+  mutable std::atomic<std::uint64_t> distcomp_{0};
 };
 
 }  // namespace cortex

@@ -149,7 +149,7 @@ std::vector<SearchResult> PqIndex::Search(std::span<const float> query,
 
   if (!pq_.trained()) {
     for (const auto& [id, v] : exact_) {
-      ++distcomp_;
+      distcomp_.fetch_add(1, std::memory_order_relaxed);
       const double sim = CosineSimilarity(query, v);
       if (sim >= min_similarity) results.push_back({id, sim});
     }
@@ -159,7 +159,7 @@ std::vector<SearchResult> PqIndex::Search(std::span<const float> query,
     const auto table = pq_.BuildDotTable(query);
     const double qnorm = L2Norm(query);
     for (const auto& [id, code] : codes_) {
-      ++distcomp_;
+      distcomp_.fetch_add(1, std::memory_order_relaxed);
       double sim = pq_.DotFromTable(table, code);
       if (qnorm > 0.0) sim /= qnorm;  // codes decode to ~unit vectors
       if (sim >= min_similarity) results.push_back({id, sim});

@@ -13,6 +13,7 @@
 // before that) and keeps exact copies only transiently for (re)training.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -84,7 +85,9 @@ class PqIndex final : public VectorIndex {
   std::optional<Vector> Get(VectorId id) const override;
   std::size_t size() const override { return codes_.size(); }
   std::size_t dimension() const override { return dimension_; }
-  std::uint64_t distance_computations() const override { return distcomp_; }
+  std::uint64_t distance_computations() const override {
+    return distcomp_.load(std::memory_order_relaxed);
+  }
 
   bool is_trained() const noexcept { return pq_.trained(); }
   // Compressed bytes per resident vector once trained.
@@ -102,7 +105,9 @@ class PqIndex final : public VectorIndex {
   // memory savings would spill them to disk); *search* runs on the codes.
   std::unordered_map<VectorId, Vector> exact_;
   std::unordered_map<VectorId, std::vector<std::uint8_t>> codes_;
-  mutable std::uint64_t distcomp_ = 0;
+  // Atomic so concurrent const Search() calls (shared-lock readers in the
+  // serving tier) stay race-free.
+  mutable std::atomic<std::uint64_t> distcomp_{0};
 };
 
 }  // namespace cortex

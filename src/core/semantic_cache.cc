@@ -23,34 +23,48 @@ SemanticCache::SemanticCache(const Embedder* embedder,
 
 SemanticCache::LookupResult SemanticCache::Lookup(std::string_view query,
                                                   double now) {
-  ++counters_.lookups;
+  // Expired entries must not serve hits; purge lazily before matching.
+  RemoveExpired(now);
+  LookupResult result = Probe(query, now);
+  CommitLookup(result, now);
+  return result;
+}
+
+SemanticCache::LookupResult SemanticCache::Probe(std::string_view query,
+                                                 double now) const {
   LookupResult result;
   result.query_embedding = sine_.EmbedQuery(query);
 
-  // Expired entries must not serve hits; purge lazily before matching.
-  RemoveExpired(now);
-
   // An SE whose retrieval completes in the future must not serve hits yet
   // (inserts are recorded eagerly with their completion-time timestamps;
-  // visibility honours the clock).
+  // visibility honours the clock), and expired entries must not serve hits
+  // even though this read-only path cannot remove them.
   result.sine = sine_.Lookup(query, result.query_embedding,
                              [this, now](SeId id) -> const SemanticElement* {
                                const SemanticElement* se = Get(id);
-                               return se && se->created_at <= now ? se
-                                                                  : nullptr;
+                               return se && se->created_at <= now &&
+                                              !se->ExpiredAt(now)
+                                          ? se
+                                          : nullptr;
                              });
   if (result.sine.match) {
-    auto it = store_.find(result.sine.match->id);
-    assert(it != store_.end());
-    SemanticElement& se = it->second;
-    ++se.frequency;
-    se.last_access = now;
-    ++counters_.hits;
-    result.hit = CacheHit{se.id, se.value, se.key,
+    const SemanticElement* se = Get(result.sine.match->id);
+    assert(se != nullptr);
+    result.hit = CacheHit{se->id, se->value, se->key,
                           result.sine.match->similarity,
                           result.sine.match->judger_score};
   }
   return result;
+}
+
+void SemanticCache::CommitLookup(const LookupResult& result, double now) {
+  ++counters_.lookups;
+  if (!result.hit) return;
+  ++counters_.hits;
+  const auto it = store_.find(result.hit->id);
+  if (it == store_.end()) return;  // evicted between probe and commit
+  ++it->second.frequency;
+  it->second.last_access = now;
 }
 
 std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now) {

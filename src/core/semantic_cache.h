@@ -101,6 +101,19 @@ class SemanticCache {
   // frequency and last_access.
   LookupResult Lookup(std::string_view query, double now);
 
+  // The read-only half of Lookup: identical two-stage retrieval semantics,
+  // but no mutation at all — no counter updates, no frequency bump, and no
+  // lazy TTL purge (expired or not-yet-visible entries are skipped rather
+  // than removed).  Safe to run concurrently with other const methods; the
+  // serving layer calls it under a per-shard shared lock.
+  LookupResult Probe(std::string_view query, double now) const;
+
+  // The mutating half: counts the lookup (and hit) and bumps the matched
+  // SE's confirmed frequency / last_access.  The SE may have been evicted
+  // between probe and commit (concurrent serving); the hit still counts —
+  // the caller served the value — but the bump is skipped.
+  void CommitLookup(const LookupResult& result, double now);
+
   // Inserts (evicting as needed); returns the new SE's id, or nullopt when
   // the value alone exceeds capacity.  Re-inserting an existing exact key
   // replaces that entry.  If an SE with a byte-identical value already

@@ -20,6 +20,27 @@ std::uint64_t HashToken(std::string_view s) noexcept {
 
 }  // namespace
 
+std::size_t RouteToShard(const HashedEmbedder& embedder,
+                         const Tokenizer& tokenizer, std::string_view query,
+                         std::size_t num_shards) {
+  const auto tokens = tokenizer.Tokenize(query);
+  if (tokens.empty()) {
+    return HashToken(query) % num_shards;
+  }
+  // Route on the most discriminative token: max IDF weight, ties broken by
+  // lexicographic order so the choice is deterministic across paraphrases.
+  const std::string* anchor = &tokens.front();
+  double best_weight = embedder.IdfWeight(*anchor);
+  for (const auto& token : tokens) {
+    const double weight = embedder.IdfWeight(token);
+    if (weight > best_weight || (weight == best_weight && token < *anchor)) {
+      best_weight = weight;
+      anchor = &token;
+    }
+  }
+  return HashToken(*anchor) % num_shards;
+}
+
 ShardedSemanticCache::ShardedSemanticCache(const HashedEmbedder* embedder,
                                            const JudgerModel* judger,
                                            ShardedCacheOptions options)
@@ -37,23 +58,7 @@ ShardedSemanticCache::ShardedSemanticCache(const HashedEmbedder* embedder,
 }
 
 std::size_t ShardedSemanticCache::ShardFor(std::string_view query) const {
-  const auto tokens = tokenizer_.Tokenize(query);
-  if (tokens.empty()) {
-    return HashToken(query) % shards_.size();
-  }
-  // Route on the most discriminative token: max IDF weight, ties broken by
-  // lexicographic order so the choice is deterministic across paraphrases.
-  const std::string* anchor = &tokens.front();
-  double best_weight = embedder_->IdfWeight(*anchor);
-  for (const auto& token : tokens) {
-    const double weight = embedder_->IdfWeight(token);
-    if (weight > best_weight ||
-        (weight == best_weight && token < *anchor)) {
-      best_weight = weight;
-      anchor = &token;
-    }
-  }
-  return HashToken(*anchor) % shards_.size();
+  return RouteToShard(*embedder_, tokenizer_, query, shards_.size());
 }
 
 SemanticCache::LookupResult ShardedSemanticCache::Lookup(

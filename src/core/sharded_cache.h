@@ -19,6 +19,14 @@
 
 namespace cortex {
 
+// The routing primitive shared by ShardedSemanticCache and the concurrent
+// serving tier (serve/concurrent_engine): shard index for a query under
+// IDF-anchor routing.  Deterministic and read-only — safe to call
+// concurrently as long as the embedder's IDF table is not being refit.
+std::size_t RouteToShard(const HashedEmbedder& embedder,
+                         const Tokenizer& tokenizer, std::string_view query,
+                         std::size_t num_shards);
+
 struct ShardedCacheOptions {
   std::size_t num_shards = 4;
   // Per-shard options; capacity_tokens here is the TOTAL budget, divided

@@ -1,0 +1,166 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cortex::serve {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+std::string Errno(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::ConnectTcp(const std::string& host, int port,
+                                std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, Errno("socket"));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    SetError(error, "bad host " + host);
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    SetError(error, Errno("connect(" + host + ")"));
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool BlockingClient::ConnectUnix(const std::string& path, std::string* error) {
+  Close();
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    SetError(error, "unix socket path too long");
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, Errno("socket"));
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    SetError(error, Errno("connect(" + path + ")"));
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool BlockingClient::SendFrame(std::string_view payload, std::string* error) {
+  std::string out;
+  AppendFrame(payload, out);
+  std::string_view data = out;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, Errno("send"));
+      Close();
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::optional<std::string> BlockingClient::ReadFrame(std::string* error) {
+  std::string payload;
+  char buf[16 * 1024];
+  for (;;) {
+    switch (decoder_.Next(&payload)) {
+      case FrameDecoder::Status::kFrame:
+        return payload;
+      case FrameDecoder::Status::kOversized:
+        SetError(error, "oversized response frame");
+        Close();
+        return std::nullopt;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n == 0) {
+      SetError(error, "server closed the connection");
+      Close();
+      return std::nullopt;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, Errno("read"));
+      Close();
+      return std::nullopt;
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+std::optional<Response> BlockingClient::Call(const Request& request,
+                                             std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return std::nullopt;
+  }
+  if (!SendFrame(EncodePayload(request), error)) return std::nullopt;
+  const auto payload = ReadFrame(error);
+  if (!payload) return std::nullopt;
+  auto response = ParseResponse(*payload, error);
+  if (!response) Close();
+  return response;
+}
+
+std::optional<std::string> BlockingClient::CallRaw(std::string_view payload,
+                                                   std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return std::nullopt;
+  }
+  if (!SendFrame(payload, error)) return std::nullopt;
+  return ReadFrame(error);
+}
+
+}  // namespace cortex::serve

@@ -1,0 +1,47 @@
+// BlockingClient: a minimal synchronous cortexd client — one request in
+// flight at a time, used by cortex_loadgen's client threads and the
+// serving-layer tests.  Not thread-safe; give each thread its own client.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace cortex::serve {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  // Returns false and fills `error` on failure.
+  bool ConnectTcp(const std::string& host, int port,
+                  std::string* error = nullptr);
+  bool ConnectUnix(const std::string& path, std::string* error = nullptr);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void Close();
+
+  // Sends one request and blocks for its response.  nullopt on transport
+  // or protocol failure (the connection is closed; `error` gets a reason).
+  std::optional<Response> Call(const Request& request,
+                               std::string* error = nullptr);
+
+  // Raw frame round-trip, for tests that exercise malformed payloads.
+  std::optional<std::string> CallRaw(std::string_view payload,
+                                     std::string* error = nullptr);
+
+ private:
+  bool SendFrame(std::string_view payload, std::string* error);
+  std::optional<std::string> ReadFrame(std::string* error);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cortex::serve

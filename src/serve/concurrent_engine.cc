@@ -1,0 +1,239 @@
+#include "serve/concurrent_engine.h"
+
+#include <cassert>
+#include <chrono>
+#include <limits>
+
+namespace cortex::serve {
+
+namespace {
+
+std::function<double()> WallClockSinceNow() {
+  const auto start = std::chrono::steady_clock::now();
+  return [start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+}
+
+}  // namespace
+
+ConcurrentShardedEngine::ConcurrentShardedEngine(
+    const HashedEmbedder* embedder, const JudgerModel* judger,
+    ConcurrentEngineOptions options)
+    : embedder_(embedder), options_(std::move(options)) {
+  assert(embedder != nullptr && options_.num_shards > 0);
+  clock_ = options_.clock ? options_.clock : WallClockSinceNow();
+
+  SemanticCacheOptions per_shard = options_.cache;
+  per_shard.capacity_tokens = options_.cache.capacity_tokens /
+                              static_cast<double>(options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    auto cache = std::make_unique<SemanticCache>(
+        embedder, MakeIndex(options_.index_type, embedder->dimension()),
+        judger, MakeEviction(options_.eviction), per_shard);
+    shards_.push_back(std::make_unique<Shard>(
+        std::move(cache), options_.recalibration,
+        options_.recalibration_seed + i));
+  }
+
+  if (options_.housekeeping_interval_sec > 0.0) {
+    housekeeper_ = std::thread([this] { HousekeepingLoop(); });
+  }
+}
+
+ConcurrentShardedEngine::~ConcurrentShardedEngine() { StopHousekeeping(); }
+
+void ConcurrentShardedEngine::StopHousekeeping() {
+  {
+    std::lock_guard<std::mutex> lk(hk_mu_);
+    hk_stop_ = true;
+  }
+  hk_cv_.notify_all();
+  if (housekeeper_.joinable()) housekeeper_.join();
+}
+
+std::size_t ConcurrentShardedEngine::ShardFor(std::string_view query) const {
+  return RouteToShard(*embedder_, tokenizer_, query, shards_.size());
+}
+
+std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
+    std::string_view query) {
+  Shard& shard = *shards_[ShardFor(query)];
+  const double now = clock_();
+
+  // Probe (ANN search + judger — the expensive part) runs under the shared
+  // lock, so lookups on the same shard proceed in parallel.
+  SemanticCache::LookupResult result;
+  {
+    std::shared_lock<std::shared_mutex> lk(shard.mu);
+    result = shard.cache->Probe(query, now);
+  }
+
+  // Commit (counters, frequency bump, judgment log) is cheap; upgrade to
+  // the exclusive lock.  The matched SE may have been evicted in between —
+  // CommitLookup tolerates that, and the hit we already copied still
+  // serves the client.
+  {
+    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    shard.cache->CommitLookup(result, now);
+    // Log every judged candidate so recalibration sees scores on both
+    // sides of the threshold (same policy as CortexEngine::Lookup).
+    for (const auto& judged : result.sine.judged) {
+      if (const SemanticElement* se = shard.cache->Get(judged.id)) {
+        shard.recalibrator.LogJudgment({std::string(query), se->key,
+                                        se->value, judged.judger_score});
+      }
+    }
+  }
+
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (result.hit) hits_.fetch_add(1, std::memory_order_relaxed);
+  return result.hit;
+}
+
+std::optional<SeId> ConcurrentShardedEngine::Insert(InsertRequest request) {
+  Shard& shard = *shards_[ShardFor(request.key)];
+  const double now = clock_();
+  std::optional<SeId> id;
+  {
+    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    id = shard.cache->Insert(std::move(request), now);
+  }
+  (id ? inserts_ : insert_rejects_).fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool ConcurrentShardedEngine::ContainsKey(std::string_view key) const {
+  const Shard& shard = *shards_[ShardFor(key)];
+  std::shared_lock<std::shared_mutex> lk(shard.mu);
+  return shard.cache->ContainsKey(key);
+}
+
+std::size_t ConcurrentShardedEngine::RemoveExpired() {
+  const double now = clock_();
+  std::size_t removed = 0;
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lk(shard->mu);
+    removed += shard->cache->RemoveExpired(now);
+  }
+  expired_removed_.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
+}
+
+void ConcurrentShardedEngine::SetGroundTruthFetcher(
+    std::function<std::string(std::string_view)> fn) {
+  std::lock_guard<std::mutex> lk(fetch_gt_mu_);
+  fetch_gt_ = std::move(fn);
+}
+
+bool ConcurrentShardedEngine::RecalibrateShard(Shard& shard) {
+  std::function<std::string(std::string_view)> fetch;
+  {
+    std::lock_guard<std::mutex> lk(fetch_gt_mu_);
+    fetch = fetch_gt_;
+  }
+  if (!fetch) return false;
+  std::unique_lock<std::shared_mutex> lk(shard.mu);
+  const RecalibrationRound round = shard.recalibrator.RunRound(fetch, shard.rng);
+  recalibrations_.fetch_add(1, std::memory_order_relaxed);
+  if (round.new_tau) {
+    shard.cache->sine().set_tau_lsm(*round.new_tau);
+    return true;
+  }
+  return false;
+}
+
+std::size_t ConcurrentShardedEngine::RecalibrateAllShards() {
+  std::size_t changed = 0;
+  for (auto& shard : shards_) {
+    if (RecalibrateShard(*shard)) ++changed;
+  }
+  return changed;
+}
+
+void ConcurrentShardedEngine::HousekeepingLoop() {
+  using namespace std::chrono_literals;
+  // Start at -inf so the first tick always runs — the loop must not miss a
+  // clock jump that happened before this thread got scheduled (tests with
+  // injected clocks rely on this).
+  double last_purge = -std::numeric_limits<double>::infinity();
+  double last_recal = last_purge;
+  std::unique_lock<std::mutex> lk(hk_mu_);
+  while (!hk_stop_) {
+    // Poll on a short wall-clock cadence but trigger on the *engine*
+    // clock, so tests with injected clocks control when ticks fire.
+    hk_cv_.wait_for(lk, 20ms, [this] { return hk_stop_; });
+    if (hk_stop_) break;
+    lk.unlock();
+    const double now = clock_();
+    if (now - last_purge >= options_.housekeeping_interval_sec) {
+      last_purge = now;
+      RemoveExpired();
+      housekeeping_runs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options_.recalibration_interval_sec > 0.0 &&
+        now - last_recal >= options_.recalibration_interval_sec) {
+      last_recal = now;
+      RecalibrateAllShards();
+    }
+    lk.lock();
+  }
+}
+
+ConcurrentEngineStats ConcurrentShardedEngine::Stats() const {
+  ConcurrentEngineStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.insert_rejects = insert_rejects_.load(std::memory_order_relaxed);
+  s.expired_removed = expired_removed_.load(std::memory_order_relaxed);
+  s.housekeeping_runs = housekeeping_runs_.load(std::memory_order_relaxed);
+  s.recalibrations = recalibrations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+CacheCounters ConcurrentShardedEngine::TotalCounters() const {
+  CacheCounters total;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    const auto& c = shard->cache->counters();
+    total.lookups += c.lookups;
+    total.hits += c.hits;
+    total.insertions += c.insertions;
+    total.evictions += c.evictions;
+    total.expirations += c.expirations;
+    total.rejected_too_large += c.rejected_too_large;
+    total.dedup_refreshes += c.dedup_refreshes;
+    total.admission_rejects += c.admission_rejects;
+  }
+  return total;
+}
+
+std::size_t ConcurrentShardedEngine::TotalSize() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    total += shard->cache->size();
+  }
+  return total;
+}
+
+double ConcurrentShardedEngine::TotalUsageTokens() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    total += shard->cache->usage_tokens();
+  }
+  return total;
+}
+
+double ConcurrentShardedEngine::tau_lsm(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::shared_lock<std::shared_mutex> lk(s.mu);
+  return s.cache->sine().options().tau_lsm;
+}
+
+}  // namespace cortex::serve

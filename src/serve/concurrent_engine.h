@@ -1,0 +1,166 @@
+// ConcurrentShardedEngine: the thread-safe engine front of the serving
+// layer (cortexd).  Wraps the paper's sharded deployment (Fig. 4) for real
+// parallel clients instead of the single-threaded virtual-clock sim:
+//
+//   * per-shard std::shared_mutex — lookups take the shared lock for the
+//     expensive read-only probe (ANN search + judger) and upgrade to the
+//     exclusive lock only for the cheap commit (counters, frequency bump);
+//     insert/evict/expire take the exclusive lock outright;
+//   * engine-wide atomic counters, readable without any lock;
+//   * a background housekeeping thread that periodically runs RemoveExpired
+//     on every shard and — when ground truth is reachable — per-shard
+//     threshold recalibration ticks (Algorithm 1, ported from CortexEngine).
+//
+// Lock order: shard mutexes are leaves — no other lock is ever acquired
+// while one is held, and at most one shard mutex is held at a time (cross-
+// shard aggregates lock shard by shard, so totals are per-shard-consistent
+// snapshots, not a global atomic view).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/recalibrator.h"
+#include "core/semantic_cache.h"
+#include "core/sharded_cache.h"
+#include "embedding/hashed_embedder.h"
+#include "util/rng.h"
+#include "util/tokenizer.h"
+
+namespace cortex::serve {
+
+struct ConcurrentEngineOptions {
+  std::size_t num_shards = 4;
+  // Per-shard options; capacity_tokens is the TOTAL budget, divided evenly
+  // across shards (same convention as ShardedCacheOptions).
+  SemanticCacheOptions cache;
+  IndexType index_type = IndexType::kFlat;
+  EvictionKind eviction = EvictionKind::kLcfu;
+
+  // Background housekeeping cadence in engine-clock seconds; <= 0 disables
+  // the thread entirely (tests drive RemoveExpired by hand).
+  double housekeeping_interval_sec = 1.0;
+  // Recalibration tick cadence; <= 0 disables.  Ticks only do work once a
+  // ground-truth fetcher is installed (SetGroundTruthFetcher).
+  double recalibration_interval_sec = 0.0;
+  RecalibratorOptions recalibration;
+  std::uint64_t recalibration_seed = 97;
+
+  // Engine clock in seconds.  Defaults to wall-clock seconds since engine
+  // construction; tests inject a fake.  Must be monotonic non-decreasing
+  // and safe to call from any thread.
+  std::function<double()> clock;
+};
+
+// Lock-free snapshot of the engine-wide atomics.
+struct ConcurrentEngineStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;          // accepted (new id or dedup refresh)
+  std::uint64_t insert_rejects = 0;   // too large / admission-rejected
+  std::uint64_t expired_removed = 0;  // via housekeeping or RemoveExpired()
+  std::uint64_t housekeeping_runs = 0;
+  std::uint64_t recalibrations = 0;   // per-shard recalibration rounds run
+};
+
+class ConcurrentShardedEngine {
+ public:
+  // embedder/judger are borrowed and must outlive the engine.  The
+  // embedder must already be IDF-fitted (routing and matching both use the
+  // weights) and must not be refit while the engine is live.
+  ConcurrentShardedEngine(const HashedEmbedder* embedder,
+                          const JudgerModel* judger,
+                          ConcurrentEngineOptions options = {});
+  ~ConcurrentShardedEngine();
+
+  ConcurrentShardedEngine(const ConcurrentShardedEngine&) = delete;
+  ConcurrentShardedEngine& operator=(const ConcurrentShardedEngine&) = delete;
+
+  // Two-stage semantic lookup at the engine clock's now.
+  std::optional<CacheHit> Lookup(std::string_view query);
+
+  // Insert knowledge fetched by a client on a miss.  Returns the SE id, or
+  // nullopt when rejected (value too large, admission doorkeeper).
+  std::optional<SeId> Insert(InsertRequest request);
+
+  bool ContainsKey(std::string_view key) const;
+
+  // Manual full TTL purge across all shards (the housekeeping thread calls
+  // this on its own cadence).  Returns entries removed.
+  std::size_t RemoveExpired();
+
+  // Installs the ground-truth fetch used by recalibration ticks (query ->
+  // ground-truth result; a real remote call in production, the workload
+  // oracle here).  Must be thread-safe; it runs on the housekeeping thread
+  // while the shard's exclusive lock is held.
+  void SetGroundTruthFetcher(std::function<std::string(std::string_view)> fn);
+
+  // Runs one recalibration round on every shard immediately (the
+  // housekeeping thread's tick, callable by hand in tests/benches).
+  // Returns the number of shards whose tau changed.
+  std::size_t RecalibrateAllShards();
+
+  double Now() const { return clock_(); }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  std::size_t ShardFor(std::string_view query) const;
+
+  ConcurrentEngineStats Stats() const;
+
+  // Shard-by-shard locked aggregates (consistent per shard, not globally).
+  CacheCounters TotalCounters() const;
+  std::size_t TotalSize() const;
+  double TotalUsageTokens() const;
+  double tau_lsm(std::size_t shard) const;
+
+  // Stops the housekeeping thread (idempotent; the destructor calls it).
+  void StopHousekeeping();
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<SemanticCache> cache;
+    Recalibrator recalibrator;
+    Rng rng;
+
+    Shard(std::unique_ptr<SemanticCache> c, RecalibratorOptions ropts,
+          std::uint64_t seed)
+        : cache(std::move(c)), recalibrator(ropts), rng(seed) {}
+  };
+
+  void HousekeepingLoop();
+  bool RecalibrateShard(Shard& shard);
+
+  const HashedEmbedder* embedder_;
+  Tokenizer tokenizer_;
+  ConcurrentEngineOptions options_;
+  std::function<double()> clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> insert_rejects_{0};
+  std::atomic<std::uint64_t> expired_removed_{0};
+  std::atomic<std::uint64_t> housekeeping_runs_{0};
+  std::atomic<std::uint64_t> recalibrations_{0};
+
+  std::mutex fetch_gt_mu_;
+  std::function<std::string(std::string_view)> fetch_gt_;
+
+  std::mutex hk_mu_;
+  std::condition_variable hk_cv_;
+  bool hk_stop_ = false;
+  std::thread housekeeper_;
+};
+
+}  // namespace cortex::serve

@@ -1,0 +1,263 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace cortex::serve {
+
+namespace {
+
+void SetError(std::string* error, std::string_view message) {
+  if (error) *error = std::string(message);
+}
+
+// Splits off the field before the next TAB; returns nullopt when there is
+// no separator left.
+std::optional<std::string_view> TakeField(std::string_view& rest) {
+  const std::size_t tab = rest.find('\t');
+  if (tab == std::string_view::npos) return std::nullopt;
+  std::string_view field = rest.substr(0, tab);
+  rest.remove_prefix(tab + 1);
+  return field;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool ParseU64(std::string_view s, std::uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.6g", v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+void AppendFrame(std::string_view payload, std::string& out) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out.append(payload);
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) return;
+  buffer_.append(bytes);
+}
+
+FrameDecoder::Status FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) return Status::kOversized;
+  const std::size_t available = buffer_.size() - pos_;
+  if (available < kFrameHeaderBytes) return Status::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+  const std::uint32_t len = (std::uint32_t{p[0]} << 24) |
+                            (std::uint32_t{p[1]} << 16) |
+                            (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    return Status::kOversized;
+  }
+  if (available - kFrameHeaderBytes < len) return Status::kNeedMore;
+  payload->assign(buffer_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  // Compact once the consumed prefix dominates, so long-lived connections
+  // do not grow the buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+bool FrameDecoder::MidFrame() const noexcept {
+  return !poisoned_ && buffered_bytes() > 0;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string EncodePayload(const Request& request) {
+  switch (request.type) {
+    case RequestType::kLookup:
+      return "LOOKUP\t" + request.query;
+    case RequestType::kInsert:
+      return "INSERT\t" + FormatDouble(request.staticity) + "\t" +
+             request.key + "\t" + request.value;
+    case RequestType::kStats:
+      return "STATS";
+    case RequestType::kPing:
+      return "PING";
+  }
+  return {};
+}
+
+std::optional<Request> ParseRequest(std::string_view payload,
+                                    std::string* error) {
+  if (payload.empty()) {
+    SetError(error, "empty request");
+    return std::nullopt;
+  }
+  Request request;
+  std::string_view rest = payload;
+  const std::size_t tab = rest.find('\t');
+  const std::string_view verb = rest.substr(0, tab);
+  rest = tab == std::string_view::npos ? std::string_view{}
+                                       : rest.substr(tab + 1);
+
+  if (verb == "PING") {
+    request.type = RequestType::kPing;
+    return request;
+  }
+  if (verb == "STATS") {
+    request.type = RequestType::kStats;
+    return request;
+  }
+  if (verb == "LOOKUP") {
+    if (tab == std::string_view::npos || rest.empty()) {
+      SetError(error, "LOOKUP needs a query");
+      return std::nullopt;
+    }
+    request.type = RequestType::kLookup;
+    request.query = std::string(rest);
+    return request;
+  }
+  if (verb == "INSERT") {
+    const auto staticity = TakeField(rest);
+    if (!staticity || !ParseDouble(*staticity, &request.staticity)) {
+      SetError(error, "INSERT needs a numeric staticity");
+      return std::nullopt;
+    }
+    const auto key = TakeField(rest);
+    if (!key || key->empty()) {
+      SetError(error, "INSERT needs a key");
+      return std::nullopt;
+    }
+    if (rest.empty()) {
+      SetError(error, "INSERT needs a value");
+      return std::nullopt;
+    }
+    request.type = RequestType::kInsert;
+    request.key = std::string(*key);
+    request.value = std::string(rest);
+    return request;
+  }
+  SetError(error, "unknown verb");
+  return std::nullopt;
+}
+
+std::string EncodePayload(const Response& response) {
+  switch (response.type) {
+    case ResponseType::kHit:
+      return "HIT\t" + FormatDouble(response.similarity) + "\t" +
+             FormatDouble(response.judger_score) + "\t" +
+             response.matched_key + "\t" + response.value;
+    case ResponseType::kMiss:
+      return "MISS";
+    case ResponseType::kOk:
+      return "OK\t" + std::to_string(response.id);
+    case ResponseType::kReject:
+      return "REJECT";
+    case ResponseType::kPong:
+      return "PONG";
+    case ResponseType::kStats: {
+      std::string out = "STATS";
+      for (const auto& [k, v] : response.stats) {
+        out += "\t" + k + "=" + v;
+      }
+      return out;
+    }
+    case ResponseType::kBusy:
+      return "BUSY";
+    case ResponseType::kError:
+      return "ERR\t" + response.message;
+  }
+  return {};
+}
+
+std::optional<Response> ParseResponse(std::string_view payload,
+                                      std::string* error) {
+  if (payload.empty()) {
+    SetError(error, "empty response");
+    return std::nullopt;
+  }
+  Response response;
+  std::string_view rest = payload;
+  const std::size_t tab = rest.find('\t');
+  const std::string_view verb = rest.substr(0, tab);
+  rest = tab == std::string_view::npos ? std::string_view{}
+                                       : rest.substr(tab + 1);
+
+  if (verb == "MISS") {
+    response.type = ResponseType::kMiss;
+    return response;
+  }
+  if (verb == "PONG") {
+    response.type = ResponseType::kPong;
+    return response;
+  }
+  if (verb == "BUSY") {
+    response.type = ResponseType::kBusy;
+    return response;
+  }
+  if (verb == "REJECT") {
+    response.type = ResponseType::kReject;
+    return response;
+  }
+  if (verb == "OK") {
+    if (!ParseU64(rest, &response.id)) {
+      SetError(error, "OK needs a numeric id");
+      return std::nullopt;
+    }
+    response.type = ResponseType::kOk;
+    return response;
+  }
+  if (verb == "HIT") {
+    const auto similarity = TakeField(rest);
+    const auto score = similarity ? TakeField(rest) : std::nullopt;
+    const auto key = score ? TakeField(rest) : std::nullopt;
+    if (!similarity || !ParseDouble(*similarity, &response.similarity) ||
+        !score || !ParseDouble(*score, &response.judger_score) || !key) {
+      SetError(error, "malformed HIT");
+      return std::nullopt;
+    }
+    response.type = ResponseType::kHit;
+    response.matched_key = std::string(*key);
+    response.value = std::string(rest);
+    return response;
+  }
+  if (verb == "STATS") {
+    response.type = ResponseType::kStats;
+    while (!rest.empty()) {
+      auto field = TakeField(rest);
+      std::string_view pair = field ? *field : rest;
+      if (!field) rest = {};
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        SetError(error, "malformed STATS pair");
+        return std::nullopt;
+      }
+      response.stats.emplace_back(std::string(pair.substr(0, eq)),
+                                  std::string(pair.substr(eq + 1)));
+    }
+    return response;
+  }
+  if (verb == "ERR") {
+    response.type = ResponseType::kError;
+    response.message = std::string(rest);
+    return response;
+  }
+  SetError(error, "unknown verb");
+  return std::nullopt;
+}
+
+}  // namespace cortex::serve

@@ -1,0 +1,118 @@
+// The cortexd wire protocol: length-prefixed text frames over a byte
+// stream (TCP or a Unix-domain socket).
+//
+// Framing: every message is a 4-byte big-endian payload length followed by
+// the payload.  Frames above the negotiated maximum are a protocol error
+// (the connection is dropped — a malicious length prefix must not make the
+// server buffer gigabytes).
+//
+// Payload grammar (fields separated by a single TAB; the *last* field of
+// INSERT / HIT / ERR takes the rest of the payload, so values may contain
+// tabs; keys and queries may not):
+//
+//   request  = "LOOKUP" TAB query
+//            | "INSERT" TAB staticity TAB key TAB value
+//            | "STATS"
+//            | "PING"
+//   response = "HIT" TAB similarity TAB judger_score TAB matched_key TAB value
+//            | "MISS"
+//            | "OK" TAB id               ; insert accepted
+//            | "REJECT"                  ; insert refused (capacity/admission)
+//            | "PONG"
+//            | "STATS" *(TAB key "=" value)
+//            | "BUSY"                    ; overload backpressure — retry later
+//            | "ERR" TAB message
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cortex::serve {
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
+
+// Appends the 4-byte header + payload to `out`.
+void AppendFrame(std::string_view payload, std::string& out);
+
+// Incremental frame parser over a byte stream.  Feed() raw reads, then pop
+// complete frames with Next() until it returns kNeedMore.  kOversized is
+// sticky: the stream is poisoned and the connection must be closed.
+class FrameDecoder {
+ public:
+  enum class Status { kFrame, kNeedMore, kOversized };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  void Feed(std::string_view bytes);
+  Status Next(std::string* payload);
+
+  // True when buffered bytes form an incomplete frame — at EOF this means
+  // the peer truncated mid-frame.
+  bool MidFrame() const noexcept;
+  std::size_t buffered_bytes() const noexcept { return buffer_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Requests
+
+enum class RequestType { kLookup, kInsert, kStats, kPing };
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  std::string query;      // LOOKUP
+  std::string key;        // INSERT
+  std::string value;      // INSERT
+  double staticity = 5.0; // INSERT (paper's 1-10 scale)
+};
+
+std::string EncodePayload(const Request& request);
+// Returns nullopt on grammar violations; `error` (optional) gets a
+// human-readable reason.
+std::optional<Request> ParseRequest(std::string_view payload,
+                                    std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// Responses
+
+enum class ResponseType {
+  kHit,
+  kMiss,
+  kOk,
+  kReject,
+  kPong,
+  kStats,
+  kBusy,
+  kError,
+};
+
+struct Response {
+  ResponseType type = ResponseType::kError;
+  // kHit
+  std::string matched_key;
+  std::string value;
+  double similarity = 0.0;
+  double judger_score = 0.0;
+  // kOk
+  std::uint64_t id = 0;
+  // kStats
+  std::vector<std::pair<std::string, std::string>> stats;
+  // kError
+  std::string message;
+};
+
+std::string EncodePayload(const Response& response);
+std::optional<Response> ParseResponse(std::string_view payload,
+                                      std::string* error = nullptr);
+
+}  // namespace cortex::serve

@@ -1,0 +1,388 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace cortex::serve {
+
+namespace {
+
+std::string Errno(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.6g", v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+Response MakeResponse(ResponseType type) {
+  Response r;
+  r.type = type;
+  return r;
+}
+
+// Writes the whole buffer, tolerating partial writes; false on error.
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+void SendOneFrame(int fd, const Response& response) {
+  std::string out;
+  AppendFrame(EncodePayload(response), out);
+  SendAll(fd, out);
+}
+
+}  // namespace
+
+CortexServer::CortexServer(ConcurrentShardedEngine* engine,
+                           ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      bucket_(options_.max_requests_per_sec > 0.0
+                  ? TokenBucket(options_.max_requests_per_sec,
+                                options_.rate_burst)
+                  : UnlimitedBucket()) {}
+
+CortexServer::~CortexServer() { Stop(); }
+
+bool CortexServer::Start(std::string* error) {
+  if (running_.load()) return true;
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+      if (error) *error = "unix socket path too long";
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error) *error = Errno("socket");
+      return false;
+    }
+    ::unlink(options_.unix_path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      if (error) *error = Errno("bind(" + options_.unix_path + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    bound_unix_path_ = options_.unix_path;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error) *error = Errno("socket");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      if (error) *error = "bad host " + options_.host;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      if (error) *error = Errno("bind(" + options_.host + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (::listen(listen_fd_, 128) < 0) {
+    if (error) *error = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  stopping_.store(false);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return true;
+}
+
+void CortexServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Connections still queued never reached a worker; drop them.
+  std::deque<int> leftover;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    leftover.swap(conn_queue_);
+  }
+  for (int fd : leftover) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!bound_unix_path_.empty()) {
+    ::unlink(bound_unix_path_.c_str());
+    bound_unix_path_.clear();
+  }
+}
+
+void CortexServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool rejected = false;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (conn_queue_.size() >= options_.max_pending_connections) {
+        rejected = true;
+      } else {
+        conn_queue_.push_back(fd);
+      }
+    }
+    if (rejected) {
+      // Connection-level backpressure: one BUSY frame, then disconnect.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendOneFrame(fd, MakeResponse(ResponseType::kBusy));
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void CortexServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               !conn_queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void CortexServer::ServeConnection(int fd) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  // Bounded per-connection request queue.  `overloaded` entries mark
+  // frames that arrived past the bound: they are answered BUSY *in request
+  // order* instead of being executed.
+  struct PendingFrame {
+    bool overloaded = false;
+    std::string payload;
+  };
+  std::deque<PendingFrame> pending;
+  std::string outbuf;
+  char buf[16 * 1024];
+  bool done = false;
+
+  while (!done && !stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    if (pfd.revents & (POLLERR | POLLNVAL)) break;
+
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) {
+      // Peer closed.  Mid-frame bytes mean a truncated frame.
+      if (decoder.MidFrame()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    decoder.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+
+    outbuf.clear();
+    std::string payload;
+    for (;;) {
+      const FrameDecoder::Status st = decoder.Next(&payload);
+      if (st == FrameDecoder::Status::kNeedMore) break;
+      if (st == FrameDecoder::Status::kOversized) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Response err = MakeResponse(ResponseType::kError);
+        err.message = "frame exceeds " +
+                      std::to_string(options_.max_frame_bytes) + " bytes";
+        AppendFrame(EncodePayload(err), outbuf);
+        done = true;  // the stream is unrecoverable past a bad length
+        break;
+      }
+      if (pending.size() >= options_.max_pipeline) {
+        // Request-level backpressure: the per-connection queue is full.
+        pending.push_back({true, {}});
+        continue;
+      }
+      pending.push_back({false, std::move(payload)});
+    }
+
+    while (!pending.empty()) {
+      const PendingFrame frame = std::move(pending.front());
+      pending.pop_front();
+      if (frame.overloaded) {
+        requests_busy_.fetch_add(1, std::memory_order_relaxed);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        AppendFrame(EncodePayload(MakeResponse(ResponseType::kBusy)), outbuf);
+        continue;
+      }
+      std::string parse_error;
+      Response response;
+      if (const auto request = ParseRequest(frame.payload, &parse_error)) {
+        if (AdmitRequest(*request)) {
+          response = Execute(*request);
+        } else {
+          requests_busy_.fetch_add(1, std::memory_order_relaxed);
+          response = MakeResponse(ResponseType::kBusy);
+        }
+      } else {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        response = MakeResponse(ResponseType::kError);
+        response.message = parse_error;
+      }
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      AppendFrame(EncodePayload(response), outbuf);
+    }
+
+    if (!outbuf.empty() && !SendAll(fd, outbuf)) break;
+  }
+  ::close(fd);
+}
+
+bool CortexServer::AdmitRequest(const Request& request) {
+  if (options_.max_requests_per_sec <= 0.0) return true;
+  if (request.type != RequestType::kLookup &&
+      request.type != RequestType::kInsert) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lk(bucket_mu_);
+  return bucket_.TryAcquire(engine_->Now());
+}
+
+Response CortexServer::Execute(const Request& request) {
+  switch (request.type) {
+    case RequestType::kPing:
+      return MakeResponse(ResponseType::kPong);
+    case RequestType::kStats:
+      return BuildStats();
+    case RequestType::kLookup: {
+      const auto hit = engine_->Lookup(request.query);
+      if (!hit) return MakeResponse(ResponseType::kMiss);
+      Response r = MakeResponse(ResponseType::kHit);
+      r.matched_key = hit->matched_key;
+      r.value = hit->value;
+      r.similarity = hit->similarity;
+      r.judger_score = hit->judger_score;
+      return r;
+    }
+    case RequestType::kInsert: {
+      InsertRequest insert;
+      insert.key = request.key;
+      insert.value = request.value;
+      insert.staticity = request.staticity;
+      insert.initial_frequency = 1;  // a demanded fetch has one confirmed use
+      const auto id = engine_->Insert(std::move(insert));
+      if (!id) return MakeResponse(ResponseType::kReject);
+      Response r = MakeResponse(ResponseType::kOk);
+      r.id = *id;
+      return r;
+    }
+  }
+  Response r = MakeResponse(ResponseType::kError);
+  r.message = "unhandled request type";
+  return r;
+}
+
+Response CortexServer::BuildStats() {
+  Response r = MakeResponse(ResponseType::kStats);
+  const ConcurrentEngineStats engine = engine_->Stats();
+  const ServerStats server = stats();
+  const double hit_rate =
+      engine.lookups ? static_cast<double>(engine.hits) /
+                           static_cast<double>(engine.lookups)
+                     : 0.0;
+  r.stats = {
+      {"shards", std::to_string(engine_->num_shards())},
+      {"entries", std::to_string(engine_->TotalSize())},
+      {"usage_tokens", FormatDouble(engine_->TotalUsageTokens())},
+      {"lookups", std::to_string(engine.lookups)},
+      {"hits", std::to_string(engine.hits)},
+      {"hit_rate", FormatDouble(hit_rate)},
+      {"inserts", std::to_string(engine.inserts)},
+      {"insert_rejects", std::to_string(engine.insert_rejects)},
+      {"expired_removed", std::to_string(engine.expired_removed)},
+      {"housekeeping_runs", std::to_string(engine.housekeeping_runs)},
+      {"recalibrations", std::to_string(engine.recalibrations)},
+      {"connections_accepted", std::to_string(server.connections_accepted)},
+      {"connections_rejected", std::to_string(server.connections_rejected)},
+      {"requests_served", std::to_string(server.requests_served)},
+      {"requests_busy", std::to_string(server.requests_busy)},
+      {"protocol_errors", std::to_string(server.protocol_errors)},
+  };
+  return r;
+}
+
+ServerStats CortexServer::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.requests_served = requests_served_.load(std::memory_order_relaxed);
+  s.requests_busy = requests_busy_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cortex::serve

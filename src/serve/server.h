@@ -1,0 +1,121 @@
+// CortexServer: the multi-threaded serving front of cortexd.
+//
+// Threading model:
+//   * one acceptor thread accepts connections and pushes them onto a
+//     bounded queue (overflow => the client gets one BUSY frame and is
+//     disconnected — connection-level backpressure);
+//   * a fixed pool of worker threads pops connections and serves each one
+//     to completion (read frames -> execute -> write responses);
+//   * per connection, decoded-but-unprocessed requests are bounded by
+//     max_pipeline — requests beyond the bound are answered BUSY without
+//     being executed (request-level backpressure);
+//   * a server-wide token bucket (net/rate_limiter) caps the sustained
+//     LOOKUP/INSERT rate — requests over quota are answered BUSY.
+//
+// Shutdown is graceful: Stop() closes the listener, wakes every worker,
+// lets in-flight request batches finish, and joins all threads.  cortexd
+// calls Stop() from its SIGINT handler path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/rate_limiter.h"
+#include "serve/concurrent_engine.h"
+#include "serve/protocol.h"
+
+namespace cortex::serve {
+
+struct ServerOptions {
+  // Listen on a Unix-domain socket when non-empty; otherwise TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = kernel-assigned; read back via port()
+
+  std::size_t num_workers = 4;
+  // Bounded acceptor->worker connection queue.
+  std::size_t max_pending_connections = 64;
+  // Bounded per-connection decoded-request queue.
+  std::size_t max_pipeline = 64;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  // Sustained LOOKUP+INSERT admission rate (req/s); <= 0 disables the
+  // bucket.  PING/STATS are never rate limited.
+  double max_requests_per_sec = 0.0;
+  double rate_burst = 128.0;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // queue-full BUSY disconnects
+  std::uint64_t requests_served = 0;       // executed (any response)
+  std::uint64_t requests_busy = 0;         // BUSY responses (rate/pipeline)
+  std::uint64_t protocol_errors = 0;       // parse failures, truncation,
+                                           // oversized frames
+};
+
+class CortexServer {
+ public:
+  // The engine is borrowed and must outlive the server.
+  CortexServer(ConcurrentShardedEngine* engine, ServerOptions options = {});
+  ~CortexServer();
+
+  CortexServer(const CortexServer&) = delete;
+  CortexServer& operator=(const CortexServer&) = delete;
+
+  // Binds, listens, and spawns the acceptor + workers.  Returns false and
+  // fills `error` on failure.
+  bool Start(std::string* error = nullptr);
+  void Stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  // Resolved TCP port (0 when serving a Unix socket or not started).
+  int port() const noexcept { return port_; }
+  const ServerOptions& options() const noexcept { return options_; }
+  ServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  // Executes one parsed request against the engine.
+  Response Execute(const Request& request);
+  Response BuildStats();
+  bool AdmitRequest(const Request& request);  // token-bucket gate
+
+  ConcurrentShardedEngine* engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string bound_unix_path_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> conn_queue_;
+
+  std::mutex bucket_mu_;
+  TokenBucket bucket_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_busy_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace cortex::serve

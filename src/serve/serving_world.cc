@@ -1,0 +1,66 @@
+#include "serve/serving_world.h"
+
+#include <exception>
+
+#include "workload/trace_io.h"
+
+namespace cortex::serve {
+
+std::unique_ptr<ServingWorld> BuildServingWorld(const Flags& flags,
+                                                std::string* error) {
+  auto world = std::make_unique<ServingWorld>();
+
+  const std::string trace = flags.GetString("trace");
+  if (!trace.empty()) {
+    try {
+      world->bundle = LoadWorkloadTraceFile(trace);
+    } catch (const std::exception& e) {
+      if (error) *error = "failed to load trace " + trace + ": " + e.what();
+      return nullptr;
+    }
+  } else {
+    const std::string name = flags.GetString("workload", "musique");
+    const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 1000));
+    if (name == "swebench") {
+      SweBenchProfile profile;
+      profile.num_issues = tasks;
+      if (flags.Has("seed")) {
+        profile.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 31));
+      }
+      world->bundle = BuildSweBenchWorkload(profile);
+    } else {
+      SearchDatasetProfile profile;
+      if (name == "musique") {
+        profile = SearchDatasetProfile::Musique();
+      } else if (name == "zilliz") {
+        profile = SearchDatasetProfile::ZillizGpt();
+      } else if (name == "hotpotqa") {
+        profile = SearchDatasetProfile::HotpotQa();
+      } else if (name == "2wiki") {
+        profile = SearchDatasetProfile::TwoWiki();
+      } else if (name == "strategyqa") {
+        profile = SearchDatasetProfile::StrategyQa();
+      } else {
+        if (error) {
+          *error = "unknown --workload '" + name +
+                   "' (musique|zilliz|hotpotqa|2wiki|strategyqa|swebench)";
+        }
+        return nullptr;
+      }
+      profile.num_tasks = tasks;
+      if (flags.Has("seed")) {
+        profile.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+      }
+      world->bundle = BuildSkewedSearchWorkload(profile);
+    }
+  }
+
+  // Fit the embedder on the full query corpus, as every serving stack does
+  // (Sine's thresholds are calibrated for the IDF-fitted model).
+  const auto corpus = world->bundle.AllQueries();
+  world->embedder.FitIdf(corpus);
+  world->judger = std::make_unique<JudgerModel>(world->bundle.oracle.get());
+  return world;
+}
+
+}  // namespace cortex::serve

@@ -1,0 +1,38 @@
+// ServingWorld: the workload + model stack a serving process needs.
+//
+// cortexd and cortex_loadgen are separate processes, but the simulated
+// models (oracle-backed judger, hashed embedder) live in-process.  Both
+// sides therefore rebuild the *same* world from the same flags — workload
+// generation is fully deterministic given (name, tasks, seed), and traces
+// loaded from disk are byte-identical — so the server judges with the same
+// oracle the load generator fetches ground truth from, exactly like the
+// sim stack wires it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "embedding/hashed_embedder.h"
+#include "llm/judger_model.h"
+#include "util/flags.h"
+#include "workload/workloads.h"
+
+namespace cortex::serve {
+
+struct ServingWorld {
+  WorkloadBundle bundle;
+  HashedEmbedder embedder;  // IDF-fitted on the bundle's query corpus
+  std::unique_ptr<JudgerModel> judger;
+};
+
+// Understood flags:
+//   --trace=PATH          load a frozen workload trace (workload/trace_io)
+//   --workload=NAME       musique (default) | zilliz | hotpotqa | 2wiki |
+//                         strategyqa | swebench
+//   --tasks=N             task count for generated workloads (default 1000)
+//   --seed=S              generator seed override
+// Returns nullptr and fills `error` on unknown names or unreadable traces.
+std::unique_ptr<ServingWorld> BuildServingWorld(const Flags& flags,
+                                                std::string* error);
+
+}  // namespace cortex::serve

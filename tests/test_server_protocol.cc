@@ -1,0 +1,468 @@
+// Wire-protocol tests: frame encode/decode round-trips, truncated and
+// oversized frame rejection, request/response grammar, and an in-process
+// server end-to-end pass including the BUSY backpressure path.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "test_helpers.h"
+
+namespace cortex {
+namespace {
+
+using namespace cortex::serve;
+using cortex::testing::MiniWorld;
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(FrameTest, RoundTripSingleFrame) {
+  std::string wire;
+  const std::string payload_in = "LOOKUP\thello world";
+  AppendFrame(payload_in, wire);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload_in.size());
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::string payload;
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(payload, "LOOKUP\thello world");
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(decoder.MidFrame());
+}
+
+TEST(FrameTest, ByteAtATimeFeedingReassembles) {
+  std::string wire;
+  AppendFrame("PING", wire);
+  AppendFrame("STATS", wire);
+
+  FrameDecoder decoder;
+  std::string payload;
+  std::vector<std::string> frames;
+  for (const char c : wire) {
+    decoder.Feed(std::string_view(&c, 1));
+    while (decoder.Next(&payload) == FrameDecoder::Status::kFrame) {
+      frames.push_back(payload);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "PING");
+  EXPECT_EQ(frames[1], "STATS");
+}
+
+TEST(FrameTest, TruncatedFrameIsDetectable) {
+  std::string wire;
+  AppendFrame("LOOKUP\tsome query", wire);
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(wire).substr(0, wire.size() - 3));
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Status::kNeedMore);
+  // At connection EOF this state means the peer truncated mid-frame.
+  EXPECT_TRUE(decoder.MidFrame());
+}
+
+TEST(FrameTest, OversizedFrameIsRejectedAndSticky) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  std::string wire;
+  AppendFrame(std::string(17, 'x'), wire);
+  decoder.Feed(wire);
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Status::kOversized);
+  // Poisoned: even a well-formed follow-up frame is not decoded.
+  std::string good;
+  AppendFrame("PING", good);
+  decoder.Feed(good);
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Status::kOversized);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  std::string wire;
+  AppendFrame("", wire);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  std::string payload = "sentinel";
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Status::kFrame);
+  EXPECT_TRUE(payload.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Request grammar
+
+TEST(RequestGrammarTest, LookupRoundTrip) {
+  Request request;
+  request.type = RequestType::kLookup;
+  request.query = "what is the height of everest";
+  const auto parsed = ParseRequest(EncodePayload(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RequestType::kLookup);
+  EXPECT_EQ(parsed->query, request.query);
+}
+
+TEST(RequestGrammarTest, InsertRoundTripPreservesTabsInValue) {
+  Request request;
+  request.type = RequestType::kInsert;
+  request.staticity = 7.25;
+  request.key = "everest height";
+  request.value = "8849 m\tfirst measured 1856";  // value may contain tabs
+  const auto parsed = ParseRequest(EncodePayload(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RequestType::kInsert);
+  EXPECT_DOUBLE_EQ(parsed->staticity, 7.25);
+  EXPECT_EQ(parsed->key, request.key);
+  EXPECT_EQ(parsed->value, request.value);
+}
+
+TEST(RequestGrammarTest, PingAndStatsRoundTrip) {
+  for (const RequestType type : {RequestType::kPing, RequestType::kStats}) {
+    Request request;
+    request.type = type;
+    const auto parsed = ParseRequest(EncodePayload(request));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, type);
+  }
+}
+
+TEST(RequestGrammarTest, MalformedRequestsAreRejected) {
+  std::string error;
+  EXPECT_FALSE(ParseRequest("", &error).has_value());
+  EXPECT_FALSE(ParseRequest("NOPE\tx", &error).has_value());
+  EXPECT_FALSE(ParseRequest("LOOKUP", &error).has_value());
+  EXPECT_FALSE(ParseRequest("LOOKUP\t", &error).has_value());
+  EXPECT_FALSE(ParseRequest("INSERT\tnotanumber\tk\tv", &error).has_value());
+  EXPECT_FALSE(ParseRequest("INSERT\t5", &error).has_value());
+  EXPECT_FALSE(ParseRequest("INSERT\t5\tkey", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Response grammar
+
+TEST(ResponseGrammarTest, HitRoundTrip) {
+  Response response;
+  response.type = ResponseType::kHit;
+  response.similarity = 0.875;
+  response.judger_score = 0.96875;
+  response.matched_key = "everest height";
+  response.value = "8849 m";
+  const auto parsed = ParseResponse(EncodePayload(response));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, ResponseType::kHit);
+  EXPECT_DOUBLE_EQ(parsed->similarity, 0.875);
+  EXPECT_DOUBLE_EQ(parsed->judger_score, 0.96875);
+  EXPECT_EQ(parsed->matched_key, "everest height");
+  EXPECT_EQ(parsed->value, "8849 m");
+}
+
+TEST(ResponseGrammarTest, SimpleKindsRoundTrip) {
+  for (const ResponseType type :
+       {ResponseType::kMiss, ResponseType::kReject, ResponseType::kPong,
+        ResponseType::kBusy}) {
+    Response response;
+    response.type = type;
+    const auto parsed = ParseResponse(EncodePayload(response));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->type, type);
+  }
+  Response ok;
+  ok.type = ResponseType::kOk;
+  ok.id = 12345678901ULL;
+  const auto parsed = ParseResponse(EncodePayload(ok));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, 12345678901ULL);
+}
+
+TEST(ResponseGrammarTest, StatsRoundTrip) {
+  Response response;
+  response.type = ResponseType::kStats;
+  response.stats = {{"lookups", "10"}, {"hit_rate", "0.5"}};
+  const auto parsed = ParseResponse(EncodePayload(response));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->stats.size(), 2u);
+  EXPECT_EQ(parsed->stats[0].first, "lookups");
+  EXPECT_EQ(parsed->stats[1].second, "0.5");
+}
+
+TEST(ResponseGrammarTest, MalformedResponsesAreRejected) {
+  EXPECT_FALSE(ParseResponse("").has_value());
+  EXPECT_FALSE(ParseResponse("WHAT").has_value());
+  EXPECT_FALSE(ParseResponse("OK\tnotanumber").has_value());
+  EXPECT_FALSE(ParseResponse("HIT\t0.5").has_value());
+  EXPECT_FALSE(ParseResponse("STATS\tnoequals").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a live server (Unix-domain socket)
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  ServerEndToEndTest() : world_(48, /*seed=*/47) {}
+
+  std::string SocketPath(const char* tag) {
+    return ::testing::TempDir() + "cortexd-test-" + tag + "-" +
+           std::to_string(::getpid()) + ".sock";
+  }
+
+  std::unique_ptr<serve::ConcurrentShardedEngine> MakeEngine() {
+    serve::ConcurrentEngineOptions opts;
+    opts.num_shards = 4;
+    opts.cache.capacity_tokens = 1e6;
+    opts.housekeeping_interval_sec = 0.0;
+    return std::make_unique<serve::ConcurrentShardedEngine>(
+        &world_.embedder, world_.judger.get(), opts);
+  }
+
+  MiniWorld world_;
+};
+
+TEST_F(ServerEndToEndTest, LookupInsertStatsOverTheWire) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("e2e");
+  opts.num_workers = 2;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+
+  Request ping;
+  ping.type = RequestType::kPing;
+  auto response = client.Call(ping, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kPong);
+
+  // Cold lookup misses; insert; paraphrase lookup hits.
+  Request lookup;
+  lookup.type = RequestType::kLookup;
+  lookup.query = world_.query(0, 0);
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
+
+  Request insert;
+  insert.type = RequestType::kInsert;
+  insert.key = world_.query(0, 0);
+  insert.value = world_.answer(0);
+  insert.staticity = world_.topic(0).staticity;
+  response = client.Call(insert, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_EQ(response->type, ResponseType::kOk);
+  EXPECT_GT(response->id, 0u);
+
+  lookup.query = world_.query(0, 2);
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_EQ(response->type, ResponseType::kHit);
+  EXPECT_EQ(response->value, world_.answer(0));
+  EXPECT_EQ(response->matched_key, world_.query(0, 0));
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  response = client.Call(stats, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_EQ(response->type, ResponseType::kStats);
+  bool saw_lookups = false;
+  for (const auto& [key, value] : response->stats) {
+    if (key == "lookups") {
+      saw_lookups = true;
+      EXPECT_EQ(value, "2");
+    }
+  }
+  EXPECT_TRUE(saw_lookups);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerEndToEndTest, MalformedFrameGetsErrNotDisconnect) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("err");
+  opts.num_workers = 1;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+  const auto raw = client.CallRaw("GARBAGE\tframe", &error);
+  ASSERT_TRUE(raw.has_value()) << error;
+  const auto parsed = ParseResponse(*raw);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, ResponseType::kError);
+
+  // The connection survives a parse error; a valid request still works.
+  Request ping;
+  ping.type = RequestType::kPing;
+  const auto response = client.Call(ping, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kPong);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST_F(ServerEndToEndTest, RateLimitOverloadAnswersBusy) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("busy");
+  opts.num_workers = 1;
+  // One token, refilled at a glacial rate: the second lookup must be BUSY.
+  opts.max_requests_per_sec = 1e-6;
+  opts.rate_burst = 1.0;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+
+  Request lookup;
+  lookup.type = RequestType::kLookup;
+  lookup.query = world_.query(1, 0);
+  auto response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
+
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kBusy);
+
+  // PING is never rate limited — the control plane stays responsive.
+  Request ping;
+  ping.type = RequestType::kPing;
+  response = client.Call(ping, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kPong);
+  EXPECT_GE(server.stats().requests_busy, 1u);
+}
+
+TEST_F(ServerEndToEndTest, PipelineOverflowAnswersBusyInOrder) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("pipe");
+  opts.num_workers = 1;
+  opts.max_pipeline = 2;  // tiny per-connection request queue
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Write 6 pipelined PINGs in ONE syscall so the server decodes them all
+  // in one read batch: 2 fit the pipeline bound, 4 overflow.  Responses
+  // must come back in request order: PONG PONG BUSY BUSY BUSY BUSY.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(opts.unix_path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, opts.unix_path.c_str(),
+              opts.unix_path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+
+  constexpr std::size_t kBurst = 6;
+  std::string burst;
+  for (std::size_t i = 0; i < kBurst; ++i) AppendFrame("PING", burst);
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  FrameDecoder decoder;
+  std::vector<ResponseType> kinds;
+  char buf[4096];
+  while (kinds.size() < kBurst) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0) << "connection closed before all responses arrived";
+    decoder.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    std::string payload;
+    while (decoder.Next(&payload) == FrameDecoder::Status::kFrame) {
+      const auto response = ParseResponse(payload);
+      ASSERT_TRUE(response.has_value());
+      kinds.push_back(response->type);
+    }
+  }
+  ::close(fd);
+
+  ASSERT_EQ(kinds.size(), kBurst);
+  EXPECT_EQ(kinds[0], ResponseType::kPong);
+  EXPECT_EQ(kinds[1], ResponseType::kPong);
+  for (std::size_t i = 2; i < kBurst; ++i) {
+    EXPECT_EQ(kinds[i], ResponseType::kBusy) << "frame " << i;
+  }
+  EXPECT_EQ(server.stats().requests_busy, 4u);
+}
+
+TEST_F(ServerEndToEndTest, TruncatedFrameAtEofCountsAsProtocolError) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("trunc");
+  opts.num_workers = 1;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, opts.unix_path.c_str(),
+              opts.unix_path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+
+  // Send a frame cut off mid-payload, then hang up.
+  std::string wire;
+  AppendFrame("LOOKUP\tsome long query that never finishes", wire);
+  wire.resize(wire.size() / 2);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  ::close(fd);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().protocol_errors == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+TEST_F(ServerEndToEndTest, OversizedFrameDisconnectsWithErr) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("big");
+  opts.num_workers = 1;
+  opts.max_frame_bytes = 64;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+  const auto raw = client.CallRaw("LOOKUP\t" + std::string(100, 'q'), &error);
+  ASSERT_TRUE(raw.has_value()) << error;
+  const auto parsed = ParseResponse(*raw);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, ResponseType::kError);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+
+  // The stream is unrecoverable after a bad length prefix: the server hangs
+  // up, so the next call fails at the transport layer.
+  Request ping;
+  ping.type = RequestType::kPing;
+  EXPECT_FALSE(client.Call(ping, &error).has_value());
+}
+
+}  // namespace
+}  // namespace cortex

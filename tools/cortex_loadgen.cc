@@ -1,0 +1,245 @@
+// cortex_loadgen: multi-threaded closed-loop load generator for cortexd.
+//
+// N client threads replay a workload trace's tool queries against a
+// running server: LOOKUP each query, and on a miss fetch ground truth from
+// the workload oracle (standing in for the remote service) and INSERT it —
+// the same agent-side protocol the sim's resolver layer follows.  Reports
+// wall-clock throughput, hit rate, answer correctness, and p50/p99/p999
+// latency histograms.
+//
+//   cortexd       --workload=musique --tasks=1000 --port=8377 &
+//   cortex_loadgen --workload=musique --tasks=1000 --port=8377 --threads=8
+//
+// Run both sides with identical workload flags: the worlds are rebuilt
+// deterministically in each process (see serve/serving_world.h).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/serving_world.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::serve;
+
+namespace {
+
+struct ThreadResult {
+  Histogram lookup_latency;  // seconds
+  Histogram insert_latency;  // seconds
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t wrong_hits = 0;   // hit whose value fails the oracle check
+  std::uint64_t busy = 0;
+  std::uint64_t inserts_ok = 0;
+  std::uint64_t inserts_rejected = 0;
+  std::uint64_t protocol_errors = 0;
+  std::string first_error;
+
+  void Merge(const ThreadResult& other) {
+    lookup_latency.Merge(other.lookup_latency);
+    insert_latency.Merge(other.insert_latency);
+    hits += other.hits;
+    misses += other.misses;
+    wrong_hits += other.wrong_hits;
+    busy += other.busy;
+    inserts_ok += other.inserts_ok;
+    inserts_rejected += other.inserts_rejected;
+    protocol_errors += other.protocol_errors;
+    if (first_error.empty()) first_error = other.first_error;
+  }
+};
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void NoteError(ThreadResult& r, const std::string& error) {
+  ++r.protocol_errors;
+  if (r.first_error.empty()) r.first_error = error;
+}
+
+std::string Ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          1, flags.GetInt("threads", 4)));
+  const bool insert_on_miss = flags.GetBool("insert-on-miss", true);
+  const std::string unix_path = flags.GetString("unix");
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", 8377));
+
+  std::string error;
+  const auto world = BuildServingWorld(flags, &error);
+  if (!world) {
+    std::cerr << "cortex_loadgen: " << error << "\n";
+    return 1;
+  }
+
+  // The replayed request stream: every tool query of every task, in task
+  // order, optionally capped by --requests.
+  std::vector<const std::string*> queries;
+  for (const auto& task : world->bundle.tasks) {
+    for (const auto& step : task.steps) queries.push_back(&step.query);
+  }
+  const auto cap = static_cast<std::size_t>(
+      flags.GetInt("requests", static_cast<std::int64_t>(queries.size())));
+  queries.resize(std::min(cap, queries.size()));
+  if (queries.empty()) {
+    std::cerr << "cortex_loadgen: workload has no queries\n";
+    return 1;
+  }
+
+  const GroundTruthOracle& oracle = *world->bundle.oracle;
+  std::mutex merge_mu;
+  ThreadResult total;
+  std::vector<std::thread> pool;
+  const double start = NowSec();
+
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      ThreadResult local;
+      BlockingClient client;
+      std::string err;
+      const bool ok = unix_path.empty()
+                          ? client.ConnectTcp(host, port, &err)
+                          : client.ConnectUnix(unix_path, &err);
+      if (!ok) {
+        NoteError(local, "connect: " + err);
+      } else {
+        for (std::size_t i = tid; i < queries.size(); i += threads) {
+          const std::string& query = *queries[i];
+          Request lookup;
+          lookup.type = RequestType::kLookup;
+          lookup.query = query;
+          const double t0 = NowSec();
+          const auto response = client.Call(lookup, &err);
+          local.lookup_latency.Add(NowSec() - t0);
+          if (!response) {
+            NoteError(local, "lookup: " + err);
+            break;  // transport is gone
+          }
+          switch (response->type) {
+            case ResponseType::kHit:
+              ++local.hits;
+              if (!oracle.InfoCorrect(query, response->value)) {
+                ++local.wrong_hits;
+              }
+              continue;
+            case ResponseType::kMiss:
+              ++local.misses;
+              break;
+            case ResponseType::kBusy:
+              ++local.busy;
+              continue;
+            default:
+              NoteError(local, "unexpected lookup response");
+              continue;
+          }
+          if (!insert_on_miss) continue;
+          // Miss path: fetch from the "remote service" (the oracle) and
+          // populate the cache, as the agent application would.
+          Request insert;
+          insert.type = RequestType::kInsert;
+          insert.key = query;
+          insert.value = oracle.ExpectedInfo(query);
+          insert.staticity = oracle.Staticity(query);
+          if (insert.value.empty()) continue;  // unknown query
+          const double t1 = NowSec();
+          const auto insert_response = client.Call(insert, &err);
+          local.insert_latency.Add(NowSec() - t1);
+          if (!insert_response) {
+            NoteError(local, "insert: " + err);
+            break;
+          }
+          switch (insert_response->type) {
+            case ResponseType::kOk:
+              ++local.inserts_ok;
+              break;
+            case ResponseType::kReject:
+              ++local.inserts_rejected;
+              break;
+            case ResponseType::kBusy:
+              ++local.busy;
+              break;
+            default:
+              NoteError(local, "unexpected insert response");
+              break;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lk(merge_mu);
+      total.Merge(local);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall = NowSec() - start;
+
+  // The histograms count one entry per wire round-trip, so they are the
+  // exact op counts (BUSY responses included, whichever op drew them).
+  const std::uint64_t lookups = total.lookup_latency.count();
+  const std::uint64_t requests = lookups + total.insert_latency.count();
+  const double hit_rate =
+      (total.hits + total.misses)
+          ? static_cast<double>(total.hits) /
+                static_cast<double>(total.hits + total.misses)
+          : 0.0;
+
+  std::cout << "=== cortex_loadgen: " << world->bundle.name << " x "
+            << queries.size() << " queries, " << threads
+            << " client threads ===\n\n";
+  TextTable summary({"metric", "value"});
+  summary.AddRow({"wall clock (s)", TextTable::Num(wall, 2)});
+  summary.AddRow({"requests", std::to_string(requests)});
+  summary.AddRow(
+      {"throughput (req/s)",
+       TextTable::Num(wall > 0 ? static_cast<double>(requests) / wall : 0.0,
+                      1)});
+  summary.AddRow({"lookups", std::to_string(lookups)});
+  summary.AddRow({"hit rate", TextTable::Percent(hit_rate)});
+  summary.AddRow({"wrong hits", std::to_string(total.wrong_hits)});
+  summary.AddRow({"inserts ok / rejected",
+                  std::to_string(total.inserts_ok) + " / " +
+                      std::to_string(total.inserts_rejected)});
+  summary.AddRow({"busy responses", std::to_string(total.busy)});
+  summary.AddRow({"protocol errors", std::to_string(total.protocol_errors)});
+  summary.Print(std::cout, /*csv=*/false);
+
+  std::cout << "\nlatency (ms):\n";
+  TextTable latency({"op", "count", "p50", "p90", "p99", "p999", "max"});
+  for (const auto& [name, h] :
+       {std::pair<const char*, const Histogram*>{"LOOKUP",
+                                                 &total.lookup_latency},
+        {"INSERT", &total.insert_latency}}) {
+    if (h->count() == 0) continue;
+    latency.AddRow({name, std::to_string(h->count()), Ms(h->p50()),
+                    Ms(h->Quantile(0.90)), Ms(h->p99()),
+                    Ms(h->Quantile(0.999)), Ms(h->max())});
+  }
+  latency.Print(std::cout, /*csv=*/false);
+
+  if (total.protocol_errors > 0) {
+    std::cerr << "\nFAIL: " << total.protocol_errors
+              << " protocol errors (first: " << total.first_error << ")\n";
+    return 1;
+  }
+  return 0;
+}
