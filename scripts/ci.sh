@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Full correctness matrix — every leg must pass; fails on the first error.
+#
+#   1. gcc   Release            -Werror   build + full ctest
+#   2. clang RelWithDebInfo     -Werror   -Wthread-safety build + full ctest
+#      (skipped with a notice when clang is not installed)
+#   3. ASan+UBSan full ctest   (CORTEX_SANITIZE=address,undefined)
+#   4. TSan      full ctest    (CORTEX_SANITIZE=thread, via tsan.sh)
+#   5. clang-tidy + cortex_lint (scripts/lint.sh)
+#
+# Each leg uses its own build dir under build-ci/ so sanitized, Release,
+# and clang objects never mix.  Pass -j<N> via CMAKE_BUILD_PARALLEL_LEVEL.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+leg() {
+  echo
+  echo "==== ci.sh: $1 ===="
+}
+
+run_ctest() {
+  ctest --test-dir "$1" --output-on-failure
+}
+
+leg "gcc Release -Werror"
+cmake -B build-ci/gcc-release -S . \
+  -DCMAKE_BUILD_TYPE=Release -DCORTEX_WERROR=ON \
+  -DCMAKE_CXX_COMPILER=g++
+cmake --build build-ci/gcc-release -j
+run_ctest build-ci/gcc-release
+
+if command -v clang++ >/dev/null 2>&1; then
+  leg "clang -Werror -Wthread-safety"
+  cmake -B build-ci/clang -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCORTEX_WERROR=ON \
+    -DCMAKE_CXX_COMPILER=clang++
+  cmake --build build-ci/clang -j
+  run_ctest build-ci/clang
+else
+  leg "clang -Werror -Wthread-safety — SKIPPED (clang++ not installed)"
+fi
+
+leg "ASan+UBSan ctest"
+cmake -B build-ci/asan-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCORTEX_WERROR=ON \
+  -DCORTEX_SANITIZE=address,undefined
+cmake --build build-ci/asan-ubsan -j
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  run_ctest build-ci/asan-ubsan
+
+leg "TSan ctest"
+scripts/tsan.sh
+
+leg "clang-tidy + cortex_lint"
+# lint.sh needs a configured build dir for compile_commands.json.
+scripts/lint.sh build-ci/gcc-release
+
+echo
+echo "ci.sh: ALL LEGS PASSED"

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""cortex_lint: repo-invariant linter for library code under src/.
+
+Rules (see DESIGN.md §7):
+  assert      no raw assert()/ <cassert> — use CHECK/DCHECK (util/check.h),
+              which stay armed under NDEBUG.
+  determinism no rand()/srand()/time(nullptr)/time(NULL) — every stochastic
+              component draws from a seeded cortex::Rng and every clock is
+              injected, so runs are reproducible bit-for-bit.
+  iostream    no std::cout/std::cerr/std::clog or <iostream> in library
+              code — libraries return data; tools/, examples/, bench/ own
+              the terminal.
+
+A line may opt out with:  // cortex-lint: allow(<rule>)
+Comments and string literals are stripped before matching, so prose about
+assert() is fine.
+
+Usage: cortex_lint.py [paths...]   (default: src)
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cc", ".h", ".hpp", ".cpp"}
+
+RULES = [
+    (
+        "assert",
+        re.compile(r"(?<![\w])assert\s*\(|#\s*include\s*<(?:cassert|assert\.h)>"),
+        "raw assert() / <cassert>: use CHECK/DCHECK from util/check.h",
+    ),
+    (
+        "determinism",
+        re.compile(
+            r"(?<![\w:.])(?:rand|srand)\s*\(|"
+            r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL)\s*\)"
+        ),
+        "non-deterministic source: use a seeded cortex::Rng / injected clock",
+    ),
+    (
+        "iostream",
+        re.compile(
+            r"std\s*::\s*(?:cout|cerr|clog)\b|#\s*include\s*<iostream>"
+        ),
+        "iostream write in library code: return data, let tools/ print",
+    ),
+]
+
+ALLOW_RE = re.compile(r"cortex-lint:\s*allow\(([a-z,\s]+)\)")
+
+# `static_assert` is a keyword, not the macro; the negative look-behind in
+# the assert rule already skips it via the preceding 'c' of "static_".
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving newlines
+    (so reported line numbers stay valid) and preserving the text of
+    line comments' lint directives separately."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":  # line comment
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":  # block comment
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[str]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    violations = []
+    for lineno, (code, original) in enumerate(
+        zip(code_lines, raw_lines), start=1
+    ):
+        allowed = set()
+        m = ALLOW_RE.search(original)
+        if m:
+            allowed = {r.strip() for r in m.group(1).split(",")}
+        for rule, pattern, hint in RULES:
+            if rule in allowed:
+                continue
+            if pattern.search(code):
+                violations.append(f"{path}:{lineno}: [{rule}] {hint}")
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(p) for p in (argv or ["src"])]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(
+                p
+                for p in sorted(root.rglob("*"))
+                if p.suffix in SOURCE_SUFFIXES
+            )
+        else:
+            print(f"cortex_lint: no such path: {root}", file=sys.stderr)
+            return 2
+
+    all_violations: list[str] = []
+    for f in files:
+        all_violations.extend(lint_file(f))
+
+    for v in all_violations:
+        print(v)
+    if all_violations:
+        print(
+            f"cortex_lint: {len(all_violations)} violation(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"cortex_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,16 +1,17 @@
 #include "ann/flat_index.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace cortex {
 
 FlatIndex::FlatIndex(std::size_t dimension) : dimension_(dimension) {
-  assert(dimension > 0);
+  CHECK_GT(dimension, 0u);
 }
 
 void FlatIndex::Add(VectorId id, std::span<const float> vector) {
-  assert(vector.size() == dimension_);
+  CHECK_EQ(vector.size(), dimension_);
   const auto it = id_to_slot_.find(id);
   if (it != id_to_slot_.end()) {
     std::copy(vector.begin(), vector.end(),
@@ -45,7 +46,7 @@ bool FlatIndex::Remove(VectorId id) {
 std::vector<SearchResult> FlatIndex::Search(std::span<const float> query,
                                             std::size_t k,
                                             double min_similarity) const {
-  assert(query.size() == dimension_);
+  CHECK_EQ(query.size(), dimension_);
   if (k == 0 || slot_to_id_.empty()) return {};
   std::vector<SearchResult> results;
   results.reserve(slot_to_id_.size());

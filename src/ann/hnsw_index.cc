@@ -1,9 +1,10 @@
 #include "ann/hnsw_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -13,7 +14,8 @@ HnswIndex::HnswIndex(std::size_t dimension, HnswOptions options)
       rng_(options.seed),
       level_lambda_(1.0 / std::log(static_cast<double>(
                               std::max<std::size_t>(options.M, 2)))) {
-  assert(dimension > 0 && options.M >= 2);
+  CHECK_GT(dimension, 0u);
+  CHECK_GE(options.M, 2u);
 }
 
 double HnswIndex::Sim(std::span<const float> a, Slot b) const noexcept {
@@ -192,7 +194,7 @@ void HnswIndex::InsertNode(Slot slot) {
 }
 
 void HnswIndex::Add(VectorId id, std::span<const float> vector) {
-  assert(vector.size() == dimension_);
+  CHECK_EQ(vector.size(), dimension_);
   const auto it = id_to_slot_.find(id);
   if (it != id_to_slot_.end() && !nodes_[it->second].deleted) {
     // Replace: tombstone the old node and insert fresh (graph links for the
@@ -253,7 +255,7 @@ void HnswIndex::RebuildIfNeeded() {
 std::vector<SearchResult> HnswIndex::Search(std::span<const float> query,
                                             std::size_t k,
                                             double min_similarity) const {
-  assert(query.size() == dimension_);
+  CHECK_EQ(query.size(), dimension_);
   if (k == 0 || live_count_ == 0) return {};
   const Slot entry =
       GreedyDescend(query, entry_point_, max_level_, 0);

@@ -1,19 +1,21 @@
 #include "ann/ivf_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 namespace cortex {
 
 IvfIndex::IvfIndex(std::size_t dimension, IvfOptions options)
     : dimension_(dimension), options_(options) {
-  assert(dimension > 0 && options.num_lists > 0);
+  CHECK_GT(dimension, 0u);
+  CHECK_GT(options.num_lists, 0u);
   options_.num_probes = std::min(options_.num_probes, options_.num_lists);
 }
 
 void IvfIndex::Add(VectorId id, std::span<const float> vector) {
-  assert(vector.size() == dimension_);
+  CHECK_EQ(vector.size(), dimension_);
   auto [it, inserted] = entries_.try_emplace(id);
   if (!inserted && trained_) {
     // Replacing: remove from its current list first.
@@ -90,7 +92,7 @@ void IvfIndex::Train() {
 std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
                                            std::size_t k,
                                            double min_similarity) const {
-  assert(query.size() == dimension_);
+  CHECK_EQ(query.size(), dimension_);
   if (k == 0 || entries_.empty()) return {};
 
   std::vector<SearchResult> results;

@@ -1,8 +1,9 @@
 #include "ann/kmeans.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -34,7 +35,9 @@ std::size_t NearestCentroid(std::span<const float> point,
 KMeansResult KMeans(std::span<const float> data, std::size_t n,
                     std::size_t dimension, std::size_t k,
                     const KMeansOptions& options) {
-  assert(k >= 1 && n >= k && data.size() == n * dimension);
+  CHECK_GE(k, 1u);
+  CHECK_GE(n, k);
+  CHECK_EQ(data.size(), n * dimension);
   Rng rng(options.seed);
   KMeansResult result;
   result.k = k;
@@ -55,7 +58,14 @@ KMeansResult KMeans(std::span<const float> data, std::size_t n,
           std::min(min_dist[i], L2DistanceSquared(Row(data, i, dimension),
                                                   prev));
     }
-    const std::size_t chosen = rng.WeightedIndex(min_dist);
+    // D² mass can be all-zero when every point coincides with an existing
+    // centroid (duplicate inputs); WeightedIndex CHECKs against zero total
+    // mass, so fall back to a uniform pick explicitly.
+    double mass = 0.0;
+    for (double d : min_dist) mass += d;
+    const std::size_t chosen =
+        mass > 0.0 ? rng.WeightedIndex(min_dist)
+                   : static_cast<std::size_t>(rng.NextBelow(n));
     std::copy_n(Row(data, chosen, dimension).begin(), dimension,
                 result.centroids.begin() +
                     static_cast<std::ptrdiff_t>(c * dimension));

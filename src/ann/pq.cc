@@ -1,9 +1,9 @@
 #include "ann/pq.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "ann/kmeans.h"
+#include "util/check.h"
 
 namespace cortex {
 
@@ -12,14 +12,17 @@ namespace cortex {
 
 ProductQuantizer::ProductQuantizer(std::size_t dimension, PqOptions options)
     : dimension_(dimension), options_(options) {
-  assert(dimension > 0 && options.num_subspaces > 0);
-  assert(dimension % options.num_subspaces == 0);
-  assert(options.codebook_size >= 2 && options.codebook_size <= 256);
+  CHECK_GT(dimension, 0u);
+  CHECK_GT(options.num_subspaces, 0u);
+  CHECK_EQ(dimension % options.num_subspaces, 0u)
+      << "dimension must divide evenly into subspaces";
+  CHECK_GE(options.codebook_size, 2u);
+  CHECK_LE(options.codebook_size, 256u);
   subdim_ = dimension / options.num_subspaces;
 }
 
 void ProductQuantizer::Train(std::span<const float> data, std::size_t n) {
-  assert(data.size() == n * dimension_);
+  CHECK_EQ(data.size(), n * dimension_);
   if (n < 2) return;
   const std::size_t k = std::min(options_.codebook_size, n);
   codebooks_.assign(options_.num_subspaces, {});
@@ -43,7 +46,8 @@ void ProductQuantizer::Train(std::span<const float> data, std::size_t n) {
 
 std::vector<std::uint8_t> ProductQuantizer::Encode(
     std::span<const float> vector) const {
-  assert(trained_ && vector.size() == dimension_);
+  CHECK(trained_);
+  DCHECK_EQ(vector.size(), dimension_);
   std::vector<std::uint8_t> code(options_.num_subspaces);
   for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
     const auto sub = vector.subspan(m * subdim_, subdim_);
@@ -54,7 +58,8 @@ std::vector<std::uint8_t> ProductQuantizer::Encode(
 }
 
 Vector ProductQuantizer::Decode(std::span<const std::uint8_t> code) const {
-  assert(trained_ && code.size() == options_.num_subspaces);
+  CHECK(trained_);
+  DCHECK_EQ(code.size(), options_.num_subspaces);
   Vector out(dimension_);
   for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
     std::copy_n(codebooks_[m].begin() +
@@ -67,7 +72,8 @@ Vector ProductQuantizer::Decode(std::span<const std::uint8_t> code) const {
 
 std::vector<float> ProductQuantizer::BuildDotTable(
     std::span<const float> query) const {
-  assert(trained_ && query.size() == dimension_);
+  CHECK(trained_);
+  DCHECK_EQ(query.size(), dimension_);
   std::vector<float> table(options_.num_subspaces * trained_k_);
   for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
     const auto qsub = query.subspan(m * subdim_, subdim_);
@@ -91,7 +97,7 @@ double ProductQuantizer::DotFromTable(
 
 double ProductQuantizer::ReconstructionError(std::span<const float> data,
                                              std::size_t n) const {
-  assert(trained_);
+  CHECK(trained_);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const auto row = data.subspan(i * dimension_, dimension_);
@@ -123,7 +129,7 @@ void PqIndex::MaybeTrain() {
 }
 
 void PqIndex::Add(VectorId id, std::span<const float> vector) {
-  assert(vector.size() == dimension_);
+  CHECK_EQ(vector.size(), dimension_);
   exact_[id] = Vector(vector.begin(), vector.end());
   if (pq_.trained()) {
     codes_[id] = pq_.Encode(vector);
@@ -142,7 +148,7 @@ bool PqIndex::Remove(VectorId id) {
 std::vector<SearchResult> PqIndex::Search(std::span<const float> query,
                                           std::size_t k,
                                           double min_similarity) const {
-  assert(query.size() == dimension_);
+  CHECK_EQ(query.size(), dimension_);
   if (k == 0 || exact_.empty()) return {};
   std::vector<SearchResult> results;
   results.reserve(exact_.size());

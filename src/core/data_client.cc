@@ -1,12 +1,13 @@
 #include "core/data_client.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cortex {
 
 DataClient::DataClient(CortexEngine* engine, RemoteFetcher fetcher)
     : engine_(engine), fetcher_(std::move(fetcher)) {
-  assert(engine_ != nullptr && fetcher_ != nullptr);
+  CHECK(engine_ != nullptr);
+  CHECK(fetcher_ != nullptr);
 }
 
 DataClient::TurnResult DataClient::InterceptTurn(std::string_view agent_output,

@@ -1,7 +1,6 @@
 #include "core/recalibrator.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace cortex {
 

@@ -1,11 +1,11 @@
 #include "core/semantic_cache.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <vector>
 
 #include "llm/tags.h"
+#include "util/check.h"
 
 namespace cortex {
 
@@ -17,8 +17,8 @@ SemanticCache::SemanticCache(const Embedder* embedder,
     : sine_(embedder, std::move(index), judger, options.sine),
       eviction_(std::move(eviction)),
       options_(options) {
-  assert(eviction_ != nullptr);
-  assert(options_.capacity_tokens > 0.0);
+  CHECK(eviction_ != nullptr);
+  CHECK_GT(options_.capacity_tokens, 0.0);
 }
 
 SemanticCache::LookupResult SemanticCache::Lookup(std::string_view query,
@@ -49,7 +49,7 @@ SemanticCache::LookupResult SemanticCache::Probe(std::string_view query,
                              });
   if (result.sine.match) {
     const SemanticElement* se = Get(result.sine.match->id);
-    assert(se != nullptr);
+    CHECK(se != nullptr) << "SINE matched an id absent from the store";
     result.hit = CacheHit{se->id, se->value, se->key,
                           result.sine.match->similarity,
                           result.sine.match->judger_score};

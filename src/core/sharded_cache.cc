@@ -1,8 +1,7 @@
 #include "core/sharded_cache.h"
 
-#include <cassert>
-
 #include "core/engine.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace cortex {
@@ -45,7 +44,8 @@ ShardedSemanticCache::ShardedSemanticCache(const HashedEmbedder* embedder,
                                            const JudgerModel* judger,
                                            ShardedCacheOptions options)
     : embedder_(embedder) {
-  assert(embedder != nullptr && options.num_shards > 0);
+  CHECK(embedder != nullptr);
+  CHECK_GT(options.num_shards, 0u);
   SemanticCacheOptions per_shard = options.cache;
   per_shard.capacity_tokens =
       options.cache.capacity_tokens / static_cast<double>(options.num_shards);

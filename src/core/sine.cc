@@ -1,6 +1,6 @@
 #include "core/sine.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cortex {
 
@@ -10,8 +10,9 @@ Sine::Sine(const Embedder* embedder, std::unique_ptr<VectorIndex> index,
       index_(std::move(index)),
       judger_(judger),
       options_(options) {
-  assert(embedder_ != nullptr && index_ != nullptr);
-  assert(!options_.use_judger || judger_ != nullptr);
+  CHECK(embedder_ != nullptr && index_ != nullptr);
+  CHECK(!options_.use_judger || judger_ != nullptr)
+      << "use_judger requires a judger model";
 }
 
 Vector Sine::EmbedQuery(std::string_view query) const {

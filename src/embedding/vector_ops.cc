@@ -1,12 +1,13 @@
 #include "embedding/vector_ops.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace cortex {
 
 double Dot(std::span<const float> a, std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  DCHECK_EQ(a.size(), b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
@@ -20,7 +21,7 @@ double L2Norm(std::span<const float> v) noexcept {
 
 double L2DistanceSquared(std::span<const float> a,
                          std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  DCHECK_EQ(a.size(), b.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
@@ -45,7 +46,7 @@ void Normalize(std::span<float> v) noexcept {
 }
 
 void AddInPlace(std::span<float> a, std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
+  DCHECK_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
 }
 

@@ -1,14 +1,16 @@
 #include "gpu/batching_server.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace cortex {
 
 BatchingServer::BatchingServer(BatchingServerOptions options)
     : options_(options) {
-  assert(options_.compute_fraction > 0.0 && options_.compute_fraction <= 1.0);
-  assert(options_.max_batch >= 1);
+  CHECK_GT(options_.compute_fraction, 0.0);
+  CHECK_LE(options_.compute_fraction, 1.0);
+  CHECK_GE(options_.max_batch, 1u);
 }
 
 void BatchingServer::Prune(double now) noexcept {
@@ -25,7 +27,7 @@ std::size_t BatchingServer::InFlightAt(double now) const noexcept {
 }
 
 DispatchResult BatchingServer::Dispatch(double now, double base_service_sec) {
-  assert(base_service_sec >= 0.0);
+  DCHECK_GE(base_service_sec, 0.0);
   Prune(now);
 
   DispatchResult r;

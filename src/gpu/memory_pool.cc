@@ -1,7 +1,8 @@
 #include "gpu/memory_pool.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -19,7 +20,7 @@ bool KvMemoryPool::WouldUseDynamic(PoolClient client,
 }
 
 bool KvMemoryPool::TryReserve(PoolClient client, double gb) noexcept {
-  assert(gb >= 0.0);
+  DCHECK_GE(gb, 0.0);
   auto& s = State(client);
   const double static_room = s.static_total - s.static_used;
   const double from_static = std::min(gb, static_room);

@@ -1,7 +1,6 @@
 #include "llm/agent_model.h"
 
-#include <cassert>
-
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace cortex {
@@ -14,11 +13,11 @@ AgentModel::AgentModel(ModelSpec spec) : spec_(std::move(spec)) {}
 
 AgentTurn AgentModel::Next(AgentSession& session,
                            std::optional<std::string> info) const {
-  assert(!session.finished_);
+  CHECK(!session.finished_) << "Next() called on a finished session";
   if (session.step_ == 0) {
-    assert(!info.has_value());
+    CHECK(!info.has_value()) << "first turn takes no observation";
   } else {
-    assert(info.has_value());
+    CHECK(info.has_value()) << "non-first turn requires an observation";
     // The observation joins the context (the agent "reads" it).
     session.observations_.push_back(*info);
     const std::string wrapped = WrapTag(TagKind::kInfo, *info);

@@ -1,8 +1,9 @@
 #include "llm/judger_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 #include "llm/tags.h"
 #include "util/rng.h"
@@ -39,7 +40,7 @@ double Sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
 JudgerModel::JudgerModel(const EquivalenceOracle* oracle,
                          JudgerOptions options, ModelSpec spec)
     : oracle_(oracle), options_(options), spec_(std::move(spec)) {
-  assert(oracle != nullptr);
+  CHECK(oracle != nullptr) << "JudgerModel requires an oracle";
 }
 
 double JudgerModel::NoiseFor(std::string_view a, std::string_view b,

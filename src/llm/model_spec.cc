@@ -1,7 +1,8 @@
 #include "llm/model_spec.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -52,7 +53,8 @@ ModelSpec ModelSpec::Embedder06B() {
 double InferenceSeconds(const ModelSpec& spec, std::size_t prompt_tokens,
                         std::size_t output_tokens,
                         double compute_fraction) noexcept {
-  assert(compute_fraction > 0.0 && compute_fraction <= 1.0);
+  DCHECK_GT(compute_fraction, 0.0);
+  DCHECK_LE(compute_fraction, 1.0);
   double t = spec.fixed_overhead_sec;
   if (prompt_tokens > 0 && spec.prefill_tokens_per_sec > 0.0) {
     t += static_cast<double>(prompt_tokens) /

@@ -1,14 +1,16 @@
 #include "net/rate_limiter.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 namespace cortex {
 
 TokenBucket::TokenBucket(double rate_per_sec, double burst)
     : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
-  assert(rate_per_sec > 0.0 && burst >= 1.0);
+  CHECK_GT(rate_per_sec, 0.0);
+  CHECK_GE(burst, 1.0);
 }
 
 void TokenBucket::Refill(double now) noexcept {

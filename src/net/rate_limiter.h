@@ -1,6 +1,10 @@
 // Token-bucket rate limiter modelling commercial API quotas (paper §2.2:
 // Google Cloud Search caps at 100 queries/minute and throttles beyond it).
 // Operates on simulation time passed in by the caller.
+//
+// NOT internally synchronized: concurrent users wrap it in a mutex and
+// annotate the instance GUARDED_BY that mutex (CortexServer::bucket_ is
+// the canonical example).
 #pragma once
 
 #include <cstdint>

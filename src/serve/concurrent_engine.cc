@@ -1,8 +1,9 @@
 #include "serve/concurrent_engine.h"
 
-#include <cassert>
 #include <chrono>
 #include <limits>
+
+#include "util/check.h"
 
 namespace cortex::serve {
 
@@ -23,7 +24,8 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
     const HashedEmbedder* embedder, const JudgerModel* judger,
     ConcurrentEngineOptions options)
     : embedder_(embedder), options_(std::move(options)) {
-  assert(embedder != nullptr && options_.num_shards > 0);
+  CHECK(embedder != nullptr) << "engine requires an embedder";
+  CHECK_GT(options_.num_shards, 0u);
   clock_ = options_.clock ? options_.clock : WallClockSinceNow();
 
   SemanticCacheOptions per_shard = options_.cache;
@@ -48,7 +50,7 @@ ConcurrentShardedEngine::~ConcurrentShardedEngine() { StopHousekeeping(); }
 
 void ConcurrentShardedEngine::StopHousekeeping() {
   {
-    std::lock_guard<std::mutex> lk(hk_mu_);
+    MutexLock lock(hk_mu_);
     hk_stop_ = true;
   }
   hk_cv_.notify_all();
@@ -68,7 +70,7 @@ std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
   // lock, so lookups on the same shard proceed in parallel.
   SemanticCache::LookupResult result;
   {
-    std::shared_lock<std::shared_mutex> lk(shard.mu);
+    ReaderLock lock(shard.mu);
     result = shard.cache->Probe(query, now);
   }
 
@@ -77,7 +79,7 @@ std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
   // CommitLookup tolerates that, and the hit we already copied still
   // serves the client.
   {
-    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    WriterLock lock(shard.mu);
     shard.cache->CommitLookup(result, now);
     // Log every judged candidate so recalibration sees scores on both
     // sides of the threshold (same policy as CortexEngine::Lookup).
@@ -99,7 +101,7 @@ std::optional<SeId> ConcurrentShardedEngine::Insert(InsertRequest request) {
   const double now = clock_();
   std::optional<SeId> id;
   {
-    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    WriterLock lock(shard.mu);
     id = shard.cache->Insert(std::move(request), now);
   }
   (id ? inserts_ : insert_rejects_).fetch_add(1, std::memory_order_relaxed);
@@ -108,7 +110,7 @@ std::optional<SeId> ConcurrentShardedEngine::Insert(InsertRequest request) {
 
 bool ConcurrentShardedEngine::ContainsKey(std::string_view key) const {
   const Shard& shard = *shards_[ShardFor(key)];
-  std::shared_lock<std::shared_mutex> lk(shard.mu);
+  ReaderLock lock(shard.mu);
   return shard.cache->ContainsKey(key);
 }
 
@@ -116,7 +118,7 @@ std::size_t ConcurrentShardedEngine::RemoveExpired() {
   const double now = clock_();
   std::size_t removed = 0;
   for (auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lk(shard->mu);
+    WriterLock lock(shard->mu);
     removed += shard->cache->RemoveExpired(now);
   }
   expired_removed_.fetch_add(removed, std::memory_order_relaxed);
@@ -125,18 +127,18 @@ std::size_t ConcurrentShardedEngine::RemoveExpired() {
 
 void ConcurrentShardedEngine::SetGroundTruthFetcher(
     std::function<std::string(std::string_view)> fn) {
-  std::lock_guard<std::mutex> lk(fetch_gt_mu_);
+  MutexLock lock(fetch_gt_mu_);
   fetch_gt_ = std::move(fn);
 }
 
 bool ConcurrentShardedEngine::RecalibrateShard(Shard& shard) {
   std::function<std::string(std::string_view)> fetch;
   {
-    std::lock_guard<std::mutex> lk(fetch_gt_mu_);
+    MutexLock lock(fetch_gt_mu_);
     fetch = fetch_gt_;
   }
   if (!fetch) return false;
-  std::unique_lock<std::shared_mutex> lk(shard.mu);
+  WriterLock lock(shard.mu);
   const RecalibrationRound round = shard.recalibrator.RunRound(fetch, shard.rng);
   recalibrations_.fetch_add(1, std::memory_order_relaxed);
   if (round.new_tau) {
@@ -161,7 +163,7 @@ void ConcurrentShardedEngine::HousekeepingLoop() {
   // injected clocks rely on this).
   double last_purge = -std::numeric_limits<double>::infinity();
   double last_recal = last_purge;
-  std::unique_lock<std::mutex> lk(hk_mu_);
+  std::unique_lock<RankedMutex> lk(hk_mu_);
   while (!hk_stop_) {
     // Poll on a short wall-clock cadence but trigger on the *engine*
     // clock, so tests with injected clocks control when ticks fire.
@@ -198,7 +200,7 @@ ConcurrentEngineStats ConcurrentShardedEngine::Stats() const {
 CacheCounters ConcurrentShardedEngine::TotalCounters() const {
   CacheCounters total;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    ReaderLock lock(shard->mu);
     const auto& c = shard->cache->counters();
     total.lookups += c.lookups;
     total.hits += c.hits;
@@ -215,7 +217,7 @@ CacheCounters ConcurrentShardedEngine::TotalCounters() const {
 std::size_t ConcurrentShardedEngine::TotalSize() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    ReaderLock lock(shard->mu);
     total += shard->cache->size();
   }
   return total;
@@ -224,7 +226,7 @@ std::size_t ConcurrentShardedEngine::TotalSize() const {
 double ConcurrentShardedEngine::TotalUsageTokens() const {
   double total = 0.0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    ReaderLock lock(shard->mu);
     total += shard->cache->usage_tokens();
   }
   return total;
@@ -232,7 +234,7 @@ double ConcurrentShardedEngine::TotalUsageTokens() const {
 
 double ConcurrentShardedEngine::tau_lsm(std::size_t shard) const {
   const Shard& s = *shards_.at(shard);
-  std::shared_lock<std::shared_mutex> lk(s.mu);
+  ReaderLock lock(s.mu);
   return s.cache->sine().options().tau_lsm;
 }
 

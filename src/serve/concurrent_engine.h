@@ -11,9 +11,11 @@
 //     on every shard and — when ground truth is reachable — per-shard
 //     threshold recalibration ticks (Algorithm 1, ported from CortexEngine).
 //
-// Lock order: shard mutexes are leaves — no other lock is ever acquired
-// while one is held, and at most one shard mutex is held at a time (cross-
-// shard aggregates lock shard by shard, so totals are per-shard-consistent
+// Lock order (machine-checked in debug builds by RankedMutex, see the
+// rank table in DESIGN.md §7): fetch_gt_mu_ (30) < hk_mu_ (40) < shard.mu
+// (50).  Shard mutexes are leaves — no other lock is ever acquired while
+// one is held, and at most one shard mutex is held at a time (cross-shard
+// aggregates lock shard by shard, so totals are per-shard-consistent
 // snapshots, not a global atomic view).
 #pragma once
 
@@ -22,9 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -34,7 +34,9 @@
 #include "core/semantic_cache.h"
 #include "core/sharded_cache.h"
 #include "embedding/hashed_embedder.h"
+#include "util/ranked_mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/tokenizer.h"
 
 namespace cortex::serve {
@@ -127,18 +129,21 @@ class ConcurrentShardedEngine {
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unique_ptr<SemanticCache> cache;
-    Recalibrator recalibrator;
-    Rng rng;
+    mutable RankedSharedMutex mu{LockRank::kEngineShard, "shard.mu"};
+    std::unique_ptr<SemanticCache> cache GUARDED_BY(mu) PT_GUARDED_BY(mu);
+    Recalibrator recalibrator GUARDED_BY(mu);
+    Rng rng GUARDED_BY(mu);
 
     Shard(std::unique_ptr<SemanticCache> c, RecalibratorOptions ropts,
           std::uint64_t seed)
         : cache(std::move(c)), recalibrator(ropts), rng(seed) {}
   };
 
-  void HousekeepingLoop();
-  bool RecalibrateShard(Shard& shard);
+  // Waits on hk_cv_ through a std::unique_lock, which clang's analysis
+  // cannot see through — excluded from analysis, lock order still
+  // machine-checked by RankedMutex.
+  void HousekeepingLoop() NO_THREAD_SAFETY_ANALYSIS;
+  bool RecalibrateShard(Shard& shard) EXCLUDES(fetch_gt_mu_);
 
   const HashedEmbedder* embedder_;
   Tokenizer tokenizer_;
@@ -154,12 +159,16 @@ class ConcurrentShardedEngine {
   std::atomic<std::uint64_t> housekeeping_runs_{0};
   std::atomic<std::uint64_t> recalibrations_{0};
 
-  std::mutex fetch_gt_mu_;
-  std::function<std::string(std::string_view)> fetch_gt_;
+  RankedMutex fetch_gt_mu_{LockRank::kEngineGroundTruth,
+                           "engine.fetch_gt_mu"};
+  std::function<std::string(std::string_view)> fetch_gt_
+      GUARDED_BY(fetch_gt_mu_);
 
-  std::mutex hk_mu_;
-  std::condition_variable hk_cv_;
-  bool hk_stop_ = false;
+  RankedMutex hk_mu_{LockRank::kEngineHousekeeping, "engine.hk_mu"};
+  // condition_variable_any: waits through RankedMutex's lock/unlock, so
+  // the held-rank stack stays correct across the wait.
+  std::condition_variable_any hk_cv_;
+  bool hk_stop_ GUARDED_BY(hk_mu_) = false;
   std::thread housekeeper_;
 };
 

@@ -149,7 +149,7 @@ void CortexServer::Stop() {
   // Connections still queued never reached a worker; drop them.
   std::deque<int> leftover;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lock(queue_mu_);
     leftover.swap(conn_queue_);
   }
   for (int fd : leftover) ::close(fd);
@@ -173,7 +173,7 @@ void CortexServer::AcceptLoop() {
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     bool rejected = false;
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lock(queue_mu_);
       if (conn_queue_.size() >= options_.max_pending_connections) {
         rejected = true;
       } else {
@@ -195,7 +195,7 @@ void CortexServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
+      std::unique_lock<RankedMutex> lk(queue_mu_);
       queue_cv_.wait(lk, [this] {
         return stopping_.load(std::memory_order_acquire) ||
                !conn_queue_.empty();
@@ -306,7 +306,7 @@ bool CortexServer::AdmitRequest(const Request& request) {
       request.type != RequestType::kInsert) {
     return true;
   }
-  std::lock_guard<std::mutex> lk(bucket_mu_);
+  MutexLock lock(bucket_mu_);
   return bucket_.TryAcquire(engine_->Now());
 }
 

@@ -21,7 +21,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +28,8 @@
 #include "net/rate_limiter.h"
 #include "serve/concurrent_engine.h"
 #include "serve/protocol.h"
+#include "util/ranked_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cortex::serve {
 
@@ -83,13 +84,18 @@ class CortexServer {
   ServerStats stats() const;
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() EXCLUDES(queue_mu_);
+  // Waits on queue_cv_ through a std::unique_lock, which clang's analysis
+  // cannot see through — excluded from analysis, lock order still
+  // machine-checked by RankedMutex.
+  void WorkerLoop() NO_THREAD_SAFETY_ANALYSIS;
   void ServeConnection(int fd);
   // Executes one parsed request against the engine.
   Response Execute(const Request& request);
   Response BuildStats();
-  bool AdmitRequest(const Request& request);  // token-bucket gate
+  // Token-bucket gate over LOOKUP/INSERT (the rate-limiter critical
+  // section; PING/STATS bypass it).
+  bool AdmitRequest(const Request& request) EXCLUDES(bucket_mu_);
 
   ConcurrentShardedEngine* engine_;
   ServerOptions options_;
@@ -101,12 +107,16 @@ class CortexServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> conn_queue_;
+  // Lock order (ranks checked in debug builds, table in DESIGN.md §7):
+  // queue_mu_ (10) < bucket_mu_ (20) < the engine's locks (30-50).
+  RankedMutex queue_mu_{LockRank::kServerQueue, "server.queue_mu"};
+  // condition_variable_any: waits through RankedMutex's lock/unlock, so
+  // the held-rank stack stays correct across the wait.
+  std::condition_variable_any queue_cv_;
+  std::deque<int> conn_queue_ GUARDED_BY(queue_mu_);
 
-  std::mutex bucket_mu_;
-  TokenBucket bucket_;
+  RankedMutex bucket_mu_{LockRank::kServerBucket, "server.bucket_mu"};
+  TokenBucket bucket_ GUARDED_BY(bucket_mu_);
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -1,7 +1,8 @@
 #include "sim/driver.h"
 
-#include <cassert>
 #include <utility>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -25,7 +26,7 @@ RunMetrics ServingDriver::Run(std::vector<AgentTask> tasks) {
   Simulation sim;
 
   if (!options_.explicit_arrivals.empty()) {
-    assert(options_.explicit_arrivals.size() == tasks.size());
+    CHECK_EQ(options_.explicit_arrivals.size(), tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       auto state = std::make_shared<TaskState>(std::move(tasks[i]));
       state->record.arrival_time = options_.explicit_arrivals[i];

@@ -1,0 +1,203 @@
+// CHECK / DCHECK: runtime invariant macros that print file:line, the
+// failed condition, and an optional streamed message to stderr, then
+// abort() — in ALL build types.  This replaces raw assert(), which
+// compiles to nothing under NDEBUG, i.e. exactly in the release builds
+// where the serving tier's races and contract violations live.
+//
+// Policy (DESIGN.md §7):
+//   * CHECK*  — API-boundary contracts and states that would corrupt
+//     memory or silently serve a wrong answer (null engine pointers,
+//     capacity <= 0, mismatched histogram layouts).  Always on.
+//   * DCHECK* — per-element invariants on hot paths that are already
+//     implied by a CHECK at the boundary (per-vector dimension checks
+//     inside an ANN scan).  On when CORTEX_DCHECK_IS_ON, which defaults
+//     to 1 in debug builds and 0 under NDEBUG; the condition is NOT
+//     evaluated when off, so it must be side-effect free.
+//
+// Usage:
+//   CHECK(ptr != nullptr) << "engine requires a fetcher";
+//   CHECK_LT(shard, shards_.size());
+//   DCHECK_EQ(a.size(), b.size());
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace cortex::check_internal {
+
+// Accumulates the failure message; the destructor (end of the full
+// expression, after user `<<` appends) prints and aborts.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ':' << line << ": CHECK failed: " << condition << ' ';
+  }
+  // Takes ownership of a heap message built by CheckOpMessage.
+  CheckFailure(const char* file, int line, std::string* message) {
+    stream_ << file << ':' << line << ": CHECK failed: " << *message << ' ';
+    delete message;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  // stderr + abort, not exceptions: a failed CHECK means program state is
+  // already outside its invariants, and abort() preserves the core/stack
+  // for the sanitizer and death-test harnesses.
+  [[noreturn]] ~CheckFailure() {
+    stream_ << '\n';
+    const std::string message = stream_.str();
+    std::fwrite(message.data(), 1, message.size(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// `Voidify() & ostream` swallows the stream expression into a void so the
+// macro can sit in the false branch of a ternary.  `&` binds looser than
+// `<<`, so user appends happen first.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+// Never-executed sink for compiled-out DCHECKs; keeps `<< msg` operands
+// type-checked without evaluating them.
+inline std::ostream& NullStream() {
+  static std::ostringstream sink;
+  sink.setstate(std::ios_base::badbit);
+  return sink;
+}
+
+struct EqOp {
+  static constexpr const char* kName = "==";
+  template <typename A, typename B>
+  static bool Cmp(const A& a, const B& b) {
+    return a == b;
+  }
+};
+struct NeOp {
+  static constexpr const char* kName = "!=";
+  template <typename A, typename B>
+  static bool Cmp(const A& a, const B& b) {
+    return a != b;
+  }
+};
+struct LtOp {
+  static constexpr const char* kName = "<";
+  template <typename A, typename B>
+  static bool Cmp(const A& a, const B& b) {
+    return a < b;
+  }
+};
+struct LeOp {
+  static constexpr const char* kName = "<=";
+  template <typename A, typename B>
+  static bool Cmp(const A& a, const B& b) {
+    return a <= b;
+  }
+};
+struct GtOp {
+  static constexpr const char* kName = ">";
+  template <typename A, typename B>
+  static bool Cmp(const A& a, const B& b) {
+    return a > b;
+  }
+};
+struct GeOp {
+  static constexpr const char* kName = ">=";
+  template <typename A, typename B>
+  static bool Cmp(const A& a, const B& b) {
+    return a >= b;
+  }
+};
+
+// Returns nullptr when the comparison holds, else a heap string
+// "a_text op b_text (value_a vs. value_b)" consumed by CheckFailure.
+template <typename Op, typename A, typename B>
+inline std::string* CheckOpMessage(const char* a_text, const char* b_text,
+                                   const A& a, const B& b) {
+  if (__builtin_expect(Op::Cmp(a, b), 1)) return nullptr;
+  std::ostringstream os;
+  os << a_text << ' ' << Op::kName << ' ' << b_text << " (" << a << " vs. "
+     << b << ')';
+  return new std::string(os.str());
+}
+
+}  // namespace cortex::check_internal
+
+#define CHECK(condition)                                                 \
+  (__builtin_expect(static_cast<bool>(condition), 1))                    \
+      ? (void)0                                                          \
+      : ::cortex::check_internal::Voidify() &                            \
+            ::cortex::check_internal::CheckFailure(__FILE__, __LINE__,   \
+                                                   #condition)           \
+                .stream()
+
+// if/else (rather than ternary) so the comparison's operands are
+// evaluated exactly once and the streamed values survive to the message.
+#define CORTEX_CHECK_OP(OpClass, a, b)                                    \
+  if (std::string* cortex_check_msg_ =                                    \
+          ::cortex::check_internal::CheckOpMessage<                       \
+              ::cortex::check_internal::OpClass>(#a, #b, (a), (b));       \
+      cortex_check_msg_ == nullptr) {                                     \
+  } else                                                                  \
+    ::cortex::check_internal::Voidify() &                                 \
+        ::cortex::check_internal::CheckFailure(__FILE__, __LINE__,        \
+                                               cortex_check_msg_)         \
+            .stream()
+
+#define CHECK_EQ(a, b) CORTEX_CHECK_OP(EqOp, a, b)
+#define CHECK_NE(a, b) CORTEX_CHECK_OP(NeOp, a, b)
+#define CHECK_LT(a, b) CORTEX_CHECK_OP(LtOp, a, b)
+#define CHECK_LE(a, b) CORTEX_CHECK_OP(LeOp, a, b)
+#define CHECK_GT(a, b) CORTEX_CHECK_OP(GtOp, a, b)
+#define CHECK_GE(a, b) CORTEX_CHECK_OP(GeOp, a, b)
+
+// CORTEX_DCHECK_IS_ON may be forced per translation unit (define before
+// including this header); otherwise it tracks NDEBUG.
+#if !defined(CORTEX_DCHECK_IS_ON)
+#if defined(NDEBUG)
+#define CORTEX_DCHECK_IS_ON 0
+#else
+#define CORTEX_DCHECK_IS_ON 1
+#endif
+#endif
+
+#if CORTEX_DCHECK_IS_ON
+
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+
+#else  // !CORTEX_DCHECK_IS_ON
+
+// `while (false && ...)` never evaluates the condition or the streamed
+// operands at runtime, but keeps them ODR-used and type-checked, so
+// disabling DCHECK cannot introduce unused-variable warnings or hide
+// compile errors.
+#define CORTEX_DCHECK_DISCARD(boolexpr)                 \
+  while (false && static_cast<bool>(boolexpr))          \
+  ::cortex::check_internal::Voidify() &                 \
+      ::cortex::check_internal::NullStream()
+
+#define DCHECK(condition) CORTEX_DCHECK_DISCARD(condition)
+#define DCHECK_EQ(a, b) CORTEX_DCHECK_DISCARD((a) == (b))
+#define DCHECK_NE(a, b) CORTEX_DCHECK_DISCARD((a) != (b))
+#define DCHECK_LT(a, b) CORTEX_DCHECK_DISCARD((a) < (b))
+#define DCHECK_LE(a, b) CORTEX_DCHECK_DISCARD((a) <= (b))
+#define DCHECK_GT(a, b) CORTEX_DCHECK_DISCARD((a) > (b))
+#define DCHECK_GE(a, b) CORTEX_DCHECK_DISCARD((a) >= (b))
+
+#endif  // CORTEX_DCHECK_IS_ON

@@ -1,8 +1,9 @@
 #include "util/count_min.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 #include "util/rng.h"
 
@@ -25,7 +26,8 @@ CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
                                std::uint64_t seed)
     : width_(width), depth_(depth), seed_(seed),
       counters_(width * depth, 0) {
-  assert(width > 0 && depth > 0);
+  CHECK_GT(width, 0u);
+  CHECK_GT(depth, 0u);
 }
 
 std::size_t CountMinSketch::Slot(std::string_view item,

@@ -1,0 +1,29 @@
+#include "util/ranked_mutex.h"
+
+namespace cortex {
+
+namespace {
+
+// Single program-wide default: lock-order checking is on in debug
+// builds, off under NDEBUG (release).  Tests override at runtime.
+#if defined(NDEBUG)
+std::atomic<bool> g_lock_order_checks{false};
+#else
+std::atomic<bool> g_lock_order_checks{true};
+#endif
+
+}  // namespace
+
+namespace lock_order_internal {
+
+bool ChecksEnabled() noexcept {
+  return g_lock_order_checks.load(std::memory_order_relaxed);
+}
+
+}  // namespace lock_order_internal
+
+void SetLockOrderChecksForTesting(bool enabled) noexcept {
+  g_lock_order_checks.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace cortex

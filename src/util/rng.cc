@@ -22,10 +22,10 @@ double Rng::Normal(double mean, double stddev) noexcept {
 }
 
 std::size_t Rng::WeightedIndex(std::span<const double> weights) noexcept {
-  assert(!weights.empty());
+  DCHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) total += w;
-  assert(total > 0.0);
+  CHECK_GT(total, 0.0) << "weights must not be all-zero";
   double target = NextDouble() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];
@@ -35,7 +35,7 @@ std::size_t Rng::WeightedIndex(std::span<const double> weights) noexcept {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) : cdf_(n), skew_(s) {
-  assert(n > 0);
+  CHECK_GT(n, 0u);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     total += 1.0 / std::pow(static_cast<double>(i + 1), s);
@@ -53,7 +53,7 @@ std::size_t ZipfSampler::Sample(Rng& rng) const noexcept {
 }
 
 double ZipfSampler::Pmf(std::size_t rank) const noexcept {
-  assert(rank < cdf_.size());
+  DCHECK_LT(rank, cdf_.size());
   return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
 }
 

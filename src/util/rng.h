@@ -8,11 +8,12 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -73,7 +74,7 @@ class Rng {
 
   // Uniform integer in [0, n). Requires n > 0.
   std::uint64_t NextBelow(std::uint64_t n) noexcept {
-    assert(n > 0);
+    DCHECK_GT(n, 0u);
     // Lemire's nearly-divisionless bounded generation.
     __uint128_t m = static_cast<__uint128_t>(NextU64()) * n;
     auto lo = static_cast<std::uint64_t>(m);
@@ -89,7 +90,7 @@ class Rng {
 
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept {
-    assert(lo <= hi);
+    DCHECK_LE(lo, hi);
     return lo + static_cast<std::int64_t>(
                     NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
   }
@@ -117,7 +118,7 @@ class Rng {
   // Pick a uniformly random element index of a non-empty span.
   template <typename T>
   std::size_t PickIndex(std::span<const T> items) noexcept {
-    assert(!items.empty());
+    DCHECK(!items.empty());
     return static_cast<std::size_t>(NextBelow(items.size()));
   }
 
@@ -130,6 +131,8 @@ class Rng {
   }
 
   // Sample an index from unnormalised non-negative weights (linear scan).
+  // Total mass must be > 0 (CHECKed): an all-zero weight vector has no
+  // meaningful distribution — callers own their degenerate fallback.
   std::size_t WeightedIndex(std::span<const double> weights) noexcept;
 
  private:

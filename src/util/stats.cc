@@ -1,8 +1,9 @@
 #include "util/stats.h"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "util/check.h"
 
 namespace cortex {
 
@@ -28,7 +29,8 @@ void StreamingStats::Merge(const StreamingStats& other) noexcept {
 
 Histogram::Histogram(double min_value, double growth)
     : min_value_(min_value), log_growth_(std::log(growth)) {
-  assert(min_value > 0.0 && growth > 1.0);
+  CHECK_GT(min_value, 0.0);
+  CHECK_GT(growth, 1.0);
 }
 
 std::size_t Histogram::BucketFor(double value) const noexcept {
@@ -58,7 +60,8 @@ void Histogram::Add(double value) noexcept {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  assert(min_value_ == other.min_value_ && log_growth_ == other.log_growth_);
+  CHECK(min_value_ == other.min_value_ && log_growth_ == other.log_growth_)
+      << "merging histograms with different bucket layouts";
   if (other.count_ == 0) return;
   if (other.buckets_.size() > buckets_.size()) {
     buckets_.resize(other.buckets_.size(), 0);
@@ -108,7 +111,7 @@ std::string Histogram::Summary() const {
 
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b) {
-  assert(a.size() == b.size());
+  CHECK_EQ(a.size(), b.size());
   if (a.size() < 2) return 0.0;
   const auto n = static_cast<double>(a.size());
   double sa = 0, sb = 0;
@@ -129,7 +132,7 @@ double PearsonCorrelation(const std::vector<double>& a,
 
 double LogLogSlope(const std::vector<double>& x,
                    const std::vector<double>& y) {
-  assert(x.size() == y.size());
+  CHECK_EQ(x.size(), y.size());
   std::vector<double> lx, ly;
   lx.reserve(x.size());
   ly.reserve(y.size());

@@ -1,0 +1,69 @@
+// Clang thread-safety-analysis attribute macros (enforced with
+// -Wthread-safety; CMake turns that on automatically under clang, and
+// CORTEX_WERROR promotes violations to errors).  Under gcc every macro
+// expands to nothing, so the annotations are pure documentation there.
+//
+// The names and semantics follow the "capability" vocabulary from the
+// clang Thread Safety Analysis docs: a mutex is a capability; GUARDED_BY
+// ties data to the capability that must be held to touch it; REQUIRES /
+// ACQUIRE / RELEASE describe what a function expects or does.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CORTEX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CORTEX_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) CORTEX_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY CORTEX_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) CORTEX_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) CORTEX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  CORTEX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  CORTEX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  CORTEX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  CORTEX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  CORTEX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  CORTEX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  CORTEX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  CORTEX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  CORTEX_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  CORTEX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  CORTEX_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) CORTEX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) CORTEX_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CORTEX_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) CORTEX_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CORTEX_THREAD_ANNOTATION(no_thread_safety_analysis)

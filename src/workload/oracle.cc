@@ -1,17 +1,17 @@
 #include "workload/oracle.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cortex {
 
 GroundTruthOracle::GroundTruthOracle(const TopicUniverse* universe)
     : universe_(universe) {
-  assert(universe != nullptr);
+  CHECK(universe != nullptr);
 }
 
 void GroundTruthOracle::RegisterQuery(std::string query,
                                       std::uint64_t topic_id) {
-  assert(topic_id < universe_->size());
+  CHECK_LT(topic_id, universe_->size());
   registry_.insert_or_assign(std::move(query), topic_id);
 }
 

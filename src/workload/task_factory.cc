@@ -1,13 +1,13 @@
 #include "workload/task_factory.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace cortex {
 
 namespace {
 
 std::string PickParaphrase(const Topic& topic, Rng& rng) {
-  assert(!topic.paraphrases.empty());
+  CHECK(!topic.paraphrases.empty());
   return topic.paraphrases[rng.NextBelow(topic.paraphrases.size())];
 }
 
@@ -16,7 +16,7 @@ std::string PickParaphrase(const Topic& topic, Rng& rng) {
 AgentTask MakeSearchTask(std::uint64_t task_id, const TopicUniverse& universe,
                          std::span<const std::uint64_t> topic_ids, Rng& rng,
                          const TaskFactoryOptions& options) {
-  assert(!topic_ids.empty());
+  CHECK(!topic_ids.empty());
   AgentTask task;
   task.id = task_id;
   task.base_correctness = options.base_correctness;
@@ -48,7 +48,7 @@ AgentTask MakeSearchTask(std::uint64_t task_id, const TopicUniverse& universe,
 AgentTask MakeCodingTask(std::uint64_t task_id, const TopicUniverse& universe,
                          std::span<const std::uint64_t> file_topic_ids,
                          Rng& rng, const TaskFactoryOptions& options) {
-  assert(!file_topic_ids.empty());
+  CHECK(!file_topic_ids.empty());
   AgentTask task;
   task.id = task_id;
   task.base_correctness = options.base_correctness;

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <unordered_set>
 
 #include "llm/tags.h"
+#include "util/check.h"
 #include "workload/vocab.h"
 
 namespace cortex {
@@ -70,13 +70,13 @@ std::string TopicUniverse::MakeAnswer(const Topic& t, Rng& rng) const {
 TopicUniverse::TopicUniverse(std::vector<Topic> topics)
     : topics_(std::move(topics)) {
   for (std::size_t i = 0; i < topics_.size(); ++i) {
-    assert(topics_[i].id == i);
+    CHECK_EQ(topics_[i].id, i) << "topic ids must be dense and in order";
   }
 }
 
 TopicUniverse::TopicUniverse(TopicUniverseOptions options)
     : options_(options) {
-  assert(options_.num_topics > 0);
+  CHECK_GT(options_.num_topics, 0u);
   Rng rng(options_.seed);
   const auto entities = EntityWords();
   const auto aspects = AspectWords();

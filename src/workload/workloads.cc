@@ -1,10 +1,10 @@
 #include "workload/workloads.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "llm/tags.h"
+#include "util/check.h"
 #include "workload/vocab.h"
 
 namespace cortex {
@@ -168,7 +168,8 @@ WorkloadBundle BuildTrendWorkload(const TrendProfile& profile) {
   std::vector<Topic> topics(base.topics());
   const std::size_t group = 1 + profile.related_per_trend;
   const std::size_t trend_span = profile.num_trend_topics * group;
-  assert(trend_span < topics.size());
+  CHECK_LT(trend_span, topics.size())
+      << "trend topics must leave room for a stable tail";
   Rng rng(profile.seed);
   for (std::size_t i = 0; i < trend_span; ++i) {
     topics[i].staticity = rng.Uniform(1.5, 3.0);

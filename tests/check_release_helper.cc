@@ -1,0 +1,32 @@
+// Compiled with DCHECK forced OFF regardless of build type, so
+// test_check.cc can verify release-mode DCHECK semantics even in a debug
+// build.  Must include check.h before any header that includes it
+// normally (per-TU macro, pragma once).
+#define CORTEX_DCHECK_IS_ON 0
+#include "util/check.h"
+
+namespace cortex_test {
+
+// Returns true iff DCHECK(false) does not abort when compiled out.
+bool ReleaseDcheckSurvivesFalse() {
+  DCHECK(false) << "compiled out — must not fire";
+  return true;
+}
+
+// Returns whether the disabled DCHECK evaluated its condition (must not).
+bool ReleaseDcheckEvaluatesCondition() {
+  bool evaluated = false;
+  DCHECK([&evaluated] {
+    evaluated = true;
+    return true;
+  }());
+  return evaluated;
+}
+
+// Returns true iff DCHECK_EQ on unequal values does not abort either.
+bool ReleaseDcheckOpSurvivesMismatch() {
+  DCHECK_EQ(1, 2) << "compiled out — must not fire";
+  return true;
+}
+
+}  // namespace cortex_test

@@ -1,0 +1,125 @@
+// Death-tests for the CHECK/DCHECK framework (src/util/check.h).
+//
+// This translation unit exercises whatever CORTEX_DCHECK_IS_ON resolved
+// to for the build type; check_release_helper.cc force-compiles a second
+// TU with CORTEX_DCHECK_IS_ON=0 so the release-mode semantics (DCHECK
+// vanishes, condition NOT evaluated) are covered in every build.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+// Implemented in check_release_helper.cc with CORTEX_DCHECK_IS_ON=0.
+namespace cortex_test {
+bool ReleaseDcheckSurvivesFalse();
+bool ReleaseDcheckEvaluatesCondition();
+bool ReleaseDcheckOpSurvivesMismatch();
+}  // namespace cortex_test
+
+namespace {
+
+class DeathStyle : public ::testing::Environment {
+ public:
+  // Re-exec the binary for death tests instead of bare fork(): the
+  // fork-only default misbehaves under TSan's background threads.
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+[[maybe_unused]] const auto* const kDeathStyle =
+    ::testing::AddGlobalTestEnvironment(new DeathStyle);
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CHECK(true);
+  CHECK(1 + 1 == 2) << "arithmetic still works";
+  CHECK_EQ(4, 4);
+  CHECK_NE(4, 5);
+  CHECK_LT(4, 5);
+  CHECK_LE(5, 5);
+  CHECK_GT(5, 4);
+  CHECK_GE(5, 5);
+}
+
+TEST(CheckDeathTest, CheckFailureAbortsWithFileLineAndCondition) {
+  EXPECT_DEATH(CHECK(false), "test_check.cc:.*CHECK failed: false");
+}
+
+TEST(CheckDeathTest, CheckFailureIncludesStreamedMessage) {
+  EXPECT_DEATH(CHECK(1 == 2) << "the sky is falling",
+               "CHECK failed: 1 == 2.*the sky is falling");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothValues) {
+  const int lookups = 3;
+  const int hits = 7;
+  EXPECT_DEATH(CHECK_GE(lookups, hits),
+               "CHECK failed: lookups >= hits \\(3 vs. 7\\)");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsValuesAndMessage) {
+  const std::size_t dim_a = 16;
+  const std::size_t dim_b = 32;
+  EXPECT_DEATH(CHECK_EQ(dim_a, dim_b) << "dimension mismatch",
+               "dim_a == dim_b \\(16 vs. 32\\).*dimension mismatch");
+}
+
+TEST(CheckTest, CheckOpEvaluatesOperandsExactlyOnce) {
+  int evals = 0;
+  const auto bump = [&evals] { return ++evals; };
+  CHECK_GE(bump(), 1);  // passes: 1 >= 1
+  EXPECT_EQ(evals, 1);
+  CHECK_LE(2, bump());  // passes: 2 <= 2
+  EXPECT_EQ(evals, 2);
+}
+
+TEST(CheckTest, CheckOpIsAStatementInUnbracedIf) {
+  // Compile-time shape test: CHECK_EQ must nest under if/else without
+  // stealing the else branch.
+  bool took_else = false;
+  if (false)
+    CHECK_EQ(1, 1);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+#if CORTEX_DCHECK_IS_ON
+
+TEST(CheckDeathTest, DcheckFiresInDebugMode) {
+  EXPECT_DEATH(DCHECK(false), "CHECK failed: false");
+  EXPECT_DEATH(DCHECK_EQ(1, 2), "CHECK failed: 1 == 2");
+}
+
+TEST(CheckTest, DcheckEvaluatesConditionInDebugMode) {
+  int evals = 0;
+  DCHECK([&evals] {
+    ++evals;
+    return true;
+  }());
+  EXPECT_EQ(evals, 1);
+}
+
+#else  // !CORTEX_DCHECK_IS_ON
+
+TEST(CheckTest, DcheckIsCompiledOutInReleaseMode) {
+  DCHECK(false) << "must not fire";
+  DCHECK_EQ(1, 2) << "must not fire";
+  int evals = 0;
+  DCHECK([&evals] {
+    ++evals;
+    return false;
+  }());
+  EXPECT_EQ(evals, 0) << "disabled DCHECK must not evaluate its condition";
+}
+
+#endif  // CORTEX_DCHECK_IS_ON
+
+// Release-mode semantics, independent of this TU's build type.
+TEST(CheckTest, ReleaseModeDcheckNeverFiresAndNeverEvaluates) {
+  EXPECT_TRUE(cortex_test::ReleaseDcheckSurvivesFalse());
+  EXPECT_FALSE(cortex_test::ReleaseDcheckEvaluatesCondition());
+  EXPECT_TRUE(cortex_test::ReleaseDcheckOpSurvivesMismatch());
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for the ranked-mutex lock-order checker (src/util/ranked_mutex.h).
+//
+// The checker defaults to on only in debug builds; SetLockOrderChecksForTesting
+// forces it on here so the inversion death-tests work in every build type.
+#include "util/ranked_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cortex {
+namespace {
+
+class RankedMutexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Re-exec the binary for death tests instead of bare fork(): the
+    // fork-only default misbehaves under TSan's background threads.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SetLockOrderChecksForTesting(true);
+  }
+  void TearDown() override { SetLockOrderChecksForTesting(false); }
+};
+
+using RankedMutexDeathTest = RankedMutexTest;
+
+TEST_F(RankedMutexTest, IncreasingRankOrderIsAccepted) {
+  RankedMutex low(LockRank::kServerQueue, "low");
+  RankedMutex mid(LockRank::kEngineHousekeeping, "mid");
+  RankedSharedMutex leaf(LockRank::kEngineShard, "leaf");
+  MutexLock l1(low);
+  MutexLock l2(mid);
+  ReaderLock l3(leaf);
+}
+
+TEST_F(RankedMutexTest, ReacquireAfterReleaseIsAccepted) {
+  // The serving tier's hot pattern: shared probe, release, exclusive
+  // commit on the SAME rank — legal because nothing is held in between.
+  RankedSharedMutex shard(LockRank::kEngineShard, "shard.mu");
+  {
+    ReaderLock probe(shard);
+  }
+  {
+    WriterLock commit(shard);
+  }
+}
+
+TEST_F(RankedMutexTest, TryLockParticipatesInTracking) {
+  RankedMutex low(LockRank::kServerQueue, "low");
+  ASSERT_TRUE(low.try_lock());
+  low.unlock();
+}
+
+TEST_F(RankedMutexTest, IndependentThreadsHaveIndependentStacks) {
+  RankedMutex low(LockRank::kServerQueue, "low");
+  RankedMutex high(LockRank::kEngineShard, "high");
+  MutexLock hold_high(high);
+  // Another thread may take the low-ranked lock: held-lock stacks are
+  // per-thread, and the mutexes themselves still synchronise as usual.
+  std::thread other([&] { MutexLock l(low); });
+  other.join();
+}
+
+TEST_F(RankedMutexDeathTest, RankInversionAborts) {
+  RankedMutex low(LockRank::kServerQueue, "server.queue_mu");
+  RankedSharedMutex shard(LockRank::kEngineShard, "shard.mu");
+  EXPECT_DEATH(
+      {
+        WriterLock hold_shard(shard);
+        MutexLock inversion(low);  // 10 after 50: deadlock-shaped
+      },
+      "lock-order inversion: acquiring 'server.queue_mu' \\(rank 10\\) "
+      "while holding 'shard.mu' \\(rank 50\\)");
+}
+
+TEST_F(RankedMutexDeathTest, SameRankReacquisitionAborts) {
+  // Two shard mutexes at once — the documented "at most one shard lock"
+  // invariant — must trip the checker even though the ranks are equal.
+  RankedSharedMutex shard_a(LockRank::kEngineShard, "shard_a.mu");
+  RankedSharedMutex shard_b(LockRank::kEngineShard, "shard_b.mu");
+  EXPECT_DEATH(
+      {
+        ReaderLock hold_a(shard_a);
+        ReaderLock hold_b(shard_b);
+      },
+      "lock-order inversion: acquiring 'shard_b.mu' \\(rank 50\\) "
+      "while holding 'shard_a.mu' \\(rank 50\\)");
+}
+
+TEST_F(RankedMutexDeathTest, ReleasingUnheldRankAborts) {
+  RankedMutex low(LockRank::kServerQueue, "low");
+  EXPECT_DEATH(low.unlock(), "releasing rank 10");
+}
+
+TEST_F(RankedMutexTest, CheckerOffIgnoresInversion) {
+  SetLockOrderChecksForTesting(false);
+  RankedMutex low(LockRank::kServerQueue, "low");
+  RankedSharedMutex shard(LockRank::kEngineShard, "shard.mu");
+  WriterLock hold_shard(shard);
+  MutexLock inversion(low);  // tolerated (release-build default)
+}
+
+}  // namespace
+}  // namespace cortex

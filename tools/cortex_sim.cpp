@@ -6,7 +6,7 @@
 // the form --section.key=value override config entries, so sweeps are a
 // shell loop away:
 //
-//   ./build/tools/cortex_driver tools/configs/musique_cortex.conf \
+//   ./build/tools/cortex_driver tools/configs/musique_cortex.conf
 //       --cache.ratio=0.6 --export.records=/tmp/records.csv
 #include <fstream>
 #include <iostream>
