@@ -1,0 +1,220 @@
+// Telemetry overhead (DESIGN.md §8): what does live observability cost on
+// the hot path?
+//
+// Part 1 — instrument micro-costs, ns/op at 1 and 8 threads: striped
+// Counter::Inc vs a single shared atomic (the thing the striping buys us
+// back under contention), Gauge::Add, AtomicHistogram::Observe, and a full
+// RequestTrace fill + FlightRecorder::Record.
+//
+// Part 2 — the macro A/B the subsystem is judged by: replay the Musique
+// workload through ConcurrentShardedEngine with the registry enabled vs
+// disabled and assert the throughput delta stays under 5%.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/concurrent_engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace cortex;
+using namespace cortex::bench;
+namespace telemetry = cortex::telemetry;
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs `op` iters times on each of num_threads threads; returns aggregate
+// ns per operation (wall time / total ops).
+template <typename Op>
+double MeasureNsPerOp(std::size_t num_threads, std::size_t iters, Op op) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  const double t0 = NowSec();
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    pool.emplace_back([&go, iters, op] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < iters; ++i) op(i);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const double wall = NowSec() - t0;
+  return wall * 1e9 / static_cast<double>(num_threads * iters);
+}
+
+void RunMicro(bool csv, std::size_t iters) {
+  telemetry::MetricRegistry registry;
+  telemetry::Counter* counter = registry.GetCounter("bench_counter");
+  telemetry::Gauge* gauge = registry.GetGauge("bench_gauge");
+  telemetry::AtomicHistogram* histogram =
+      registry.GetHistogram("bench_seconds");
+  std::atomic<std::uint64_t> shared_atomic{0};
+  telemetry::FlightRecorder recorder(256);
+
+  telemetry::RequestTrace proto;
+  proto.op = telemetry::TraceOp::kLookup;
+  proto.outcome = telemetry::TraceOutcome::kHit;
+  proto.AddSpan(telemetry::TracePhase::kEmbed, 0.0, 1e-4);
+  proto.AddSpan(telemetry::TracePhase::kAnnProbe, 1e-4, 2e-4);
+  proto.AddSpan(telemetry::TracePhase::kJudger, 3e-4, 1e-4);
+  proto.AddSpan(telemetry::TracePhase::kCommit, 4e-4, 1e-5);
+  proto.SetQuery("what is the height of everest");
+
+  struct Case {
+    const char* name;
+    std::function<void(std::size_t)> op;
+  };
+  const std::vector<Case> cases = {
+      {"shared atomic fetch_add (baseline)",
+       [&shared_atomic](std::size_t) {
+         shared_atomic.fetch_add(1, std::memory_order_relaxed);
+       }},
+      {"Counter::Inc (16-way striped)",
+       [counter](std::size_t) { counter->Inc(); }},
+      {"Gauge::Add", [gauge](std::size_t) { gauge->Add(1.0); }},
+      {"AtomicHistogram::Observe",
+       [histogram](std::size_t i) {
+         histogram->Observe(1e-4 * static_cast<double>((i & 1023) + 1));
+       }},
+      {"trace fill + FlightRecorder::Record",
+       [&recorder, &proto](std::size_t i) {
+         telemetry::RequestTrace trace = proto;
+         trace.total = 1e-3 * static_cast<double>((i & 255) + 1);
+         recorder.Record(trace);
+       }},
+  };
+
+  std::cout << "=== telemetry instrument micro-costs (" << iters
+            << " ops/thread) ===\n\n";
+  TextTable table({"operation", "1 thread (ns/op)", "8 threads (ns/op)"});
+  for (const Case& c : cases) {
+    const double ns1 = MeasureNsPerOp(1, iters, c.op);
+    const double ns8 = MeasureNsPerOp(8, iters, c.op);
+    table.AddRow({c.name, TextTable::Num(ns1, 1), TextTable::Num(ns8, 1)});
+  }
+  table.Print(std::cout, csv);
+  std::cout << "\nexpected shape: the striped counter holds its 1-thread"
+               " cost at 8 threads while the shared atomic degrades"
+               " several-fold from cache-line ping-pong; Record stays"
+               " O(100ns) — one CAS plus relaxed stores.\n\n";
+}
+
+// ---------------------------------------------------------------------------
+// Macro A/B: engine throughput with telemetry enabled vs disabled.
+
+double RunEngineThroughput(const WorkloadBundle& bundle,
+                           const HashedEmbedder& embedder,
+                           const JudgerModel& judger,
+                           std::size_t num_threads, bool telemetry_enabled) {
+  serve::ConcurrentEngineOptions opts;
+  opts.num_shards = 4;
+  opts.cache.capacity_tokens = 0.4 * bundle.TotalKnowledgeTokens();
+  opts.housekeeping_interval_sec = 0.0;
+  serve::ConcurrentShardedEngine engine(&embedder, &judger, opts);
+  engine.registry()->set_enabled(telemetry_enabled);
+
+  std::vector<const std::string*> queries;
+  for (const auto& task : bundle.tasks) {
+    for (const auto& step : task.steps) queries.push_back(&step.query);
+  }
+
+  const auto& oracle = *bundle.oracle;
+  const double t0 = NowSec();
+  std::vector<std::thread> pool;
+  for (std::size_t tid = 0; tid < num_threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      for (std::size_t i = tid; i < queries.size(); i += num_threads) {
+        const std::string& query = *queries[i];
+        if (engine.Lookup(query)) continue;
+        InsertRequest req;
+        req.key = query;
+        req.value = oracle.ExpectedInfo(query);
+        if (req.value.empty()) continue;
+        req.staticity = oracle.Staticity(query);
+        req.initial_frequency = 1;
+        engine.Insert(std::move(req));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall = NowSec() - t0;
+  return wall > 0.0 ? static_cast<double>(queries.size()) / wall : 0.0;
+}
+
+int RunMacroAb(bool csv, std::size_t tasks, std::size_t threads,
+               int repeats) {
+  auto profile = SearchDatasetProfile::Musique();
+  profile.num_tasks = tasks;
+  const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
+
+  HashedEmbedder embedder;
+  embedder.FitIdf(bundle.AllQueries());
+  JudgerModel judger(bundle.oracle.get());
+
+  std::cout << "=== enabled-vs-disabled engine throughput (Musique, "
+            << tasks << " tasks, " << threads << " threads, best of "
+            << repeats << ") ===\n\n";
+
+  // Interleave the arms and keep the best run of each: adjacent runs see
+  // the same thermal/noise environment, and max-of-N is the standard way
+  // to strip scheduler noise from a short throughput measurement.
+  double best_on = 0.0, best_off = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    best_off = std::max(
+        best_off, RunEngineThroughput(bundle, embedder, judger, threads,
+                                      /*telemetry_enabled=*/false));
+    best_on = std::max(
+        best_on, RunEngineThroughput(bundle, embedder, judger, threads,
+                                     /*telemetry_enabled=*/true));
+  }
+
+  const double delta =
+      best_off > 0.0 ? (best_off - best_on) / best_off : 0.0;
+  constexpr double kMaxDelta = 0.05;
+  const bool pass = delta < kMaxDelta;
+
+  TextTable table({"arm", "throughput (req/s)"});
+  table.AddRow({"telemetry disabled", TextTable::Num(best_off)});
+  table.AddRow({"telemetry enabled", TextTable::Num(best_on)});
+  table.Print(std::cout, csv);
+  std::cout << "\noverhead: " << TextTable::Percent(delta) << " (budget "
+            << TextTable::Percent(kMaxDelta) << ") — "
+            << (pass ? "PASS" : "FAIL")
+            << "\nexpected shape: the instrumented path adds a handful of"
+               " relaxed atomic ops per request against an ANN probe +"
+               " judger costing tens of microseconds, so the delta sits"
+               " in the noise floor.\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool csv = flags.GetBool("csv", false);
+  const auto iters =
+      static_cast<std::size_t>(flags.GetInt("iters", 2000000));
+  const auto tasks = static_cast<std::size_t>(flags.GetInt("tasks", 400));
+  const auto threads = static_cast<std::size_t>(flags.GetInt("threads", 8));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+
+  if (!flags.GetBool("macro-only", false)) RunMicro(csv, iters);
+  if (flags.GetBool("micro-only", false)) return 0;
+  return RunMacroAb(csv, tasks, threads, repeats);
+}

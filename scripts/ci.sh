@@ -46,10 +46,16 @@ cmake -B build-ci/asan-ubsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCORTEX_WERROR=ON \
   -DCORTEX_SANITIZE=address,undefined
 cmake --build build-ci/asan-ubsan -j
+# Fast-fail on the concurrency-heavy serving/telemetry tests before the
+# full sweep — they are the likeliest sanitizer tripwires.
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-ci/asan-ubsan --output-on-failure \
+    -R 'Telemetry|ConcurrentEngine|ServerEndToEnd'
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   run_ctest build-ci/asan-ubsan
 
 leg "TSan ctest"
+scripts/tsan.sh -R 'Telemetry|ConcurrentEngine|ServerEndToEnd'
 scripts/tsan.sh
 
 leg "clang-tidy + cortex_lint"

@@ -10,6 +10,11 @@ Rules (see DESIGN.md §7):
   iostream    no std::cout/std::cerr/std::clog or <iostream> in library
               code — libraries return data; tools/, examples/, bench/ own
               the terminal.
+  atomic-counter
+              (src/serve/ and src/core/ only, src/telemetry/ exempt) no
+              ad-hoc std::atomic<integer> stat counters — stats belong on
+              the telemetry registry (telemetry::Counter / Gauge,
+              src/telemetry/metrics.h) so they show up in STATS dumps.
 
 A line may opt out with:  // cortex-lint: allow(<rule>)
 Comments and string literals are stripped before matching, so prose about
@@ -27,11 +32,26 @@ from pathlib import Path
 
 SOURCE_SUFFIXES = {".cc", ".h", ".hpp", ".cpp"}
 
+
+def _in_serving_path(path: Path) -> bool:
+    """True for src/serve/ and src/core/ files, excluding src/telemetry/
+    (which implements the sanctioned counters)."""
+    posix = path.as_posix()
+    if "/telemetry/" in posix or posix.startswith("telemetry/"):
+        return False
+    return any(
+        seg in posix or posix.startswith(seg.lstrip("/"))
+        for seg in ("/serve/", "/core/")
+    )
+
+
+# (rule, pattern, hint, path_predicate) — predicate None means "all files".
 RULES = [
     (
         "assert",
         re.compile(r"(?<![\w])assert\s*\(|#\s*include\s*<(?:cassert|assert\.h)>"),
         "raw assert() / <cassert>: use CHECK/DCHECK from util/check.h",
+        None,
     ),
     (
         "determinism",
@@ -40,6 +60,7 @@ RULES = [
             r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL)\s*\)"
         ),
         "non-deterministic source: use a seeded cortex::Rng / injected clock",
+        None,
     ),
     (
         "iostream",
@@ -47,10 +68,22 @@ RULES = [
             r"std\s*::\s*(?:cout|cerr|clog)\b|#\s*include\s*<iostream>"
         ),
         "iostream write in library code: return data, let tools/ print",
+        None,
+    ),
+    (
+        "atomic-counter",
+        re.compile(
+            r"std\s*::\s*atomic\s*<\s*(?:std\s*::\s*)?"
+            r"(?:u?int(?:8|16|32|64)_t|size_t)\s*>"
+        ),
+        "ad-hoc atomic stat counter in the serving path: publish it on the "
+        "telemetry registry instead (telemetry::Counter / Gauge, "
+        "src/telemetry/metrics.h)",
+        _in_serving_path,
     ),
 ]
 
-ALLOW_RE = re.compile(r"cortex-lint:\s*allow\(([a-z,\s]+)\)")
+ALLOW_RE = re.compile(r"cortex-lint:\s*allow\(([a-z\-,\s]+)\)")
 
 # `static_assert` is a keyword, not the macro; the negative look-behind in
 # the assert rule already skips it via the preceding 'c' of "static_".
@@ -101,8 +134,10 @@ def lint_file(path: Path) -> list[str]:
         m = ALLOW_RE.search(original)
         if m:
             allowed = {r.strip() for r in m.group(1).split(",")}
-        for rule, pattern, hint in RULES:
+        for rule, pattern, hint, applies_to in RULES:
             if rule in allowed:
+                continue
+            if applies_to is not None and not applies_to(path):
                 continue
             if pattern.search(code):
                 violations.append(f"{path}:{lineno}: [{rule}] {hint}")

@@ -1,6 +1,7 @@
 #include "core/semantic_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <vector>
 
@@ -8,6 +9,15 @@
 #include "util/check.h"
 
 namespace cortex {
+
+namespace {
+
+double ElapsedSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 SemanticCache::SemanticCache(const Embedder* embedder,
                              std::unique_ptr<VectorIndex> index,
@@ -31,14 +41,18 @@ SemanticCache::LookupResult SemanticCache::Lookup(std::string_view query,
 }
 
 SemanticCache::LookupResult SemanticCache::Probe(std::string_view query,
-                                                 double now) const {
+                                                 double now,
+                                                 ProbeTiming* timing) const {
   LookupResult result;
+  const auto embed_t0 = std::chrono::steady_clock::now();
   result.query_embedding = sine_.EmbedQuery(query);
+  if (timing != nullptr) timing->embed_seconds = ElapsedSince(embed_t0);
 
   // An SE whose retrieval completes in the future must not serve hits yet
   // (inserts are recorded eagerly with their completion-time timestamps;
   // visibility honours the clock), and expired entries must not serve hits
   // even though this read-only path cannot remove them.
+  SineTiming sine_timing;
   result.sine = sine_.Lookup(query, result.query_embedding,
                              [this, now](SeId id) -> const SemanticElement* {
                                const SemanticElement* se = Get(id);
@@ -46,7 +60,12 @@ SemanticCache::LookupResult SemanticCache::Probe(std::string_view query,
                                               !se->ExpiredAt(now)
                                           ? se
                                           : nullptr;
-                             });
+                             },
+                             timing != nullptr ? &sine_timing : nullptr);
+  if (timing != nullptr) {
+    timing->ann_seconds = sine_timing.ann_seconds;
+    timing->judger_seconds = sine_timing.judger_seconds;
+  }
   if (result.sine.match) {
     const SemanticElement* se = Get(result.sine.match->id);
     CHECK(se != nullptr) << "SINE matched an id absent from the store";
@@ -67,7 +86,8 @@ void SemanticCache::CommitLookup(const LookupResult& result, double now) {
   it->second.last_access = now;
 }
 
-std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now) {
+std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now,
+                                          InsertTiming* timing) {
   const double size_tokens =
       static_cast<double>(ApproxTokenCount(request.value));
   if (size_tokens > options_.capacity_tokens) {
@@ -125,8 +145,10 @@ std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now) {
     RemoveInternal(it->second, /*expired=*/false);
   }
 
+  const auto evict_t0 = std::chrono::steady_clock::now();
   RemoveExpired(now);
   EvictDownTo(options_.capacity_tokens - size_tokens, now);
+  if (timing != nullptr) timing->evict_seconds = ElapsedSince(evict_t0);
 
   SemanticElement se;
   se.id = next_id_++;

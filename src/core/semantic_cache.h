@@ -69,6 +69,21 @@ struct CacheCounters {
   }
 };
 
+// Optional per-stage wall time for a Probe, filled only when the caller
+// passes a non-null pointer.  Plain doubles (std::chrono durations) so
+// core/ stays free of telemetry dependencies; the serving layer converts
+// these to trace spans and histogram samples.
+struct ProbeTiming {
+  double embed_seconds = 0.0;
+  double ann_seconds = 0.0;
+  double judger_seconds = 0.0;
+};
+
+// Optional wall time spent on TTL purge + eviction inside an Insert.
+struct InsertTiming {
+  double evict_seconds = 0.0;
+};
+
 struct InsertRequest {
   std::string key;
   std::string value;
@@ -105,8 +120,10 @@ class SemanticCache {
   // but no mutation at all — no counter updates, no frequency bump, and no
   // lazy TTL purge (expired or not-yet-visible entries are skipped rather
   // than removed).  Safe to run concurrently with other const methods; the
-  // serving layer calls it under a per-shard shared lock.
-  LookupResult Probe(std::string_view query, double now) const;
+  // serving layer calls it under a per-shard shared lock.  `timing`, when
+  // non-null, receives per-stage wall time.
+  LookupResult Probe(std::string_view query, double now,
+                     ProbeTiming* timing = nullptr) const;
 
   // The mutating half: counts the lookup (and hit) and bumps the matched
   // SE's confirmed frequency / last_access.  The SE may have been evicted
@@ -120,8 +137,10 @@ class SemanticCache {
   // exists, the insert dedups onto it instead: the existing SE is
   // refreshed (frequency credited, TTL renewed) and its id returned —
   // re-fetching the same knowledge under a different phrasing must not
-  // spend capacity twice.
-  std::optional<SeId> Insert(InsertRequest request, double now);
+  // spend capacity twice.  `timing`, when non-null, receives the wall time
+  // spent purging + evicting to make room.
+  std::optional<SeId> Insert(InsertRequest request, double now,
+                             InsertTiming* timing = nullptr);
 
   // Re-admits a fully-populated SE (e.g. from a snapshot), preserving its
   // accumulated metadata — frequency, timestamps, expiration — instead of

@@ -1,8 +1,19 @@
 #include "core/sine.h"
 
+#include <chrono>
+
 #include "util/check.h"
 
 namespace cortex {
+
+namespace {
+
+double ElapsedSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 Sine::Sine(const Embedder* embedder, std::unique_ptr<VectorIndex> index,
            const JudgerModel* judger, SineOptions options)
@@ -21,10 +32,13 @@ Vector Sine::EmbedQuery(std::string_view query) const {
 
 SineLookupResult Sine::Lookup(std::string_view query,
                               const Vector& query_embedding,
-                              const SeAccessor& get_se) const {
+                              const SeAccessor& get_se,
+                              SineTiming* timing) const {
   SineLookupResult result;
+  const auto ann_t0 = std::chrono::steady_clock::now();
   const auto candidates =
       index_->Search(query_embedding, options_.top_k, options_.tau_sim);
+  if (timing != nullptr) timing->ann_seconds = ElapsedSince(ann_t0);
   result.ann_candidates = candidates.size();
 
   if (!options_.use_judger) {
@@ -41,6 +55,7 @@ SineLookupResult Sine::Lookup(std::string_view query,
   // Candidates arrive best-first; validation short-circuits on the first
   // acceptance.  Judging every survivor would multiply judger load (and
   // with it the latency of every hit) for marginal precision gain.
+  const auto judger_t0 = std::chrono::steady_clock::now();
   for (const auto& c : candidates) {
     const SemanticElement* se = get_se(c.id);
     if (se == nullptr) continue;
@@ -57,6 +72,7 @@ SineLookupResult Sine::Lookup(std::string_view query,
       break;
     }
   }
+  if (timing != nullptr) timing->judger_seconds = ElapsedSince(judger_t0);
   return result;
 }
 

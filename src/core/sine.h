@@ -61,6 +61,14 @@ struct SineLookupResult {
   std::size_t judger_calls = 0;
 };
 
+// Optional per-stage wall time, filled only when a caller passes a
+// non-null pointer (zero overhead otherwise).  Plain std::chrono so core/
+// carries no telemetry dependency; the serving layer converts to spans.
+struct SineTiming {
+  double ann_seconds = 0.0;     // stage-1 ANN search
+  double judger_seconds = 0.0;  // stage-2 judger validation
+};
+
 class Sine {
  public:
   using SeAccessor = std::function<const SemanticElement*(SeId)>;
@@ -75,9 +83,11 @@ class Sine {
 
   // Runs the two-stage retrieval.  `get_se` resolves candidate ids to SEs
   // (returning nullptr skips the candidate — e.g. concurrently evicted).
+  // `timing`, when non-null, receives per-stage wall time.
   SineLookupResult Lookup(std::string_view query,
                           const Vector& query_embedding,
-                          const SeAccessor& get_se) const;
+                          const SeAccessor& get_se,
+                          SineTiming* timing = nullptr) const;
 
   void Insert(const SemanticElement& se);
   void Remove(SeId id);

@@ -21,13 +21,17 @@ void TokenBucket::Refill(double now) noexcept {
 
 bool TokenBucket::TryAcquire(double now) noexcept {
   Refill(now);
+  bool acquired = false;
   if (tokens_ >= 1.0) {
     tokens_ -= 1.0;
     ++accepted_;
-    return true;
+    acquired = true;
+  } else {
+    ++rejected_;
+    if (throttled_counter_ != nullptr) throttled_counter_->Inc();
   }
-  ++rejected_;
-  return false;
+  if (tokens_gauge_ != nullptr) tokens_gauge_->Set(tokens_);
+  return acquired;
 }
 
 double TokenBucket::NextAvailable(double now) const noexcept {

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "telemetry/metrics.h"
+
 namespace cortex {
 
 class TokenBucket {
@@ -34,6 +36,16 @@ class TokenBucket {
   std::uint64_t accepted() const noexcept { return accepted_; }
   std::uint64_t rejected() const noexcept { return rejected_; }
 
+  // Optional live telemetry: `tokens` mirrors the bucket level after each
+  // TryAcquire, `throttled` counts rejections.  Either may be null.  Called
+  // under the same external lock as TryAcquire; the instruments themselves
+  // are thread-safe.
+  void BindTelemetry(telemetry::Gauge* tokens,
+                     telemetry::Counter* throttled) noexcept {
+    tokens_gauge_ = tokens;
+    throttled_counter_ = throttled;
+  }
+
  private:
   void Refill(double now) noexcept;
 
@@ -43,6 +55,8 @@ class TokenBucket {
   double last_refill_ = 0.0;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  telemetry::Gauge* tokens_gauge_ = nullptr;
+  telemetry::Counter* throttled_counter_ = nullptr;
 };
 
 // An "unlimited" limiter for services without quotas.

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <limits>
+#include <string>
 
 #include "util/check.h"
 
@@ -28,6 +29,36 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
   CHECK_GT(options_.num_shards, 0u);
   clock_ = options_.clock ? options_.clock : WallClockSinceNow();
 
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    registry_owned_ = std::make_unique<telemetry::MetricRegistry>();
+    registry_ = registry_owned_.get();
+  }
+  lookups_ = registry_->GetCounter("cortex_engine_lookups");
+  hits_ = registry_->GetCounter("cortex_engine_hits");
+  misses_ = registry_->GetCounter("cortex_engine_misses");
+  judger_rejects_ = registry_->GetCounter("cortex_engine_judger_rejects");
+  inserts_ = registry_->GetCounter("cortex_engine_inserts");
+  insert_rejects_ = registry_->GetCounter("cortex_engine_insert_rejects");
+  expired_removed_ = registry_->GetCounter("cortex_engine_expired_removed");
+  housekeeping_runs_ =
+      registry_->GetCounter("cortex_engine_housekeeping_runs");
+  recalibrations_ = registry_->GetCounter("cortex_engine_recalibrations");
+  probe_seconds_ = registry_->GetHistogram("cortex_engine_probe_seconds");
+  commit_seconds_ = registry_->GetHistogram("cortex_engine_commit_seconds");
+  insert_seconds_ = registry_->GetHistogram("cortex_engine_insert_seconds");
+  cache_evictions_ = registry_->GetCounter("cortex_cache_evictions");
+  cache_ttl_expiries_ = registry_->GetCounter("cortex_cache_ttl_expiries");
+  cache_dedup_refreshes_ =
+      registry_->GetCounter("cortex_cache_dedup_refreshes");
+  cache_admission_rejects_ =
+      registry_->GetCounter("cortex_cache_admission_rejects");
+  cache_rejected_too_large_ =
+      registry_->GetCounter("cortex_cache_rejected_too_large");
+  cache_tokens_resident_ = registry_->GetGauge("cortex_cache_tokens_resident");
+  cache_entries_ = registry_->GetGauge("cortex_cache_entries");
+
   SemanticCacheOptions per_shard = options_.cache;
   per_shard.capacity_tokens = options_.cache.capacity_tokens /
                               static_cast<double>(options_.num_shards);
@@ -39,6 +70,13 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
     shards_.push_back(std::make_unique<Shard>(
         std::move(cache), options_.recalibration,
         options_.recalibration_seed + i));
+    const std::string prefix =
+        "cortex_engine_shard" + std::to_string(i) + "_";
+    Shard& shard = *shards_.back();
+    shard.hits = registry_->GetCounter(prefix + "hits");
+    shard.misses = registry_->GetCounter(prefix + "misses");
+    shard.judger_rejects = registry_->GetCounter(prefix + "judger_rejects");
+    shard.evictions = registry_->GetCounter(prefix + "evictions");
   }
 
   if (options_.housekeeping_interval_sec > 0.0) {
@@ -61,18 +99,55 @@ std::size_t ConcurrentShardedEngine::ShardFor(std::string_view query) const {
   return RouteToShard(*embedder_, tokenizer_, query, shards_.size());
 }
 
+void ConcurrentShardedEngine::ApplyCacheDeltas(Shard& shard,
+                                               const CacheCounters& before,
+                                               const CacheCounters& after,
+                                               double usage_delta,
+                                               double entries_delta) {
+  const std::uint64_t evictions = after.evictions - before.evictions;
+  if (evictions > 0) {
+    cache_evictions_->Inc(evictions);
+    shard.evictions->Inc(evictions);
+  }
+  if (after.expirations > before.expirations) {
+    cache_ttl_expiries_->Inc(after.expirations - before.expirations);
+  }
+  if (after.dedup_refreshes > before.dedup_refreshes) {
+    cache_dedup_refreshes_->Inc(after.dedup_refreshes -
+                                before.dedup_refreshes);
+  }
+  if (after.admission_rejects > before.admission_rejects) {
+    cache_admission_rejects_->Inc(after.admission_rejects -
+                                  before.admission_rejects);
+  }
+  if (after.rejected_too_large > before.rejected_too_large) {
+    cache_rejected_too_large_->Inc(after.rejected_too_large -
+                                   before.rejected_too_large);
+  }
+  if (usage_delta != 0.0) cache_tokens_resident_->Add(usage_delta);
+  if (entries_delta != 0.0) cache_entries_->Add(entries_delta);
+}
+
 std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
-    std::string_view query) {
-  Shard& shard = *shards_[ShardFor(query)];
+    std::string_view query, telemetry::RequestTrace* trace) {
+  const std::size_t shard_idx = ShardFor(query);
+  Shard& shard = *shards_[shard_idx];
   const double now = clock_();
+  if (trace != nullptr) trace->shard = static_cast<std::uint32_t>(shard_idx);
 
   // Probe (ANN search + judger — the expensive part) runs under the shared
-  // lock, so lookups on the same shard proceed in parallel.
+  // lock, so lookups on the same shard proceed in parallel.  Sub-phase
+  // timing is only collected when a trace wants it.
+  ProbeTiming probe_timing;
   SemanticCache::LookupResult result;
+  const double probe_t0 = telemetry::WallSeconds();
   {
     ReaderLock lock(shard.mu);
-    result = shard.cache->Probe(query, now);
+    result = shard.cache->Probe(query, now,
+                                trace != nullptr ? &probe_timing : nullptr);
   }
+  const double commit_t0 = telemetry::WallSeconds();
+  probe_seconds_->Observe(commit_t0 - probe_t0);
 
   // Commit (counters, frequency bump, judgment log) is cheap; upgrade to
   // the exclusive lock.  The matched SE may have been evicted in between —
@@ -90,21 +165,81 @@ std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
       }
     }
   }
+  const double commit_end = telemetry::WallSeconds();
+  commit_seconds_->Observe(commit_end - commit_t0);
 
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  if (result.hit) hits_.fetch_add(1, std::memory_order_relaxed);
+  lookups_->Inc();
+  if (result.hit) {
+    hits_->Inc();
+    shard.hits->Inc();
+  } else {
+    misses_->Inc();
+    shard.misses->Inc();
+    // A judger reject is a miss where stage 1 surfaced candidates but
+    // stage 2 turned every one of them down.
+    if (!result.sine.judged.empty()) {
+      judger_rejects_->Inc();
+      shard.judger_rejects->Inc();
+    }
+  }
+
+  if (trace != nullptr) {
+    // Probe sub-phases run back-to-back inside the shared-lock section;
+    // reconstruct their starts by accumulation from the probe start.
+    double t = probe_t0;
+    trace->AddSpan(telemetry::TracePhase::kEmbed, t,
+                   probe_timing.embed_seconds);
+    t += probe_timing.embed_seconds;
+    trace->AddSpan(telemetry::TracePhase::kAnnProbe, t,
+                   probe_timing.ann_seconds);
+    t += probe_timing.ann_seconds;
+    if (probe_timing.judger_seconds > 0.0) {
+      trace->AddSpan(telemetry::TracePhase::kJudger, t,
+                     probe_timing.judger_seconds);
+    }
+    trace->AddSpan(telemetry::TracePhase::kCommit, commit_t0,
+                   commit_end - commit_t0);
+  }
   return result.hit;
 }
 
-std::optional<SeId> ConcurrentShardedEngine::Insert(InsertRequest request) {
-  Shard& shard = *shards_[ShardFor(request.key)];
+std::optional<SeId> ConcurrentShardedEngine::Insert(
+    InsertRequest request, telemetry::RequestTrace* trace) {
+  const std::size_t shard_idx = ShardFor(request.key);
+  Shard& shard = *shards_[shard_idx];
   const double now = clock_();
+  if (trace != nullptr) trace->shard = static_cast<std::uint32_t>(shard_idx);
+
+  InsertTiming timing;
+  CacheCounters before, after;
+  double usage_delta = 0.0;
+  double entries_delta = 0.0;
   std::optional<SeId> id;
+  const double insert_t0 = telemetry::WallSeconds();
   {
     WriterLock lock(shard.mu);
-    id = shard.cache->Insert(std::move(request), now);
+    before = shard.cache->counters();
+    const double usage_before = shard.cache->usage_tokens();
+    const auto size_before = shard.cache->size();
+    id = shard.cache->Insert(std::move(request), now, &timing);
+    after = shard.cache->counters();
+    usage_delta = shard.cache->usage_tokens() - usage_before;
+    entries_delta = static_cast<double>(shard.cache->size()) -
+                    static_cast<double>(size_before);
   }
-  (id ? inserts_ : insert_rejects_).fetch_add(1, std::memory_order_relaxed);
+  const double insert_end = telemetry::WallSeconds();
+  insert_seconds_->Observe(insert_end - insert_t0);
+  ApplyCacheDeltas(shard, before, after, usage_delta, entries_delta);
+  (id ? inserts_ : insert_rejects_)->Inc();
+
+  if (trace != nullptr) {
+    trace->AddSpan(telemetry::TracePhase::kInsert, insert_t0,
+                   insert_end - insert_t0);
+    if (timing.evict_seconds > 0.0) {
+      trace->AddSpan(telemetry::TracePhase::kEviction, insert_t0,
+                     timing.evict_seconds);
+    }
+  }
   return id;
 }
 
@@ -118,10 +253,23 @@ std::size_t ConcurrentShardedEngine::RemoveExpired() {
   const double now = clock_();
   std::size_t removed = 0;
   for (auto& shard : shards_) {
-    WriterLock lock(shard->mu);
-    removed += shard->cache->RemoveExpired(now);
+    CacheCounters before, after;
+    double usage_delta = 0.0;
+    double entries_delta = 0.0;
+    {
+      WriterLock lock(shard->mu);
+      before = shard->cache->counters();
+      const double usage_before = shard->cache->usage_tokens();
+      const auto size_before = shard->cache->size();
+      removed += shard->cache->RemoveExpired(now);
+      after = shard->cache->counters();
+      usage_delta = shard->cache->usage_tokens() - usage_before;
+      entries_delta = static_cast<double>(shard->cache->size()) -
+                      static_cast<double>(size_before);
+    }
+    ApplyCacheDeltas(*shard, before, after, usage_delta, entries_delta);
   }
-  expired_removed_.fetch_add(removed, std::memory_order_relaxed);
+  expired_removed_->Inc(removed);
   return removed;
 }
 
@@ -140,7 +288,7 @@ bool ConcurrentShardedEngine::RecalibrateShard(Shard& shard) {
   if (!fetch) return false;
   WriterLock lock(shard.mu);
   const RecalibrationRound round = shard.recalibrator.RunRound(fetch, shard.rng);
-  recalibrations_.fetch_add(1, std::memory_order_relaxed);
+  recalibrations_->Inc();
   if (round.new_tau) {
     shard.cache->sine().set_tau_lsm(*round.new_tau);
     return true;
@@ -174,7 +322,7 @@ void ConcurrentShardedEngine::HousekeepingLoop() {
     if (now - last_purge >= options_.housekeeping_interval_sec) {
       last_purge = now;
       RemoveExpired();
-      housekeeping_runs_.fetch_add(1, std::memory_order_relaxed);
+      housekeeping_runs_->Inc();
     }
     if (options_.recalibration_interval_sec > 0.0 &&
         now - last_recal >= options_.recalibration_interval_sec) {
@@ -187,13 +335,13 @@ void ConcurrentShardedEngine::HousekeepingLoop() {
 
 ConcurrentEngineStats ConcurrentShardedEngine::Stats() const {
   ConcurrentEngineStats s;
-  s.lookups = lookups_.load(std::memory_order_relaxed);
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.inserts = inserts_.load(std::memory_order_relaxed);
-  s.insert_rejects = insert_rejects_.load(std::memory_order_relaxed);
-  s.expired_removed = expired_removed_.load(std::memory_order_relaxed);
-  s.housekeeping_runs = housekeeping_runs_.load(std::memory_order_relaxed);
-  s.recalibrations = recalibrations_.load(std::memory_order_relaxed);
+  s.lookups = lookups_->Value();
+  s.hits = hits_->Value();
+  s.inserts = inserts_->Value();
+  s.insert_rejects = insert_rejects_->Value();
+  s.expired_removed = expired_removed_->Value();
+  s.housekeeping_runs = housekeeping_runs_->Value();
+  s.recalibrations = recalibrations_->Value();
   return s;
 }
 

@@ -6,7 +6,10 @@
 //     expensive read-only probe (ANN search + judger) and upgrade to the
 //     exclusive lock only for the cheap commit (counters, frequency bump);
 //     insert/evict/expire take the exclusive lock outright;
-//   * engine-wide atomic counters, readable without any lock;
+//   * live telemetry (DESIGN.md §8): every request updates counters,
+//     gauges, and latency histograms on a MetricRegistry — instrument
+//     handles are resolved once at construction, so the hot path is pure
+//     relaxed atomics and never touches the registry mutex or any lock;
 //   * a background housekeeping thread that periodically runs RemoveExpired
 //     on every shard and — when ground truth is reachable — per-shard
 //     threshold recalibration ticks (Algorithm 1, ported from CortexEngine).
@@ -19,7 +22,6 @@
 // snapshots, not a global atomic view).
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -34,6 +36,8 @@
 #include "core/semantic_cache.h"
 #include "core/sharded_cache.h"
 #include "embedding/hashed_embedder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/ranked_mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -60,11 +64,17 @@ struct ConcurrentEngineOptions {
 
   // Engine clock in seconds.  Defaults to wall-clock seconds since engine
   // construction; tests inject a fake.  Must be monotonic non-decreasing
-  // and safe to call from any thread.
+  // and safe to call from any thread.  Telemetry timing (histograms,
+  // spans) deliberately ignores this clock and uses real wall time.
   std::function<double()> clock;
+
+  // Metric registry to publish into; must outlive the engine.  When null
+  // the engine owns a private registry (reachable via registry()).
+  telemetry::MetricRegistry* registry = nullptr;
 };
 
-// Lock-free snapshot of the engine-wide atomics.
+// Lock-free snapshot of the engine-wide counters (a thin view over the
+// registry's cortex_engine_* instruments).
 struct ConcurrentEngineStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
@@ -88,12 +98,17 @@ class ConcurrentShardedEngine {
   ConcurrentShardedEngine(const ConcurrentShardedEngine&) = delete;
   ConcurrentShardedEngine& operator=(const ConcurrentShardedEngine&) = delete;
 
-  // Two-stage semantic lookup at the engine clock's now.
-  std::optional<CacheHit> Lookup(std::string_view query);
+  // Two-stage semantic lookup at the engine clock's now.  `trace`, when
+  // non-null, receives embed / ANN probe / judger / commit spans and the
+  // shard id.
+  std::optional<CacheHit> Lookup(std::string_view query,
+                                 telemetry::RequestTrace* trace = nullptr);
 
   // Insert knowledge fetched by a client on a miss.  Returns the SE id, or
   // nullopt when rejected (value too large, admission doorkeeper).
-  std::optional<SeId> Insert(InsertRequest request);
+  // `trace`, when non-null, receives insert / eviction spans.
+  std::optional<SeId> Insert(InsertRequest request,
+                             telemetry::RequestTrace* trace = nullptr);
 
   bool ContainsKey(std::string_view key) const;
 
@@ -116,6 +131,10 @@ class ConcurrentShardedEngine {
   std::size_t num_shards() const noexcept { return shards_.size(); }
   std::size_t ShardFor(std::string_view query) const;
 
+  // The registry this engine publishes into (the injected one, or the
+  // engine-owned default).  Valid for the engine's lifetime.
+  telemetry::MetricRegistry* registry() const noexcept { return registry_; }
+
   ConcurrentEngineStats Stats() const;
 
   // Shard-by-shard locked aggregates (consistent per shard, not globally).
@@ -134,6 +153,13 @@ class ConcurrentShardedEngine {
     Recalibrator recalibrator GUARDED_BY(mu);
     Rng rng GUARDED_BY(mu);
 
+    // Per-shard registry handles (cortex_engine_shard<i>_*).  The
+    // instruments are internally thread-safe; no lock needed to update.
+    telemetry::Counter* hits = nullptr;
+    telemetry::Counter* misses = nullptr;
+    telemetry::Counter* judger_rejects = nullptr;
+    telemetry::Counter* evictions = nullptr;
+
     Shard(std::unique_ptr<SemanticCache> c, RecalibratorOptions ropts,
           std::uint64_t seed)
         : cache(std::move(c)), recalibrator(ropts), rng(seed) {}
@@ -145,19 +171,46 @@ class ConcurrentShardedEngine {
   void HousekeepingLoop() NO_THREAD_SAFETY_ANALYSIS;
   bool RecalibrateShard(Shard& shard) EXCLUDES(fetch_gt_mu_);
 
+  // Publishes what changed inside a shard mutation (insert / purge):
+  // cache-layer counter deltas plus resident-size gauge deltas.
+  void ApplyCacheDeltas(Shard& shard, const CacheCounters& before,
+                        const CacheCounters& after, double usage_delta,
+                        double entries_delta);
+
   const HashedEmbedder* embedder_;
   Tokenizer tokenizer_;
   ConcurrentEngineOptions options_;
   std::function<double()> clock_;
-  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> lookups_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> inserts_{0};
-  std::atomic<std::uint64_t> insert_rejects_{0};
-  std::atomic<std::uint64_t> expired_removed_{0};
-  std::atomic<std::uint64_t> housekeeping_runs_{0};
-  std::atomic<std::uint64_t> recalibrations_{0};
+  std::unique_ptr<telemetry::MetricRegistry> registry_owned_;
+  telemetry::MetricRegistry* registry_ = nullptr;
+
+  // Engine-layer instruments (cortex_engine_*).
+  telemetry::Counter* lookups_ = nullptr;
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* judger_rejects_ = nullptr;
+  telemetry::Counter* inserts_ = nullptr;
+  telemetry::Counter* insert_rejects_ = nullptr;
+  telemetry::Counter* expired_removed_ = nullptr;
+  telemetry::Counter* housekeeping_runs_ = nullptr;
+  telemetry::Counter* recalibrations_ = nullptr;
+  telemetry::AtomicHistogram* probe_seconds_ = nullptr;
+  telemetry::AtomicHistogram* commit_seconds_ = nullptr;
+  telemetry::AtomicHistogram* insert_seconds_ = nullptr;
+
+  // Cache-layer instruments (cortex_cache_*), fed by before/after deltas
+  // of each shard's CacheCounters so SemanticCache itself stays
+  // telemetry-free.
+  telemetry::Counter* cache_evictions_ = nullptr;
+  telemetry::Counter* cache_ttl_expiries_ = nullptr;
+  telemetry::Counter* cache_dedup_refreshes_ = nullptr;
+  telemetry::Counter* cache_admission_rejects_ = nullptr;
+  telemetry::Counter* cache_rejected_too_large_ = nullptr;
+  telemetry::Gauge* cache_tokens_resident_ = nullptr;
+  telemetry::Gauge* cache_entries_ = nullptr;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   RankedMutex fetch_gt_mu_{LockRank::kEngineGroundTruth,
                            "engine.fetch_gt_mu"};

@@ -95,6 +95,8 @@ std::string EncodePayload(const Request& request) {
              request.key + "\t" + request.value;
     case RequestType::kStats:
       return "STATS";
+    case RequestType::kDumpTrace:
+      return "DUMPTRACE\t" + std::to_string(request.max_traces);
     case RequestType::kPing:
       return "PING";
   }
@@ -120,6 +122,16 @@ std::optional<Request> ParseRequest(std::string_view payload,
   }
   if (verb == "STATS") {
     request.type = RequestType::kStats;
+    return request;
+  }
+  if (verb == "DUMPTRACE") {
+    request.type = RequestType::kDumpTrace;
+    // Bare DUMPTRACE keeps the default budget.
+    if (tab != std::string_view::npos &&
+        !ParseU64(rest, &request.max_traces)) {
+      SetError(error, "DUMPTRACE needs a numeric max_traces");
+      return std::nullopt;
+    }
     return request;
   }
   if (verb == "LOOKUP") {
@@ -176,6 +188,9 @@ std::string EncodePayload(const Response& response) {
       }
       return out;
     }
+    case ResponseType::kTraces:
+      return "TRACES\t" + std::to_string(response.id) + "\t" +
+             response.message;
     case ResponseType::kBusy:
       return "BUSY";
     case ResponseType::kError:
@@ -248,6 +263,21 @@ std::optional<Response> ParseResponse(std::string_view payload,
       }
       response.stats.emplace_back(std::string(pair.substr(0, eq)),
                                   std::string(pair.substr(eq + 1)));
+    }
+    return response;
+  }
+  if (verb == "TRACES") {
+    // Tolerate a count-only frame ("TRACES\t0"): the text field is simply
+    // empty.
+    const std::size_t count_tab = rest.find('\t');
+    const std::string_view count = rest.substr(0, count_tab);
+    if (!ParseU64(count, &response.id)) {
+      SetError(error, "malformed TRACES");
+      return std::nullopt;
+    }
+    response.type = ResponseType::kTraces;
+    if (count_tab != std::string_view::npos) {
+      response.message = std::string(rest.substr(count_tab + 1));
     }
     return response;
   }

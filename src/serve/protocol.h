@@ -13,6 +13,7 @@
 //   request  = "LOOKUP" TAB query
 //            | "INSERT" TAB staticity TAB key TAB value
 //            | "STATS"
+//            | "DUMPTRACE" [TAB max_traces]
 //            | "PING"
 //   response = "HIT" TAB similarity TAB judger_score TAB matched_key TAB value
 //            | "MISS"
@@ -20,6 +21,9 @@
 //            | "REJECT"                  ; insert refused (capacity/admission)
 //            | "PONG"
 //            | "STATS" *(TAB key "=" value)
+//            | "TRACES" TAB count TAB text  ; flight-recorder dump (text is
+//                                           ; the last field: may hold tabs
+//                                           ; and newlines)
 //            | "BUSY"                    ; overload backpressure — retry later
 //            | "ERR" TAB message
 #pragma once
@@ -66,7 +70,7 @@ class FrameDecoder {
 // ---------------------------------------------------------------------------
 // Requests
 
-enum class RequestType { kLookup, kInsert, kStats, kPing };
+enum class RequestType { kLookup, kInsert, kStats, kDumpTrace, kPing };
 
 struct Request {
   RequestType type = RequestType::kPing;
@@ -74,6 +78,7 @@ struct Request {
   std::string key;        // INSERT
   std::string value;      // INSERT
   double staticity = 5.0; // INSERT (paper's 1-10 scale)
+  std::uint64_t max_traces = 16;  // DUMPTRACE
 };
 
 std::string EncodePayload(const Request& request);
@@ -92,6 +97,7 @@ enum class ResponseType {
   kReject,
   kPong,
   kStats,
+  kTraces,
   kBusy,
   kError,
 };
@@ -103,11 +109,11 @@ struct Response {
   std::string value;
   double similarity = 0.0;
   double judger_score = 0.0;
-  // kOk
+  // kOk: the inserted SE id.  kTraces: the trace count.
   std::uint64_t id = 0;
   // kStats
   std::vector<std::pair<std::string, std::string>> stats;
-  // kError
+  // kError: the reason.  kTraces: rendered flight-recorder text.
   std::string message;
 };
 

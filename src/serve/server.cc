@@ -32,6 +32,43 @@ Response MakeResponse(ResponseType type) {
   return r;
 }
 
+telemetry::TraceOp TraceOpFor(RequestType type) {
+  switch (type) {
+    case RequestType::kLookup:
+      return telemetry::TraceOp::kLookup;
+    case RequestType::kInsert:
+      return telemetry::TraceOp::kInsert;
+    case RequestType::kStats:
+      return telemetry::TraceOp::kStats;
+    case RequestType::kDumpTrace:
+      return telemetry::TraceOp::kDumpTrace;
+    case RequestType::kPing:
+      return telemetry::TraceOp::kPing;
+  }
+  return telemetry::TraceOp::kOther;
+}
+
+telemetry::TraceOutcome TraceOutcomeFor(ResponseType type) {
+  switch (type) {
+    case ResponseType::kHit:
+      return telemetry::TraceOutcome::kHit;
+    case ResponseType::kMiss:
+      return telemetry::TraceOutcome::kMiss;
+    case ResponseType::kOk:
+    case ResponseType::kPong:
+    case ResponseType::kStats:
+    case ResponseType::kTraces:
+      return telemetry::TraceOutcome::kOk;
+    case ResponseType::kReject:
+      return telemetry::TraceOutcome::kReject;
+    case ResponseType::kBusy:
+      return telemetry::TraceOutcome::kBusy;
+    case ResponseType::kError:
+      return telemetry::TraceOutcome::kError;
+  }
+  return telemetry::TraceOutcome::kUnknown;
+}
+
 // Writes the whole buffer, tolerating partial writes; false on error.
 bool SendAll(int fd, std::string_view data) {
   while (!data.empty()) {
@@ -60,7 +97,26 @@ CortexServer::CortexServer(ConcurrentShardedEngine* engine,
       bucket_(options_.max_requests_per_sec > 0.0
                   ? TokenBucket(options_.max_requests_per_sec,
                                 options_.rate_burst)
-                  : UnlimitedBucket()) {}
+                  : UnlimitedBucket()),
+      recorder_(options_.flight_recorder_capacity) {
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : engine_->registry();
+  connections_accepted_ =
+      registry_->GetCounter("cortex_server_connections_accepted");
+  connections_rejected_ =
+      registry_->GetCounter("cortex_server_connections_rejected");
+  requests_served_ = registry_->GetCounter("cortex_server_requests_served");
+  requests_busy_ = registry_->GetCounter("cortex_server_requests_busy");
+  protocol_errors_ = registry_->GetCounter("cortex_server_protocol_errors");
+  queue_depth_ = registry_->GetGauge("cortex_server_queue_depth");
+  request_seconds_ =
+      registry_->GetHistogram("cortex_server_request_seconds");
+  {
+    MutexLock lock(bucket_mu_);
+    bucket_.BindTelemetry(registry_->GetGauge("cortex_ratelimit_tokens"),
+                          registry_->GetCounter("cortex_ratelimit_throttled"));
+  }
+}
 
 CortexServer::~CortexServer() { Stop(); }
 
@@ -170,7 +226,7 @@ void CortexServer::AcceptLoop() {
     if (rc <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_->Inc();
     bool rejected = false;
     {
       MutexLock lock(queue_mu_);
@@ -178,11 +234,12 @@ void CortexServer::AcceptLoop() {
         rejected = true;
       } else {
         conn_queue_.push_back(fd);
+        queue_depth_->Set(static_cast<double>(conn_queue_.size()));
       }
     }
     if (rejected) {
       // Connection-level backpressure: one BUSY frame, then disconnect.
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      connections_rejected_->Inc();
       SendOneFrame(fd, MakeResponse(ResponseType::kBusy));
       ::close(fd);
     } else {
@@ -203,6 +260,7 @@ void CortexServer::WorkerLoop() {
       if (stopping_.load(std::memory_order_acquire)) return;
       fd = conn_queue_.front();
       conn_queue_.pop_front();
+      queue_depth_->Set(static_cast<double>(conn_queue_.size()));
     }
     ServeConnection(fd);
   }
@@ -216,6 +274,7 @@ void CortexServer::ServeConnection(int fd) {
   struct PendingFrame {
     bool overloaded = false;
     std::string payload;
+    double decoded_at = 0.0;  // WallSeconds() — anchors the queue-wait span
   };
   std::deque<PendingFrame> pending;
   std::string outbuf;
@@ -236,7 +295,7 @@ void CortexServer::ServeConnection(int fd) {
     if (n == 0) {
       // Peer closed.  Mid-frame bytes mean a truncated frame.
       if (decoder.MidFrame()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_->Inc();
       }
       break;
     }
@@ -252,7 +311,7 @@ void CortexServer::ServeConnection(int fd) {
       const FrameDecoder::Status st = decoder.Next(&payload);
       if (st == FrameDecoder::Status::kNeedMore) break;
       if (st == FrameDecoder::Status::kOversized) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_->Inc();
         Response err = MakeResponse(ResponseType::kError);
         err.message = "frame exceeds " +
                       std::to_string(options_.max_frame_bytes) + " bytes";
@@ -262,36 +321,51 @@ void CortexServer::ServeConnection(int fd) {
       }
       if (pending.size() >= options_.max_pipeline) {
         // Request-level backpressure: the per-connection queue is full.
-        pending.push_back({true, {}});
+        pending.push_back({true, {}, 0.0});
         continue;
       }
-      pending.push_back({false, std::move(payload)});
+      pending.push_back({false, std::move(payload), telemetry::WallSeconds()});
     }
 
     while (!pending.empty()) {
       const PendingFrame frame = std::move(pending.front());
       pending.pop_front();
       if (frame.overloaded) {
-        requests_busy_.fetch_add(1, std::memory_order_relaxed);
-        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        requests_busy_->Inc();
+        requests_served_->Inc();
         AppendFrame(EncodePayload(MakeResponse(ResponseType::kBusy)), outbuf);
         continue;
       }
+      telemetry::RequestTrace trace;
+      trace.start = frame.decoded_at;
+      const double exec_t0 = telemetry::WallSeconds();
+      trace.AddSpan(telemetry::TracePhase::kQueueWait, frame.decoded_at,
+                    exec_t0 - frame.decoded_at);
       std::string parse_error;
       Response response;
       if (const auto request = ParseRequest(frame.payload, &parse_error)) {
+        trace.op = TraceOpFor(request->type);
+        if (request->type == RequestType::kLookup) {
+          trace.SetQuery(request->query);
+        } else if (request->type == RequestType::kInsert) {
+          trace.SetQuery(request->key);
+        }
         if (AdmitRequest(*request)) {
-          response = Execute(*request);
+          response = Execute(*request, &trace);
         } else {
-          requests_busy_.fetch_add(1, std::memory_order_relaxed);
+          requests_busy_->Inc();
           response = MakeResponse(ResponseType::kBusy);
         }
       } else {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_->Inc();
         response = MakeResponse(ResponseType::kError);
         response.message = parse_error;
       }
-      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      requests_served_->Inc();
+      trace.outcome = TraceOutcomeFor(response.type);
+      trace.total = telemetry::WallSeconds() - trace.start;
+      request_seconds_->Observe(trace.total);
+      recorder_.Record(trace);
       AppendFrame(EncodePayload(response), outbuf);
     }
 
@@ -310,14 +384,17 @@ bool CortexServer::AdmitRequest(const Request& request) {
   return bucket_.TryAcquire(engine_->Now());
 }
 
-Response CortexServer::Execute(const Request& request) {
+Response CortexServer::Execute(const Request& request,
+                               telemetry::RequestTrace* trace) {
   switch (request.type) {
     case RequestType::kPing:
       return MakeResponse(ResponseType::kPong);
     case RequestType::kStats:
       return BuildStats();
+    case RequestType::kDumpTrace:
+      return BuildTraces(request.max_traces);
     case RequestType::kLookup: {
-      const auto hit = engine_->Lookup(request.query);
+      const auto hit = engine_->Lookup(request.query, trace);
       if (!hit) return MakeResponse(ResponseType::kMiss);
       Response r = MakeResponse(ResponseType::kHit);
       r.matched_key = hit->matched_key;
@@ -332,7 +409,7 @@ Response CortexServer::Execute(const Request& request) {
       insert.value = request.value;
       insert.staticity = request.staticity;
       insert.initial_frequency = 1;  // a demanded fetch has one confirmed use
-      const auto id = engine_->Insert(std::move(insert));
+      const auto id = engine_->Insert(std::move(insert), trace);
       if (!id) return MakeResponse(ResponseType::kReject);
       Response r = MakeResponse(ResponseType::kOk);
       r.id = *id;
@@ -370,18 +447,33 @@ Response CortexServer::BuildStats() {
       {"requests_busy", std::to_string(server.requests_busy)},
       {"protocol_errors", std::to_string(server.protocol_errors)},
   };
+  // The full registry rides behind the legacy keys: every cortex_* metric
+  // as flat key=value pairs (histograms expanded to _count/_mean/_p50/
+  // _p99/_max), plus flight-recorder occupancy.
+  registry_->Snapshot().AppendKeyValues(&r.stats);
+  r.stats.emplace_back("flight_recorder_recorded",
+                       std::to_string(recorder_.recorded()));
+  r.stats.emplace_back("flight_recorder_dropped",
+                       std::to_string(recorder_.dropped()));
+  return r;
+}
+
+Response CortexServer::BuildTraces(std::uint64_t max_traces) {
+  const auto traces =
+      recorder_.Snapshot(static_cast<std::size_t>(max_traces));
+  Response r = MakeResponse(ResponseType::kTraces);
+  r.id = traces.size();
+  r.message = telemetry::RenderTraceText(traces);
   return r;
 }
 
 ServerStats CortexServer::stats() const {
   ServerStats s;
-  s.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  s.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
-  s.requests_served = requests_served_.load(std::memory_order_relaxed);
-  s.requests_busy = requests_busy_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_accepted_->Value();
+  s.connections_rejected = connections_rejected_->Value();
+  s.requests_served = requests_served_->Value();
+  s.requests_busy = requests_busy_->Value();
+  s.protocol_errors = protocol_errors_->Value();
   return s;
 }
 

@@ -28,6 +28,8 @@
 #include "net/rate_limiter.h"
 #include "serve/concurrent_engine.h"
 #include "serve/protocol.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/ranked_mutex.h"
 #include "util/thread_annotations.h"
 
@@ -50,8 +52,19 @@ struct ServerOptions {
   // bucket.  PING/STATS are never rate limited.
   double max_requests_per_sec = 0.0;
   double rate_burst = 128.0;
+
+  // Flight recorder: how many completed request traces to retain for
+  // DUMPTRACE.
+  std::size_t flight_recorder_capacity = 256;
+  // Registry to publish cortex_server_* instruments into; when null the
+  // server shares the engine's registry (the usual arrangement — one
+  // registry, one STATS dump).
+  telemetry::MetricRegistry* registry = nullptr;
 };
 
+// Thin snapshot view over the registry's cortex_server_* counters (kept so
+// existing callers — cortexd's final printout, tests — stay source
+// compatible; the registry is the single source of truth).
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_rejected = 0;  // queue-full BUSY disconnects
@@ -83,6 +96,13 @@ class CortexServer {
   const ServerOptions& options() const noexcept { return options_; }
   ServerStats stats() const;
 
+  // The registry this server publishes into (options().registry or the
+  // engine's).  Valid for the server's lifetime.
+  telemetry::MetricRegistry* registry() const noexcept { return registry_; }
+  const telemetry::FlightRecorder& flight_recorder() const noexcept {
+    return recorder_;
+  }
+
  private:
   void AcceptLoop() EXCLUDES(queue_mu_);
   // Waits on queue_cv_ through a std::unique_lock, which clang's analysis
@@ -90,9 +110,11 @@ class CortexServer {
   // machine-checked by RankedMutex.
   void WorkerLoop() NO_THREAD_SAFETY_ANALYSIS;
   void ServeConnection(int fd);
-  // Executes one parsed request against the engine.
-  Response Execute(const Request& request);
+  // Executes one parsed request against the engine; `trace` collects the
+  // request's spans.
+  Response Execute(const Request& request, telemetry::RequestTrace* trace);
   Response BuildStats();
+  Response BuildTraces(std::uint64_t max_traces);
   // Token-bucket gate over LOOKUP/INSERT (the rate-limiter critical
   // section; PING/STATS bypass it).
   bool AdmitRequest(const Request& request) EXCLUDES(bucket_mu_);
@@ -121,11 +143,18 @@ class CortexServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_rejected_{0};
-  std::atomic<std::uint64_t> requests_served_{0};
-  std::atomic<std::uint64_t> requests_busy_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
+  // Registry handles (cortex_server_*), resolved once in the constructor;
+  // hot-path updates are pure atomics.
+  telemetry::MetricRegistry* registry_ = nullptr;
+  telemetry::Counter* connections_accepted_ = nullptr;
+  telemetry::Counter* connections_rejected_ = nullptr;
+  telemetry::Counter* requests_served_ = nullptr;
+  telemetry::Counter* requests_busy_ = nullptr;
+  telemetry::Counter* protocol_errors_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::AtomicHistogram* request_seconds_ = nullptr;
+
+  telemetry::FlightRecorder recorder_;
 };
 
 }  // namespace cortex::serve

@@ -1,0 +1,273 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cortex::telemetry {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.6g", v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (c == '=' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+        c == '"' || c == '{' || c == '}') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double WallSeconds() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+namespace internal {
+
+std::size_t ThreadStripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// AtomicHistogram
+
+AtomicHistogram::AtomicHistogram(HistogramOptions options,
+                                 const std::atomic<bool>* enabled)
+    : options_(options),
+      log_growth_(std::log(options.growth)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      enabled_(enabled) {
+  CHECK_GT(options_.min_value, 0.0);
+  CHECK_GT(options_.growth, 1.0);
+  CHECK_GT(options_.max_value, options_.min_value);
+  // +2: bucket 0 (<= min_value) and one clamp bucket past max_value.
+  const std::size_t top =
+      static_cast<std::size_t>(std::log(options_.max_value /
+                                        options_.min_value) /
+                               log_growth_) +
+      2;
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(top + 1);
+}
+
+std::size_t AtomicHistogram::BucketFor(double value) const noexcept {
+  // Same geometry as util/stats.h Histogram::BucketFor, with the index
+  // clamped into the fixed array.
+  if (value <= options_.min_value) return 0;
+  const double b = std::log(value / options_.min_value) / log_growth_;
+  const auto bucket = static_cast<std::size_t>(b) + 1;
+  return std::min(bucket, buckets_.size() - 1);
+}
+
+void AtomicHistogram::Observe(double value) noexcept {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  value = std::max(value, 0.0);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(sum_, value);
+  internal::AtomicMin(min_, value);
+  internal::AtomicMax(max_, value);
+}
+
+HistogramSnapshot AtomicHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.min_value = options_.min_value;
+  snap.log_growth = log_growth_;
+  snap.buckets.resize(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target && buckets[i] > 0) {
+      const double upper =
+          i == 0 ? min_value
+                 : min_value * std::exp(log_growth * static_cast<double>(i));
+      return std::min(upper, max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  CHECK(min_value == other.min_value && log_growth == other.log_growth)
+      << "merging histogram snapshots with different bucket layouts";
+  if (other.count == 0) return;
+  if (other.buckets.size() > buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+std::string HistogramSnapshot::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean() << " p50=" << p50()
+     << " p99=" << p99() << " max=" << max;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+
+MetricRegistry::Instrument& MetricRegistry::Register(
+    std::string_view name, TelemetrySnapshot::Kind kind) {
+  CHECK(ValidMetricName(name)) << "bad metric name: " << name;
+  const auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    CHECK(it->second.kind == kind)
+        << "metric " << name << " already registered as a different kind";
+    return it->second;
+  }
+  Instrument& inst = instruments_[std::string(name)];
+  inst.kind = kind;
+  return inst;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = Register(name, TelemetrySnapshot::Kind::kCounter);
+  if (!inst.counter) inst.counter.reset(new Counter(&enabled_));
+  return inst.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = Register(name, TelemetrySnapshot::Kind::kGauge);
+  if (!inst.gauge) inst.gauge.reset(new Gauge(&enabled_));
+  return inst.gauge.get();
+}
+
+AtomicHistogram* MetricRegistry::GetHistogram(std::string_view name,
+                                              HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = Register(name, TelemetrySnapshot::Kind::kHistogram);
+  if (!inst.histogram) {
+    inst.histogram.reset(new AtomicHistogram(options, &enabled_));
+  }
+  return inst.histogram.get();
+}
+
+TelemetrySnapshot MetricRegistry::Snapshot() const {
+  TelemetrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(instruments_.size());
+  for (const auto& [name, inst] : instruments_) {
+    TelemetrySnapshot::Entry entry;
+    entry.name = name;
+    entry.kind = inst.kind;
+    switch (inst.kind) {
+      case TelemetrySnapshot::Kind::kCounter:
+        entry.counter_value = inst.counter->Value();
+        break;
+      case TelemetrySnapshot::Kind::kGauge:
+        entry.gauge_value = inst.gauge->Value();
+        break;
+      case TelemetrySnapshot::Kind::kHistogram:
+        entry.histogram = inst.histogram->Snapshot();
+        break;
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+std::string TelemetrySnapshot::RenderText() const {
+  std::string out;
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + e.name + " counter\n";
+        out += e.name + " " + std::to_string(e.counter_value) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + e.name + " gauge\n";
+        out += e.name + " " + FormatDouble(e.gauge_value) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot& h = e.histogram;
+        out += "# TYPE " + e.name + " histogram\n";
+        out += e.name + "_count " + std::to_string(h.count) + "\n";
+        out += e.name + "_sum " + FormatDouble(h.sum) + "\n";
+        for (const auto& [label, q] :
+             {std::pair<const char*, double>{"0.5", 0.50},
+              {"0.9", 0.90},
+              {"0.99", 0.99}}) {
+          out += e.name + "{quantile=\"" + label + "\"} " +
+                 FormatDouble(h.Quantile(q)) + "\n";
+        }
+        out += e.name + "_min " + FormatDouble(h.min) + "\n";
+        out += e.name + "_max " + FormatDouble(h.max) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void TelemetrySnapshot::AppendKeyValues(
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out->emplace_back(e.name, std::to_string(e.counter_value));
+        break;
+      case Kind::kGauge:
+        out->emplace_back(e.name, FormatDouble(e.gauge_value));
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot& h = e.histogram;
+        out->emplace_back(e.name + "_count", std::to_string(h.count));
+        out->emplace_back(e.name + "_mean", FormatDouble(h.mean()));
+        out->emplace_back(e.name + "_p50", FormatDouble(h.p50()));
+        out->emplace_back(e.name + "_p99", FormatDouble(h.p99()));
+        out->emplace_back(e.name + "_max", FormatDouble(h.max));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace cortex::telemetry

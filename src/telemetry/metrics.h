@@ -1,0 +1,262 @@
+// Live observability metrics (DESIGN.md §8): a process-wide registry of
+// named Counter / Gauge / AtomicHistogram instruments that the serving
+// path updates on every request and that can be read *while serving* —
+// the counterpart of the offline sim/metrics.h aggregation.
+//
+// Design targets, in order:
+//   1. hot-path updates never contend: counters are striped across
+//      cache-line-padded relaxed-atomic cells (summed on read), histogram
+//      buckets are relaxed atomics — safe and clean under TSan;
+//   2. reads are always available and never block writers: Snapshot()
+//      copies instrument state without stopping the world, so totals are
+//      per-instrument-consistent, not globally atomic;
+//   3. instruments are cheap handles: Get*() once at construction time,
+//      then update through the pointer forever (registration takes a
+//      mutex, updates never do).
+//
+// Naming convention: `cortex_<layer>_<metric>` (e.g. cortex_engine_hits,
+// cortex_server_queue_depth, cortex_cache_ttl_expiries); histograms of
+// durations end in `_seconds`.  Names must not contain whitespace, '=',
+// or control characters — both exposition formats key on that.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cortex::telemetry {
+
+// Monotonic wall-clock seconds since a process-wide epoch.  Every
+// telemetry timestamp (span starts, histogram samples) uses this single
+// scale so spans recorded by different layers line up, independent of any
+// injected engine clock.
+double WallSeconds() noexcept;
+
+namespace internal {
+
+// Stable small index for the calling thread, used to stripe counter
+// increments across cells.  Thread ids are assigned once, round-robin;
+// two threads may share a cell (the stripe is a contention optimisation,
+// not a correctness requirement — cells are atomics either way).
+std::size_t ThreadStripe() noexcept;
+
+// C++20 has std::atomic<double>::fetch_add, but a CAS loop keeps us off
+// the less-travelled codegen paths of both compilers.
+inline void AtomicAdd(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMin(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMax(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+// Number of independent increment cells per counter.  Power of two; 16
+// covers the worker-pool sizes we run while keeping a counter at 1 KiB.
+inline constexpr std::size_t kCounterStripes = 16;
+
+// Monotonic counter.  Inc() is one relaxed fetch_add on the calling
+// thread's stripe; Value() sums all stripes (exact — increments are never
+// lost, only the read is a momentary snapshot).
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    cells_[internal::ThreadStripe() & (kCounterStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kCounterStripes> cells_;
+  const std::atomic<bool>* enabled_;
+};
+
+// Point-in-time value (queue depth, resident tokens, rate-limiter
+// tokens).  Set() overwrites; Add() accumulates deltas from many threads.
+class Gauge {
+ public:
+  void Set(double v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    internal::AtomicAdd(value_, delta);
+  }
+  double Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+// Bucket geometry for AtomicHistogram — the same fixed-geometric scheme
+// as util/stats.h Histogram (bucket 0 holds values <= min_value, bucket i
+// holds values <= min_value * growth^i), but with the bucket count fixed
+// up front so the array can be relaxed atomics: values above max_value
+// clamp into the last bucket.
+struct HistogramOptions {
+  double min_value = 1e-6;  // seconds; ~1 us resolution floor
+  double growth = 1.02;     // ~2% relative error per bucket
+  double max_value = 3600.0;
+};
+
+// Read-side copy of a histogram: plain data, mergeable across shards /
+// processes with matching geometry, quantiles exact to bucket resolution.
+struct HistogramSnapshot {
+  double min_value = 0.0;
+  double log_growth = 0.0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+  // q in [0, 1]; a value v such that ~q of samples are <= v.
+  double Quantile(double q) const noexcept;
+  double p50() const noexcept { return Quantile(0.50); }
+  double p99() const noexcept { return Quantile(0.99); }
+
+  // CHECK-fails on mismatched bucket geometry (same contract as
+  // util/stats.h Histogram::Merge).
+  void Merge(const HistogramSnapshot& other);
+
+  // One-line summary, e.g. "n=100 mean=1.2 p50=1.1 p99=3.4 max=5.0".
+  std::string Summary() const;
+};
+
+// Fixed-geometric-bucket histogram with relaxed-atomic buckets: Observe()
+// is one bucket fetch_add plus sum/min/max CAS updates; Snapshot() copies
+// the buckets without blocking writers.  `count` is derived from the
+// bucket array, so a snapshot's quantiles are always self-consistent.
+class AtomicHistogram {
+ public:
+  void Observe(double value) noexcept;
+  HistogramSnapshot Snapshot() const;
+  const HistogramOptions& options() const noexcept { return options_; }
+
+ private:
+  friend class MetricRegistry;
+  AtomicHistogram(HistogramOptions options, const std::atomic<bool>* enabled);
+
+  std::size_t BucketFor(double value) const noexcept;
+
+  HistogramOptions options_;
+  double log_growth_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  const std::atomic<bool>* enabled_;
+};
+
+// Point-in-time copy of a whole registry, renderable as Prometheus-style
+// text or flat key=value pairs (the extended STATS wire response).
+struct TelemetrySnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    HistogramSnapshot histogram;
+  };
+  std::vector<Entry> entries;  // sorted by name
+
+  // Prometheus-style exposition: `# TYPE` comments, `name value` lines,
+  // histograms as count/sum/quantile/min/max series.
+  std::string RenderText() const;
+
+  // Flat `key=value` pairs for the STATS wire response: counters and
+  // gauges one pair each, histograms expanded to
+  // name_count/_mean/_p50/_p99/_max.
+  void AppendKeyValues(
+      std::vector<std::pair<std::string, std::string>>* out) const;
+};
+
+// Named-instrument registry.  Get*() registers on first use and returns
+// the existing instrument on every later call (CHECK-fails if the name is
+// already registered as a different kind); returned pointers stay valid
+// for the registry's lifetime.  set_enabled(false) turns every update
+// into a single relaxed load + branch, for overhead A/B runs.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  AtomicHistogram* GetHistogram(std::string_view name,
+                                HistogramOptions options = {});
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  struct Instrument {
+    TelemetrySnapshot::Kind kind = TelemetrySnapshot::Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<AtomicHistogram> histogram;
+  };
+
+  Instrument& Register(std::string_view name, TelemetrySnapshot::Kind kind);
+
+  mutable std::mutex mu_;
+  // Ordered map: snapshots come out name-sorted, and node stability keeps
+  // instrument pointers valid across later registrations.
+  std::map<std::string, Instrument, std::less<>> instruments_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace cortex::telemetry

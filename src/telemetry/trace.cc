@@ -1,0 +1,225 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace cortex::telemetry {
+
+const char* PhaseName(TracePhase phase) noexcept {
+  switch (phase) {
+    case TracePhase::kQueueWait:
+      return "queue_wait";
+    case TracePhase::kParse:
+      return "parse";
+    case TracePhase::kEmbed:
+      return "embed";
+    case TracePhase::kAnnProbe:
+      return "ann_probe";
+    case TracePhase::kJudger:
+      return "judger";
+    case TracePhase::kCommit:
+      return "commit";
+    case TracePhase::kRemoteFetch:
+      return "remote_fetch";
+    case TracePhase::kInsert:
+      return "insert";
+    case TracePhase::kEviction:
+      return "eviction";
+  }
+  return "?";
+}
+
+const char* OpName(TraceOp op) noexcept {
+  switch (op) {
+    case TraceOp::kOther:
+      return "OTHER";
+    case TraceOp::kLookup:
+      return "LOOKUP";
+    case TraceOp::kInsert:
+      return "INSERT";
+    case TraceOp::kStats:
+      return "STATS";
+    case TraceOp::kPing:
+      return "PING";
+    case TraceOp::kDumpTrace:
+      return "DUMPTRACE";
+  }
+  return "?";
+}
+
+const char* OutcomeName(TraceOutcome outcome) noexcept {
+  switch (outcome) {
+    case TraceOutcome::kUnknown:
+      return "unknown";
+    case TraceOutcome::kHit:
+      return "hit";
+    case TraceOutcome::kMiss:
+      return "miss";
+    case TraceOutcome::kOk:
+      return "ok";
+    case TraceOutcome::kReject:
+      return "reject";
+    case TraceOutcome::kBusy:
+      return "busy";
+    case TraceOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void RequestTrace::AddSpan(TracePhase phase, double start_sec,
+                           double duration_sec) {
+  if (span_count < kMaxTraceSpans) {
+    spans[span_count] = {phase, start_sec, duration_sec};
+  }
+  ++span_count;
+}
+
+void RequestTrace::SetQuery(std::string_view q) {
+  const std::size_t n = std::min(q.size(), kTraceQueryBytes);
+  std::copy_n(q.data(), n, query.data());
+  query_len = static_cast<std::uint8_t>(n);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 1)) {}
+
+void FlightRecorder::Record(const RequestTrace& trace) noexcept {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+
+  // Claim the slot: even -> odd.  A concurrent writer (ring wrapped
+  // within one in-flight batch) makes the CAS fail; drop rather than
+  // block — the recorder is diagnostics, not ground truth.
+  std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  if ((v & 1) != 0 ||
+      !slot.version.compare_exchange_strong(v, v + 1,
+                                            std::memory_order_acq_rel)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.op.store(static_cast<std::uint8_t>(trace.op),
+                std::memory_order_relaxed);
+  slot.outcome.store(static_cast<std::uint8_t>(trace.outcome),
+                     std::memory_order_relaxed);
+  slot.shard.store(trace.shard, std::memory_order_relaxed);
+  slot.start.store(trace.start, std::memory_order_relaxed);
+  slot.total.store(trace.total, std::memory_order_relaxed);
+  const auto spans =
+      std::min<std::uint32_t>(trace.span_count, kMaxTraceSpans);
+  slot.span_count.store(spans, std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < spans; ++i) {
+    slot.span_phase[i].store(static_cast<std::uint8_t>(trace.spans[i].phase),
+                             std::memory_order_relaxed);
+    slot.span_start[i].store(trace.spans[i].start, std::memory_order_relaxed);
+    slot.span_duration[i].store(trace.spans[i].duration,
+                                std::memory_order_relaxed);
+  }
+  slot.query_len.store(trace.query_len, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < trace.query_len; ++i) {
+    slot.query[i].store(trace.query[i], std::memory_order_relaxed);
+  }
+
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+bool FlightRecorder::ReadSlot(const Slot& slot, RequestTrace* out) noexcept {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1) != 0) continue;  // never written / mid-write
+
+    out->seq = slot.seq.load(std::memory_order_relaxed);
+    out->op = static_cast<TraceOp>(slot.op.load(std::memory_order_relaxed));
+    out->outcome = static_cast<TraceOutcome>(
+        slot.outcome.load(std::memory_order_relaxed));
+    out->shard = slot.shard.load(std::memory_order_relaxed);
+    out->start = slot.start.load(std::memory_order_relaxed);
+    out->total = slot.total.load(std::memory_order_relaxed);
+    out->span_count = std::min<std::uint32_t>(
+        slot.span_count.load(std::memory_order_relaxed), kMaxTraceSpans);
+    for (std::uint32_t i = 0; i < out->span_count; ++i) {
+      out->spans[i].phase = static_cast<TracePhase>(
+          slot.span_phase[i].load(std::memory_order_relaxed));
+      out->spans[i].start =
+          slot.span_start[i].load(std::memory_order_relaxed);
+      out->spans[i].duration =
+          slot.span_duration[i].load(std::memory_order_relaxed);
+    }
+    out->query_len = std::min<std::uint8_t>(
+        slot.query_len.load(std::memory_order_relaxed), kTraceQueryBytes);
+    for (std::size_t i = 0; i < out->query_len; ++i) {
+      out->query[i] = slot.query[i].load(std::memory_order_relaxed);
+    }
+
+    // Canonical seqlock validation: the acquire fence keeps the payload
+    // loads above from being reordered past the second version read.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) == v1) return true;
+  }
+  return false;
+}
+
+std::vector<RequestTrace> FlightRecorder::Snapshot(
+    std::size_t max_entries) const {
+  std::vector<RequestTrace> traces;
+  traces.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    RequestTrace trace;
+    if (ReadSlot(slot, &trace)) traces.push_back(trace);
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const RequestTrace& a, const RequestTrace& b) {
+              return a.seq > b.seq;  // newest first
+            });
+  if (traces.size() > max_entries) traces.resize(max_entries);
+  return traces;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+std::string RenderTraceText(const std::vector<RequestTrace>& traces) {
+  std::string out;
+  char buf[64];
+  const auto ms = [&buf](double seconds) {
+    std::snprintf(buf, sizeof buf, "%.3fms", seconds * 1e3);
+    return std::string(buf);
+  };
+  for (const RequestTrace& t : traces) {
+    std::snprintf(buf, sizeof buf, "#%llu ",
+                  static_cast<unsigned long long>(t.seq));
+    out += buf;
+    out += OpName(t.op);
+    out += ' ';
+    out += OutcomeName(t.outcome);
+    std::snprintf(buf, sizeof buf, " shard=%u t=%.3fs total=",
+                  static_cast<unsigned>(t.shard), t.start);
+    out += buf;
+    out += ms(t.total);
+    out += " spans[";
+    const auto spans = std::min<std::uint32_t>(t.span_count, kMaxTraceSpans);
+    for (std::uint32_t i = 0; i < spans; ++i) {
+      if (i > 0) out += ' ';
+      out += PhaseName(t.spans[i].phase);
+      out += '=';
+      out += ms(t.spans[i].duration);
+    }
+    out += ']';
+    if (t.query_len > 0) {
+      out += " q=\"";
+      out.append(t.query_view());
+      out += '"';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cortex::telemetry

@@ -1,0 +1,149 @@
+// Per-request trace spans and the flight recorder (DESIGN.md §8).
+//
+// A RequestTrace is a fixed-size timeline of named phases (queue wait,
+// embed, ANN probe, judger, remote fetch, insert/commit, eviction work)
+// filled in by whichever layer owns each phase while a request is being
+// served; when the request completes, the server publishes the finished
+// trace into a FlightRecorder — a fixed-capacity ring holding the last N
+// completed traces for post-hoc debugging of tail latency (DUMPTRACE on
+// the wire).
+//
+// The recorder is lock-free on the write side: a writer claims a slot
+// with one CAS on the slot's seqlock version (odd = being written; a
+// losing writer drops its trace and counts it), stores the payload with
+// relaxed atomics, and publishes with a release store of the version.
+// Readers validate version-before == version-after and retry a bounded
+// number of times.  Every payload field is a std::atomic, so concurrent
+// read/write is well-defined (and TSan-clean) even when the version check
+// forces a retry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cortex::telemetry {
+
+enum class TracePhase : std::uint8_t {
+  kQueueWait,    // frame decoded -> execution started
+  kParse,        // request grammar parse
+  kEmbed,        // query embedding
+  kAnnProbe,     // stage-1 ANN search
+  kJudger,       // stage-2 judger validation
+  kCommit,       // lookup commit (counters, frequency bump)
+  kRemoteFetch,  // client-side ground-truth fetch on a miss
+  kInsert,       // cache insert
+  kEviction,     // TTL purge + eviction work inside an insert
+};
+const char* PhaseName(TracePhase phase) noexcept;
+
+enum class TraceOp : std::uint8_t {
+  kOther,
+  kLookup,
+  kInsert,
+  kStats,
+  kPing,
+  kDumpTrace,
+};
+const char* OpName(TraceOp op) noexcept;
+
+enum class TraceOutcome : std::uint8_t {
+  kUnknown,
+  kHit,
+  kMiss,
+  kOk,
+  kReject,
+  kBusy,
+  kError,
+};
+const char* OutcomeName(TraceOutcome outcome) noexcept;
+
+inline constexpr std::size_t kMaxTraceSpans = 8;
+inline constexpr std::size_t kTraceQueryBytes = 48;
+
+struct TraceSpan {
+  TracePhase phase = TracePhase::kQueueWait;
+  double start = 0.0;     // WallSeconds()
+  double duration = 0.0;  // seconds
+};
+
+// Plain working storage for one in-flight request; cheap to keep on the
+// stack.  Spans past kMaxTraceSpans are dropped (span_count keeps the
+// true attempted count).
+struct RequestTrace {
+  std::uint64_t seq = 0;  // assigned by FlightRecorder::Record
+  TraceOp op = TraceOp::kOther;
+  TraceOutcome outcome = TraceOutcome::kUnknown;
+  std::uint32_t shard = 0;
+  double start = 0.0;  // WallSeconds() at frame decode
+  double total = 0.0;  // end-to-end seconds
+  std::uint32_t span_count = 0;
+  std::array<TraceSpan, kMaxTraceSpans> spans{};
+  std::array<char, kTraceQueryBytes> query{};
+  std::uint8_t query_len = 0;
+
+  void AddSpan(TracePhase phase, double start_sec, double duration_sec);
+  // Keeps the first kTraceQueryBytes bytes.
+  void SetQuery(std::string_view q);
+  std::string_view query_view() const noexcept {
+    return {query.data(), query_len};
+  }
+};
+
+// Fixed-capacity ring of the most recent completed traces.  Record() is
+// wait-free for the calling thread (one CAS; drops on the rare slot
+// collision).  Snapshot() returns up to `max_entries` traces, newest
+// first, skipping slots a writer holds mid-publish.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const RequestTrace& trace) noexcept;
+  std::vector<RequestTrace> Snapshot(
+      std::size_t max_entries = static_cast<std::size_t>(-1)) const;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed) -
+           dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> version{0};  // seqlock: odd = being written
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint8_t> op{0};
+    std::atomic<std::uint8_t> outcome{0};
+    std::atomic<std::uint32_t> shard{0};
+    std::atomic<double> start{0.0};
+    std::atomic<double> total{0.0};
+    std::atomic<std::uint32_t> span_count{0};
+    std::array<std::atomic<std::uint8_t>, kMaxTraceSpans> span_phase{};
+    std::array<std::atomic<double>, kMaxTraceSpans> span_start{};
+    std::array<std::atomic<double>, kMaxTraceSpans> span_duration{};
+    std::array<std::atomic<char>, kTraceQueryBytes> query{};
+    std::atomic<std::uint8_t> query_len{0};
+  };
+
+  // True when the slot held a consistent, published trace.
+  static bool ReadSlot(const Slot& slot, RequestTrace* out) noexcept;
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Human-readable multi-line rendering (one line per trace), used by the
+// DUMPTRACE wire response and the tools.
+std::string RenderTraceText(const std::vector<RequestTrace>& traces);
+
+}  // namespace cortex::telemetry

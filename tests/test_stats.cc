@@ -99,6 +99,15 @@ TEST(Histogram, MergePreservesTotals) {
   EXPECT_EQ(a.max(), max_before);
 }
 
+TEST(HistogramDeathTest, MergeRejectsMismatchedGeometry) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Histogram fine(1e-6, 1.02);
+  Histogram coarse(1e-6, 2.0);
+  fine.Add(1.0);
+  coarse.Add(1.0);
+  EXPECT_DEATH(fine.Merge(coarse), "different bucket layouts");
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.Add(1.0);

@@ -13,10 +13,12 @@
 // Run both sides with identical workload flags: the worlds are rebuilt
 // deterministically in each process (see serve/serving_world.h).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +77,32 @@ std::string Ms(double seconds) {
   return buf;
 }
 
+std::string StatValue(const Response& stats, std::string_view key) {
+  for (const auto& [k, v] : stats.stats) {
+    if (k == key) return v;
+  }
+  return "-";
+}
+
+// One STATS round trip on a fresh connection (used by the mid-run monitor
+// and the end-of-run registry printout).
+std::optional<Response> FetchStats(const std::string& unix_path,
+                                   const std::string& host, int port,
+                                   std::string* err) {
+  BlockingClient client;
+  const bool ok = unix_path.empty() ? client.ConnectTcp(host, port, err)
+                                    : client.ConnectUnix(unix_path, err);
+  if (!ok) return std::nullopt;
+  Request stats;
+  stats.type = RequestType::kStats;
+  auto response = client.Call(stats, err);
+  if (!response || response->type != ResponseType::kStats) {
+    if (err && err->empty()) *err = "unexpected STATS response";
+    return std::nullopt;
+  }
+  return response;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +141,43 @@ int main(int argc, char** argv) {
   ThreadResult total;
   std::vector<std::thread> pool;
   const double start = NowSec();
+
+  // Mid-run monitor: every --stats-interval seconds, fetch STATS over its
+  // own connection and print a one-line live digest of the server's
+  // telemetry registry (the acceptance path for "queryable while
+  // serving").
+  const double stats_interval = flags.GetDouble("stats-interval", 0.0);
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor;
+  if (stats_interval > 0.0) {
+    monitor = std::thread([&] {
+      const auto period = std::chrono::duration<double>(stats_interval);
+      while (!monitor_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        if (monitor_stop.load(std::memory_order_acquire)) break;
+        std::string merr;
+        const auto stats = FetchStats(unix_path, host, port, &merr);
+        if (!stats) {
+          std::fprintf(stderr, "[monitor] STATS failed: %s\n", merr.c_str());
+          continue;
+        }
+        std::fprintf(
+            stderr,
+            "[monitor t=%.1fs] hits=%s misses=%s judger_rejects=%s "
+            "evictions=%s probe_p50=%ss probe_p99=%ss e2e_p50=%ss "
+            "e2e_p99=%ss queue_depth=%s\n",
+            NowSec() - start, StatValue(*stats, "cortex_engine_hits").c_str(),
+            StatValue(*stats, "cortex_engine_misses").c_str(),
+            StatValue(*stats, "cortex_engine_judger_rejects").c_str(),
+            StatValue(*stats, "cortex_cache_evictions").c_str(),
+            StatValue(*stats, "cortex_engine_probe_seconds_p50").c_str(),
+            StatValue(*stats, "cortex_engine_probe_seconds_p99").c_str(),
+            StatValue(*stats, "cortex_server_request_seconds_p50").c_str(),
+            StatValue(*stats, "cortex_server_request_seconds_p99").c_str(),
+            StatValue(*stats, "cortex_server_queue_depth").c_str());
+      }
+    });
+  }
 
   for (std::size_t tid = 0; tid < threads; ++tid) {
     pool.emplace_back([&, tid] {
@@ -192,6 +257,8 @@ int main(int argc, char** argv) {
   }
   for (auto& t : pool) t.join();
   const double wall = NowSec() - start;
+  monitor_stop.store(true, std::memory_order_release);
+  if (monitor.joinable()) monitor.join();
 
   // The histograms count one entry per wire round-trip, so they are the
   // exact op counts (BUSY responses included, whichever op drew them).
@@ -235,6 +302,51 @@ int main(int argc, char** argv) {
                     Ms(h->Quantile(0.999)), Ms(h->max())});
   }
   latency.Print(std::cout, /*csv=*/false);
+
+  // End-of-run registry printout: the server's full cortex_* telemetry as
+  // seen over the wire.
+  {
+    std::string serr;
+    const auto stats = FetchStats(unix_path, host, port, &serr);
+    if (stats) {
+      std::cout << "\nserver telemetry (cortex_*):\n";
+      TextTable registry({"metric", "value"});
+      for (const auto& [k, v] : stats->stats) {
+        if (k.rfind("cortex_", 0) == 0) registry.AddRow({k, v});
+      }
+      registry.Print(std::cout, /*csv=*/false);
+    } else {
+      std::cerr << "cortex_loadgen: end-of-run STATS failed: " << serr
+                << "\n";
+    }
+  }
+
+  // Recent request traces from the server's flight recorder.
+  const auto dump_traces =
+      static_cast<std::uint64_t>(flags.GetInt("dump-traces", 0));
+  if (dump_traces > 0) {
+    BlockingClient client;
+    std::string terr;
+    const bool ok = unix_path.empty()
+                        ? client.ConnectTcp(host, port, &terr)
+                        : client.ConnectUnix(unix_path, &terr);
+    if (ok) {
+      Request dump;
+      dump.type = RequestType::kDumpTrace;
+      dump.max_traces = dump_traces;
+      const auto response = client.Call(dump, &terr);
+      if (response && response->type == ResponseType::kTraces) {
+        std::cout << "\nflight recorder (" << response->id
+                  << " traces, newest first):\n"
+                  << response->message;
+      } else {
+        std::cerr << "cortex_loadgen: DUMPTRACE failed: " << terr << "\n";
+      }
+    } else {
+      std::cerr << "cortex_loadgen: DUMPTRACE connect failed: " << terr
+                << "\n";
+    }
+  }
 
   if (total.protocol_errors > 0) {
     std::cerr << "\nFAIL: " << total.protocol_errors

@@ -9,6 +9,7 @@
 // The workload flags pick which deterministic world the server judges
 // against (see serve/serving_world.h) — run cortex_loadgen with the same
 // workload flags on the other side.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
@@ -17,6 +18,7 @@
 #include "serve/concurrent_engine.h"
 #include "serve/server.h"
 #include "serve/serving_world.h"
+#include "telemetry/metrics.h"
 #include "util/flags.h"
 
 using namespace cortex;
@@ -39,7 +41,12 @@ void PrintUsage() {
       "  listen:    --port=8377 (--port=0 for ephemeral) --host=127.0.0.1\n"
       "             --unix=PATH (overrides TCP)\n"
       "  serving:   --workers=4 --rate-limit=0 (req/s, 0 = unlimited)\n"
-      "             --max-pending=64 --max-pipeline=64\n";
+      "             --max-pending=64 --max-pipeline=64\n"
+      "  telemetry: --metrics-interval=0 (sec between registry dumps, "
+      "0 = off)\n"
+      "             --metrics-file=PATH (append dumps there instead of "
+      "stderr)\n"
+      "             --flight-recorder=256 (traces retained for DUMPTRACE)\n";
 }
 
 }  // namespace
@@ -83,11 +90,38 @@ int main(int argc, char** argv) {
   sopts.max_pipeline =
       static_cast<std::size_t>(flags.GetInt("max-pipeline", 64));
   sopts.max_requests_per_sec = flags.GetDouble("rate-limit", 0.0);
+  sopts.flight_recorder_capacity =
+      static_cast<std::size_t>(flags.GetInt("flight-recorder", 256));
 
   CortexServer server(&engine, sopts);
   if (!server.Start(&error)) {
     std::cerr << "cortexd: " << error << "\n";
     return 1;
+  }
+
+  // Periodic registry dump: Prometheus-style text to stderr (or appended
+  // to --metrics-file), on its own thread so serving is never blocked.
+  const double metrics_interval = flags.GetDouble("metrics-interval", 0.0);
+  const std::string metrics_file = flags.GetString("metrics-file");
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_thread;
+  if (metrics_interval > 0.0) {
+    metrics_thread = std::thread([&] {
+      const auto period = std::chrono::duration<double>(metrics_interval);
+      while (!metrics_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        if (metrics_stop.load(std::memory_order_acquire)) break;
+        const std::string text = server.registry()->Snapshot().RenderText();
+        if (metrics_file.empty()) {
+          std::fprintf(stderr, "--- metrics t=%.1fs ---\n%s",
+                       telemetry::WallSeconds(), text.c_str());
+        } else if (std::FILE* f = std::fopen(metrics_file.c_str(), "a")) {
+          std::fprintf(f, "--- metrics t=%.1fs ---\n%s",
+                       telemetry::WallSeconds(), text.c_str());
+          std::fclose(f);
+        }
+      }
+    });
   }
 
   if (!sopts.unix_path.empty()) {
@@ -111,6 +145,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\ncortexd: draining...\n";
+  metrics_stop.store(true, std::memory_order_release);
+  if (metrics_thread.joinable()) metrics_thread.join();
   server.Stop();
   engine.StopHousekeeping();
 
@@ -138,5 +174,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(es.housekeeping_runs),
       static_cast<unsigned long long>(es.expired_removed),
       static_cast<unsigned long long>(es.recalibrations));
+  std::printf("--- final metrics ---\n%s",
+              server.registry()->Snapshot().RenderText().c_str());
   return 0;
 }
