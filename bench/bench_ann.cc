@@ -3,6 +3,7 @@
 //     computations, and end-to-end cache hit rate when each backs Sine;
 //   * tau_sim sweep: the §4.2 trade-off between stage-1 recall and stage-2
 //     judger workload.
+#include <chrono>
 #include <iostream>
 
 #include "ann/flat_index.h"
@@ -10,6 +11,7 @@
 #include "ann/ivf_index.h"
 #include "ann/pq.h"
 #include "bench_common.h"
+#include "embedding/simd_kernels.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -22,11 +24,37 @@ std::unique_ptr<VectorIndex> Make(IndexType type, std::size_t dim) {
   return MakeIndex(type, dim);
 }
 
+// Queries/sec over repeated sweeps of `queries` until ~`min_ms` of wall
+// time; also collects the top-5 id stream for cross-variant comparison.
+double QueriesPerSec(const VectorIndex& idx, const std::vector<Vector>& queries,
+                     double min_ms, std::vector<VectorId>& topk_ids) {
+  topk_ids.clear();
+  for (const auto& q : queries) {
+    for (const auto& r : idx.Search(q, 5, -1.0)) topk_ids.push_back(r.id);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t done = 0;
+  double elapsed = 0.0;
+  do {
+    for (const auto& q : queries) {
+      if (idx.Search(q, 5, -1.0).empty()) std::abort();  // keep the work live
+    }
+    done += queries.size();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_ms / 1e3);
+  return static_cast<double>(done) / elapsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bool csv = flags.GetBool("csv", false);
+
+  std::cout << "kernel variant: " << simd::VariantName(simd::ActiveVariant())
+            << " (pin with CORTEX_SIMD=scalar|avx2|avx512|neon)\n\n";
 
   // --- Recall/work comparison on embedded workload queries ---
   std::cout << "=== ANN index ablation: recall@5 vs distance computations"
@@ -83,6 +111,34 @@ int main(int argc, char** argv) {
                                          queries.size())});
   }
   ann_table.Print(std::cout, csv);
+  std::cout << '\n';
+
+  // --- Kernel dispatch A/B: scan/probe throughput, scalar vs native ---
+  // Same index, same queries, only the kernel variant differs.  Top-k ids
+  // must be identical — the SIMD kernels change speed, not answers.
+  std::cout << "=== Kernel dispatch A/B (scalar vs "
+            << simd::VariantName(simd::ActiveVariant()) << ") ===\n";
+  const auto native = simd::ActiveVariant();
+  TextTable ab({"index", "scalar q/s", "native q/s", "speedup",
+                "top-k identical"});
+  for (const IndexType type :
+       {IndexType::kFlat, IndexType::kIvf, IndexType::kHnsw}) {
+    auto idx = Make(type, embedder.dimension());
+    for (std::size_t i = 0; i < corpus.size(); ++i) idx->Add(i, corpus[i]);
+    std::vector<VectorId> scalar_ids, native_ids;
+    simd::ForceVariant(simd::Variant::kScalar);
+    const double scalar_qps = QueriesPerSec(*idx, queries, 150.0, scalar_ids);
+    simd::ForceVariant(native);
+    const double native_qps = QueriesPerSec(*idx, queries, 150.0, native_ids);
+    const char* name = type == IndexType::kFlat  ? "flat"
+                       : type == IndexType::kIvf ? "ivf"
+                                                 : "hnsw";
+    ab.AddRow({name, TextTable::Num(scalar_qps, 0),
+               TextTable::Num(native_qps, 0),
+               TextTable::Num(native_qps / scalar_qps, 2) + "x",
+               scalar_ids == native_ids ? "yes" : "NO"});
+  }
+  ab.Print(std::cout, csv);
   std::cout << '\n';
 
   // --- End-to-end: each index type backing the full engine ---

@@ -2,11 +2,15 @@
 # Full correctness matrix — every leg must pass; fails on the first error.
 #
 #   1. gcc   Release            -Werror   build + full ctest
-#   2. clang RelWithDebInfo     -Werror   -Wthread-safety build + full ctest
+#   2. CORTEX_SIMD=scalar full ctest (same binaries as leg 1 — proves the
+#      scalar kernel fallback serves identical results)
+#   3. clang RelWithDebInfo     -Werror   -Wthread-safety build + full ctest
 #      (skipped with a notice when clang is not installed)
-#   3. ASan+UBSan full ctest   (CORTEX_SANITIZE=address,undefined)
-#   4. TSan      full ctest    (CORTEX_SANITIZE=thread, via tsan.sh)
-#   5. clang-tidy + cortex_lint (scripts/lint.sh)
+#   4. ASan+UBSan full ctest   (CORTEX_SANITIZE=address,undefined; runs
+#      under native SIMD dispatch, so the vectorized kernels' loads and
+#      tails are sanitizer-checked, not just the scalar path)
+#   5. TSan      full ctest    (CORTEX_SANITIZE=thread, via tsan.sh)
+#   6. clang-tidy + cortex_lint (scripts/lint.sh)
 #
 # Each leg uses its own build dir under build-ci/ so sanitized, Release,
 # and clang objects never mix.  Pass -j<N> via CMAKE_BUILD_PARALLEL_LEVEL.
@@ -29,6 +33,9 @@ cmake -B build-ci/gcc-release -S . \
   -DCMAKE_CXX_COMPILER=g++
 cmake --build build-ci/gcc-release -j
 run_ctest build-ci/gcc-release
+
+leg "CORTEX_SIMD=scalar ctest (kernel-dispatch fallback)"
+CORTEX_SIMD=scalar run_ctest build-ci/gcc-release
 
 if command -v clang++ >/dev/null 2>&1; then
   leg "clang -Werror -Wthread-safety"

@@ -15,6 +15,11 @@ Rules (see DESIGN.md §7):
               ad-hoc std::atomic<integer> stat counters — stats belong on
               the telemetry registry (telemetry::Counter / Gauge,
               src/telemetry/metrics.h) so they show up in STATS dumps.
+  simd-intrinsics
+              no <immintrin.h>/<x86intrin.h>/<arm_neon.h> outside
+              src/embedding/simd_kernels.* — raw intrinsics go through the
+              runtime-dispatched kernel layer (embedding/simd_kernels.h) so
+              CORTEX_SIMD pinning and the scalar CI leg stay meaningful.
 
 A line may opt out with:  // cortex-lint: allow(<rule>)
 Comments and string literals are stripped before matching, so prose about
@@ -43,6 +48,11 @@ def _in_serving_path(path: Path) -> bool:
         seg in posix or posix.startswith(seg.lstrip("/"))
         for seg in ("/serve/", "/core/")
     )
+
+
+def _outside_simd_kernel_layer(path: Path) -> bool:
+    """True everywhere except src/embedding/simd_kernels.{h,cc}."""
+    return not path.name.startswith("simd_kernels")
 
 
 # (rule, pattern, hint, path_predicate) — predicate None means "all files".
@@ -80,6 +90,15 @@ RULES = [
         "telemetry registry instead (telemetry::Counter / Gauge, "
         "src/telemetry/metrics.h)",
         _in_serving_path,
+    ),
+    (
+        "simd-intrinsics",
+        re.compile(
+            r"#\s*include\s*<(?:immintrin\.h|x86intrin\.h|arm_neon\.h)>"
+        ),
+        "raw SIMD intrinsics header outside the kernel layer: go through "
+        "the dispatch wrappers in embedding/simd_kernels.h",
+        _outside_simd_kernel_layer,
     ),
 ]
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "embedding/simd_kernels.h"
 #include "util/check.h"
 
 namespace cortex {
@@ -12,6 +13,8 @@ FlatIndex::FlatIndex(std::size_t dimension) : dimension_(dimension) {
 
 void FlatIndex::Add(VectorId id, std::span<const float> vector) {
   CHECK_EQ(vector.size(), dimension_);
+  DCHECK(NearlyUnitNorm(vector))
+      << "FlatIndex scores by inner product; vectors must be unit-norm";
   const auto it = id_to_slot_.find(id);
   if (it != id_to_slot_.end()) {
     std::copy(vector.begin(), vector.end(),
@@ -48,24 +51,49 @@ std::vector<SearchResult> FlatIndex::Search(std::span<const float> query,
                                             double min_similarity) const {
   CHECK_EQ(query.size(), dimension_);
   if (k == 0 || slot_to_id_.empty()) return {};
+  const std::size_t n = slot_to_id_.size();
+  // One batched kernel call scans the whole row-major block.  Vectors are
+  // unit-norm (DCHECKed on Add), so the inner product IS the cosine — no
+  // per-candidate norm recomputation.
+  std::vector<float> sims(n);
+  simd::DotBatch(query, data_.data(), n, dimension_, sims.data());
   std::vector<SearchResult> results;
-  results.reserve(slot_to_id_.size());
-  for (std::size_t slot = 0; slot < slot_to_id_.size(); ++slot) {
-    const std::span<const float> v(data_.data() + slot * dimension_,
-                                   dimension_);
-    distcomp_.fetch_add(1, std::memory_order_relaxed);
-    const double sim = CosineSimilarity(query, v);
+  results.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const double sim = static_cast<double>(sims[slot]);
     if (sim >= min_similarity) {
       results.push_back({slot_to_id_[slot], sim});
     }
   }
-  const std::size_t top = std::min(k, results.size());
+  // Two-phase ranking: the float batch scores select a pool of k + slack
+  // candidates, then the pool is rescored with the scalar double-precision
+  // kernel and tie-broken by id.  The final top-k is therefore identical no
+  // matter which SIMD variant ran the scan (variants differ by ~1 float
+  // ulp, which the slack absorbs), and reported similarities are exact.
+  const auto ranked = [](const SearchResult& a, const SearchResult& b) {
+    return a.similarity != b.similarity ? a.similarity > b.similarity
+                                        : a.id < b.id;
+  };
+  const std::size_t pool =
+      std::min(results.size(), k + std::max<std::size_t>(k, 8));
   std::partial_sort(results.begin(),
-                    results.begin() + static_cast<std::ptrdiff_t>(top),
-                    results.end(), [](const auto& a, const auto& b) {
-                      return a.similarity > b.similarity;
-                    });
-  results.resize(top);
+                    results.begin() + static_cast<std::ptrdiff_t>(pool),
+                    results.end(), ranked);
+  results.resize(pool);
+  const auto& exact = simd::KernelsFor(simd::Variant::kScalar);
+  for (auto& r : results) {
+    r.similarity = exact.dot(
+        query.data(),
+        data_.data() + id_to_slot_.at(r.id) * dimension_, dimension_);
+  }
+  std::erase_if(results, [min_similarity](const SearchResult& r) {
+    return r.similarity < min_similarity;
+  });
+  std::sort(results.begin(), results.end(), ranked);
+  results.resize(std::min(k, results.size()));
+  // The counter tracks scan work (one per candidate scored); the k-bounded
+  // rerank is constant overhead and intentionally excluded.
+  distcomp_.fetch_add(n, std::memory_order_relaxed);
   return results;
 }
 

@@ -8,6 +8,12 @@
 // rebuilding from live nodes.  This mirrors how production systems (e.g.
 // hnswlib + periodic rebuilds) run HNSW under churn, which a cache induces
 // constantly via eviction.
+//
+// Storage: node vectors live in an aligned VectorSlab instead of one heap
+// std::vector<float> per node, and neighbour expansion scores a whole
+// adjacency list per batched-kernel call (gather + software prefetch)
+// rather than chasing one allocation per candidate.  Tombstoned nodes keep
+// their slab row (they still route); rows are reclaimed at compaction.
 #pragma once
 
 #include <atomic>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "ann/vector_index.h"
+#include "embedding/vector_slab.h"
 #include "util/rng.h"
 
 namespace cortex {
@@ -59,7 +66,7 @@ class HnswIndex final : public VectorIndex {
  private:
   struct Node {
     VectorId id = 0;
-    Vector vector;
+    std::uint32_t row = 0;  // slot in vectors_
     bool deleted = false;
     // links[l] = neighbour slots at layer l; size() == level + 1.
     std::vector<std::vector<std::uint32_t>> links;
@@ -68,31 +75,41 @@ class HnswIndex final : public VectorIndex {
   using Slot = std::uint32_t;
   static constexpr Slot kInvalidSlot = ~Slot{0};
 
-  double Sim(std::span<const float> a, Slot b) const noexcept;
+  std::span<const float> SlotVector(Slot s) const noexcept {
+    return vectors_.RowSpan(nodes_[s].row);
+  }
+  // Similarity of `a` to node `b`; counts into `comps` (flushed to the
+  // atomic distcomp_ once per public operation, not per candidate).
+  double Sim(std::span<const float> a, Slot b,
+             std::uint64_t& comps) const noexcept;
+  // Batched: sims[i] = dot(query, slots[i]) in one gather-kernel call.
+  void SimBatch(std::span<const float> query, const Slot* slots,
+                std::size_t n, float* sims, std::uint64_t& comps) const;
   int RandomLevel();
   // Beam search at a single layer; returns up to `ef` (slot, sim) pairs,
   // best-first.  Visits tombstoned nodes (for routing) but they are included
   // in results and must be filtered by callers that need live nodes only.
   std::vector<std::pair<Slot, double>> SearchLayer(
-      std::span<const float> query, Slot entry, std::size_t ef,
-      int layer) const;
+      std::span<const float> query, Slot entry, std::size_t ef, int layer,
+      std::uint64_t& comps) const;
   // Greedy descent from the top layer to `target_layer + 1`.
   Slot GreedyDescend(std::span<const float> query, Slot entry, int from_level,
-                     int target_layer) const;
+                     int target_layer, std::uint64_t& comps) const;
   // Prunes `candidates` (best-first by similarity to `target`) down to at
   // most max_links, using heuristic diversity selection when enabled.
   void SelectNeighbors(std::span<const float> target,
                        std::vector<std::pair<Slot, double>>& candidates,
-                       std::size_t max_links) const;
-  void PruneLinks(Slot slot, int layer);
+                       std::size_t max_links, std::uint64_t& comps) const;
+  void PruneLinks(Slot slot, int layer, std::uint64_t& comps);
   void RebuildIfNeeded();
-  void InsertNode(Slot slot);
+  void InsertNode(Slot slot, std::uint64_t& comps);
 
   std::size_t dimension_;
   HnswOptions options_;
   Rng rng_;
   double level_lambda_;  // 1 / ln(M)
 
+  VectorSlab vectors_;
   std::vector<Node> nodes_;
   std::unordered_map<VectorId, Slot> id_to_slot_;
   std::size_t live_count_ = 0;

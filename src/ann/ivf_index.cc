@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "embedding/simd_kernels.h"
 #include "util/check.h"
 
 namespace cortex {
 
 IvfIndex::IvfIndex(std::size_t dimension, IvfOptions options)
-    : dimension_(dimension), options_(options) {
+    : dimension_(dimension), options_(options), vectors_(dimension) {
   CHECK_GT(dimension, 0u);
   CHECK_GT(options.num_lists, 0u);
   options_.num_probes = std::min(options_.num_probes, options_.num_lists);
@@ -16,13 +17,21 @@ IvfIndex::IvfIndex(std::size_t dimension, IvfOptions options)
 
 void IvfIndex::Add(VectorId id, std::span<const float> vector) {
   CHECK_EQ(vector.size(), dimension_);
+  DCHECK(NearlyUnitNorm(vector))
+      << "IvfIndex scores by inner product; vectors must be unit-norm";
   auto [it, inserted] = entries_.try_emplace(id);
-  if (!inserted && trained_) {
-    // Replacing: remove from its current list first.
-    auto& list = lists_[it->second.list];
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  if (inserted) {
+    it->second.row = vectors_.Add(vector);
+  } else {
+    vectors_.Overwrite(it->second.row, vector);
+    if (trained_) {
+      // Replacing: remove from its current list first.
+      auto& list = lists_[it->second.list];
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [id](const ListEntry& e) { return e.id == id; }),
+                 list.end());
+    }
   }
-  it->second.vector.assign(vector.begin(), vector.end());
   if (trained_) {
     AssignToList(id, it->second);
   }
@@ -30,9 +39,9 @@ void IvfIndex::Add(VectorId id, std::span<const float> vector) {
 }
 
 void IvfIndex::AssignToList(VectorId id, Entry& e) {
-  e.list = NearestCentroid(e.vector, centroids_, options_.num_lists,
-                           dimension_);
-  lists_[e.list].push_back(id);
+  e.list = NearestCentroid(vectors_.RowSpan(e.row), centroids_,
+                           options_.num_lists, dimension_);
+  lists_[e.list].push_back({id, e.row});
 }
 
 bool IvfIndex::Remove(VectorId id) {
@@ -40,8 +49,11 @@ bool IvfIndex::Remove(VectorId id) {
   if (it == entries_.end()) return false;
   if (trained_) {
     auto& list = lists_[it->second.list];
-    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [id](const ListEntry& e) { return e.id == id; }),
+               list.end());
   }
+  vectors_.Free(it->second.row);
   entries_.erase(it);
   return true;
 }
@@ -71,7 +83,8 @@ void IvfIndex::Train() {
   std::vector<VectorId> ids;
   ids.reserve(n);
   for (const auto& [id, e] : entries_) {
-    data.insert(data.end(), e.vector.begin(), e.vector.end());
+    const auto row = vectors_.RowSpan(e.row);
+    data.insert(data.end(), row.begin(), row.end());
     ids.push_back(id);
   }
   KMeansOptions kopts;
@@ -83,10 +96,30 @@ void IvfIndex::Train() {
   for (std::size_t i = 0; i < n; ++i) {
     auto& e = entries_.at(ids[i]);
     e.list = km.assignments[i];
-    lists_[e.list].push_back(ids[i]);
+    lists_[e.list].push_back({ids[i], e.row});
   }
   trained_ = true;
   trained_at_size_ = n;
+}
+
+void IvfIndex::ScanList(std::span<const float> query,
+                        const std::vector<ListEntry>& candidates,
+                        double min_similarity,
+                        std::vector<SearchResult>& results,
+                        std::vector<const float*>& row_ptrs,
+                        std::vector<float>& sims) const {
+  const std::size_t n = candidates.size();
+  if (n == 0) return;
+  row_ptrs.resize(n);
+  sims.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_ptrs[i] = vectors_.Row(candidates[i].row);
+  }
+  simd::DotRows(query, row_ptrs.data(), n, sims.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sim = static_cast<double>(sims[i]);
+    if (sim >= min_similarity) results.push_back({candidates[i].id, sim});
+  }
 }
 
 std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
@@ -96,46 +129,64 @@ std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
   if (k == 0 || entries_.empty()) return {};
 
   std::vector<SearchResult> results;
-  auto scan = [&](VectorId id, const Vector& v) {
-    distcomp_.fetch_add(1, std::memory_order_relaxed);
-    const double sim = CosineSimilarity(query, v);
-    if (sim >= min_similarity) results.push_back({id, sim});
-  };
+  std::vector<const float*> row_ptrs;
+  std::vector<float> sims;
+  std::uint64_t comps = 0;
 
   if (!trained_) {
-    // Warm-up: exact scan.
-    for (const auto& [id, e] : entries_) scan(id, e.vector);
+    // Warm-up: exact scan, still batched through the kernel layer.
+    std::vector<ListEntry> all;
+    all.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) all.push_back({id, e.row});
+    ScanList(query, all, min_similarity, results, row_ptrs, sims);
+    comps += all.size();
   } else {
-    // Rank lists by centroid distance, probe the closest nprobe.
+    // Rank lists by centroid distance (one batched kernel call over the
+    // contiguous centroid block), probe the closest nprobe.
+    std::vector<float> cdists(options_.num_lists);
+    simd::L2SqBatch(query, centroids_.data(), options_.num_lists, dimension_,
+                    cdists.data());
+    comps += options_.num_lists;
     std::vector<std::pair<double, std::size_t>> ranked;
     ranked.reserve(options_.num_lists);
     for (std::size_t c = 0; c < options_.num_lists; ++c) {
-      distcomp_.fetch_add(1, std::memory_order_relaxed);
-      ranked.emplace_back(
-          L2DistanceSquared(query,
-                            std::span<const float>(
-                                centroids_.data() + c * dimension_,
-                                dimension_)),
-          c);
+      ranked.emplace_back(static_cast<double>(cdists[c]), c);
     }
     const std::size_t probes = std::min(options_.num_probes, ranked.size());
     std::partial_sort(ranked.begin(),
                       ranked.begin() + static_cast<std::ptrdiff_t>(probes),
                       ranked.end());
     for (std::size_t p = 0; p < probes; ++p) {
-      for (VectorId id : lists_[ranked[p].second]) {
-        scan(id, entries_.at(id).vector);
-      }
+      const auto& list = lists_[ranked[p].second];
+      ScanList(query, list, min_similarity, results, row_ptrs, sims);
+      comps += list.size();
     }
   }
-
-  const std::size_t top = std::min(k, results.size());
+  // Two-phase ranking (see FlatIndex::Search): float batch scores select a
+  // pool, the scalar double-precision kernel reranks it, ties break by id —
+  // the final top-k is identical across SIMD variants.
+  const auto ranked = [](const SearchResult& a, const SearchResult& b) {
+    return a.similarity != b.similarity ? a.similarity > b.similarity
+                                        : a.id < b.id;
+  };
+  const std::size_t pool =
+      std::min(results.size(), k + std::max<std::size_t>(k, 8));
   std::partial_sort(results.begin(),
-                    results.begin() + static_cast<std::ptrdiff_t>(top),
-                    results.end(), [](const auto& a, const auto& b) {
-                      return a.similarity > b.similarity;
-                    });
-  results.resize(top);
+                    results.begin() + static_cast<std::ptrdiff_t>(pool),
+                    results.end(), ranked);
+  results.resize(pool);
+  const auto& exact = simd::KernelsFor(simd::Variant::kScalar);
+  for (auto& r : results) {
+    const auto row = vectors_.RowSpan(entries_.at(r.id).row);
+    r.similarity = exact.dot(query.data(), row.data(), dimension_);
+  }
+  std::erase_if(results, [min_similarity](const SearchResult& r) {
+    return r.similarity < min_similarity;
+  });
+  std::sort(results.begin(), results.end(), ranked);
+  results.resize(std::min(k, results.size()));
+  // comps tracks scan work only; the k-bounded rerank is excluded.
+  distcomp_.fetch_add(comps, std::memory_order_relaxed);
   return results;
 }
 
@@ -144,7 +195,8 @@ bool IvfIndex::Contains(VectorId id) const { return entries_.contains(id); }
 std::optional<Vector> IvfIndex::Get(VectorId id) const {
   const auto it = entries_.find(id);
   if (it == entries_.end()) return std::nullopt;
-  return it->second.vector;
+  const auto row = vectors_.RowSpan(it->second.row);
+  return Vector(row.begin(), row.end());
 }
 
 }  // namespace cortex

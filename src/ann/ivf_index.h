@@ -6,6 +6,11 @@
 // degrades to an exact flat scan — a cache starts empty, so this warm-up
 // path matters.  The quantiser is retrained automatically when the corpus
 // has grown or churned substantially since the last training.
+//
+// Storage: vectors live in an aligned VectorSlab (stable row slots,
+// free-list reuse on Remove) and inverted lists carry (id, row) pairs, so a
+// probe batches whole lists through the SIMD dot kernels without a hash
+// lookup per candidate.
 #pragma once
 
 #include <atomic>
@@ -15,6 +20,7 @@
 
 #include "ann/kmeans.h"
 #include "ann/vector_index.h"
+#include "embedding/vector_slab.h"
 
 namespace cortex {
 
@@ -51,22 +57,34 @@ class IvfIndex final : public VectorIndex {
 
  private:
   struct Entry {
-    Vector vector;
-    std::size_t list = 0;  // meaningful only when trained_
+    std::uint32_t row = 0;  // slot in vectors_
+    std::size_t list = 0;   // meaningful only when trained_
+  };
+  struct ListEntry {
+    VectorId id = 0;
+    std::uint32_t row = 0;
   };
 
   void MaybeTrain();
   void AssignToList(VectorId id, Entry& e);
+  // Scores `candidates` against `query` in one batched kernel call,
+  // appending those >= min_similarity to `results`.
+  void ScanList(std::span<const float> query,
+                const std::vector<ListEntry>& candidates,
+                double min_similarity, std::vector<SearchResult>& results,
+                std::vector<const float*>& row_ptrs,
+                std::vector<float>& sims) const;
 
   std::size_t dimension_;
   IvfOptions options_;
+  VectorSlab vectors_;
   std::unordered_map<VectorId, Entry> entries_;
   std::vector<float> centroids_;                 // num_lists * dimension
-  std::vector<std::vector<VectorId>> lists_;     // inverted lists
+  std::vector<std::vector<ListEntry>> lists_;    // inverted lists
   bool trained_ = false;
   std::size_t trained_at_size_ = 0;
   // Atomic so concurrent const Search() calls (shared-lock readers in the
-  // serving tier) stay race-free.
+  // serving tier) stay race-free; bumped once per Search, not per vector.
   mutable std::atomic<std::uint64_t> distcomp_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "embedding/simd_kernels.h"
 #include "util/check.h"
 
 namespace cortex {
@@ -19,15 +20,24 @@ std::span<const float> Row(std::span<const float> data, std::size_t i,
 std::size_t NearestCentroid(std::span<const float> point,
                             std::span<const float> centroids, std::size_t k,
                             std::size_t dimension) noexcept {
+  // Batched argmin over the contiguous centroid block, in stack-sized
+  // chunks so arbitrary k needs no heap allocation per call.
+  float dists[256];
   std::size_t best = 0;
   double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    const double d = L2DistanceSquared(
-        point, centroids.subspan(c * dimension, dimension));
-    if (d < best_d) {
-      best_d = d;
-      best = c;
+  std::size_t done = 0;
+  while (done < k) {
+    const std::size_t chunk = std::min<std::size_t>(k - done, 256);
+    simd::L2SqBatch(point, centroids.data() + done * dimension, chunk,
+                    dimension, dists);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const double d = static_cast<double>(dists[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = done + i;
+      }
     }
+    done += chunk;
   }
   return best;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ann/kmeans.h"
+#include "embedding/simd_kernels.h"
+#include "embedding/vector_ops.h"
 #include "util/check.h"
 
 namespace cortex {
@@ -77,11 +79,10 @@ std::vector<float> ProductQuantizer::BuildDotTable(
   std::vector<float> table(options_.num_subspaces * trained_k_);
   for (std::size_t m = 0; m < options_.num_subspaces; ++m) {
     const auto qsub = query.subspan(m * subdim_, subdim_);
-    for (std::size_t c = 0; c < trained_k_; ++c) {
-      const std::span<const float> centroid(
-          codebooks_[m].data() + c * subdim_, subdim_);
-      table[m * trained_k_ + c] = static_cast<float>(Dot(qsub, centroid));
-    }
+    // Each codebook is a contiguous trained_k_ x subdim_ block: one batched
+    // kernel call fills the whole sub-table.
+    simd::DotBatch(qsub, codebooks_[m].data(), trained_k_, subdim_,
+                   table.data() + m * trained_k_);
   }
   return table;
 }
@@ -130,6 +131,8 @@ void PqIndex::MaybeTrain() {
 
 void PqIndex::Add(VectorId id, std::span<const float> vector) {
   CHECK_EQ(vector.size(), dimension_);
+  DCHECK(NearlyUnitNorm(vector))
+      << "PqIndex scores by inner product; vectors must be unit-norm";
   exact_[id] = Vector(vector.begin(), vector.end());
   if (pq_.trained()) {
     codes_[id] = pq_.Encode(vector);
@@ -152,31 +155,70 @@ std::vector<SearchResult> PqIndex::Search(std::span<const float> query,
   if (k == 0 || exact_.empty()) return {};
   std::vector<SearchResult> results;
   results.reserve(exact_.size());
+  std::uint64_t comps = 0;
 
   if (!pq_.trained()) {
+    // Warm-up: exact scan.  Vectors are unit-norm (DCHECKed on Add), so the
+    // dot kernel gives the cosine directly; batch via the gather kernel.
+    std::vector<VectorId> ids;
+    std::vector<const float*> rows;
+    ids.reserve(exact_.size());
+    rows.reserve(exact_.size());
     for (const auto& [id, v] : exact_) {
-      distcomp_.fetch_add(1, std::memory_order_relaxed);
-      const double sim = CosineSimilarity(query, v);
-      if (sim >= min_similarity) results.push_back({id, sim});
+      ids.push_back(id);
+      rows.push_back(v.data());
     }
+    std::vector<float> sims(ids.size());
+    simd::DotRows(query, rows.data(), rows.size(), sims.data());
+    comps += ids.size();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const double sim = static_cast<double>(sims[i]);
+      if (sim >= min_similarity) results.push_back({ids[i], sim});
+    }
+    // Two-phase ranking (see FlatIndex::Search): rescore a k + slack pool
+    // with the scalar double-precision kernel so the exact-scan top-k is
+    // identical across SIMD variants.
+    const std::size_t pool =
+        std::min(results.size(), k + std::max<std::size_t>(k, 8));
+    std::partial_sort(results.begin(),
+                      results.begin() + static_cast<std::ptrdiff_t>(pool),
+                      results.end(), [](const auto& a, const auto& b) {
+                        return a.similarity != b.similarity
+                                   ? a.similarity > b.similarity
+                                   : a.id < b.id;
+                      });
+    results.resize(pool);
+    const auto& exact = simd::KernelsFor(simd::Variant::kScalar);
+    for (auto& r : results) {
+      const auto& v = exact_.at(r.id);
+      r.similarity = exact.dot(query.data(), v.data(), dimension_);
+    }
+    std::erase_if(results, [min_similarity](const SearchResult& r) {
+      return r.similarity < min_similarity;
+    });
   } else {
     // ADC: one table build, then M lookups per candidate.  Unit vectors
     // make the dot product a cosine approximation.
     const auto table = pq_.BuildDotTable(query);
     const double qnorm = L2Norm(query);
     for (const auto& [id, code] : codes_) {
-      distcomp_.fetch_add(1, std::memory_order_relaxed);
+      ++comps;
       double sim = pq_.DotFromTable(table, code);
       if (qnorm > 0.0) sim /= qnorm;  // codes decode to ~unit vectors
       if (sim >= min_similarity) results.push_back({id, sim});
     }
   }
+  distcomp_.fetch_add(comps, std::memory_order_relaxed);
 
   const std::size_t top = std::min(k, results.size());
+  // Ties broken by id so the ranking is a total order — identical output
+  // no matter which kernel variant produced the (bit-equal) scores.
   std::partial_sort(results.begin(),
                     results.begin() + static_cast<std::ptrdiff_t>(top),
                     results.end(), [](const auto& a, const auto& b) {
-                      return a.similarity > b.similarity;
+                      return a.similarity != b.similarity
+                                 ? a.similarity > b.similarity
+                                 : a.id < b.id;
                     });
   results.resize(top);
   return results;

@@ -1,0 +1,120 @@
+// SIMD distance-kernel layer with runtime CPU dispatch.
+//
+// Every semantic-cache lookup funnels through Sine's stage-one ANN probe,
+// so per-candidate similarity cost is the hottest multiplier in the serving
+// path.  This layer provides the vectorized kernels FAISS supplies in the
+// paper's stack: single-query dot / squared-L2, plus *batched* kernels that
+// score one query against N rows per call with register blocking and
+// software prefetch.
+//
+// Dispatch: the best variant compiled into the binary AND supported by the
+// running CPU is resolved once on first use (AVX-512 > AVX2+FMA on x86-64,
+// NEON on aarch64, scalar everywhere).  The CORTEX_SIMD env var
+// (scalar|avx2|avx512|neon) pins a variant for testing and A/B runs; tests
+// may also swap variants in-process via ForceVariant().
+//
+// Numerics: the scalar kernels accumulate in double and are bit-identical
+// to the historical vector_ops loops, so CORTEX_SIMD=scalar reproduces
+// pre-SIMD results exactly.  SIMD variants accumulate in float lanes and
+// agree with scalar to ~1e-6 relative (test_vector_ops locks this in).
+//
+// This is the ONLY place in the tree allowed to include <immintrin.h> /
+// <arm_neon.h> (enforced by scripts/cortex_lint.py rule `simd-intrinsics`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cortex::simd {
+
+enum class Variant : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,    // AVX2 + FMA, x86-64
+  kAvx512 = 2,  // AVX-512F, x86-64
+  kNeon = 3,    // aarch64
+};
+
+const char* VariantName(Variant v) noexcept;
+
+// Raw kernel table.  `stride` is the float distance between consecutive
+// rows (>= dim; slab rows are padded for alignment); every kernel reads
+// exactly `dim` floats per row — padding is never touched.
+struct KernelSet {
+  double (*dot)(const float* a, const float* b, std::size_t dim);
+  double (*l2sq)(const float* a, const float* b, std::size_t dim);
+  // out[i] = dot(query, rows + i*stride) for i in [0, n).
+  void (*dot_batch)(const float* query, const float* rows, std::size_t n,
+                    std::size_t stride, std::size_t dim, float* out);
+  // out[i] = dot(query, rows[i]); rows scattered (slab/graph gather path),
+  // with software prefetch of upcoming rows.
+  void (*dot_rows)(const float* query, const float* const* rows,
+                   std::size_t n, std::size_t dim, float* out);
+  // out[i] = ||query - (rows + i*stride)||^2.
+  void (*l2sq_batch)(const float* query, const float* rows, std::size_t n,
+                     std::size_t stride, std::size_t dim, float* out);
+};
+
+// True when `v` is both compiled into this binary and runnable on this CPU.
+bool VariantSupported(Variant v) noexcept;
+// All supported variants, scalar first.
+std::vector<Variant> SupportedVariants();
+// The fastest supported variant.
+Variant BestSupportedVariant() noexcept;
+
+// The active dispatch decision: BestSupportedVariant() unless CORTEX_SIMD
+// pins one.  Resolved once on first use; CHECK-fails on an unknown or
+// unsupported CORTEX_SIMD value.
+Variant ActiveVariant() noexcept;
+const KernelSet& ActiveKernels() noexcept;
+
+// Kernel table for a specific variant; CHECK-fails unless supported.
+const KernelSet& KernelsFor(Variant v);
+
+// Test/bench hook: swaps the active table in-process.  Returns false (and
+// changes nothing) when the variant is unsupported.  Not thread-safe —
+// call only while no concurrent searches run.
+bool ForceVariant(Variant v) noexcept;
+
+// ---------------------------------------------------------------------------
+// Dispatching convenience wrappers (the names the rest of the tree uses).
+
+// Inner product.  On the unit vectors the VectorIndex contract guarantees,
+// this IS the cosine similarity — callers must not renormalize.
+inline double DotUnit(std::span<const float> a,
+                      std::span<const float> b) noexcept {
+  return ActiveKernels().dot(a.data(), b.data(), a.size());
+}
+
+inline double L2Sq(std::span<const float> a,
+                   std::span<const float> b) noexcept {
+  return ActiveKernels().l2sq(a.data(), b.data(), a.size());
+}
+
+// Scores `query` against n contiguous rows (row i at rows + i*dim).
+inline void DotBatch(std::span<const float> query, const float* rows,
+                     std::size_t n, std::size_t dim, float* out) noexcept {
+  ActiveKernels().dot_batch(query.data(), rows, n, dim, dim, out);
+}
+
+// Strided flavour for padded slab storage.
+inline void DotBatchStrided(std::span<const float> query, const float* rows,
+                            std::size_t n, std::size_t stride,
+                            float* out) noexcept {
+  ActiveKernels().dot_batch(query.data(), rows, n, stride, query.size(), out);
+}
+
+// Gather flavour: row pointers, e.g. HNSW neighbour expansion.
+inline void DotRows(std::span<const float> query, const float* const* rows,
+                    std::size_t n, float* out) noexcept {
+  ActiveKernels().dot_rows(query.data(), rows, n, query.size(), out);
+}
+
+inline void L2SqBatch(std::span<const float> query, const float* rows,
+                      std::size_t n, std::size_t stride, float* out) noexcept {
+  ActiveKernels().l2sq_batch(query.data(), rows, n, stride, query.size(),
+                             out);
+}
+
+}  // namespace cortex::simd

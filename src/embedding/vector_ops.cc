@@ -2,17 +2,18 @@
 
 #include <cmath>
 
+#include "embedding/simd_kernels.h"
 #include "util/check.h"
 
 namespace cortex {
 
+// The scalar entry points are thin wrappers over the runtime-dispatched
+// kernel layer (simd_kernels.h), so every caller — embedder, kmeans, PQ,
+// indexes — picks up the SIMD variant selected at startup for free.
+
 double Dot(std::span<const float> a, std::span<const float> b) noexcept {
   DCHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return acc;
+  return simd::DotUnit(a, b);
 }
 
 double L2Norm(std::span<const float> v) noexcept {
@@ -22,12 +23,7 @@ double L2Norm(std::span<const float> v) noexcept {
 double L2DistanceSquared(std::span<const float> a,
                          std::span<const float> b) noexcept {
   DCHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
-    acc += d * d;
-  }
-  return acc;
+  return simd::L2Sq(a, b);
 }
 
 double CosineSimilarity(std::span<const float> a,
@@ -36,6 +32,10 @@ double CosineSimilarity(std::span<const float> a,
   const double nb = L2Norm(b);
   if (na == 0.0 || nb == 0.0) return 0.0;
   return Dot(a, b) / (na * nb);
+}
+
+bool NearlyUnitNorm(std::span<const float> v, double tolerance) noexcept {
+  return std::abs(L2Norm(v) - 1.0) <= tolerance;
 }
 
 void Normalize(std::span<float> v) noexcept {

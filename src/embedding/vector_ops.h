@@ -18,6 +18,12 @@ double L2DistanceSquared(std::span<const float> a,
 double CosineSimilarity(std::span<const float> a,
                         std::span<const float> b) noexcept;
 
+// True when ||v|| is within `tolerance` of 1.  The ANN indexes DCHECK this
+// on Add: their Search paths score by raw inner product, which equals
+// cosine only for unit vectors.
+bool NearlyUnitNorm(std::span<const float> v,
+                    double tolerance = 1e-3) noexcept;
+
 // In-place L2 normalisation; zero vectors are left untouched.
 void Normalize(std::span<float> v) noexcept;
 

@@ -1,0 +1,66 @@
+#include "embedding/vector_slab.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cortex {
+
+void VectorSlab::AlignedFree::operator()(float* p) const noexcept {
+  std::free(p);
+}
+
+VectorSlab::VectorSlab(std::size_t dim) : dim_(dim) {
+  CHECK_GT(dim, 0u);
+  // Pad rows to a 64-byte (16-float) boundary so every row starts aligned.
+  stride_ = (dim + 15) / 16 * 16;
+}
+
+std::uint32_t VectorSlab::Add(std::span<const float> v) {
+  DCHECK_EQ(v.size(), dim_);
+  std::uint32_t row;
+  if (!free_.empty()) {
+    row = free_.back();
+    free_.pop_back();
+  } else {
+    row = next_row_++;
+    if (row / kRowsPerChunk == chunks_.size()) {
+      const std::size_t bytes = kRowsPerChunk * stride_ * sizeof(float);
+      // aligned_alloc requires size % alignment == 0; stride is a multiple
+      // of 16 floats, so bytes is a multiple of 64.
+      auto* mem = static_cast<float*>(std::aligned_alloc(64, bytes));
+      CHECK(mem != nullptr) << "VectorSlab chunk allocation failed";
+      std::memset(mem, 0, bytes);  // padding lanes stay deterministic
+      chunks_.emplace_back(mem);
+    }
+  }
+  Overwrite(row, v);
+  ++live_;
+  return row;
+}
+
+void VectorSlab::Overwrite(std::uint32_t row, std::span<const float> v) {
+  DCHECK_EQ(v.size(), dim_);
+  DCHECK_LT(row, next_row_);
+  float* dst = chunks_[row / kRowsPerChunk].get() +
+               static_cast<std::size_t>(row % kRowsPerChunk) * stride_;
+  std::copy(v.begin(), v.end(), dst);
+}
+
+void VectorSlab::Free(std::uint32_t row) {
+  DCHECK_LT(row, next_row_);
+  DCHECK_GT(live_, 0u);
+  free_.push_back(row);
+  --live_;
+}
+
+void VectorSlab::Clear() {
+  chunks_.clear();
+  free_.clear();
+  next_row_ = 0;
+  live_ = 0;
+}
+
+}  // namespace cortex

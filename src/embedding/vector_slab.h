@@ -1,0 +1,69 @@
+// VectorSlab: a chunked arena of 64-byte-aligned, fixed-dimension float
+// rows with stable row slots and a free list.
+//
+// The ANN indexes used to hold one heap-allocated std::vector<float> per
+// entry, so neighbour expansion chased a pointer per candidate.  A slab
+// keeps rows contiguous (within a chunk) and aligned, which is what the
+// batched SIMD kernels (embedding/simd_kernels.h) want to stream.
+//
+// Row slots are stable for the life of the entry: chunks never move once
+// allocated, so `Row()` pointers stay valid across Add/Free of other rows
+// (required by HNSW, whose graph stores slots, and by the serving tier's
+// concurrent readers — mutation happens under the engine's write lock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cortex {
+
+class VectorSlab {
+ public:
+  explicit VectorSlab(std::size_t dim);
+
+  VectorSlab(VectorSlab&&) noexcept = default;
+  VectorSlab& operator=(VectorSlab&&) noexcept = default;
+
+  // Copies `v` (size dim) into a free row and returns its slot.
+  std::uint32_t Add(std::span<const float> v);
+  // Replaces the contents of an allocated row.
+  void Overwrite(std::uint32_t row, std::span<const float> v);
+  // Returns the row to the free list (contents become stale; the slot may
+  // be handed out again by a later Add).
+  void Free(std::uint32_t row);
+  // Drops every row and chunk.
+  void Clear();
+
+  const float* Row(std::uint32_t row) const noexcept {
+    return chunks_[row / kRowsPerChunk].get() +
+           static_cast<std::size_t>(row % kRowsPerChunk) * stride_;
+  }
+  std::span<const float> RowSpan(std::uint32_t row) const noexcept {
+    return {Row(row), dim_};
+  }
+
+  std::size_t dim() const noexcept { return dim_; }
+  // Floats between consecutive rows of a chunk (dim rounded up to 16).
+  std::size_t stride() const noexcept { return stride_; }
+  // Rows currently allocated (Add minus Free).
+  std::size_t size() const noexcept { return live_; }
+
+ private:
+  static constexpr std::size_t kRowsPerChunk = 256;
+
+  struct AlignedFree {
+    void operator()(float* p) const noexcept;
+  };
+
+  std::size_t dim_;
+  std::size_t stride_;
+  std::vector<std::unique_ptr<float[], AlignedFree>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t next_row_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cortex

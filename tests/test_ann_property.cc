@@ -2,11 +2,14 @@
 // parameterised over index type — the cache treats them interchangeably.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "ann/flat_index.h"
 #include "ann/hnsw_index.h"
 #include "ann/ivf_index.h"
+#include "ann/pq.h"
+#include "embedding/simd_kernels.h"
 #include "util/rng.h"
 
 namespace cortex {
@@ -137,6 +140,75 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexPropertyTest,
                          ::testing::Values(Kind::kFlat, Kind::kIvf,
                                            Kind::kHnsw),
                          [](const auto& info) { return KindName(info.param); });
+
+// ---------------------------------------------------------------------------
+// Dispatch independence: every index must return the same top-k ids no
+// matter which SIMD variant is active (scalar vs native), on a fixed seed.
+// Build AND search run under the forced variant, mirroring a process pinned
+// via CORTEX_SIMD.
+
+class ScopedVariant {
+ public:
+  explicit ScopedVariant(simd::Variant v) { simd::ForceVariant(v); }
+  ~ScopedVariant() { simd::ForceVariant(prev_); }
+  ScopedVariant(const ScopedVariant&) = delete;
+  ScopedVariant& operator=(const ScopedVariant&) = delete;
+
+ private:
+  simd::Variant prev_ = simd::ActiveVariant();
+};
+
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kN = 200;
+constexpr std::size_t kTopK = 10;
+constexpr std::size_t kQueries = 5;
+
+TEST(DispatchIndependence, TopKIdsIdenticalAcrossVariants) {
+  const auto variants = simd::SupportedVariants();
+  if (variants.size() < 2) GTEST_SKIP() << "only the scalar kernel compiled";
+
+  struct Impl {
+    const char* name;
+    std::function<std::unique_ptr<VectorIndex>()> make;
+  };
+  const Impl impls[] = {
+      {"flat", [] { return std::unique_ptr<VectorIndex>(
+                        std::make_unique<FlatIndex>(kDim)); }},
+      {"ivf", [] {
+         IvfOptions opts;
+         opts.num_lists = 8;
+         opts.num_probes = 8;  // full probing: candidate set is exact
+         return std::unique_ptr<VectorIndex>(
+             std::make_unique<IvfIndex>(kDim, opts));
+       }},
+      {"hnsw", [] { return std::unique_ptr<VectorIndex>(
+                        std::make_unique<HnswIndex>(kDim)); }},
+      {"pq", [] { return std::unique_ptr<VectorIndex>(
+                      std::make_unique<PqIndex>(kDim)); }},
+  };
+
+  for (const auto& impl : impls) {
+    std::vector<std::vector<VectorId>> per_variant;
+    for (const auto v : variants) {
+      ScopedVariant forced(v);
+      auto idx = impl.make();
+      Rng rng(99);
+      for (VectorId i = 0; i < kN; ++i) idx->Add(i, RandomUnit(kDim, rng));
+      std::vector<VectorId> ids;
+      for (std::size_t q = 0; q < kQueries; ++q) {
+        for (const auto& r : idx->Search(RandomUnit(kDim, rng), kTopK, -1.0)) {
+          ids.push_back(r.id);
+        }
+      }
+      per_variant.push_back(std::move(ids));
+    }
+    for (std::size_t i = 1; i < per_variant.size(); ++i) {
+      EXPECT_EQ(per_variant[i], per_variant[0])
+          << impl.name << ": " << simd::VariantName(variants[i])
+          << " disagrees with " << simd::VariantName(variants[0]);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace cortex

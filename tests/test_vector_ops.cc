@@ -2,12 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "embedding/simd_kernels.h"
 #include "util/rng.h"
 
 namespace cortex {
 namespace {
+
+// Restores the previously active kernel variant on scope exit so a failing
+// assertion cannot leak a forced variant into later tests.
+class ScopedVariant {
+ public:
+  explicit ScopedVariant(simd::Variant v) : prev_(simd::ActiveVariant()) {
+    forced_ = simd::ForceVariant(v);
+  }
+  ~ScopedVariant() { simd::ForceVariant(prev_); }
+  ScopedVariant(const ScopedVariant&) = delete;
+  ScopedVariant& operator=(const ScopedVariant&) = delete;
+  bool forced() const noexcept { return forced_; }
+
+ private:
+  simd::Variant prev_;
+  bool forced_ = false;
+};
 
 TEST(VectorOps, DotProduct) {
   const Vector a = {1, 2, 3};
@@ -80,14 +99,134 @@ TEST(VectorOps, CosineBoundedForRandomVectors) {
 }
 
 TEST(VectorOps, TriangleConsistency) {
-  // ||a-b||^2 = ||a||^2 + ||b||^2 - 2<a,b>
+  // ||a-b||^2 = ||a||^2 + ||b||^2 - 2<a,b>.  Tolerance follows the kernel
+  // numerics policy (simd_kernels.h): SIMD variants accumulate in float
+  // lanes, so the identity holds to ~1e-5 relative, not double precision.
   Rng rng(2);
   Vector a(16), b(16);
   for (auto& x : a) x = static_cast<float>(rng.Normal());
   for (auto& x : b) x = static_cast<float>(rng.Normal());
   const double lhs = L2DistanceSquared(a, b);
   const double rhs = Dot(a, a) + Dot(b, b) - 2 * Dot(a, b);
-  EXPECT_NEAR(lhs, rhs, 1e-6);
+  EXPECT_NEAR(lhs, rhs, 1e-5 * (std::abs(rhs) + 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernel layer
+
+TEST(SimdKernels, ScalarAlwaysSupportedAndNamed) {
+  EXPECT_TRUE(simd::VariantSupported(simd::Variant::kScalar));
+  const auto variants = simd::SupportedVariants();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants.front(), simd::Variant::kScalar);
+  for (const auto v : variants) {
+    EXPECT_STRNE(simd::VariantName(v), "");
+  }
+  // The resolved dispatch must itself be a supported variant.
+  EXPECT_TRUE(simd::VariantSupported(simd::ActiveVariant()));
+}
+
+TEST(SimdKernels, ForceVariantSwapsAndRestores) {
+  const auto original = simd::ActiveVariant();
+  {
+    ScopedVariant forced(simd::Variant::kScalar);
+    ASSERT_TRUE(forced.forced());
+    EXPECT_EQ(simd::ActiveVariant(), simd::Variant::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveVariant(), original);
+  // Unsupported variants are rejected without changing the dispatch.
+#if !defined(__aarch64__)
+  EXPECT_FALSE(simd::ForceVariant(simd::Variant::kNeon));
+  EXPECT_EQ(simd::ActiveVariant(), original);
+#endif
+}
+
+// Every compiled-and-runnable variant must agree with the scalar reference
+// within 1e-5 relative tolerance, across dims that exercise every tail path
+// (non-multiples of 8/16 lanes) and deliberately misaligned spans.
+TEST(SimdKernels, AllVariantsMatchScalarReference) {
+  Rng rng(7);
+  const auto& scalar = simd::KernelsFor(simd::Variant::kScalar);
+  const auto variants = simd::SupportedVariants();
+  const std::size_t dims[] = {1,  2,  3,   5,   7,   8,   9,    15,  16,
+                              17, 31, 32,  33,  63,  64,  65,   100, 127,
+                              128, 129, 255, 256, 257, 768, 1000, 1536, 1537};
+  for (const std::size_t dim : dims) {
+    // +1 slack so the offset-1 pass reads in-bounds but misaligned.
+    std::vector<float> abuf(dim + 1), bbuf(dim + 1);
+    for (auto& x : abuf) x = static_cast<float>(rng.Normal());
+    for (auto& x : bbuf) x = static_cast<float>(rng.Normal());
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+      const float* a = abuf.data() + offset;
+      const float* b = bbuf.data() + offset;
+      const double ref_dot = scalar.dot(a, b, dim);
+      const double ref_l2 = scalar.l2sq(a, b, dim);
+      for (const auto v : variants) {
+        const auto& ks = simd::KernelsFor(v);
+        EXPECT_NEAR(ks.dot(a, b, dim), ref_dot,
+                    1e-5 * (std::abs(ref_dot) + 1.0))
+            << simd::VariantName(v) << " dot dim=" << dim
+            << " offset=" << offset;
+        EXPECT_NEAR(ks.l2sq(a, b, dim), ref_l2, 1e-5 * (ref_l2 + 1.0))
+            << simd::VariantName(v) << " l2sq dim=" << dim
+            << " offset=" << offset;
+      }
+    }
+  }
+}
+
+// Batched kernels (contiguous strided, gather, and L2) must agree with the
+// scalar single-pair reference row by row, including padded strides.
+TEST(SimdKernels, BatchKernelsMatchSingleQueryReference) {
+  Rng rng(11);
+  const auto& scalar = simd::KernelsFor(simd::Variant::kScalar);
+  const auto variants = simd::SupportedVariants();
+  for (const std::size_t dim : {std::size_t{5}, std::size_t{64},
+                                std::size_t{257}, std::size_t{768}}) {
+    const std::size_t n = 37;           // not a multiple of the 4-row block
+    const std::size_t stride = dim + 3;  // padded, misaligns every row
+    std::vector<float> rows(n * stride), query(dim);
+    for (auto& x : rows) x = static_cast<float>(rng.Normal());
+    for (auto& x : query) x = static_cast<float>(rng.Normal());
+    std::vector<const float*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = rows.data() + i * stride;
+    // Scatter the gather order so dot_rows cannot rely on contiguity.
+    std::reverse(ptrs.begin(), ptrs.end());
+
+    std::vector<float> dots(n), gathers(n), l2s(n);
+    for (const auto v : variants) {
+      const auto& ks = simd::KernelsFor(v);
+      ks.dot_batch(query.data(), rows.data(), n, stride, dim, dots.data());
+      ks.dot_rows(query.data(), ptrs.data(), n, dim, gathers.data());
+      ks.l2sq_batch(query.data(), rows.data(), n, stride, dim, l2s.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ref =
+            scalar.dot(query.data(), rows.data() + i * stride, dim);
+        const double ref_g = scalar.dot(query.data(), ptrs[i], dim);
+        const double ref_l2 =
+            scalar.l2sq(query.data(), rows.data() + i * stride, dim);
+        EXPECT_NEAR(dots[i], ref, 1e-5 * (std::abs(ref) + 1.0))
+            << simd::VariantName(v) << " dot_batch dim=" << dim << " i=" << i;
+        EXPECT_NEAR(gathers[i], ref_g, 1e-5 * (std::abs(ref_g) + 1.0))
+            << simd::VariantName(v) << " dot_rows dim=" << dim << " i=" << i;
+        EXPECT_NEAR(l2s[i], ref_l2, 1e-5 * (ref_l2 + 1.0))
+            << simd::VariantName(v) << " l2sq_batch dim=" << dim
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, NearlyUnitNormAcceptsUnitRejectsOthers) {
+  Rng rng(13);
+  Vector v(128);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  Normalize(v);
+  EXPECT_TRUE(NearlyUnitNorm(v));
+  ScaleInPlace(v, 2.0f);
+  EXPECT_FALSE(NearlyUnitNorm(v));
+  const Vector zero(128, 0.0f);
+  EXPECT_FALSE(NearlyUnitNorm(zero));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <thread>
 
+#include "embedding/simd_kernels.h"
 #include "serve/concurrent_engine.h"
 #include "serve/server.h"
 #include "serve/serving_world.h"
@@ -134,7 +135,8 @@ int main(int argc, char** argv) {
             << ", shards=" << eopts.num_shards
             << ", workers=" << sopts.num_workers << ", capacity="
             << static_cast<long long>(eopts.cache.capacity_tokens)
-            << " tokens)\n"
+            << " tokens, simd="
+            << simd::VariantName(simd::ActiveVariant()) << ")\n"
             << "Ctrl-C to stop.\n"
             << std::flush;
 
