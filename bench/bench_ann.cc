@@ -3,7 +3,12 @@
 //     computations, and end-to-end cache hit rate when each backs Sine;
 //   * tau_sim sweep: the §4.2 trade-off between stage-1 recall and stage-2
 //     judger workload.
+//
+// Flags:
+//   --json   also write BENCH_ann.json (the deterministic recall/work
+//            ablation rows) for the CI bench-diff flywheel
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "ann/flat_index.h"
@@ -74,6 +79,11 @@ int main(int argc, char** argv) {
   FlatIndex truth(embedder.dimension());
   for (std::size_t i = 0; i < corpus.size(); ++i) truth.Add(i, corpus[i]);
 
+  struct AblationRow {
+    const char* index;
+    double recall, comps, self_hit;
+  };
+  std::vector<AblationRow> ablation_rows;
   TextTable ann_table({"index", "recall@5 vs flat", "dist comps / query",
                        "self-hit rate"});
   for (const IndexType type :
@@ -104,6 +114,9 @@ int main(int argc, char** argv) {
                        : type == IndexType::kIvf ? "ivf"
                        : type == IndexType::kHnsw ? "hnsw"
                                                   : "pq";
+    ablation_rows.push_back({name, static_cast<double>(found) / total, comps,
+                             static_cast<double>(self_hits) /
+                                 static_cast<double>(queries.size())});
     ann_table.AddRow({name,
                       TextTable::Percent(static_cast<double>(found) / total),
                       TextTable::Num(comps, 0),
@@ -112,6 +125,22 @@ int main(int argc, char** argv) {
   }
   ann_table.Print(std::cout, csv);
   std::cout << '\n';
+
+  // Deterministic rows only — recall and distance-computation counts are
+  // machine-independent, so the baseline diffs tightly in CI.
+  if (flags.GetBool("json", false)) {
+    std::ofstream out("BENCH_ann.json");
+    out << "{\n  \"benchmark\": \"ann_ablation\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < ablation_rows.size(); ++i) {
+      const auto& r = ablation_rows[i];
+      out << "    {\"index\": \"" << r.index << "\", \"recall_at_5\": "
+          << r.recall << ", \"dist_comps_per_query\": " << r.comps
+          << ", \"self_hit_rate\": " << r.self_hit << "}"
+          << (i + 1 < ablation_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote BENCH_ann.json\n";
+  }
 
   // --- Kernel dispatch A/B: scan/probe throughput, scalar vs native ---
   // Same index, same queries, only the kernel variant differs.  Top-k ids

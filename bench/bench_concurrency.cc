@@ -9,8 +9,13 @@
 //     workload through the serving layer's ConcurrentShardedEngine
 //     (per-shard shared_mutex) and we measure wall-clock throughput, the
 //     scaling story behind cortexd's worker pool.
+// Flags:
+//   --json   also write BENCH_concurrency.json (the deterministic
+//            virtual-clock table in default mode; thread-scaling rows in
+//            --real-threads mode) for the CI bench-diff flywheel
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -97,17 +102,37 @@ int RealThreadsMain(const Flags& flags) {
 
   TextTable table(
       {"client threads", "throughput (req/s)", "speedup", "hit rate"});
+  struct Row {
+    std::size_t threads;
+    double throughput, speedup, hit_rate;
+  };
+  std::vector<Row> rows;
   double base = 0.0;
   for (const std::size_t t : thread_counts) {
     double hit_rate = 0.0;
     const double tput =
         RunRealThreads(bundle, embedder, judger, shards, t, &hit_rate);
     if (base == 0.0) base = tput;
+    rows.push_back({t, tput, base > 0 ? tput / base : 0.0, hit_rate});
     table.AddRow({std::to_string(t), TextTable::Num(tput),
                   TextTable::Num(base > 0 ? tput / base : 0.0, 2) + "x",
                   TextTable::Percent(hit_rate)});
   }
   table.Print(std::cout, csv);
+  if (flags.GetBool("json", false)) {
+    std::ofstream out("BENCH_concurrency.json");
+    out << "{\n  \"benchmark\": \"concurrency_real_threads\",\n  \"shards\": "
+        << shards << ",\n  \"tasks\": " << tasks << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"threads\": " << rows[i].threads
+          << ", \"throughput_rps\": " << rows[i].throughput
+          << ", \"speedup\": " << rows[i].speedup
+          << ", \"hit_rate\": " << rows[i].hit_rate << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote BENCH_concurrency.json\n";
+  }
   std::cout << "\nexpected shape: near-linear scaling while threads <="
                " shards (probes run under per-shard shared locks), then"
                " commit/insert serialisation flattens the curve.\n";
@@ -133,6 +158,12 @@ int main(int argc, char** argv) {
 
   TextTable table({"request rate (req/s)", "system", "throughput (req/s)",
                    "hit rate", "p99 latency (s)"});
+  struct Row {
+    double rate;
+    std::string system;
+    double throughput, hit_rate, p99;
+  };
+  std::vector<Row> rows;
   for (const double rate : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     for (const System system :
          {System::kVanilla, System::kExact, System::kCortex}) {
@@ -141,6 +172,8 @@ int main(int argc, char** argv) {
       config.cache_ratio = 0.4;
       config.driver = OpenLoop(rate);
       const auto r = RunExperiment(bundle, config);
+      rows.push_back({rate, SystemName(system), r.metrics.Throughput(),
+                      r.metrics.CacheHitRate(), r.metrics.P99Latency()});
       table.AddRow({TextTable::Num(rate, 1), SystemName(system),
                     TextTable::Num(r.metrics.Throughput()),
                     TextTable::Percent(r.metrics.CacheHitRate()),
@@ -148,6 +181,22 @@ int main(int argc, char** argv) {
     }
   }
   table.Print(std::cout, csv);
+  // The virtual-clock table is fully deterministic, so the committed
+  // baseline diffs tightly in CI (scripts/bench_diff.py).
+  if (flags.GetBool("json", false)) {
+    std::ofstream out("BENCH_concurrency.json");
+    out << "{\n  \"benchmark\": \"concurrency_virtual_clock\",\n  \"tasks\": "
+        << tasks << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"rate\": " << rows[i].rate << ", \"system\": \""
+          << rows[i].system << "\", \"throughput_rps\": "
+          << rows[i].throughput << ", \"hit_rate\": " << rows[i].hit_rate
+          << ", \"p99_latency_s\": " << rows[i].p99 << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote BENCH_concurrency.json\n";
+  }
   std::cout << "\npaper shape: Agent_vanilla/Agent_exact plateau around ~1"
                " req/s (rate-limit bound); Agent_Cortex scales nearly"
                " linearly to several req/s (paper: 4.89 vs 1.09/0.86 at"

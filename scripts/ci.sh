@@ -37,6 +37,19 @@ run_ctest build-ci/gcc-release
 leg "CORTEX_SIMD=scalar ctest (kernel-dispatch fallback)"
 CORTEX_SIMD=scalar run_ctest build-ci/gcc-release
 
+leg "bench flywheel (fresh --json runs vs committed baselines)"
+# Perf keys diff inside a wide tolerance band; deterministic keys (recall,
+# virtual-clock rates, error counts) diff tightly.  See scripts/bench_diff.py.
+(cd build-ci/gcc-release &&
+  ./bench/bench_vector_ops --json >/dev/null &&
+  ./bench/bench_concurrency --json --tasks=300 >/dev/null &&
+  ./bench/bench_ann --json >/dev/null &&
+  ./bench/bench_cluster --json --tasks=120 --threads=4 >/dev/null)
+for b in vector_ops concurrency ann cluster; do
+  python3 scripts/bench_diff.py "BENCH_${b}.json" \
+    "build-ci/gcc-release/BENCH_${b}.json"
+done
+
 if command -v clang++ >/dev/null 2>&1; then
   leg "clang -Werror -Wthread-safety"
   cmake -B build-ci/clang -S . \

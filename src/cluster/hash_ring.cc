@@ -1,0 +1,156 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cortex::cluster {
+
+namespace {
+
+// FNV-1a 64 with a Mix64 finisher — the same construction shard routing
+// uses, so ring placement quality matches the intra-node split.
+std::uint64_t HashBytes(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+std::string NodeEndpoint::ToString() const {
+  if (!unix_path.empty()) return "unix:" + unix_path;
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<NodeEndpoint> ParseEndpoint(std::string_view text,
+                                          std::string* error) {
+  NodeEndpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.unix_path = std::string(text.substr(5));
+    if (ep.unix_path.empty()) {
+      if (error) *error = "empty unix socket path";
+      return std::nullopt;
+    }
+    return ep;
+  }
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    if (error) *error = "endpoint must be host:port or unix:PATH";
+    return std::nullopt;
+  }
+  ep.host = std::string(text.substr(0, colon));
+  int port = 0;
+  for (const char c : text.substr(colon + 1)) {
+    if (c < '0' || c > '9' || port > 65535) {
+      if (error) *error = "bad port in endpoint";
+      return std::nullopt;
+    }
+    port = port * 10 + (c - '0');
+  }
+  if (port <= 0 || port > 65535) {
+    if (error) *error = "bad port in endpoint";
+    return std::nullopt;
+  }
+  ep.port = port;
+  return ep;
+}
+
+HashRing::HashRing(HashRingOptions options) : options_(options) {
+  CHECK_GT(options_.vnodes_per_node, 0u);
+  CHECK_GT(options_.replication, 0u);
+}
+
+std::uint64_t HashRing::PointFor(std::string_view key) {
+  return HashBytes(key);
+}
+
+void HashRing::AddNode(const std::string& name, const NodeEndpoint& endpoint) {
+  CHECK(!name.empty()) << "ring node needs a name";
+  CHECK(!HasNode(name)) << "duplicate ring node '" << name << "'";
+  nodes_.push_back({name, endpoint});
+  Rebuild();
+  ++version_;
+}
+
+bool HashRing::RemoveNode(std::string_view name) {
+  const auto it =
+      std::find_if(nodes_.begin(), nodes_.end(),
+                   [&](const Node& n) { return n.name == name; });
+  if (it == nodes_.end()) return false;
+  nodes_.erase(it);
+  Rebuild();
+  ++version_;
+  return true;
+}
+
+bool HashRing::HasNode(std::string_view name) const {
+  return std::any_of(nodes_.begin(), nodes_.end(),
+                     [&](const Node& n) { return n.name == name; });
+}
+
+std::size_t HashRing::num_nodes() const noexcept { return nodes_.size(); }
+
+std::vector<std::string> HashRing::NodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const Node& n : nodes_) names.push_back(n.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const NodeEndpoint* HashRing::EndpointOf(std::string_view name) const {
+  for (const Node& n : nodes_) {
+    if (n.name == name) return &n.endpoint;
+  }
+  return nullptr;
+}
+
+void HashRing::Rebuild() {
+  vnodes_.clear();
+  vnodes_.reserve(nodes_.size() * options_.vnodes_per_node);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t v = 0; v < options_.vnodes_per_node; ++v) {
+      const std::string label =
+          nodes_[i].name + "#" + std::to_string(v);
+      vnodes_.push_back({HashBytes(label), i});
+    }
+  }
+  std::sort(vnodes_.begin(), vnodes_.end(), [](const VNode& a, const VNode& b) {
+    return a.point != b.point ? a.point < b.point : a.node < b.node;
+  });
+}
+
+std::vector<std::string> HashRing::OwnersFor(std::string_view key) const {
+  std::vector<std::string> owners;
+  if (vnodes_.empty()) return owners;
+  const std::size_t want = std::min(options_.replication, nodes_.size());
+  const std::uint64_t point = PointFor(key);
+  auto it = std::lower_bound(
+      vnodes_.begin(), vnodes_.end(), point,
+      [](const VNode& v, std::uint64_t p) { return v.point < p; });
+  // Walk clockwise (wrapping) collecting distinct nodes.
+  std::vector<bool> seen(nodes_.size(), false);
+  for (std::size_t step = 0; step < vnodes_.size() && owners.size() < want;
+       ++step) {
+    if (it == vnodes_.end()) it = vnodes_.begin();
+    if (!seen[it->node]) {
+      seen[it->node] = true;
+      owners.push_back(nodes_[it->node].name);
+    }
+    ++it;
+  }
+  return owners;
+}
+
+std::string HashRing::PrimaryFor(std::string_view key) const {
+  auto owners = OwnersFor(key);
+  return owners.empty() ? std::string() : std::move(owners.front());
+}
+
+}  // namespace cortex::cluster

@@ -1,0 +1,121 @@
+#include "cluster/node_pool.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace cortex::cluster {
+
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+}
+
+}  // namespace
+
+NodePool::NodePool(std::string name, NodeEndpoint endpoint,
+                   NodePoolOptions options,
+                   telemetry::MetricRegistry* registry)
+    : name_(std::move(name)),
+      endpoint_(std::move(endpoint)),
+      options_(options),
+      rng_(options.seed) {
+  const std::string prefix = "cortex_cluster_node_" + name_ + "_";
+  requests_ = registry->GetCounter(prefix + "requests");
+  failures_ = registry->GetCounter(prefix + "failures");
+  dials_ = registry->GetCounter(prefix + "dials");
+  fast_fails_ = registry->GetCounter(prefix + "fast_fails");
+}
+
+bool NodePool::healthy() const {
+  MutexLock lock(mu_);
+  return !unhealthy_;
+}
+
+bool NodePool::Dial(serve::BlockingClient* conn, std::string* error) {
+  dials_->Inc();
+  bool ok = endpoint_.unix_path.empty()
+                ? conn->ConnectTcp(endpoint_.host, endpoint_.port, error)
+                : conn->ConnectUnix(endpoint_.unix_path, error);
+  if (!ok) return false;
+  conn->SetCallTimeout(options_.call_timeout_sec);
+  conn->SetMaxFrameBytes(options_.max_frame_bytes);
+  return conn->Handshake("router", error);
+}
+
+void NodePool::OnSuccess(serve::BlockingClient conn) {
+  MutexLock lock(mu_);
+  consecutive_failures_ = 0;
+  unhealthy_ = false;
+  if (idle_.size() < options_.max_idle_connections) {
+    idle_.push_back(std::move(conn));
+  }
+}
+
+void NodePool::OnFailure() {
+  failures_->Inc();
+  MutexLock lock(mu_);
+  if (++consecutive_failures_ >= options_.unhealthy_after_failures) {
+    unhealthy_ = true;
+    probe_at_ = telemetry::WallSeconds() + options_.retry_backoff_sec;
+  }
+}
+
+std::optional<serve::Response> NodePool::Call(const serve::Request& request,
+                                              std::string* error) {
+  serve::BlockingClient conn;
+  bool reused = false;
+  double hop_sec = 0.0;
+  {
+    MutexLock lock(mu_);
+    if (unhealthy_) {
+      const double now = telemetry::WallSeconds();
+      if (now < probe_at_) {
+        fast_fails_->Inc();
+        SetError(error, "node " + name_ + " unhealthy (in backoff)");
+        return std::nullopt;
+      }
+      // This call is the probe; push the window so concurrent callers keep
+      // failing fast instead of piling onto a dead node.
+      probe_at_ = now + options_.retry_backoff_sec;
+    }
+    if (!idle_.empty()) {
+      conn = std::move(idle_.back());
+      idle_.pop_back();
+      reused = true;
+    }
+    if (options_.hop_latency != nullptr) {
+      hop_sec = options_.hop_latency->Sample(rng_);
+    }
+  }
+  if (hop_sec > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(hop_sec));
+  }
+
+  if (!reused && !Dial(&conn, error)) {
+    OnFailure();
+    return std::nullopt;
+  }
+
+  requests_->Inc();
+  auto response = conn.Call(request, error);
+  if (!response && reused) {
+    // The server may have closed the idle socket between calls; a fresh
+    // dial distinguishes "stale pooled connection" from "node down".
+    if (Dial(&conn, error)) {
+      response = conn.Call(request, error);
+    }
+  }
+  if (!response) {
+    OnFailure();
+    if (error && !error->empty()) {
+      *error = "node " + name_ + ": " + *error;
+    }
+    return std::nullopt;
+  }
+  OnSuccess(std::move(conn));
+  return response;
+}
+
+}  // namespace cortex::cluster

@@ -1,0 +1,94 @@
+// NodePool: the router's connection pool and health view for one cluster
+// node.  Each Call() borrows a pooled connection (dialing + HELLO
+// handshaking as "router" on demand), runs one request/response round
+// trip, and returns the connection to the idle stack on success.
+//
+// Health tracking: consecutive failures beyond a threshold mark the node
+// unhealthy; while unhealthy, calls fail fast (so the router fails over to
+// a replica immediately instead of burning a timeout per request) except
+// for one probe per backoff window, which re-opens the node on success.
+// A failure on a *pooled* connection is retried once on a fresh dial —
+// the server may simply have closed an idle socket.
+//
+// Thread-safe.  The pool mutex (LockRank::kRouterNodePool) only guards the
+// idle stack and health counters — network I/O always happens outside it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "net/latency.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "telemetry/metrics.h"
+#include "util/ranked_mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace cortex::cluster {
+
+struct NodePoolOptions {
+  // Socket send/receive timeout per call; a timeout is treated as a node
+  // failure (the router's failover signal).
+  double call_timeout_sec = 2.0;
+  std::size_t max_idle_connections = 8;
+  // Consecutive failures before the node is marked unhealthy.
+  int unhealthy_after_failures = 3;
+  // While unhealthy, at most one probe call per this window; everything
+  // else fails fast.
+  double retry_backoff_sec = 1.0;
+  // Response-frame cap: SNAPSHOT blobs dwarf the protocol default.
+  std::size_t max_frame_bytes = std::size_t{64} << 20;
+  // Optional simulated inter-node hop (net/latency): sampled and slept
+  // before every call.  Borrowed; may be null (no added latency).
+  const LatencyDistribution* hop_latency = nullptr;
+  std::uint64_t seed = 1;
+};
+
+class NodePool {
+ public:
+  // `registry` is borrowed and must outlive the pool; per-node counters
+  // are published as cortex_cluster_node_<name>_{requests,failures,dials}.
+  NodePool(std::string name, NodeEndpoint endpoint, NodePoolOptions options,
+           telemetry::MetricRegistry* registry);
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  // One round trip.  Returns nullopt and fills `error` on transport
+  // failure, handshake rejection, or fast-fail while unhealthy.
+  std::optional<serve::Response> Call(const serve::Request& request,
+                                      std::string* error = nullptr);
+
+  bool healthy() const;
+  const std::string& name() const noexcept { return name_; }
+  const NodeEndpoint& endpoint() const noexcept { return endpoint_; }
+  std::uint64_t requests() const { return requests_->Value(); }
+  std::uint64_t failures() const { return failures_->Value(); }
+
+ private:
+  bool Dial(serve::BlockingClient* conn, std::string* error);
+  void OnSuccess(serve::BlockingClient conn) EXCLUDES(mu_);
+  void OnFailure() EXCLUDES(mu_);
+
+  const std::string name_;
+  const NodeEndpoint endpoint_;
+  const NodePoolOptions options_;
+
+  mutable RankedMutex mu_{LockRank::kRouterNodePool, "nodepool.mu"};
+  std::vector<serve::BlockingClient> idle_ GUARDED_BY(mu_);
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  bool unhealthy_ GUARDED_BY(mu_) = false;
+  double probe_at_ GUARDED_BY(mu_) = 0.0;  // next allowed probe while down
+  Rng rng_ GUARDED_BY(mu_);
+
+  telemetry::Counter* requests_ = nullptr;
+  telemetry::Counter* failures_ = nullptr;
+  telemetry::Counter* dials_ = nullptr;
+  telemetry::Counter* fast_fails_ = nullptr;
+};
+
+}  // namespace cortex::cluster

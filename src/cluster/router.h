@@ -1,0 +1,201 @@
+// ClusterRouter: the cluster tier's front door (DESIGN.md §10).  Speaks
+// the cortexd wire protocol on both sides — clients connect to the router
+// exactly as they would to a single node (same frames, same backpressure),
+// and the router forwards to the owning cortexd nodes over pooled,
+// HELLO-handshaked connections.
+//
+// Placement: every LOOKUP query / INSERT key reduces to a *placement key*
+// — a "tenant:<id>|" prefix when present, else the query's IDF anchor
+// token (core/sharded_cache PlacementAnchor), else the raw text — and the
+// consistent-hash ring maps that key to `replication` distinct owners.
+// Paraphrases share an anchor, so they land on the same node and the
+// cluster preserves the single-node semantic hit rate.
+//
+// Request semantics:
+//   * LOOKUP goes to the primary owner; on transport failure, timeout, or
+//     BUSY the router fails over to the next replica (counted in
+//     cortex_router_failovers).  A MISS from a healthy owner is
+//     authoritative — replicas hold the same writes.
+//   * INSERT is replicated to every owner; the first owner's verdict
+//     (OK/REJECT) is the client's response, replica write failures are
+//     counted, not surfaced.
+//   * MIGRATE name endpoint — live rebalance, synchronous on the serving
+//     worker: open the handoff window (the ring-with-the-new-node becomes
+//     the *write* ring: inserts dual-write to the union of old and new
+//     owners, lookups double-read old-then-new on a miss), stream a
+//     SNAPSHOT from every existing node, filter it to the entries the new
+//     ring assigns to the joining node, RESTORE them there, then commit
+//     the new ring.  Reads stay on the old owners until commit, so no
+//     request is dropped and no entry goes missing mid-handoff.
+//   * CLUSTER returns ring + per-node status; STATS dumps the router's
+//     metric registry (cortex_router_*, cortex_cluster_node_*).
+//
+// Threading mirrors serve/server.h: one acceptor feeding a bounded
+// connection queue (overflow → BUSY + disconnect), a fixed worker pool,
+// per-connection pipeline bounds.  Lock order (machine-checked):
+// queue_mu_ (kRouterQueue 4) < state_mu_ (kRouterState 6) < each
+// NodePool's mu_ (kRouterNodePool 8); network calls to nodes never happen
+// under state_mu_ — workers copy the owner set out and release it first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/node_pool.h"
+#include "embedding/hashed_embedder.h"
+#include "serve/protocol.h"
+#include "telemetry/metrics.h"
+#include "util/ranked_mutex.h"
+#include "util/thread_annotations.h"
+#include "util/tokenizer.h"
+
+namespace cortex::cluster {
+
+struct RouterOptions {
+  // Listen on a Unix-domain socket when non-empty; otherwise TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = kernel-assigned; read back via port()
+
+  std::size_t num_workers = 4;
+  std::size_t max_pending_connections = 64;
+  std::size_t max_pipeline = 64;
+  std::size_t max_frame_bytes = serve::kDefaultMaxFrameBytes;
+
+  HashRingOptions ring;
+  NodePoolOptions node;
+
+  // Semantic placement model: when set, keys place by PlacementAnchor
+  // (paraphrases co-locate).  Borrowed, must be IDF-fitted and must
+  // outlive the router; when null the raw query/key hashes.
+  const HashedEmbedder* embedder = nullptr;
+
+  // Registry for cortex_router_* / cortex_cluster_* instruments; the
+  // router owns a private one when null.
+  telemetry::MetricRegistry* registry = nullptr;
+};
+
+class ClusterRouter {
+ public:
+  explicit ClusterRouter(RouterOptions options = {});
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  // Seeds the ring before Start(); thread-safe afterwards too (exposed so
+  // tests can grow rings directly — live traffic should use MIGRATE).
+  bool AddNode(const std::string& name, const std::string& endpoint,
+               std::string* error = nullptr);
+
+  bool Start(std::string* error = nullptr);
+  void Stop();
+  // Graceful: stop accepting, let live connections flush owed responses,
+  // then Stop().  Same contract as CortexServer::Drain.
+  void Drain(double timeout_sec = 5.0);
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  int port() const noexcept { return port_; }
+  const RouterOptions& options() const noexcept { return options_; }
+  telemetry::MetricRegistry* registry() const noexcept { return registry_; }
+
+  std::uint64_t ring_version() const;
+  bool migrating() const;
+  std::size_t num_nodes() const;
+
+  // The placement key a query/insert-key reduces to (tenant prefix, IDF
+  // anchor, or raw text) — exposed so tests can pin routing.
+  std::string PlacementKey(std::string_view text) const;
+  // Current-ring owners for the text's placement key.
+  std::vector<std::string> OwnersFor(std::string_view text) const;
+
+ private:
+  void AcceptLoop() EXCLUDES(queue_mu_);
+  // Waits on queue_cv_ through a std::unique_lock, which clang's analysis
+  // cannot see through — excluded from analysis, lock order still
+  // machine-checked by RankedMutex.
+  void WorkerLoop() NO_THREAD_SAFETY_ANALYSIS;
+  void ServeConnection(int fd);
+  serve::Response Execute(const serve::Request& request);
+
+  serve::Response RouteLookup(const serve::Request& request);
+  serve::Response RouteInsert(const serve::Request& request);
+  serve::Response DoMigrate(const serve::Request& request);
+  serve::Response BuildCluster() const;
+  serve::Response BuildStats() const;
+
+  // Owner pools for a placement key on the given ring; skips names with no
+  // pool (cannot happen in steady state — belt and braces).
+  std::vector<NodePool*> PoolsFor(const HashRing& ring,
+                                  std::string_view placement_key) const
+      REQUIRES_SHARED(state_mu_);
+
+  RouterOptions options_;
+  Tokenizer tokenizer_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string bound_unix_path_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::int64_t> active_connections_{0};
+
+  RankedMutex queue_mu_{LockRank::kRouterQueue, "router.queue_mu"};
+  std::condition_variable_any queue_cv_;
+  std::deque<int> conn_queue_ GUARDED_BY(queue_mu_);
+
+  // Ring + migration-window state.  `ring_` is what reads route by; while
+  // a migration window is open, `next_ring_` (ring_ plus the joining
+  // node) is what writes route by.  Pools are created once per node name
+  // and never destroyed while running — workers hold raw NodePool*
+  // outside the lock.
+  mutable RankedSharedMutex state_mu_{LockRank::kRouterState,
+                                      "router.state_mu"};
+  HashRing ring_ GUARDED_BY(state_mu_);
+  std::optional<HashRing> next_ring_ GUARDED_BY(state_mu_);
+  std::unordered_map<std::string, std::unique_ptr<NodePool>> pools_
+      GUARDED_BY(state_mu_);
+  std::uint64_t pool_seed_ GUARDED_BY(state_mu_) = 0x9e3779b9ULL;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  telemetry::MetricRegistry* registry_ = nullptr;
+  std::unique_ptr<telemetry::MetricRegistry> registry_owned_;
+  telemetry::Counter* connections_accepted_ = nullptr;
+  telemetry::Counter* connections_rejected_ = nullptr;
+  telemetry::Counter* requests_served_ = nullptr;
+  telemetry::Counter* requests_busy_ = nullptr;
+  telemetry::Counter* protocol_errors_ = nullptr;
+  telemetry::Counter* lookups_ = nullptr;
+  telemetry::Counter* inserts_ = nullptr;
+  telemetry::Counter* failovers_ = nullptr;
+  telemetry::Counter* double_reads_ = nullptr;
+  telemetry::Counter* double_read_hits_ = nullptr;
+  telemetry::Counter* dual_writes_ = nullptr;
+  telemetry::Counter* replica_writes_ = nullptr;
+  telemetry::Counter* node_errors_ = nullptr;
+  telemetry::Counter* migrations_ = nullptr;
+  telemetry::Counter* migration_entries_ = nullptr;
+  telemetry::Counter* migration_bytes_ = nullptr;
+  telemetry::Gauge* migration_seconds_ = nullptr;  // last migration
+  telemetry::Gauge* ring_version_gauge_ = nullptr;
+  telemetry::Gauge* nodes_gauge_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::AtomicHistogram* request_seconds_ = nullptr;
+};
+
+}  // namespace cortex::cluster

@@ -19,15 +19,16 @@ std::uint64_t HashToken(std::string_view s) noexcept {
 
 }  // namespace
 
-std::size_t RouteToShard(const HashedEmbedder& embedder,
-                         const Tokenizer& tokenizer, std::string_view query,
-                         std::size_t num_shards) {
+std::string PlacementAnchor(const HashedEmbedder& embedder,
+                            const Tokenizer& tokenizer,
+                            std::string_view query) {
   const auto tokens = tokenizer.Tokenize(query);
   if (tokens.empty()) {
-    return HashToken(query) % num_shards;
+    return std::string(query);
   }
-  // Route on the most discriminative token: max IDF weight, ties broken by
-  // lexicographic order so the choice is deterministic across paraphrases.
+  // Anchor on the most discriminative token: max IDF weight, ties broken
+  // by lexicographic order so the choice is deterministic across
+  // paraphrases.
   const std::string* anchor = &tokens.front();
   double best_weight = embedder.IdfWeight(*anchor);
   for (const auto& token : tokens) {
@@ -37,7 +38,13 @@ std::size_t RouteToShard(const HashedEmbedder& embedder,
       anchor = &token;
     }
   }
-  return HashToken(*anchor) % num_shards;
+  return *anchor;
+}
+
+std::size_t RouteToShard(const HashedEmbedder& embedder,
+                         const Tokenizer& tokenizer, std::string_view query,
+                         std::size_t num_shards) {
+  return HashToken(PlacementAnchor(embedder, tokenizer, query)) % num_shards;
 }
 
 ShardedSemanticCache::ShardedSemanticCache(const HashedEmbedder* embedder,

@@ -19,6 +19,19 @@
 
 namespace cortex {
 
+// The placement anchor: the query's most discriminative token (max IDF
+// under the shared embedder, ties broken lexicographically), or the whole
+// query when tokenization yields nothing.  Content words survive
+// paraphrasing, so every phrasing of a piece of knowledge maps to the same
+// anchor.  Shard routing hashes it modulo the shard count, and the cluster
+// tier's consistent-hash ring (cluster/hash_ring) places it on the ring —
+// both keyed semantically, so hot semantic neighborhoods stay co-resident.
+// Deterministic and read-only; safe to call concurrently as long as the
+// embedder's IDF table is not being refit.
+std::string PlacementAnchor(const HashedEmbedder& embedder,
+                            const Tokenizer& tokenizer,
+                            std::string_view query);
+
 // The routing primitive shared by ShardedSemanticCache and the concurrent
 // serving tier (serve/concurrent_engine): shard index for a query under
 // IDF-anchor routing.  Deterministic and read-only — safe to call

@@ -71,32 +71,27 @@ void CheckStream(const std::ios& stream, const char* what) {
 
 }  // namespace
 
-SnapshotStats SaveCacheSnapshot(const SemanticCache& cache,
-                                std::ostream& out) {
-  SnapshotStats stats;
+void WriteSnapshotHeader(std::ostream& out, std::uint64_t entry_count) {
   WriteU32(out, kSnapshotMagic);
   WriteU32(out, kSnapshotVersion);
-  WriteU64(out, cache.size());
-  for (const auto& [id, se] : cache.entries()) {
-    WriteString(out, se.key);
-    WriteString(out, se.value);
-    WriteVector(out, se.embedding);
-    WriteF64(out, se.staticity);
-    WriteU64(out, se.frequency);
-    WriteF64(out, se.retrieval_latency_sec);
-    WriteF64(out, se.retrieval_cost_dollars);
-    WriteF64(out, se.created_at);
-    WriteF64(out, se.last_access);
-    WriteF64(out, se.expiration_time);
-    ++stats.entries_written;
-  }
-  CheckStream(out, "writing");
-  return stats;
+  WriteU64(out, entry_count);
 }
 
-SnapshotStats LoadCacheSnapshot(SemanticCache& cache, std::istream& in,
-                                double now) {
-  SnapshotStats stats;
+void WriteSnapshotElement(std::ostream& out, const SemanticElement& se) {
+  WriteString(out, se.key);
+  WriteString(out, se.value);
+  WriteVector(out, se.embedding);
+  WriteF64(out, se.staticity);
+  WriteU64(out, se.frequency);
+  WriteF64(out, se.retrieval_latency_sec);
+  WriteF64(out, se.retrieval_cost_dollars);
+  WriteF64(out, se.created_at);
+  WriteF64(out, se.last_access);
+  WriteF64(out, se.expiration_time);
+}
+
+std::uint64_t ForEachSnapshotElement(
+    std::istream& in, const std::function<void(SemanticElement)>& fn) {
   if (ReadU32(in) != kSnapshotMagic) {
     throw std::runtime_error("snapshot: bad magic");
   }
@@ -119,16 +114,37 @@ SnapshotStats LoadCacheSnapshot(SemanticCache& cache, std::istream& in,
     se.last_access = ReadF64(in);
     se.expiration_time = ReadF64(in);
     CheckStream(in, "reading entry");
+    fn(std::move(se));
+  }
+  return count;
+}
+
+SnapshotStats SaveCacheSnapshot(const SemanticCache& cache,
+                                std::ostream& out) {
+  SnapshotStats stats;
+  WriteSnapshotHeader(out, cache.size());
+  for (const auto& [id, se] : cache.entries()) {
+    WriteSnapshotElement(out, se);
+    ++stats.entries_written;
+  }
+  CheckStream(out, "writing");
+  return stats;
+}
+
+SnapshotStats LoadCacheSnapshot(SemanticCache& cache, std::istream& in,
+                                double now) {
+  SnapshotStats stats;
+  ForEachSnapshotElement(in, [&](SemanticElement se) {
     if (se.ExpiredAt(now)) {
       ++stats.entries_expired;
-      continue;
+      return;
     }
     if (cache.RestoreElement(std::move(se), now)) {
       ++stats.entries_restored;
     } else {
       ++stats.entries_rejected;
     }
-  }
+  });
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -43,5 +44,22 @@ SnapshotStats SaveCacheSnapshotFile(const SemanticCache& cache,
                                     const std::string& path);
 SnapshotStats LoadCacheSnapshotFile(SemanticCache& cache,
                                     const std::string& path, double now);
+
+// ---------------------------------------------------------------------------
+// Element-wise primitives underneath the snapshot format, exposed so higher
+// tiers can compose streams whose shard layout differs between writer and
+// reader: the concurrent engine writes one bounded stream per shard, and
+// cluster migration re-routes every restored element by key on the target
+// node, whatever its shard count.
+
+void WriteSnapshotHeader(std::ostream& out, std::uint64_t entry_count);
+void WriteSnapshotElement(std::ostream& out, const SemanticElement& se);
+
+// Reads exactly one snapshot stream (header + its declared entries),
+// invoking `fn` per decoded element; bytes past the declared count are left
+// unread, so streams concatenate.  Returns entries read; throws
+// std::runtime_error on malformed input.
+std::uint64_t ForEachSnapshotElement(
+    std::istream& in, const std::function<void(SemanticElement)>& fn);
 
 }  // namespace cortex

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -28,15 +29,60 @@ BlockingClient::~BlockingClient() { Close(); }
 
 BlockingClient::BlockingClient(BlockingClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      call_timeout_sec_(other.call_timeout_sec_),
       decoder_(std::move(other.decoder_)) {}
 
 BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
+    call_timeout_sec_ = other.call_timeout_sec_;
     decoder_ = std::move(other.decoder_);
   }
   return *this;
+}
+
+void BlockingClient::SetCallTimeout(double seconds) {
+  call_timeout_sec_ = seconds;
+  ApplyTimeout();
+}
+
+void BlockingClient::SetMaxFrameBytes(std::size_t max_frame_bytes) {
+  decoder_ = FrameDecoder(max_frame_bytes);
+}
+
+void BlockingClient::ApplyTimeout() {
+  if (fd_ < 0) return;
+  timeval tv{};
+  if (call_timeout_sec_ > 0.0) {
+    tv.tv_sec = static_cast<time_t>(call_timeout_sec_);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (call_timeout_sec_ - static_cast<double>(tv.tv_sec)) * 1e6);
+  }
+  // Zeroed timeval = block forever (the setsockopt convention).
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool BlockingClient::Handshake(const std::string& role, std::string* error) {
+  Request hello;
+  hello.type = RequestType::kHello;
+  hello.version = kProtocolVersion;
+  hello.role = role;
+  const auto response = Call(hello, error);
+  if (!response) return false;
+  if (response->type == ResponseType::kError) {
+    SetError(error, "handshake rejected: " + response->message);
+    Close();
+    return false;
+  }
+  if (response->type != ResponseType::kWelcome ||
+      response->id != kProtocolVersion) {
+    SetError(error, "handshake failed: unexpected response");
+    Close();
+    return false;
+  }
+  return true;
 }
 
 void BlockingClient::Close() {
@@ -67,6 +113,7 @@ bool BlockingClient::ConnectTcp(const std::string& host, int port,
     Close();
     return false;
   }
+  ApplyTimeout();
   return true;
 }
 
@@ -89,6 +136,7 @@ bool BlockingClient::ConnectUnix(const std::string& path, std::string* error) {
     Close();
     return false;
   }
+  ApplyTimeout();
   return true;
 }
 
@@ -100,7 +148,11 @@ bool BlockingClient::SendFrame(std::string_view payload, std::string* error) {
     const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      SetError(error, Errno("send"));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SetError(error, "send timed out");
+      } else {
+        SetError(error, Errno("send"));
+      }
       Close();
       return false;
     }
@@ -131,7 +183,11 @@ std::optional<std::string> BlockingClient::ReadFrame(std::string* error) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      SetError(error, Errno("read"));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SetError(error, "read timed out");
+      } else {
+        SetError(error, Errno("read"));
+      }
       Close();
       return std::nullopt;
     }

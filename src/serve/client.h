@@ -27,6 +27,25 @@ class BlockingClient {
   bool connected() const noexcept { return fd_ >= 0; }
   void Close();
 
+  // Caps how long a Call() blocks on the socket (send or receive); <= 0
+  // restores "block forever".  Sticky across reconnects.  A timed-out call
+  // fails with a "timed out" error and closes the connection — the caller
+  // cannot tell how much of the exchange landed, so the stream is dead
+  // (the cluster router treats this as a failover signal).
+  void SetCallTimeout(double seconds);
+
+  // Raises the largest response frame this client will accept (cluster
+  // SNAPSHOT payloads dwarf the 1 MiB default).  Resets the frame decoder,
+  // so only call between calls, not mid-stream.
+  void SetMaxFrameBytes(std::size_t max_frame_bytes);
+
+  // One-round HELLO/WELCOME version + role negotiation (protocol.h).
+  // Optional — servers accept clients that never send HELLO — but peers
+  // that do handshake fail fast on version mismatch instead of
+  // desynchronizing later.  Returns false and closes on mismatch or
+  // transport failure.
+  bool Handshake(const std::string& role, std::string* error = nullptr);
+
   // Sends one request and blocks for its response.  nullopt on transport
   // or protocol failure (the connection is closed; `error` gets a reason).
   std::optional<Response> Call(const Request& request,
@@ -39,8 +58,10 @@ class BlockingClient {
  private:
   bool SendFrame(std::string_view payload, std::string* error);
   std::optional<std::string> ReadFrame(std::string* error);
+  void ApplyTimeout();
 
   int fd_ = -1;
+  double call_timeout_sec_ = 0.0;
   FrameDecoder decoder_;
 };
 

@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/snapshot.h"
 #include "core/recalibrator.h"
 #include "core/semantic_cache.h"
 #include "core/sharded_cache.h"
@@ -85,6 +87,24 @@ struct ConcurrentEngineStats {
   std::uint64_t recalibrations = 0;   // per-shard recalibration rounds run
 };
 
+// ---------------------------------------------------------------------------
+// Engine-snapshot blob helpers for peers that hold no engine.  The cluster
+// router filters a migration stream by ring ownership: it iterates a node's
+// SNAPSHOT blob element by element, keeps what the joining node should own,
+// and re-packs the survivors as a single-shard engine snapshot — which any
+// node's LoadSnapshot re-routes by key, so shard layouts never have to
+// match across the wire.
+
+// Invokes `fn` for every element of an engine snapshot stream.  Returns
+// elements visited; throws std::runtime_error on malformed input.
+std::uint64_t ForEachEngineSnapshotElement(
+    std::istream& in, const std::function<void(SemanticElement)>& fn);
+
+// Writes `elements` as a one-shard engine snapshot readable by
+// LoadSnapshot on an engine of any shard count.
+void WriteEngineSnapshot(std::ostream& out,
+                         const std::vector<SemanticElement>& elements);
+
 class ConcurrentShardedEngine {
  public:
   // embedder/judger are borrowed and must outlive the engine.  The
@@ -115,6 +135,24 @@ class ConcurrentShardedEngine {
   // Manual full TTL purge across all shards (the housekeeping thread calls
   // this on its own cadence).  Returns entries removed.
   std::size_t RemoveExpired();
+
+  // Multi-shard snapshot (cluster migration, warm restarts).  The format is
+  // a small engine header followed by one bounded core/snapshot stream per
+  // shard, written shard-by-shard under each shard's shared lock — the
+  // engine keeps serving while a snapshot streams out, and the result is
+  // per-shard-consistent (the same guarantee every cross-shard aggregate
+  // gives).  Throws std::runtime_error on stream failure.
+  SnapshotStats SaveSnapshot(std::ostream& out) const;
+
+  // Restores a snapshot written by any engine, whatever its shard count:
+  // every element is re-routed by ShardFor(key) here, so a 4-shard node can
+  // load a 2-shard peer's state.  Entries dedup/expire under the usual
+  // RestoreElement rules.  Throws std::runtime_error on malformed input.
+  SnapshotStats LoadSnapshot(std::istream& in);
+
+  // Re-admits one fully-populated SE into its owning shard, preserving
+  // accumulated metadata (LoadSnapshot's per-element path).
+  std::optional<SeId> RestoreElement(SemanticElement se);
 
   // Installs the ground-truth fetch used by recalibration ticks (query ->
   // ground-truth result; a real remote call in production, the workload

@@ -99,6 +99,17 @@ std::string EncodePayload(const Request& request) {
       return "DUMPTRACE\t" + std::to_string(request.max_traces);
     case RequestType::kPing:
       return "PING";
+    case RequestType::kHello:
+      return "HELLO\t" + std::to_string(request.version) + "\t" +
+             request.role;
+    case RequestType::kSnapshot:
+      return "SNAPSHOT";
+    case RequestType::kRestore:
+      return "RESTORE\t" + request.blob;
+    case RequestType::kMigrate:
+      return "MIGRATE\t" + request.node_name + "\t" + request.endpoint;
+    case RequestType::kCluster:
+      return "CLUSTER";
   }
   return {};
 }
@@ -141,6 +152,55 @@ std::optional<Request> ParseRequest(std::string_view payload,
     }
     request.type = RequestType::kLookup;
     request.query = std::string(rest);
+    return request;
+  }
+  if (verb == "HELLO") {
+    const auto version = TakeField(rest);
+    std::uint64_t parsed_version = 0;
+    if (!version || !ParseU64(*version, &parsed_version) ||
+        parsed_version > 0xffffffffULL) {
+      SetError(error, "HELLO needs a numeric version");
+      return std::nullopt;
+    }
+    if (rest.empty()) {
+      SetError(error, "HELLO needs a role");
+      return std::nullopt;
+    }
+    request.type = RequestType::kHello;
+    request.version = static_cast<std::uint32_t>(parsed_version);
+    request.role = std::string(rest);
+    return request;
+  }
+  if (verb == "SNAPSHOT") {
+    request.type = RequestType::kSnapshot;
+    return request;
+  }
+  if (verb == "RESTORE") {
+    if (tab == std::string_view::npos) {
+      SetError(error, "RESTORE needs a snapshot blob");
+      return std::nullopt;
+    }
+    request.type = RequestType::kRestore;
+    request.blob = std::string(rest);
+    return request;
+  }
+  if (verb == "MIGRATE") {
+    const auto name = TakeField(rest);
+    if (!name || name->empty()) {
+      SetError(error, "MIGRATE needs a node name");
+      return std::nullopt;
+    }
+    if (rest.empty()) {
+      SetError(error, "MIGRATE needs an endpoint");
+      return std::nullopt;
+    }
+    request.type = RequestType::kMigrate;
+    request.node_name = std::string(*name);
+    request.endpoint = std::string(rest);
+    return request;
+  }
+  if (verb == "CLUSTER") {
+    request.type = RequestType::kCluster;
     return request;
   }
   if (verb == "INSERT") {
@@ -190,6 +250,12 @@ std::string EncodePayload(const Response& response) {
     }
     case ResponseType::kTraces:
       return "TRACES\t" + std::to_string(response.id) + "\t" +
+             response.message;
+    case ResponseType::kWelcome:
+      return "WELCOME\t" + std::to_string(response.id) + "\t" +
+             response.message;
+    case ResponseType::kSnapshotData:
+      return "SNAPSHOT\t" + std::to_string(response.id) + "\t" +
              response.message;
     case ResponseType::kBusy:
       return "BUSY";
@@ -266,19 +332,30 @@ std::optional<Response> ParseResponse(std::string_view payload,
     }
     return response;
   }
-  if (verb == "TRACES") {
+  if (verb == "TRACES" || verb == "SNAPSHOT") {
     // Tolerate a count-only frame ("TRACES\t0"): the text field is simply
     // empty.
     const std::size_t count_tab = rest.find('\t');
     const std::string_view count = rest.substr(0, count_tab);
     if (!ParseU64(count, &response.id)) {
-      SetError(error, "malformed TRACES");
+      SetError(error, std::string("malformed ") + std::string(verb));
       return std::nullopt;
     }
-    response.type = ResponseType::kTraces;
+    response.type = verb == "TRACES" ? ResponseType::kTraces
+                                     : ResponseType::kSnapshotData;
     if (count_tab != std::string_view::npos) {
       response.message = std::string(rest.substr(count_tab + 1));
     }
+    return response;
+  }
+  if (verb == "WELCOME") {
+    const auto version = TakeField(rest);
+    if (!version || !ParseU64(*version, &response.id)) {
+      SetError(error, "malformed WELCOME");
+      return std::nullopt;
+    }
+    response.type = ResponseType::kWelcome;
+    response.message = std::string(rest);
     return response;
   }
   if (verb == "ERR") {

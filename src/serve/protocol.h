@@ -15,6 +15,15 @@
 //            | "STATS"
 //            | "DUMPTRACE" [TAB max_traces]
 //            | "PING"
+//            | "HELLO" TAB version TAB role   ; optional one-round version +
+//                                             ; role negotiation (see below)
+//            | "SNAPSHOT"                     ; dump full engine state
+//            | "RESTORE" TAB blob             ; load an engine snapshot (blob
+//                                             ; is the last field: arbitrary
+//                                             ; binary bytes)
+//            | "MIGRATE" TAB name TAB endpoint  ; router-only: add node +
+//                                               ; rebalance (live migration)
+//            | "CLUSTER"                      ; router-only: ring/node status
 //   response = "HIT" TAB similarity TAB judger_score TAB matched_key TAB value
 //            | "MISS"
 //            | "OK" TAB id               ; insert accepted
@@ -24,8 +33,18 @@
 //            | "TRACES" TAB count TAB text  ; flight-recorder dump (text is
 //                                           ; the last field: may hold tabs
 //                                           ; and newlines)
+//            | "WELCOME" TAB version TAB role  ; HELLO accepted
+//            | "SNAPSHOT" TAB count TAB blob   ; engine snapshot bytes (blob
+//                                              ; is the last field)
 //            | "BUSY"                    ; overload backpressure — retry later
 //            | "ERR" TAB message
+//
+// HELLO handshake: a peer MAY open a connection with one HELLO frame naming
+// its protocol version and role ("client", "router", "node").  A matching
+// major version gets WELCOME echoing the server's version + role; a
+// mismatch gets ERR and the connection should be closed — both sides fail
+// fast instead of desynchronizing on unknown commands later.  Peers that
+// skip HELLO (all pre-cluster clients) keep working unchanged.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +58,10 @@ namespace cortex::serve {
 
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
+
+// Wire-protocol version negotiated by HELLO.  Bump on any grammar change
+// that an old peer cannot safely ignore.
+inline constexpr std::uint32_t kProtocolVersion = 1;
 
 // Appends the 4-byte header + payload to `out`.
 void AppendFrame(std::string_view payload, std::string& out);
@@ -70,7 +93,18 @@ class FrameDecoder {
 // ---------------------------------------------------------------------------
 // Requests
 
-enum class RequestType { kLookup, kInsert, kStats, kDumpTrace, kPing };
+enum class RequestType {
+  kLookup,
+  kInsert,
+  kStats,
+  kDumpTrace,
+  kPing,
+  kHello,
+  kSnapshot,
+  kRestore,
+  kMigrate,
+  kCluster,
+};
 
 struct Request {
   RequestType type = RequestType::kPing;
@@ -79,6 +113,11 @@ struct Request {
   std::string value;      // INSERT
   double staticity = 5.0; // INSERT (paper's 1-10 scale)
   std::uint64_t max_traces = 16;  // DUMPTRACE
+  std::uint32_t version = kProtocolVersion;  // HELLO
+  std::string role;       // HELLO ("client" | "router" | "node")
+  std::string blob;       // RESTORE: engine snapshot bytes
+  std::string node_name;  // MIGRATE: name of the node joining the ring
+  std::string endpoint;   // MIGRATE: "host:port" or "unix:PATH"
 };
 
 std::string EncodePayload(const Request& request);
@@ -98,6 +137,8 @@ enum class ResponseType {
   kPong,
   kStats,
   kTraces,
+  kWelcome,
+  kSnapshotData,
   kBusy,
   kError,
 };
@@ -109,11 +150,13 @@ struct Response {
   std::string value;
   double similarity = 0.0;
   double judger_score = 0.0;
-  // kOk: the inserted SE id.  kTraces: the trace count.
+  // kOk: the inserted SE id.  kTraces / kSnapshotData: the entry count.
+  // kWelcome: the peer's protocol version.
   std::uint64_t id = 0;
   // kStats
   std::vector<std::pair<std::string, std::string>> stats;
   // kError: the reason.  kTraces: rendered flight-recorder text.
+  // kWelcome: the peer's role.  kSnapshotData: engine snapshot bytes.
   std::string message;
 };
 

@@ -9,8 +9,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <thread>
 
 namespace cortex::serve {
 
@@ -44,6 +47,12 @@ telemetry::TraceOp TraceOpFor(RequestType type) {
       return telemetry::TraceOp::kDumpTrace;
     case RequestType::kPing:
       return telemetry::TraceOp::kPing;
+    case RequestType::kHello:
+    case RequestType::kSnapshot:
+    case RequestType::kRestore:
+    case RequestType::kMigrate:
+    case RequestType::kCluster:
+      return telemetry::TraceOp::kOther;
   }
   return telemetry::TraceOp::kOther;
 }
@@ -58,6 +67,8 @@ telemetry::TraceOutcome TraceOutcomeFor(ResponseType type) {
     case ResponseType::kPong:
     case ResponseType::kStats:
     case ResponseType::kTraces:
+    case ResponseType::kWelcome:
+    case ResponseType::kSnapshotData:
       return telemetry::TraceOutcome::kOk;
     case ResponseType::kReject:
       return telemetry::TraceOutcome::kReject;
@@ -108,6 +119,13 @@ CortexServer::CortexServer(ConcurrentShardedEngine* engine,
   requests_served_ = registry_->GetCounter("cortex_server_requests_served");
   requests_busy_ = registry_->GetCounter("cortex_server_requests_busy");
   protocol_errors_ = registry_->GetCounter("cortex_server_protocol_errors");
+  hellos_ = registry_->GetCounter("cortex_server_hellos");
+  hello_rejects_ = registry_->GetCounter("cortex_server_hello_rejects");
+  snapshots_streamed_ =
+      registry_->GetCounter("cortex_server_snapshots_streamed");
+  snapshot_bytes_ = registry_->GetCounter("cortex_server_snapshot_bytes");
+  restores_applied_ = registry_->GetCounter("cortex_server_restores_applied");
+  restore_entries_ = registry_->GetCounter("cortex_server_restore_entries");
   queue_depth_ = registry_->GetGauge("cortex_server_queue_depth");
   request_seconds_ =
       registry_->GetHistogram("cortex_server_request_seconds");
@@ -193,6 +211,26 @@ bool CortexServer::Start(std::string* error) {
   return true;
 }
 
+void CortexServer::Drain(double timeout_sec) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  const double deadline = telemetry::WallSeconds() + timeout_sec;
+  for (;;) {
+    std::size_t queued = 0;
+    {
+      MutexLock lock(queue_mu_);
+      queued = conn_queue_.size();
+    }
+    if (queued == 0 &&
+        active_connections_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    if (telemetry::WallSeconds() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Stop();
+}
+
 void CortexServer::Stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
@@ -220,7 +258,8 @@ void CortexServer::Stop() {
 }
 
 void CortexServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 100);
     if (rc <= 0) continue;
@@ -267,6 +306,14 @@ void CortexServer::WorkerLoop() {
 }
 
 void CortexServer::ServeConnection(int fd) {
+  // Drain accounting: a connection counts as active from pickup to close,
+  // so Drain() can wait for every in-flight response to flush.
+  active_connections_.fetch_add(1, std::memory_order_acq_rel);
+  struct ActiveGuard {
+    std::atomic<std::int64_t>* n;
+    ~ActiveGuard() { n->fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{&active_connections_};
+
   FrameDecoder decoder(options_.max_frame_bytes);
   // Bounded per-connection request queue.  `overloaded` entries mark
   // frames that arrived past the bound: they are answered BUSY *in request
@@ -288,7 +335,13 @@ void CortexServer::ServeConnection(int fd) {
       if (errno == EINTR) continue;
       break;
     }
-    if (rc == 0) continue;
+    if (rc == 0) {
+      // Draining and the connection has gone idle for a tick: every
+      // response already owed has been flushed (outbuf is written at the
+      // end of each iteration), so closing here never truncates a frame.
+      if (draining_.load(std::memory_order_acquire)) break;
+      continue;
+    }
     if (pfd.revents & (POLLERR | POLLNVAL)) break;
 
     const ssize_t n = ::read(fd, buf, sizeof buf);
@@ -413,6 +466,60 @@ Response CortexServer::Execute(const Request& request,
       if (!id) return MakeResponse(ResponseType::kReject);
       Response r = MakeResponse(ResponseType::kOk);
       r.id = *id;
+      return r;
+    }
+    case RequestType::kHello: {
+      if (request.version != kProtocolVersion) {
+        hello_rejects_->Inc();
+        Response r = MakeResponse(ResponseType::kError);
+        r.message = "protocol version mismatch: peer speaks v" +
+                    std::to_string(request.version) + ", this node speaks v" +
+                    std::to_string(kProtocolVersion);
+        return r;
+      }
+      hellos_->Inc();
+      Response r = MakeResponse(ResponseType::kWelcome);
+      r.id = kProtocolVersion;
+      r.message = "node";
+      return r;
+    }
+    case RequestType::kSnapshot: {
+      std::ostringstream out;
+      SnapshotStats stats;
+      try {
+        stats = engine_->SaveSnapshot(out);
+      } catch (const std::exception& e) {
+        Response r = MakeResponse(ResponseType::kError);
+        r.message = std::string("snapshot failed: ") + e.what();
+        return r;
+      }
+      Response r = MakeResponse(ResponseType::kSnapshotData);
+      r.id = stats.entries_written;
+      r.message = std::move(out).str();
+      snapshots_streamed_->Inc();
+      snapshot_bytes_->Inc(r.message.size());
+      return r;
+    }
+    case RequestType::kRestore: {
+      std::istringstream in(request.blob);
+      SnapshotStats stats;
+      try {
+        stats = engine_->LoadSnapshot(in);
+      } catch (const std::exception& e) {
+        Response r = MakeResponse(ResponseType::kError);
+        r.message = std::string("restore failed: ") + e.what();
+        return r;
+      }
+      restores_applied_->Inc();
+      restore_entries_->Inc(stats.entries_restored);
+      Response r = MakeResponse(ResponseType::kOk);
+      r.id = stats.entries_restored;
+      return r;
+    }
+    case RequestType::kMigrate:
+    case RequestType::kCluster: {
+      Response r = MakeResponse(ResponseType::kError);
+      r.message = "router-only command";
       return r;
     }
   }

@@ -13,8 +13,11 @@
 //     LOOKUP/INSERT rate — requests over quota are answered BUSY.
 //
 // Shutdown is graceful: Stop() closes the listener, wakes every worker,
-// lets in-flight request batches finish, and joins all threads.  cortexd
-// calls Stop() from its SIGINT handler path.
+// lets in-flight request batches finish, and joins all threads.  Drain()
+// goes further for restarts during cluster rebalance: it stops accepting,
+// lets every live connection answer the requests already on the wire, and
+// only then stops — no response is ever truncated mid-frame.  cortexd
+// calls Drain() from its SIGINT handler path.
 #pragma once
 
 #include <atomic>
@@ -88,8 +91,18 @@ class CortexServer {
   bool Start(std::string* error = nullptr);
   void Stop();
 
+  // Graceful shutdown: stop accepting, let every live connection finish
+  // answering the requests already received (each worker flushes its
+  // responses and closes once its connection goes idle), then Stop().
+  // Waits up to `timeout_sec` for active connections to wind down before
+  // forcing the stop.  Idempotent; safe from any thread.
+  void Drain(double timeout_sec = 5.0);
+
   bool running() const noexcept {
     return running_.load(std::memory_order_acquire);
+  }
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
   }
   // Resolved TCP port (0 when serving a Unix socket or not started).
   int port() const noexcept { return port_; }
@@ -128,6 +141,8 @@ class CortexServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::int64_t> active_connections_{0};
 
   // Lock order (ranks checked in debug builds, table in DESIGN.md §7):
   // queue_mu_ (10) < bucket_mu_ (20) < the engine's locks (30-50).
@@ -151,6 +166,12 @@ class CortexServer {
   telemetry::Counter* requests_served_ = nullptr;
   telemetry::Counter* requests_busy_ = nullptr;
   telemetry::Counter* protocol_errors_ = nullptr;
+  telemetry::Counter* hellos_ = nullptr;
+  telemetry::Counter* hello_rejects_ = nullptr;
+  telemetry::Counter* snapshots_streamed_ = nullptr;
+  telemetry::Counter* snapshot_bytes_ = nullptr;
+  telemetry::Counter* restores_applied_ = nullptr;
+  telemetry::Counter* restore_entries_ = nullptr;
   telemetry::Gauge* queue_depth_ = nullptr;
   telemetry::AtomicHistogram* request_seconds_ = nullptr;
 

@@ -26,6 +26,13 @@ namespace cortex {
 // Ranks are spaced out so future locks can slot in between.  Acquisition
 // must follow strictly increasing rank; shard mutexes are leaves.
 enum class LockRank : int {
+  // Cluster-router locks rank below the node-side serving tier: a router
+  // worker only ever holds router locks (node calls go over sockets), so
+  // the two tables never interleave on one thread, but keeping the ranks
+  // disjoint makes in-process cluster tests checkable too.
+  kRouterQueue = 4,         // ClusterRouter acceptor->worker conn queue
+  kRouterState = 6,         // ClusterRouter ring + migration-window state
+  kRouterNodePool = 8,      // NodePool per-node idle-connection stacks
   kServerQueue = 10,        // CortexServer acceptor->worker conn queue
   kServerBucket = 20,       // CortexServer admission token bucket
   kEngineGroundTruth = 30,  // ConcurrentShardedEngine fetch_gt_

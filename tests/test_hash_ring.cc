@@ -1,0 +1,195 @@
+// Consistent-hash ring unit tests: endpoint parsing, deterministic
+// placement, replication distinctness, vnode load smoothing, and the
+// minimal-movement property (adding a node steals ~1/N of the keyspace)
+// that live migration depends on.
+#include "cluster/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cortex::cluster {
+namespace {
+
+NodeEndpoint Tcp(int port) {
+  NodeEndpoint ep;
+  ep.host = "127.0.0.1";
+  ep.port = port;
+  return ep;
+}
+
+std::vector<std::string> Keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("placement-key-" + std::to_string(i * 2654435761u));
+  }
+  return keys;
+}
+
+TEST(ParseEndpointTest, TcpAndUnixRoundTrip) {
+  auto ep = ParseEndpoint("10.0.0.7:8400");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->host, "10.0.0.7");
+  EXPECT_EQ(ep->port, 8400);
+  EXPECT_TRUE(ep->unix_path.empty());
+  EXPECT_EQ(ep->ToString(), "10.0.0.7:8400");
+
+  ep = ParseEndpoint("unix:/tmp/cortexd.sock");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->unix_path, "/tmp/cortexd.sock");
+  EXPECT_EQ(ep->ToString(), "unix:/tmp/cortexd.sock");
+}
+
+TEST(ParseEndpointTest, MalformedInputsRejected) {
+  std::string error;
+  EXPECT_FALSE(ParseEndpoint("", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint("no-port", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint("host:", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint(":8400", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint("host:notaport", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint("host:70000", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint("host:0", &error).has_value());
+  EXPECT_FALSE(ParseEndpoint("unix:", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HashRingTest, PlacementIsDeterministicAcrossInstances) {
+  HashRingOptions opts;
+  opts.replication = 2;
+  HashRing a(opts), b(opts);
+  for (int i = 0; i < 4; ++i) {
+    a.AddNode("node" + std::to_string(i), Tcp(9000 + i));
+    b.AddNode("node" + std::to_string(i), Tcp(9000 + i));
+  }
+  for (const auto& key : Keys(200)) {
+    EXPECT_EQ(a.OwnersFor(key), b.OwnersFor(key)) << key;
+    EXPECT_EQ(a.PrimaryFor(key), a.OwnersFor(key).front());
+  }
+}
+
+TEST(HashRingTest, OwnersAreDistinctAndClampedToRingSize) {
+  HashRingOptions opts;
+  opts.replication = 3;
+  HashRing ring(opts);
+  EXPECT_TRUE(ring.OwnersFor("anything").empty());
+
+  ring.AddNode("solo", Tcp(9000));
+  EXPECT_EQ(ring.OwnersFor("anything").size(), 1u);
+
+  ring.AddNode("duo", Tcp(9001));
+  auto owners = ring.OwnersFor("anything");
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_NE(owners[0], owners[1]);
+
+  for (int i = 0; i < 3; ++i) {
+    ring.AddNode("extra" + std::to_string(i), Tcp(9100 + i));
+  }
+  for (const auto& key : Keys(100)) {
+    owners = ring.OwnersFor(key);
+    ASSERT_EQ(owners.size(), 3u) << key;
+    EXPECT_EQ(std::set<std::string>(owners.begin(), owners.end()).size(), 3u)
+        << "replicas must be distinct nodes for " << key;
+  }
+}
+
+TEST(HashRingTest, VirtualNodesSmoothTheLoadSplit) {
+  HashRing ring;
+  constexpr int kNodes = 5;
+  for (int i = 0; i < kNodes; ++i) {
+    ring.AddNode("node" + std::to_string(i), Tcp(9000 + i));
+  }
+  std::map<std::string, int> per_node;
+  const auto keys = Keys(5000);
+  for (const auto& key : keys) ++per_node[ring.PrimaryFor(key)];
+  ASSERT_EQ(per_node.size(), static_cast<std::size_t>(kNodes));
+  // Perfect split is 20%; 64 vnodes/node keeps every node within a loose
+  // [8%, 36%] band (the test guards against gross imbalance, not variance).
+  for (const auto& [name, count] : per_node) {
+    const double share = static_cast<double>(count) / keys.size();
+    EXPECT_GT(share, 0.08) << name;
+    EXPECT_LT(share, 0.36) << name;
+  }
+}
+
+TEST(HashRingTest, AddingANodeStealsAboutOneNth) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) {
+    ring.AddNode("node" + std::to_string(i), Tcp(9000 + i));
+  }
+  const auto keys = Keys(4000);
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (const auto& key : keys) before.push_back(ring.PrimaryFor(key));
+
+  ring.AddNode("joiner", Tcp(9100));
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string after = ring.PrimaryFor(keys[i]);
+    if (after != before[i]) {
+      ++moved;
+      // Minimal movement: a key only ever moves TO the joiner — never
+      // between surviving nodes.
+      EXPECT_EQ(after, "joiner") << keys[i];
+    }
+  }
+  // Expected steal is 1/5 = 20%; allow a wide band.
+  const double frac = static_cast<double>(moved) / keys.size();
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.36);
+}
+
+TEST(HashRingTest, RemoveNodeRedistributesOnlyItsKeys) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) {
+    ring.AddNode("node" + std::to_string(i), Tcp(9000 + i));
+  }
+  const auto keys = Keys(1000);
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (const auto& key : keys) before.push_back(ring.PrimaryFor(key));
+
+  ASSERT_TRUE(ring.RemoveNode("node2"));
+  EXPECT_FALSE(ring.RemoveNode("node2"));
+  EXPECT_FALSE(ring.HasNode("node2"));
+  EXPECT_EQ(ring.num_nodes(), 3u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (before[i] != "node2") {
+      EXPECT_EQ(ring.PrimaryFor(keys[i]), before[i]) << keys[i];
+    } else {
+      EXPECT_NE(ring.PrimaryFor(keys[i]), "node2") << keys[i];
+    }
+  }
+}
+
+TEST(HashRingTest, VersionBumpsOnEveryMutation) {
+  HashRing ring;
+  const auto v0 = ring.version();
+  ring.AddNode("a", Tcp(9000));
+  const auto v1 = ring.version();
+  EXPECT_GT(v1, v0);
+  ring.AddNode("b", Tcp(9001));
+  const auto v2 = ring.version();
+  EXPECT_GT(v2, v1);
+  ring.RemoveNode("a");
+  EXPECT_GT(ring.version(), v2);
+}
+
+TEST(HashRingTest, EndpointLookupAndNames) {
+  HashRing ring;
+  ring.AddNode("beta", Tcp(9001));
+  ring.AddNode("alpha", Tcp(9000));
+  const auto names = ring.NodeNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");  // sorted for stable exposition
+  EXPECT_EQ(names[1], "beta");
+  ASSERT_NE(ring.EndpointOf("beta"), nullptr);
+  EXPECT_EQ(ring.EndpointOf("beta")->port, 9001);
+  EXPECT_EQ(ring.EndpointOf("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace cortex::cluster

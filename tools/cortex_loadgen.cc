@@ -12,6 +12,12 @@
 //
 // Run both sides with identical workload flags: the worlds are rebuilt
 // deterministically in each process (see serve/serving_world.h).
+//
+// Cluster mode: --endpoints=host:port,unix:PATH,... spreads the client
+// threads round-robin over several frontends (routers or nodes), and
+// --skew=S replays queries under zipf(S) popularity instead of one pass
+// in task order — the skewed-key regime a consistent-hash ring has to
+// absorb.  STATS/DUMPTRACE digests come from the first endpoint.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -23,9 +29,11 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/hash_ring.h"
 #include "serve/client.h"
 #include "serve/serving_world.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -84,15 +92,18 @@ std::string StatValue(const Response& stats, std::string_view key) {
   return "-";
 }
 
+bool Connect(BlockingClient& client, const cluster::NodeEndpoint& ep,
+             std::string* err) {
+  return ep.unix_path.empty() ? client.ConnectTcp(ep.host, ep.port, err)
+                              : client.ConnectUnix(ep.unix_path, err);
+}
+
 // One STATS round trip on a fresh connection (used by the mid-run monitor
 // and the end-of-run registry printout).
-std::optional<Response> FetchStats(const std::string& unix_path,
-                                   const std::string& host, int port,
+std::optional<Response> FetchStats(const cluster::NodeEndpoint& ep,
                                    std::string* err) {
   BlockingClient client;
-  const bool ok = unix_path.empty() ? client.ConnectTcp(host, port, err)
-                                    : client.ConnectUnix(unix_path, err);
-  if (!ok) return std::nullopt;
+  if (!Connect(client, ep, err)) return std::nullopt;
   Request stats;
   stats.type = RequestType::kStats;
   auto response = client.Call(stats, err);
@@ -114,6 +125,38 @@ int main(int argc, char** argv) {
   const std::string unix_path = flags.GetString("unix");
   const std::string host = flags.GetString("host", "127.0.0.1");
   const int port = static_cast<int>(flags.GetInt("port", 8377));
+  const double skew = flags.GetDouble("skew", 0.0);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  // Cluster mode: client threads spread round-robin over the endpoint
+  // list; otherwise everyone hits the single --unix / --host:--port.
+  std::vector<cluster::NodeEndpoint> endpoints;
+  {
+    const std::string list = flags.GetString("endpoints");
+    std::size_t start = 0;
+    while (start < list.size()) {
+      auto comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      if (comma > start) {
+        std::string eperr;
+        const auto ep =
+            cluster::ParseEndpoint(list.substr(start, comma - start), &eperr);
+        if (!ep) {
+          std::cerr << "cortex_loadgen: --endpoints: " << eperr << "\n";
+          return 1;
+        }
+        endpoints.push_back(*ep);
+      }
+      start = comma + 1;
+    }
+    if (endpoints.empty()) {
+      cluster::NodeEndpoint ep;
+      ep.unix_path = unix_path;
+      ep.host = host;
+      ep.port = port;
+      endpoints.push_back(ep);
+    }
+  }
 
   std::string error;
   const auto world = BuildServingWorld(flags, &error);
@@ -136,6 +179,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Skewed replay: zipf(S) over query ranks (rank 0 hottest), the key
+  // popularity a cluster's ring has to absorb without hot-spotting.
+  std::optional<ZipfSampler> zipf;
+  if (skew > 0.0) zipf.emplace(queries.size(), skew);
+
   const GroundTruthOracle& oracle = *world->bundle.oracle;
   std::mutex merge_mu;
   ThreadResult total;
@@ -156,7 +204,7 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(period);
         if (monitor_stop.load(std::memory_order_acquire)) break;
         std::string merr;
-        const auto stats = FetchStats(unix_path, host, port, &merr);
+        const auto stats = FetchStats(endpoints.front(), &merr);
         if (!stats) {
           std::fprintf(stderr, "[monitor] STATS failed: %s\n", merr.c_str());
           continue;
@@ -184,14 +232,13 @@ int main(int argc, char** argv) {
       ThreadResult local;
       BlockingClient client;
       std::string err;
-      const bool ok = unix_path.empty()
-                          ? client.ConnectTcp(host, port, &err)
-                          : client.ConnectUnix(unix_path, &err);
-      if (!ok) {
+      Rng rng(seed * 0x9e3779b97f4a7c15ULL + tid);
+      if (!Connect(client, endpoints[tid % endpoints.size()], &err)) {
         NoteError(local, "connect: " + err);
       } else {
-        for (std::size_t i = tid; i < queries.size(); i += threads) {
-          const std::string& query = *queries[i];
+        for (std::size_t n = tid; n < queries.size(); n += threads) {
+          const std::size_t qi = zipf ? zipf->Sample(rng) : n;
+          const std::string& query = *queries[qi];
           Request lookup;
           lookup.type = RequestType::kLookup;
           lookup.query = query;
@@ -307,7 +354,7 @@ int main(int argc, char** argv) {
   // seen over the wire.
   {
     std::string serr;
-    const auto stats = FetchStats(unix_path, host, port, &serr);
+    const auto stats = FetchStats(endpoints.front(), &serr);
     if (stats) {
       std::cout << "\nserver telemetry (cortex_*):\n";
       TextTable registry({"metric", "value"});
@@ -327,10 +374,7 @@ int main(int argc, char** argv) {
   if (dump_traces > 0) {
     BlockingClient client;
     std::string terr;
-    const bool ok = unix_path.empty()
-                        ? client.ConnectTcp(host, port, &terr)
-                        : client.ConnectUnix(unix_path, &terr);
-    if (ok) {
+    if (Connect(client, endpoints.front(), &terr)) {
       Request dump;
       dump.type = RequestType::kDumpTrace;
       dump.max_traces = dump_traces;

@@ -1,0 +1,211 @@
+// cortex_router: the cluster tier's front door.  Speaks the cortexd wire
+// protocol to clients and routes every request to the owning cortexd
+// nodes via a consistent-hash ring (src/cluster).
+//
+//   cortex_router --nodes=127.0.0.1:8377,127.0.0.1:8378 --port=8400
+//                 --replication=2 --workload=musique --tasks=1000
+//
+// Run the nodes and the router with the SAME workload flags: placement
+// keys come from the IDF anchor of each query, so the router must fit the
+// same embedder the nodes judge with.  Add nodes live with the MIGRATE
+// command (cluster/router.h documents the handoff protocol).
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "serve/serving_world.h"
+#include "telemetry/metrics.h"
+#include "util/flags.h"
+
+using namespace cortex;
+using namespace cortex::cluster;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+void PrintUsage() {
+  std::cout <<
+      "cortex_router — consistent-hash router over cortexd nodes\n"
+      "  ring:      --nodes=EP[,EP...]  (EP = host:port or unix:PATH)\n"
+      "             --node-names=a,b,... (default node0,node1,...)\n"
+      "             --replication=1 --vnodes=64\n"
+      "  placement: --placement=anchor|raw (anchor fits the workload's\n"
+      "             embedder: pass the same --workload/--tasks/--seed or\n"
+      "             --trace flags as the nodes)\n"
+      "  listen:    --port=8400 (--port=0 for ephemeral) --host=127.0.0.1\n"
+      "             --unix=PATH (overrides TCP)\n"
+      "  serving:   --workers=4 --max-pending=64 --max-pipeline=64\n"
+      "             --drain-sec=5\n"
+      "  nodes:     --node-timeout=2.0 --unhealthy-after=3\n"
+      "             --retry-backoff=1.0 --node-frame-mb=64\n"
+      "             --hop-latency=none|local|rag|search (simulated\n"
+      "             inter-node hop, net/latency presets)\n"
+      "  telemetry: --metrics-interval=0 --metrics-file=PATH\n";
+}
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < text.size()) parts.push_back(text.substr(start));
+      break;
+    }
+    if (comma > start) parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.GetBool("help")) {
+    PrintUsage();
+    return 0;
+  }
+
+  const auto endpoints = SplitCsv(flags.GetString("nodes"));
+  if (endpoints.empty()) {
+    std::cerr << "cortex_router: --nodes is required (see --help)\n";
+    return 1;
+  }
+  auto names = SplitCsv(flags.GetString("node-names"));
+  if (!names.empty() && names.size() != endpoints.size()) {
+    std::cerr << "cortex_router: --node-names count must match --nodes\n";
+    return 1;
+  }
+  for (std::size_t i = names.size(); i < endpoints.size(); ++i) {
+    names.push_back("node" + std::to_string(i));
+  }
+
+  // The embedder for anchor placement comes from the same deterministic
+  // world the nodes built — identical flags, identical IDF weights.
+  std::string error;
+  std::unique_ptr<serve::ServingWorld> world;
+  if (flags.GetString("placement", "anchor") == "anchor") {
+    world = serve::BuildServingWorld(flags, &error);
+    if (!world) {
+      std::cerr << "cortex_router: " << error << "\n";
+      return 1;
+    }
+  }
+
+  RouterOptions ropts;
+  ropts.unix_path = flags.GetString("unix");
+  ropts.host = flags.GetString("host", "127.0.0.1");
+  ropts.port = static_cast<int>(flags.GetInt("port", 8400));
+  ropts.num_workers = static_cast<std::size_t>(flags.GetInt("workers", 4));
+  ropts.max_pending_connections =
+      static_cast<std::size_t>(flags.GetInt("max-pending", 64));
+  ropts.max_pipeline =
+      static_cast<std::size_t>(flags.GetInt("max-pipeline", 64));
+  ropts.ring.replication =
+      static_cast<std::size_t>(flags.GetInt("replication", 1));
+  ropts.ring.vnodes_per_node =
+      static_cast<std::size_t>(flags.GetInt("vnodes", 64));
+  ropts.node.call_timeout_sec = flags.GetDouble("node-timeout", 2.0);
+  ropts.node.unhealthy_after_failures =
+      static_cast<int>(flags.GetInt("unhealthy-after", 3));
+  ropts.node.retry_backoff_sec = flags.GetDouble("retry-backoff", 1.0);
+  ropts.node.max_frame_bytes =
+      static_cast<std::size_t>(flags.GetInt("node-frame-mb", 64)) << 20;
+  ropts.embedder = world ? &world->embedder : nullptr;
+
+  LatencyDistribution hop = LatencyDistribution::LocalService();
+  const std::string hop_name = flags.GetString("hop-latency", "none");
+  if (hop_name == "local") {
+    ropts.node.hop_latency = &hop;
+  } else if (hop_name == "rag") {
+    hop = LatencyDistribution::SelfHostedRag();
+    ropts.node.hop_latency = &hop;
+  } else if (hop_name == "search") {
+    hop = LatencyDistribution::CrossRegionSearchApi();
+    ropts.node.hop_latency = &hop;
+  } else if (hop_name != "none") {
+    std::cerr << "cortex_router: unknown --hop-latency=" << hop_name << "\n";
+    return 1;
+  }
+
+  ClusterRouter router(ropts);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (!router.AddNode(names[i], endpoints[i], &error)) {
+      std::cerr << "cortex_router: --nodes: " << error << "\n";
+      return 1;
+    }
+  }
+  if (!router.Start(&error)) {
+    std::cerr << "cortex_router: " << error << "\n";
+    return 1;
+  }
+
+  const double metrics_interval = flags.GetDouble("metrics-interval", 0.0);
+  const std::string metrics_file = flags.GetString("metrics-file");
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_thread;
+  if (metrics_interval > 0.0) {
+    metrics_thread = std::thread([&] {
+      const auto period = std::chrono::duration<double>(metrics_interval);
+      while (!metrics_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(period);
+        if (metrics_stop.load(std::memory_order_acquire)) break;
+        const std::string text = router.registry()->Snapshot().RenderText();
+        if (metrics_file.empty()) {
+          std::fprintf(stderr, "--- metrics t=%.1fs ---\n%s",
+                       telemetry::WallSeconds(), text.c_str());
+        } else if (std::FILE* f = std::fopen(metrics_file.c_str(), "a")) {
+          std::fprintf(f, "--- metrics t=%.1fs ---\n%s",
+                       telemetry::WallSeconds(), text.c_str());
+          std::fclose(f);
+        }
+      }
+    });
+  }
+
+  if (!ropts.unix_path.empty()) {
+    std::cout << "cortex_router listening on unix:" << ropts.unix_path;
+  } else {
+    std::cout << "cortex_router listening on " << ropts.host << ":"
+              << router.port();
+  }
+  std::cout << "  (nodes=" << router.num_nodes()
+            << ", replication=" << ropts.ring.replication
+            << ", vnodes=" << ropts.ring.vnodes_per_node << ", placement="
+            << (ropts.embedder != nullptr ? "anchor" : "raw") << ")\n"
+            << "Ctrl-C to stop.\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cout << "\ncortex_router: draining...\n";
+  router.Drain(flags.GetDouble("drain-sec", 5.0));
+  metrics_stop.store(true, std::memory_order_release);
+  if (metrics_thread.joinable()) metrics_thread.join();
+
+  if (!metrics_file.empty()) {
+    if (std::FILE* f = std::fopen(metrics_file.c_str(), "a")) {
+      std::fprintf(f, "--- metrics t=%.1fs (final) ---\n%s",
+                   telemetry::WallSeconds(),
+                   router.registry()->Snapshot().RenderText().c_str());
+      std::fflush(f);
+      std::fclose(f);
+    }
+  }
+
+  std::printf("--- final metrics ---\n%s",
+              router.registry()->Snapshot().RenderText().c_str());
+  return 0;
+}

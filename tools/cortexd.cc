@@ -43,6 +43,8 @@ void PrintUsage() {
       "             --unix=PATH (overrides TCP)\n"
       "  serving:   --workers=4 --rate-limit=0 (req/s, 0 = unlimited)\n"
       "             --max-pending=64 --max-pipeline=64\n"
+      "             --max-frame-mb=64 (largest accepted frame; cluster\n"
+      "             RESTORE blobs need headroom) --drain-sec=5\n"
       "  telemetry: --metrics-interval=0 (sec between registry dumps, "
       "0 = off)\n"
       "             --metrics-file=PATH (append dumps there instead of "
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
   sopts.max_pipeline =
       static_cast<std::size_t>(flags.GetInt("max-pipeline", 64));
   sopts.max_requests_per_sec = flags.GetDouble("rate-limit", 0.0);
+  sopts.max_frame_bytes =
+      static_cast<std::size_t>(flags.GetInt("max-frame-mb", 64)) << 20;
   sopts.flight_recorder_capacity =
       static_cast<std::size_t>(flags.GetInt("flight-recorder", 256));
 
@@ -147,10 +151,25 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\ncortexd: draining...\n";
+  // Drain, don't yank: in-flight requests get their responses flushed
+  // before the sockets close, so a restart mid-rebalance never truncates a
+  // frame a migration peer is waiting on.
+  server.Drain(flags.GetDouble("drain-sec", 5.0));
   metrics_stop.store(true, std::memory_order_release);
   if (metrics_thread.joinable()) metrics_thread.join();
-  server.Stop();
   engine.StopHousekeeping();
+
+  // Final registry flush: the last dump lands in --metrics-file even when
+  // the periodic thread never ticked between the signal and the exit.
+  if (!metrics_file.empty()) {
+    if (std::FILE* f = std::fopen(metrics_file.c_str(), "a")) {
+      std::fprintf(f, "--- metrics t=%.1fs (final) ---\n%s",
+                   telemetry::WallSeconds(),
+                   server.registry()->Snapshot().RenderText().c_str());
+      std::fflush(f);
+      std::fclose(f);
+    }
+  }
 
   const ServerStats ss = server.stats();
   const ConcurrentEngineStats es = engine.Stats();
