@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full correctness matrix — every leg must pass; fails on the first error.
 #
+#   0. static analysis, fail-fast: build only cortex_analyzer and run it
+#      (lock-rank / io-under-lock / guarded-by / layering / contracts)
+#      plus cortex_lint and the script self-tests — seconds, not minutes,
+#      so discipline violations die before the build matrix spends CPU
 #   1. gcc   Release            -Werror   build + full ctest
 #   2. CORTEX_SIMD=scalar full ctest (same binaries as leg 1 — proves the
 #      scalar kernel fallback serves identical results)
@@ -10,7 +14,7 @@
 #      under native SIMD dispatch, so the vectorized kernels' loads and
 #      tails are sanitizer-checked, not just the scalar path)
 #   5. TSan      full ctest    (CORTEX_SANITIZE=thread, via tsan.sh)
-#   6. clang-tidy + cortex_lint (scripts/lint.sh)
+#   6. clang-tidy + cortex_lint + cortex_analyzer (scripts/lint.sh)
 #
 # Each leg uses its own build dir under build-ci/ so sanitized, Release,
 # and clang objects never mix.  Pass -j<N> via CMAKE_BUILD_PARALLEL_LEVEL.
@@ -27,10 +31,20 @@ run_ctest() {
   ctest --test-dir "$1" --output-on-failure
 }
 
-leg "gcc Release -Werror"
+leg "static analysis (fail-fast)"
+# Configure the gcc-release dir once; leg 1 reuses it.  Building just the
+# analyzer target keeps this leg to seconds even on a cold tree.
 cmake -B build-ci/gcc-release -S . \
   -DCMAKE_BUILD_TYPE=Release -DCORTEX_WERROR=ON \
   -DCMAKE_CXX_COMPILER=g++
+cmake --build build-ci/gcc-release -j --target cortex_analyzer
+build-ci/gcc-release/tools/cortex_analyzer --root . \
+  --baseline tools/cortex_analyzer/baseline.txt
+python3 scripts/cortex_lint.py src
+python3 scripts/test_cortex_lint.py
+python3 scripts/test_bench_diff.py
+
+leg "gcc Release -Werror"
 cmake --build build-ci/gcc-release -j
 run_ctest build-ci/gcc-release
 
@@ -78,7 +92,7 @@ leg "TSan ctest"
 scripts/tsan.sh -R 'Telemetry|ConcurrentEngine|ServerEndToEnd'
 scripts/tsan.sh
 
-leg "clang-tidy + cortex_lint"
+leg "clang-tidy + cortex_lint + cortex_analyzer"
 # lint.sh needs a configured build dir for compile_commands.json.
 scripts/lint.sh build-ci/gcc-release
 

@@ -23,7 +23,10 @@ Rules (see DESIGN.md §7):
 
 A line may opt out with:  // cortex-lint: allow(<rule>)
 Comments and string literals are stripped before matching, so prose about
-assert() is fine.
+assert() is fine.  Opt-outs are themselves checked: an allow() naming an
+unknown rule, or naming a rule that would not fire on its line anyway, is
+a `stale-allow` violation — suppressions must never outlive the code they
+excuse.
 
 Usage: cortex_lint.py [paths...]   (default: src)
 Exit status: 0 clean, 1 violations, 2 usage error.
@@ -104,6 +107,8 @@ RULES = [
 
 ALLOW_RE = re.compile(r"cortex-lint:\s*allow\(([a-z\-,\s]+)\)")
 
+RULES_BY_NAME = {rule: (pattern, applies_to) for rule, pattern, _, applies_to in RULES}
+
 # `static_assert` is a keyword, not the macro; the negative look-behind in
 # the assert rule already skips it via the preceding 'c' of "static_".
 
@@ -160,6 +165,26 @@ def lint_file(path: Path) -> list[str]:
                 continue
             if pattern.search(code):
                 violations.append(f"{path}:{lineno}: [{rule}] {hint}")
+        # A suppression must excuse something: every allow()'d rule has to
+        # be a real rule that would have fired on this very line.
+        for rule in sorted(allowed):
+            entry = RULES_BY_NAME.get(rule)
+            if entry is None:
+                violations.append(
+                    f"{path}:{lineno}: [stale-allow] cortex-lint: "
+                    f"allow({rule}) names an unknown rule"
+                )
+                continue
+            pattern, applies_to = entry
+            fires = (
+                applies_to is None or applies_to(path)
+            ) and pattern.search(code)
+            if not fires:
+                violations.append(
+                    f"{path}:{lineno}: [stale-allow] cortex-lint: "
+                    f"allow({rule}) suppresses nothing on this line; "
+                    f"remove the comment"
+                )
     return violations
 
 

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
-# Static lint gate: clang-tidy (checks from .clang-tidy) + the repo's own
-# invariant linter (scripts/cortex_lint.py).  Exits non-zero on the first
-# violation.
+# Static lint gate, one command for everything that reads source without
+# running it:
+#
+#   * clang-tidy       checks from .clang-tidy (skipped with a notice
+#                      when clang-tidy is not installed — CI images with
+#                      clang get the full gate)
+#   * cortex_lint      repo-invariant regex linter (scripts/cortex_lint.py)
+#   * cortex_analyzer  whole-repo lock-discipline / layering / contract
+#                      analyzer (tools/cortex_analyzer; built on demand
+#                      from the given build dir, skipped with a notice
+#                      when the dir is not configured)
+#
+# Every violation prints as file:line: [check] message, so editors and CI
+# annotate them the same way.  Exits non-zero if any leg fails.
 #
 # clang-tidy needs a compile_commands.json; CMake exports one into build/
-# (CMAKE_EXPORT_COMPILE_COMMANDS is on by default for this project).  When
-# clang-tidy is not installed the tidy leg is skipped with a notice so the
-# repo lint still gates — CI images with clang get the full gate.
+# (CMAKE_EXPORT_COMPILE_COMMANDS is on by default for this project).
 #
 # Usage: scripts/lint.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -32,6 +41,15 @@ else
 fi
 
 python3 scripts/cortex_lint.py src || fail=1
+
+if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake --build "$BUILD_DIR" --target cortex_analyzer >/dev/null
+  "$BUILD_DIR/tools/cortex_analyzer" --root . \
+    --baseline tools/cortex_analyzer/baseline.txt || fail=1
+else
+  echo "lint.sh: $BUILD_DIR not configured — skipping cortex_analyzer" \
+       "(cmake -B $BUILD_DIR -S . to enable)" >&2
+fi
 
 if [[ "$fail" -ne 0 ]]; then
   echo "lint.sh: FAILED" >&2

@@ -13,6 +13,9 @@
 // HashRing is a copyable value type with no locks: the router mutates a
 // copy off to the side and swaps it in under its state lock, so readers
 // never observe a half-built ring.  version() bumps on every mutation.
+// Shared instances are externally synchronized — the router's live rings
+// live under state_mu_ with GUARDED_BY annotations (router.h), which is
+// where cortex_analyzer's guarded-by check enforces the discipline.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,8 @@
 // BlockingClient: a minimal synchronous cortexd client — one request in
 // flight at a time, used by cortex_loadgen's client threads and the
-// serving-layer tests.  Not thread-safe; give each thread its own client.
+// serving-layer tests.  Not thread-safe by design — it owns no mutex, so
+// cortex_analyzer's guarded-by check does not apply; give each thread its
+// own client (the cluster router's NodePool does exactly that).
 #pragma once
 
 #include <optional>

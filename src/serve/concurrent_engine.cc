@@ -27,10 +27,11 @@ std::function<double()> WallClockSinceNow() {
 ConcurrentShardedEngine::ConcurrentShardedEngine(
     const HashedEmbedder* embedder, const JudgerModel* judger,
     ConcurrentEngineOptions options)
-    : embedder_(embedder), options_(std::move(options)) {
+    : embedder_(embedder),
+      options_(std::move(options)),
+      clock_(options_.clock ? options_.clock : WallClockSinceNow()) {
   CHECK(embedder != nullptr) << "engine requires an embedder";
   CHECK_GT(options_.num_shards, 0u);
-  clock_ = options_.clock ? options_.clock : WallClockSinceNow();
 
   if (options_.registry != nullptr) {
     registry_ = options_.registry;

@@ -215,10 +215,10 @@ class ConcurrentShardedEngine {
                         const CacheCounters& after, double usage_delta,
                         double entries_delta);
 
-  const HashedEmbedder* embedder_;
-  Tokenizer tokenizer_;
-  ConcurrentEngineOptions options_;
-  std::function<double()> clock_;
+  const HashedEmbedder* const embedder_;
+  const Tokenizer tokenizer_;
+  const ConcurrentEngineOptions options_;
+  const std::function<double()> clock_;
 
   std::unique_ptr<telemetry::MetricRegistry> registry_owned_;
   telemetry::MetricRegistry* registry_ = nullptr;
@@ -248,7 +248,9 @@ class ConcurrentShardedEngine {
   telemetry::Gauge* cache_tokens_resident_ = nullptr;
   telemetry::Gauge* cache_entries_ = nullptr;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // Shard set is created in the constructor and structurally immutable
+  // afterwards; all mutable per-shard state is guarded by shard.mu.
+  std::vector<std::unique_ptr<Shard>> shards_;  // cortex-analyzer: allow(guarded-by)
 
   RankedMutex fetch_gt_mu_{LockRank::kEngineGroundTruth,
                            "engine.fetch_gt_mu"};

@@ -310,7 +310,7 @@ void CortexServer::ServeConnection(int fd) {
   // so Drain() can wait for every in-flight response to flush.
   active_connections_.fetch_add(1, std::memory_order_acq_rel);
   struct ActiveGuard {
-    std::atomic<std::int64_t>* n;
+    std::atomic<std::int64_t>* n;  // cortex-lint: allow(atomic-counter)
     ~ActiveGuard() { n->fetch_sub(1, std::memory_order_acq_rel); }
   } guard{&active_connections_};
 

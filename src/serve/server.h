@@ -132,17 +132,22 @@ class CortexServer {
   // section; PING/STATS bypass it).
   bool AdmitRequest(const Request& request) EXCLUDES(bucket_mu_);
 
-  ConcurrentShardedEngine* engine_;
-  ServerOptions options_;
+  ConcurrentShardedEngine* const engine_;
+  const ServerOptions options_;
 
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::string bound_unix_path_;
+  // Listener state is written only during Start()/Stop(), strictly
+  // before the worker threads exist / after they have joined, so no lock
+  // guards it (cortex_analyzer verifies the rest of this class).
+  int listen_fd_ = -1;         // cortex-analyzer: allow(guarded-by)
+  int port_ = 0;               // cortex-analyzer: allow(guarded-by)
+  std::string bound_unix_path_;  // cortex-analyzer: allow(guarded-by)
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
-  std::atomic<std::int64_t> active_connections_{0};
+  // Drain-coordination state, not a stat (Drain() spins on it reaching
+  // zero) — the registry is for observability, not control flow.
+  std::atomic<std::int64_t> active_connections_{0};  // cortex-lint: allow(atomic-counter)
 
   // Lock order (ranks checked in debug builds, table in DESIGN.md §7):
   // queue_mu_ (10) < bucket_mu_ (20) < the engine's locks (30-50).

@@ -164,14 +164,14 @@ MetricRegistry::Instrument& MetricRegistry::Register(
 }
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = Register(name, TelemetrySnapshot::Kind::kCounter);
   if (!inst.counter) inst.counter.reset(new Counter(&enabled_));
   return inst.counter.get();
 }
 
 Gauge* MetricRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = Register(name, TelemetrySnapshot::Kind::kGauge);
   if (!inst.gauge) inst.gauge.reset(new Gauge(&enabled_));
   return inst.gauge.get();
@@ -179,7 +179,7 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
 
 AtomicHistogram* MetricRegistry::GetHistogram(std::string_view name,
                                               HistogramOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = Register(name, TelemetrySnapshot::Kind::kHistogram);
   if (!inst.histogram) {
     inst.histogram.reset(new AtomicHistogram(options, &enabled_));
@@ -189,7 +189,7 @@ AtomicHistogram* MetricRegistry::GetHistogram(std::string_view name,
 
 TelemetrySnapshot MetricRegistry::Snapshot() const {
   TelemetrySnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.entries.reserve(instruments_.size());
   for (const auto& [name, inst] : instruments_) {
     TelemetrySnapshot::Entry entry;

@@ -25,11 +25,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/ranked_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace cortex::telemetry {
 
@@ -250,12 +252,16 @@ class MetricRegistry {
     std::unique_ptr<AtomicHistogram> histogram;
   };
 
-  Instrument& Register(std::string_view name, TelemetrySnapshot::Kind kind);
+  Instrument& Register(std::string_view name, TelemetrySnapshot::Kind kind)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  // Registration-path lock only (updates go through atomic instrument
+  // handles).  kLeaf: nothing is ever acquired under it, and it may be
+  // taken while any serving-tier lock is held.
+  mutable RankedMutex mu_{LockRank::kLeaf, "telemetry.registry_mu"};
   // Ordered map: snapshots come out name-sorted, and node stability keeps
   // instrument pointers valid across later registrations.
-  std::map<std::string, Instrument, std::less<>> instruments_;
+  std::map<std::string, Instrument, std::less<>> instruments_ GUARDED_BY(mu_);
   std::atomic<bool> enabled_{true};
 };
 

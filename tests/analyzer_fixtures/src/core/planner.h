@@ -1,0 +1,12 @@
+// layering fixture: core/ must not include telemetry/ (the util include
+// is legal and proves the check is edge-specific, not file-wide).
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "util/ranked_mutex.h"
+
+namespace mini {
+
+inline int Plan() { return 1; }
+
+}  // namespace mini

@@ -1,0 +1,23 @@
+// guarded-by fixture: one unannotated mutable field in a mutex-owning
+// class; the annotated, const, and atomic siblings are all exempt.
+#pragma once
+
+#include <atomic>
+
+#include "util/ranked_mutex.h"
+
+namespace mini {
+
+class Box {
+ public:
+  int value() const;
+
+ private:
+  RankedMutex mu_{LockRank::kLeaf, "box.mu"};
+  int value_ = 0;
+  int annotated_ GUARDED_BY(mu_) = 0;
+  const int limit_ = 8;
+  std::atomic<int> epoch_{0};
+};
+
+}  // namespace mini

@@ -1,0 +1,32 @@
+// io-under-lock fixture: a blocking ::send directly under a guard
+// (Publish) and one reached through a free function (Flush -> SendAll).
+#include "util/ranked_mutex.h"
+
+namespace mini {
+
+int SendAll(int fd) {
+  return static_cast<int>(::send(fd, nullptr, 0, 0));
+}
+
+class Channel {
+ public:
+  void Publish(int fd);
+  void Flush(int fd);
+
+ private:
+  RankedMutex mu_{LockRank::kEngineShard, "channel.mu"};
+  int pending_ GUARDED_BY(mu_) = 0;
+};
+
+void Channel::Publish(int fd) {
+  MutexLock lock(mu_);
+  pending_ = fd;
+  ::send(fd, nullptr, 0, 0);
+}
+
+void Channel::Flush(int fd) {
+  MutexLock lock(mu_);
+  SendAll(fd);
+}
+
+}  // namespace mini

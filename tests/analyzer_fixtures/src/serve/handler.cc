@@ -1,0 +1,15 @@
+// verb-contract fixture: dispatch switch that forgot kLookup.
+#include "serve/protocol.h"
+
+namespace mini {
+
+int Handle(const Request& request) {
+  switch (request.type) {
+    case RequestType::kPing:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace mini

@@ -1,0 +1,14 @@
+// metric-contract fixture: cortex_widget_hits is registered twice;
+// cortex_widget_misses is used but never registered.
+#include "telemetry/metrics.h"
+
+namespace mini {
+
+void RegisterAll(MetricRegistry* registry) {
+  registry->GetCounter("cortex_widget_hits");
+  registry->GetCounter("cortex_widget_hits");
+}
+
+const char* MissName() { return "cortex_widget_misses"; }
+
+}  // namespace mini

@@ -1,0 +1,16 @@
+// verb-contract fixture: the wire verb enum the dispatch switch in
+// handler.cc is checked against.
+#pragma once
+
+namespace mini {
+
+enum class RequestType {
+  kLookup = 0,
+  kPing = 1,
+};
+
+struct Request {
+  RequestType type = RequestType::kPing;
+};
+
+}  // namespace mini

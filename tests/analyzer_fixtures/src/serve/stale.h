@@ -1,0 +1,12 @@
+// stale-allow fixture: one annotation naming a known check that
+// suppresses nothing, and one naming a check that does not exist.
+#pragma once
+
+namespace mini {
+
+// cortex-analyzer: allow(layering)
+inline int Identity(int v) { return v; }
+
+inline int Twice(int v) { return v + v; }  // cortex-analyzer: allow(bogus-check)
+
+}  // namespace mini

@@ -1,0 +1,15 @@
+// Suppression fixture: the unannotated field opts out, so the guarded-by
+// finding lands in the suppressed bucket and the annotation is not stale.
+#pragma once
+
+#include "util/ranked_mutex.h"
+
+namespace mini {
+
+class Quiet {
+ private:
+  RankedMutex mu_{LockRank::kLeaf, "quiet.mu"};
+  int scratch_ = 0;  // cortex-analyzer: allow(guarded-by)
+};
+
+}  // namespace mini

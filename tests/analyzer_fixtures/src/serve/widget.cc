@@ -1,0 +1,36 @@
+// lock-rank fixture: one direct inversion (Direct acquires rank 10 under
+// rank 50) and one transitive inversion (High holds rank 50 and calls
+// Low, which acquires rank 10).
+#include "util/ranked_mutex.h"
+
+namespace mini {
+
+class Widget {
+ public:
+  void High();
+  void Low();
+  void Direct();
+
+ private:
+  RankedMutex high_mu_{LockRank::kEngineShard, "widget.high_mu"};
+  RankedMutex low_mu_{LockRank::kServerQueue, "widget.low_mu"};
+  int guarded_value_ GUARDED_BY(low_mu_) = 0;
+};
+
+void Widget::Low() {
+  MutexLock lock(low_mu_);
+  guarded_value_ += 1;
+}
+
+void Widget::High() {
+  MutexLock lock(high_mu_);
+  Low();
+}
+
+void Widget::Direct() {
+  MutexLock outer(high_mu_);
+  MutexLock inner(low_mu_);
+  guarded_value_ = 2;
+}
+
+}  // namespace mini

@@ -1,0 +1,18 @@
+// Fixture mirror of the telemetry registry surface.  Mutex-free on
+// purpose: this file exists to be the *target* of a forbidden include and
+// the provider of GetCounter for the metric-contract fixture.
+#pragma once
+
+namespace mini {
+
+class Counter {
+ public:
+  void Inc();
+};
+
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const char* name);
+};
+
+}  // namespace mini

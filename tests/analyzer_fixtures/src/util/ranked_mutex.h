@@ -1,0 +1,71 @@
+// Fixture mirror of src/util/ranked_mutex.h — just enough surface for
+// cortex_analyzer's parser: the LockRank enum, ranked mutex classes, and
+// the guard idioms.  Never compiled; read as data by test_analyzer.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace mini {
+
+enum class LockRank : int {
+  kServerQueue = 10,
+  kEngineShard = 50,
+  kLeaf = 1000,
+};
+
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+  void lock();
+  void unlock();
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+class RankedSharedMutex {
+ public:
+  RankedSharedMutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+  void lock();
+  void unlock();
+  void lock_shared();
+  void unlock_shared();
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(RankedMutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  RankedMutex& mu_;
+};
+
+class WriterLock {
+ public:
+  explicit WriterLock(RankedSharedMutex& mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() { mu_.unlock(); }
+
+ private:
+  RankedSharedMutex& mu_;
+};
+
+class ReaderLock {
+ public:
+  explicit ReaderLock(RankedSharedMutex& mu) : mu_(mu) { mu_.lock_shared(); }
+  ~ReaderLock() { mu_.unlock_shared(); }
+
+ private:
+  RankedSharedMutex& mu_;
+};
+
+}  // namespace mini

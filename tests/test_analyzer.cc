@@ -1,0 +1,238 @@
+// cortex_analyzer end-to-end tests over the seeded fixture tree in
+// tests/analyzer_fixtures/ (path injected as CORTEX_ANALYZER_FIXTURE_DIR).
+// Each check in the catalogue must fire with exactly the expected
+// diagnostic — no more, no fewer — and the suppression, stale-allow, and
+// baseline paths are exercised against the same model.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cortex_analyzer/analyzer.h"
+#include "cortex_analyzer/lexer.h"
+#include "cortex_analyzer/model.h"
+#include "gtest/gtest.h"
+
+namespace cortex::analyzer {
+namespace {
+
+Model& FixtureModel() {
+  static Model* model = [] {
+    auto* m = new Model();
+    std::string error;
+    if (!LoadTree(CORTEX_ANALYZER_FIXTURE_DIR, m, &error)) {
+      ADD_FAILURE() << "LoadTree failed: " << error;
+    }
+    return m;
+  }();
+  return *model;
+}
+
+const AnalysisResult& Result() {
+  static const AnalysisResult* result =
+      new AnalysisResult(Analyze(FixtureModel(), {}));
+  return *result;
+}
+
+std::vector<Finding> ActiveOf(const std::string& check) {
+  std::vector<Finding> out;
+  for (const auto& f : Result().active) {
+    if (f.check == check) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(AnalyzerFixtures, EveryCheckFiresExactlyAsSeeded) {
+  EXPECT_EQ(Result().active.size(), 11u);
+  EXPECT_EQ(Result().suppressed.size(), 1u);
+  EXPECT_EQ(Result().baselined.size(), 0u);
+}
+
+TEST(AnalyzerFixtures, LockRankDirectInversion) {
+  const auto findings = ActiveOf("lock-rank");
+  ASSERT_EQ(findings.size(), 2u);
+  const auto direct =
+      std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.message.find("Widget::Direct") != std::string::npos;
+      });
+  ASSERT_NE(direct, findings.end());
+  EXPECT_EQ(direct->file, "src/serve/widget.cc");
+  EXPECT_EQ(direct->message,
+            "Widget::Direct acquires 'widget.low_mu' (rank 10) while holding "
+            "'widget.high_mu' (rank 50); ranks must be strictly increasing");
+}
+
+TEST(AnalyzerFixtures, LockRankTransitiveChain) {
+  const auto findings = ActiveOf("lock-rank");
+  ASSERT_EQ(findings.size(), 2u);
+  const auto transitive =
+      std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.message.find("Widget::High") != std::string::npos;
+      });
+  ASSERT_NE(transitive, findings.end());
+  EXPECT_EQ(transitive->file, "src/serve/widget.cc");
+  EXPECT_EQ(transitive->message,
+            "Widget::High calls Widget::Low while holding 'widget.high_mu' "
+            "(rank 50), which may acquire 'widget.low_mu' (rank 10); "
+            "path: Widget::High -> Widget::Low");
+}
+
+TEST(AnalyzerFixtures, IoUnderLockDirectAndTransitive) {
+  const auto findings = ActiveOf("io-under-lock");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/serve/channel.cc");
+  EXPECT_EQ(findings[1].file, "src/serve/channel.cc");
+  EXPECT_EQ(findings[0].message,
+            "Channel::Publish performs blocking ::send while holding "
+            "'channel.mu' (rank 50)");
+  EXPECT_EQ(findings[1].message,
+            "Channel::Flush calls SendAll while holding 'channel.mu' "
+            "(rank 50), which may block on ::send");
+}
+
+TEST(AnalyzerFixtures, GuardedByFlagsOnlyTheUnannotatedField) {
+  const auto findings = ActiveOf("guarded-by");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/serve/box.h");
+  EXPECT_EQ(findings[0].message,
+            "field 'value_' of mutex-owning class 'Box' has no GUARDED_BY "
+            "annotation (use GUARDED_BY, make it const/atomic, or opt out "
+            "with cortex-analyzer: allow(guarded-by))");
+}
+
+TEST(AnalyzerFixtures, AllowAnnotationSuppresses) {
+  ASSERT_EQ(Result().suppressed.size(), 1u);
+  const Finding& f = Result().suppressed[0];
+  EXPECT_EQ(f.check, "guarded-by");
+  EXPECT_EQ(f.file, "src/serve/suppressed.h");
+  EXPECT_NE(f.message.find("'scratch_'"), std::string::npos) << f.message;
+}
+
+TEST(AnalyzerFixtures, StaleAllowAnnotationsAreFindings) {
+  const auto findings = ActiveOf("stale-allow");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/serve/stale.h");
+  EXPECT_EQ(findings[0].message,
+            "stale suppression: allow(layering) matches no finding on its "
+            "line; remove the comment");
+  EXPECT_EQ(findings[1].file, "src/serve/stale.h");
+  EXPECT_EQ(findings[1].message,
+            "suppression names unknown check 'bogus-check'");
+}
+
+TEST(AnalyzerFixtures, LayeringFlagsCoreToTelemetryEdge) {
+  const auto findings = ActiveOf("layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/planner.h");
+  // The legal util include in the same file must not be flagged — the
+  // single finding names the telemetry edge.
+  EXPECT_NE(findings[0].message.find(
+                "layer 'core' must not include 'telemetry/metrics.h' "
+                "(layer 'telemetry')"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(AnalyzerFixtures, MetricContractDuplicateAndUnregistered) {
+  const auto findings = ActiveOf("metric-contract");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/serve/metrics_use.cc");
+  EXPECT_EQ(findings[0].message,
+            "metric 'cortex_widget_hits' registered 2 times (first at "
+            "src/serve/metrics_use.cc); each cortex_* metric must be "
+            "registered exactly once");
+  EXPECT_EQ(findings[1].message,
+            "metric literal 'cortex_widget_misses' matches no registration "
+            "(GetCounter/GetGauge/GetHistogram with a literal name) and no "
+            "dynamic prefix");
+}
+
+TEST(AnalyzerFixtures, VerbContractFlagsMissingEnumerator) {
+  const auto findings = ActiveOf("verb-contract");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/serve/handler.cc");
+  EXPECT_EQ(findings[0].message,
+            "dispatch Handle does not handle RequestType::kLookup; every "
+            "wire verb must be dispatched");
+}
+
+TEST(AnalyzerFixtures, BaselineSilencesCheckerFindingsButNotStaleAllows) {
+  // Baseline every checker finding (stale-allow findings are synthesized
+  // after suppression and are never baselineable — they must stay red
+  // until the comment is deleted).
+  std::vector<Finding> checker_findings;
+  for (const auto& f : Result().active) {
+    if (f.check != "stale-allow") checker_findings.push_back(f);
+  }
+  const std::set<std::string> keys =
+      ParseBaseline(FormatBaseline(checker_findings));
+  EXPECT_EQ(keys.size(), checker_findings.size());
+
+  const AnalysisResult rerun = Analyze(FixtureModel(), keys);
+  EXPECT_EQ(rerun.baselined.size(), checker_findings.size());
+  ASSERT_EQ(rerun.active.size(), 2u);
+  EXPECT_EQ(rerun.active[0].check, "stale-allow");
+  EXPECT_EQ(rerun.active[1].check, "stale-allow");
+}
+
+TEST(AnalyzerFixtures, StaleBaselineEntryIsAFinding) {
+  const Finding ghost{"guarded-by", "src/serve/nonexistent.h", 7,
+                      "field 'gone_' of mutex-owning class 'Ghost' has no "
+                      "GUARDED_BY annotation"};
+  std::set<std::string> keys = {FindingKey(ghost)};
+  const AnalysisResult rerun = Analyze(FixtureModel(), keys);
+  const auto stale =
+      std::find_if(rerun.active.begin(), rerun.active.end(),
+                   [](const Finding& f) { return f.check == "stale-baseline"; });
+  ASSERT_NE(stale, rerun.active.end());
+  EXPECT_EQ(stale->file, "src/serve/nonexistent.h");
+  EXPECT_NE(stale->message.find("matches no current finding"),
+            std::string::npos);
+}
+
+TEST(AnalyzerFixtures, ModelSeesRanksAndEnumOrder) {
+  Model& m = FixtureModel();
+  const ClassInfo* widget = m.FindClass("Widget");
+  ASSERT_NE(widget, nullptr);
+  const MutexMember* high = widget->FindMutex("high_mu_");
+  const MutexMember* low = widget->FindMutex("low_mu_");
+  ASSERT_NE(high, nullptr);
+  ASSERT_NE(low, nullptr);
+  EXPECT_EQ(high->rank, 50);
+  EXPECT_EQ(low->rank, 10);
+  EXPECT_TRUE(high->ranked);
+
+  const auto order = m.enums.order.find("RequestType");
+  ASSERT_NE(order, m.enums.order.end());
+  EXPECT_EQ(order->second,
+            (std::vector<std::string>{"kLookup", "kPing"}));
+}
+
+TEST(AnalyzerLexer, AllowAnnotationsCoverOwnLineAndNextLine) {
+  const LexedFile lexed = Lex(
+      "int a = 0;  // cortex-analyzer: allow(guarded-by)\n"
+      "// cortex-analyzer: allow(lock-rank, layering)\n"
+      "int b = 0;\n");
+  // Trailing comment covers its own line.
+  auto line1 = lexed.allows.find(1);
+  ASSERT_NE(line1, lexed.allows.end());
+  EXPECT_TRUE(line1->second.count("guarded-by"));
+  // A comment alone on a line also covers the next line, with both checks.
+  auto line3 = lexed.allows.find(3);
+  ASSERT_NE(line3, lexed.allows.end());
+  EXPECT_TRUE(line3->second.count("lock-rank"));
+  EXPECT_TRUE(line3->second.count("layering"));
+  EXPECT_EQ(lexed.allow_sites.size(), 3u);
+}
+
+TEST(AnalyzerBaseline, ParserSkipsCommentsAndBlankLines) {
+  const std::set<std::string> keys = ParseBaseline(
+      "# comment\n"
+      "\n"
+      "guarded-by\tsrc/a.h\tfield 'x_' unannotated\n");
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(*keys.begin(), "guarded-by\tsrc/a.h\tfield 'x_' unannotated");
+}
+
+}  // namespace
+}  // namespace cortex::analyzer

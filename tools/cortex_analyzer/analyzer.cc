@@ -1,0 +1,643 @@
+#include "cortex_analyzer/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace cortex::analyzer {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+// ------------------------------------------------------------- layering
+// Allowed #include targets per src/ directory.  A directory absent from
+// the table is unconstrained (and never constrains others).
+const std::map<std::string, std::set<std::string>>& LayerTable() {
+  static const std::map<std::string, std::set<std::string>> kTable = {
+      {"util", {"util"}},
+      {"embedding", {"util", "embedding"}},
+      {"ann", {"util", "embedding", "ann"}},
+      {"llm", {"util", "llm"}},
+      {"telemetry", {"util", "telemetry"}},
+      {"net", {"util", "telemetry", "net"}},
+      {"gpu", {"util", "llm", "gpu"}},
+      {"workload", {"util", "llm", "workload"}},
+      {"sim", {"util", "llm", "net", "gpu", "sim"}},
+      {"core",
+       {"util", "embedding", "ann", "llm", "net", "gpu", "sim", "workload",
+        "core"}},
+      {"serve",
+       {"util", "embedding", "ann", "llm", "net", "gpu", "sim", "workload",
+        "core", "telemetry", "serve"}},
+      {"cluster",
+       {"util", "embedding", "ann", "llm", "net", "gpu", "sim", "workload",
+        "core", "telemetry", "serve", "cluster"}},
+  };
+  return kTable;
+}
+
+const std::set<std::string>& BlockingSyscalls() {
+  static const std::set<std::string> kCalls = {
+      "send",   "recv",     "connect", "accept",   "read",
+      "write",  "poll",     "select",  "sendmsg",  "recvmsg",
+      "sendto", "recvfrom", "fsync",   "open",     "openat"};
+  return kCalls;
+}
+
+// Layer of a repo-relative path ("src/serve/server.cc" -> "serve");
+// empty when not under src/ or not in the table's shape.
+std::string LayerOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+// Layer of an include path ("util/check.h" -> "util").
+std::string IncludeLayer(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+int SegmentCount(const std::string& s) {
+  return 1 + static_cast<int>(std::count(s.begin(), s.end(), '_'));
+}
+
+// ----------------------------------------------------------- call graph
+class CallGraph {
+ public:
+  explicit CallGraph(Model& model) : model_(model) {
+    for (auto& f : model.functions) {
+      by_name_[f->name].push_back(f.get());
+      by_qual_[f->QualifiedName()].push_back(f.get());
+    }
+  }
+
+  // Bodies this call site may enter.  Conservative where resolution is
+  // reliable, empty where it is not (unresolvable receivers, std::,
+  // syscalls) — see DESIGN.md §11 for the soundness trade.
+  std::vector<FunctionInfo*> Resolve(const FunctionInfo& caller,
+                                     const CallSite& cs) {
+    if (cs.global_qualified) return {};
+    if (!cs.qualifier.empty()) {
+      if (cs.qualifier == "std") return {};
+      return Lookup(cs.qualifier, cs.callee);
+    }
+    if (!cs.obj.empty()) {
+      if (cs.obj == "<expr>") return {};
+      if (cs.obj == "this" && !caller.cls.empty())
+        return Lookup(caller.cls, cs.callee);
+      const ClassInfo* oc = VarClass(caller, cs.obj);
+      if (!oc) return {};
+      if (!oc->method_names.count(cs.callee)) return {};
+      return Lookup(oc->name, cs.callee);
+    }
+    // Plain call: same-class method first, then a free function.
+    if (!caller.cls.empty()) {
+      ClassInfo* ci = model_.FindClass(caller.cls);
+      if (ci && ci->method_names.count(cs.callee))
+        return Lookup(caller.cls, cs.callee);
+    }
+    auto it = by_qual_.find(cs.callee);
+    if (it != by_qual_.end()) return it->second;
+    return {};
+  }
+
+ private:
+  std::vector<FunctionInfo*> Lookup(const std::string& cls,
+                                    const std::string& name) {
+    auto it = by_qual_.find(cls + "::" + name);
+    if (it != by_qual_.end()) return it->second;
+    return {};
+  }
+
+  const ClassInfo* VarClass(const FunctionInfo& fn, const std::string& var) {
+    std::string type;
+    auto lt = fn.local_types.find(var);
+    if (lt != fn.local_types.end()) type = lt->second;
+    if (type.empty()) {
+      auto pt = fn.param_types.find(var);
+      if (pt != fn.param_types.end()) type = pt->second;
+    }
+    if (type.empty() && !fn.cls.empty()) {
+      if (ClassInfo* ci = model_.FindClass(fn.cls)) {
+        auto mt = ci->member_types.find(var);
+        if (mt != ci->member_types.end()) type = mt->second;
+      }
+    }
+    if (type.empty()) return nullptr;
+    for (const auto& c : model_.classes)
+      if (!c->name.empty() && type.find(c->name) != std::string::npos)
+        return c.get();
+    return nullptr;
+  }
+
+  Model& model_;
+  std::map<std::string, std::vector<FunctionInfo*>> by_name_;
+  std::map<std::string, std::vector<FunctionInfo*>> by_qual_;
+};
+
+// ------------------------------------------------------------- checks
+class Checker {
+ public:
+  explicit Checker(Model& model) : model_(model), graph_(model) {
+    for (auto& f : model.functions) {
+      resolved_.emplace(f.get(), std::vector<std::vector<FunctionInfo*>>{});
+      auto& per_call = resolved_[f.get()];
+      per_call.reserve(f->calls.size());
+      for (const auto& cs : f->calls)
+        per_call.push_back(graph_.Resolve(*f, cs));
+    }
+  }
+
+  std::vector<Finding> Run() {
+    CheckLockRank();
+    CheckIoUnderLock();
+    CheckGuardedBy();
+    CheckLayering();
+    CheckMetricContract();
+    CheckVerbContract();
+    Dedup();
+    return std::move(findings_);
+  }
+
+ private:
+  void Add(const std::string& check, const std::string& file, int line,
+           const std::string& message) {
+    findings_.push_back(Finding{check, file, line, message});
+  }
+
+  void Dedup() {
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.check, a.message) <
+                       std::tie(b.file, b.line, b.check, b.message);
+              });
+    findings_.erase(
+        std::unique(findings_.begin(), findings_.end(),
+                    [](const Finding& a, const Finding& b) {
+                      return a.check == b.check && a.file == b.file &&
+                             a.message == b.message;
+                    }),
+        findings_.end());
+  }
+
+  // ---------------------------------------------------------- lock-rank
+  void CheckLockRank() {
+    // min_acq[f]: smallest rank f may acquire, transitively.
+    std::map<const FunctionInfo*, int> min_acq;
+    for (auto& f : model_.functions) {
+      int m = kInf;
+      for (const auto& a : f->acquisitions) m = std::min(m, a.rank);
+      min_acq[f.get()] = m;
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (auto& f : model_.functions) {
+        int m = min_acq[f.get()];
+        const auto& per_call = resolved_[f.get()];
+        for (const auto& callees : per_call)
+          for (const FunctionInfo* g : callees) m = std::min(m, min_acq[g]);
+        if (m < min_acq[f.get()]) {
+          min_acq[f.get()] = m;
+          changed = true;
+        }
+      }
+    }
+
+    for (auto& f : model_.functions) {
+      // Direct inversions inside one body.
+      for (const auto& a : f->acquisitions) {
+        if (a.held_rank >= 0 && a.rank <= a.held_rank) {
+          std::ostringstream msg;
+          msg << f->QualifiedName() << " acquires '" << a.lock_name
+              << "' (rank " << a.rank << ") while holding '"
+              << a.held_lock_name << "' (rank " << a.held_rank
+              << "); ranks must be strictly increasing";
+          Add("lock-rank", f->file, a.line, msg.str());
+        }
+      }
+      // Transitive: a call under a held rank reaching a <= acquisition.
+      const auto& per_call = resolved_[f.get()];
+      for (std::size_t c = 0; c < f->calls.size(); ++c) {
+        const CallSite& cs = f->calls[c];
+        if (cs.held_rank < 0) continue;
+        for (FunctionInfo* g : per_call[c]) {
+          if (min_acq[g] > cs.held_rank) continue;
+          std::vector<std::string> chain;
+          std::set<const FunctionInfo*> visited;
+          std::string leaf;
+          BuildRankChain(g, cs.held_rank, min_acq, &chain, &visited, &leaf);
+          std::ostringstream msg;
+          msg << f->QualifiedName() << " calls " << g->QualifiedName()
+              << " while holding '" << cs.held_lock_name << "' (rank "
+              << cs.held_rank << "), which may acquire " << leaf
+              << "; path: " << f->QualifiedName();
+          for (const auto& link : chain) msg << " -> " << link;
+          Add("lock-rank", f->file, cs.line, msg.str());
+        }
+      }
+    }
+  }
+
+  // Appends the call chain from f down to an acquisition with rank <=
+  // `held`; fills `leaf` with the offending lock description.
+  bool BuildRankChain(FunctionInfo* f, int held,
+                      std::map<const FunctionInfo*, int>& min_acq,
+                      std::vector<std::string>* chain,
+                      std::set<const FunctionInfo*>* visited,
+                      std::string* leaf) {
+    if (!visited->insert(f).second) return false;
+    chain->push_back(f->QualifiedName());
+    for (const auto& a : f->acquisitions) {
+      if (a.rank <= held) {
+        std::ostringstream os;
+        os << "'" << a.lock_name << "' (rank " << a.rank << ")";
+        *leaf = os.str();
+        return true;
+      }
+    }
+    const auto& per_call = resolved_[f];
+    for (std::size_t c = 0; c < f->calls.size(); ++c) {
+      for (FunctionInfo* g : per_call[c]) {
+        if (min_acq[g] > held) continue;
+        if (BuildRankChain(g, held, min_acq, chain, visited, leaf))
+          return true;
+      }
+    }
+    chain->pop_back();
+    return false;
+  }
+
+  // ------------------------------------------------------ io-under-lock
+  void CheckIoUnderLock() {
+    // blocking[f] = f transitively reaches a ::syscall; seed describes
+    // the syscall site for diagnostics.
+    std::map<const FunctionInfo*, std::string> blocking;
+    for (auto& f : model_.functions) {
+      for (const auto& cs : f->calls) {
+        if (cs.global_qualified && BlockingSyscalls().count(cs.callee)) {
+          blocking[f.get()] = "::" + cs.callee;
+          break;
+        }
+      }
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (auto& f : model_.functions) {
+        if (blocking.count(f.get())) continue;
+        const auto& per_call = resolved_[f.get()];
+        for (const auto& callees : per_call) {
+          for (const FunctionInfo* g : callees) {
+            auto it = blocking.find(g);
+            if (it != blocking.end()) {
+              blocking[f.get()] =
+                  it->second + " via " + g->QualifiedName();
+              changed = true;
+              break;
+            }
+          }
+          if (blocking.count(f.get())) break;
+        }
+      }
+    }
+
+    for (auto& f : model_.functions) {
+      const auto& per_call = resolved_[f.get()];
+      for (std::size_t c = 0; c < f->calls.size(); ++c) {
+        const CallSite& cs = f->calls[c];
+        if (cs.held_rank < 0) continue;
+        if (cs.global_qualified && BlockingSyscalls().count(cs.callee)) {
+          std::ostringstream msg;
+          msg << f->QualifiedName() << " performs blocking ::" << cs.callee
+              << " while holding '" << cs.held_lock_name << "' (rank "
+              << cs.held_rank << ")";
+          Add("io-under-lock", f->file, cs.line, msg.str());
+          continue;
+        }
+        for (const FunctionInfo* g : per_call[c]) {
+          auto it = blocking.find(g);
+          if (it == blocking.end()) continue;
+          std::ostringstream msg;
+          msg << f->QualifiedName() << " calls " << g->QualifiedName()
+              << " while holding '" << cs.held_lock_name << "' (rank "
+              << cs.held_rank << "), which may block on " << it->second;
+          Add("io-under-lock", f->file, cs.line, msg.str());
+        }
+      }
+    }
+  }
+
+  // --------------------------------------------------------- guarded-by
+  void CheckGuardedBy() {
+    for (const auto& c : model_.classes) {
+      if (c->mutexes.empty()) continue;
+      for (const auto& f : c->fields) {
+        if (f.guarded || f.is_const || f.is_atomic || f.is_sync_primitive ||
+            f.is_thread || f.is_telemetry)
+          continue;
+        std::ostringstream msg;
+        msg << "field '" << f.name << "' of mutex-owning class '" << c->name
+            << "' has no GUARDED_BY annotation (use GUARDED_BY, make it "
+               "const/atomic, or opt out with cortex-analyzer: "
+               "allow(guarded-by))";
+        Add("guarded-by", c->file, f.line, msg.str());
+      }
+    }
+  }
+
+  // ----------------------------------------------------------- layering
+  void CheckLayering() {
+    for (const auto& sf : model_.files) {
+      const std::string from = LayerOf(sf->rel);
+      if (from.empty()) continue;
+      auto allowed = LayerTable().find(from);
+      if (allowed == LayerTable().end()) continue;
+      for (const auto& inc : sf->lexed.includes) {
+        if (!inc.quoted) continue;
+        const std::string to = IncludeLayer(inc.path);
+        if (to.empty() || !LayerTable().count(to)) continue;
+        if (allowed->second.count(to)) continue;
+        std::ostringstream msg;
+        msg << "layer '" << from << "' must not include '" << inc.path
+            << "' (layer '" << to << "'); allowed targets:";
+        for (const auto& a : allowed->second) msg << " " << a;
+        Add("layering", sf->rel, inc.line, msg.str());
+      }
+    }
+  }
+
+  // ---------------------------------------------------- metric-contract
+  void CheckMetricContract() {
+    std::map<std::string, std::vector<const MetricLiteral*>> registered;
+    std::set<std::string> dynamic_prefixes;
+    for (const auto& lit : model_.metric_literals) {
+      if (lit.registration) registered[lit.name].push_back(&lit);
+      if (lit.dynamic_prefix) dynamic_prefixes.insert(lit.name);
+    }
+    for (const auto& [name, sites] : registered) {
+      if (sites.size() <= 1) continue;
+      std::ostringstream msg;
+      msg << "metric '" << name << "' registered " << sites.size()
+          << " times (first at " << sites[0]->file << "); each cortex_* "
+          << "metric must be registered exactly once";
+      Add("metric-contract", sites[1]->file, sites[1]->line, msg.str());
+    }
+    auto known = [&](const std::string& name) {
+      if (registered.count(name)) return true;
+      for (const auto& [reg, sites] : registered) {
+        (void)sites;
+        if (name.size() > reg.size() + 1 && name.rfind(reg + "_", 0) == 0)
+          return true;  // derived series (histogram _p50 etc.)
+      }
+      for (const auto& prefix : dynamic_prefixes)
+        if (name.rfind(prefix, 0) == 0) return true;
+      return false;
+    };
+    for (const auto& lit : model_.metric_literals) {
+      if (lit.registration || lit.dynamic_prefix) continue;
+      if (SegmentCount(lit.name) < 3) continue;  // tool names etc.
+      if (known(lit.name)) continue;
+      std::ostringstream msg;
+      msg << "metric literal '" << lit.name
+          << "' matches no registration (GetCounter/GetGauge/GetHistogram "
+             "with a literal name) and no dynamic prefix";
+      Add("metric-contract", lit.file, lit.line, msg.str());
+    }
+  }
+
+  // ------------------------------------------------------ verb-contract
+  void CheckVerbContract() {
+    auto it = model_.enums.order.find("RequestType");
+    if (it == model_.enums.order.end()) return;
+    const std::vector<std::string>& verbs = it->second;
+    for (auto& f : model_.functions) {
+      if (f->case_labels.empty()) continue;
+      for (const auto& v : verbs) {
+        if (f->case_labels.count(v)) continue;
+        std::ostringstream msg;
+        msg << "dispatch " << f->QualifiedName()
+            << " does not handle RequestType::" << v
+            << "; every wire verb must be dispatched";
+        Add("verb-contract", f->file, f->line, msg.str());
+      }
+    }
+  }
+
+  Model& model_;
+  CallGraph graph_;
+  std::map<const FunctionInfo*, std::vector<std::vector<FunctionInfo*>>>
+      resolved_;
+  std::vector<Finding> findings_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintFindingsJson(const char* key, const std::vector<Finding>& fs,
+                       bool trailing_comma, std::ostream& os) {
+  os << "  \"" << key << "\": [\n";
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    os << "    {\"check\": \"" << JsonEscape(fs[i].check) << "\", \"file\": \""
+       << JsonEscape(fs[i].file) << "\", \"line\": " << fs[i].line
+       << ", \"message\": \"" << JsonEscape(fs[i].message) << "\"}"
+       << (i + 1 < fs.size() ? "," : "") << "\n";
+  }
+  os << "  ]" << (trailing_comma ? "," : "") << "\n";
+}
+
+}  // namespace
+
+const std::set<std::string>& KnownChecks() {
+  static const std::set<std::string> kChecks = {
+      "lock-rank",     "io-under-lock", "guarded-by",
+      "layering",      "metric-contract", "verb-contract"};
+  return kChecks;
+}
+
+std::string FindingKey(const Finding& f) {
+  return f.check + "\t" + f.file + "\t" + f.message;
+}
+
+bool LoadTree(const std::string& root, Model* model, std::string* error) {
+  const fs::path src = fs::path(root) / "src";
+  if (!fs::is_directory(src)) {
+    if (error) *error = "no src/ directory under " + root;
+    return false;
+  }
+  auto add_file = [&](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto sf = std::make_unique<SourceFile>();
+    sf->rel = fs::relative(p, root).generic_string();
+    sf->lexed = Lex(buf.str());
+    model->files.push_back(std::move(sf));
+  };
+  std::vector<fs::path> paths;
+  for (const auto& e : fs::recursive_directory_iterator(src)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".h" || ext == ".cc") paths.push_back(e.path());
+  }
+  const fs::path tools = fs::path(root) / "tools";
+  if (fs::is_directory(tools)) {
+    for (const auto& e : fs::directory_iterator(tools)) {  // non-recursive:
+      if (!e.is_regular_file()) continue;  // the analyzer checks itself via
+      const std::string ext = e.path().extension().string();  // its tests
+      if (ext == ".h" || ext == ".cc") paths.push_back(e.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) add_file(p);
+
+  for (const auto& sf : model->files) CollectDecls(*sf, model);
+  ResolveRanks(model);
+  for (const auto& sf : model->files) ParseBodies(*sf, model);
+  return true;
+}
+
+AnalysisResult Analyze(Model& model,
+                       const std::set<std::string>& baseline_keys) {
+  AnalysisResult result;
+  std::vector<Finding> raw = Checker(model).Run();
+
+  // Per-file allow() lookup.
+  std::map<std::string, const LexedFile*> lexed_by_file;
+  for (const auto& sf : model.files) lexed_by_file[sf->rel] = &sf->lexed;
+
+  // (file, line, check) triples consumed by a suppressed finding.
+  std::set<std::string> consumed;
+  std::set<std::string> used_baseline;
+
+  for (auto& f : raw) {
+    bool suppressed = false;
+    auto lf = lexed_by_file.find(f.file);
+    if (lf != lexed_by_file.end()) {
+      auto al = lf->second->allows.find(f.line);
+      if (al != lf->second->allows.end() && al->second.count(f.check)) {
+        suppressed = true;
+        consumed.insert(f.file + "\x01" + std::to_string(f.line) + "\x01" +
+                        f.check);
+      }
+    }
+    if (suppressed) {
+      result.suppressed.push_back(std::move(f));
+    } else if (baseline_keys.count(FindingKey(f))) {
+      used_baseline.insert(FindingKey(f));
+      result.baselined.push_back(std::move(f));
+    } else {
+      result.active.push_back(std::move(f));
+    }
+  }
+
+  // Stale allow() annotations: every AllowSite must have suppressed at
+  // least one finding on one of its covered lines.
+  for (const auto& sf : model.files) {
+    for (const auto& site : sf->lexed.allow_sites) {
+      if (!KnownChecks().count(site.check)) {
+        result.active.push_back(
+            Finding{"stale-allow", sf->rel, site.comment_line,
+                    "suppression names unknown check '" + site.check + "'"});
+        continue;
+      }
+      bool used = false;
+      for (int l : site.lines)
+        if (consumed.count(sf->rel + "\x01" + std::to_string(l) + "\x01" +
+                           site.check))
+          used = true;
+      if (!used)
+        result.active.push_back(Finding{
+            "stale-allow", sf->rel, site.comment_line,
+            "stale suppression: allow(" + site.check +
+                ") matches no finding on its line; remove the comment"});
+    }
+  }
+
+  // Stale baseline entries.
+  for (const auto& key : baseline_keys) {
+    if (used_baseline.count(key)) continue;
+    const std::size_t t1 = key.find('\t');
+    const std::size_t t2 = key.find('\t', t1 + 1);
+    const std::string file =
+        t1 == std::string::npos ? "" : key.substr(t1 + 1, t2 - t1 - 1);
+    result.active.push_back(
+        Finding{"stale-baseline", file.empty() ? "<baseline>" : file, 0,
+                "baseline entry matches no current finding: " + key});
+  }
+
+  std::sort(result.active.begin(), result.active.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+  return result;
+}
+
+std::set<std::string> ParseBaseline(const std::string& text) {
+  std::set<std::string> keys;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const auto& f : findings)
+    if (f.check != "stale-baseline" && f.check != "stale-allow")
+      keys.insert(FindingKey(f));
+  std::string out =
+      "# cortex_analyzer baseline: check<TAB>file<TAB>message per line.\n"
+      "# Regenerate with: cortex_analyzer --root . --write-baseline\n";
+  for (const auto& k : keys) out += k + "\n";
+  return out;
+}
+
+void PrintHuman(const AnalysisResult& result, std::ostream& os) {
+  for (const auto& f : result.active)
+    os << f.file << ":" << f.line << ": [" << f.check << "] " << f.message
+       << "\n";
+  os << "cortex_analyzer: " << result.active.size() << " finding(s), "
+     << result.suppressed.size() << " suppressed, "
+     << result.baselined.size() << " baselined\n";
+}
+
+void PrintJson(const AnalysisResult& result, std::ostream& os) {
+  os << "{\n";
+  PrintFindingsJson("findings", result.active, true, os);
+  PrintFindingsJson("suppressed", result.suppressed, true, os);
+  PrintFindingsJson("baselined", result.baselined, false, os);
+  os << "}\n";
+}
+
+}  // namespace cortex::analyzer

@@ -1,0 +1,66 @@
+// cortex_analyzer check catalogue (DESIGN.md §11):
+//
+//   lock-rank        statically-reachable non-increasing RankedMutex
+//                    acquisition path (direct or through the call graph)
+//   io-under-lock    blocking syscall (::send/::recv/...) reachable
+//                    while any ranked/tracked guard is held
+//   guarded-by       mutable non-atomic field of a mutex-owning class
+//                    without GUARDED_BY or an explicit opt-out
+//   layering         #include edge that violates the directory DAG
+//   metric-contract  cortex_* metric literal duplicate-registered or
+//                    used without a registration
+//   verb-contract    RequestType dispatch switch missing an enumerator
+//   stale-allow      `cortex-analyzer: allow(...)` that suppresses
+//                    nothing (or names an unknown check)
+//   stale-baseline   baseline entry matching no current finding
+//
+// Suppression: `// cortex-analyzer: allow(<check>)` on the finding's
+// line (or on its own line directly above), or a baseline entry of the
+// form `check<TAB>file<TAB>message`.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cortex_analyzer/model.h"
+
+namespace cortex::analyzer {
+
+struct Finding {
+  std::string check;
+  std::string file;
+  int line = 0;
+  std::string message;  // line-number free, so baselines survive edits
+};
+
+struct AnalysisResult {
+  std::vector<Finding> active;      // unsuppressed: these fail the run
+  std::vector<Finding> suppressed;  // matched an allow() annotation
+  std::vector<Finding> baselined;   // matched a baseline entry
+};
+
+// The checks a suppression may name.
+const std::set<std::string>& KnownChecks();
+
+// Baseline key for a finding (check \t file \t message).
+std::string FindingKey(const Finding& f);
+
+// Loads every src/**/*.{h,cc} file under `root`, plus top-level
+// tools/*.cc (the analyzer itself is excluded), into the model.
+// Returns false (with `error` set) when `root` has no src/ directory.
+bool LoadTree(const std::string& root, Model* model, std::string* error);
+
+// Runs every check and applies allow() + baseline suppression.
+AnalysisResult Analyze(Model& model,
+                       const std::set<std::string>& baseline_keys);
+
+// `check\tfile\tmessage` lines; '#' comments and blanks ignored.
+std::set<std::string> ParseBaseline(const std::string& text);
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+void PrintHuman(const AnalysisResult& result, std::ostream& os);
+void PrintJson(const AnalysisResult& result, std::ostream& os);
+
+}  // namespace cortex::analyzer

@@ -1,0 +1,234 @@
+#include "cortex_analyzer/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace cortex::analyzer {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses `cortex-analyzer: allow(a, b)` out of a comment body; returns
+// the named checks (empty when the marker is absent).
+std::set<std::string> ParseAllows(const std::string& comment) {
+  std::set<std::string> checks;
+  const std::string marker = "cortex-analyzer:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return checks;
+  at = comment.find("allow(", at + marker.size());
+  if (at == std::string::npos) return checks;
+  at += 6;
+  const std::size_t end = comment.find(')', at);
+  if (end == std::string::npos) return checks;
+  std::string name;
+  for (std::size_t i = at; i <= end; ++i) {
+    const char c = i < end ? comment[i] : ',';
+    if (c == ',' ) {
+      // trim
+      std::size_t b = 0, e = name.size();
+      while (b < e && std::isspace(static_cast<unsigned char>(name[b]))) ++b;
+      while (e > b && std::isspace(static_cast<unsigned char>(name[e - 1])))
+        --e;
+      if (e > b) checks.insert(name.substr(b, e - b));
+      name.clear();
+    } else {
+      name.push_back(c);
+    }
+  }
+  return checks;
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& text) {
+  LexedFile out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  // Whether any code token has been emitted on `line` — decides whether
+  // an allow() comment also applies to the next line.
+  bool line_has_code = false;
+
+  auto newline = [&]() {
+    ++line;
+    line_has_code = false;
+  };
+  auto record_allows = [&](const std::string& body, int start_line,
+                           int end_line, bool code_before) {
+    const auto checks = ParseAllows(body);
+    if (checks.empty()) return;
+    for (const auto& check : checks) {
+      AllowSite site;
+      site.check = check;
+      site.comment_line = start_line;
+      site.lines.push_back(start_line);
+      if (end_line != start_line) site.lines.push_back(end_line);
+      if (!code_before) site.lines.push_back(end_line + 1);
+      for (int l : site.lines) out.allows[l].insert(check);
+      out.allow_sites.push_back(std::move(site));
+    }
+  };
+  auto push = [&](Token::Kind kind, std::string t, int at_line) {
+    out.tokens.push_back(Token{kind, std::move(t), at_line});
+    line_has_code = true;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && next == '/') {
+      std::size_t j = i;
+      while (j < n && text[j] != '\n') ++j;
+      record_allows(text.substr(i, j - i), line, line, line_has_code);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && next == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      j = j + 1 < n ? j + 2 : n;
+      // A block comment suppresses its start..end lines; when it is
+      // alone on the line it ends on, also the line after that.
+      record_allows(text.substr(i, j - i), start_line, line, line_has_code);
+      i = j;
+      continue;
+    }
+
+    // Preprocessor directive: `#` first on its (logical) line.
+    if (c == '#' && !line_has_code) {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      std::size_t dstart = j;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      const std::string directive = text.substr(dstart, j - dstart);
+      if (directive == "include") {
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+        if (j < n && (text[j] == '"' || text[j] == '<')) {
+          const char close = text[j] == '"' ? '"' : '>';
+          const bool quoted = text[j] == '"';
+          std::size_t pstart = ++j;
+          while (j < n && text[j] != close && text[j] != '\n') ++j;
+          out.includes.push_back(
+              IncludeDirective{text.substr(pstart, j - pstart), quoted, line});
+        }
+      }
+      // Consume to end of line, honouring backslash continuations.
+      while (j < n && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n && text[j + 1] == '\n') {
+          newline();
+          j += 2;
+          continue;
+        }
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && next == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = text.find(closer, j);
+      const std::size_t stop = end == std::string::npos ? n
+                                                        : end + closer.size();
+      const int at = line;
+      for (std::size_t k = i; k < stop; ++k)
+        if (text[k] == '\n') ++line;
+      push(Token::Kind::kString, text.substr(i, stop - i), at);
+      i = stop;
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      j = j < n ? j + 1 : n;
+      push(c == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(next)))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = text[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(Token::Kind::kNumber, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      push(Token::Kind::kIdent, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    // Punctuation: `::` and `->` as single tokens; everything else one
+    // character (including `<` / `>`, kept single for template
+    // tracking).
+    if (c == ':' && next == ':') {
+      push(Token::Kind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && next == '>') {
+      push(Token::Kind::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(Token::Kind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+
+  out.tokens.push_back(Token{Token::Kind::kEof, "", line});
+  return out;
+}
+
+}  // namespace cortex::analyzer

@@ -1,0 +1,61 @@
+// cortex_analyzer lexer: a minimal C++ tokenizer sufficient for the
+// repo's idioms.  It is NOT a conforming preprocessor — it skips
+// directives (recording #include paths), strips comments (recording
+// `cortex-analyzer: allow(<check>)` suppressions per line), and emits a
+// flat token stream the declaration/guard-scope parser (model.h) walks.
+//
+// Deliberate simplifications, safe for this codebase:
+//   * no macro expansion — the analyzer pattern-matches the annotation
+//     macros (GUARDED_BY, MutexLock, ...) by name instead;
+//   * `<` and `>` are always single-character tokens so template
+//     nesting can be tracked without disambiguating `>>`;
+//   * `::` and `->` are single tokens (the parser keys on them).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cortex::analyzer {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct, kEof };
+  Kind kind = Kind::kEof;
+  std::string text;
+  int line = 1;
+
+  bool Is(Kind k, const char* t) const { return kind == k && text == t; }
+  bool IsPunct(const char* t) const { return Is(Kind::kPunct, t); }
+  bool IsIdent(const char* t) const { return Is(Kind::kIdent, t); }
+};
+
+struct IncludeDirective {
+  std::string path;   // as written between the delimiters
+  bool quoted = false;  // "..." vs <...>
+  int line = 1;
+};
+
+// One `// cortex-analyzer: allow(check)` annotation.  `lines` is the
+// set of source lines the annotation covers (the comment's own line,
+// plus the next line when the comment stands alone) — a single
+// annotation, however many lines it covers, must suppress at least one
+// finding or it is reported as stale.
+struct AllowSite {
+  std::string check;
+  int comment_line = 1;
+  std::vector<int> lines;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;  // terminated by one kEof token
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowSite> allow_sites;
+  // line -> set of check names suppressed on that line (derived from
+  // allow_sites; kept as a map for O(log n) suppression lookups).
+  std::map<int, std::set<std::string>> allows;
+};
+
+LexedFile Lex(const std::string& text);
+
+}  // namespace cortex::analyzer

@@ -1,0 +1,122 @@
+// cortex_analyzer CLI.  Usage:
+//   cortex_analyzer --root <repo> [--baseline <file>] [--json]
+//                   [--write-baseline] [--dump]
+//
+// Exit status: 0 when no active findings, 1 otherwise, 2 on usage or
+// I/O errors.  See DESIGN.md §11 and `--help`.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cortex_analyzer/analyzer.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: cortex_analyzer [--root DIR] [--baseline FILE] [--json]\n"
+        "                       [--write-baseline] [--dump]\n"
+        "\n"
+        "Static lock-discipline, layering, and metric/verb-contract\n"
+        "checks over DIR/src (plus top-level DIR/tools sources).\n"
+        "\n"
+        "  --root DIR        repository root to scan (default: .)\n"
+        "  --baseline FILE   accepted-findings file; entries not matched\n"
+        "                    by a current finding are reported as stale\n"
+        "  --write-baseline  rewrite FILE from the current findings\n"
+        "  --json            machine-readable output\n"
+        "  --dump            debug: print the parsed lock model\n";
+}
+
+void DumpModel(const cortex::analyzer::Model& model, std::ostream& os) {
+  os << "== mutexes ==\n";
+  for (const auto& c : model.classes) {
+    for (const auto& m : c->mutexes)
+      os << c->name << "::" << m.name << " rank=" << m.rank << " ('"
+         << m.lock_name << "', " << (m.shared ? "shared" : "exclusive")
+         << (m.ranked ? "" : ", unranked") << ")\n";
+  }
+  os << "== functions ==\n";
+  for (const auto& f : model.functions) {
+    if (f->acquisitions.empty() && f->case_labels.empty()) continue;
+    os << f->QualifiedName() << " (" << f->file << ":" << f->line << ")\n";
+    for (const auto& a : f->acquisitions) {
+      os << "  acquire '" << a.lock_name << "' rank=" << a.rank << " at line "
+         << a.line;
+      if (a.held_rank >= 0)
+        os << " holding '" << a.held_lock_name << "' rank=" << a.held_rank;
+      os << "\n";
+    }
+    for (const auto& l : f->case_labels) os << "  case RequestType::" << l
+                                            << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool json = false, write_baseline = false, dump = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "cortex_analyzer: unknown argument '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    }
+  }
+
+  cortex::analyzer::Model model;
+  std::string error;
+  if (!cortex::analyzer::LoadTree(root, &model, &error)) {
+    std::cerr << "cortex_analyzer: " << error << "\n";
+    return 2;
+  }
+  if (dump) DumpModel(model, std::cout);
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty() && !write_baseline) {
+    std::ifstream in(baseline_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      baseline = cortex::analyzer::ParseBaseline(buf.str());
+    }
+  }
+
+  cortex::analyzer::AnalysisResult result =
+      cortex::analyzer::Analyze(model, baseline);
+
+  if (write_baseline) {
+    if (baseline_path.empty()) {
+      std::cerr << "cortex_analyzer: --write-baseline needs --baseline\n";
+      return 2;
+    }
+    std::ofstream out(baseline_path);
+    out << cortex::analyzer::FormatBaseline(result.active);
+    std::cout << "cortex_analyzer: wrote " << result.active.size()
+              << " entries to " << baseline_path << "\n";
+    return 0;
+  }
+
+  if (json)
+    cortex::analyzer::PrintJson(result, std::cout);
+  else
+    cortex::analyzer::PrintHuman(result, std::cout);
+  return result.active.empty() ? 0 : 1;
+}

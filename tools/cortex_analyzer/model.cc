@@ -1,0 +1,992 @@
+#include "cortex_analyzer/model.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+
+namespace cortex::analyzer {
+
+namespace {
+
+// Clang thread-safety annotation macros (util/thread_annotations.h).
+// Inside a declaration these take a parenthesised argument group that is
+// NOT a parameter list; the parser skips the group and, for the
+// GUARDED_BY pair, marks the field guarded.
+const std::set<std::string>& AnnotationMacros() {
+  static const std::set<std::string> kMacros = {
+      "CAPABILITY",       "SCOPED_CAPABILITY", "GUARDED_BY",
+      "PT_GUARDED_BY",    "ACQUIRED_BEFORE",   "ACQUIRED_AFTER",
+      "REQUIRES",         "REQUIRES_SHARED",   "ACQUIRE",
+      "ACQUIRE_SHARED",   "RELEASE",           "RELEASE_SHARED",
+      "RELEASE_GENERIC",  "TRY_ACQUIRE",       "TRY_ACQUIRE_SHARED",
+      "EXCLUDES",         "ASSERT_CAPABILITY", "ASSERT_SHARED_CAPABILITY",
+      "RETURN_CAPABILITY"};
+  return kMacros;
+}
+
+// Specifier-ish identifiers that are never a declarator name.
+bool IsBareSpecifier(const std::string& s) {
+  return s == "NO_THREAD_SAFETY_ANALYSIS" || s == "override" ||
+         s == "final" || s == "noexcept" || s == "const" ||
+         s == "constexpr" || s == "inline" || s == "virtual" ||
+         s == "explicit" || s == "static" || s == "friend" ||
+         s == "mutable" || s == "volatile" || s == "thread_local";
+}
+
+bool IsStatementKeyword(const std::string& s) {
+  return s == "return" || s == "if" || s == "else" || s == "while" ||
+         s == "for" || s == "do" || s == "switch" || s == "case" ||
+         s == "default" || s == "break" || s == "continue" || s == "goto" ||
+         s == "throw" || s == "delete" || s == "new" || s == "sizeof" ||
+         s == "alignof" || s == "co_return" || s == "co_await" ||
+         s == "static_assert" || s == "using" || s == "typedef" ||
+         s == "catch" || s == "try";
+}
+
+bool TypeTokensLook(const std::vector<Token>& toks) {
+  if (toks.empty()) return false;
+  for (const auto& t : toks) {
+    if (t.kind == Token::Kind::kIdent) {
+      if (IsStatementKeyword(t.text)) return false;
+      continue;
+    }
+    if (t.kind == Token::Kind::kPunct &&
+        (t.text == "::" || t.text == "<" || t.text == ">" || t.text == "*" ||
+         t.text == "&" || t.text == "," || t.text == "(" || t.text == ")"))
+      continue;  // parens: std::function<double()> member types
+    if (t.kind == Token::Kind::kNumber) continue;  // array extents etc.
+    return false;
+  }
+  const Token& last = toks.back();
+  return last.kind == Token::Kind::kIdent ||
+         (last.kind == Token::Kind::kPunct &&
+          (last.text == ">" || last.text == "*" || last.text == "&"));
+}
+
+std::string JoinTokens(const std::vector<Token>& toks) {
+  std::string out;
+  for (const auto& t : toks) {
+    if (!out.empty()) out += ' ';
+    out += t.text;
+  }
+  return out;
+}
+
+bool ContainsIdent(const std::vector<Token>& toks, const char* name) {
+  for (const auto& t : toks)
+    if (t.kind == Token::Kind::kIdent && t.text == name) return true;
+  return false;
+}
+
+bool ContainsPunct(const std::vector<Token>& toks, const char* p) {
+  for (const auto& t : toks)
+    if (t.kind == Token::Kind::kPunct && t.text == p) return true;
+  return false;
+}
+
+// Does `const` apply to the member itself (not the pointee)?
+bool ConstAppliesToMember(const std::vector<Token>& toks) {
+  int last_star = -1, last_const = -1;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (toks[k].IsPunct("*")) last_star = static_cast<int>(k);
+    if (toks[k].IsIdent("const")) last_const = static_cast<int>(k);
+  }
+  if (last_const < 0) return false;
+  return last_const > last_star;  // `T* const x` or plain `const T x`
+}
+
+std::string StripQuotes(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+    return s.substr(1, s.size() - 2);
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Parser: one pass over the token stream with explicit scope recursion.
+// Runs twice per file — declaration collection, then body analysis —
+// so guard resolution in any body can see every class's mutex table.
+// ---------------------------------------------------------------------
+class Parser {
+ public:
+  Parser(const SourceFile& file, Model* model, bool bodies)
+      : toks_(file.lexed.tokens),
+        file_(file.rel),
+        model_(model),
+        bodies_(bodies) {}
+
+  void Run() { ParseTopLevel(toks_.empty() ? 0 : toks_.size() - 1); }
+
+ private:
+  const std::vector<Token>& toks_;
+  std::string file_;
+  Model* model_;
+  const bool bodies_;  // false: collect decls; true: parse function bodies
+  std::size_t i_ = 0;
+
+  const Token& T(std::size_t k) const {
+    return k < toks_.size() ? toks_[k] : toks_.back();
+  }
+  // Token at signed offset from k (kEof sentinel when out of range).
+  const Token& T2(std::size_t k, int off) const {
+    const long at = static_cast<long>(k) + off;
+    static const Token kNull{Token::Kind::kEof, "", 0};
+    if (at < 0 || at >= static_cast<long>(toks_.size())) return kNull;
+    return toks_[static_cast<std::size_t>(at)];
+  }
+
+  // Index just past the token matching the open bracket at `at`.
+  std::size_t SkipBalanced(std::size_t at, const char* open,
+                           const char* close) const {
+    int depth = 0;
+    std::size_t k = at;
+    for (; k < toks_.size() && toks_[k].kind != Token::Kind::kEof; ++k) {
+      if (toks_[k].IsPunct(open)) ++depth;
+      else if (toks_[k].IsPunct(close) && --depth == 0) return k + 1;
+    }
+    return k;
+  }
+
+  std::size_t SkipAngles(std::size_t at) const {  // at points at `<`
+    int depth = 0;
+    std::size_t k = at;
+    for (; k < toks_.size() && toks_[k].kind != Token::Kind::kEof; ++k) {
+      if (toks_[k].IsPunct("<")) ++depth;
+      else if (toks_[k].IsPunct(">") && --depth == 0) return k + 1;
+      else if (toks_[k].IsPunct(";")) return k;  // bail: not a template
+    }
+    return k;
+  }
+
+  void SkipToPunct(const char* p) {
+    while (i_ < toks_.size() && toks_[i_].kind != Token::Kind::kEof) {
+      if (toks_[i_].IsPunct(p)) { ++i_; return; }
+      if (toks_[i_].IsPunct("(")) { i_ = SkipBalanced(i_, "(", ")"); continue; }
+      if (toks_[i_].IsPunct("{")) { i_ = SkipBalanced(i_, "{", "}"); continue; }
+      ++i_;
+    }
+  }
+
+  // ------------------------------------------------------------ top level
+  void ParseTopLevel(std::size_t end) {
+    while (i_ < end) {
+      const Token& t = toks_[i_];
+      if (t.IsIdent("namespace")) { ParseNamespace(end); continue; }
+      if (t.IsIdent("enum")) { ParseEnum(); continue; }
+      if (t.IsIdent("template")) { SkipTemplateHeader(); continue; }
+      if ((t.IsIdent("class") || t.IsIdent("struct")) && IsClassDef(i_)) {
+        ParseClass();
+        continue;
+      }
+      if (t.IsIdent("extern") || t.IsIdent("using") ||
+          t.IsIdent("typedef") || t.IsIdent("static_assert")) {
+        SkipToPunct(";");
+        continue;
+      }
+      if (t.kind == Token::Kind::kIdent || t.IsPunct("::")) {
+        if (TryParseFunctionDef()) continue;
+        SkipToPunct(";");
+        continue;
+      }
+      if (t.IsPunct("{")) { i_ = SkipBalanced(i_, "{", "}"); continue; }
+      ++i_;
+    }
+    i_ = end;
+  }
+
+  void ParseNamespace(std::size_t outer_end) {
+    ++i_;  // namespace
+    while (i_ < toks_.size() && (toks_[i_].kind == Token::Kind::kIdent ||
+                                 toks_[i_].IsPunct("::")))
+      ++i_;
+    if (i_ < toks_.size() && toks_[i_].IsPunct("=")) {  // namespace alias
+      SkipToPunct(";");
+      return;
+    }
+    if (i_ < toks_.size() && toks_[i_].IsPunct("{")) {
+      const std::size_t end = SkipBalanced(i_, "{", "}");
+      ++i_;  // {
+      ParseTopLevel(std::min(end - 1, outer_end));
+      if (i_ < toks_.size() && toks_[i_].IsPunct("}")) ++i_;
+    }
+  }
+
+  void SkipTemplateHeader() {
+    ++i_;  // template
+    if (i_ < toks_.size() && toks_[i_].IsPunct("<")) i_ = SkipAngles(i_);
+  }
+
+  // `class`/`struct` at `at` introduces a definition (vs fwd decl or an
+  // elaborated type like `struct Shard* p;`).
+  bool IsClassDef(std::size_t at) const {
+    std::size_t k = at + 1;
+    int idents = 0;
+    while (k < toks_.size()) {
+      const Token& t = toks_[k];
+      if (t.kind == Token::Kind::kIdent) {
+        if (T(k + 1).IsPunct("(")) {  // attribute macro
+          k = SkipBalanced(k + 1, "(", ")");
+          continue;
+        }
+        ++idents;
+        ++k;
+        continue;
+      }
+      if (t.IsPunct("{") || t.IsPunct(":")) return idents > 0;
+      return false;
+    }
+    return false;
+  }
+
+  void ParseEnum() {
+    ++i_;  // enum
+    if (i_ < toks_.size() &&
+        (toks_[i_].IsIdent("class") || toks_[i_].IsIdent("struct")))
+      ++i_;
+    if (i_ >= toks_.size() || toks_[i_].kind != Token::Kind::kIdent) {
+      SkipToPunct(";");
+      return;
+    }
+    const std::string name = toks_[i_].text;
+    ++i_;
+    if (i_ < toks_.size() && toks_[i_].IsPunct(":")) {  // underlying type
+      while (i_ < toks_.size() && !toks_[i_].IsPunct("{") &&
+             !toks_[i_].IsPunct(";"))
+        ++i_;
+    }
+    if (i_ >= toks_.size() || !toks_[i_].IsPunct("{")) {  // fwd decl
+      SkipToPunct(";");
+      return;
+    }
+    const std::size_t end = SkipBalanced(i_, "{", "}");
+    if (bodies_) {  // already recorded in the decls pass
+      i_ = end;
+      if (i_ < toks_.size() && toks_[i_].IsPunct(";")) ++i_;
+      return;
+    }
+    ++i_;  // {
+    int value = -1;
+    auto& values = model_->enums.enums[name];
+    auto& order = model_->enums.order[name];
+    while (i_ < end - 1) {
+      if (toks_[i_].kind != Token::Kind::kIdent) { ++i_; continue; }
+      const std::string enumerator = toks_[i_].text;
+      ++i_;
+      if (i_ < end - 1 && toks_[i_].IsPunct("=")) {
+        ++i_;
+        int sign = 1;
+        if (i_ < end - 1 && toks_[i_].IsPunct("-")) { sign = -1; ++i_; }
+        if (i_ < end - 1 && toks_[i_].kind == Token::Kind::kNumber)
+          value = sign * std::atoi(toks_[i_].text.c_str());
+      } else {
+        ++value;
+      }
+      values[enumerator] = value;
+      order.push_back(enumerator);
+      while (i_ < end - 1 && !toks_[i_].IsPunct(",")) ++i_;
+      if (i_ < end - 1) ++i_;  // ,
+    }
+    i_ = end;
+    if (i_ < toks_.size() && toks_[i_].IsPunct(";")) ++i_;
+  }
+
+  // ------------------------------------------------------------- classes
+  void ParseClass() {
+    const int line = toks_[i_].line;
+    ++i_;  // class/struct
+    std::string name;
+    while (i_ < toks_.size()) {
+      const Token& t = toks_[i_];
+      if (t.kind == Token::Kind::kIdent) {
+        if (T(i_ + 1).IsPunct("(")) {
+          i_ = SkipBalanced(i_ + 1, "(", ")");  // attribute macro
+          continue;
+        }
+        if (t.text != "final") name = t.text;
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    if (i_ < toks_.size() && toks_[i_].IsPunct(":")) {  // base clause
+      while (i_ < toks_.size() && !toks_[i_].IsPunct("{")) {
+        if (toks_[i_].IsPunct("<")) { i_ = SkipAngles(i_); continue; }
+        if (toks_[i_].IsPunct(";")) return;  // defensive
+        ++i_;
+      }
+    }
+    if (i_ >= toks_.size() || !toks_[i_].IsPunct("{")) {
+      SkipToPunct(";");
+      return;
+    }
+    const std::size_t end = SkipBalanced(i_, "{", "}");
+    ++i_;  // {
+
+    ClassInfo* ci = model_->FindClass(name);
+    if (!bodies_) {
+      auto cls = std::make_unique<ClassInfo>();
+      cls->name = name;
+      cls->file = file_;
+      cls->line = line;
+      ci = cls.get();
+      model_->classes.push_back(std::move(cls));
+    }
+    ParseClassBody(ci, end - 1);
+    i_ = end;
+    if (i_ < toks_.size() && toks_[i_].IsPunct(";")) ++i_;
+  }
+
+  void ParseClassBody(ClassInfo* ci, std::size_t end) {
+    while (i_ < end) {
+      const Token& t = toks_[i_];
+      if ((t.IsIdent("public") || t.IsIdent("private") ||
+           t.IsIdent("protected")) &&
+          T(i_ + 1).IsPunct(":")) {
+        i_ += 2;
+        continue;
+      }
+      if (t.IsIdent("using") || t.IsIdent("typedef") ||
+          t.IsIdent("static_assert") || t.IsIdent("friend")) {
+        SkipToPunct(";");
+        continue;
+      }
+      if (t.IsIdent("template")) { SkipTemplateHeader(); continue; }
+      if (t.IsIdent("enum")) { ParseEnum(); continue; }
+      if ((t.IsIdent("class") || t.IsIdent("struct")) && IsClassDef(i_)) {
+        ParseClass();  // nested type, registered by unqualified name
+        continue;
+      }
+      if (t.IsPunct(";")) { ++i_; continue; }
+      ParseMember(ci, end);
+    }
+  }
+
+  // One member declaration: field, method, or constructor.
+  void ParseMember(ClassInfo* ci, std::size_t end) {
+    std::vector<Token> decl;
+    bool guarded = false;
+    bool is_static = false;
+    const int line = toks_[i_].line;
+    int angle = 0;
+
+    while (i_ < end) {
+      const Token& t = toks_[i_];
+      if (t.kind == Token::Kind::kIdent &&
+          AnnotationMacros().count(t.text) && T(i_ + 1).IsPunct("(")) {
+        if (t.text == "GUARDED_BY" || t.text == "PT_GUARDED_BY")
+          guarded = true;
+        i_ = SkipBalanced(i_ + 1, "(", ")");
+        continue;
+      }
+      if (t.IsIdent("static") || t.IsIdent("constexpr")) {
+        is_static = true;
+        ++i_;
+        continue;
+      }
+      if (t.IsIdent("mutable") || t.IsIdent("inline") ||
+          t.IsIdent("virtual") || t.IsIdent("explicit")) {
+        ++i_;
+        continue;
+      }
+      if (t.IsPunct("<")) { ++angle; decl.push_back(t); ++i_; continue; }
+      if (t.IsPunct(">")) { --angle; decl.push_back(t); ++i_; continue; }
+      if (angle > 0) { decl.push_back(t); ++i_; continue; }
+
+      if (t.IsPunct("(")) {
+        MemberMethod(ci, decl, line, end);
+        return;
+      }
+      if (t.IsPunct("{")) {
+        const std::size_t init_end = SkipBalanced(i_, "{", "}");
+        MemberField(ci, decl, guarded, is_static, line, i_ + 1,
+                    init_end - 1);
+        i_ = init_end;
+        SkipToPunct(";");
+        return;
+      }
+      if (t.IsPunct("=") || t.IsPunct(";") || t.IsPunct("[")) {
+        MemberField(ci, decl, guarded, is_static, line, 0, 0);
+        SkipToPunct(";");
+        return;
+      }
+      if (t.IsIdent("operator")) {
+        // Operator method: consume up to the param list.
+        while (i_ < end && !toks_[i_].IsPunct("(")) ++i_;
+        if (i_ < end) MemberMethod(ci, decl, line, end);
+        return;
+      }
+      decl.push_back(t);
+      ++i_;
+    }
+  }
+
+  void MemberField(ClassInfo* ci, const std::vector<Token>& decl,
+                   bool guarded, bool is_static, int line,
+                   std::size_t init_begin, std::size_t init_end) {
+    if (bodies_ || !ci || decl.empty()) return;
+    int name_at = -1;
+    for (int k = static_cast<int>(decl.size()) - 1; k >= 0; --k) {
+      if (decl[k].kind == Token::Kind::kIdent &&
+          !IsBareSpecifier(decl[k].text)) {
+        name_at = k;
+        break;
+      }
+    }
+    if (name_at <= 0) return;  // need at least one type token + name
+    std::vector<Token> type(decl.begin(), decl.begin() + name_at);
+    const std::string fname = decl[name_at].text;
+    if (!TypeTokensLook(type)) return;
+    const std::string type_text = JoinTokens(type);
+    ci->member_types[fname] = type_text;
+    if (is_static) return;
+
+    const bool by_value =
+        !ContainsPunct(type, "*") && !ContainsPunct(type, "&");
+    const bool ranked = ContainsIdent(type, "RankedMutex") ||
+                        ContainsIdent(type, "RankedSharedMutex");
+    const bool plain_mutex = ContainsIdent(type, "mutex") ||
+                             ContainsIdent(type, "shared_mutex") ||
+                             ContainsIdent(type, "recursive_mutex");
+    if (by_value && (ranked || plain_mutex)) {
+      MutexMember m;
+      m.name = fname;
+      m.line = line;
+      m.shared = ContainsIdent(type, "RankedSharedMutex") ||
+                 ContainsIdent(type, "shared_mutex");
+      if (ranked) {
+        // RankedMutex name_{LockRank::kX, "lock.name"};
+        for (std::size_t k = init_begin; k < init_end; ++k) {
+          if (toks_[k].kind == Token::Kind::kIdent &&
+              toks_[k].text.size() > 1 && toks_[k].text[0] == 'k' &&
+              m.rank_token.empty())
+            m.rank_token = toks_[k].text;
+          if (toks_[k].kind == Token::Kind::kString && m.lock_name.empty())
+            m.lock_name = StripQuotes(toks_[k].text);
+        }
+      }
+      m.ranked = !m.rank_token.empty();
+      if (!m.ranked) m.rank = kUnrankedPseudoRank;
+      if (m.lock_name.empty()) m.lock_name = ci->name + "::" + fname;
+      ci->mutexes.push_back(std::move(m));
+    }
+
+    Field f;
+    f.name = fname;
+    f.type_text = type_text;
+    f.line = line;
+    f.guarded = guarded;
+    f.is_const = ConstAppliesToMember(type);
+    f.is_atomic = ContainsIdent(type, "atomic");
+    f.is_sync_primitive =
+        ranked || plain_mutex || ContainsIdent(type, "condition_variable") ||
+        ContainsIdent(type, "condition_variable_any");
+    f.is_thread =
+        ContainsIdent(type, "thread") || ContainsIdent(type, "jthread");
+    f.is_telemetry = ContainsIdent(type, "Counter") ||
+                     ContainsIdent(type, "Gauge") ||
+                     ContainsIdent(type, "AtomicHistogram") ||
+                     ContainsIdent(type, "MetricRegistry") ||
+                     ContainsIdent(type, "FlightRecorder");
+    ci->fields.push_back(std::move(f));
+  }
+
+  // `decl` holds return type + method name; toks_[i_] is `(`.
+  void MemberMethod(ClassInfo* ci, const std::vector<Token>& decl, int line,
+                    std::size_t end) {
+    std::string mname;
+    for (int k = static_cast<int>(decl.size()) - 1; k >= 0; --k) {
+      if (decl[k].kind == Token::Kind::kIdent &&
+          !IsBareSpecifier(decl[k].text)) {
+        mname = decl[k].text;
+        break;
+      }
+    }
+    if (ci && !bodies_ && !mname.empty()) ci->method_names.insert(mname);
+
+    const std::size_t params_at = i_;
+    i_ = SkipBalanced(i_, "(", ")");
+    if (!SkipDeclTrailerToBody(end)) return;  // no body
+    if (!bodies_ || mname.empty() || !ci) {
+      i_ = SkipBalanced(i_, "{", "}");
+      return;
+    }
+    auto fn = std::make_unique<FunctionInfo>();
+    fn->cls = ci->name;
+    fn->name = mname;
+    fn->file = file_;
+    fn->line = line;
+    ParseParamTypes(params_at, fn.get());
+    FunctionInfo* fi = fn.get();
+    model_->functions.push_back(std::move(fn));
+    ParseFunctionBody(fi, ci);
+  }
+
+  // After a parameter list: skip trailing qualifiers and any ctor-init
+  // list.  Returns true with i_ at the body `{`; false after consuming a
+  // bodiless declaration.
+  bool SkipDeclTrailerToBody(std::size_t end) {
+    while (i_ < end) {
+      const Token& t = toks_[i_];
+      if (t.IsPunct(";")) { ++i_; return false; }
+      if (t.IsPunct("{")) return true;
+      if (t.IsPunct("=")) {  // = default / delete / 0
+        SkipToPunct(";");
+        return false;
+      }
+      if (t.IsPunct(":")) {  // ctor-init list
+        ++i_;
+        while (i_ < end) {
+          if (toks_[i_].IsPunct("(")) {
+            i_ = SkipBalanced(i_, "(", ")");
+            continue;
+          }
+          if (toks_[i_].IsPunct("{")) {
+            // `name{args}` is a member initialiser; a brace NOT preceded
+            // by an initialiser name is the constructor body.
+            const Token& prev = toks_[i_ - 1];
+            if (prev.kind == Token::Kind::kIdent || prev.IsPunct(">")) {
+              i_ = SkipBalanced(i_, "{", "}");
+              continue;
+            }
+            return true;
+          }
+          if (toks_[i_].IsPunct(";")) { ++i_; return false; }
+          ++i_;
+        }
+        return false;
+      }
+      if (t.kind == Token::Kind::kIdent &&
+          AnnotationMacros().count(t.text) && T(i_ + 1).IsPunct("(")) {
+        i_ = SkipBalanced(i_ + 1, "(", ")");
+        continue;
+      }
+      if (t.IsPunct("(")) { i_ = SkipBalanced(i_, "(", ")"); continue; }
+      ++i_;
+    }
+    return false;
+  }
+
+  // params_at points at `(`.  Records `name -> type text` per parameter.
+  void ParseParamTypes(std::size_t params_at, FunctionInfo* fn) {
+    const std::size_t close = SkipBalanced(params_at, "(", ")");
+    const std::size_t pe = close > params_at ? close - 1 : params_at;
+    std::vector<Token> cur;
+    int depth = 0, angle = 0;
+    for (std::size_t k = params_at + 1; k < pe; ++k) {
+      const Token& t = toks_[k];
+      if (t.IsPunct("(")) ++depth;
+      if (t.IsPunct(")")) --depth;
+      if (t.IsPunct("<")) ++angle;
+      if (t.IsPunct(">")) --angle;
+      if (t.IsPunct(",") && depth == 0 && angle == 0) {
+        RecordParam(cur, fn);
+        cur.clear();
+        continue;
+      }
+      if (t.IsPunct("=") && depth == 0 && angle == 0) {
+        RecordParam(cur, fn);  // default argument: drop the initialiser
+        cur.clear();
+        while (k + 1 < pe) {
+          const Token& d = toks_[k + 1];
+          if (d.IsPunct(",")) break;
+          if (d.IsPunct("(")) { k = SkipBalanced(k + 1, "(", ")") - 1; continue; }
+          if (d.IsPunct("{")) { k = SkipBalanced(k + 1, "{", "}") - 1; continue; }
+          ++k;
+        }
+        continue;
+      }
+      cur.push_back(t);
+    }
+    RecordParam(cur, fn);
+  }
+
+  void RecordParam(std::vector<Token>& cur, FunctionInfo* fn) {
+    if (cur.size() < 2) return;
+    int name_at = -1;
+    for (int k = static_cast<int>(cur.size()) - 1; k >= 0; --k) {
+      if (cur[k].kind == Token::Kind::kIdent &&
+          !IsBareSpecifier(cur[k].text)) {
+        name_at = k;
+        break;
+      }
+    }
+    if (name_at <= 0) return;
+    std::vector<Token> type(cur.begin(), cur.begin() + name_at);
+    if (!TypeTokensLook(type)) return;
+    fn->param_types[cur[name_at].text] = JoinTokens(type);
+  }
+
+  // ----------------------------------------------------- free functions
+  // At namespace scope: `Ret [Class::]Name(params) quals [init] { ... }`.
+  bool TryParseFunctionDef() {
+    std::size_t k = i_;
+    std::vector<Token> decl;
+    int angle = 0;
+    while (k < toks_.size()) {
+      const Token& t = toks_[k];
+      if (t.kind == Token::Kind::kEof) return false;
+      if (t.IsPunct("<")) { ++angle; decl.push_back(t); ++k; continue; }
+      if (t.IsPunct(">")) { --angle; decl.push_back(t); ++k; continue; }
+      if (angle > 0) { decl.push_back(t); ++k; continue; }
+      if (t.IsPunct("(")) break;
+      if (t.IsPunct(";") || t.IsPunct("{") || t.IsPunct("=")) return false;
+      if (t.kind == Token::Kind::kIdent && IsStatementKeyword(t.text))
+        return false;
+      decl.push_back(t);
+      ++k;
+    }
+    if (k >= toks_.size() || decl.empty()) return false;
+    std::string name, cls;
+    int name_at = -1;
+    for (int q = static_cast<int>(decl.size()) - 1; q >= 0; --q) {
+      if (decl[q].kind == Token::Kind::kIdent &&
+          !IsBareSpecifier(decl[q].text)) {
+        name = decl[q].text;
+        name_at = q;
+        break;
+      }
+    }
+    if (name.empty()) return false;
+    if (name_at >= 2 && decl[name_at - 1].IsPunct("::") &&
+        decl[name_at - 2].kind == Token::Kind::kIdent)
+      cls = decl[name_at - 2].text;
+    const int line = toks_[i_].line;
+
+    const std::size_t params_at = k;
+    i_ = SkipBalanced(k, "(", ")");
+    if (!SkipDeclTrailerToBody(toks_.size() - 1)) return true;  // decl only
+    if (!bodies_) {
+      i_ = SkipBalanced(i_, "{", "}");
+      return true;
+    }
+    auto fn = std::make_unique<FunctionInfo>();
+    fn->cls = cls;
+    fn->name = name;
+    fn->file = file_;
+    fn->line = line;
+    ParseParamTypes(params_at, fn.get());
+    FunctionInfo* fi = fn.get();
+    model_->functions.push_back(std::move(fn));
+    ParseFunctionBody(fi, cls.empty() ? nullptr : model_->FindClass(cls));
+    return true;
+  }
+
+  // ------------------------------------------------------ function body
+  struct Guard {
+    int rank = -1;
+    std::string lock_name;
+    std::string var;  // unique_lock variable name ("" for scoped guards)
+    bool active = true;
+  };
+
+  void ParseFunctionBody(FunctionInfo* fn, ClassInfo* ci) {
+    const std::size_t end = SkipBalanced(i_, "{", "}");  // i_ at body `{`
+    std::vector<Guard> guards;
+    std::vector<std::size_t> scope_marks;
+    std::vector<Token> stmt;
+
+    auto held = [&]() -> const Guard* {
+      const Guard* best = nullptr;
+      for (const auto& g : guards)
+        if (g.active && (!best || g.rank > best->rank)) best = &g;
+      return best;
+    };
+    auto record_acquire = [&](const Guard& g, int line,
+                              const Guard* exclude) {
+      Acquisition a;
+      a.rank = g.rank;
+      a.lock_name = g.lock_name;
+      a.line = line;
+      const Guard* h = nullptr;
+      for (const auto& o : guards)
+        if (o.active && &o != exclude && (!h || o.rank > h->rank)) h = &o;
+      if (h) {
+        a.held_rank = h->rank;
+        a.held_lock_name = h->lock_name;
+      }
+      fn->acquisitions.push_back(a);
+    };
+
+    std::size_t k = i_;
+    while (k < end) {
+      const Token& t = toks_[k];
+      if (t.IsPunct("{")) {
+        scope_marks.push_back(guards.size());
+        stmt.clear();
+        ++k;
+        continue;
+      }
+      if (t.IsPunct("}")) {
+        if (!scope_marks.empty()) {
+          guards.resize(std::min(guards.size(), scope_marks.back()));
+          scope_marks.pop_back();
+        }
+        stmt.clear();
+        ++k;
+        continue;
+      }
+      if (t.IsPunct(";")) {
+        MaybeRecordLocalDecl(stmt, fn);
+        stmt.clear();
+        ++k;
+        continue;
+      }
+
+      // case RequestType::kX:
+      if (t.IsIdent("case")) {
+        std::size_t c = k + 1;
+        std::string last_enum, last_ident;
+        while (c < end && !toks_[c].IsPunct(":")) {
+          if (toks_[c].kind == Token::Kind::kIdent) {
+            if (T(c + 1).IsPunct("::")) last_enum = toks_[c].text;
+            last_ident = toks_[c].text;
+          }
+          ++c;
+        }
+        if (last_enum == "RequestType" && !last_ident.empty())
+          fn->case_labels.insert(last_ident);
+        stmt.clear();
+        k = c + 1;
+        continue;
+      }
+
+      // Scoped guard: MutexLock lock(expr);
+      if (t.kind == Token::Kind::kIdent &&
+          (t.text == "MutexLock" || t.text == "WriterLock" ||
+           t.text == "ReaderLock") &&
+          T(k + 1).kind == Token::Kind::kIdent && T(k + 2).IsPunct("(")) {
+        const std::size_t close = SkipBalanced(k + 2, "(", ")");
+        Guard g = ResolveGuardArg(k + 3, close - 1, fn, ci);
+        if (g.rank >= 0) {
+          record_acquire(g, t.line, nullptr);
+          guards.push_back(g);
+        }
+        stmt.clear();
+        k = close;
+        continue;
+      }
+      // std::unique_lock<X> lk(mu_); / lock_guard / shared_lock /
+      // scoped_lock.
+      if (t.kind == Token::Kind::kIdent &&
+          (t.text == "unique_lock" || t.text == "lock_guard" ||
+           t.text == "shared_lock" || t.text == "scoped_lock")) {
+        std::size_t c = k + 1;
+        if (c < end && toks_[c].IsPunct("<")) c = SkipAngles(c);
+        if (c + 1 < end && toks_[c].kind == Token::Kind::kIdent &&
+            toks_[c + 1].IsPunct("(")) {
+          const std::string var = toks_[c].text;
+          const std::size_t close = SkipBalanced(c + 1, "(", ")");
+          Guard g = ResolveGuardArg(c + 2, close - 1, fn, ci);
+          if (g.rank >= 0) {
+            if (t.text == "unique_lock") g.var = var;
+            record_acquire(g, t.line, nullptr);
+            guards.push_back(g);
+          }
+          stmt.clear();
+          k = close;
+          continue;
+        }
+      }
+      // lk.unlock() / lk.lock() on a tracked unique_lock variable.
+      if (t.kind == Token::Kind::kIdent && T(k + 1).IsPunct(".") &&
+          T(k + 2).kind == Token::Kind::kIdent && T(k + 3).IsPunct("(")) {
+        const std::string& method = T(k + 2).text;
+        if (method == "unlock" || method == "lock") {
+          Guard* tracked = nullptr;
+          for (auto& g : guards)
+            if (!g.var.empty() && g.var == t.text) tracked = &g;
+          if (tracked) {
+            if (method == "unlock") {
+              tracked->active = false;
+            } else if (!tracked->active) {
+              tracked->active = true;
+              record_acquire(*tracked, t.line, tracked);
+            }
+            k = SkipBalanced(k + 3, "(", ")");
+            stmt.clear();
+            continue;
+          }
+        }
+      }
+
+      // Call sites: ident followed by `(`.
+      if (t.kind == Token::Kind::kIdent && T(k + 1).IsPunct("(") &&
+          !IsStatementKeyword(t.text) && !AnnotationMacros().count(t.text) &&
+          t.text != "CHECK" && t.text != "DCHECK" && t.text != "defined") {
+        CallSite cs;
+        cs.callee = t.text;
+        cs.line = t.line;
+        const Token& p1 = T2(k, -1);
+        if (p1.IsPunct(".") || p1.IsPunct("->")) {
+          const Token& p2 = T2(k, -2);
+          if (p2.kind == Token::Kind::kIdent) {
+            cs.obj = p2.text;
+          } else if (p2.IsPunct("]")) {
+            // arr[idx]->Fn(): walk back to the ident before `[`.
+            int d = 0;
+            std::size_t b = k - 2;
+            while (b > 0) {
+              if (toks_[b].IsPunct("]")) ++d;
+              else if (toks_[b].IsPunct("[") && --d == 0) { --b; break; }
+              --b;
+            }
+            cs.obj = toks_[b].kind == Token::Kind::kIdent ? toks_[b].text
+                                                          : "<expr>";
+          } else {
+            cs.obj = "<expr>";  // chained call etc. — unresolvable
+          }
+        } else if (p1.IsPunct("::")) {
+          const Token& p2 = T2(k, -2);
+          if (p2.kind == Token::Kind::kIdent) cs.qualifier = p2.text;
+          else cs.global_qualified = true;
+        }
+        const Guard* h = held();
+        if (h) {
+          cs.held_rank = h->rank;
+          cs.held_lock_name = h->lock_name;
+        }
+        fn->calls.push_back(cs);
+        stmt.push_back(t);
+        ++k;
+        continue;
+      }
+
+      stmt.push_back(t);
+      ++k;
+    }
+    i_ = end;
+  }
+
+  // Resolve the guard argument tokens [b, e) to a mutex member.
+  Guard ResolveGuardArg(std::size_t b, std::size_t e, FunctionInfo* fn,
+                        ClassInfo* ci) {
+    Guard g;
+    if (b >= e) return g;
+    std::string member, obj;
+    for (std::size_t k = b; k < e; ++k)
+      if (toks_[k].kind == Token::Kind::kIdent) member = toks_[k].text;
+    for (std::size_t k = b + 1; k < e; ++k) {
+      if ((toks_[k].IsPunct(".") || toks_[k].IsPunct("->")) && k + 1 < e &&
+          toks_[k + 1].kind == Token::Kind::kIdent &&
+          toks_[k + 1].text == member &&
+          toks_[k - 1].kind == Token::Kind::kIdent)
+        obj = toks_[k - 1].text;
+    }
+    if (member.empty()) return g;
+
+    const MutexMember* m = nullptr;
+    if (!obj.empty()) {
+      const ClassInfo* oc = ResolveVarClass(obj, fn, ci);
+      if (oc) m = oc->FindMutex(member);
+    }
+    if (!m && obj.empty() && ci) m = ci->FindMutex(member);
+    if (!m) {
+      // Fallback: member name unique (by rank) across all classes.
+      const MutexMember* found = nullptr;
+      bool ambiguous = false;
+      for (const auto& c : model_->classes) {
+        if (const MutexMember* cand = c->FindMutex(member)) {
+          if (found && found->rank != cand->rank) ambiguous = true;
+          found = cand;
+        }
+      }
+      if (!ambiguous) m = found;
+    }
+    if (!m || m->rank < 0) return g;
+    g.rank = m->rank;
+    g.lock_name = m->lock_name;
+    return g;
+  }
+
+  // Class of a variable: local, then param, then member of `ci`.
+  const ClassInfo* ResolveVarClass(const std::string& var, FunctionInfo* fn,
+                                   ClassInfo* ci) {
+    std::string type;
+    auto lt = fn->local_types.find(var);
+    if (lt != fn->local_types.end()) type = lt->second;
+    if (type.empty()) {
+      auto pt = fn->param_types.find(var);
+      if (pt != fn->param_types.end()) type = pt->second;
+    }
+    if (type.empty() && ci) {
+      auto mt = ci->member_types.find(var);
+      if (mt != ci->member_types.end()) type = mt->second;
+    }
+    if (type.empty()) return nullptr;
+    for (const auto& c : model_->classes)
+      if (!c->name.empty() && type.find(c->name) != std::string::npos)
+        return c.get();
+    return nullptr;
+  }
+
+  void MaybeRecordLocalDecl(const std::vector<Token>& stmt,
+                            FunctionInfo* fn) {
+    if (stmt.size() < 2) return;
+    std::vector<Token> decl;
+    for (const auto& t : stmt) {
+      if (t.IsPunct("=") || t.IsPunct("(")) break;
+      decl.push_back(t);
+    }
+    if (decl.size() < 2) return;
+    const Token& name = decl.back();
+    if (name.kind != Token::Kind::kIdent || IsStatementKeyword(name.text))
+      return;
+    std::vector<Token> type(decl.begin(), decl.end() - 1);
+    if (!TypeTokensLook(type)) return;
+    fn->local_types.emplace(name.text, JoinTokens(type));
+  }
+};
+
+// Flat scan for `cortex_*` metric-name literals: registrations are
+// literals passed directly to Get{Counter,Gauge,Histogram}; a literal
+// adjacent to `+` is a dynamic prefix.
+void ScanMetricLiterals(const SourceFile& file, Model* model) {
+  const auto& toks = file.lexed.tokens;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (toks[k].kind != Token::Kind::kString) continue;
+    const std::string name = StripQuotes(toks[k].text);
+    if (name.rfind("cortex_", 0) != 0) continue;
+    MetricLiteral lit;
+    lit.name = name;
+    lit.file = file.rel;
+    lit.line = toks[k].line;
+    if (k >= 2 && toks[k - 1].IsPunct("(") &&
+        toks[k - 2].kind == Token::Kind::kIdent) {
+      const std::string& fn = toks[k - 2].text;
+      lit.registration = fn == "GetCounter" || fn == "GetGauge" ||
+                         fn == "GetHistogram";
+    }
+    if ((k + 1 < toks.size() && toks[k + 1].IsPunct("+")) ||
+        (k >= 1 && toks[k - 1].IsPunct("+")))
+      lit.dynamic_prefix = true;
+    model->metric_literals.push_back(std::move(lit));
+  }
+}
+
+}  // namespace
+
+void CollectDecls(const SourceFile& file, Model* model) {
+  Parser(file, model, /*bodies=*/false).Run();
+}
+
+void ResolveRanks(Model* model) {
+  const auto& ranks = model->enums.enums["LockRank"];
+  for (auto& c : model->classes) {
+    for (auto& m : c->mutexes) {
+      if (m.ranked) {
+        auto it = ranks.find(m.rank_token);
+        m.rank = it == ranks.end() ? -1 : it->second;
+      }
+      if (m.rank < 0) {
+        m.ranked = false;
+        m.rank = kUnrankedPseudoRank;
+      }
+    }
+  }
+}
+
+void ParseBodies(const SourceFile& file, Model* model) {
+  Parser(file, model, /*bodies=*/true).Run();
+  ScanMetricLiterals(file, model);
+}
+
+}  // namespace cortex::analyzer

@@ -1,0 +1,168 @@
+// cortex_analyzer source model: a lightweight declaration / guard-scope
+// parser over the repo's idioms (DESIGN.md §11).  It is not a C++
+// frontend — it recognises exactly the patterns this codebase uses:
+//
+//   * `enum class LockRank { kName = N, ... }` rank tables;
+//   * `RankedMutex name_{LockRank::kX, "lock.name"};` members (plus
+//     unranked `std::mutex` / `std::shared_mutex` members, which get a
+//     pseudo-rank so nesting them is still rejected);
+//   * class bodies: fields (with GUARDED_BY / PT_GUARDED_BY detection
+//     and a type text used for exemptions), member types, methods;
+//   * function definitions (`Ret Class::Method(...) { ... }`, free
+//     functions, inline methods) with per-body guard scopes —
+//     `MutexLock` / `ReaderLock` / `WriterLock` RAII guards and
+//     `std::unique_lock` / `std::lock_guard` / `std::shared_lock`,
+//     including manual `lk.unlock()` / `lk.lock()` windows — and every
+//     call site with the ranks held at that point;
+//   * `case RequestType::kX:` labels inside dispatch functions;
+//   * metric-name string literals and Get{Counter,Gauge,Histogram}
+//     registration calls.
+//
+// When the parser is unsure it skips — the analysis is deliberately
+// best-effort-but-conservative, and the fixture tests in
+// tests/test_analyzer.cc pin the behaviours the checks rely on.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cortex_analyzer/lexer.h"
+
+namespace cortex::analyzer {
+
+inline constexpr int kUnrankedPseudoRank = 1000;  // matches LockRank::kLeaf
+
+struct MutexMember {
+  std::string name;        // member name, e.g. "queue_mu_"
+  std::string lock_name;   // runtime name string, e.g. "server.queue_mu"
+  std::string rank_token;  // "kServerQueue" (resolved via the enum table)
+  int rank = -1;           // resolved rank; kUnrankedPseudoRank if unranked
+  bool ranked = true;
+  bool shared = false;     // RankedSharedMutex / std::shared_mutex
+  int line = 0;
+};
+
+struct Field {
+  std::string name;
+  std::string type_text;  // normalised, space-joined declaration prefix
+  int line = 0;
+  bool guarded = false;       // GUARDED_BY / PT_GUARDED_BY present
+  bool is_const = false;      // const applies to the member itself
+  bool is_atomic = false;
+  bool is_sync_primitive = false;  // mutex / condition variable member
+  bool is_thread = false;
+  bool is_telemetry = false;  // registry / instrument handle types
+};
+
+struct ClassInfo {
+  std::string name;  // unqualified
+  std::string file;
+  int line = 0;
+  std::vector<MutexMember> mutexes;
+  std::vector<Field> fields;
+  // Every data member's declaration prefix (including exempt ones) —
+  // used to resolve `obj->Method()` receiver types.
+  std::map<std::string, std::string> member_types;
+  std::set<std::string> method_names;
+
+  const MutexMember* FindMutex(const std::string& member) const {
+    for (const auto& m : mutexes)
+      if (m.name == member) return &m;
+    return nullptr;
+  }
+};
+
+// One lock acquisition inside a function body.
+struct Acquisition {
+  int rank = -1;
+  std::string lock_name;   // human name ("server.queue_mu")
+  int line = 0;
+  // Innermost rank already held when this acquisition happens (-1 when
+  // none) — the direct-inversion input.
+  int held_rank = -1;
+  std::string held_lock_name;
+};
+
+struct CallSite {
+  std::string callee;
+  std::string obj;        // receiver variable text ("" for plain calls)
+  std::string qualifier;  // "Class" for Class::Fn(...), "" otherwise
+  bool global_qualified = false;  // ::send(...)
+  int line = 0;
+  int held_rank = -1;  // max rank held at the call (-1 when none)
+  std::string held_lock_name;
+};
+
+struct FunctionInfo {
+  std::string cls;  // owning class name, "" for free functions
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::map<std::string, std::string> param_types;  // name -> type text
+  std::map<std::string, std::string> local_types;  // name -> type text
+  std::vector<Acquisition> acquisitions;
+  std::vector<CallSite> calls;
+  std::set<std::string> case_labels;  // X from `case RequestType::X:`
+
+  std::string QualifiedName() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+struct MetricLiteral {
+  std::string name;  // the literal text without quotes
+  std::string file;
+  int line = 0;
+  // GetCounter/GetGauge/GetHistogram with this literal as first arg.
+  bool registration = false;
+  // Literal participates in a `+` concatenation — a dynamic prefix.
+  bool dynamic_prefix = false;
+};
+
+struct EnumTable {
+  // enum name -> (enumerator -> value); values resolved for explicit
+  // integer initialisers and implicit increments.
+  std::map<std::string, std::map<std::string, int>> enums;
+  // enum name -> enumerators in declaration order.
+  std::map<std::string, std::vector<std::string>> order;
+};
+
+struct SourceFile {
+  std::string rel;  // path relative to the analysis root, '/'-separated
+  LexedFile lexed;
+};
+
+struct Model {
+  std::vector<std::unique_ptr<SourceFile>> files;
+  std::vector<std::unique_ptr<ClassInfo>> classes;
+  std::vector<std::unique_ptr<FunctionInfo>> functions;
+  std::vector<MetricLiteral> metric_literals;
+  EnumTable enums;
+
+  ClassInfo* FindClass(const std::string& name) {
+    for (auto& c : classes)
+      if (c->name == name) return c.get();
+    return nullptr;
+  }
+};
+
+// Parsing is two-phase so function bodies see the whole repo's
+// declarations (guard resolution needs every class's mutex table and
+// the LockRank enum, whichever file they live in):
+//
+//   for each file: CollectDecls(file, &model);
+//   ResolveRanks(&model);
+//   for each file: ParseBodies(file, &model);
+//
+// CollectDecls appends classes (fields, mutex members, method names)
+// and enums; ParseBodies appends FunctionInfo with acquisitions and
+// call sites, plus metric literals.
+void CollectDecls(const SourceFile& file, Model* model);
+void ResolveRanks(Model* model);
+void ParseBodies(const SourceFile& file, Model* model);
+
+}  // namespace cortex::analyzer
