@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -58,7 +59,25 @@ double MeasureNsPerOp(std::size_t num_threads, std::size_t iters, Op op) {
   return wall * 1e9 / static_cast<double>(num_threads * iters);
 }
 
-void RunMicro(bool csv, std::size_t iters) {
+// Measured numbers carried into the --json dump (keys named so
+// scripts/bench_diff.py applies its wide perf band to every ns/op and
+// throughput value).
+struct MicroResults {
+  double shared_atomic_ns_8t = 0.0;
+  double counter_ns_1t = 0.0;
+  double counter_ns_8t = 0.0;
+  double histogram_ns_1t = 0.0;
+  double record_ns_1t = 0.0;
+};
+
+struct MacroResults {
+  double best_off = 0.0;  // req/s, telemetry disabled
+  double best_on = 0.0;   // req/s, telemetry enabled
+  double delta = 0.0;
+  bool pass = true;
+};
+
+MicroResults RunMicro(bool csv, std::size_t iters) {
   telemetry::MetricRegistry registry;
   telemetry::Counter* counter = registry.GetCounter("bench_counter");
   telemetry::Gauge* gauge = registry.GetGauge("bench_gauge");
@@ -102,10 +121,22 @@ void RunMicro(bool csv, std::size_t iters) {
 
   std::cout << "=== telemetry instrument micro-costs (" << iters
             << " ops/thread) ===\n\n";
+  MicroResults results;
   TextTable table({"operation", "1 thread (ns/op)", "8 threads (ns/op)"});
-  for (const Case& c : cases) {
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
     const double ns1 = MeasureNsPerOp(1, iters, c.op);
     const double ns8 = MeasureNsPerOp(8, iters, c.op);
+    switch (i) {
+      case 0: results.shared_atomic_ns_8t = ns8; break;
+      case 1:
+        results.counter_ns_1t = ns1;
+        results.counter_ns_8t = ns8;
+        break;
+      case 3: results.histogram_ns_1t = ns1; break;
+      case 4: results.record_ns_1t = ns1; break;
+      default: break;
+    }
     table.AddRow({c.name, TextTable::Num(ns1, 1), TextTable::Num(ns8, 1)});
   }
   table.Print(std::cout, csv);
@@ -113,6 +144,7 @@ void RunMicro(bool csv, std::size_t iters) {
                " cost at 8 threads while the shared atomic degrades"
                " several-fold from cache-line ping-pong; Record stays"
                " O(100ns) — one CAS plus relaxed stores.\n\n";
+  return results;
 }
 
 // ---------------------------------------------------------------------------
@@ -157,8 +189,8 @@ double RunEngineThroughput(const WorkloadBundle& bundle,
   return wall > 0.0 ? static_cast<double>(queries.size()) / wall : 0.0;
 }
 
-int RunMacroAb(bool csv, std::size_t tasks, std::size_t threads,
-               int repeats) {
+MacroResults RunMacroAb(bool csv, std::size_t tasks, std::size_t threads,
+                        int repeats) {
   auto profile = SearchDatasetProfile::Musique();
   profile.num_tasks = tasks;
   const WorkloadBundle bundle = BuildSkewedSearchWorkload(profile);
@@ -184,23 +216,25 @@ int RunMacroAb(bool csv, std::size_t tasks, std::size_t threads,
                                      /*telemetry_enabled=*/true));
   }
 
-  const double delta =
-      best_off > 0.0 ? (best_off - best_on) / best_off : 0.0;
+  MacroResults results;
+  results.best_off = best_off;
+  results.best_on = best_on;
+  results.delta = best_off > 0.0 ? (best_off - best_on) / best_off : 0.0;
   constexpr double kMaxDelta = 0.05;
-  const bool pass = delta < kMaxDelta;
+  results.pass = results.delta < kMaxDelta;
 
   TextTable table({"arm", "throughput (req/s)"});
   table.AddRow({"telemetry disabled", TextTable::Num(best_off)});
   table.AddRow({"telemetry enabled", TextTable::Num(best_on)});
   table.Print(std::cout, csv);
-  std::cout << "\noverhead: " << TextTable::Percent(delta) << " (budget "
-            << TextTable::Percent(kMaxDelta) << ") — "
-            << (pass ? "PASS" : "FAIL")
+  std::cout << "\noverhead: " << TextTable::Percent(results.delta)
+            << " (budget " << TextTable::Percent(kMaxDelta) << ") — "
+            << (results.pass ? "PASS" : "FAIL")
             << "\nexpected shape: the instrumented path adds a handful of"
                " relaxed atomic ops per request against an ANN probe +"
                " judger costing tens of microseconds, so the delta sits"
                " in the noise floor.\n";
-  return pass ? 0 : 1;
+  return results;
 }
 
 }  // namespace
@@ -214,7 +248,32 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(flags.GetInt("threads", 8));
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
 
-  if (!flags.GetBool("macro-only", false)) RunMicro(csv, iters);
-  if (flags.GetBool("micro-only", false)) return 0;
-  return RunMacroAb(csv, tasks, threads, repeats);
+  const bool json = flags.GetBool("json", false);
+
+  MicroResults micro;
+  if (!flags.GetBool("macro-only", false)) micro = RunMicro(csv, iters);
+  MacroResults macro;
+  const bool macro_ran = !flags.GetBool("micro-only", false);
+  if (macro_ran) macro = RunMacroAb(csv, tasks, threads, repeats);
+
+  // --json: write BENCH_telemetry.json for the CI bench-diff leg.  The ns
+  // and throughput keys diff inside scripts/bench_diff.py's wide perf
+  // band; the echoed config keys diff tightly.  The 5% macro budget is
+  // advisory here — the diff against the committed baseline is the gate.
+  if (json) {
+    std::ofstream out("BENCH_telemetry.json");
+    out << "{\n  \"benchmark\": \"telemetry\",\n  \"iters\": " << iters
+        << ",\n  \"tasks\": " << tasks << ",\n  \"threads\": " << threads
+        << ",\n  \"repeats\": " << repeats
+        << ",\n  \"shared_atomic_ns_per_op_8t\": " << micro.shared_atomic_ns_8t
+        << ",\n  \"counter_inc_ns_per_op_1t\": " << micro.counter_ns_1t
+        << ",\n  \"counter_inc_ns_per_op_8t\": " << micro.counter_ns_8t
+        << ",\n  \"histogram_observe_ns_per_op_1t\": " << micro.histogram_ns_1t
+        << ",\n  \"recorder_record_ns_per_op_1t\": " << micro.record_ns_1t
+        << ",\n  \"throughput_rps_disabled\": " << macro.best_off
+        << ",\n  \"throughput_rps_enabled\": " << macro.best_on << "\n}\n";
+    std::cout << "wrote BENCH_telemetry.json\n";
+    return 0;
+  }
+  return !macro_ran || macro.pass ? 0 : 1;
 }

@@ -58,8 +58,10 @@ leg "bench flywheel (fresh --json runs vs committed baselines)"
   ./bench/bench_vector_ops --json >/dev/null &&
   ./bench/bench_concurrency --json --tasks=300 >/dev/null &&
   ./bench/bench_ann --json >/dev/null &&
-  ./bench/bench_cluster --json --tasks=120 --threads=4 >/dev/null)
-for b in vector_ops concurrency ann cluster; do
+  ./bench/bench_cluster --json --tasks=120 --threads=4 >/dev/null &&
+  ./bench/bench_telemetry --json --iters=500000 --tasks=200 --threads=4 \
+    --repeats=2 >/dev/null)
+for b in vector_ops concurrency ann cluster telemetry; do
   python3 scripts/bench_diff.py "BENCH_${b}.json" \
     "build-ci/gcc-release/BENCH_${b}.json"
 done

@@ -16,6 +16,7 @@
 
 #include "core/sharded_cache.h"
 #include "serve/concurrent_engine.h"
+#include "tenant/tenant.h"
 #include "util/check.h"
 
 namespace cortex::cluster {
@@ -148,12 +149,14 @@ std::size_t ClusterRouter::num_nodes() const {
 
 std::string ClusterRouter::PlacementKey(std::string_view text) const {
   // Tenant pinning: "tenant:<id>|<query>" places every query of a tenant
-  // on one owner set, whatever the query says.
-  if (text.rfind("tenant:", 0) == 0) {
+  // on one owner set, whatever the query says.  A bare "tenant:<id>" is
+  // already a placement key (the form RouteLookup/RouteInsert derive from
+  // TLOOKUP/TINSERT) and passes through verbatim, keeping PlacementKey
+  // idempotent.
+  if (text.rfind("tenant:", 0) == 0 && text.size() > 7) {
     const auto bar = text.find('|');
-    if (bar != std::string_view::npos && bar > 7) {
-      return std::string(text.substr(0, bar));
-    }
+    if (bar == std::string_view::npos) return std::string(text);
+    if (bar > 7) return std::string(text.substr(0, bar));
   }
   if (options_.embedder != nullptr) {
     return PlacementAnchor(*options_.embedder, tokenizer_, text);
@@ -456,8 +459,10 @@ Response ClusterRouter::Execute(const Request& request) {
       return r;
     }
     case RequestType::kLookup:
+    case RequestType::kTenantLookup:
       return RouteLookup(request);
     case RequestType::kInsert:
+    case RequestType::kTenantInsert:
       return RouteInsert(request);
     case RequestType::kMigrate:
       return DoMigrate(request);
@@ -476,7 +481,11 @@ Response ClusterRouter::Execute(const Request& request) {
 
 Response ClusterRouter::RouteLookup(const Request& request) {
   lookups_->Inc();
-  const std::string key = PlacementKey(request.query);
+  // TLOOKUP pins the whole namespace to the tenant's owner set — same
+  // placement key as the legacy "tenant:<id>|<query>" prefix convention.
+  const std::string key = request.tenant.empty()
+                              ? PlacementKey(request.query)
+                              : tenant::PlacementKeyFor(request.tenant);
   std::vector<NodePool*> owners;
   NodePool* window_primary = nullptr;  // new-ring primary during migration
   {
@@ -525,7 +534,9 @@ Response ClusterRouter::RouteLookup(const Request& request) {
 
 Response ClusterRouter::RouteInsert(const Request& request) {
   inserts_->Inc();
-  const std::string key = PlacementKey(request.key);
+  const std::string key = request.tenant.empty()
+                              ? PlacementKey(request.key)
+                              : tenant::PlacementKeyFor(request.tenant);
   std::vector<NodePool*> owners;
   std::vector<NodePool*> window_extras;  // new-ring owners not in owners
   {
@@ -634,7 +645,11 @@ Response ClusterRouter::DoMigrate(const Request& request) {
     try {
       std::istringstream in(blob->message);
       serve::ForEachEngineSnapshotElement(in, [&](SemanticElement se) {
-        const auto owners = target_ring.OwnersFor(PlacementKey(se.key));
+        // Tenant-owned entries migrate with their namespace, not their key.
+        const std::string pkey =
+            se.tenant.empty() ? PlacementKey(se.key)
+                              : tenant::PlacementKeyFor(se.tenant);
+        const auto owners = target_ring.OwnersFor(pkey);
         if (std::find(owners.begin(), owners.end(), request.node_name) !=
             owners.end()) {
           keep.push_back(std::move(se));

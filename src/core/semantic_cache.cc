@@ -17,6 +17,17 @@ double ElapsedSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// key_to_id_ key: one exact-key slot per namespace.  0x1f (unit
+// separator) cannot appear in tenant ids, so the mapping is injective.
+std::string NamespacedKey(std::string_view tenant, std::string_view key) {
+  std::string k;
+  k.reserve(tenant.size() + 1 + key.size());
+  k.append(tenant);
+  k.push_back('\x1f');
+  k.append(key);
+  return k;
+}
+
 }  // namespace
 
 SemanticCache::SemanticCache(const Embedder* embedder,
@@ -32,17 +43,19 @@ SemanticCache::SemanticCache(const Embedder* embedder,
 }
 
 SemanticCache::LookupResult SemanticCache::Lookup(std::string_view query,
-                                                  double now) {
+                                                  double now,
+                                                  std::string_view tenant) {
   // Expired entries must not serve hits; purge lazily before matching.
   RemoveExpired(now);
-  LookupResult result = Probe(query, now);
+  LookupResult result = Probe(query, now, nullptr, tenant);
   CommitLookup(result, now);
   return result;
 }
 
 SemanticCache::LookupResult SemanticCache::Probe(std::string_view query,
                                                  double now,
-                                                 ProbeTiming* timing) const {
+                                                 ProbeTiming* timing,
+                                                 std::string_view tenant) const {
   LookupResult result;
   const auto embed_t0 = std::chrono::steady_clock::now();
   result.query_embedding = sine_.EmbedQuery(query);
@@ -50,18 +63,20 @@ SemanticCache::LookupResult SemanticCache::Probe(std::string_view query,
 
   // An SE whose retrieval completes in the future must not serve hits yet
   // (inserts are recorded eagerly with their completion-time timestamps;
-  // visibility honours the clock), and expired entries must not serve hits
-  // even though this read-only path cannot remove them.
+  // visibility honours the clock), expired entries must not serve hits
+  // even though this read-only path cannot remove them, and another
+  // tenant's private entries must stay invisible.
   SineTiming sine_timing;
-  result.sine = sine_.Lookup(query, result.query_embedding,
-                             [this, now](SeId id) -> const SemanticElement* {
-                               const SemanticElement* se = Get(id);
-                               return se && se->created_at <= now &&
-                                              !se->ExpiredAt(now)
-                                          ? se
-                                          : nullptr;
-                             },
-                             timing != nullptr ? &sine_timing : nullptr);
+  result.sine =
+      sine_.Lookup(query, result.query_embedding,
+                   [this, now, tenant](SeId id) -> const SemanticElement* {
+                     const SemanticElement* se = Get(id);
+                     return se && se->created_at <= now && !se->ExpiredAt(now) &&
+                                    VisibleTo(*se, tenant)
+                                ? se
+                                : nullptr;
+                   },
+                   timing != nullptr ? &sine_timing : nullptr);
   if (timing != nullptr) {
     timing->ann_seconds = sine_timing.ann_seconds;
     timing->judger_seconds = sine_timing.judger_seconds;
@@ -95,6 +110,16 @@ std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now,
     return std::nullopt;
   }
 
+  // Remember the tenant's budget so later global evictions can identify
+  // over-budget namespaces, and reject values no budget share could hold.
+  if (!request.tenant.empty() && request.budget_tokens > 0.0) {
+    tenant_budget_[request.tenant] = request.budget_tokens;
+    if (size_tokens > request.budget_tokens) {
+      ++counters_.budget_rejects;
+      return std::nullopt;
+    }
+  }
+
   // Admission doorkeeper: under capacity pressure, knowledge must prove
   // itself (be fetched twice in the recent window) before it may displace
   // resident content.  Counting by value means paraphrases pool their
@@ -117,9 +142,37 @@ std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now,
     }
   }
 
+  // Cross-tenant promotion evidence: count the distinct tenants that have
+  // (shareably) fetched this exact value.  Reaching the K threshold
+  // graduates the value to the shared pool — either by retagging the
+  // resident private copy below, or by inserting the new SE as shared.
+  const std::size_t value_hash = std::hash<std::string>{}(request.value);
+  bool promote = false;
+  if (options_.promote_distinct_tenants > 0 && !request.tenant.empty() &&
+      request.shareable &&
+      request.staticity >= options_.promote_min_staticity) {
+    auto seen = promote_seen_.find(value_hash);
+    if (seen == promote_seen_.end() &&
+        promote_seen_.size() < options_.promote_tracker_capacity) {
+      seen = promote_seen_.emplace(value_hash, std::vector<std::string>())
+                 .first;
+    }
+    if (seen != promote_seen_.end()) {
+      std::vector<std::string>& confirmers = seen->second;
+      if (std::find(confirmers.begin(), confirmers.end(), request.tenant) ==
+          confirmers.end()) {
+        confirmers.push_back(request.tenant);
+      }
+      promote = confirmers.size() >= options_.promote_distinct_tenants;
+      if (promote) promote_seen_.erase(seen);
+    }
+  }
+
   // Value-identity dedup: the same knowledge fetched under a different
   // phrasing refreshes the existing SE instead of spending capacity twice.
-  const std::size_t value_hash = std::hash<std::string>{}(request.value);
+  // Only SEs visible to the inserting tenant qualify — a byte-identical
+  // value in another tenant's namespace stays separate (unless promotion
+  // just graduated it).
   for (auto [it, end] = value_hash_to_id_.equal_range(value_hash); it != end;
        ++it) {
     const auto se_it = store_.find(it->second);
@@ -127,6 +180,27 @@ std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now,
       continue;
     }
     SemanticElement& se = se_it->second;
+    // Promotion may retag a resident private copy (the inserter's own or
+    // a foreign tenant's) into the shared pool, but only when that copy's
+    // own metadata allows sharing.
+    const bool promote_this = promote && !se.tenant.empty() && se.shareable &&
+                              se.staticity >= options_.promote_min_staticity;
+    if (!VisibleTo(se, request.tenant) && !promote_this) continue;
+    if (promote_this) {
+      tenant_usage_[se.tenant].tokens -= se.size_tokens;
+      key_to_id_.erase(NamespacedKey(se.tenant, se.key));
+      se.tenant.clear();
+      tenant_usage_[se.tenant].tokens += se.size_tokens;
+      // The shared namespace may already hold this exact key with other
+      // content; the freshly promoted copy replaces it.
+      if (const auto shared_it = key_to_id_.find(NamespacedKey("", se.key));
+          shared_it != key_to_id_.end() && shared_it->second != se.id) {
+        RemoveInternal(shared_it->second, /*expired=*/false);
+      }
+      key_to_id_[NamespacedKey("", se.key)] = se.id;
+      ++counters_.promotions;
+    }
+    se.shareable = se.shareable && request.shareable;
     se.frequency += request.initial_frequency;
     se.last_access = now;
     // The content was just re-retrieved fresh, so renew its lifetime.
@@ -139,21 +213,34 @@ std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now,
     return se.id;
   }
 
-  // Replace semantics on exact key collision.
-  if (const auto it = key_to_id_.find(std::string(request.key));
+  // A promoted value with no resident copy enters the shared pool
+  // directly.
+  if (promote) request.tenant.clear();
+
+  // Replace semantics on exact key collision, per namespace.
+  if (const auto it =
+          key_to_id_.find(NamespacedKey(request.tenant, request.key));
       it != key_to_id_.end()) {
     RemoveInternal(it->second, /*expired=*/false);
   }
 
   const auto evict_t0 = std::chrono::steady_clock::now();
   RemoveExpired(now);
-  EvictDownTo(options_.capacity_tokens - size_tokens, now);
+  // Budget first: the inserting tenant makes room inside its own share
+  // before the cache considers anyone else's entries.
+  if (!request.tenant.empty() && request.budget_tokens > 0.0) {
+    EvictTenantDownTo(request.tenant, request.budget_tokens - size_tokens,
+                      now);
+  }
+  EvictDownTo(options_.capacity_tokens - size_tokens, now, request.tenant);
   if (timing != nullptr) timing->evict_seconds = ElapsedSince(evict_t0);
 
   SemanticElement se;
   se.id = next_id_++;
   se.key = std::move(request.key);
   se.value = std::move(request.value);
+  se.tenant = std::move(request.tenant);
+  se.shareable = request.shareable;
   se.embedding = request.embedding ? std::move(*request.embedding)
                                    : sine_.EmbedQuery(se.key);
   se.staticity = std::clamp(request.staticity, 1.0, 10.0);
@@ -171,8 +258,9 @@ std::optional<SeId> SemanticCache::Insert(InsertRequest request, double now,
           : std::numeric_limits<double>::infinity();
 
   usage_tokens_ += se.size_tokens;
+  tenant_usage_[se.tenant].tokens += se.size_tokens;
   sine_.Insert(se);
-  key_to_id_.emplace(se.key, se.id);
+  key_to_id_.emplace(NamespacedKey(se.tenant, se.key), se.id);
   value_hash_to_id_.emplace(value_hash, se.id);
   const SeId id = se.id;
   store_.emplace(id, std::move(se));
@@ -193,30 +281,37 @@ std::optional<SeId> SemanticCache::RestoreElement(SemanticElement se,
   }
 
   // Value-identity dedup: keep whichever copy has the richer history.
+  // Restores only merge within the incoming SE's own visibility — its
+  // namespace plus the shared pool — so one tenant's snapshot can never
+  // collapse another tenant's private copy.
   const std::size_t value_hash = std::hash<std::string>{}(se.value);
   for (auto [it, end] = value_hash_to_id_.equal_range(value_hash); it != end;
        ++it) {
     const auto se_it = store_.find(it->second);
     if (se_it == store_.end() || se_it->second.value != se.value) continue;
     SemanticElement& existing = se_it->second;
+    if (!VisibleTo(existing, se.tenant)) continue;
     existing.frequency = std::max(existing.frequency, se.frequency);
     existing.last_access = std::max(existing.last_access, se.last_access);
     existing.expiration_time =
         std::max(existing.expiration_time, se.expiration_time);
+    existing.shareable = existing.shareable && se.shareable;
     ++counters_.dedup_refreshes;
     return existing.id;
   }
 
-  if (const auto it = key_to_id_.find(se.key); it != key_to_id_.end()) {
+  if (const auto it = key_to_id_.find(NamespacedKey(se.tenant, se.key));
+      it != key_to_id_.end()) {
     RemoveInternal(it->second, /*expired=*/false);
   }
   RemoveExpired(now);
-  EvictDownTo(options_.capacity_tokens - se.size_tokens, now);
+  EvictDownTo(options_.capacity_tokens - se.size_tokens, now, se.tenant);
 
   se.id = next_id_++;
   usage_tokens_ += se.size_tokens;
+  tenant_usage_[se.tenant].tokens += se.size_tokens;
   sine_.Insert(se);
-  key_to_id_.emplace(se.key, se.id);
+  key_to_id_.emplace(NamespacedKey(se.tenant, se.key), se.id);
   value_hash_to_id_.emplace(value_hash, se.id);
   const SeId id = se.id;
   store_.emplace(id, std::move(se));
@@ -224,8 +319,9 @@ std::optional<SeId> SemanticCache::RestoreElement(SemanticElement se,
   return id;
 }
 
-bool SemanticCache::ContainsKey(std::string_view key) const {
-  return key_to_id_.contains(std::string(key));
+bool SemanticCache::ContainsKey(std::string_view key,
+                                std::string_view tenant) const {
+  return key_to_id_.contains(NamespacedKey(tenant, key));
 }
 
 bool SemanticCache::ContainsValue(std::string_view value) const {
@@ -247,28 +343,88 @@ std::size_t SemanticCache::RemoveExpired(double now) {
   return expired.size();
 }
 
-void SemanticCache::EvictDownTo(double target_tokens, double now) {
+void SemanticCache::EvictDownTo(double target_tokens, double now,
+                                std::string_view offender) {
   target_tokens = std::max(target_tokens, 0.0);
+  // Victim tiers, best first: the offending tenant's own entries, then
+  // any tenant holding more than its recorded budget, then the shared
+  // pool, and only as a last resort a within-budget bystander tenant
+  // (reachable only when budgets oversubscribe the capacity).  Within a
+  // tier the eviction policy's lowest score loses, exactly as before.
+  const auto tier_of = [this, offender](const SemanticElement& se) -> int {
+    if (!offender.empty() && se.tenant == offender) return 0;
+    if (se.tenant.empty()) return 2;
+    if (const auto budget = tenant_budget_.find(se.tenant);
+        budget != tenant_budget_.end() && budget->second > 0.0) {
+      const auto usage = tenant_usage_.find(se.tenant);
+      if (usage != tenant_usage_.end() &&
+          usage->second.tokens > budget->second) {
+        return 1;
+      }
+    }
+    return 3;
+  };
   while (usage_tokens_ > target_tokens && !store_.empty()) {
     SeId victim = 0;
+    int victim_tier = 4;
     double victim_score = std::numeric_limits<double>::infinity();
     for (const auto& [id, se] : store_) {
+      const int tier = tier_of(se);
+      if (tier > victim_tier) continue;
       const double score = eviction_->Score(se, now);
-      if (score < victim_score) {
+      if (tier < victim_tier || score < victim_score) {
+        victim_tier = tier;
         victim_score = score;
         victim = id;
       }
     }
+    const auto victim_it = store_.find(victim);
+    CHECK(victim_it != store_.end());
+    ++tenant_usage_[victim_it->second.tenant].evictions;
     RemoveInternal(victim, /*expired=*/false);
     ++counters_.evictions;
   }
+}
+
+void SemanticCache::EvictTenantDownTo(const std::string& tenant,
+                                      double budget_tokens, double now) {
+  budget_tokens = std::max(budget_tokens, 0.0);
+  while (!store_.empty()) {
+    const auto usage = tenant_usage_.find(tenant);
+    if (usage == tenant_usage_.end() || usage->second.tokens <= budget_tokens) {
+      return;
+    }
+    SeId victim = 0;
+    double victim_score = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (const auto& [id, se] : store_) {
+      if (se.tenant != tenant) continue;
+      const double score = eviction_->Score(se, now);
+      if (!found || score < victim_score) {
+        found = true;
+        victim_score = score;
+        victim = id;
+      }
+    }
+    if (!found) return;
+    ++usage->second.evictions;
+    RemoveInternal(victim, /*expired=*/false);
+    ++counters_.evictions;
+  }
+}
+
+SemanticCache::TenantUsage SemanticCache::TenantUsageFor(
+    std::string_view tenant) const {
+  const auto it = tenant_usage_.find(std::string(tenant));
+  return it != tenant_usage_.end() ? it->second : TenantUsage{};
 }
 
 void SemanticCache::RemoveInternal(SeId id, bool expired) {
   const auto it = store_.find(id);
   if (it == store_.end()) return;
   usage_tokens_ -= it->second.size_tokens;
-  key_to_id_.erase(it->second.key);
+  tenant_usage_[it->second.tenant].tokens -= it->second.size_tokens;
+  key_to_id_.erase(NamespacedKey(it->second.tenant, it->second.key));
   const std::size_t value_hash = std::hash<std::string>{}(it->second.value);
   for (auto [vit, vend] = value_hash_to_id_.equal_range(value_hash);
        vit != vend; ++vit) {

@@ -43,6 +43,18 @@ struct SemanticCacheOptions {
   // Pressure point: admission control only engages above this fill level
   // (an underfull cache should take everything).
   double admission_pressure = 0.9;
+
+  // Cross-tenant promotion (DESIGN.md §12): a byte-identical value
+  // inserted (with shareable=true) by this many *distinct* tenants
+  // graduates to the shared pool, where every tenant's lookups can match
+  // it.  0 disables promotion entirely.
+  std::size_t promote_distinct_tenants = 0;
+  // Promotion additionally requires the value's staticity to be at least
+  // this floor — volatile knowledge stays private even when popular.
+  double promote_min_staticity = 0.0;
+  // Bound on distinct values the promotion tracker follows at once; new
+  // values stop accumulating evidence when it is full.
+  std::size_t promote_tracker_capacity = 4096;
 };
 
 struct CacheHit {
@@ -62,6 +74,10 @@ struct CacheCounters {
   std::uint64_t rejected_too_large = 0;
   std::uint64_t dedup_refreshes = 0;
   std::uint64_t admission_rejects = 0;
+  // Inserts rejected because the value alone exceeds the tenant's budget.
+  std::uint64_t budget_rejects = 0;
+  // Private SEs retagged into the shared pool by cross-tenant promotion.
+  std::uint64_t promotions = 0;
 
   double HitRate() const noexcept {
     return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
@@ -95,6 +111,14 @@ struct InsertRequest {
   double retrieval_cost_dollars = 0.0;
   // A prefetched SE enters with zero confirmed frequency (§4.3).
   std::uint64_t initial_frequency = 0;
+  // Owning namespace; empty inserts straight into the shared pool.
+  std::string tenant;
+  // Privacy gate: may this value ever graduate to the shared pool?
+  bool shareable = true;
+  // Token budget for `tenant` (0 = unlimited).  Supplied by the serving
+  // layer from the TenantRegistry; the core only enforces it, keeping
+  // quota *policy* out of core/.
+  double budget_tokens = 0.0;
 };
 
 class SemanticCache {
@@ -112,9 +136,11 @@ class SemanticCache {
     SineLookupResult sine;
   };
 
-  // Two-stage semantic lookup at time `now`.  A hit bumps the SE's
-  // frequency and last_access.
-  LookupResult Lookup(std::string_view query, double now);
+  // Two-stage semantic lookup at time `now`, scoped to `tenant`: only the
+  // tenant's own namespace plus the shared pool can match.  A hit bumps
+  // the SE's frequency and last_access.
+  LookupResult Lookup(std::string_view query, double now,
+                      std::string_view tenant = {});
 
   // The read-only half of Lookup: identical two-stage retrieval semantics,
   // but no mutation at all — no counter updates, no frequency bump, and no
@@ -123,7 +149,8 @@ class SemanticCache {
   // serving layer calls it under a per-shard shared lock.  `timing`, when
   // non-null, receives per-stage wall time.
   LookupResult Probe(std::string_view query, double now,
-                     ProbeTiming* timing = nullptr) const;
+                     ProbeTiming* timing = nullptr,
+                     std::string_view tenant = {}) const;
 
   // The mutating half: counts the lookup (and hit) and bumps the matched
   // SE's confirmed frequency / last_access.  The SE may have been evicted
@@ -148,8 +175,9 @@ class SemanticCache {
   // key-replace, value-dedup, and TTL rules; ids are reassigned.
   std::optional<SeId> RestoreElement(SemanticElement se, double now);
 
-  // Exact-key presence probe (Algorithm 3's Cache.Contains guard).
-  bool ContainsKey(std::string_view key) const;
+  // Exact-key presence probe (Algorithm 3's Cache.Contains guard), scoped
+  // to one namespace: the same key may exist independently per tenant.
+  bool ContainsKey(std::string_view key, std::string_view tenant = {}) const;
   // Value-identity presence probe (is this knowledge already resident?).
   bool ContainsValue(std::string_view value) const;
 
@@ -158,6 +186,18 @@ class SemanticCache {
 
   bool Remove(SeId id);
   const SemanticElement* Get(SeId id) const;
+
+  // Per-namespace accounting (tokens resident / evictions suffered).  The
+  // shared pool appears under the empty tenant id.
+  struct TenantUsage {
+    double tokens = 0.0;
+    std::uint64_t evictions = 0;
+  };
+  TenantUsage TenantUsageFor(std::string_view tenant) const;
+  const std::unordered_map<std::string, TenantUsage>& tenant_usage()
+      const noexcept {
+    return tenant_usage_;
+  }
 
   std::size_t size() const noexcept { return store_.size(); }
   double usage_tokens() const noexcept { return usage_tokens_; }
@@ -173,13 +213,30 @@ class SemanticCache {
   }
 
  private:
-  void EvictDownTo(double target_tokens, double now);
+  // Tenant-aware eviction: victims come from the offending tenant's own
+  // namespace first, then from tenants over their recorded budget, then
+  // the shared pool, and only as a last resort from within-budget
+  // bystanders (keeps the capacity invariant when budgets oversubscribe
+  // the shard).
+  void EvictDownTo(double target_tokens, double now,
+                   std::string_view offender);
+  // Evicts within one tenant's namespace until its usage fits
+  // `budget_tokens`; charged to that tenant's eviction count.
+  void EvictTenantDownTo(const std::string& tenant, double budget_tokens,
+                         double now);
   void RemoveInternal(SeId id, bool expired);
+  // True when `tenant` may see (match / dedup onto) `se`.
+  static bool VisibleTo(const SemanticElement& se,
+                        std::string_view tenant) noexcept {
+    return se.tenant.empty() || se.tenant == tenant;
+  }
 
   Sine sine_;
   std::unique_ptr<EvictionPolicy> eviction_;
   SemanticCacheOptions options_;
   std::unordered_map<SeId, SemanticElement> store_;
+  // Keyed by NamespacedKey(tenant, key): the same semantic key may exist
+  // once per namespace.
   std::unordered_map<std::string, SeId> key_to_id_;
   // Value-identity dedup index: hash of value -> ids holding that hash
   // (hash collisions resolved by comparing the actual values).
@@ -188,6 +245,14 @@ class SemanticCache {
   SeId next_id_ = 1;
   CacheCounters counters_;
   CountMinSketch admission_sketch_;
+  // Per-namespace resident tokens + evictions suffered.
+  std::unordered_map<std::string, TenantUsage> tenant_usage_;
+  // Last budget seen per tenant (from InsertRequest::budget_tokens); lets
+  // EvictDownTo identify over-budget tenants without a policy dependency.
+  std::unordered_map<std::string, double> tenant_budget_;
+  // Promotion evidence: value hash -> distinct shareable-inserting
+  // tenants seen so far (bounded by promote_tracker_capacity).
+  std::unordered_map<std::size_t, std::vector<std::string>> promote_seen_;
 };
 
 }  // namespace cortex

@@ -22,6 +22,13 @@ struct SemanticElement {
   std::string key;    // the tool query (semantic key)
   std::string value;  // the retrieved information
 
+  // Owning namespace: only this tenant's lookups may match the SE.  The
+  // empty string is the shared/global pool visible to every tenant.
+  std::string tenant;
+  // Privacy gate for cross-tenant promotion: only shareable SEs may
+  // graduate from a private namespace to the shared pool.
+  bool shareable = true;
+
   Vector embedding;   // unit-length semantic fingerprint of `key`
 
   // 1 (ephemeral: weather) .. 10 (time-invariant fact: where the Louvre is).

@@ -71,13 +71,19 @@ void CheckStream(const std::ios& stream, const char* what) {
 
 }  // namespace
 
-void WriteSnapshotHeader(std::ostream& out, std::uint64_t entry_count) {
+void WriteSnapshotHeader(std::ostream& out, std::uint64_t entry_count,
+                         std::uint32_t version) {
+  if (version < kSnapshotMinReadVersion || version > kSnapshotVersion) {
+    throw std::runtime_error("snapshot: cannot write version " +
+                             std::to_string(version));
+  }
   WriteU32(out, kSnapshotMagic);
-  WriteU32(out, kSnapshotVersion);
+  WriteU32(out, version);
   WriteU64(out, entry_count);
 }
 
-void WriteSnapshotElement(std::ostream& out, const SemanticElement& se) {
+void WriteSnapshotElement(std::ostream& out, const SemanticElement& se,
+                          std::uint32_t version) {
   WriteString(out, se.key);
   WriteString(out, se.value);
   WriteVector(out, se.embedding);
@@ -88,6 +94,10 @@ void WriteSnapshotElement(std::ostream& out, const SemanticElement& se) {
   WriteF64(out, se.created_at);
   WriteF64(out, se.last_access);
   WriteF64(out, se.expiration_time);
+  if (version >= 2) {
+    WriteString(out, se.tenant);
+    WriteU32(out, se.shareable ? 1 : 0);
+  }
 }
 
 std::uint64_t ForEachSnapshotElement(
@@ -95,7 +105,8 @@ std::uint64_t ForEachSnapshotElement(
   if (ReadU32(in) != kSnapshotMagic) {
     throw std::runtime_error("snapshot: bad magic");
   }
-  if (const auto version = ReadU32(in); version != kSnapshotVersion) {
+  const auto version = ReadU32(in);
+  if (version < kSnapshotMinReadVersion || version > kSnapshotVersion) {
     throw std::runtime_error("snapshot: unsupported version " +
                              std::to_string(version));
   }
@@ -113,6 +124,12 @@ std::uint64_t ForEachSnapshotElement(
     se.created_at = ReadF64(in);
     se.last_access = ReadF64(in);
     se.expiration_time = ReadF64(in);
+    if (version >= 2) {
+      // Tenancy fields; a v1 record keeps the defaults (shared pool,
+      // shareable) set by the SemanticElement initializers.
+      se.tenant = ReadString(in);
+      se.shareable = ReadU32(in) != 0;
+    }
     CheckStream(in, "reading entry");
     fn(std::move(se));
   }

@@ -20,7 +20,15 @@
 namespace cortex {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x43524358;  // "CRCX"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version history:
+//   1 — original per-SE record (key..expiration_time).
+//   2 — appends the tenancy fields (tenant string, shareable flag).
+// Readers accept both: a v1 record loads with tenant="" (the shared
+// pool) and shareable=true, so pre-tenant snapshots restore cleanly on
+// tenant-aware nodes — including the cluster migration path, where a v1
+// node's SNAPSHOT blob is RESTOREd onto a v2 node.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotMinReadVersion = 1;
 
 struct SnapshotStats {
   std::size_t entries_written = 0;
@@ -52,8 +60,12 @@ SnapshotStats LoadCacheSnapshotFile(SemanticCache& cache,
 // cluster migration re-routes every restored element by key on the target
 // node, whatever its shard count.
 
-void WriteSnapshotHeader(std::ostream& out, std::uint64_t entry_count);
-void WriteSnapshotElement(std::ostream& out, const SemanticElement& se);
+// `version` lets tests and mixed-version migration paths emit the older
+// layout deliberately; production writers always use kSnapshotVersion.
+void WriteSnapshotHeader(std::ostream& out, std::uint64_t entry_count,
+                         std::uint32_t version = kSnapshotVersion);
+void WriteSnapshotElement(std::ostream& out, const SemanticElement& se,
+                          std::uint32_t version = kSnapshotVersion);
 
 // Reads exactly one snapshot stream (header + its declared entries),
 // invoking `fn` per decoded element; bytes past the declared count are left

@@ -60,12 +60,17 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
       registry_->GetCounter("cortex_cache_admission_rejects");
   cache_rejected_too_large_ =
       registry_->GetCounter("cortex_cache_rejected_too_large");
+  cache_budget_rejects_ = registry_->GetCounter("cortex_cache_budget_rejects");
+  cache_promotions_ = registry_->GetCounter("cortex_cache_promotions");
   cache_tokens_resident_ = registry_->GetGauge("cortex_cache_tokens_resident");
   cache_entries_ = registry_->GetGauge("cortex_cache_entries");
+  tenant_registry_ =
+      std::make_unique<tenant::TenantRegistry>(registry_, options_.tenants);
 
   SemanticCacheOptions per_shard = options_.cache;
   per_shard.capacity_tokens = options_.cache.capacity_tokens /
                               static_cast<double>(options_.num_shards);
+  per_shard_capacity_ = per_shard.capacity_tokens;
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     auto cache = std::make_unique<SemanticCache>(
@@ -128,12 +133,19 @@ void ConcurrentShardedEngine::ApplyCacheDeltas(Shard& shard,
     cache_rejected_too_large_->Inc(after.rejected_too_large -
                                    before.rejected_too_large);
   }
+  if (after.budget_rejects > before.budget_rejects) {
+    cache_budget_rejects_->Inc(after.budget_rejects - before.budget_rejects);
+  }
+  if (after.promotions > before.promotions) {
+    cache_promotions_->Inc(after.promotions - before.promotions);
+  }
   if (usage_delta != 0.0) cache_tokens_resident_->Add(usage_delta);
   if (entries_delta != 0.0) cache_entries_->Add(entries_delta);
 }
 
 std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
-    std::string_view query, telemetry::RequestTrace* trace) {
+    std::string_view query, telemetry::RequestTrace* trace,
+    std::string_view tenant) {
   const std::size_t shard_idx = ShardFor(query);
   Shard& shard = *shards_[shard_idx];
   const double now = clock_();
@@ -147,8 +159,8 @@ std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
   const double probe_t0 = telemetry::WallSeconds();
   {
     ReaderLock lock(shard.mu);
-    result = shard.cache->Probe(query, now,
-                                trace != nullptr ? &probe_timing : nullptr);
+    result = shard.cache->Probe(
+        query, now, trace != nullptr ? &probe_timing : nullptr, tenant);
   }
   const double commit_t0 = telemetry::WallSeconds();
   probe_seconds_->Observe(commit_t0 - probe_t0);
@@ -186,6 +198,9 @@ std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
       shard.judger_rejects->Inc();
     }
   }
+  if (!tenant.empty()) {
+    tenant_registry_->OnLookup(std::string(tenant), result.hit.has_value());
+  }
 
   if (trace != nullptr) {
     // Probe sub-phases run back-to-back inside the shared-lock section;
@@ -214,10 +229,20 @@ std::optional<SeId> ConcurrentShardedEngine::Insert(
   const double now = clock_();
   if (trace != nullptr) trace->shard = static_cast<std::uint32_t>(shard_idx);
 
+  // Fill in the tenant's per-shard budget before the cache sees the
+  // request — budget *policy* lives in the TenantRegistry, budget
+  // *enforcement* in the core eviction path.
+  const std::string tenant = request.tenant;
+  if (!tenant.empty()) {
+    request.budget_tokens =
+        tenant_registry_->BudgetTokens(tenant, per_shard_capacity_);
+  }
+
   InsertTiming timing;
   CacheCounters before, after;
   double usage_delta = 0.0;
   double entries_delta = 0.0;
+  std::uint64_t tenant_evictions_delta = 0;
   std::optional<SeId> id;
   const double insert_t0 = telemetry::WallSeconds();
   {
@@ -225,16 +250,29 @@ std::optional<SeId> ConcurrentShardedEngine::Insert(
     before = shard.cache->counters();
     const double usage_before = shard.cache->usage_tokens();
     const auto size_before = shard.cache->size();
+    const std::uint64_t tenant_evictions_before =
+        tenant.empty() ? 0 : shard.cache->TenantUsageFor(tenant).evictions;
     id = shard.cache->Insert(std::move(request), now, &timing);
     after = shard.cache->counters();
     usage_delta = shard.cache->usage_tokens() - usage_before;
     entries_delta = static_cast<double>(shard.cache->size()) -
                     static_cast<double>(size_before);
+    if (!tenant.empty()) {
+      tenant_evictions_delta = shard.cache->TenantUsageFor(tenant).evictions -
+                               tenant_evictions_before;
+    }
   }
   const double insert_end = telemetry::WallSeconds();
   insert_seconds_->Observe(insert_end - insert_t0);
   ApplyCacheDeltas(shard, before, after, usage_delta, entries_delta);
   (id ? inserts_ : insert_rejects_)->Inc();
+  if (!tenant.empty()) {
+    tenant_registry_->OnInsert(tenant, id.has_value());
+    tenant_registry_->OnEvictions(tenant, tenant_evictions_delta);
+    if (after.promotions > before.promotions) {
+      tenant_registry_->OnPromotion(tenant);
+    }
+  }
 
   if (trace != nullptr) {
     trace->AddSpan(telemetry::TracePhase::kInsert, insert_t0,
@@ -247,10 +285,11 @@ std::optional<SeId> ConcurrentShardedEngine::Insert(
   return id;
 }
 
-bool ConcurrentShardedEngine::ContainsKey(std::string_view key) const {
+bool ConcurrentShardedEngine::ContainsKey(std::string_view key,
+                                          std::string_view tenant) const {
   const Shard& shard = *shards_[ShardFor(key)];
   ReaderLock lock(shard.mu);
-  return shard.cache->ContainsKey(key);
+  return shard.cache->ContainsKey(key, tenant);
 }
 
 std::size_t ConcurrentShardedEngine::RemoveExpired() {
@@ -493,6 +532,8 @@ CacheCounters ConcurrentShardedEngine::TotalCounters() const {
     total.rejected_too_large += c.rejected_too_large;
     total.dedup_refreshes += c.dedup_refreshes;
     total.admission_rejects += c.admission_rejects;
+    total.budget_rejects += c.budget_rejects;
+    total.promotions += c.promotions;
   }
   return total;
 }

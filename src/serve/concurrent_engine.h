@@ -40,6 +40,7 @@
 #include "embedding/hashed_embedder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "tenant/registry.h"
 #include "util/ranked_mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -73,6 +74,11 @@ struct ConcurrentEngineOptions {
   // Metric registry to publish into; must outlive the engine.  When null
   // the engine owns a private registry (reachable via registry()).
   telemetry::MetricRegistry* registry = nullptr;
+
+  // Multi-tenant quotas + telemetry (DESIGN.md §12).  The engine owns a
+  // TenantRegistry built from these options; per-tenant cache budgets are
+  // computed against each shard's capacity share.
+  tenant::TenantRegistryOptions tenants;
 };
 
 // Lock-free snapshot of the engine-wide counters (a thin view over the
@@ -118,19 +124,23 @@ class ConcurrentShardedEngine {
   ConcurrentShardedEngine(const ConcurrentShardedEngine&) = delete;
   ConcurrentShardedEngine& operator=(const ConcurrentShardedEngine&) = delete;
 
-  // Two-stage semantic lookup at the engine clock's now.  `trace`, when
-  // non-null, receives embed / ANN probe / judger / commit spans and the
-  // shard id.
+  // Two-stage semantic lookup at the engine clock's now, scoped to
+  // `tenant` (empty = shared pool only).  `trace`, when non-null, receives
+  // embed / ANN probe / judger / commit spans and the shard id.
   std::optional<CacheHit> Lookup(std::string_view query,
-                                 telemetry::RequestTrace* trace = nullptr);
+                                 telemetry::RequestTrace* trace = nullptr,
+                                 std::string_view tenant = {});
 
   // Insert knowledge fetched by a client on a miss.  Returns the SE id, or
-  // nullopt when rejected (value too large, admission doorkeeper).
-  // `trace`, when non-null, receives insert / eviction spans.
+  // nullopt when rejected (value too large, admission doorkeeper, tenant
+  // budget).  When request.tenant is set, the engine fills in the
+  // tenant's per-shard budget from the TenantRegistry before the cache
+  // sees the request.  `trace`, when non-null, receives insert / eviction
+  // spans.
   std::optional<SeId> Insert(InsertRequest request,
                              telemetry::RequestTrace* trace = nullptr);
 
-  bool ContainsKey(std::string_view key) const;
+  bool ContainsKey(std::string_view key, std::string_view tenant = {}) const;
 
   // Manual full TTL purge across all shards (the housekeeping thread calls
   // this on its own cadence).  Returns entries removed.
@@ -172,6 +182,19 @@ class ConcurrentShardedEngine {
   // The registry this engine publishes into (the injected one, or the
   // engine-owned default).  Valid for the engine's lifetime.
   telemetry::MetricRegistry* registry() const noexcept { return registry_; }
+
+  // Per-tenant quotas, budgets, and bounded-cardinality telemetry.  Owned
+  // by the engine; valid for its lifetime.  The server consults it for
+  // rate-quota admission; tests configure quotas through it.
+  tenant::TenantRegistry* tenant_registry() const noexcept {
+    return tenant_registry_.get();
+  }
+
+  // The capacity share one shard's cache enforces (total / num_shards) —
+  // the base against which per-tenant budget fractions apply.
+  double per_shard_capacity_tokens() const noexcept {
+    return per_shard_capacity_;
+  }
 
   ConcurrentEngineStats Stats() const;
 
@@ -222,6 +245,10 @@ class ConcurrentShardedEngine {
 
   std::unique_ptr<telemetry::MetricRegistry> registry_owned_;
   telemetry::MetricRegistry* registry_ = nullptr;
+  // Set once in the constructor, internally synchronized (rank 60 mutex).
+  std::unique_ptr<tenant::TenantRegistry> tenant_registry_;  // cortex-analyzer: allow(guarded-by)
+  // Derived from options_ in the constructor, immutable afterwards.
+  double per_shard_capacity_ = 0.0;  // cortex-analyzer: allow(guarded-by)
 
   // Engine-layer instruments (cortex_engine_*).
   telemetry::Counter* lookups_ = nullptr;
@@ -245,6 +272,8 @@ class ConcurrentShardedEngine {
   telemetry::Counter* cache_dedup_refreshes_ = nullptr;
   telemetry::Counter* cache_admission_rejects_ = nullptr;
   telemetry::Counter* cache_rejected_too_large_ = nullptr;
+  telemetry::Counter* cache_budget_rejects_ = nullptr;
+  telemetry::Counter* cache_promotions_ = nullptr;
   telemetry::Gauge* cache_tokens_resident_ = nullptr;
   telemetry::Gauge* cache_entries_ = nullptr;
 

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "tenant/tenant.h"
+
 namespace cortex::serve {
 
 namespace {
@@ -110,6 +112,13 @@ std::string EncodePayload(const Request& request) {
       return "MIGRATE\t" + request.node_name + "\t" + request.endpoint;
     case RequestType::kCluster:
       return "CLUSTER";
+    case RequestType::kTenantLookup:
+      return "TLOOKUP\t" + request.tenant + "\t" + request.query;
+    case RequestType::kTenantInsert:
+      return "TINSERT\t" + request.tenant + "\t" +
+             (request.shareable ? "1" : "0") + "\t" +
+             FormatDouble(request.staticity) + "\t" + request.key + "\t" +
+             request.value;
   }
   return {};
 }
@@ -219,6 +228,53 @@ std::optional<Request> ParseRequest(std::string_view payload,
       return std::nullopt;
     }
     request.type = RequestType::kInsert;
+    request.key = std::string(*key);
+    request.value = std::string(rest);
+    return request;
+  }
+  if (verb == "TLOOKUP") {
+    const auto tenant = TakeField(rest);
+    if (!tenant || !tenant::ValidTenantId(*tenant)) {
+      SetError(error, "TLOOKUP needs a valid tenant id");
+      return std::nullopt;
+    }
+    if (rest.empty()) {
+      SetError(error, "TLOOKUP needs a query");
+      return std::nullopt;
+    }
+    request.type = RequestType::kTenantLookup;
+    request.tenant = std::string(*tenant);
+    request.query = std::string(rest);
+    return request;
+  }
+  if (verb == "TINSERT") {
+    const auto tenant = TakeField(rest);
+    if (!tenant || !tenant::ValidTenantId(*tenant)) {
+      SetError(error, "TINSERT needs a valid tenant id");
+      return std::nullopt;
+    }
+    const auto shareable = TakeField(rest);
+    if (!shareable || (*shareable != "0" && *shareable != "1")) {
+      SetError(error, "TINSERT needs shareable 0|1");
+      return std::nullopt;
+    }
+    const auto staticity = TakeField(rest);
+    if (!staticity || !ParseDouble(*staticity, &request.staticity)) {
+      SetError(error, "TINSERT needs a numeric staticity");
+      return std::nullopt;
+    }
+    const auto key = TakeField(rest);
+    if (!key || key->empty()) {
+      SetError(error, "TINSERT needs a key");
+      return std::nullopt;
+    }
+    if (rest.empty()) {
+      SetError(error, "TINSERT needs a value");
+      return std::nullopt;
+    }
+    request.type = RequestType::kTenantInsert;
+    request.tenant = std::string(*tenant);
+    request.shareable = *shareable == "1";
     request.key = std::string(*key);
     request.value = std::string(rest);
     return request;

@@ -12,6 +12,14 @@
 //
 //   request  = "LOOKUP" TAB query
 //            | "INSERT" TAB staticity TAB key TAB value
+//            | "TLOOKUP" TAB tenant TAB query      ; tenant-scoped lookup:
+//                                                  ; matches the tenant's
+//                                                  ; namespace + shared pool
+//            | "TINSERT" TAB tenant TAB shareable TAB staticity
+//                        TAB key TAB value         ; tenant-scoped insert;
+//                                                  ; shareable is 0|1 (may
+//                                                  ; this value graduate to
+//                                                  ; the shared pool?)
 //            | "STATS"
 //            | "DUMPTRACE" [TAB max_traces]
 //            | "PING"
@@ -60,8 +68,9 @@ inline constexpr std::size_t kFrameHeaderBytes = 4;
 inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
 
 // Wire-protocol version negotiated by HELLO.  Bump on any grammar change
-// that an old peer cannot safely ignore.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// that an old peer cannot safely ignore.  v2 added the tenant-scoped
+// TLOOKUP/TINSERT verbs.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 // Appends the 4-byte header + payload to `out`.
 void AppendFrame(std::string_view payload, std::string& out);
@@ -104,20 +113,24 @@ enum class RequestType {
   kRestore,
   kMigrate,
   kCluster,
+  kTenantLookup,
+  kTenantInsert,
 };
 
 struct Request {
   RequestType type = RequestType::kPing;
-  std::string query;      // LOOKUP
-  std::string key;        // INSERT
-  std::string value;      // INSERT
-  double staticity = 5.0; // INSERT (paper's 1-10 scale)
+  std::string query;      // LOOKUP / TLOOKUP
+  std::string key;        // INSERT / TINSERT
+  std::string value;      // INSERT / TINSERT
+  double staticity = 5.0; // INSERT / TINSERT (paper's 1-10 scale)
   std::uint64_t max_traces = 16;  // DUMPTRACE
   std::uint32_t version = kProtocolVersion;  // HELLO
   std::string role;       // HELLO ("client" | "router" | "node")
   std::string blob;       // RESTORE: engine snapshot bytes
   std::string node_name;  // MIGRATE: name of the node joining the ring
   std::string endpoint;   // MIGRATE: "host:port" or "unix:PATH"
+  std::string tenant;     // TLOOKUP / TINSERT: namespace id
+  bool shareable = true;  // TINSERT: promotion privacy gate
 };
 
 std::string EncodePayload(const Request& request);

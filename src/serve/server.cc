@@ -38,8 +38,10 @@ Response MakeResponse(ResponseType type) {
 telemetry::TraceOp TraceOpFor(RequestType type) {
   switch (type) {
     case RequestType::kLookup:
+    case RequestType::kTenantLookup:
       return telemetry::TraceOp::kLookup;
     case RequestType::kInsert:
+    case RequestType::kTenantInsert:
       return telemetry::TraceOp::kInsert;
     case RequestType::kStats:
       return telemetry::TraceOp::kStats;
@@ -398,9 +400,11 @@ void CortexServer::ServeConnection(int fd) {
       Response response;
       if (const auto request = ParseRequest(frame.payload, &parse_error)) {
         trace.op = TraceOpFor(request->type);
-        if (request->type == RequestType::kLookup) {
+        if (request->type == RequestType::kLookup ||
+            request->type == RequestType::kTenantLookup) {
           trace.SetQuery(request->query);
-        } else if (request->type == RequestType::kInsert) {
+        } else if (request->type == RequestType::kInsert ||
+                   request->type == RequestType::kTenantInsert) {
           trace.SetQuery(request->key);
         }
         if (AdmitRequest(*request)) {
@@ -428,13 +432,22 @@ void CortexServer::ServeConnection(int fd) {
 }
 
 bool CortexServer::AdmitRequest(const Request& request) {
-  if (options_.max_requests_per_sec <= 0.0) return true;
-  if (request.type != RequestType::kLookup &&
-      request.type != RequestType::kInsert) {
-    return true;
+  const bool metered = request.type == RequestType::kLookup ||
+                       request.type == RequestType::kInsert ||
+                       request.type == RequestType::kTenantLookup ||
+                       request.type == RequestType::kTenantInsert;
+  if (!metered) return true;
+  if (options_.max_requests_per_sec > 0.0) {
+    MutexLock lock(bucket_mu_);
+    if (!bucket_.TryAcquire(engine_->Now())) return false;
   }
-  MutexLock lock(bucket_mu_);
-  return bucket_.TryAcquire(engine_->Now());
+  // Tenant-scoped verbs additionally pass the per-tenant quota bucket, so
+  // one hot tenant exhausts its own budget without starving the others.
+  if (!request.tenant.empty()) {
+    return engine_->tenant_registry()->AdmitRequest(request.tenant,
+                                                    engine_->Now());
+  }
+  return true;
 }
 
 Response CortexServer::Execute(const Request& request,
@@ -462,6 +475,30 @@ Response CortexServer::Execute(const Request& request,
       insert.value = request.value;
       insert.staticity = request.staticity;
       insert.initial_frequency = 1;  // a demanded fetch has one confirmed use
+      const auto id = engine_->Insert(std::move(insert), trace);
+      if (!id) return MakeResponse(ResponseType::kReject);
+      Response r = MakeResponse(ResponseType::kOk);
+      r.id = *id;
+      return r;
+    }
+    case RequestType::kTenantLookup: {
+      const auto hit = engine_->Lookup(request.query, trace, request.tenant);
+      if (!hit) return MakeResponse(ResponseType::kMiss);
+      Response r = MakeResponse(ResponseType::kHit);
+      r.matched_key = hit->matched_key;
+      r.value = hit->value;
+      r.similarity = hit->similarity;
+      r.judger_score = hit->judger_score;
+      return r;
+    }
+    case RequestType::kTenantInsert: {
+      InsertRequest insert;
+      insert.key = request.key;
+      insert.value = request.value;
+      insert.staticity = request.staticity;
+      insert.initial_frequency = 1;
+      insert.tenant = request.tenant;
+      insert.shareable = request.shareable;
       const auto id = engine_->Insert(std::move(insert), trace);
       if (!id) return MakeResponse(ResponseType::kReject);
       Response r = MakeResponse(ResponseType::kOk);

@@ -1,0 +1,151 @@
+#include "tenant/registry.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace cortex::tenant {
+
+namespace {
+
+void Bump(telemetry::Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr && n > 0) c->Inc(n);
+}
+
+}  // namespace
+
+TenantRegistry::TenantRegistry(telemetry::MetricRegistry* metrics,
+                               TenantRegistryOptions options)
+    : options_(options), metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  MutexLock lock(mu_);
+  known_gauge_ = metrics_->GetGauge("cortex_tenants_known");
+  // The overflow set is shared by every tenant past the instrument cap;
+  // cardinality 1 by construction, so static names are fine here.
+  overflow_.hits = metrics_->GetCounter("cortex_tenants_overflow_hits");
+  overflow_.misses = metrics_->GetCounter("cortex_tenants_overflow_misses");
+  overflow_.inserts = metrics_->GetCounter("cortex_tenants_overflow_inserts");
+  overflow_.insert_rejects =
+      metrics_->GetCounter("cortex_tenants_overflow_insert_rejects");
+  overflow_.evictions =
+      metrics_->GetCounter("cortex_tenants_overflow_evictions");
+  overflow_.quota_rejects =
+      metrics_->GetCounter("cortex_tenants_overflow_quota_rejects");
+  overflow_.promotions =
+      metrics_->GetCounter("cortex_tenants_overflow_promotions");
+}
+
+TenantRegistry::PerTenant& TenantRegistry::FindOrCreate(const TenantId& id) {
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second;
+
+  PerTenant state;
+  state.quota = options_.default_quota;
+  if (state.quota.rate_per_sec > 0.0) {
+    state.bucket.emplace(state.quota.rate_per_sec, state.quota.rate_burst);
+  }
+  state.instruments = &overflow_;
+  if (metrics_ != nullptr &&
+      instrumented_.size() < options_.max_instrumented_tenants) {
+    auto set = std::make_unique<Instruments>();
+    const std::string prefix = "cortex_tenant_" + MetricPartFor(id) + "_";
+    set->hits = metrics_->GetCounter(prefix + "hits");
+    set->misses = metrics_->GetCounter(prefix + "misses");
+    set->inserts = metrics_->GetCounter(prefix + "inserts");
+    set->insert_rejects = metrics_->GetCounter(prefix + "insert_rejects");
+    set->evictions = metrics_->GetCounter(prefix + "evictions");
+    set->quota_rejects = metrics_->GetCounter(prefix + "quota_rejects");
+    set->promotions = metrics_->GetCounter(prefix + "promotions");
+    state.instruments = set.get();
+    instrumented_.push_back(std::move(set));
+  }
+  auto [pos, inserted] = tenants_.emplace(id, std::move(state));
+  (void)inserted;
+  if (known_gauge_ != nullptr) {
+    known_gauge_->Set(static_cast<double>(tenants_.size()));
+  }
+  return pos->second;
+}
+
+void TenantRegistry::SetQuota(const TenantId& id, const TenantQuota& quota) {
+  MutexLock lock(mu_);
+  PerTenant& state = FindOrCreate(id);
+  state.quota = quota;
+  state.bucket.reset();
+  if (quota.rate_per_sec > 0.0) {
+    state.bucket.emplace(quota.rate_per_sec, quota.rate_burst);
+  }
+}
+
+TenantQuota TenantRegistry::QuotaFor(const TenantId& id) const {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(id);
+  return it != tenants_.end() ? it->second.quota : options_.default_quota;
+}
+
+double TenantRegistry::BudgetTokens(const TenantId& id,
+                                    double capacity_tokens) const {
+  if (id.empty()) return 0.0;
+  const TenantQuota quota = QuotaFor(id);
+  if (quota.budget_fraction <= 0.0 || quota.budget_fraction >= 1.0) {
+    return 0.0;
+  }
+  return quota.budget_fraction * capacity_tokens;
+}
+
+bool TenantRegistry::AdmitRequest(const TenantId& id, double now) {
+  if (id.empty()) return true;
+  MutexLock lock(mu_);
+  PerTenant& state = FindOrCreate(id);
+  if (!state.bucket.has_value()) return true;
+  if (state.bucket->TryAcquire(now)) return true;
+  ++quota_rejects_;
+  Bump(state.instruments->quota_rejects);
+  return false;
+}
+
+void TenantRegistry::OnLookup(const TenantId& id, bool hit) {
+  if (id.empty()) return;
+  MutexLock lock(mu_);
+  const Instruments* set = FindOrCreate(id).instruments;
+  Bump(hit ? set->hits : set->misses);
+}
+
+void TenantRegistry::OnInsert(const TenantId& id, bool accepted) {
+  if (id.empty()) return;
+  MutexLock lock(mu_);
+  const Instruments* set = FindOrCreate(id).instruments;
+  Bump(accepted ? set->inserts : set->insert_rejects);
+}
+
+void TenantRegistry::OnEvictions(const TenantId& id, std::uint64_t n) {
+  if (id.empty() || n == 0) return;
+  MutexLock lock(mu_);
+  Bump(FindOrCreate(id).instruments->evictions, n);
+}
+
+void TenantRegistry::OnPromotion(const TenantId& id) {
+  if (id.empty()) return;
+  MutexLock lock(mu_);
+  Bump(FindOrCreate(id).instruments->promotions);
+}
+
+std::size_t TenantRegistry::KnownTenantCount() const {
+  MutexLock lock(mu_);
+  return tenants_.size();
+}
+
+std::vector<TenantId> TenantRegistry::KnownTenants() const {
+  MutexLock lock(mu_);
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t TenantRegistry::quota_rejects() const {
+  MutexLock lock(mu_);
+  return quota_rejects_;
+}
+
+}  // namespace cortex::tenant

@@ -1,0 +1,133 @@
+// TenantRegistry: per-tenant quotas, LCFU budget shares, admission
+// control, and bounded-cardinality telemetry (DESIGN.md §12).
+//
+// One registry serves a whole ConcurrentShardedEngine.  It answers three
+// questions on the hot path:
+//   - AdmitRequest(tenant, now): has this tenant budget left in its
+//     request-rate token bucket?  (Server-side admission control; the
+//     global server bucket still applies on top.)
+//   - BudgetTokens(tenant, capacity): how many cache tokens may this
+//     tenant hold per shard?  (Passed into SemanticCache inserts so the
+//     core eviction loop can stay policy-free.)
+//   - On{Lookup,Insert,Evictions,QuotaReject}: per-tenant counters.
+//
+// Metric cardinality is bounded: the first `max_instrumented_tenants`
+// distinct tenants get their own `cortex_tenant_<id>_*` instruments
+// (registered through the dynamic-prefix path the analyzer's
+// metric-contract requires); every later tenant shares the
+// `cortex_tenants_overflow_*` set, so a tenant-id flood cannot grow the
+// registry without bound.  Quota state itself stays exact per tenant.
+//
+// Thread-safe.  All state sits under one RankedMutex at
+// LockRank::kTenantRegistry (60): above the shard locks so engine code
+// may consult quotas while holding a shard, below kLeaf so instrument
+// registration stays legal under it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/rate_limiter.h"
+#include "telemetry/metrics.h"
+#include "tenant/tenant.h"
+#include "util/ranked_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cortex::tenant {
+
+// Per-tenant limits.  The defaults are deliberately permissive: a tenant
+// may fill the whole cache (but eviction under pressure still victimises
+// its own namespace first) and is not rate limited.
+struct TenantQuota {
+  // Share of each shard's capacity_tokens this tenant may hold.  Values
+  // <= 0 or >= 1 mean "up to the whole shard".
+  double budget_fraction = 1.0;
+  // Sustained requests/sec through AdmitRequest; <= 0 means unlimited.
+  double rate_per_sec = 0.0;
+  // Token-bucket burst for the rate quota.
+  double rate_burst = 64.0;
+};
+
+struct TenantRegistryOptions {
+  // Quota applied to tenants never configured via SetQuota().
+  TenantQuota default_quota;
+  // Distinct tenants that get dedicated metric instruments before new
+  // tenants fall into the shared overflow set.
+  std::size_t max_instrumented_tenants = 32;
+};
+
+class TenantRegistry {
+ public:
+  // `metrics` may be null (tests, offline sims): counters become no-ops
+  // while quota accounting still works.
+  explicit TenantRegistry(telemetry::MetricRegistry* metrics = nullptr,
+                          TenantRegistryOptions options = {});
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  // Replaces the tenant's quota.  Resets its rate bucket to the new
+  // rate/burst.
+  void SetQuota(const TenantId& id, const TenantQuota& quota);
+  TenantQuota QuotaFor(const TenantId& id) const;
+
+  // Cache-token budget for one shard of `capacity_tokens`.  Returns 0 for
+  // "unlimited" (shared pool, or budget_fraction outside (0, 1)).
+  double BudgetTokens(const TenantId& id, double capacity_tokens) const;
+
+  // Rate-quota admission at time `now` (seconds, monotone non-decreasing
+  // per registry).  The shared pool (empty id) is always admitted.
+  bool AdmitRequest(const TenantId& id, double now);
+
+  // Per-tenant telemetry.  All are cheap (one map find under the registry
+  // mutex + striped counter increments) and safe with a null metric
+  // registry.
+  void OnLookup(const TenantId& id, bool hit);
+  void OnInsert(const TenantId& id, bool accepted);
+  void OnEvictions(const TenantId& id, std::uint64_t n);
+  void OnPromotion(const TenantId& id);
+
+  std::size_t KnownTenantCount() const;
+  std::vector<TenantId> KnownTenants() const;
+  std::uint64_t quota_rejects() const;
+
+ private:
+  // Dedicated or overflow instrument set; pointers may be null when the
+  // registry was built without telemetry.
+  struct Instruments {
+    telemetry::Counter* hits = nullptr;
+    telemetry::Counter* misses = nullptr;
+    telemetry::Counter* inserts = nullptr;
+    telemetry::Counter* insert_rejects = nullptr;
+    telemetry::Counter* evictions = nullptr;
+    telemetry::Counter* quota_rejects = nullptr;
+    telemetry::Counter* promotions = nullptr;
+  };
+
+  struct PerTenant {
+    TenantQuota quota;
+    // Engaged only when quota.rate_per_sec > 0.
+    std::optional<TokenBucket> bucket;
+    // Borrowed from instrumented_ or &overflow_; never null.
+    const Instruments* instruments = nullptr;
+  };
+
+  PerTenant& FindOrCreate(const TenantId& id) REQUIRES(mu_);
+
+  const TenantRegistryOptions options_;
+  telemetry::MetricRegistry* const metrics_;
+
+  mutable RankedMutex mu_{LockRank::kTenantRegistry, "tenant.registry_mu"};
+  std::map<TenantId, PerTenant, std::less<>> tenants_ GUARDED_BY(mu_);
+  // Owns the per-tenant instrument sets so PerTenant can hold stable
+  // pointers while tenants_ rebalances.
+  std::vector<std::unique_ptr<Instruments>> instrumented_ GUARDED_BY(mu_);
+  Instruments overflow_ GUARDED_BY(mu_);
+  telemetry::Gauge* known_gauge_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t quota_rejects_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cortex::tenant

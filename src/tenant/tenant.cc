@@ -1,0 +1,31 @@
+#include "tenant/tenant.h"
+
+#include <cctype>
+
+namespace cortex::tenant {
+
+bool ValidTenantId(std::string_view id) noexcept {
+  if (id.empty() || id.size() > kMaxTenantIdLength) return false;
+  for (unsigned char c : id) {
+    if (c <= 0x20 || c == 0x7f || c == '|' || c == '=') return false;
+  }
+  return true;
+}
+
+std::string PlacementKeyFor(std::string_view id) {
+  std::string key = "tenant:";
+  key.append(id);
+  return key;
+}
+
+std::string MetricPartFor(std::string_view id) {
+  std::string part;
+  part.reserve(id.size());
+  for (unsigned char c : id) {
+    const bool ok = std::isalnum(c) != 0 || c == '_';
+    part.push_back(ok ? static_cast<char>(c) : '_');
+  }
+  return part;
+}
+
+}  // namespace cortex::tenant

@@ -1,0 +1,41 @@
+// Tenant identity for the multi-tenant serving tier (DESIGN.md §12).
+//
+// A TenantId is an opaque caller-chosen string; the empty id names the
+// shared/global pool that every tenant can read.  Ids travel on the wire
+// (TLOOKUP/TINSERT), ride on SemanticElement::tenant, key the router's
+// `tenant:<id>|` hash-ring prefix, and appear (sanitized) inside
+// bounded-cardinality `cortex_tenant_*` metric names — so the character
+// set is restricted here once, and every layer validates at the edge.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cortex::tenant {
+
+using TenantId = std::string;
+
+// The shared/global pool: SEs with an empty tenant are visible to all.
+inline constexpr std::string_view kSharedTenant = "";
+
+// Longest accepted id.  Bounds wire fields, metric-name length, and the
+// per-tenant maps in TenantRegistry.
+inline constexpr std::size_t kMaxTenantIdLength = 64;
+
+// A valid id is non-empty, at most kMaxTenantIdLength bytes, and contains
+// no control characters, whitespace, '|' (placement-key separator), or
+// '=' (STATS key=value separator).  The empty id is rejected here: callers
+// meaning "shared pool" use the untenanted verbs instead.
+bool ValidTenantId(std::string_view id) noexcept;
+
+// Placement key for the cluster hash ring: "tenant:<id>".  Matches the
+// prefix ClusterRouter::PlacementKey() extracts from "tenant:<id>|query"
+// keys, so every query of one tenant lands on the same owner set.
+std::string PlacementKeyFor(std::string_view id);
+
+// Metric-name fragment: bytes outside [A-Za-z0-9_] become '_' so the
+// result composes into `cortex_tenant_<part>_<metric>` without breaking
+// either exposition format.
+std::string MetricPartFor(std::string_view id);
+
+}  // namespace cortex::tenant

@@ -38,6 +38,8 @@ enum class LockRank : int {
   kEngineGroundTruth = 30,  // ConcurrentShardedEngine fetch_gt_
   kEngineHousekeeping = 40, // ConcurrentShardedEngine hk wakeup lock
   kEngineShard = 50,        // per-shard cache mutex (leaf)
+  kTenantRegistry = 60,     // TenantRegistry quota/metric state (below
+                            //   kLeaf so metric lookups stay legal)
   kLeaf = 1000,             // generic leaf for code outside the table
 };
 

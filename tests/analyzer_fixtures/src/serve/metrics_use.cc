@@ -11,4 +11,12 @@ void RegisterAll(MetricRegistry* registry) {
 
 const char* MissName() { return "cortex_widget_misses"; }
 
+// Per-tenant instruments: the static registration under the
+// "cortex_tenant_" prefix is flagged (bypasses the cardinality cap); the
+// dynamic-prefix registration is the sanctioned path and is not.
+void RegisterTenant(MetricRegistry* registry, const std::string& id) {
+  registry->GetCounter("cortex_tenant_bad_hits");
+  registry->GetCounter("cortex_tenant_" + id);
+}
+
 }  // namespace mini

@@ -7,6 +7,7 @@ namespace mini {
 enum class RequestType {
   kLookup = 0,
   kPing = 1,
+  kTenantLookup = 2,  // newly-added verb handler.cc does not dispatch
 };
 
 struct Request {

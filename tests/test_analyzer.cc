@@ -43,7 +43,7 @@ std::vector<Finding> ActiveOf(const std::string& check) {
 }
 
 TEST(AnalyzerFixtures, EveryCheckFiresExactlyAsSeeded) {
-  EXPECT_EQ(Result().active.size(), 11u);
+  EXPECT_EQ(Result().active.size(), 13u);
   EXPECT_EQ(Result().suppressed.size(), 1u);
   EXPECT_EQ(Result().baselined.size(), 0u);
 }
@@ -135,7 +135,7 @@ TEST(AnalyzerFixtures, LayeringFlagsCoreToTelemetryEdge) {
 
 TEST(AnalyzerFixtures, MetricContractDuplicateAndUnregistered) {
   const auto findings = ActiveOf("metric-contract");
-  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(findings.size(), 3u);
   EXPECT_EQ(findings[0].file, "src/serve/metrics_use.cc");
   EXPECT_EQ(findings[0].message,
             "metric 'cortex_widget_hits' registered 2 times (first at "
@@ -145,15 +145,28 @@ TEST(AnalyzerFixtures, MetricContractDuplicateAndUnregistered) {
             "metric literal 'cortex_widget_misses' matches no registration "
             "(GetCounter/GetGauge/GetHistogram with a literal name) and no "
             "dynamic prefix");
+  // The static registration under the per-tenant prefix is flagged; the
+  // adjacent dynamic-prefix registration ("cortex_tenant_" + id) is not.
+  EXPECT_EQ(findings[2].message,
+            "metric 'cortex_tenant_bad_hits' statically registers under the "
+            "per-tenant prefix 'cortex_tenant_'; per-tenant instruments must "
+            "use dynamic-prefix registration (\"cortex_tenant_\" + id) so "
+            "the registry's cardinality cap applies");
 }
 
 TEST(AnalyzerFixtures, VerbContractFlagsMissingEnumerator) {
   const auto findings = ActiveOf("verb-contract");
-  ASSERT_EQ(findings.size(), 1u);
+  ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].file, "src/serve/handler.cc");
   EXPECT_EQ(findings[0].message,
             "dispatch Handle does not handle RequestType::kLookup; every "
             "wire verb must be dispatched");
+  // A verb appended to the fixture enum is picked up without any analyzer
+  // change — the contract is derived from the RequestType enum itself.
+  EXPECT_EQ(findings[1].file, "src/serve/handler.cc");
+  EXPECT_EQ(findings[1].message,
+            "dispatch Handle does not handle RequestType::kTenantLookup; "
+            "every wire verb must be dispatched");
 }
 
 TEST(AnalyzerFixtures, BaselineSilencesCheckerFindingsButNotStaleAllows) {
@@ -205,7 +218,7 @@ TEST(AnalyzerFixtures, ModelSeesRanksAndEnumOrder) {
   const auto order = m.enums.order.find("RequestType");
   ASSERT_NE(order, m.enums.order.end());
   EXPECT_EQ(order->second,
-            (std::vector<std::string>{"kLookup", "kPing"}));
+            (std::vector<std::string>{"kLookup", "kPing", "kTenantLookup"}));
 }
 
 TEST(AnalyzerLexer, AllowAnnotationsCoverOwnLineAndNextLine) {

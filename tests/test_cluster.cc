@@ -20,6 +20,7 @@
 #include "serve/client.h"
 #include "serve/concurrent_engine.h"
 #include "serve/server.h"
+#include "tenant/tenant.h"
 #include "test_helpers.h"
 
 namespace cortex {
@@ -203,6 +204,57 @@ TEST_F(ClusterTest, SemanticPlacementKeepsParaphrasesTogether) {
             router->PlacementKey("tenant:acme|how tall is everest"));
   EXPECT_NE(router->PlacementKey("tenant:acme|what is the capital"),
             router->PlacementKey("tenant:zeta|what is the capital"));
+}
+
+TEST_F(ClusterTest, TenantNamespaceCoLocatesOnOneOwnerSet) {
+  auto router = StartCluster(/*replication=*/1);
+  ASSERT_NE(router, nullptr);
+  BlockingClient client;
+  ASSERT_TRUE(Connect(client));
+
+  // TINSERT topics 0-7 for one tenant: wildly different queries, but the
+  // tenant:<id> ring prefix must pin every one to the same owner set.
+  std::string error;
+  for (std::size_t topic = 0; topic < 8; ++topic) {
+    Request req = InsertFor(topic);
+    req.type = RequestType::kTenantInsert;
+    req.tenant = "acme";
+    const auto response = client.Call(req, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    ASSERT_EQ(response->type, ResponseType::kOk) << "topic " << topic;
+  }
+
+  const auto owners = router->OwnersFor(tenant::PlacementKeyFor("acme"));
+  ASSERT_EQ(owners.size(), 1u);
+  for (std::size_t topic = 0; topic < 8; ++topic) {
+    const std::string& key = world_.query(topic, 0);
+    for (const auto& node : nodes_) {
+      EXPECT_EQ(node->engine->ContainsKey(key, "acme"),
+                node->name == owners[0])
+          << "topic " << topic << " should live on " << owners[0]
+          << " only, checked " << node->name;
+    }
+  }
+
+  // TLOOKUP through the router finds them for the owning tenant...
+  for (std::size_t topic = 0; topic < 8; ++topic) {
+    Request req = LookupFor(topic, /*paraphrase=*/1);
+    req.type = RequestType::kTenantLookup;
+    req.tenant = "acme";
+    const auto response = client.Call(req, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->type, ResponseType::kHit) << "topic " << topic;
+  }
+  // ...and another tenant routes to its own (possibly different) owner
+  // set and sees none of acme's entries.
+  for (std::size_t topic = 0; topic < 8; ++topic) {
+    Request req = LookupFor(topic, /*paraphrase=*/2);
+    req.type = RequestType::kTenantLookup;
+    req.tenant = "zeta";
+    const auto response = client.Call(req, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->type, ResponseType::kMiss) << "topic " << topic;
+  }
 }
 
 TEST_F(ClusterTest, LookupFailsOverToReplicaWhenPrimaryDies) {

@@ -147,6 +147,64 @@ TEST(RequestGrammarTest, MalformedRequestsAreRejected) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(RequestGrammarTest, TenantLookupRoundTrip) {
+  Request request;
+  request.type = RequestType::kTenantLookup;
+  request.tenant = "acme";
+  request.query = "what is the height of everest";
+  const auto parsed = ParseRequest(EncodePayload(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RequestType::kTenantLookup);
+  EXPECT_EQ(parsed->tenant, "acme");
+  EXPECT_EQ(parsed->query, request.query);
+}
+
+TEST(RequestGrammarTest, TenantInsertRoundTrip) {
+  Request request;
+  request.type = RequestType::kTenantInsert;
+  request.tenant = "acme";
+  request.shareable = false;
+  request.staticity = 7.25;
+  request.key = "everest height";
+  request.value = "8849 m\tfirst measured 1856";  // value may contain tabs
+  const auto parsed = ParseRequest(EncodePayload(request));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RequestType::kTenantInsert);
+  EXPECT_EQ(parsed->tenant, "acme");
+  EXPECT_FALSE(parsed->shareable);
+  EXPECT_DOUBLE_EQ(parsed->staticity, 7.25);
+  EXPECT_EQ(parsed->key, request.key);
+  EXPECT_EQ(parsed->value, request.value);
+
+  request.shareable = true;
+  const auto shared = ParseRequest(EncodePayload(request));
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_TRUE(shared->shareable);
+}
+
+TEST(RequestGrammarTest, MalformedTenantRequestsAreRejected) {
+  std::string error;
+  // Missing / invalid tenant ids (empty, reserved bytes, oversized).
+  EXPECT_FALSE(ParseRequest("TLOOKUP", &error).has_value());
+  EXPECT_FALSE(ParseRequest("TLOOKUP\t\tquery", &error).has_value());
+  EXPECT_FALSE(ParseRequest("TLOOKUP\ta|b\tquery", &error).has_value());
+  EXPECT_FALSE(ParseRequest("TLOOKUP\ta=b\tquery", &error).has_value());
+  EXPECT_FALSE(
+      ParseRequest("TLOOKUP\t" + std::string(65, 'a') + "\tquery", &error)
+          .has_value());
+  // Missing query / fields.
+  EXPECT_FALSE(ParseRequest("TLOOKUP\tacme", &error).has_value());
+  EXPECT_FALSE(ParseRequest("TLOOKUP\tacme\t", &error).has_value());
+  // Bad shareable literal and truncated TINSERT forms.
+  EXPECT_FALSE(
+      ParseRequest("TINSERT\tacme\tyes\t5\tk\tv", &error).has_value());
+  EXPECT_FALSE(ParseRequest("TINSERT\tacme\t1\tNaNish\tk\tv", &error)
+                   .has_value());
+  EXPECT_FALSE(ParseRequest("TINSERT\tacme\t1\t5", &error).has_value());
+  EXPECT_FALSE(ParseRequest("TINSERT\tacme\t1\t5\tkey", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Response grammar
 
@@ -346,6 +404,100 @@ TEST_F(ServerEndToEndTest, RateLimitOverloadAnswersBusy) {
   response = client.Call(ping, &error);
   ASSERT_TRUE(response.has_value()) << error;
   EXPECT_EQ(response->type, ResponseType::kPong);
+  EXPECT_GE(server.stats().requests_busy, 1u);
+}
+
+TEST_F(ServerEndToEndTest, TenantVerbsIsolateNamespacesOverTheWire) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("tenant");
+  opts.num_workers = 2;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+
+  Request insert;
+  insert.type = RequestType::kTenantInsert;
+  insert.tenant = "acme";
+  insert.key = world_.query(0, 0);
+  insert.value = world_.answer(0);
+  insert.staticity = world_.topic(0).staticity;
+  auto response = client.Call(insert, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kOk);
+
+  // The owning tenant hits under a paraphrase...
+  Request lookup;
+  lookup.type = RequestType::kTenantLookup;
+  lookup.tenant = "acme";
+  lookup.query = world_.query(0, 1);
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_EQ(response->type, ResponseType::kHit);
+  EXPECT_EQ(response->value, world_.answer(0));
+
+  // ...another tenant and the untenanted verb both miss.
+  lookup.tenant = "zeta";
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
+
+  Request untenanted;
+  untenanted.type = RequestType::kLookup;
+  untenanted.query = world_.query(0, 2);
+  response = client.Call(untenanted, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
+}
+
+TEST_F(ServerEndToEndTest, PerTenantQuotaAnswersBusyWithoutStarvingOthers) {
+  serve::ConcurrentEngineOptions eopts;
+  eopts.num_shards = 4;
+  eopts.cache.capacity_tokens = 1e6;
+  eopts.housekeeping_interval_sec = 0.0;
+  // One token, refilled at a glacial rate, for every tenant.
+  eopts.tenants.default_quota.rate_per_sec = 1e-6;
+  eopts.tenants.default_quota.rate_burst = 1.0;
+  auto engine = std::make_unique<serve::ConcurrentShardedEngine>(
+      &world_.embedder, world_.judger.get(), eopts);
+  ServerOptions opts;
+  opts.unix_path = SocketPath("tenant-busy");
+  opts.num_workers = 1;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+
+  Request lookup;
+  lookup.type = RequestType::kTenantLookup;
+  lookup.tenant = "hot";
+  lookup.query = world_.query(1, 0);
+  auto response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
+
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kBusy);
+
+  // The hot tenant's exhausted bucket does not throttle anyone else:
+  // another tenant and the untenanted verb still get through.
+  lookup.tenant = "cold";
+  response = client.Call(lookup, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
+
+  Request untenanted;
+  untenanted.type = RequestType::kLookup;
+  untenanted.query = world_.query(1, 1);
+  response = client.Call(untenanted, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->type, ResponseType::kMiss);
   EXPECT_GE(server.stats().requests_busy, 1u);
 }
 

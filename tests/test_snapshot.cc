@@ -141,6 +141,99 @@ TEST_F(SnapshotTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Version compatibility (DESIGN.md §12): v1 blobs predate tenancy; they
+// must load as shared-pool entries on a tenant-aware node.
+
+TEST_F(SnapshotTest, V1BlobLoadsIntoSharedPool) {
+  // A v1 writer cannot express tenancy: even if the in-memory SE carries
+  // a tenant, the v1 layout drops it on the wire and the reader restores
+  // the pre-tenant defaults (shared pool, shareable).
+  SemanticElement se;
+  se.key = world_.query(0, 0);
+  se.value = world_.answer(0);
+  se.tenant = "dropped-by-v1-layout";
+  se.shareable = false;
+  se.staticity = world_.topic(0).staticity;
+  se.frequency = 2;
+  se.expiration_time = 1e9;
+  std::stringstream stream;
+  WriteSnapshotHeader(stream, 1, /*version=*/1);
+  WriteSnapshotElement(stream, se, /*version=*/1);
+
+  auto cache = MakeCache();
+  const auto loaded = LoadCacheSnapshot(*cache, stream, 0.0);
+  EXPECT_EQ(loaded.entries_restored, 1u);
+  ASSERT_EQ(cache->size(), 1u);
+  for (const auto& [id, restored] : cache->entries()) {
+    EXPECT_EQ(restored.tenant, "");
+    EXPECT_TRUE(restored.shareable);
+  }
+  // Shared-pool entries answer every tenant's lookups.
+  EXPECT_TRUE(cache->Lookup(world_.query(0, 1), 1.0, "any").hit.has_value());
+  EXPECT_TRUE(cache->Lookup(world_.query(0, 2), 2.0).hit.has_value());
+}
+
+TEST_F(SnapshotTest, V2RoundTripPreservesTenantAndShareable) {
+  auto cache = MakeCache();
+  InsertRequest req;
+  req.key = world_.query(0, 0);
+  req.value = world_.answer(0);
+  req.staticity = world_.topic(0).staticity;
+  req.tenant = "acme";
+  req.shareable = false;
+  ASSERT_TRUE(cache->Insert(std::move(req), 0.0).has_value());
+
+  std::stringstream stream;
+  SaveCacheSnapshot(*cache, stream);
+
+  auto fresh = MakeCache();
+  const auto loaded = LoadCacheSnapshot(*fresh, stream, 0.0);
+  EXPECT_EQ(loaded.entries_restored, 1u);
+  ASSERT_EQ(fresh->size(), 1u);
+  for (const auto& [id, restored] : fresh->entries()) {
+    EXPECT_EQ(restored.tenant, "acme");
+    EXPECT_FALSE(restored.shareable);
+  }
+  // The namespace boundary survived the restart.
+  EXPECT_TRUE(fresh->ContainsKey(world_.query(0, 0), "acme"));
+  EXPECT_FALSE(fresh->ContainsKey(world_.query(0, 0)));
+  EXPECT_TRUE(fresh->Lookup(world_.query(0, 1), 1.0, "acme").hit.has_value());
+  EXPECT_FALSE(fresh->Lookup(world_.query(0, 2), 2.0, "other").hit.has_value());
+}
+
+TEST_F(SnapshotTest, MixedVersionStreamsConcatenate) {
+  // The cluster migration path: a v1 node's SNAPSHOT blob followed by a
+  // v2 node's blob on one stream, RESTOREd sequentially on the target.
+  SemanticElement old_se;
+  old_se.key = world_.query(1, 0);
+  old_se.value = world_.answer(1);
+  old_se.staticity = world_.topic(1).staticity;
+  old_se.expiration_time = 1e9;
+  std::stringstream stream;
+  WriteSnapshotHeader(stream, 1, /*version=*/1);
+  WriteSnapshotElement(stream, old_se, /*version=*/1);
+
+  auto modern = MakeCache();
+  InsertRequest req;
+  req.key = world_.query(2, 0);
+  req.value = world_.answer(2);
+  req.staticity = world_.topic(2).staticity;
+  req.tenant = "acme";
+  ASSERT_TRUE(modern->Insert(std::move(req), 0.0).has_value());
+  SaveCacheSnapshot(*modern, stream);
+
+  auto target = MakeCache();
+  EXPECT_EQ(LoadCacheSnapshot(*target, stream, 0.0).entries_restored, 1u);
+  EXPECT_EQ(LoadCacheSnapshot(*target, stream, 0.0).entries_restored, 1u);
+  EXPECT_EQ(target->size(), 2u);
+  // The v1 entry landed in the shared pool; the v2 entry kept its tenant.
+  EXPECT_TRUE(target->Lookup(world_.query(1, 1), 1.0, "other").hit.has_value());
+  EXPECT_TRUE(target->ContainsKey(world_.query(2, 0), "acme"));
+  EXPECT_FALSE(
+      target->Lookup(world_.query(2, 1), 2.0, "other").hit.has_value());
+}
+
 TEST_F(SnapshotTest, RestoreElementRecomputesMissingEmbedding) {
   auto cache = MakeCache();
   SemanticElement se;

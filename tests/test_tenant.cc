@@ -1,0 +1,534 @@
+// Multi-tenant isolation tests (DESIGN.md §12): tenant-id validation and
+// derived keys, TenantRegistry quotas / rate admission / bounded-cardinality
+// telemetry, SemanticCache namespace visibility, per-tenant budget eviction
+// (property: a tenant under quota pressure never spills onto a bystander),
+// cross-tenant promotion (property: graduation requires K *distinct*
+// confirming tenants), and an engine-level hot-tenant flood that must not
+// degrade a victim tenant's resident set.
+#include "tenant/tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ann/flat_index.h"
+#include "core/semantic_cache.h"
+#include "llm/tags.h"
+#include "serve/concurrent_engine.h"
+#include "telemetry/metrics.h"
+#include "tenant/registry.h"
+#include "test_helpers.h"
+
+namespace cortex {
+namespace {
+
+using cortex::testing::MiniWorld;
+namespace tenant = cortex::tenant;
+
+// ---------------------------------------------------------------------------
+// Tenant-id utilities
+
+TEST(TenantIdTest, AcceptsOrdinaryIds) {
+  EXPECT_TRUE(tenant::ValidTenantId("acme"));
+  EXPECT_TRUE(tenant::ValidTenantId("team-7_prod.us"));
+  EXPECT_TRUE(tenant::ValidTenantId(std::string(tenant::kMaxTenantIdLength,
+                                                'a')));
+}
+
+TEST(TenantIdTest, RejectsEmptyOversizedAndReservedBytes) {
+  EXPECT_FALSE(tenant::ValidTenantId(""));
+  EXPECT_FALSE(tenant::ValidTenantId(
+      std::string(tenant::kMaxTenantIdLength + 1, 'a')));
+  EXPECT_FALSE(tenant::ValidTenantId("a b"));       // whitespace
+  EXPECT_FALSE(tenant::ValidTenantId("a|b"));       // placement separator
+  EXPECT_FALSE(tenant::ValidTenantId("a=b"));       // STATS separator
+  EXPECT_FALSE(tenant::ValidTenantId("a\tb"));      // control / whitespace
+  EXPECT_FALSE(tenant::ValidTenantId(std::string("a\x01b", 3)));
+}
+
+TEST(TenantIdTest, PlacementKeyMatchesRingPrefixConvention) {
+  // Must equal the prefix ClusterRouter::PlacementKey() extracts from
+  // legacy "tenant:<id>|query" keys, so both conventions co-locate.
+  EXPECT_EQ(tenant::PlacementKeyFor("acme"), "tenant:acme");
+}
+
+TEST(TenantIdTest, MetricPartSanitizesNonIdentifierBytes) {
+  EXPECT_EQ(tenant::MetricPartFor("acme"), "acme");
+  EXPECT_EQ(tenant::MetricPartFor("team-7.us"), "team_7_us");
+}
+
+// ---------------------------------------------------------------------------
+// TenantRegistry: quotas, rate admission, bounded metric cardinality
+
+TEST(TenantRegistryTest, DefaultQuotaIsUnlimited) {
+  tenant::TenantRegistry registry;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(registry.AdmitRequest("t", static_cast<double>(i) * 1e-3));
+  }
+  EXPECT_EQ(registry.BudgetTokens("t", 1000.0), 0.0);
+  // The shared pool is never budgeted or rate limited.
+  EXPECT_EQ(registry.BudgetTokens("", 1000.0), 0.0);
+  EXPECT_TRUE(registry.AdmitRequest("", 1.0));
+  EXPECT_EQ(registry.quota_rejects(), 0u);
+}
+
+TEST(TenantRegistryTest, BudgetTokensAppliesFraction) {
+  tenant::TenantRegistry registry;
+  tenant::TenantQuota quota;
+  quota.budget_fraction = 0.25;
+  registry.SetQuota("a", quota);
+  EXPECT_DOUBLE_EQ(registry.BudgetTokens("a", 1000.0), 250.0);
+  // Fractions outside (0, 1) mean "whole shard" = unlimited.
+  quota.budget_fraction = 1.0;
+  registry.SetQuota("b", quota);
+  EXPECT_EQ(registry.BudgetTokens("b", 1000.0), 0.0);
+  quota.budget_fraction = 0.0;
+  registry.SetQuota("c", quota);
+  EXPECT_EQ(registry.BudgetTokens("c", 1000.0), 0.0);
+}
+
+TEST(TenantRegistryTest, RateQuotaAdmitsBurstThenRejectsThenRefills) {
+  tenant::TenantRegistry registry;
+  tenant::TenantQuota quota;
+  quota.rate_per_sec = 10.0;
+  quota.rate_burst = 2.0;
+  registry.SetQuota("hot", quota);
+
+  // Bucket starts full at `burst`.
+  EXPECT_TRUE(registry.AdmitRequest("hot", 0.0));
+  EXPECT_TRUE(registry.AdmitRequest("hot", 0.0));
+  EXPECT_FALSE(registry.AdmitRequest("hot", 0.0));
+  EXPECT_EQ(registry.quota_rejects(), 1u);
+
+  // Another tenant under the (unlimited) default quota is unaffected.
+  EXPECT_TRUE(registry.AdmitRequest("cold", 0.0));
+
+  // 0.1s refills one token at 10/s.
+  EXPECT_TRUE(registry.AdmitRequest("hot", 0.1));
+  EXPECT_FALSE(registry.AdmitRequest("hot", 0.1));
+  EXPECT_EQ(registry.quota_rejects(), 2u);
+}
+
+TEST(TenantRegistryTest, DefaultQuotaAppliesToUnconfiguredTenants) {
+  tenant::TenantRegistryOptions options;
+  options.default_quota.rate_per_sec = 1.0;
+  options.default_quota.rate_burst = 1.0;
+  tenant::TenantRegistry registry(nullptr, options);
+  EXPECT_TRUE(registry.AdmitRequest("anybody", 0.0));
+  EXPECT_FALSE(registry.AdmitRequest("anybody", 0.0));
+}
+
+TEST(TenantRegistryTest, MetricCardinalityIsBounded) {
+  telemetry::MetricRegistry metrics;
+  tenant::TenantRegistryOptions options;
+  options.max_instrumented_tenants = 2;
+  tenant::TenantRegistry registry(&metrics, options);
+
+  registry.OnLookup("t0", /*hit=*/true);
+  registry.OnLookup("t1", /*hit=*/true);
+  registry.OnLookup("t2", /*hit=*/true);
+  registry.OnLookup("t3", /*hit=*/true);
+
+  const auto snapshot = metrics.Snapshot();
+  bool t0_dedicated = false, t1_dedicated = false;
+  bool overflow_present = false;
+  std::uint64_t overflow_hits = 0;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.name == "cortex_tenant_t0_hits") t0_dedicated = true;
+    if (entry.name == "cortex_tenant_t1_hits") t1_dedicated = true;
+    // Tenants past the cap must never mint their own instruments.
+    EXPECT_NE(entry.name, "cortex_tenant_t2_hits");
+    EXPECT_NE(entry.name, "cortex_tenant_t3_hits");
+    if (entry.name == "cortex_tenants_overflow_hits") {
+      overflow_present = true;
+      overflow_hits = entry.counter_value;
+    }
+  }
+  EXPECT_TRUE(t0_dedicated);
+  EXPECT_TRUE(t1_dedicated);
+  EXPECT_TRUE(overflow_present);
+  EXPECT_EQ(overflow_hits, 2u);  // t2 + t3 aggregate
+
+  // Quota state itself stays exact per tenant, uncapped.
+  EXPECT_EQ(registry.KnownTenantCount(), 4u);
+  EXPECT_EQ(registry.KnownTenants().size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// SemanticCache: namespace visibility
+
+class TenantCacheTest : public ::testing::Test {
+ protected:
+  TenantCacheTest() { Rebuild({}); }
+
+  void Rebuild(SemanticCacheOptions options) {
+    if (options.capacity_tokens == SemanticCacheOptions{}.capacity_tokens) {
+      options.capacity_tokens = 1e6;  // default: effectively unbounded
+    }
+    cache_ = std::make_unique<SemanticCache>(
+        &world_.embedder,
+        std::make_unique<FlatIndex>(world_.embedder.dimension()),
+        world_.judger.get(), std::make_unique<LcfuPolicy>(), options);
+  }
+
+  // Oracle-backed request for `tenant` (hits require the true answer —
+  // the judger is oracle-driven).
+  InsertRequest RequestFor(std::size_t topic_id, std::size_t paraphrase,
+                           std::string tenant) {
+    InsertRequest req;
+    req.key = world_.query(topic_id, paraphrase);
+    req.value = world_.answer(topic_id);
+    req.staticity = world_.topic(topic_id).staticity;
+    req.retrieval_latency_sec = 0.4;
+    req.retrieval_cost_dollars = 0.005;
+    req.initial_frequency = 1;
+    req.tenant = std::move(tenant);
+    return req;
+  }
+
+  // Arbitrary payload of `words` words tagged for uniqueness (dedup is by
+  // byte-identical value).  Token size follows ApproxTokenCount.
+  static std::string Payload(const std::string& tag, std::size_t words) {
+    std::string value = tag;
+    for (std::size_t i = 1; i < words; ++i) value += " w";
+    return value;
+  }
+
+  MiniWorld world_;
+  std::unique_ptr<SemanticCache> cache_;
+};
+
+TEST_F(TenantCacheTest, PrivateNamespaceIsInvisibleToOtherTenants) {
+  ASSERT_TRUE(cache_->Insert(RequestFor(0, 0, "a"), 1.0).has_value());
+
+  // Owner sees it under any paraphrase.
+  auto own = cache_->Lookup(world_.query(0, 1), 2.0, "a");
+  ASSERT_TRUE(own.hit.has_value());
+  EXPECT_EQ(own.hit->value, world_.answer(0));
+
+  // Another tenant and the shared pool both miss.
+  EXPECT_FALSE(cache_->Lookup(world_.query(0, 1), 3.0, "b").hit.has_value());
+  EXPECT_FALSE(cache_->Lookup(world_.query(0, 1), 4.0).hit.has_value());
+}
+
+TEST_F(TenantCacheTest, SharedPoolIsVisibleToEveryTenant) {
+  ASSERT_TRUE(cache_->Insert(RequestFor(1, 0, ""), 1.0).has_value());
+  EXPECT_TRUE(cache_->Lookup(world_.query(1, 1), 2.0, "a").hit.has_value());
+  EXPECT_TRUE(cache_->Lookup(world_.query(1, 2), 3.0, "b").hit.has_value());
+  EXPECT_TRUE(cache_->Lookup(world_.query(1, 3), 4.0).hit.has_value());
+}
+
+TEST_F(TenantCacheTest, ContainsKeyIsScopedPerNamespace) {
+  InsertRequest a;
+  a.key = "shared question";
+  a.value = Payload("a-answer", 8);
+  a.tenant = "a";
+  InsertRequest b;
+  b.key = "shared question";
+  b.value = Payload("b-answer", 8);
+  b.tenant = "b";
+  ASSERT_TRUE(cache_->Insert(std::move(a), 1.0).has_value());
+  ASSERT_TRUE(cache_->Insert(std::move(b), 2.0).has_value());
+
+  // Same exact key coexists in both namespaces without collision.
+  EXPECT_EQ(cache_->size(), 2u);
+  EXPECT_TRUE(cache_->ContainsKey("shared question", "a"));
+  EXPECT_TRUE(cache_->ContainsKey("shared question", "b"));
+  EXPECT_FALSE(cache_->ContainsKey("shared question"));
+  EXPECT_FALSE(cache_->ContainsKey("shared question", "c"));
+}
+
+TEST_F(TenantCacheTest, NoCrossTenantValueDedup) {
+  // Identical bytes from two tenants must stay two private copies when
+  // promotion is off — dedup across namespaces would leak existence.
+  InsertRequest a;
+  a.key = "ka";
+  a.value = Payload("same-bytes", 8);
+  a.tenant = "a";
+  InsertRequest b;
+  b.key = "kb";
+  b.value = Payload("same-bytes", 8);
+  b.tenant = "b";
+  ASSERT_TRUE(cache_->Insert(std::move(a), 1.0).has_value());
+  ASSERT_TRUE(cache_->Insert(std::move(b), 2.0).has_value());
+  EXPECT_EQ(cache_->size(), 2u);
+  EXPECT_EQ(cache_->counters().dedup_refreshes, 0u);
+}
+
+TEST_F(TenantCacheTest, SameTenantValueDedupStillWorks) {
+  InsertRequest first;
+  first.key = "k1";
+  first.value = Payload("same-bytes", 8);
+  first.tenant = "a";
+  InsertRequest second;
+  second.key = "k2";
+  second.value = Payload("same-bytes", 8);
+  second.tenant = "a";
+  const auto id1 = cache_->Insert(std::move(first), 1.0);
+  const auto id2 = cache_->Insert(std::move(second), 2.0);
+  ASSERT_TRUE(id1.has_value());
+  ASSERT_TRUE(id2.has_value());
+  EXPECT_EQ(*id1, *id2);
+  EXPECT_EQ(cache_->size(), 1u);
+  EXPECT_EQ(cache_->counters().dedup_refreshes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SemanticCache: per-tenant token budgets
+
+TEST_F(TenantCacheTest, OversizedValueIsBudgetRejected) {
+  InsertRequest req;
+  req.key = "big";
+  req.value = Payload("big-value", 30);  // ~40 tokens
+  req.tenant = "a";
+  req.budget_tokens = 4.0;
+  EXPECT_FALSE(cache_->Insert(std::move(req), 1.0).has_value());
+  EXPECT_EQ(cache_->counters().budget_rejects, 1u);
+  EXPECT_EQ(cache_->size(), 0u);
+}
+
+TEST_F(TenantCacheTest, BudgetEvictsWithinTheOffendingTenantOnly) {
+  // Victim resident first, no budget of its own.
+  for (int i = 0; i < 2; ++i) {
+    InsertRequest req;
+    req.key = "victim-k" + std::to_string(i);
+    req.value = Payload("victim-v" + std::to_string(i), 30);
+    req.tenant = "victim";
+    ASSERT_TRUE(cache_->Insert(std::move(req), 1.0).has_value());
+  }
+
+  // Hog inserts 5 x ~40 tokens against a 100-token budget: each insert
+  // past the budget evicts the hog's own oldest entries.
+  const double size =
+      static_cast<double>(ApproxTokenCount(Payload("hog-v0", 30)));
+  ASSERT_GT(2.0 * size, 100.0 - size);  // budget really binds on insert 3+
+  for (int i = 0; i < 5; ++i) {
+    InsertRequest req;
+    req.key = "hog-k" + std::to_string(i);
+    req.value = Payload("hog-v" + std::to_string(i), 30);
+    req.tenant = "hog";
+    req.budget_tokens = 100.0;
+    ASSERT_TRUE(
+        cache_->Insert(std::move(req), 2.0 + static_cast<double>(i))
+            .has_value());
+  }
+
+  EXPECT_LE(cache_->TenantUsageFor("hog").tokens, 100.0);
+  EXPECT_GE(cache_->TenantUsageFor("hog").evictions, 1u);
+  // The bystander was never touched.
+  EXPECT_EQ(cache_->TenantUsageFor("victim").evictions, 0u);
+  EXPECT_TRUE(cache_->ContainsKey("victim-k0", "victim"));
+  EXPECT_TRUE(cache_->ContainsKey("victim-k1", "victim"));
+  // The hog's newest entry survived its own budget eviction.
+  EXPECT_TRUE(cache_->ContainsKey("hog-k4", "hog"));
+}
+
+TEST_F(TenantCacheTest, CapacityPressureEvictsOffenderBeforeBystander) {
+  SemanticCacheOptions options;
+  options.capacity_tokens = 150.0;
+  options.ttl_enabled = false;
+  Rebuild(options);
+
+  InsertRequest b;
+  b.key = "b-k";
+  b.value = Payload("b-v", 30);  // ~40 tokens
+  b.tenant = "b";
+  ASSERT_TRUE(cache_->Insert(std::move(b), 1.0).has_value());
+
+  // "a" fills the remainder, then overflows capacity: the eviction tier
+  // order must pick a's own entries, not b's.
+  for (int i = 0; i < 3; ++i) {
+    InsertRequest req;
+    req.key = "a-k" + std::to_string(i);
+    req.value = Payload("a-v" + std::to_string(i), 30);
+    req.tenant = "a";
+    ASSERT_TRUE(
+        cache_->Insert(std::move(req), 2.0 + static_cast<double>(i))
+            .has_value());
+  }
+
+  EXPECT_GE(cache_->counters().evictions, 1u);
+  EXPECT_EQ(cache_->TenantUsageFor("b").evictions, 0u);
+  EXPECT_TRUE(cache_->ContainsKey("b-k", "b"));
+  EXPECT_GE(cache_->TenantUsageFor("a").evictions, 1u);
+}
+
+TEST_F(TenantCacheTest, PropertyBudgetedTenantsNeverSpillOntoBystanders) {
+  // Randomized: two budgeted tenants churn inserts; a bystander with
+  // resident entries must never lose one, and neither budgeted tenant may
+  // ever exceed its share.  Capacity >= sum of budgets + bystander usage,
+  // so any bystander eviction would be a tier-selection bug.
+  for (int i = 0; i < 2; ++i) {
+    InsertRequest req;
+    req.key = "bystander-k" + std::to_string(i);
+    req.value = Payload("bystander-v" + std::to_string(i), 30);
+    req.tenant = "bystander";
+    ASSERT_TRUE(cache_->Insert(std::move(req), 0.5).has_value());
+  }
+
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> pick_tenant(0, 1);
+  std::uniform_int_distribution<std::size_t> pick_words(10, 50);
+  const double kBudget = 300.0;
+  for (int step = 0; step < 200; ++step) {
+    const std::string who = pick_tenant(rng) == 0 ? "a" : "b";
+    InsertRequest req;
+    req.key = who + "-k" + std::to_string(step);
+    req.value = Payload(who + "-v" + std::to_string(step), pick_words(rng));
+    req.tenant = who;
+    req.budget_tokens = kBudget;
+    cache_->Insert(std::move(req), 1.0 + static_cast<double>(step));
+
+    ASSERT_LE(cache_->TenantUsageFor("a").tokens, kBudget) << "step " << step;
+    ASSERT_LE(cache_->TenantUsageFor("b").tokens, kBudget) << "step " << step;
+    ASSERT_EQ(cache_->TenantUsageFor("bystander").evictions, 0u)
+        << "step " << step;
+  }
+  EXPECT_TRUE(cache_->ContainsKey("bystander-k0", "bystander"));
+  EXPECT_TRUE(cache_->ContainsKey("bystander-k1", "bystander"));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant promotion to the shared pool
+
+class TenantPromotionTest : public TenantCacheTest {
+ protected:
+  void RebuildWithPromotion(std::size_t k, double min_staticity = 0.0) {
+    SemanticCacheOptions options;
+    options.promote_distinct_tenants = k;
+    options.promote_min_staticity = min_staticity;
+    Rebuild(options);
+  }
+};
+
+TEST_F(TenantPromotionTest, KDistinctTenantsGraduateValueToSharedPool) {
+  RebuildWithPromotion(2);
+
+  ASSERT_TRUE(cache_->Insert(RequestFor(0, 0, "a"), 1.0).has_value());
+  // One confirming tenant is not enough: a third party still misses.
+  EXPECT_FALSE(cache_->Lookup(world_.query(0, 1), 2.0, "c").hit.has_value());
+  EXPECT_EQ(cache_->counters().promotions, 0u);
+
+  // Second distinct tenant fetches the same value: graduation.
+  ASSERT_TRUE(cache_->Insert(RequestFor(0, 1, "b"), 3.0).has_value());
+  EXPECT_EQ(cache_->counters().promotions, 1u);
+
+  // Now visible to everyone, including the untenanted path.
+  EXPECT_TRUE(cache_->Lookup(world_.query(0, 2), 4.0, "c").hit.has_value());
+  EXPECT_TRUE(cache_->Lookup(world_.query(0, 3), 5.0).hit.has_value());
+
+  // The promoted copy was retagged in place — one entry, shared tenant.
+  ASSERT_EQ(cache_->size(), 1u);
+  for (const auto& [id, se] : cache_->entries()) {
+    EXPECT_EQ(se.tenant, "");
+  }
+}
+
+TEST_F(TenantPromotionTest, PropertySingleTenantNeverGraduates) {
+  RebuildWithPromotion(2);
+  // The same tenant re-fetching the same value under many phrasings
+  // accumulates no cross-tenant evidence.
+  for (std::size_t p = 0; p < 5; ++p) {
+    cache_->Insert(RequestFor(0, p, "a"), 1.0 + static_cast<double>(p));
+    ASSERT_EQ(cache_->counters().promotions, 0u) << "paraphrase " << p;
+    ASSERT_FALSE(
+        cache_->Lookup(world_.query(0, p), 10.0 + static_cast<double>(p), "b")
+            .hit.has_value())
+        << "paraphrase " << p;
+  }
+}
+
+TEST_F(TenantPromotionTest, NonShareableValuesNeverGraduate) {
+  RebuildWithPromotion(2);
+  auto a = RequestFor(0, 0, "a");
+  a.shareable = false;
+  auto b = RequestFor(0, 1, "b");
+  b.shareable = false;
+  ASSERT_TRUE(cache_->Insert(std::move(a), 1.0).has_value());
+  ASSERT_TRUE(cache_->Insert(std::move(b), 2.0).has_value());
+  EXPECT_EQ(cache_->counters().promotions, 0u);
+  EXPECT_FALSE(cache_->Lookup(world_.query(0, 2), 3.0, "c").hit.has_value());
+}
+
+TEST_F(TenantPromotionTest, LowStaticityValuesNeverGraduate) {
+  RebuildWithPromotion(2, /*min_staticity=*/11.0);  // unreachable floor
+  ASSERT_TRUE(cache_->Insert(RequestFor(0, 0, "a"), 1.0).has_value());
+  ASSERT_TRUE(cache_->Insert(RequestFor(0, 1, "b"), 2.0).has_value());
+  EXPECT_EQ(cache_->counters().promotions, 0u);
+  EXPECT_FALSE(cache_->Lookup(world_.query(0, 2), 3.0, "c").hit.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: a hot tenant flooding inserts cannot evict a victim
+// tenant's resident SEs or degrade its hit rate.
+
+TEST(TenantEngineTest, HotTenantFloodDoesNotEvictVictimNamespace) {
+  MiniWorld world;
+  serve::ConcurrentEngineOptions options;
+  options.num_shards = 2;
+  options.cache.capacity_tokens = 2000.0;  // 1000/shard
+  options.housekeeping_interval_sec = 0.0;
+  options.tenants.default_quota.budget_fraction = 0.3;  // 300/shard
+  serve::ConcurrentShardedEngine engine(&world.embedder, world.judger.get(),
+                                        options);
+
+  const std::size_t kVictimTopics = 5;
+  for (std::size_t t = 0; t < kVictimTopics; ++t) {
+    InsertRequest req;
+    req.key = world.query(t, 0);
+    req.value = world.answer(t);
+    req.staticity = world.topic(t).staticity;
+    req.initial_frequency = 1;
+    req.tenant = "victim";
+    ASSERT_TRUE(engine.Insert(std::move(req)).has_value());
+    ASSERT_TRUE(
+        engine.Lookup(world.query(t, 1), nullptr, "victim").has_value());
+  }
+
+  // The hog floods far more bytes than the whole cache holds; its 0.3
+  // budget share must absorb the churn.
+  std::string filler = "hog-flood";
+  for (int w = 0; w < 74; ++w) filler += " w";  // ~100 tokens
+  for (int i = 0; i < 40; ++i) {
+    InsertRequest req;
+    req.key = "hog query " + std::to_string(i);
+    req.value = "hog-" + std::to_string(i) + " " + filler;
+    req.initial_frequency = 1;
+    req.tenant = "hog";
+    engine.Insert(std::move(req));
+  }
+
+  // Every victim entry is still resident and still serves hits.
+  std::size_t victim_hits = 0;
+  for (std::size_t t = 0; t < kVictimTopics; ++t) {
+    EXPECT_TRUE(engine.ContainsKey(world.query(t, 0), "victim"))
+        << "topic " << t;
+    if (engine.Lookup(world.query(t, 2), nullptr, "victim").has_value()) {
+      ++victim_hits;
+    }
+  }
+  EXPECT_EQ(victim_hits, kVictimTopics);
+
+  // The flood never spends beyond budget + victim residency.
+  EXPECT_LT(engine.TotalUsageTokens(), 2000.0);
+
+  // Per-tenant instruments exist under the dynamic cortex_tenant_ prefix.
+  const auto snapshot = engine.registry()->Snapshot();
+  bool victim_hits_metric = false, hog_inserts_metric = false;
+  for (const auto& entry : snapshot.entries) {
+    if (entry.name == "cortex_tenant_victim_hits" && entry.counter_value > 0) {
+      victim_hits_metric = true;
+    }
+    if (entry.name == "cortex_tenant_hog_inserts" && entry.counter_value > 0) {
+      hog_inserts_metric = true;
+    }
+  }
+  EXPECT_TRUE(victim_hits_metric);
+  EXPECT_TRUE(hog_inserts_metric);
+}
+
+}  // namespace
+}  // namespace cortex

@@ -27,6 +27,7 @@ const std::map<std::string, std::set<std::string>>& LayerTable() {
       {"llm", {"util", "llm"}},
       {"telemetry", {"util", "telemetry"}},
       {"net", {"util", "telemetry", "net"}},
+      {"tenant", {"util", "telemetry", "net", "tenant"}},
       {"gpu", {"util", "llm", "gpu"}},
       {"workload", {"util", "llm", "workload"}},
       {"sim", {"util", "llm", "net", "gpu", "sim"}},
@@ -35,10 +36,10 @@ const std::map<std::string, std::set<std::string>>& LayerTable() {
         "core"}},
       {"serve",
        {"util", "embedding", "ann", "llm", "net", "gpu", "sim", "workload",
-        "core", "telemetry", "serve"}},
+        "core", "telemetry", "tenant", "serve"}},
       {"cluster",
        {"util", "embedding", "ann", "llm", "net", "gpu", "sim", "workload",
-        "core", "telemetry", "serve", "cluster"}},
+        "core", "telemetry", "tenant", "serve", "cluster"}},
   };
   return kTable;
 }
@@ -410,6 +411,20 @@ class Checker {
       msg << "metric literal '" << lit.name
           << "' matches no registration (GetCounter/GetGauge/GetHistogram "
              "with a literal name) and no dynamic prefix";
+      Add("metric-contract", lit.file, lit.line, msg.str());
+    }
+    // Per-tenant instruments are bounded-cardinality only because they go
+    // through the registry's dynamic-prefix path ("cortex_tenant_" + id);
+    // a static registration under that prefix bypasses the cap.
+    for (const auto& lit : model_.metric_literals) {
+      if (!lit.registration || lit.dynamic_prefix) continue;
+      if (lit.name.rfind("cortex_tenant_", 0) != 0) continue;
+      std::ostringstream msg;
+      msg << "metric '" << lit.name
+          << "' statically registers under the per-tenant prefix "
+             "'cortex_tenant_'; per-tenant instruments must use "
+             "dynamic-prefix registration (\"cortex_tenant_\" + id) so the "
+             "registry's cardinality cap applies";
       Add("metric-contract", lit.file, lit.line, msg.str());
     }
   }

@@ -18,6 +18,14 @@
 // --skew=S replays queries under zipf(S) popularity instead of one pass
 // in task order — the skewed-key regime a consistent-hash ring has to
 // absorb.  STATS/DUMPTRACE digests come from the first endpoint.
+//
+// Multi-tenant mode: --tenants=N tags every request with a tenant id
+// ("t0".."tN-1") and speaks TLOOKUP/TINSERT instead of LOOKUP/INSERT;
+// --tenant-skew=S samples the tenant per request from zipf(S) (rank 0
+// hottest) so one hot tenant hammers its quota while the rest trickle.
+// The report adds a per-tenant table — hit rate, BUSY count, and p99 —
+// the isolation frontier: the hot tenant saturating its budget must not
+// degrade everyone else's hit rate or tail latency.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -42,6 +50,21 @@ using namespace cortex::serve;
 
 namespace {
 
+// Per-tenant slice of the run (only populated under --tenants).
+struct TenantStats {
+  Histogram lookup_latency;  // seconds
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t busy = 0;
+
+  void Merge(const TenantStats& other) {
+    lookup_latency.Merge(other.lookup_latency);
+    hits += other.hits;
+    misses += other.misses;
+    busy += other.busy;
+  }
+};
+
 struct ThreadResult {
   Histogram lookup_latency;  // seconds
   Histogram insert_latency;  // seconds
@@ -53,6 +76,7 @@ struct ThreadResult {
   std::uint64_t inserts_rejected = 0;
   std::uint64_t protocol_errors = 0;
   std::string first_error;
+  std::vector<TenantStats> tenants;  // indexed by tenant rank
 
   void Merge(const ThreadResult& other) {
     lookup_latency.Merge(other.lookup_latency);
@@ -65,6 +89,12 @@ struct ThreadResult {
     inserts_rejected += other.inserts_rejected;
     protocol_errors += other.protocol_errors;
     if (first_error.empty()) first_error = other.first_error;
+    if (tenants.size() < other.tenants.size()) {
+      tenants.resize(other.tenants.size());
+    }
+    for (std::size_t i = 0; i < other.tenants.size(); ++i) {
+      tenants[i].Merge(other.tenants[i]);
+    }
   }
 };
 
@@ -127,6 +157,9 @@ int main(int argc, char** argv) {
   const int port = static_cast<int>(flags.GetInt("port", 8377));
   const double skew = flags.GetDouble("skew", 0.0);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const auto tenant_count = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, flags.GetInt("tenants", 0)));
+  const double tenant_skew = flags.GetDouble("tenant-skew", 1.1);
 
   // Cluster mode: client threads spread round-robin over the endpoint
   // list; otherwise everyone hits the single --unix / --host:--port.
@@ -184,6 +217,18 @@ int main(int argc, char** argv) {
   std::optional<ZipfSampler> zipf;
   if (skew > 0.0) zipf.emplace(queries.size(), skew);
 
+  // Tenant sampling: zipf over tenant ranks ("t0" hottest); skew <= 0
+  // degrades to near-uniform via a tiny exponent.
+  std::optional<ZipfSampler> tenant_zipf;
+  if (tenant_count > 1) {
+    tenant_zipf.emplace(tenant_count, std::max(tenant_skew, 1e-6));
+  }
+  std::vector<std::string> tenant_ids;
+  tenant_ids.reserve(tenant_count);
+  for (std::size_t i = 0; i < tenant_count; ++i) {
+    tenant_ids.push_back("t" + std::to_string(i));
+  }
+
   const GroundTruthOracle& oracle = *world->bundle.oracle;
   std::mutex merge_mu;
   ThreadResult total;
@@ -230,6 +275,7 @@ int main(int argc, char** argv) {
   for (std::size_t tid = 0; tid < threads; ++tid) {
     pool.emplace_back([&, tid] {
       ThreadResult local;
+      local.tenants.resize(tenant_count);
       BlockingClient client;
       std::string err;
       Rng rng(seed * 0x9e3779b97f4a7c15ULL + tid);
@@ -239,12 +285,23 @@ int main(int argc, char** argv) {
         for (std::size_t n = tid; n < queries.size(); n += threads) {
           const std::size_t qi = zipf ? zipf->Sample(rng) : n;
           const std::string& query = *queries[qi];
+          std::size_t trank = 0;
+          TenantStats* tstats = nullptr;
           Request lookup;
-          lookup.type = RequestType::kLookup;
+          if (tenant_count > 0) {
+            trank = tenant_zipf ? tenant_zipf->Sample(rng) : 0;
+            tstats = &local.tenants[trank];
+            lookup.type = RequestType::kTenantLookup;
+            lookup.tenant = tenant_ids[trank];
+          } else {
+            lookup.type = RequestType::kLookup;
+          }
           lookup.query = query;
           const double t0 = NowSec();
           const auto response = client.Call(lookup, &err);
-          local.lookup_latency.Add(NowSec() - t0);
+          const double lookup_sec = NowSec() - t0;
+          local.lookup_latency.Add(lookup_sec);
+          if (tstats != nullptr) tstats->lookup_latency.Add(lookup_sec);
           if (!response) {
             NoteError(local, "lookup: " + err);
             break;  // transport is gone
@@ -252,15 +309,18 @@ int main(int argc, char** argv) {
           switch (response->type) {
             case ResponseType::kHit:
               ++local.hits;
+              if (tstats != nullptr) ++tstats->hits;
               if (!oracle.InfoCorrect(query, response->value)) {
                 ++local.wrong_hits;
               }
               continue;
             case ResponseType::kMiss:
               ++local.misses;
+              if (tstats != nullptr) ++tstats->misses;
               break;
             case ResponseType::kBusy:
               ++local.busy;
+              if (tstats != nullptr) ++tstats->busy;
               continue;
             default:
               NoteError(local, "unexpected lookup response");
@@ -270,7 +330,12 @@ int main(int argc, char** argv) {
           // Miss path: fetch from the "remote service" (the oracle) and
           // populate the cache, as the agent application would.
           Request insert;
-          insert.type = RequestType::kInsert;
+          if (tenant_count > 0) {
+            insert.type = RequestType::kTenantInsert;
+            insert.tenant = tenant_ids[trank];
+          } else {
+            insert.type = RequestType::kInsert;
+          }
           insert.key = query;
           insert.value = oracle.ExpectedInfo(query);
           insert.staticity = oracle.Staticity(query);
@@ -291,6 +356,7 @@ int main(int argc, char** argv) {
               break;
             case ResponseType::kBusy:
               ++local.busy;
+              if (tstats != nullptr) ++tstats->busy;
               break;
             default:
               NoteError(local, "unexpected insert response");
@@ -349,6 +415,29 @@ int main(int argc, char** argv) {
                     Ms(h->Quantile(0.999)), Ms(h->max())});
   }
   latency.Print(std::cout, /*csv=*/false);
+
+  // Isolation frontier: how each tenant fared.  Under --tenant-skew the
+  // hot tenant (t0) saturates its quota (BUSY climbs) while the cold
+  // tenants' hit rate and p99 should hold steady.
+  if (!total.tenants.empty()) {
+    std::cout << "\nper-tenant (isolation frontier):\n";
+    TextTable per_tenant(
+        {"tenant", "lookups", "hit rate", "busy", "p50 ms", "p99 ms"});
+    for (std::size_t i = 0; i < total.tenants.size(); ++i) {
+      const TenantStats& t = total.tenants[i];
+      const std::uint64_t settled = t.hits + t.misses;
+      per_tenant.AddRow(
+          {"t" + std::to_string(i),
+           std::to_string(t.lookup_latency.count()),
+           settled ? TextTable::Percent(static_cast<double>(t.hits) /
+                                        static_cast<double>(settled))
+                   : "-",
+           std::to_string(t.busy),
+           t.lookup_latency.count() ? Ms(t.lookup_latency.p50()) : "-",
+           t.lookup_latency.count() ? Ms(t.lookup_latency.p99()) : "-"});
+    }
+    per_tenant.Print(std::cout, /*csv=*/false);
+  }
 
   // End-of-run registry printout: the server's full cortex_* telemetry as
   // seen over the wire.

@@ -39,6 +39,13 @@ void PrintUsage() {
       "             --tasks=1000 --seed=S | --trace=PATH\n"
       "  engine:    --shards=4 --cache-ratio=0.4 --housekeeping-sec=1\n"
       "             --recalibrate-sec=0 (0 = off)\n"
+      "  tenancy:   --tenant-budget-fraction=1 (per-tenant share of each\n"
+      "             shard's capacity; >=1 = unlimited)\n"
+      "             --tenant-rate-limit=0 (req/s per tenant, 0 = unlimited)\n"
+      "             --tenant-rate-burst=64\n"
+      "             --tenant-promote-k=0 (distinct tenants required to\n"
+      "             graduate an SE to the shared pool; 0 = promotion off)\n"
+      "             --tenant-promote-staticity=8 (min staticity to promote)\n"
       "  listen:    --port=8377 (--port=0 for ephemeral) --host=127.0.0.1\n"
       "             --unix=PATH (overrides TCP)\n"
       "  serving:   --workers=4 --rate-limit=0 (req/s, 0 = unlimited)\n"
@@ -74,6 +81,16 @@ int main(int argc, char** argv) {
                                 world->bundle.TotalKnowledgeTokens();
   eopts.housekeeping_interval_sec = flags.GetDouble("housekeeping-sec", 1.0);
   eopts.recalibration_interval_sec = flags.GetDouble("recalibrate-sec", 0.0);
+  eopts.tenants.default_quota.budget_fraction =
+      flags.GetDouble("tenant-budget-fraction", 1.0);
+  eopts.tenants.default_quota.rate_per_sec =
+      flags.GetDouble("tenant-rate-limit", 0.0);
+  eopts.tenants.default_quota.rate_burst =
+      flags.GetDouble("tenant-rate-burst", 64.0);
+  eopts.cache.promote_distinct_tenants =
+      static_cast<std::size_t>(flags.GetInt("tenant-promote-k", 0));
+  eopts.cache.promote_min_staticity =
+      flags.GetDouble("tenant-promote-staticity", 8.0);
   ConcurrentShardedEngine engine(&world->embedder, world->judger.get(),
                                  eopts);
   // Recalibration fetches ground truth the way production fetches from the
