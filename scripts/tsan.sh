@@ -8,10 +8,13 @@
 # false-positives — real races get fixed, not suppressed.
 #
 # Usage: scripts/tsan.sh [extra ctest args...]
+# Honours CORTEX_CI_DIR: when set, builds in $CORTEX_CI_DIR/tsan so the
+# CI matrix keeps every build tree under one root; otherwise build-tsan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=build-tsan
+BUILD_DIR="${CORTEX_CI_DIR:+${CORTEX_CI_DIR}/tsan}"
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DCORTEX_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -1,7 +1,10 @@
 #include "embedding/simd_kernels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <string_view>
 
 #include "util/check.h"
@@ -31,13 +34,16 @@ namespace {
 
 // Prefetch the head of a row (the hardware prefetcher streams the rest of a
 // long row once the access pattern is established).
-inline void PrefetchRow(const float* p, std::size_t dim) noexcept {
-  const std::size_t bytes =
-      std::min<std::size_t>(dim * sizeof(float), std::size_t{256});
-  const char* c = reinterpret_cast<const char*>(p);
+inline void PrefetchBytes(const void* p, std::size_t row_bytes) noexcept {
+  const std::size_t bytes = std::min<std::size_t>(row_bytes, std::size_t{256});
+  const char* c = static_cast<const char*>(p);
   for (std::size_t off = 0; off < bytes; off += 64) {
     __builtin_prefetch(c + off);
   }
+}
+
+inline void PrefetchRow(const float* p, std::size_t dim) noexcept {
+  PrefetchBytes(p, dim * sizeof(float));
 }
 
 // ---------------------------------------------------------------------------
@@ -84,8 +90,71 @@ void L2SqBatchScalar(const float* query, const float* rows, std::size_t n,
   }
 }
 
+// Exact i32 dot of two int8 rows.  q, r in [-127, 127], so each product
+// fits 14 bits and the sum stays far below 2^31 for any realistic dim.
+inline std::int32_t DotI8SumScalar(const std::int8_t* a, const std::int8_t* b,
+                                   std::size_t dim) noexcept {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+// The one true descale expression: every variant computes the integer sum
+// exactly, then evaluates THIS — so int8 scores are bit-identical.
+inline float DescaleI8(float query_scale, float row_scale,
+                       std::int32_t sum) noexcept {
+  return (query_scale * row_scale) * static_cast<float>(sum);
+}
+
+void DotBatchI8Scalar(const std::int8_t* query, float query_scale,
+                      const std::int8_t* rows, const float* scales,
+                      std::size_t n, std::size_t stride, std::size_t dim,
+                      float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = DescaleI8(query_scale, scales[i],
+                       DotI8SumScalar(query, rows + i * stride, dim));
+  }
+}
+
+void DotRowsI8Scalar(const std::int8_t* query, float query_scale,
+                     const std::int8_t* const* rows, const float* scales,
+                     std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] =
+        DescaleI8(query_scale, scales[i], DotI8SumScalar(query, rows[i], dim));
+  }
+}
+
+double DotF16Scalar(const float* q, const std::uint16_t* r,
+                    std::size_t dim) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc += static_cast<double>(q[i]) * static_cast<double>(F16ToF32(r[i]));
+  }
+  return acc;
+}
+
+void DotBatchF16Scalar(const float* query, const std::uint16_t* rows,
+                       std::size_t n, std::size_t stride, std::size_t dim,
+                       float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(DotF16Scalar(query, rows + i * stride, dim));
+  }
+}
+
+void DotRowsF16Scalar(const float* query, const std::uint16_t* const* rows,
+                      std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(DotF16Scalar(query, rows[i], dim));
+  }
+}
+
 constexpr KernelSet kScalarKernels = {
-    DotScalar, L2SqScalar, DotBatchScalar, DotRowsScalar, L2SqBatchScalar,
+    DotScalar,        L2SqScalar,      DotBatchScalar,
+    DotRowsScalar,    L2SqBatchScalar, DotBatchI8Scalar,
+    DotRowsI8Scalar,  DotBatchF16Scalar, DotRowsF16Scalar,
 };
 
 // ---------------------------------------------------------------------------
@@ -97,6 +166,9 @@ constexpr KernelSet kScalarKernels = {
 #if CORTEX_SIMD_HAVE_X86
 
 #define CORTEX_TARGET_AVX2 __attribute__((target("avx2,fma")))
+// fp16 row decode needs VCVTPH2PS; F16C predates AVX2 on every x86 core,
+// and VariantSupported checks it at runtime anyway.
+#define CORTEX_TARGET_AVX2F16 __attribute__((target("avx2,fma,f16c")))
 #define CORTEX_TARGET_AVX512 __attribute__((target("avx512f")))
 
 CORTEX_TARGET_AVX2 inline float HSum8(__m256 v) {
@@ -225,8 +297,101 @@ void L2SqBatchAvx2(const float* query, const float* rows, std::size_t n,
   }
 }
 
+// Integer int8 dot: widen to i16, VPMADDWD pairs into i32 lanes.  Exact,
+// so it agrees bit-for-bit with DotI8SumScalar.
+CORTEX_TARGET_AVX2 inline std::int32_t HSumI32x8(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(1, 0, 3, 2)));
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(lo);
+}
+
+CORTEX_TARGET_AVX2 std::int32_t DotI8SumAvx2(const std::int8_t* a,
+                                             const std::int8_t* b,
+                                             std::size_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256i av = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i bv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+  }
+  std::int32_t sum = HSumI32x8(acc);
+  for (; i < dim; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void DotBatchI8Avx2(const std::int8_t* query, float query_scale,
+                    const std::int8_t* rows, const float* scales,
+                    std::size_t n, std::size_t stride, std::size_t dim,
+                    float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows + (i + 1) * stride, dim);
+    out[i] = DescaleI8(query_scale, scales[i],
+                       DotI8SumAvx2(query, rows + i * stride, dim));
+  }
+}
+
+void DotRowsI8Avx2(const std::int8_t* query, float query_scale,
+                   const std::int8_t* const* rows, const float* scales,
+                   std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim);
+    out[i] =
+        DescaleI8(query_scale, scales[i], DotI8SumAvx2(query, rows[i], dim));
+  }
+}
+
+CORTEX_TARGET_AVX2F16 float DotF16Avx2(const float* q, const std::uint16_t* r,
+                                       std::size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 r0 = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r + i)));
+    const __m256 r1 = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r + i + 8)));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i), r0, acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i + 8), r1, acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 rv = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r + i)));
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(q + i), rv, acc0);
+  }
+  float total = HSum8(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) total += q[i] * F16ToF32(r[i]);
+  return total;
+}
+
+void DotBatchF16Avx2(const float* query, const std::uint16_t* rows,
+                     std::size_t n, std::size_t stride, std::size_t dim,
+                     float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows + (i + 1) * stride, dim * 2);
+    out[i] = DotF16Avx2(query, rows + i * stride, dim);
+  }
+}
+
+void DotRowsF16Avx2(const float* query, const std::uint16_t* const* rows,
+                    std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim * 2);
+    out[i] = DotF16Avx2(query, rows[i], dim);
+  }
+}
+
 constexpr KernelSet kAvx2Kernels = {
-    DotAvx2, L2SqAvx2, DotBatchAvx2, DotRowsAvx2, L2SqBatchAvx2,
+    DotAvx2,        L2SqAvx2,      DotBatchAvx2,
+    DotRowsAvx2,    L2SqBatchAvx2, DotBatchI8Avx2,
+    DotRowsI8Avx2,  DotBatchF16Avx2, DotRowsF16Avx2,
 };
 
 // ---------------------------------------------------------------------------
@@ -343,8 +508,84 @@ void L2SqBatchAvx512(const float* query, const float* rows, std::size_t n,
   }
 }
 
+// AVX512F-only (no BW/VNNI assumed): widen int8 to i32 lanes, VPMULLD,
+// reduce.  Exact i32 arithmetic, so bit-identical to scalar.
+CORTEX_TARGET_AVX512 std::int32_t DotI8SumAvx512(const std::int8_t* a,
+                                                 const std::int8_t* b,
+                                                 std::size_t dim) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512i av = _mm512_cvtepi8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m512i bv = _mm512_cvtepi8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm512_add_epi32(acc, _mm512_mullo_epi32(av, bv));
+  }
+  std::int32_t sum = static_cast<std::int32_t>(_mm512_reduce_add_epi32(acc));
+  for (; i < dim; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void DotBatchI8Avx512(const std::int8_t* query, float query_scale,
+                      const std::int8_t* rows, const float* scales,
+                      std::size_t n, std::size_t stride, std::size_t dim,
+                      float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows + (i + 1) * stride, dim);
+    out[i] = DescaleI8(query_scale, scales[i],
+                       DotI8SumAvx512(query, rows + i * stride, dim));
+  }
+}
+
+void DotRowsI8Avx512(const std::int8_t* query, float query_scale,
+                     const std::int8_t* const* rows, const float* scales,
+                     std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim);
+    out[i] =
+        DescaleI8(query_scale, scales[i], DotI8SumAvx512(query, rows[i], dim));
+  }
+}
+
+CORTEX_TARGET_AVX512 float DotF16Avx512(const float* q,
+                                        const std::uint16_t* r,
+                                        std::size_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 rv = _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + i)));
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(q + i), rv, acc);
+  }
+  float total = HSum16(acc);
+  for (; i < dim; ++i) total += q[i] * F16ToF32(r[i]);
+  return total;
+}
+
+void DotBatchF16Avx512(const float* query, const std::uint16_t* rows,
+                       std::size_t n, std::size_t stride, std::size_t dim,
+                       float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows + (i + 1) * stride, dim * 2);
+    out[i] = DotF16Avx512(query, rows + i * stride, dim);
+  }
+}
+
+void DotRowsF16Avx512(const float* query, const std::uint16_t* const* rows,
+                      std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim * 2);
+    out[i] = DotF16Avx512(query, rows[i], dim);
+  }
+}
+
 constexpr KernelSet kAvx512Kernels = {
-    DotAvx512, L2SqAvx512, DotBatchAvx512, DotRowsAvx512, L2SqBatchAvx512,
+    DotAvx512,        L2SqAvx512,      DotBatchAvx512,
+    DotRowsAvx512,    L2SqBatchAvx512, DotBatchI8Avx512,
+    DotRowsI8Avx512,  DotBatchF16Avx512, DotRowsF16Avx512,
 };
 
 #endif  // CORTEX_SIMD_HAVE_X86
@@ -451,8 +692,80 @@ void L2SqBatchNeon(const float* query, const float* rows, std::size_t n,
   }
 }
 
+// Exact int8 dot: SMULL to i16x8, pairwise-accumulate into i32x4.
+std::int32_t DotI8SumNeon(const std::int8_t* a, const std::int8_t* b,
+                          std::size_t dim) {
+  int32x4_t acc = vdupq_n_s32(0);
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const int8x16_t av = vld1q_s8(a + i);
+    const int8x16_t bv = vld1q_s8(b + i);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(av), vget_low_s8(bv)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(av), vget_high_s8(bv)));
+  }
+  std::int32_t sum = vaddvq_s32(acc);
+  for (; i < dim; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void DotBatchI8Neon(const std::int8_t* query, float query_scale,
+                    const std::int8_t* rows, const float* scales,
+                    std::size_t n, std::size_t stride, std::size_t dim,
+                    float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows + (i + 1) * stride, dim);
+    out[i] = DescaleI8(query_scale, scales[i],
+                       DotI8SumNeon(query, rows + i * stride, dim));
+  }
+}
+
+void DotRowsI8Neon(const std::int8_t* query, float query_scale,
+                   const std::int8_t* const* rows, const float* scales,
+                   std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim);
+    out[i] =
+        DescaleI8(query_scale, scales[i], DotI8SumNeon(query, rows[i], dim));
+  }
+}
+
+// FCVTL is baseline ARMv8-A: decode four halves per step.
+float DotF16Neon(const float* q, const std::uint16_t* r, std::size_t dim) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float32x4_t rv =
+        vcvt_f32_f16(vreinterpret_f16_u16(vld1_u16(r + i)));
+    acc = vfmaq_f32(acc, vld1q_f32(q + i), rv);
+  }
+  float total = vaddvq_f32(acc);
+  for (; i < dim; ++i) total += q[i] * F16ToF32(r[i]);
+  return total;
+}
+
+void DotBatchF16Neon(const float* query, const std::uint16_t* rows,
+                     std::size_t n, std::size_t stride, std::size_t dim,
+                     float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows + (i + 1) * stride, dim * 2);
+    out[i] = DotF16Neon(query, rows + i * stride, dim);
+  }
+}
+
+void DotRowsF16Neon(const float* query, const std::uint16_t* const* rows,
+                    std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim * 2);
+    out[i] = DotF16Neon(query, rows[i], dim);
+  }
+}
+
 constexpr KernelSet kNeonKernels = {
-    DotNeon, L2SqNeon, DotBatchNeon, DotRowsNeon, L2SqBatchNeon,
+    DotNeon,        L2SqNeon,      DotBatchNeon,
+    DotRowsNeon,    L2SqBatchNeon, DotBatchI8Neon,
+    DotRowsI8Neon,  DotBatchF16Neon, DotRowsF16Neon,
 };
 
 #endif  // CORTEX_SIMD_HAVE_NEON
@@ -499,6 +812,68 @@ Dispatch& ActiveDispatch() noexcept {
 
 }  // namespace
 
+std::uint16_t F32ToF16(float f) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof x);
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  x &= 0x7fffffffu;
+  if (x >= 0x47800000u) {  // too large for a finite half, or inf/nan
+    if (x > 0x7f800000u) return sign | 0x7e00u;  // quiet NaN
+    return sign | 0x7c00u;                       // +-inf
+  }
+  if (x < 0x38800000u) {  // maps to a subnormal half (or zero)
+    if (x < 0x33000000u) return sign;  // below half of the smallest subnormal
+    const std::uint32_t shift = 113u - (x >> 23);
+    const std::uint32_t mant = (x & 0x7fffffu) | 0x800000u;
+    std::uint16_t h = static_cast<std::uint16_t>(mant >> (shift + 13));
+    // Round to nearest, ties to even.
+    const std::uint32_t rem = mant & ((1u << (shift + 13)) - 1u);
+    const std::uint32_t half = 1u << (shift + 12);
+    if (rem > half || (rem == half && (h & 1u))) ++h;
+    return sign | h;
+  }
+  // Normal range; a mantissa round-up may carry into the exponent (and at
+  // the top, into infinity) — the carry arithmetic is exactly right.
+  std::uint32_t h = (((x >> 23) - 112u) << 10) | ((x >> 13) & 0x3ffu);
+  const std::uint32_t rem = x & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+float F16ToF32(std::uint16_t h) noexcept {
+  const float sign = (h & 0x8000u) ? -1.0f : 1.0f;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+  if (exp == 0) {
+    // Subnormal: mant * 2^-24, exact in binary32.
+    return sign * static_cast<float>(mant) * 0x1p-24f;
+  }
+  if (exp == 31) {
+    if (mant != 0) return std::numeric_limits<float>::quiet_NaN();
+    return sign * std::numeric_limits<float>::infinity();
+  }
+  std::uint32_t bits = (static_cast<std::uint32_t>(h & 0x8000u) << 16) |
+                       ((exp + 112u) << 23) | (mant << 13);
+  float f;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+float QuantizeRowI8(std::span<const float> v, std::int8_t* out) noexcept {
+  float amax = 0.0f;
+  for (const float x : v) amax = std::max(amax, std::fabs(x));
+  if (amax == 0.0f) {
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = 0;
+    return 0.0f;
+  }
+  const float inv = 127.0f / amax;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const long q = std::lrintf(v[i] * inv);
+    out[i] = static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+  }
+  return amax / 127.0f;
+}
+
 const char* VariantName(Variant v) noexcept {
   switch (v) {
     case Variant::kScalar:
@@ -519,7 +894,10 @@ bool VariantSupported(Variant v) noexcept {
       return true;
     case Variant::kAvx2:
 #if CORTEX_SIMD_HAVE_X86
-      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+      // f16c: the fp16 row kernels decode with VCVTPH2PS.  Every AVX2
+      // core ships F16C (it predates AVX2), so this costs no coverage.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+             __builtin_cpu_supports("f16c");
 #else
       return false;
 #endif

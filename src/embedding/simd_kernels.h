@@ -54,7 +54,42 @@ struct KernelSet {
   // out[i] = ||query - (rows + i*stride)||^2.
   void (*l2sq_batch)(const float* query, const float* rows, std::size_t n,
                      std::size_t stride, std::size_t dim, float* out);
+
+  // Quantized scan-tier kernels (DESIGN.md §13).  int8 rows use symmetric
+  // per-row scales (row = scale * q[0..dim)); the query is pre-quantized
+  // once per probe with QuantizeRowI8.  The integer dot is exact (i32
+  // accumulation, no overflow below dim ~1.3e5), so int8 scores are
+  // bit-identical across every variant.  fp16 rows are IEEE binary16;
+  // decode is exact, accumulation follows the fp32 kernels' contract
+  // (scalar = double accumulation, SIMD = float lanes, ~1e-6 agreement).
+  void (*dot_batch_i8)(const std::int8_t* query, float query_scale,
+                       const std::int8_t* rows, const float* scales,
+                       std::size_t n, std::size_t stride, std::size_t dim,
+                       float* out);
+  void (*dot_rows_i8)(const std::int8_t* query, float query_scale,
+                      const std::int8_t* const* rows, const float* scales,
+                      std::size_t n, std::size_t dim, float* out);
+  void (*dot_batch_f16)(const float* query, const std::uint16_t* rows,
+                        std::size_t n, std::size_t stride, std::size_t dim,
+                        float* out);
+  void (*dot_rows_f16)(const float* query, const std::uint16_t* const* rows,
+                       std::size_t n, std::size_t dim, float* out);
 };
+
+// ---------------------------------------------------------------------------
+// Quantized row encoding.  Encoding is ALWAYS software-scalar so stored
+// bytes are identical whatever variant is active; only decoding happens in
+// SIMD lanes (and is exact, so it cannot diverge).
+
+// IEEE binary16 conversion, round-to-nearest-even.  F16ToF32 is exact and
+// bit-identical to hardware VCVTPH2PS on every finite input.
+std::uint16_t F32ToF16(float f) noexcept;
+float F16ToF32(std::uint16_t h) noexcept;
+
+// Symmetric per-row int8 quantization: out[i] = round(v[i] * 127 / amax),
+// clamped to [-127, 127]; returns the scale (amax / 127, or 0 for an
+// all-zero row — the dot of a zero-scale row is exactly 0).
+float QuantizeRowI8(std::span<const float> v, std::int8_t* out) noexcept;
 
 // True when `v` is both compiled into this binary and runnable on this CPU.
 bool VariantSupported(Variant v) noexcept;
@@ -115,6 +150,36 @@ inline void L2SqBatch(std::span<const float> query, const float* rows,
                       std::size_t n, std::size_t stride, float* out) noexcept {
   ActiveKernels().l2sq_batch(query.data(), rows, n, stride, query.size(),
                              out);
+}
+
+// Quantized flavours; `query_i8`/`query_scale` come from one QuantizeRowI8
+// call per probe.
+inline void DotBatchI8(const std::int8_t* query_i8, float query_scale,
+                       const std::int8_t* rows, const float* scales,
+                       std::size_t n, std::size_t stride, std::size_t dim,
+                       float* out) noexcept {
+  ActiveKernels().dot_batch_i8(query_i8, query_scale, rows, scales, n,
+                               stride, dim, out);
+}
+
+inline void DotRowsI8(const std::int8_t* query_i8, float query_scale,
+                      const std::int8_t* const* rows, const float* scales,
+                      std::size_t n, std::size_t dim, float* out) noexcept {
+  ActiveKernels().dot_rows_i8(query_i8, query_scale, rows, scales, n, dim,
+                              out);
+}
+
+inline void DotBatchF16(std::span<const float> query,
+                        const std::uint16_t* rows, std::size_t n,
+                        std::size_t stride, float* out) noexcept {
+  ActiveKernels().dot_batch_f16(query.data(), rows, n, stride, query.size(),
+                                out);
+}
+
+inline void DotRowsF16(std::span<const float> query,
+                       const std::uint16_t* const* rows, std::size_t n,
+                       float* out) noexcept {
+  ActiveKernels().dot_rows_f16(query.data(), rows, n, query.size(), out);
 }
 
 }  // namespace cortex::simd

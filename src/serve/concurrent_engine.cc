@@ -28,6 +28,7 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
     const HashedEmbedder* embedder, const JudgerModel* judger,
     ConcurrentEngineOptions options)
     : embedder_(embedder),
+      judger_(judger),
       options_(std::move(options)),
       clock_(options_.clock ? options_.clock : WallClockSinceNow()) {
   CHECK(embedder != nullptr) << "engine requires an embedder";
@@ -78,7 +79,8 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
         judger, MakeEviction(options_.eviction), per_shard);
     shards_.push_back(std::make_unique<Shard>(
         std::move(cache), options_.recalibration,
-        options_.recalibration_seed + i));
+        options_.recalibration_seed + i, embedder->dimension(),
+        options_.probe_scan_format));
     const std::string prefix =
         "cortex_engine_shard" + std::to_string(i) + "_";
     Shard& shard = *shards_.back();
@@ -93,7 +95,18 @@ ConcurrentShardedEngine::ConcurrentShardedEngine(
   }
 }
 
-ConcurrentShardedEngine::~ConcurrentShardedEngine() { StopHousekeeping(); }
+ConcurrentShardedEngine::~ConcurrentShardedEngine() {
+  StopHousekeeping();
+  // Retire every shard's final snapshot, then wait out the grace period.
+  // No probes may be in flight once destruction starts (usual dtor
+  // contract), so the drain completes promptly.
+  for (auto& shard : shards_) {
+    const ShardSnapshot* last =
+        shard->snapshot.exchange(nullptr, std::memory_order_seq_cst);
+    if (last != nullptr) epoch_.Retire([last] { delete last; });
+  }
+  epoch_.DrainBlocking();
+}
 
 void ConcurrentShardedEngine::StopHousekeeping() {
   {
@@ -143,6 +156,155 @@ void ConcurrentShardedEngine::ApplyCacheDeltas(Shard& shard,
   if (entries_delta != 0.0) cache_entries_->Add(entries_delta);
 }
 
+void ConcurrentShardedEngine::SyncProbeState(Shard& shard) {
+  // Rows whose grace period has passed go back to the slab free list, so
+  // this sync's adds can reuse them.  Limbo epochs are non-decreasing —
+  // draining is a prefix pop.
+  const std::uint64_t safe = epoch_.safe_epoch();
+  while (!shard.limbo.empty() && shard.limbo.front().first <= safe) {
+    shard.scan_slab.Free(shard.limbo.front().second);
+    shard.limbo.pop_front();
+  }
+
+  // Reconcile resident rows against the cache store.  A record is stale
+  // when its id vanished or its probe fingerprint — (created_at,
+  // expiration_time, tenant) — changed (dedup refresh renews the TTL,
+  // promotion retags the tenant; key/value/embedding are immutable per
+  // id).  Stale rows are unlinked (not freed — a published snapshot may
+  // still reference them) and re-added fresh.
+  const auto& entries = shard.cache->entries();
+  std::vector<std::uint32_t> unlinked;
+  for (auto it = shard.resident.begin(); it != shard.resident.end();) {
+    const auto e = entries.find(it->first);
+    const ProbeRecord& rec = *it->second.record;
+    if (e == entries.end() || e->second.created_at != rec.created_at ||
+        e->second.expiration_time != rec.expiration_time ||
+        e->second.tenant != rec.tenant) {
+      unlinked.push_back(it->second.row);
+      it = shard.resident.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  bool changed = !unlinked.empty();
+  for (const auto& [id, se] : entries) {
+    if (shard.resident.contains(id)) continue;
+    auto record = std::make_shared<const ProbeRecord>(
+        ProbeRecord{id, se.key, se.value, se.tenant, se.created_at,
+                    se.expiration_time, se.embedding});
+    const std::uint32_t row = shard.scan_slab.Add(se.embedding);
+    shard.resident.emplace(id, Shard::ResidentRow{std::move(record), row});
+    changed = true;
+  }
+
+  // Republish when membership changed OR the sine thresholds moved (they
+  // are frozen into the snapshot at publish time).
+  const ShardSnapshot* cur = shard.snapshot.load(std::memory_order_seq_cst);
+  const SineOptions& live = shard.cache->sine().options();
+  if (changed || cur == nullptr || cur->sine.tau_lsm != live.tau_lsm ||
+      cur->sine.tau_sim != live.tau_sim) {
+    auto* snap = new ShardSnapshot;
+    snap->format = shard.scan_slab.format();
+    snap->dim = shard.scan_slab.dim();
+    snap->sine = live;
+    const std::size_t n = shard.resident.size();
+    snap->records.reserve(n);
+    switch (snap->format) {
+      case RowFormat::kF32:
+        snap->rows_f32.reserve(n);
+        break;
+      case RowFormat::kF16:
+        snap->rows_f16.reserve(n);
+        break;
+      case RowFormat::kI8:
+        snap->rows_i8.reserve(n);
+        snap->scales_i8.reserve(n);
+        break;
+    }
+    for (const auto& [id, rr] : shard.resident) {
+      snap->records.push_back(rr.record);
+      switch (snap->format) {
+        case RowFormat::kF32:
+          snap->rows_f32.push_back(shard.scan_slab.Row(rr.row));
+          break;
+        case RowFormat::kF16:
+          snap->rows_f16.push_back(shard.scan_slab.RowF16(rr.row));
+          break;
+        case RowFormat::kI8:
+          snap->rows_i8.push_back(shard.scan_slab.RowI8(rr.row));
+          snap->scales_i8.push_back(shard.scan_slab.RowScale(rr.row));
+          break;
+      }
+    }
+    const ShardSnapshot* old =
+        shard.snapshot.exchange(snap, std::memory_order_seq_cst);
+    if (old != nullptr) epoch_.Retire([old] { delete old; });
+  }
+
+  // Stamp unlinked rows AFTER the exchange: a reader that loaded the old
+  // snapshot entered at an epoch <= the epoch at exchange time, so a
+  // post-exchange stamp (like EpochDomain::Retire's own) is the earliest
+  // that is provably safe — a pre-exchange stamp could be one epoch low
+  // if the flusher advanced in between, reusing a row one grace period
+  // early while a straggler still scans it.
+  if (!unlinked.empty()) {
+    const std::uint64_t unlink_epoch = epoch_.current_epoch();
+    for (const std::uint32_t row : unlinked) {
+      shard.limbo.emplace_back(unlink_epoch, row);
+    }
+  }
+
+  // Bound deferred garbage between housekeeping ticks (and entirely when
+  // the housekeeping thread is disabled).  kEpochRetire (70) ranks above
+  // kEngineShard (50), so flushing while holding shard.mu is in order.
+  if (epoch_.pending_retired() > 64) epoch_.Flush();
+}
+
+SemanticCache::LookupResult ConcurrentShardedEngine::LockFreeProbe(
+    Shard& shard, std::string_view query, double now, std::string_view tenant,
+    ProbeTiming* timing) {
+  // Embed outside the epoch section — it needs no shard state, and epoch
+  // critical sections should stay as short as the scan itself.
+  const double embed_t0 = telemetry::WallSeconds();
+  Vector query_embedding = embedder_->Embed(query);
+  const double scan_t0 = telemetry::WallSeconds();
+  if (timing != nullptr) timing->embed_seconds = scan_t0 - embed_t0;
+
+  // Phase 1 under the guard: quantized scan + pool selection.  The pool
+  // retains the records' shared_ptrs, so everything after — exact rerank,
+  // judger — runs outside the guard and never extends a grace period.
+  SnapshotScanResult scan;
+  {
+    EpochReadGuard guard(epoch_);
+    const ShardSnapshot* snap =
+        shard.snapshot.load(std::memory_order_seq_cst);
+    if (snap != nullptr) scan = SnapshotScan(*snap, query_embedding);
+  }
+  const double validate_t0 = telemetry::WallSeconds();
+  if (timing != nullptr) timing->ann_seconds = validate_t0 - scan_t0;
+
+  auto result = SnapshotValidate(std::move(scan), std::move(query_embedding),
+                                 query, now, tenant, judger_);
+  if (timing != nullptr) {
+    timing->judger_seconds = telemetry::WallSeconds() - validate_t0;
+  }
+  return result;
+}
+
+std::optional<CacheHit> ConcurrentShardedEngine::Peek(std::string_view query,
+                                                      std::string_view tenant) {
+  Shard& shard = *shards_[ShardFor(query)];
+  const double now = clock_();
+  SemanticCache::LookupResult result;
+  if (options_.lock_free_probe) {
+    result = LockFreeProbe(shard, query, now, tenant, nullptr);
+  } else {
+    ReaderLock lock(shard.mu);
+    result = shard.cache->Probe(query, now, nullptr, tenant);
+  }
+  return std::move(result.hit);
+}
+
 std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
     std::string_view query, telemetry::RequestTrace* trace,
     std::string_view tenant) {
@@ -151,13 +313,18 @@ std::optional<CacheHit> ConcurrentShardedEngine::Lookup(
   const double now = clock_();
   if (trace != nullptr) trace->shard = static_cast<std::uint32_t>(shard_idx);
 
-  // Probe (ANN search + judger — the expensive part) runs under the shared
-  // lock, so lookups on the same shard proceed in parallel.  Sub-phase
-  // timing is only collected when a trace wants it.
+  // Probe (scan + judger — the expensive part) never blocks on the shard
+  // mutex in the default lock-free mode: it reads the epoch-protected
+  // snapshot instead.  The locked fallback takes the shared lock and runs
+  // the in-cache Probe.  Sub-phase timing is only collected when a trace
+  // wants it.
   ProbeTiming probe_timing;
   SemanticCache::LookupResult result;
   const double probe_t0 = telemetry::WallSeconds();
-  {
+  if (options_.lock_free_probe) {
+    result = LockFreeProbe(shard, query, now, tenant,
+                           trace != nullptr ? &probe_timing : nullptr);
+  } else {
     ReaderLock lock(shard.mu);
     result = shard.cache->Probe(
         query, now, trace != nullptr ? &probe_timing : nullptr, tenant);
@@ -261,6 +428,7 @@ std::optional<SeId> ConcurrentShardedEngine::Insert(
       tenant_evictions_delta = shard.cache->TenantUsageFor(tenant).evictions -
                                tenant_evictions_before;
     }
+    if (options_.lock_free_probe) SyncProbeState(shard);
   }
   const double insert_end = telemetry::WallSeconds();
   insert_seconds_->Observe(insert_end - insert_t0);
@@ -309,6 +477,7 @@ std::size_t ConcurrentShardedEngine::RemoveExpired() {
       usage_delta = shard->cache->usage_tokens() - usage_before;
       entries_delta = static_cast<double>(shard->cache->size()) -
                       static_cast<double>(size_before);
+      if (options_.lock_free_probe) SyncProbeState(*shard);
     }
     ApplyCacheDeltas(*shard, before, after, usage_delta, entries_delta);
   }
@@ -442,6 +611,7 @@ std::optional<SeId> ConcurrentShardedEngine::RestoreElement(
     usage_delta = shard.cache->usage_tokens() - usage_before;
     entries_delta = static_cast<double>(shard.cache->size()) -
                     static_cast<double>(size_before);
+    if (options_.lock_free_probe) SyncProbeState(shard);
   }
   ApplyCacheDeltas(shard, before, after, usage_delta, entries_delta);
   return id;
@@ -465,6 +635,9 @@ bool ConcurrentShardedEngine::RecalibrateShard(Shard& shard) {
   recalibrations_->Inc();
   if (round.new_tau) {
     shard.cache->sine().set_tau_lsm(*round.new_tau);
+    // Thresholds are frozen into the published snapshot; republish so
+    // lock-free probes judge against the recalibrated tau.
+    if (options_.lock_free_probe) SyncProbeState(shard);
     return true;
   }
   return false;
@@ -503,6 +676,9 @@ void ConcurrentShardedEngine::HousekeepingLoop() {
       last_recal = now;
       RecalibrateAllShards();
     }
+    // Advance the reclamation epoch and run due retire callbacks (freed
+    // snapshots; slab rows drain back on the next shard mutation).
+    epoch_.Flush();
     lk.lock();
   }
 }

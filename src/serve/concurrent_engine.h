@@ -2,10 +2,17 @@
 // layer (cortexd).  Wraps the paper's sharded deployment (Fig. 4) for real
 // parallel clients instead of the single-threaded virtual-clock sim:
 //
-//   * per-shard std::shared_mutex — lookups take the shared lock for the
-//     expensive read-only probe (ANN search + judger) and upgrade to the
-//     exclusive lock only for the cheap commit (counters, frequency bump);
-//     insert/evict/expire take the exclusive lock outright;
+//   * a lock-free lookup probe (on by default, DESIGN.md §13): each shard
+//     publishes an immutable ShardSnapshot — quantized scan rows plus
+//     probe-relevant record copies — through a seq_cst atomic pointer;
+//     readers pin it with an EpochReadGuard and never touch the shard
+//     mutex for the expensive part (scan + judger).  Writers rebuild and
+//     republish under the exclusive lock and retire the old snapshot to
+//     the engine's EpochDomain.  With lock_free_probe=false, lookups fall
+//     back to taking the shared lock for the probe instead.  Either way
+//     the cheap commit (counters, frequency bump) upgrades to the
+//     exclusive lock; insert/evict/expire take the exclusive lock
+//     outright;
 //   * live telemetry (DESIGN.md §8): every request updates counters,
 //     gauges, and latency histograms on a MetricRegistry — instrument
 //     handles are resolved once at construction, so the hot path is pure
@@ -22,14 +29,18 @@
 // snapshots, not a global atomic view).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -38,9 +49,12 @@
 #include "core/semantic_cache.h"
 #include "core/sharded_cache.h"
 #include "embedding/hashed_embedder.h"
+#include "embedding/vector_slab.h"
+#include "serve/shard_snapshot.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "tenant/registry.h"
+#include "util/epoch.h"
 #include "util/ranked_mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -79,6 +93,19 @@ struct ConcurrentEngineOptions {
   // TenantRegistry built from these options; per-tenant cache budgets are
   // computed against each shard's capacity share.
   tenant::TenantRegistryOptions tenants;
+
+  // Lock-free probe (DESIGN.md §13).  When true, Lookup's expensive probe
+  // reads an epoch-protected ShardSnapshot and never takes the shard
+  // mutex; when false it takes the shared lock and runs the in-cache
+  // Probe (the pre-epoch path, kept for A/B benches and as a fallback).
+  // The lock-free probe's stage 1 is an exact quantized scan + fp32
+  // rerank — identical to the locked path under IndexType::kFlat, better
+  // recall than it under IVF/HNSW (those prune, the scan does not).
+  bool lock_free_probe = true;
+  // Scan-tier row format for the snapshot slab: kI8 cuts scan bytes per
+  // vector ~4x vs fp32; the fp32-rerank contract makes the final top-k
+  // identical whatever format scans.
+  RowFormat probe_scan_format = RowFormat::kI8;
 };
 
 // Lock-free snapshot of the engine-wide counters (a thin view over the
@@ -130,6 +157,15 @@ class ConcurrentShardedEngine {
   std::optional<CacheHit> Lookup(std::string_view query,
                                  telemetry::RequestTrace* trace = nullptr,
                                  std::string_view tenant = {});
+
+  // Read-only lookup: the same two-stage probe, but nothing commits — no
+  // frequency bump, no judgment log, no stats.  With lock_free_probe this
+  // touches no shard mutex at all, so concurrent Peeks scale with cores
+  // (the probe-scaling leg of bench_concurrency measures exactly this);
+  // it is also the right call for health checks and cache-warmness
+  // queries that must not perturb eviction state.
+  std::optional<CacheHit> Peek(std::string_view query,
+                               std::string_view tenant = {});
 
   // Insert knowledge fetched by a client on a miss.  Returns the SE id, or
   // nullopt when rejected (value too large, admission doorkeeper, tenant
@@ -214,6 +250,29 @@ class ConcurrentShardedEngine {
     Recalibrator recalibrator GUARDED_BY(mu);
     Rng rng GUARDED_BY(mu);
 
+    // --- Lock-free probe state (DESIGN.md §13) ---------------------------
+    // The currently published snapshot.  Readers load it seq_cst inside an
+    // EpochReadGuard; writers exchange it seq_cst under the exclusive lock
+    // and retire the old value to the engine's EpochDomain (the epoch
+    // contract requires seq_cst on both sides).  nullptr until the first
+    // publish (readers treat that as an empty shard).
+    std::atomic<const ShardSnapshot*> snapshot{nullptr};
+    // Quantized scan rows.  Row contents are immutable once published in
+    // a snapshot — a changed entry gets a NEW row; the old one parks in
+    // `limbo` until the grace period passes, then returns to the free
+    // list.  Rows never move (slab chunks are stable), so snapshot row
+    // pointers stay valid throughout.
+    VectorSlab scan_slab GUARDED_BY(mu);
+    struct ResidentRow {
+      std::shared_ptr<const ProbeRecord> record;
+      std::uint32_t row = 0;
+    };
+    // id -> (record, slab row) for every SE currently in the cache store.
+    std::unordered_map<SeId, ResidentRow> resident GUARDED_BY(mu);
+    // (retire-epoch, row) for rows unlinked from the current snapshot;
+    // epochs are non-decreasing, so draining is a prefix pop.
+    std::deque<std::pair<std::uint64_t, std::uint32_t>> limbo GUARDED_BY(mu);
+
     // Per-shard registry handles (cortex_engine_shard<i>_*).  The
     // instruments are internally thread-safe; no lock needed to update.
     telemetry::Counter* hits = nullptr;
@@ -222,8 +281,11 @@ class ConcurrentShardedEngine {
     telemetry::Counter* evictions = nullptr;
 
     Shard(std::unique_ptr<SemanticCache> c, RecalibratorOptions ropts,
-          std::uint64_t seed)
-        : cache(std::move(c)), recalibrator(ropts), rng(seed) {}
+          std::uint64_t seed, std::size_t dim, RowFormat format)
+        : cache(std::move(c)),
+          recalibrator(ropts),
+          rng(seed),
+          scan_slab(dim, format) {}
   };
 
   // Waits on hk_cv_ through a std::unique_lock, which clang's analysis
@@ -232,6 +294,21 @@ class ConcurrentShardedEngine {
   void HousekeepingLoop() NO_THREAD_SAFETY_ANALYSIS;
   bool RecalibrateShard(Shard& shard) EXCLUDES(fetch_gt_mu_);
 
+  // Reconciles the shard's probe state against its cache store and, when
+  // anything probe-relevant changed, publishes a fresh ShardSnapshot
+  // (retiring the old one).  Callers hold the exclusive lock and invoke
+  // this after EVERY mutation that can change probe results — insert,
+  // restore, TTL purge, recalibration.  CommitLookup deliberately does
+  // not: frequency/last_access are not probe-relevant.
+  void SyncProbeState(Shard& shard) REQUIRES(shard.mu);
+  // The epoch-protected probe (phases 1+2); returns the same LookupResult
+  // the locked SemanticCache::Probe produces.  Takes no shard lock.
+  SemanticCache::LookupResult LockFreeProbe(Shard& shard,
+                                            std::string_view query,
+                                            double now,
+                                            std::string_view tenant,
+                                            ProbeTiming* timing);
+
   // Publishes what changed inside a shard mutation (insert / purge):
   // cache-layer counter deltas plus resident-size gauge deltas.
   void ApplyCacheDeltas(Shard& shard, const CacheCounters& before,
@@ -239,9 +316,15 @@ class ConcurrentShardedEngine {
                         double entries_delta);
 
   const HashedEmbedder* const embedder_;
+  const JudgerModel* const judger_;
   const Tokenizer tokenizer_;
   const ConcurrentEngineOptions options_;
   const std::function<double()> clock_;
+
+  // Grace-period tracker for snapshot/row reclamation.  Declared before
+  // shards_ so it outlives every Retire callback; the destructor drains
+  // it explicitly after retiring each shard's final snapshot.
+  EpochDomain epoch_;
 
   std::unique_ptr<telemetry::MetricRegistry> registry_owned_;
   telemetry::MetricRegistry* registry_ = nullptr;

@@ -1,0 +1,149 @@
+#include "serve/shard_snapshot.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "embedding/simd_kernels.h"
+#include "util/check.h"
+
+namespace cortex::serve {
+
+SnapshotScanResult SnapshotScan(const ShardSnapshot& snap,
+                                const Vector& query_embedding) {
+  SnapshotScanResult out;
+  out.have_snapshot = true;
+  out.sine = snap.sine;
+  const std::size_t n = snap.size();
+  out.scanned = n;
+  if (n == 0) return out;
+  DCHECK_EQ(query_embedding.size(), snap.dim);
+
+  const std::span<const float> q(query_embedding);
+  std::vector<float> sims(n);
+  double slack = kQuantSimSlack;
+  switch (snap.format) {
+    case RowFormat::kF32:
+      simd::DotRows(q, snap.rows_f32.data(), n, sims.data());
+      slack = 0.0;  // same precision as the locked path's float scan
+      break;
+    case RowFormat::kF16:
+      simd::DotRowsF16(q, snap.rows_f16.data(), n, sims.data());
+      break;
+    case RowFormat::kI8: {
+      // One query quantization per probe; the integer dot itself is exact.
+      std::vector<std::int8_t> q8(snap.dim);
+      const float q_scale = simd::QuantizeRowI8(q, q8.data());
+      simd::DotRowsI8(q8.data(), q_scale, snap.rows_i8.data(),
+                      snap.scales_i8.data(), n, snap.dim, sims.data());
+      break;
+    }
+  }
+
+  // Prefilter at tau_sim minus the quantization slack, then keep a pool
+  // wide enough that the exact rerank's true top-k is always inside it
+  // (FlatIndex's two-phase argument, with extra width for the larger
+  // quantized error).
+  const double floor = snap.sine.tau_sim - slack;
+  std::vector<std::uint32_t> keep;
+  keep.reserve(64);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<double>(sims[i]) >= floor) {
+      keep.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  const std::size_t pool_size =
+      std::min(keep.size(), std::max<std::size_t>(4 * snap.sine.top_k, 32));
+  const auto ranked = [&](std::uint32_t a, std::uint32_t b) {
+    return sims[a] != sims[b] ? sims[a] > sims[b]
+                              : snap.records[a]->id < snap.records[b]->id;
+  };
+  std::partial_sort(keep.begin(),
+                    keep.begin() + static_cast<std::ptrdiff_t>(pool_size),
+                    keep.end(), ranked);
+  out.pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    out.pool.push_back({snap.records[keep[i]], sims[keep[i]]});
+  }
+  return out;
+}
+
+SemanticCache::LookupResult SnapshotValidate(SnapshotScanResult scan,
+                                             Vector query_embedding,
+                                             std::string_view query,
+                                             double now,
+                                             std::string_view tenant,
+                                             const JudgerModel* judger) {
+  SemanticCache::LookupResult result;
+  result.query_embedding = std::move(query_embedding);
+  if (!scan.have_snapshot || scan.pool.empty()) return result;
+  const SineOptions& opt = scan.sine;
+
+  // Exact rerank over the fp32 originals with the scalar double kernel —
+  // the same rescoring FlatIndex::Search applies, so the candidate list
+  // below is what the locked kFlat path would have produced.
+  const auto& exact = simd::KernelsFor(simd::Variant::kScalar);
+  struct Ranked {
+    double sim;
+    const PooledCandidate* c;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(scan.pool.size());
+  for (const PooledCandidate& c : scan.pool) {
+    const double sim =
+        exact.dot(result.query_embedding.data(), c.record->embedding.data(),
+                  result.query_embedding.size());
+    if (sim >= opt.tau_sim) ranked.push_back({sim, &c});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    return a.sim != b.sim ? a.sim > b.sim : a.c->record->id < b.c->record->id;
+  });
+  if (ranked.size() > opt.top_k) ranked.resize(opt.top_k);
+  result.sine.ann_candidates = ranked.size();
+
+  // Visibility mirrors SemanticCache::Probe's accessor: future-dated and
+  // expired entries are skipped (never removed — this path is read-only),
+  // and another tenant's private entries stay invisible.  The truncation
+  // above deliberately ran FIRST: stage 1 has no tenant concept in the
+  // locked path either, so invisible entries consume top_k slots there
+  // too.
+  const auto visible = [&](const ProbeRecord& r) {
+    return r.created_at <= now && r.expiration_time > now &&
+           (r.tenant.empty() || r.tenant == tenant);
+  };
+
+  if (!opt.use_judger) {
+    // Agent_ANN ablation: top similarity wins outright.
+    for (const Ranked& r : ranked) {
+      if (r.sim < opt.ann_only_threshold) continue;
+      const ProbeRecord& rec = *r.c->record;
+      if (!visible(rec)) continue;
+      result.sine.match = SineCandidate{rec.id, r.sim, 0.0};
+      result.hit = CacheHit{rec.id, rec.value, rec.key, r.sim, 0.0};
+      break;  // candidates are sorted best-first
+    }
+    return result;
+  }
+
+  CHECK(judger != nullptr) << "use_judger requires a judger model";
+  for (const Ranked& r : ranked) {
+    const ProbeRecord& rec = *r.c->record;
+    if (!visible(rec)) continue;
+    JudgeRequest req;
+    req.query = query;
+    req.cached_query = rec.key;
+    req.cached_result = rec.value;
+    req.embedding_similarity = r.sim;
+    const double score = judger->Judge(req);
+    ++result.sine.judger_calls;
+    result.sine.judged.push_back({rec.id, r.sim, score});
+    if (score >= opt.tau_lsm) {
+      result.sine.match = SineCandidate{rec.id, r.sim, score};
+      result.hit = CacheHit{rec.id, rec.value, rec.key, r.sim, score};
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cortex::serve

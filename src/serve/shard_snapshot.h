@@ -1,0 +1,116 @@
+// ShardSnapshot: the immutable per-shard state a lock-free probe reads.
+//
+// The serving engine's lock-free read path (DESIGN.md §13) never touches
+// the shard's shared_mutex.  Instead, every write that changes what a
+// probe could observe rebuilds a ShardSnapshot under the write lock and
+// publishes it through a seq_cst atomic pointer; readers pin it with an
+// EpochReadGuard (util/epoch.h) and the old snapshot is retired to the
+// engine's EpochDomain.  Per the epoch contract, BOTH sides of the
+// pointer hand-off are seq_cst: exchange on publish, load under the
+// guard.
+//
+// A snapshot pairs each resident SE with
+//   * a shared_ptr<const ProbeRecord> — the probe-relevant fields, copied
+//     once per id (key/value/embedding are immutable per id in
+//     SemanticCache, so records are shared across rebuilds);
+//   * a row in the shard's scan slab, quantized per the engine's
+//     probe_scan_format (f32 / f16 / i8).  Rows referenced by any live
+//     snapshot are never freed or reused: removed rows sit in a limbo
+//     list until the epoch grace period passes.
+//
+// Probing is two-phase, mirroring FlatIndex::Search's variant-stable
+// ranking (ann/flat_index.cc):
+//   1. SnapshotScan — inside the epoch guard: one gather-kernel pass over
+//      the quantized rows, prefilter at tau_sim minus a quantization
+//      slack, keep a pool of the best max(4*top_k, 32) candidates (the
+//      pool retains the records' shared_ptrs, so phase 2 runs outside
+//      the guard).
+//   2. SnapshotValidate — outside the guard: rescore the pool with the
+//      scalar double-precision fp32 kernel, filter/sort/truncate exactly
+//      like FlatIndex, then run Sine's stage-2 (judger best-first
+//      short-circuit, or the ann-only ablation).  Because the exact
+//      rerank reads fp32 originals, the final top-k and hit decision are
+//      bit-identical to the locked kFlat path whatever scan format or
+//      SIMD variant ran phase 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/semantic_cache.h"
+#include "core/sine.h"
+#include "embedding/vector_slab.h"
+
+namespace cortex::serve {
+
+// Probe-relevant fields of one resident SE.  Immutable after
+// construction; a record is replaced (never mutated) when its
+// fingerprint — (created_at, expiration_time, tenant) — changes.
+struct ProbeRecord {
+  SeId id = 0;
+  std::string key;
+  std::string value;
+  std::string tenant;
+  double created_at = 0.0;
+  double expiration_time = 0.0;
+  Vector embedding;  // fp32 original, the exact-rerank source
+};
+
+struct ShardSnapshot {
+  RowFormat format = RowFormat::kF32;
+  std::size_t dim = 0;
+  // Sine thresholds frozen at publish time (recalibration republishes).
+  SineOptions sine;
+
+  // Parallel arrays, one entry per resident SE (arbitrary order).  Row
+  // pointers point into the shard's scan slab; the limbo protocol
+  // guarantees they outlive every reader of this snapshot.
+  std::vector<std::shared_ptr<const ProbeRecord>> records;
+  std::vector<const float*> rows_f32;          // format == kF32
+  std::vector<const std::uint16_t*> rows_f16;  // format == kF16
+  std::vector<const std::int8_t*> rows_i8;     // format == kI8
+  std::vector<float> scales_i8;                // format == kI8
+
+  std::size_t size() const noexcept { return records.size(); }
+};
+
+// Quantized-similarity slack subtracted from tau_sim when prefiltering
+// scan scores (phase 1).  f16 roundtrip error on unit vectors is ~1e-3
+// and i8 ~2e-3; 0.02 absorbs both with a wide margin, and the exact
+// rerank removes every false admit.  Unused (slack 0) for kF32.
+inline constexpr double kQuantSimSlack = 0.02;
+
+// One pooled phase-1 survivor.  The shared_ptr keeps the record alive
+// after the epoch guard drops.
+struct PooledCandidate {
+  std::shared_ptr<const ProbeRecord> record;
+  float approx_sim = 0.0f;
+};
+
+struct SnapshotScanResult {
+  bool have_snapshot = false;
+  SineOptions sine;
+  std::vector<PooledCandidate> pool;
+  std::size_t scanned = 0;  // rows the quantized kernel scored
+};
+
+// Phase 1.  MUST be called inside an EpochReadGuard with `snap` loaded
+// (seq_cst) from the shard's snapshot pointer.  Takes no locks.
+SnapshotScanResult SnapshotScan(const ShardSnapshot& snap,
+                                const Vector& query_embedding);
+
+// Phase 2.  Runs outside the guard; consumes the pool, reranks on fp32
+// originals, applies visibility (created_at <= now, not expired, tenant
+// match) and stage 2, and fills a LookupResult compatible with
+// SemanticCache::CommitLookup.  `judger` may be null iff
+// scan.sine.use_judger is false.
+SemanticCache::LookupResult SnapshotValidate(SnapshotScanResult scan,
+                                             Vector query_embedding,
+                                             std::string_view query,
+                                             double now,
+                                             std::string_view tenant,
+                                             const JudgerModel* judger);
+
+}  // namespace cortex::serve

@@ -40,7 +40,16 @@ enum class LockRank : int {
   kEngineShard = 50,        // per-shard cache mutex (leaf)
   kTenantRegistry = 60,     // TenantRegistry quota/metric state (below
                             //   kLeaf so metric lookups stay legal)
+  kEpochRetire = 70,        // EpochDomain retire-list mutex: above the
+                            //   shard leaf so writers holding shard.mu
+                            //   may retire garbage into the domain
   kLeaf = 1000,             // generic leaf for code outside the table
+  // Pseudo-rank pushed by EpochReadGuard for the duration of an epoch
+  // critical section.  It is ABOVE every real rank, so acquiring any
+  // ranked mutex inside an epoch section is an inversion and aborts —
+  // epoch sections must stay lock-free or reclamation can stall on a
+  // blocked reader.  No mutex may be constructed with this rank.
+  kEpochCritical = 2000,
 };
 
 namespace lock_order_internal {

@@ -1,0 +1,42 @@
+// Epoch-section fixtures: an EpochReadGuard is modeled as a synthetic
+// guard at rank 2000 ("epoch.read"), so a ranked mutex acquired inside
+// the section is a lock-rank inversion (LockedProbe) and a blocking
+// syscall inside one is io-under-lock (BlockingProbe).  CleanProbe shows
+// the legal shape — guard scope closes before the lock is taken.
+#include "util/epoch.h"
+#include "util/ranked_mutex.h"
+
+namespace mini {
+
+class Reader {
+ public:
+  int LockedProbe();
+  void BlockingProbe(int fd);
+  int CleanProbe();
+
+ private:
+  EpochDomain epoch_;
+  RankedSharedMutex mu_{LockRank::kEngineShard, "reader.mu"};
+  int hits_ GUARDED_BY(mu_) = 0;
+};
+
+int Reader::LockedProbe() {
+  EpochReadGuard guard(epoch_);
+  ReaderLock lock(mu_);
+  return hits_;
+}
+
+void Reader::BlockingProbe(int fd) {
+  EpochReadGuard guard(epoch_);
+  ::recv(fd, nullptr, 0, 0);
+}
+
+int Reader::CleanProbe() {
+  {
+    EpochReadGuard guard(epoch_);
+  }
+  ReaderLock lock(mu_);
+  return hits_;
+}
+
+}  // namespace mini

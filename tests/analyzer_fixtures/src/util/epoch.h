@@ -1,0 +1,21 @@
+// Fixture mirror of src/util/epoch.h — just enough surface for
+// cortex_analyzer's parser: the domain type and the read-guard idiom it
+// recognizes as a synthetic rank-2000 guard.  Never compiled; read as
+// data by test_analyzer.
+#pragma once
+
+namespace mini {
+
+class EpochDomain {
+ public:
+  void Retire();
+  void Flush();
+};
+
+class EpochReadGuard {
+ public:
+  explicit EpochReadGuard(EpochDomain& domain);
+  ~EpochReadGuard();
+};
+
+}  // namespace mini

@@ -43,14 +43,14 @@ std::vector<Finding> ActiveOf(const std::string& check) {
 }
 
 TEST(AnalyzerFixtures, EveryCheckFiresExactlyAsSeeded) {
-  EXPECT_EQ(Result().active.size(), 13u);
+  EXPECT_EQ(Result().active.size(), 15u);
   EXPECT_EQ(Result().suppressed.size(), 1u);
   EXPECT_EQ(Result().baselined.size(), 0u);
 }
 
 TEST(AnalyzerFixtures, LockRankDirectInversion) {
   const auto findings = ActiveOf("lock-rank");
-  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(findings.size(), 3u);
   const auto direct =
       std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
         return f.message.find("Widget::Direct") != std::string::npos;
@@ -64,7 +64,7 @@ TEST(AnalyzerFixtures, LockRankDirectInversion) {
 
 TEST(AnalyzerFixtures, LockRankTransitiveChain) {
   const auto findings = ActiveOf("lock-rank");
-  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(findings.size(), 3u);
   const auto transitive =
       std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
         return f.message.find("Widget::High") != std::string::npos;
@@ -79,7 +79,7 @@ TEST(AnalyzerFixtures, LockRankTransitiveChain) {
 
 TEST(AnalyzerFixtures, IoUnderLockDirectAndTransitive) {
   const auto findings = ActiveOf("io-under-lock");
-  ASSERT_EQ(findings.size(), 2u);
+  ASSERT_EQ(findings.size(), 3u);
   EXPECT_EQ(findings[0].file, "src/serve/channel.cc");
   EXPECT_EQ(findings[1].file, "src/serve/channel.cc");
   EXPECT_EQ(findings[0].message,
@@ -88,6 +88,31 @@ TEST(AnalyzerFixtures, IoUnderLockDirectAndTransitive) {
   EXPECT_EQ(findings[1].message,
             "Channel::Flush calls SendAll while holding 'channel.mu' "
             "(rank 50), which may block on ::send");
+}
+
+TEST(AnalyzerFixtures, EpochReadSectionIsASyntheticRank2000Guard) {
+  const auto lock_rank = ActiveOf("lock-rank");
+  const auto under_epoch = std::find_if(
+      lock_rank.begin(), lock_rank.end(), [](const Finding& f) {
+        return f.message.find("Reader::LockedProbe") != std::string::npos;
+      });
+  ASSERT_NE(under_epoch, lock_rank.end());
+  EXPECT_EQ(under_epoch->file, "src/serve/reader.cc");
+  EXPECT_EQ(under_epoch->message,
+            "Reader::LockedProbe acquires 'reader.mu' (rank 50) while "
+            "holding 'epoch.read' (rank 2000); ranks must be strictly "
+            "increasing");
+
+  const auto io = ActiveOf("io-under-lock");
+  ASSERT_EQ(io.size(), 3u);
+  EXPECT_EQ(io[2].file, "src/serve/reader.cc");
+  EXPECT_EQ(io[2].message,
+            "Reader::BlockingProbe performs blocking ::recv while holding "
+            "'epoch.read' (rank 2000)");
+
+  // CleanProbe closes the epoch scope before locking: no finding names it.
+  for (const auto& f : Result().active)
+    EXPECT_EQ(f.message.find("CleanProbe"), std::string::npos) << f.message;
 }
 
 TEST(AnalyzerFixtures, GuardedByFlagsOnlyTheUnannotatedField) {

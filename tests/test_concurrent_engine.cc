@@ -207,6 +207,138 @@ TEST_F(ConcurrentEngineTest, RecalibrationTickRunsOnEveryShard) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Lock-free probe (DESIGN.md §13) vs the locked fallback.  Under the
+// default kFlat index the epoch path's exact quantized scan + fp32 rerank
+// must reproduce the locked path bit for bit — same hits, same ids, same
+// similarities and judger scores, same counters — whatever scan format.
+
+TEST_F(ConcurrentEngineTest, LockFreeProbeMatchesLockedPathExactly) {
+  for (const RowFormat format :
+       {RowFormat::kF32, RowFormat::kF16, RowFormat::kI8}) {
+    ConcurrentEngineOptions locked_opts = BaseOptions();
+    locked_opts.lock_free_probe = false;
+    ConcurrentEngineOptions epoch_opts = BaseOptions();
+    epoch_opts.lock_free_probe = true;
+    epoch_opts.probe_scan_format = format;
+    ConcurrentShardedEngine locked(&world_.embedder, world_.judger.get(),
+                                   locked_opts);
+    ConcurrentShardedEngine epoch(&world_.embedder, world_.judger.get(),
+                                  epoch_opts);
+
+    const std::size_t topics = world_.universe->size();
+    for (std::size_t topic = 0; topic < topics; ++topic) {
+      const auto a = locked.Insert(RequestFor(topic));
+      const auto b = epoch.Insert(RequestFor(topic));
+      ASSERT_EQ(a, b);
+    }
+
+    for (std::size_t round = 0; round < 3; ++round) {
+      for (std::size_t topic = 0; topic < topics; ++topic) {
+        const auto& q = world_.query(topic, round + 1);
+        const auto a = locked.Lookup(q);
+        const auto b = epoch.Lookup(q);
+        ASSERT_EQ(a.has_value(), b.has_value())
+            << "format=" << RowFormatName(format) << " topic=" << topic
+            << " round=" << round;
+        if (a) {
+          EXPECT_EQ(a->id, b->id);
+          EXPECT_EQ(a->value, b->value);
+          EXPECT_EQ(a->matched_key, b->matched_key);
+          EXPECT_EQ(a->similarity, b->similarity);  // bit-exact, not near
+          EXPECT_EQ(a->judger_score, b->judger_score);
+        }
+      }
+    }
+
+    const auto sa = locked.Stats();
+    const auto sb = epoch.Stats();
+    EXPECT_EQ(sa.lookups, sb.lookups);
+    EXPECT_EQ(sa.hits, sb.hits);
+    const auto ca = locked.TotalCounters();
+    const auto cb = epoch.TotalCounters();
+    EXPECT_EQ(ca.lookups, cb.lookups);
+    EXPECT_EQ(ca.hits, cb.hits);
+  }
+}
+
+TEST_F(ConcurrentEngineTest, LockFreeProbeHonoursTtlWithoutPurge) {
+  std::atomic<double> fake_now{0.0};
+  ConcurrentEngineOptions opts = BaseOptions();
+  opts.cache.min_ttl_sec = 10.0;
+  opts.cache.max_ttl_sec = 20.0;
+  opts.clock = [&fake_now] { return fake_now.load(); };
+  ConcurrentShardedEngine engine(&world_.embedder, world_.judger.get(), opts);
+
+  ASSERT_TRUE(engine.Insert(RequestFor(0)).has_value());
+  EXPECT_TRUE(engine.Lookup(world_.query(0, 0)).has_value());
+
+  // Jump past the TTL without purging: the snapshot still references the
+  // record, so the probe's visibility filter alone must turn it away.
+  fake_now.store(1000.0);
+  EXPECT_FALSE(engine.Lookup(world_.query(0, 0)).has_value());
+
+  // The purge then rebuilds the snapshot without the entry; a re-insert
+  // republishes and serves hits again.
+  EXPECT_EQ(engine.RemoveExpired(), 1u);
+  EXPECT_FALSE(engine.Lookup(world_.query(0, 0)).has_value());
+  ASSERT_TRUE(engine.Insert(RequestFor(0)).has_value());
+  EXPECT_TRUE(engine.Lookup(world_.query(0, 0)).has_value());
+}
+
+TEST_F(ConcurrentEngineTest, LockFreeProbeKeepsTenantsInvisible) {
+  ConcurrentShardedEngine engine(&world_.embedder, world_.judger.get(),
+                                 BaseOptions());
+  InsertRequest req = RequestFor(3);
+  req.tenant = "acme";
+  ASSERT_TRUE(engine.Insert(std::move(req)).has_value());
+
+  EXPECT_TRUE(engine.Lookup(world_.query(3, 0), nullptr, "acme").has_value());
+  EXPECT_FALSE(engine.Lookup(world_.query(3, 0), nullptr, "rival").has_value());
+  EXPECT_FALSE(engine.Lookup(world_.query(3, 0)).has_value());
+}
+
+TEST_F(ConcurrentEngineTest, LookupsRaceChurnUnderLockFreeProbe) {
+  // Readers race inserts, TTL churn, and housekeeping: epoch reclamation
+  // must keep every snapshot readable (run under TSan via scripts/tsan.sh).
+  std::atomic<double> fake_now{0.0};
+  ConcurrentEngineOptions opts = BaseOptions();
+  opts.cache.min_ttl_sec = 1.0;
+  opts.cache.max_ttl_sec = 2.0;
+  opts.housekeeping_interval_sec = 0.01;
+  opts.clock = [&fake_now] { return fake_now.load(); };
+  ConcurrentShardedEngine engine(&world_.embedder, world_.judger.get(), opts);
+
+  const std::size_t topics = world_.universe->size();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> readers;
+  for (std::size_t tid = 0; tid < 4; ++tid) {
+    readers.emplace_back([&, tid] {
+      std::size_t i = tid;
+      while (!stop.load(std::memory_order_relaxed)) {
+        engine.Lookup(world_.query(i % topics, i % 6));
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+  // Writer: keep inserting while the clock marches entries over their
+  // TTLs, so snapshots churn continuously.
+  for (std::size_t round = 0; round < 40; ++round) {
+    for (std::size_t topic = 0; topic < topics; topic += 4) {
+      engine.Insert(RequestFor(topic, round % 6));
+    }
+    fake_now.store(fake_now.load() + 0.25);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(engine.Stats().lookups, lookups.load());
+  EXPECT_GT(lookups.load(), 0u);
+}
+
 TEST_F(ConcurrentEngineTest, RoutingMatchesShardedCache) {
   // The serving tier must agree with ShardedSemanticCache on where every
   // query lives (snapshots and sim results stay comparable).

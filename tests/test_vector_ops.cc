@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "embedding/simd_kernels.h"
+#include "embedding/vector_slab.h"
 #include "util/rng.h"
 
 namespace cortex {
@@ -227,6 +230,355 @@ TEST(SimdKernels, NearlyUnitNormAcceptsUnitRejectsOthers) {
   EXPECT_FALSE(NearlyUnitNorm(v));
   const Vector zero(128, 0.0f);
   EXPECT_FALSE(NearlyUnitNorm(zero));
+}
+
+// ---------------------------------------------------------------------------
+// Quantized scan tier (DESIGN.md §13): fp16/int8 row encoding and kernels.
+
+TEST(F16Conversion, KnownEncodingsAndExactDecode) {
+  // Spot values with known IEEE binary16 encodings.
+  EXPECT_EQ(simd::F32ToF16(0.0f), 0x0000);
+  EXPECT_EQ(simd::F32ToF16(-0.0f), 0x8000);
+  EXPECT_EQ(simd::F32ToF16(1.0f), 0x3C00);
+  EXPECT_EQ(simd::F32ToF16(-2.0f), 0xC000);
+  EXPECT_EQ(simd::F32ToF16(0.5f), 0x3800);
+  EXPECT_EQ(simd::F32ToF16(65504.0f), 0x7BFF);   // f16 max normal
+  EXPECT_EQ(simd::F32ToF16(65536.0f), 0x7C00);   // overflow -> +inf
+  EXPECT_EQ(simd::F32ToF16(-65536.0f), 0xFC00);  // overflow -> -inf
+  EXPECT_EQ(simd::F32ToF16(5.9604645e-8f), 0x0001);  // smallest subnormal
+  // Decode of every encodable half is exact in fp32.
+  EXPECT_EQ(simd::F16ToF32(0x3C00), 1.0f);
+  EXPECT_EQ(simd::F16ToF32(0x0001), 5.9604645e-8f);
+  EXPECT_EQ(simd::F16ToF32(0x8000), -0.0f);
+  EXPECT_TRUE(std::signbit(simd::F16ToF32(0x8000)));
+}
+
+TEST(F16Conversion, RoundTripErrorBoundedForRandomFloats) {
+  // binary16 has 11 significand bits: RNE roundtrip of any value in the
+  // normal range errs by at most 2^-11 relative.
+  Rng rng(19);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const float x = static_cast<float>(rng.Normal());
+    const float rt = simd::F16ToF32(simd::F32ToF16(x));
+    EXPECT_NEAR(rt, x, std::abs(x) * 0x1p-11f + 1e-7f) << "x=" << x;
+  }
+}
+
+TEST(F16Conversion, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly half way between 1.0 and the next half
+  // (1 + 2^-10); RNE must pick the even significand (1.0).
+  EXPECT_EQ(simd::F32ToF16(1.0f + 0x1p-11f), 0x3C00);
+  // Just above the tie rounds up.
+  EXPECT_EQ(simd::F32ToF16(1.0f + 0x1p-11f + 0x1p-20f), 0x3C01);
+  // 1 + 3*2^-11 is half way between 0x3C01 and 0x3C02: even wins again.
+  EXPECT_EQ(simd::F32ToF16(1.0f + 3 * 0x1p-11f), 0x3C02);
+}
+
+TEST(QuantizeRowI8, BoundsScaleAndZeroRow) {
+  Rng rng(23);
+  Vector v(97);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  std::vector<std::int8_t> q(v.size());
+  const float scale = simd::QuantizeRowI8(v, q.data());
+  float amax = 0.0f;
+  for (const float x : v) amax = std::max(amax, std::abs(x));
+  EXPECT_FLOAT_EQ(scale, amax / 127.0f);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_GE(q[i], -127);
+    EXPECT_LE(q[i], 127);
+    // Symmetric quantization reconstruction error is at most scale/2.
+    EXPECT_NEAR(scale * static_cast<float>(q[i]), v[i], scale * 0.5f + 1e-7f);
+  }
+  const Vector zero(16, 0.0f);
+  std::vector<std::int8_t> qz(16, 42);
+  EXPECT_EQ(simd::QuantizeRowI8(zero, qz.data()), 0.0f);
+  for (const auto b : qz) EXPECT_EQ(b, 0);
+}
+
+// int8 kernels accumulate the integer dot exactly, so every variant must
+// return BIT-IDENTICAL floats, not merely close ones.
+TEST(SimdKernels, I8KernelsBitIdenticalAcrossVariants) {
+  Rng rng(29);
+  const auto& scalar = simd::KernelsFor(simd::Variant::kScalar);
+  const auto variants = simd::SupportedVariants();
+  for (const std::size_t dim : {std::size_t{3}, std::size_t{31},
+                                std::size_t{64}, std::size_t{257},
+                                std::size_t{768}}) {
+    const std::size_t n = 23;
+    const std::size_t stride = (dim + 63) / 64 * 64;  // slab i8 stride
+    std::vector<std::int8_t> rows(n * stride);
+    std::vector<float> scales(n);
+    Vector fp_row(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& x : fp_row) x = static_cast<float>(rng.Normal());
+      scales[i] = simd::QuantizeRowI8(fp_row, rows.data() + i * stride);
+    }
+    Vector query(dim);
+    for (auto& x : query) x = static_cast<float>(rng.Normal());
+    std::vector<std::int8_t> q8(dim);
+    const float q_scale = simd::QuantizeRowI8(query, q8.data());
+
+    std::vector<const std::int8_t*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = rows.data() + i * stride;
+    std::reverse(ptrs.begin(), ptrs.end());
+    std::vector<float> ref_batch(n), ref_rows(n);
+    scalar.dot_batch_i8(q8.data(), q_scale, rows.data(), scales.data(), n,
+                        stride, dim, ref_batch.data());
+    std::vector<float> rev_scales(scales.rbegin(), scales.rend());
+    scalar.dot_rows_i8(q8.data(), q_scale, ptrs.data(), rev_scales.data(), n,
+                       dim, ref_rows.data());
+    for (const auto v : variants) {
+      const auto& ks = simd::KernelsFor(v);
+      std::vector<float> got_batch(n), got_rows(n);
+      ks.dot_batch_i8(q8.data(), q_scale, rows.data(), scales.data(), n,
+                      stride, dim, got_batch.data());
+      ks.dot_rows_i8(q8.data(), q_scale, ptrs.data(), rev_scales.data(), n,
+                     dim, got_rows.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got_batch[i], ref_batch[i])
+            << simd::VariantName(v) << " dot_batch_i8 dim=" << dim
+            << " i=" << i;
+        EXPECT_EQ(got_rows[i], ref_rows[i])
+            << simd::VariantName(v) << " dot_rows_i8 dim=" << dim
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, F16KernelsMatchScalarReference) {
+  Rng rng(31);
+  const auto& scalar = simd::KernelsFor(simd::Variant::kScalar);
+  const auto variants = simd::SupportedVariants();
+  for (const std::size_t dim : {std::size_t{7}, std::size_t{64},
+                                std::size_t{129}, std::size_t{768}}) {
+    const std::size_t n = 19;
+    const std::size_t stride = (dim + 31) / 32 * 32;  // slab f16 stride
+    std::vector<std::uint16_t> rows(n * stride);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        rows[i * stride + j] =
+            simd::F32ToF16(static_cast<float>(rng.Normal()));
+      }
+    }
+    Vector query(dim);
+    for (auto& x : query) x = static_cast<float>(rng.Normal());
+    std::vector<const std::uint16_t*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = rows.data() + i * stride;
+    std::reverse(ptrs.begin(), ptrs.end());
+
+    std::vector<float> ref_batch(n), ref_rows(n);
+    scalar.dot_batch_f16(query.data(), rows.data(), n, stride, dim,
+                         ref_batch.data());
+    scalar.dot_rows_f16(query.data(), ptrs.data(), n, dim, ref_rows.data());
+    for (const auto v : variants) {
+      const auto& ks = simd::KernelsFor(v);
+      std::vector<float> got_batch(n), got_rows(n);
+      ks.dot_batch_f16(query.data(), rows.data(), n, stride, dim,
+                       got_batch.data());
+      ks.dot_rows_f16(query.data(), ptrs.data(), n, dim, got_rows.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got_batch[i], ref_batch[i],
+                    1e-5 * (std::abs(ref_batch[i]) + 1.0))
+            << simd::VariantName(v) << " dot_batch_f16 dim=" << dim
+            << " i=" << i;
+        EXPECT_NEAR(got_rows[i], ref_rows[i],
+                    1e-5 * (std::abs(ref_rows[i]) + 1.0))
+            << simd::VariantName(v) << " dot_rows_f16 dim=" << dim
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VectorSlab row formats.
+
+TEST(VectorSlabFormats, EncodesDecodesAndReportsRowBytes) {
+  Rng rng(37);
+  const std::size_t dim = 70;
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  Normalize(v);
+
+  VectorSlab f32(dim, RowFormat::kF32);
+  VectorSlab f16(dim, RowFormat::kF16);
+  VectorSlab i8(dim, RowFormat::kI8);
+  const auto r32 = f32.Add(v);
+  const auto r16 = f16.Add(v);
+  const auto r8 = i8.Add(v);
+
+  Vector d(dim);
+  f32.DecodeRow(r32, d);
+  EXPECT_EQ(d, v);  // fp32 storage is lossless
+  f16.DecodeRow(r16, d);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(d[i], v[i], std::abs(v[i]) * 0x1p-11f + 1e-7f);
+  }
+  i8.DecodeRow(r8, d);
+  const float scale = i8.RowScale(r8);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(d[i], v[i], scale * 0.5f + 1e-7f);
+  }
+
+  // The scan-tier bandwidth win the bench reports: int8 rows must be at
+  // least 3x smaller than fp32 (dim 70: 280 vs 70+4 bytes).
+  EXPECT_EQ(f32.row_bytes(), dim * 4);
+  EXPECT_EQ(f16.row_bytes(), dim * 2);
+  EXPECT_EQ(i8.row_bytes(), dim + sizeof(float));
+  EXPECT_GE(static_cast<double>(f32.row_bytes()) /
+                static_cast<double>(i8.row_bytes()),
+            3.0);
+
+  // Rows stay 64-byte aligned in every format.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f16.RowF16(r16)) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(i8.RowI8(r8)) % 64, 0u);
+}
+
+TEST(VectorSlabFormats, FreeListReuseKeepsScalesPerSlot) {
+  const std::size_t dim = 8;
+  VectorSlab slab(dim, RowFormat::kI8);
+  const Vector small(dim, 0.125f);
+  const Vector big(dim, 100.0f);
+  const auto r0 = slab.Add(small);
+  const auto r1 = slab.Add(big);
+  EXPECT_NE(slab.RowScale(r0), slab.RowScale(r1));
+  slab.Free(r0);
+  const auto r2 = slab.Add(big);  // reuses r0's slot
+  EXPECT_EQ(r2, r0);
+  EXPECT_FLOAT_EQ(slab.RowScale(r2), 100.0f / 127.0f);
+  EXPECT_EQ(slab.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// The two-phase rerank contract (DESIGN.md §13): a quantized scan feeding
+// a pool into the fp32 scalar rerank must produce top-k ids AND exact
+// similarities identical to a full-precision scan, for every compiled
+// variant and every row format.  This is the property the serving tier's
+// lock-free probe relies on.
+
+TEST(QuantizedScanProperty, ScanPlusRerankMatchesF32TopKAcrossVariants) {
+  Rng rng(41);
+  const std::size_t dim = 96;
+  const std::size_t n = 400;
+  const std::size_t top_k = 6;
+  const double tau = 0.55;
+  const double slack = 0.02;
+
+  // A query plus rows at graded distances from it, so similarities spread
+  // across [0, 1] and several land near the tau boundary.
+  Vector query(dim);
+  for (auto& x : query) x = static_cast<float>(rng.Normal());
+  Normalize(query);
+  std::vector<Vector> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float sigma =
+        0.05f + 2.0f * static_cast<float>(i) / static_cast<float>(n);
+    Vector v(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      v[j] = query[j] + sigma * static_cast<float>(rng.Normal());
+    }
+    Normalize(v);
+    rows[i] = std::move(v);
+  }
+
+  // Reference: exact double-precision scan over every row.
+  const auto& scalar = simd::KernelsFor(simd::Variant::kScalar);
+  struct Ref {
+    double sim;
+    std::size_t id;
+  };
+  std::vector<Ref> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sim = scalar.dot(query.data(), rows[i].data(), dim);
+    if (sim >= tau) ref.push_back({sim, i});
+  }
+  std::sort(ref.begin(), ref.end(), [](const Ref& a, const Ref& b) {
+    return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+  });
+  if (ref.size() > top_k) ref.resize(top_k);
+  ASSERT_GE(ref.size(), 3u) << "degenerate fixture: too few candidates";
+
+  for (const auto variant : simd::SupportedVariants()) {
+    ScopedVariant forced(variant);
+    ASSERT_TRUE(forced.forced());
+    for (const RowFormat format :
+         {RowFormat::kF32, RowFormat::kF16, RowFormat::kI8}) {
+      VectorSlab slab(dim, format);
+      std::vector<std::uint32_t> slot(n);
+      for (std::size_t i = 0; i < n; ++i) slot[i] = slab.Add(rows[i]);
+
+      // Phase 1: scan in the slab's format via the gather kernels.
+      std::vector<float> sims(n);
+      switch (format) {
+        case RowFormat::kF32: {
+          std::vector<const float*> ptrs(n);
+          for (std::size_t i = 0; i < n; ++i) ptrs[i] = slab.Row(slot[i]);
+          simd::DotRows(query, ptrs.data(), n, sims.data());
+          break;
+        }
+        case RowFormat::kF16: {
+          std::vector<const std::uint16_t*> ptrs(n);
+          for (std::size_t i = 0; i < n; ++i) ptrs[i] = slab.RowF16(slot[i]);
+          simd::DotRowsF16(query, ptrs.data(), n, sims.data());
+          break;
+        }
+        case RowFormat::kI8: {
+          std::vector<const std::int8_t*> ptrs(n);
+          std::vector<float> scales(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            ptrs[i] = slab.RowI8(slot[i]);
+            scales[i] = slab.RowScale(slot[i]);
+          }
+          std::vector<std::int8_t> q8(dim);
+          const float q_scale = simd::QuantizeRowI8(query, q8.data());
+          simd::DotRowsI8(q8.data(), q_scale, ptrs.data(), scales.data(), n,
+                          dim, sims.data());
+          break;
+        }
+      }
+
+      // Pool selection at tau minus the quantization slack, then phase 2:
+      // exact fp32 rerank (the serving tier's SnapshotScan/Validate
+      // pipeline in miniature).
+      const double floor = format == RowFormat::kF32 ? tau : tau - slack;
+      std::vector<std::size_t> keep;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (static_cast<double>(sims[i]) >= floor) keep.push_back(i);
+      }
+      const std::size_t pool =
+          std::min(keep.size(), std::max<std::size_t>(4 * top_k, 32));
+      std::partial_sort(keep.begin(),
+                        keep.begin() + static_cast<std::ptrdiff_t>(pool),
+                        keep.end(), [&](std::size_t a, std::size_t b) {
+                          return sims[a] != sims[b] ? sims[a] > sims[b]
+                                                    : a < b;
+                        });
+      keep.resize(pool);
+      std::vector<Ref> got;
+      for (const std::size_t i : keep) {
+        const double sim = scalar.dot(query.data(), rows[i].data(), dim);
+        if (sim >= tau) got.push_back({sim, i});
+      }
+      std::sort(got.begin(), got.end(), [](const Ref& a, const Ref& b) {
+        return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+      });
+      if (got.size() > top_k) got.resize(top_k);
+
+      ASSERT_EQ(got.size(), ref.size())
+          << simd::VariantName(variant) << "/" << RowFormatName(format);
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(got[i].id, ref[i].id)
+            << simd::VariantName(variant) << "/" << RowFormatName(format)
+            << " rank " << i;
+        // Exact similarities, not merely close: the rerank reads fp32
+        // originals with the scalar double kernel in both paths.
+        EXPECT_EQ(got[i].sim, ref[i].sim)
+            << simd::VariantName(variant) << "/" << RowFormatName(format)
+            << " rank " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

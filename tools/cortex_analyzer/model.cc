@@ -478,7 +478,8 @@ class Parser {
     f.is_atomic = ContainsIdent(type, "atomic");
     f.is_sync_primitive =
         ranked || plain_mutex || ContainsIdent(type, "condition_variable") ||
-        ContainsIdent(type, "condition_variable_any");
+        ContainsIdent(type, "condition_variable_any") ||
+        ContainsIdent(type, "EpochDomain");
     f.is_thread =
         ContainsIdent(type, "thread") || ContainsIdent(type, "jthread");
     f.is_telemetry = ContainsIdent(type, "Counter") ||
@@ -749,6 +750,21 @@ class Parser {
         continue;
       }
 
+      // Epoch critical section: EpochReadGuard guard(domain);  Modeled
+      // as a synthetic guard at LockRank::kEpochCritical so acquiring
+      // any ranked mutex (or doing blocking IO) inside the section is
+      // reported by the lock-rank / io-under-lock checks.
+      if (t.kind == Token::Kind::kIdent && t.text == "EpochReadGuard" &&
+          T(k + 1).kind == Token::Kind::kIdent && T(k + 2).IsPunct("(")) {
+        Guard g;
+        g.rank = 2000;  // LockRank::kEpochCritical
+        g.lock_name = "epoch.read";
+        record_acquire(g, t.line, nullptr);
+        guards.push_back(g);
+        stmt.clear();
+        k = SkipBalanced(k + 2, "(", ")");
+        continue;
+      }
       // Scoped guard: MutexLock lock(expr);
       if (t.kind == Token::Kind::kIdent &&
           (t.text == "MutexLock" || t.text == "WriterLock" ||
