@@ -20,6 +20,14 @@ Rules (see DESIGN.md §7):
               src/embedding/simd_kernels.* — raw intrinsics go through the
               runtime-dispatched kernel layer (embedding/simd_kernels.h) so
               CORTEX_SIMD pinning and the scalar CI leg stay meaningful.
+  gpu-choke-point
+              no direct BatchingServer use outside src/gpu/ and
+              serve/batch_pipeline.* — every judger admission from the
+              serving tier goes through the batching pipeline's single
+              dispatch point (DESIGN.md §14), so batch occupancy and queue
+              delay stay observable and arrivals stay non-decreasing.
+              (BatchingServerOptions is plain config and may be plumbed
+              anywhere.)
 
 A line may opt out with:  // cortex-lint: allow(<rule>)
 Comments and string literals are stripped before matching, so prose about
@@ -56,6 +64,16 @@ def _in_serving_path(path: Path) -> bool:
 def _outside_simd_kernel_layer(path: Path) -> bool:
     """True everywhere except src/embedding/simd_kernels.{h,cc}."""
     return not path.name.startswith("simd_kernels")
+
+
+def _outside_gpu_choke_point(path: Path) -> bool:
+    """True everywhere except src/gpu/ (the model's home) and
+    serve/batch_pipeline.{h,cc} (the serving tier's single dispatch
+    point)."""
+    posix = path.as_posix()
+    if "/gpu/" in posix or posix.startswith("gpu/"):
+        return False
+    return not path.name.startswith("batch_pipeline")
 
 
 # (rule, pattern, hint, path_predicate) — predicate None means "all files".
@@ -102,6 +120,14 @@ RULES = [
         "raw SIMD intrinsics header outside the kernel layer: go through "
         "the dispatch wrappers in embedding/simd_kernels.h",
         _outside_simd_kernel_layer,
+    ),
+    (
+        "gpu-choke-point",
+        re.compile(r"\bBatchingServer\b(?!Options)"),
+        "direct BatchingServer use outside the batching pipeline: judger "
+        "admission goes through serve/batch_pipeline's single dispatch "
+        "point (DESIGN.md §14)",
+        _outside_gpu_choke_point,
     ),
 ]
 

@@ -61,6 +61,21 @@ class RuleFiringTest(unittest.TestCase):
         self.assertEqual(
             lint_text(src, "src/embedding/simd_kernels.cc"), [])
 
+    def test_gpu_choke_point_fires_outside_pipeline(self):
+        src = "BatchingServer gpu_;\ngpu_.Dispatch(now, cost);\n"
+        out = lint_text(src, "src/serve/server.cc")
+        self.assertEqual(len(out), 1)
+        self.assertIn("[gpu-choke-point]", out[0])
+        # The sanctioned homes: the model's own layer and the pipeline.
+        self.assertEqual(lint_text(src, "src/gpu/batching_server.cc"), [])
+        self.assertEqual(lint_text(src, "src/serve/batch_pipeline.cc"), [])
+
+    def test_gpu_choke_point_ignores_options_plumbing(self):
+        # BatchingServerOptions is plain config and may travel anywhere.
+        self.assertEqual(
+            lint_text("BatchingServerOptions gpu;\n", "src/serve/server.cc"),
+            [])
+
 
 class StrippingTest(unittest.TestCase):
     def test_comments_and_strings_do_not_fire(self):

@@ -57,6 +57,40 @@ std::vector<SearchResult> FlatIndex::Search(std::span<const float> query,
   // per-candidate norm recomputation.
   std::vector<float> sims(n);
   simd::DotBatch(query, data_.data(), n, dimension_, sims.data());
+  auto results = RankFromSims(query, sims.data(), k, min_similarity);
+  // The counter tracks scan work (one per candidate scored); the k-bounded
+  // rerank is constant overhead and intentionally excluded.
+  distcomp_.fetch_add(n, std::memory_order_relaxed);
+  return results;
+}
+
+std::vector<std::vector<SearchResult>> FlatIndex::SearchBatch(
+    const float* queries, std::size_t nq, std::size_t qstride, std::size_t k,
+    double min_similarity) const {
+  CHECK_GE(qstride, dimension_);
+  std::vector<std::vector<SearchResult>> out(nq);
+  if (k == 0 || slot_to_id_.empty() || nq == 0) return out;
+  const std::size_t n = slot_to_id_.size();
+  // One multi-query pass: the row block streams through cache once per
+  // batch.  Per-(query,row) scores are bitwise the sequential DotBatch
+  // scores, and RankFromSims orders by a total order, so out[q] ==
+  // Search(query q).
+  std::vector<float> sims(nq * n);
+  simd::DotBatchMq(queries, nq, qstride, data_.data(), n, dimension_,
+                   dimension_, sims.data());
+  for (std::size_t q = 0; q < nq; ++q) {
+    out[q] = RankFromSims(
+        std::span<const float>(queries + q * qstride, dimension_),
+        sims.data() + q * n, k, min_similarity);
+  }
+  distcomp_.fetch_add(nq * n, std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<SearchResult> FlatIndex::RankFromSims(
+    std::span<const float> query, const float* sims, std::size_t k,
+    double min_similarity) const {
+  const std::size_t n = slot_to_id_.size();
   std::vector<SearchResult> results;
   results.reserve(n);
   for (std::size_t slot = 0; slot < n; ++slot) {
@@ -91,9 +125,6 @@ std::vector<SearchResult> FlatIndex::Search(std::span<const float> query,
   });
   std::sort(results.begin(), results.end(), ranked);
   results.resize(std::min(k, results.size()));
-  // The counter tracks scan work (one per candidate scored); the k-bounded
-  // rerank is constant overhead and intentionally excluded.
-  distcomp_.fetch_add(n, std::memory_order_relaxed);
   return results;
 }
 

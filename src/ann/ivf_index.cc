@@ -162,6 +162,108 @@ std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
       comps += list.size();
     }
   }
+  // comps tracks scan work only; the k-bounded rerank is excluded.
+  distcomp_.fetch_add(comps, std::memory_order_relaxed);
+  return FinalizeResults(query, std::move(results), k, min_similarity);
+}
+
+std::vector<std::vector<SearchResult>> IvfIndex::SearchBatch(
+    const float* queries, std::size_t nq, std::size_t qstride, std::size_t k,
+    double min_similarity) const {
+  CHECK_GE(qstride, dimension_);
+  std::vector<std::vector<SearchResult>> out(nq);
+  if (k == 0 || entries_.empty() || nq == 0) return out;
+
+  std::vector<std::vector<SearchResult>> cand(nq);
+  std::vector<const float*> row_ptrs;
+  std::vector<float> sims;
+  std::uint64_t comps = 0;
+
+  if (!trained_) {
+    // Warm-up: one exact multi-query scan over the whole corpus.
+    std::vector<ListEntry> all;
+    all.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) all.push_back({id, e.row});
+    const std::size_t n = all.size();
+    row_ptrs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) row_ptrs[i] = vectors_.Row(all[i].row);
+    sims.resize(nq * n);
+    simd::DotRowsMq(queries, nq, qstride, row_ptrs.data(), n, dimension_,
+                    sims.data());
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double sim = static_cast<double>(sims[q * n + i]);
+        if (sim >= min_similarity) cand[q].push_back({all[i].id, sim});
+      }
+    }
+    comps += nq * n;
+  } else {
+    // Rank centroids for every query in one multi-query pass, then invert
+    // the probe sets so each inverted list is scanned ONCE for all the
+    // queries that probe it.
+    const std::size_t nlists = options_.num_lists;
+    std::vector<float> cdists(nq * nlists);
+    simd::L2SqBatchMq(queries, nq, qstride, centroids_.data(), nlists,
+                      dimension_, dimension_, cdists.data());
+    comps += nq * nlists;
+    const std::size_t probes = std::min(options_.num_probes, nlists);
+    std::vector<std::vector<std::uint32_t>> probers(nlists);
+    std::vector<std::pair<double, std::size_t>> ranked(nlists);
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::size_t c = 0; c < nlists; ++c) {
+        ranked[c] = {static_cast<double>(cdists[q * nlists + c]), c};
+      }
+      std::partial_sort(ranked.begin(),
+                        ranked.begin() + static_cast<std::ptrdiff_t>(probes),
+                        ranked.end());
+      for (std::size_t p = 0; p < probes; ++p) {
+        probers[ranked[p].second].push_back(static_cast<std::uint32_t>(q));
+      }
+    }
+    std::vector<float> qbuf;
+    for (std::size_t l = 0; l < nlists; ++l) {
+      if (probers[l].empty() || lists_[l].empty()) continue;
+      const auto& list = lists_[l];
+      const std::size_t pq = probers[l].size();
+      const std::size_t n = list.size();
+      qbuf.resize(pq * dimension_);
+      for (std::size_t j = 0; j < pq; ++j) {
+        std::copy_n(queries + probers[l][j] * qstride, dimension_,
+                    qbuf.begin() + static_cast<std::ptrdiff_t>(j * dimension_));
+      }
+      row_ptrs.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        row_ptrs[i] = vectors_.Row(list[i].row);
+      }
+      sims.resize(pq * n);
+      simd::DotRowsMq(qbuf.data(), pq, dimension_, row_ptrs.data(), n,
+                      dimension_, sims.data());
+      for (std::size_t j = 0; j < pq; ++j) {
+        auto& qc = cand[probers[l][j]];
+        for (std::size_t i = 0; i < n; ++i) {
+          const double sim = static_cast<double>(sims[j * n + i]);
+          if (sim >= min_similarity) qc.push_back({list[i].id, sim});
+        }
+      }
+      comps += pq * n;
+    }
+  }
+
+  // Candidate sets match the sequential probes element-for-element (only
+  // the append order differs), and FinalizeResults selects by the total
+  // order (similarity desc, id asc) — so out[q] == Search(query q).
+  for (std::size_t q = 0; q < nq; ++q) {
+    out[q] = FinalizeResults(
+        std::span<const float>(queries + q * qstride, dimension_),
+        std::move(cand[q]), k, min_similarity);
+  }
+  distcomp_.fetch_add(comps, std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<SearchResult> IvfIndex::FinalizeResults(
+    std::span<const float> query, std::vector<SearchResult> results,
+    std::size_t k, double min_similarity) const {
   // Two-phase ranking (see FlatIndex::Search): float batch scores select a
   // pool, the scalar double-precision kernel reranks it, ties break by id —
   // the final top-k is identical across SIMD variants.
@@ -185,8 +287,6 @@ std::vector<SearchResult> IvfIndex::Search(std::span<const float> query,
   });
   std::sort(results.begin(), results.end(), ranked);
   results.resize(std::min(k, results.size()));
-  // comps tracks scan work only; the k-bounded rerank is excluded.
-  distcomp_.fetch_add(comps, std::memory_order_relaxed);
   return results;
 }
 

@@ -43,6 +43,9 @@ class IvfIndex final : public VectorIndex {
   std::vector<SearchResult> Search(std::span<const float> query,
                                    std::size_t k,
                                    double min_similarity) const override;
+  std::vector<std::vector<SearchResult>> SearchBatch(
+      const float* queries, std::size_t nq, std::size_t qstride,
+      std::size_t k, double min_similarity) const override;
   bool Contains(VectorId id) const override;
   std::optional<Vector> Get(VectorId id) const override;
   std::size_t size() const override { return entries_.size(); }
@@ -74,6 +77,12 @@ class IvfIndex final : public VectorIndex {
                 double min_similarity, std::vector<SearchResult>& results,
                 std::vector<const float*>& row_ptrs,
                 std::vector<float>& sims) const;
+  // Shared tail of Search/SearchBatch: two-phase exact rerank + final
+  // filter/sort/truncate over one query's candidate set.
+  std::vector<SearchResult> FinalizeResults(std::span<const float> query,
+                                            std::vector<SearchResult> results,
+                                            std::size_t k,
+                                            double min_similarity) const;
 
   std::size_t dimension_;
   IvfOptions options_;

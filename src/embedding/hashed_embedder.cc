@@ -1,5 +1,6 @@
 #include "embedding/hashed_embedder.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -24,7 +25,7 @@ std::uint64_t HashString(std::string_view s, std::uint64_t seed) noexcept {
 
 }  // namespace
 
-void HashedEmbedder::AddFeature(Vector& v, std::string_view feature,
+void HashedEmbedder::AddFeature(std::span<float> v, std::string_view feature,
                                 double weight) const noexcept {
   std::uint64_t h = HashString(feature, options_.hash_seed);
   for (std::size_t k = 0; k < options_.slots_per_feature; ++k) {
@@ -62,13 +63,28 @@ double HashedEmbedder::IdfWeight(std::string_view token) const {
 
 Vector HashedEmbedder::Embed(std::string_view text) const {
   Vector v(options_.dimension, 0.0f);
+  EmbedInto(text, v);
+  return v;
+}
+
+void HashedEmbedder::EmbedBatch(std::span<const std::string_view> texts,
+                                float* out, std::size_t stride) const {
+  for (std::size_t q = 0; q < texts.size(); ++q) {
+    EmbedInto(texts[q], std::span<float>(out + q * stride,
+                                         options_.dimension));
+  }
+}
+
+void HashedEmbedder::EmbedInto(std::string_view text,
+                               std::span<float> v) const {
+  std::fill(v.begin(), v.end(), 0.0f);
   const auto tokens = tokenizer_.Tokenize(text);
   if (tokens.empty()) {
     // Degenerate input (all stopwords / punctuation): hash the raw text so
     // identical inputs still embed identically instead of to the zero vector.
     AddFeature(v, text, 1.0);
     Normalize(v);
-    return v;
+    return;
   }
 
   std::unordered_map<std::string, int> tf;
@@ -89,7 +105,6 @@ Vector HashedEmbedder::Embed(std::string_view text) const {
   }
 
   Normalize(v);
-  return v;
 }
 
 }  // namespace cortex

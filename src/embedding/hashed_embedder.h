@@ -44,6 +44,17 @@ class HashedEmbedder final : public Embedder {
     return options_.dimension;
   }
 
+  // Embeds `text` into caller-provided storage of exactly dimension()
+  // floats (zero-filled here first).  Embed() routes through this, so the
+  // written floats are bit-identical to an Embed() of the same text.
+  void EmbedInto(std::string_view text, std::span<float> out) const;
+
+  // Batched embedding for the cross-request pipeline (DESIGN.md §14):
+  // row q lands at out + q*stride (stride >= dimension(), in elements).
+  // Each row is bit-identical to Embed(texts[q]).
+  void EmbedBatch(std::span<const std::string_view> texts, float* out,
+                  std::size_t stride) const;
+
   // Fits inverse-document-frequency weights from a corpus of texts.
   // Generic words that appear in many documents ("read file X" vs "show X")
   // are down-weighted so the discriminative content tokens dominate the
@@ -55,7 +66,7 @@ class HashedEmbedder final : public Embedder {
   double IdfWeight(std::string_view token) const;
 
  private:
-  void AddFeature(Vector& v, std::string_view feature,
+  void AddFeature(std::span<float> v, std::string_view feature,
                   double weight) const noexcept;
 
   HashedEmbedderOptions options_;

@@ -151,10 +151,75 @@ void DotRowsF16Scalar(const float* query, const std::uint16_t* const* rows,
   }
 }
 
+// Multi-query scalar kernels: rows outer, queries inner — the same loop
+// interchange every variant applies, scoring with the single-query
+// primitive so each (query, row) score matches the sequential kernel
+// bit-for-bit.
+void DotBatchMqScalar(const float* queries, std::size_t nq,
+                      std::size_t qstride, const float* rows, std::size_t n,
+                      std::size_t stride, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotScalar(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void L2SqBatchMqScalar(const float* queries, std::size_t nq,
+                       std::size_t qstride, const float* rows, std::size_t n,
+                       std::size_t stride, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(L2SqScalar(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void DotRowsMqScalar(const float* queries, std::size_t nq,
+                     std::size_t qstride, const float* const* rows,
+                     std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotScalar(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsI8MqScalar(const std::int8_t* queries, const float* query_scales,
+                       std::size_t nq, std::size_t qstride,
+                       const std::int8_t* const* rows, const float* scales,
+                       std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          DescaleI8(query_scales[q], scales[i],
+                    DotI8SumScalar(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsF16MqScalar(const float* queries, std::size_t nq,
+                        std::size_t qstride, const std::uint16_t* const* rows,
+                        std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] = static_cast<float>(
+          DotF16Scalar(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
 constexpr KernelSet kScalarKernels = {
     DotScalar,        L2SqScalar,      DotBatchScalar,
     DotRowsScalar,    L2SqBatchScalar, DotBatchI8Scalar,
     DotRowsI8Scalar,  DotBatchF16Scalar, DotRowsF16Scalar,
+    DotBatchMqScalar, L2SqBatchMqScalar, DotRowsMqScalar,
+    DotRowsI8MqScalar, DotRowsF16MqScalar,
 };
 
 // ---------------------------------------------------------------------------
@@ -388,10 +453,95 @@ void DotRowsF16Avx2(const float* query, const std::uint16_t* const* rows,
   }
 }
 
+// Multi-query AVX2: identical row-block boundaries to the single-query
+// kernels, with the query loop moved inside the block so a 4-row tile is
+// read from memory once per batch and stays L1-resident across queries.
+void DotBatchMqAvx2(const float* queries, std::size_t nq, std::size_t qstride,
+                    const float* rows, std::size_t n, std::size_t stride,
+                    std::size_t dim, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) PrefetchRow(rows + (i + 4) * stride, 4 * stride);
+    const float* base = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      Dot4Avx2(queries + q * qstride, base, base + stride, base + 2 * stride,
+               base + 3 * stride, dim, out + q * n + i);
+    }
+  }
+  for (; i < n; ++i) {
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotAvx2(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void L2SqBatchMqAvx2(const float* queries, std::size_t nq,
+                     std::size_t qstride, const float* rows, std::size_t n,
+                     std::size_t stride, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchRow(rows + (i + 1) * stride, dim);
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(L2SqAvx2(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void DotRowsMqAvx2(const float* queries, std::size_t nq, std::size_t qstride,
+                   const float* const* rows, std::size_t n, std::size_t dim,
+                   float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t p = i + 4; p < std::min(i + 8, n); ++p) {
+      PrefetchRow(rows[p], dim);
+    }
+    for (std::size_t q = 0; q < nq; ++q) {
+      Dot4Avx2(queries + q * qstride, rows[i], rows[i + 1], rows[i + 2],
+               rows[i + 3], dim, out + q * n + i);
+    }
+  }
+  for (; i < n; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotAvx2(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsI8MqAvx2(const std::int8_t* queries, const float* query_scales,
+                     std::size_t nq, std::size_t qstride,
+                     const std::int8_t* const* rows, const float* scales,
+                     std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim);
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          DescaleI8(query_scales[q], scales[i],
+                    DotI8SumAvx2(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsF16MqAvx2(const float* queries, std::size_t nq,
+                      std::size_t qstride, const std::uint16_t* const* rows,
+                      std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim * 2);
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] = DotF16Avx2(queries + q * qstride, rows[i], dim);
+    }
+  }
+}
+
 constexpr KernelSet kAvx2Kernels = {
     DotAvx2,        L2SqAvx2,      DotBatchAvx2,
     DotRowsAvx2,    L2SqBatchAvx2, DotBatchI8Avx2,
     DotRowsI8Avx2,  DotBatchF16Avx2, DotRowsF16Avx2,
+    DotBatchMqAvx2, L2SqBatchMqAvx2, DotRowsMqAvx2,
+    DotRowsI8MqAvx2, DotRowsF16MqAvx2,
 };
 
 // ---------------------------------------------------------------------------
@@ -582,10 +732,93 @@ void DotRowsF16Avx512(const float* query, const std::uint16_t* const* rows,
   }
 }
 
+// Multi-query AVX-512: same interchange as the AVX2 mq kernels.
+void DotBatchMqAvx512(const float* queries, std::size_t nq,
+                      std::size_t qstride, const float* rows, std::size_t n,
+                      std::size_t stride, std::size_t dim, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) PrefetchRow(rows + (i + 4) * stride, 4 * stride);
+    const float* base = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      Dot4Avx512(queries + q * qstride, base, base + stride,
+                 base + 2 * stride, base + 3 * stride, dim, out + q * n + i);
+    }
+  }
+  for (; i < n; ++i) {
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotAvx512(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void L2SqBatchMqAvx512(const float* queries, std::size_t nq,
+                       std::size_t qstride, const float* rows, std::size_t n,
+                       std::size_t stride, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchRow(rows + (i + 1) * stride, dim);
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(L2SqAvx512(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void DotRowsMqAvx512(const float* queries, std::size_t nq,
+                     std::size_t qstride, const float* const* rows,
+                     std::size_t n, std::size_t dim, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t p = i + 4; p < std::min(i + 8, n); ++p) {
+      PrefetchRow(rows[p], dim);
+    }
+    for (std::size_t q = 0; q < nq; ++q) {
+      Dot4Avx512(queries + q * qstride, rows[i], rows[i + 1], rows[i + 2],
+                 rows[i + 3], dim, out + q * n + i);
+    }
+  }
+  for (; i < n; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotAvx512(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsI8MqAvx512(const std::int8_t* queries, const float* query_scales,
+                       std::size_t nq, std::size_t qstride,
+                       const std::int8_t* const* rows, const float* scales,
+                       std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim);
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          DescaleI8(query_scales[q], scales[i],
+                    DotI8SumAvx512(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsF16MqAvx512(const float* queries, std::size_t nq,
+                        std::size_t qstride, const std::uint16_t* const* rows,
+                        std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim * 2);
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] = DotF16Avx512(queries + q * qstride, rows[i], dim);
+    }
+  }
+}
+
 constexpr KernelSet kAvx512Kernels = {
     DotAvx512,        L2SqAvx512,      DotBatchAvx512,
     DotRowsAvx512,    L2SqBatchAvx512, DotBatchI8Avx512,
     DotRowsI8Avx512,  DotBatchF16Avx512, DotRowsF16Avx512,
+    DotBatchMqAvx512, L2SqBatchMqAvx512, DotRowsMqAvx512,
+    DotRowsI8MqAvx512, DotRowsF16MqAvx512,
 };
 
 #endif  // CORTEX_SIMD_HAVE_X86
@@ -762,10 +995,93 @@ void DotRowsF16Neon(const float* query, const std::uint16_t* const* rows,
   }
 }
 
+// Multi-query NEON: same interchange as the x86 mq kernels.
+void DotBatchMqNeon(const float* queries, std::size_t nq, std::size_t qstride,
+                    const float* rows, std::size_t n, std::size_t stride,
+                    std::size_t dim, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) PrefetchRow(rows + (i + 4) * stride, 4 * stride);
+    const float* base = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      Dot4Neon(queries + q * qstride, base, base + stride, base + 2 * stride,
+               base + 3 * stride, dim, out + q * n + i);
+    }
+  }
+  for (; i < n; ++i) {
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotNeon(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void L2SqBatchMqNeon(const float* queries, std::size_t nq,
+                     std::size_t qstride, const float* rows, std::size_t n,
+                     std::size_t stride, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchRow(rows + (i + 1) * stride, dim);
+    const float* row = rows + i * stride;
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(L2SqNeon(queries + q * qstride, row, dim));
+    }
+  }
+}
+
+void DotRowsMqNeon(const float* queries, std::size_t nq, std::size_t qstride,
+                   const float* const* rows, std::size_t n, std::size_t dim,
+                   float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t p = i + 4; p < std::min(i + 8, n); ++p) {
+      PrefetchRow(rows[p], dim);
+    }
+    for (std::size_t q = 0; q < nq; ++q) {
+      Dot4Neon(queries + q * qstride, rows[i], rows[i + 1], rows[i + 2],
+               rows[i + 3], dim, out + q * n + i);
+    }
+  }
+  for (; i < n; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          static_cast<float>(DotNeon(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsI8MqNeon(const std::int8_t* queries, const float* query_scales,
+                     std::size_t nq, std::size_t qstride,
+                     const std::int8_t* const* rows, const float* scales,
+                     std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim);
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] =
+          DescaleI8(query_scales[q], scales[i],
+                    DotI8SumNeon(queries + q * qstride, rows[i], dim));
+    }
+  }
+}
+
+void DotRowsF16MqNeon(const float* queries, std::size_t nq,
+                      std::size_t qstride, const std::uint16_t* const* rows,
+                      std::size_t n, std::size_t dim, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) PrefetchBytes(rows[i + 1], dim * 2);
+    for (std::size_t q = 0; q < nq; ++q) {
+      out[q * n + i] = DotF16Neon(queries + q * qstride, rows[i], dim);
+    }
+  }
+}
+
 constexpr KernelSet kNeonKernels = {
     DotNeon,        L2SqNeon,      DotBatchNeon,
     DotRowsNeon,    L2SqBatchNeon, DotBatchI8Neon,
     DotRowsI8Neon,  DotBatchF16Neon, DotRowsF16Neon,
+    DotBatchMqNeon, L2SqBatchMqNeon, DotRowsMqNeon,
+    DotRowsI8MqNeon, DotRowsF16MqNeon,
 };
 
 #endif  // CORTEX_SIMD_HAVE_NEON

@@ -74,6 +74,34 @@ struct KernelSet {
                         float* out);
   void (*dot_rows_f16)(const float* query, const std::uint16_t* const* rows,
                        std::size_t n, std::size_t dim, float* out);
+
+  // Multi-query (mq) kernels for the cross-request batching pipeline
+  // (DESIGN.md §14): score `nq` queries — query q at queries + q*qstride,
+  // qstride in elements — against the same n rows in one pass, writing
+  // out[q*n + i].  Rows iterate in the OUTER loop (same block boundaries
+  // as the single-query kernels) with queries inner, so each row block is
+  // read from memory once per BATCH instead of once per query.  The
+  // per-(query,row) arithmetic reuses the single-query primitives
+  // verbatim, so every score is bitwise identical to the corresponding
+  // sequential kernel on the same variant.
+  void (*dot_batch_mq)(const float* queries, std::size_t nq,
+                       std::size_t qstride, const float* rows, std::size_t n,
+                       std::size_t stride, std::size_t dim, float* out);
+  void (*l2sq_batch_mq)(const float* queries, std::size_t nq,
+                        std::size_t qstride, const float* rows, std::size_t n,
+                        std::size_t stride, std::size_t dim, float* out);
+  void (*dot_rows_mq)(const float* queries, std::size_t nq,
+                      std::size_t qstride, const float* const* rows,
+                      std::size_t n, std::size_t dim, float* out);
+  void (*dot_rows_i8_mq)(const std::int8_t* queries,
+                         const float* query_scales, std::size_t nq,
+                         std::size_t qstride, const std::int8_t* const* rows,
+                         const float* scales, std::size_t n, std::size_t dim,
+                         float* out);
+  void (*dot_rows_f16_mq)(const float* queries, std::size_t nq,
+                          std::size_t qstride,
+                          const std::uint16_t* const* rows, std::size_t n,
+                          std::size_t dim, float* out);
 };
 
 // ---------------------------------------------------------------------------
@@ -180,6 +208,46 @@ inline void DotRowsF16(std::span<const float> query,
                        const std::uint16_t* const* rows, std::size_t n,
                        float* out) noexcept {
   ActiveKernels().dot_rows_f16(query.data(), rows, n, query.size(), out);
+}
+
+// Multi-query wrappers (see the KernelSet mq contract above): matrices,
+// not spans — query q lives at queries + q*qstride, score (q, i) lands at
+// out[q*n + i].
+inline void DotBatchMq(const float* queries, std::size_t nq,
+                       std::size_t qstride, const float* rows, std::size_t n,
+                       std::size_t stride, std::size_t dim,
+                       float* out) noexcept {
+  ActiveKernels().dot_batch_mq(queries, nq, qstride, rows, n, stride, dim,
+                               out);
+}
+
+inline void L2SqBatchMq(const float* queries, std::size_t nq,
+                        std::size_t qstride, const float* rows, std::size_t n,
+                        std::size_t stride, std::size_t dim,
+                        float* out) noexcept {
+  ActiveKernels().l2sq_batch_mq(queries, nq, qstride, rows, n, stride, dim,
+                                out);
+}
+
+inline void DotRowsMq(const float* queries, std::size_t nq,
+                      std::size_t qstride, const float* const* rows,
+                      std::size_t n, std::size_t dim, float* out) noexcept {
+  ActiveKernels().dot_rows_mq(queries, nq, qstride, rows, n, dim, out);
+}
+
+inline void DotRowsI8Mq(const std::int8_t* queries, const float* query_scales,
+                        std::size_t nq, std::size_t qstride,
+                        const std::int8_t* const* rows, const float* scales,
+                        std::size_t n, std::size_t dim, float* out) noexcept {
+  ActiveKernels().dot_rows_i8_mq(queries, query_scales, nq, qstride, rows,
+                                 scales, n, dim, out);
+}
+
+inline void DotRowsF16Mq(const float* queries, std::size_t nq,
+                         std::size_t qstride, const std::uint16_t* const* rows,
+                         std::size_t n, std::size_t dim,
+                         float* out) noexcept {
+  ActiveKernels().dot_rows_f16_mq(queries, nq, qstride, rows, n, dim, out);
 }
 
 }  // namespace cortex::simd

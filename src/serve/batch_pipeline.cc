@@ -1,0 +1,185 @@
+#include "serve/batch_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace cortex::serve {
+
+BatchPipeline::BatchPipeline(ConcurrentShardedEngine* engine,
+                             BatchPipelineOptions options)
+    : engine_(engine),
+      options_(options),
+      enabled_(options_.max_batch > 1 && options_.num_threads > 0),
+      gpu_(options_.gpu) {
+  CHECK(engine != nullptr) << "pipeline requires an engine";
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : engine_->registry();
+  requests_ = registry_->GetCounter("cortex_pipeline_requests");
+  batches_ = registry_->GetCounter("cortex_pipeline_batches");
+  full_flushes_ = registry_->GetCounter("cortex_pipeline_full_flushes");
+  window_flushes_ = registry_->GetCounter("cortex_pipeline_window_flushes");
+  batch_size_ = registry_->GetHistogram("cortex_pipeline_batch_size");
+  stage_wait_seconds_ =
+      registry_->GetHistogram("cortex_pipeline_stage_wait_seconds");
+  gpu_queue_delay_seconds_ =
+      registry_->GetHistogram("cortex_pipeline_gpu_queue_delay_seconds");
+  gpu_batch_occupancy_ =
+      registry_->GetHistogram("cortex_pipeline_gpu_batch_occupancy");
+
+  if (!enabled_) return;
+  threads_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    threads_.emplace_back([this] { PipelineLoop(); });
+  }
+}
+
+BatchPipeline::~BatchPipeline() { Drain(); }
+
+std::optional<CacheHit> BatchPipeline::Lookup(std::string_view query,
+                                              telemetry::RequestTrace* trace,
+                                              std::string_view tenant) {
+  if (enabled_) {
+    Pending item(query, tenant, trace, telemetry::WallSeconds());
+    bool staged = false;
+    {
+      MutexLock lock(stage_mu_);
+      if (!drained_ && !stop_) {
+        staged_.push_back(&item);
+        staged = true;
+      }
+    }
+    if (staged) {
+      stage_cv_.notify_all();
+      std::unique_lock<RankedMutex> lk(item.mu);
+      item.cv.wait(lk, [&item] { return item.done; });
+      return std::move(item.hit);
+    }
+  }
+  // Disabled or drained: the degenerate path IS the sequential engine
+  // call, so batch size 1 and "pipeline off" are the same code.
+  return engine_->Lookup(query, trace, tenant);
+}
+
+void BatchPipeline::PipelineLoop() {
+  const double window_sec =
+      static_cast<double>(options_.batch_window_us) * 1e-6;
+  std::unique_lock<RankedMutex> lk(stage_mu_);
+  while (true) {
+    stage_cv_.wait(lk, [this] { return stop_ || !staged_.empty(); });
+    if (staged_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Work-conserving fill-or-deadline: with the pipeline idle (no batch
+    // in flight) flush whatever is staged immediately — batching must
+    // never add latency the engine wasn't already busy for.  While other
+    // batches are processing, hold out for more arrivals, up to max_batch
+    // or the oldest request's window deadline: the wait costs nothing
+    // (the engine is saturated) and deepens this batch.
+    const double deadline = staged_.front()->staged_at + window_sec;
+    while (!stop_ && !drained_ && in_flight_batches_ > 0 &&
+           staged_.size() < options_.max_batch) {
+      const double remaining = deadline - telemetry::WallSeconds();
+      if (remaining <= 0.0) break;
+      stage_cv_.wait_for(lk, std::chrono::duration<double>(remaining));
+    }
+    if (staged_.empty()) continue;  // another thread flushed it
+    const bool full_flush = staged_.size() >= options_.max_batch;
+    const std::size_t take = std::min(staged_.size(), options_.max_batch);
+    std::vector<Pending*> batch(staged_.begin(),
+                                staged_.begin() +
+                                    static_cast<std::ptrdiff_t>(take));
+    staged_.erase(staged_.begin(),
+                  staged_.begin() + static_cast<std::ptrdiff_t>(take));
+    ++in_flight_batches_;
+    lk.unlock();
+    ProcessBatch(batch, full_flush);
+    lk.lock();
+    --in_flight_batches_;
+    // Wake window-waiting flushers (the pipeline just went idle) and
+    // Drain(), which waits for staged-empty AND in-flight-zero.
+    if (in_flight_batches_ == 0) stage_cv_.notify_all();
+  }
+}
+
+void BatchPipeline::ProcessBatch(std::vector<Pending*>& batch,
+                                 bool full_flush) {
+  const double start = telemetry::WallSeconds();
+  std::vector<BatchLookupRequest> requests(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    requests[i].query = batch[i]->query;
+    requests[i].tenant = batch[i]->tenant;
+    requests[i].trace = batch[i]->trace;
+    // The staging delay is the batch's queue-wait; record it per request
+    // before the engine adds its own probe spans.
+    const double wait = start - batch[i]->staged_at;
+    stage_wait_seconds_->Observe(wait);
+    if (batch[i]->trace != nullptr) {
+      batch[i]->trace->AddSpan(telemetry::TracePhase::kQueueWait,
+                               batch[i]->staged_at, wait);
+    }
+  }
+
+  engine_->LookupBatch(requests);
+
+  // Stage 3: one admission to the judger inference partition for the whole
+  // batch's verdicts (this is the ONLY allowed BatchingServer dispatch
+  // site in the serving tier — cortex_lint `gpu-choke-point`).
+  std::size_t judger_calls = 0;
+  double judger_seconds = 0.0;
+  for (const BatchLookupRequest& r : requests) {
+    judger_calls += r.judger_calls;
+    judger_seconds += r.judger_seconds;
+  }
+  if (judger_calls > 0) {
+    MutexLock lock(gpu_mu_);
+    // Dispatch requires non-decreasing arrival times across batches.
+    const double now = std::max(telemetry::WallSeconds(), last_gpu_now_);
+    last_gpu_now_ = now;
+    const DispatchResult d = gpu_.Dispatch(now, judger_seconds);
+    gpu_queue_delay_seconds_->Observe(d.queue_delay);
+    gpu_batch_occupancy_->Observe(static_cast<double>(d.batch_occupancy));
+  }
+
+  requests_->Inc(batch.size());
+  batches_->Inc();
+  (full_flush ? full_flushes_ : window_flushes_)->Inc();
+  batch_size_->Observe(static_cast<double>(batch.size()));
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending* item = batch[i];
+    // Notify while holding the latch: the waiter owns the Pending frame
+    // and may destroy it the instant it observes done == true, which it
+    // cannot do until this unlock.
+    MutexLock lock(item->mu);
+    item->hit = std::move(requests[i].hit);
+    item->done = true;
+    item->cv.notify_one();
+  }
+}
+
+void BatchPipeline::Drain() {
+  if (!enabled_) return;
+  {
+    std::unique_lock<RankedMutex> lk(stage_mu_);
+    if (!drained_) {
+      drained_ = true;  // new Lookups fall through to the engine
+      stage_cv_.notify_all();
+      // Every already-staged request must complete.
+      stage_cv_.wait(lk, [this] {
+        return staged_.empty() && in_flight_batches_ == 0;
+      });
+    }
+    if (stop_) return;  // another Drain already joined the threads
+    stop_ = true;
+  }
+  stage_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace cortex::serve

@@ -1,0 +1,169 @@
+// BatchPipeline: cross-request lookup batching for the serving tier
+// (DESIGN.md §14).
+//
+// Worker threads hand parsed LOOKUP/TLOOKUP requests to Lookup(), which
+// stages them on a bounded FIFO queue and blocks until the request's
+// batch completes.  A small pool of pipeline threads drains the queue in
+// groups under a work-conserving fill-or-deadline policy: when the
+// pipeline is idle (no batch in flight) whatever is staged flushes
+// immediately, so batching never adds latency the engine wasn't already
+// busy for; while batches are processing, a flusher holds out for more
+// arrivals until max_batch requests are staged (a "full flush") or the
+// OLDEST staged request has waited batch_window_us (a "window flush") —
+// under load every stage amortizes across the whole batch:
+//
+//   stage 1  one HashedEmbedder pass over the batch into a contiguous
+//            64-byte-aligned query matrix;
+//   stage 2  per probed shard, ONE epoch-guarded multi-query scan
+//            (dot_*_mq kernels: slab bytes stream through cache once per
+//            batch, not once per query) plus the exact per-query rerank;
+//   stage 3  judger verdicts, then ONE gpu::BatchingServer admission for
+//            the whole batch's verdicts (the single choke point allowed
+//            to dispatch lookup work to the judger partition — enforced
+//            by cortex_lint rule `gpu-choke-point`).
+//
+// Stages 1-2 and the per-request semantics live in
+// ConcurrentShardedEngine::LookupBatch; results are bit-identical to
+// sequential Lookup calls.  max_batch <= 1 (or num_threads == 0)
+// degenerates to direct engine calls with no staging and no threads.
+//
+// Fairness: staging is strictly FIFO, and per-tenant admission
+// (CortexServer::AdmitRequest) runs BEFORE staging — a tenant over quota
+// is bounced without ever occupying a batch slot, so batching cannot be
+// used to cut the admission line.
+//
+// Shutdown: Drain() flushes everything staged (in-flight batches always
+// complete), after which Lookup() falls back to synchronous engine
+// calls.  The destructor drains.
+//
+// Lock order (DESIGN.md §7): stage_mu_ (14) < gpu_mu_ (16) < the
+// engine's locks (30-50); each staged request's completion latch is a
+// kLeaf (1000) mutex held last.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "gpu/batching_server.h"
+#include "serve/concurrent_engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/ranked_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace cortex::serve {
+
+struct BatchPipelineOptions {
+  // Flush a batch at this many staged requests.  <= 1 disables the
+  // pipeline entirely (Lookup == engine->Lookup, no threads spawned).
+  std::size_t max_batch = 16;
+  // Window flush deadline: a staged request never waits longer than this
+  // for its batch to fill.
+  std::uint64_t batch_window_us = 200;
+  // Pipeline drain threads.  0 disables like max_batch <= 1.
+  std::size_t num_threads = 2;
+  // Registry for cortex_pipeline_* instruments; when null the pipeline
+  // publishes into the engine's registry.
+  telemetry::MetricRegistry* registry = nullptr;
+  // Judger inference partition model for stage-3 admission.
+  BatchingServerOptions gpu;
+};
+
+class BatchPipeline {
+ public:
+  // The engine is borrowed and must outlive the pipeline.
+  BatchPipeline(ConcurrentShardedEngine* engine,
+                BatchPipelineOptions options = {});
+  ~BatchPipeline();
+
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  // Stages the lookup and blocks until its batch flushes; returns exactly
+  // what engine->Lookup(query, trace, tenant) would have.  `query` and
+  // `tenant` are borrowed only for the duration of the call.  When the
+  // pipeline is disabled or drained, runs the engine call inline.
+  // (Waits on the completion latch through a std::unique_lock, opaque to
+  // clang's analysis; lock order stays machine-checked by RankedMutex.)
+  std::optional<CacheHit> Lookup(std::string_view query,
+                                 telemetry::RequestTrace* trace = nullptr,
+                                 std::string_view tenant = {})
+      NO_THREAD_SAFETY_ANALYSIS;
+
+  // Completes every staged and in-flight request, then stops the
+  // pipeline threads.  Afterwards Lookup() degenerates to synchronous
+  // engine calls.  Idempotent; safe from any thread (not from inside a
+  // staged Lookup).  (cv-wait through std::unique_lock, see Lookup.)
+  void Drain() NO_THREAD_SAFETY_ANALYSIS;
+
+  bool enabled() const noexcept { return enabled_; }
+  const BatchPipelineOptions& options() const noexcept { return options_; }
+
+ private:
+  // One staged request, stack-allocated in the blocking Lookup() frame.
+  // The request fields are frozen at construction (before the frame is
+  // published to the queue); only the latch state below mutates after.
+  struct Pending {
+    Pending(std::string_view q, std::string_view t,
+            telemetry::RequestTrace* tr, double staged) noexcept
+        : query(q), tenant(t), trace(tr), staged_at(staged) {}
+
+    const std::string_view query;
+    const std::string_view tenant;
+    telemetry::RequestTrace* const trace;
+    const double staged_at;  // WallSeconds() at staging
+
+    // Completion latch.  The pipeline thread sets the outputs and `done`
+    // under `mu` and notifies while still holding it, so the waiter
+    // cannot destroy this frame before the completer is finished with it.
+    RankedMutex mu{LockRank::kLeaf, "pipeline.pending_mu"};
+    std::condition_variable_any cv;
+    bool done GUARDED_BY(mu) = false;
+    std::optional<CacheHit> hit GUARDED_BY(mu);
+  };
+
+  // Waits on cvs through std::unique_lock, which clang's analysis cannot
+  // see through — excluded from analysis, lock order still machine-checked
+  // by RankedMutex.
+  void PipelineLoop() NO_THREAD_SAFETY_ANALYSIS;
+  // Runs one flushed batch through the engine + gpu admission and
+  // completes every member.  Called without stage_mu_ held.
+  void ProcessBatch(std::vector<Pending*>& batch, bool full_flush);
+
+  ConcurrentShardedEngine* const engine_;
+  const BatchPipelineOptions options_;
+  const bool enabled_;
+
+  RankedMutex stage_mu_{LockRank::kPipelineStage, "pipeline.stage_mu"};
+  std::condition_variable_any stage_cv_;
+  std::deque<Pending*> staged_ GUARDED_BY(stage_mu_);
+  std::size_t in_flight_batches_ GUARDED_BY(stage_mu_) = 0;
+  bool stop_ GUARDED_BY(stage_mu_) = false;
+  bool drained_ GUARDED_BY(stage_mu_) = false;
+
+  // Stage-3 admission.  BatchingServer is not thread-safe and requires
+  // non-decreasing arrival times; both enforced here.
+  RankedMutex gpu_mu_{LockRank::kPipelineGpu, "pipeline.gpu_mu"};
+  BatchingServer gpu_ GUARDED_BY(gpu_mu_);
+  double last_gpu_now_ GUARDED_BY(gpu_mu_) = 0.0;
+
+  std::vector<std::thread> threads_;
+
+  // cortex_pipeline_* instruments, resolved once at construction.
+  telemetry::MetricRegistry* registry_ = nullptr;
+  telemetry::Counter* requests_ = nullptr;
+  telemetry::Counter* batches_ = nullptr;
+  telemetry::Counter* full_flushes_ = nullptr;
+  telemetry::Counter* window_flushes_ = nullptr;
+  telemetry::AtomicHistogram* batch_size_ = nullptr;
+  telemetry::AtomicHistogram* stage_wait_seconds_ = nullptr;
+  telemetry::AtomicHistogram* gpu_queue_delay_seconds_ = nullptr;
+  telemetry::AtomicHistogram* gpu_batch_occupancy_ = nullptr;
+};
+
+}  // namespace cortex::serve

@@ -37,6 +37,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
@@ -120,6 +121,21 @@ struct ConcurrentEngineStats {
   std::uint64_t recalibrations = 0;   // per-shard recalibration rounds run
 };
 
+// One request in a cross-request lookup batch (DESIGN.md §14).  `query`
+// and `tenant` are borrowed for the duration of the LookupBatch call;
+// the remaining fields are outputs.
+struct BatchLookupRequest {
+  std::string_view query;
+  std::string_view tenant;
+  telemetry::RequestTrace* trace = nullptr;
+
+  std::optional<CacheHit> hit;
+  // Judger-stage accounting for the batching pipeline's gpu admission:
+  // verdicts this request consumed and the wall time they took.
+  std::size_t judger_calls = 0;
+  double judger_seconds = 0.0;
+};
+
 // ---------------------------------------------------------------------------
 // Engine-snapshot blob helpers for peers that hold no engine.  The cluster
 // router filters a migration stream by ring ownership: it iterates a node's
@@ -157,6 +173,19 @@ class ConcurrentShardedEngine {
   std::optional<CacheHit> Lookup(std::string_view query,
                                  telemetry::RequestTrace* trace = nullptr,
                                  std::string_view tenant = {});
+
+  // Batched lookup (the pipeline's engine entry point, DESIGN.md §14):
+  // embeds every query in one pass into a contiguous 64-byte-aligned
+  // matrix, scans each probed shard's snapshot ONCE for all of its
+  // queries with the multi-query kernels under a single EpochReadGuard,
+  // judges stage-2 verdicts back-to-back, then commits per shard in
+  // request order.  Every request's hit/miss, similarities, verdicts,
+  // and tenant visibility are identical to calling Lookup sequentially
+  // (same snapshot, same exact-rerank, same stage-2 walk; commits do not
+  // change probe-relevant state).  A one-element batch — or an engine
+  // running with lock_free_probe=false — degenerates to sequential
+  // Lookup calls.
+  void LookupBatch(std::span<BatchLookupRequest> batch);
 
   // Read-only lookup: the same two-stage probe, but nothing commits — no
   // frequency bump, no judgment log, no stats.  With lock_free_probe this

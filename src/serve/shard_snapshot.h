@@ -20,22 +20,31 @@
 //
 // Probing is two-phase, mirroring FlatIndex::Search's variant-stable
 // ranking (ann/flat_index.cc):
-//   1. SnapshotScan — inside the epoch guard: one gather-kernel pass over
-//      the quantized rows, prefilter at tau_sim minus a quantization
-//      slack, keep a pool of the best max(4*top_k, 32) candidates (the
-//      pool retains the records' shared_ptrs, so phase 2 runs outside
-//      the guard).
-//   2. SnapshotValidate — outside the guard: rescore the pool with the
-//      scalar double-precision fp32 kernel, filter/sort/truncate exactly
-//      like FlatIndex, then run Sine's stage-2 (judger best-first
-//      short-circuit, or the ann-only ablation).  Because the exact
-//      rerank reads fp32 originals, the final top-k and hit decision are
-//      bit-identical to the locked kFlat path whatever scan format or
-//      SIMD variant ran phase 1.
+//   1. scan — one gather-kernel pass over the quantized rows, prefilter
+//      at tau_sim minus a quantization slack, keep a pool of the best
+//      max(4*top_k, 32) candidates;
+//   2. rerank — rescore the pool with the scalar double-precision fp32
+//      kernel, filter/sort/truncate exactly like FlatIndex.  Because the
+//      exact rerank reads fp32 originals, the final top-k and hit
+//      decision are bit-identical to the locked kFlat path whatever scan
+//      format or SIMD variant ran phase 1.
+//
+// Both phases run INSIDE the epoch guard and allocate nothing on the
+// steady state: callers pass a ProbeScratch whose vectors amortize to
+// the shard's high-water mark.  (The original design pooled shared_ptr
+// copies so the rerank could run outside the guard; under contention the
+// refcount RMWs on shared record control blocks dominated the probe and
+// made the epoch path slower than the locked one — see the
+// concurrency_probe bench.)  Stage 2 — visibility plus the judger
+// best-first walk — is SnapshotJudge, shared verbatim between the
+// sequential probe (borrowed records, still inside the guard) and the
+// batched pipeline (records re-homed to shared_ptrs, judged outside the
+// guard), so both paths produce identical results by construction.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -82,35 +91,68 @@ struct ShardSnapshot {
 // rerank removes every false admit.  Unused (slack 0) for kF32.
 inline constexpr double kQuantSimSlack = 0.02;
 
-// One pooled phase-1 survivor.  The shared_ptr keeps the record alive
-// after the epoch guard drops.
-struct PooledCandidate {
-  std::shared_ptr<const ProbeRecord> record;
-  float approx_sim = 0.0f;
+// Prefilter slack for a given scan format (kQuantSimSlack, or 0 for the
+// exact f32 scan).
+double SnapshotSlack(RowFormat format) noexcept;
+
+// One exact-reranked survivor, sorted best-first.  `record` is BORROWED
+// from the snapshot: it is valid only while the EpochReadGuard that
+// pinned the snapshot is held.  `index` locates the owning shared_ptr in
+// snap.records for callers (the batched pipeline) that must re-home
+// survivors before dropping the guard.
+struct RankedCandidate {
+  double sim = 0.0;
+  const ProbeRecord* record = nullptr;
+  std::uint32_t index = 0;
 };
 
-struct SnapshotScanResult {
-  bool have_snapshot = false;
-  SineOptions sine;
-  std::vector<PooledCandidate> pool;
-  std::size_t scanned = 0;  // rows the quantized kernel scored
+// Reusable scan scratch.  Probe throughput is allocation-sensitive:
+// keep one per thread (or per pipeline batch) and the vectors grow once
+// to the shard's high-water mark, making steady-state probes
+// allocation-free.
+struct ProbeScratch {
+  std::vector<float> sims;          // one score per snapshot row
+  std::vector<std::int8_t> q8;      // quantized query/queries (kI8 scan)
+  std::vector<float> q8_scales;     // per-query i8 scales (mq scan)
+  std::vector<std::uint32_t> keep;  // prefilter survivors (row indices)
+  std::vector<RankedCandidate> ranked;  // phase-2 output, best-first
 };
 
-// Phase 1.  MUST be called inside an EpochReadGuard with `snap` loaded
-// (seq_cst) from the shard's snapshot pointer.  Takes no locks.
-SnapshotScanResult SnapshotScan(const ShardSnapshot& snap,
-                                const Vector& query_embedding);
+// Phases 1+2 for one query: quantized scan into scratch.sims, then
+// SnapshotRankFromSims.  MUST run inside an EpochReadGuard with `snap`
+// loaded (seq_cst) from the shard's snapshot pointer.  Takes no locks.
+void SnapshotScanRank(const ShardSnapshot& snap,
+                      std::span<const float> query, ProbeScratch& scratch);
 
-// Phase 2.  Runs outside the guard; consumes the pool, reranks on fp32
-// originals, applies visibility (created_at <= now, not expired, tenant
-// match) and stage 2, and fills a LookupResult compatible with
-// SemanticCache::CommitLookup.  `judger` may be null iff
-// scan.sine.use_judger is false.
-SemanticCache::LookupResult SnapshotValidate(SnapshotScanResult scan,
-                                             Vector query_embedding,
-                                             std::string_view query,
-                                             double now,
-                                             std::string_view tenant,
-                                             const JudgerModel* judger);
+// Phase 2 from a precomputed score row (`sims[i]` scores snapshot row i,
+// in the snapshot's scan format): prefilter at tau_sim minus the format
+// slack, pool the best max(4*top_k, 32), exact-rerank on the fp32
+// originals, sort (sim desc, id asc), truncate to top_k.  Result in
+// scratch.ranked.  Same guard requirement as SnapshotScanRank.
+void SnapshotRankFromSims(const ShardSnapshot& snap,
+                          std::span<const float> query, const float* sims,
+                          ProbeScratch& scratch);
+
+// Multi-query phase 1: scores `nq` queries (row q at queries + q*qstride,
+// qstride in floats) against every snapshot row in one multi-query
+// kernel pass, writing sims_out[q * snap.size() + i].  Slab bytes are
+// read once per BATCH instead of once per query — the bandwidth win the
+// batching pipeline exists for.  Per-(query,row) scores are bitwise
+// identical to the sequential scan.  Same guard requirement as above.
+void SnapshotScanMq(const ShardSnapshot& snap, const float* queries,
+                    std::size_t nq, std::size_t qstride,
+                    ProbeScratch& scratch, float* sims_out);
+
+// Stage 2 over an exact-ranked candidate list (sorted best-first,
+// already truncated to top_k): applies visibility (created_at <= now,
+// not expired, tenant match) and the judger best-first short-circuit (or
+// the ann-only ablation), and fills a LookupResult compatible with
+// SemanticCache::CommitLookup.  `judger` may be null iff opt.use_judger
+// is false.  Takes no locks; safe inside an epoch guard (the judger is
+// pure).
+SemanticCache::LookupResult SnapshotJudge(
+    std::span<const RankedCandidate> ranked, const SineOptions& opt,
+    Vector query_embedding, std::string_view query, double now,
+    std::string_view tenant, const JudgerModel* judger);
 
 }  // namespace cortex::serve

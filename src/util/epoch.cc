@@ -23,6 +23,11 @@ struct SlotCacheEntry {
 
 thread_local std::vector<SlotCacheEntry> t_slot_cache;
 
+// MRU entry in front of the vector scan: probe-heavy threads re-enter the
+// same domain millions of times, and two plain thread_local reads beat a
+// loop over the cache on every one of them.
+thread_local SlotCacheEntry t_last_slot;
+
 }  // namespace
 
 EpochDomain::EpochDomain() : serial_(g_domain_serial.fetch_add(1)) {}
@@ -43,14 +48,21 @@ EpochDomain::~EpochDomain() {
 }
 
 std::size_t EpochDomain::SlotForThisThread() {
+  if (t_last_slot.domain == this && t_last_slot.serial == serial_) {
+    return t_last_slot.slot;
+  }
   for (const SlotCacheEntry& e : t_slot_cache) {
-    if (e.domain == this && e.serial == serial_) return e.slot;
+    if (e.domain == this && e.serial == serial_) {
+      t_last_slot = e;
+      return e.slot;
+    }
   }
   for (std::size_t i = 0; i < kMaxSlots; ++i) {
     bool expected = false;
     if (slots_[i].claimed.compare_exchange_strong(
             expected, true, std::memory_order_acq_rel)) {
       t_slot_cache.push_back({this, serial_, i});
+      t_last_slot = {this, serial_, i};
       return i;
     }
   }

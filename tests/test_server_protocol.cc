@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -553,6 +554,87 @@ TEST_F(ServerEndToEndTest, PipelineOverflowAnswersBusyInOrder) {
     EXPECT_EQ(kinds[i], ResponseType::kBusy) << "frame " << i;
   }
   EXPECT_EQ(server.stats().requests_busy, 4u);
+}
+
+TEST_F(ServerEndToEndTest, BatchingPipelineServesConcurrentLookupsOverTheWire) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.unix_path = SocketPath("batch");
+  opts.num_workers = 4;
+  opts.max_pipeline_batch = 4;  // cross-request batching on (DESIGN.md §14)
+  opts.batch_window_us = 2000;
+  opts.pipeline_threads = 2;
+  CortexServer server(engine.get(), opts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Seed a few topics so every batched lookup has a sequential-known answer.
+  {
+    BlockingClient seeder;
+    ASSERT_TRUE(seeder.ConnectUnix(opts.unix_path, &error)) << error;
+    for (std::size_t t = 0; t < 4; ++t) {
+      Request insert;
+      insert.type = RequestType::kInsert;
+      insert.key = world_.query(t, 0);
+      insert.value = world_.answer(t);
+      insert.staticity = world_.topic(t).staticity;
+      const auto response = seeder.Call(insert, &error);
+      ASSERT_TRUE(response.has_value()) << error;
+      ASSERT_EQ(response->type, ResponseType::kOk);
+    }
+  }
+
+  // Concurrent clients drive lookups through the batching pipeline; every
+  // answer must be what a sequential lookup would have returned.
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::string err;
+      BlockingClient client;
+      if (!client.ConnectUnix(opts.unix_path, &err)) {
+        ++failures;
+        return;
+      }
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t topic = (c + i) % 4;
+        Request lookup;
+        lookup.type = RequestType::kLookup;
+        lookup.query = world_.query(topic, 1 + (i % 2));
+        const auto response = client.Call(lookup, &err);
+        if (!response.has_value() ||
+            response->type != ResponseType::kHit ||
+            response->value != world_.answer(topic)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The pipeline actually coalesced: STATS carries the batching digest.
+  BlockingClient client;
+  ASSERT_TRUE(client.ConnectUnix(opts.unix_path, &error)) << error;
+  Request stats;
+  stats.type = RequestType::kStats;
+  const auto response = client.Call(stats, &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  ASSERT_EQ(response->type, ResponseType::kStats);
+  double pipeline_requests = 0.0, pipeline_batches = 0.0;
+  for (const auto& [key, value] : response->stats) {
+    if (key == "cortex_pipeline_requests") pipeline_requests = std::stod(value);
+    if (key == "cortex_pipeline_batches") pipeline_batches = std::stod(value);
+  }
+  EXPECT_EQ(pipeline_requests, kClients * kPerClient);
+  EXPECT_GE(pipeline_batches, 1.0);
+  EXPECT_LE(pipeline_batches, pipeline_requests);
+
+  server.Stop();
 }
 
 TEST_F(ServerEndToEndTest, TruncatedFrameAtEofCountsAsProtocolError) {

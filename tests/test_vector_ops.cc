@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "embedding/simd_kernels.h"
@@ -577,6 +578,185 @@ TEST(QuantizedScanProperty, ScanPlusRerankMatchesF32TopKAcrossVariants) {
             << simd::VariantName(variant) << "/" << RowFormatName(format)
             << " rank " << i;
       }
+    }
+  }
+}
+
+// The mq contract (simd_kernels.h): every score an mq kernel writes is
+// BITWISE identical to the corresponding single-query kernel on the same
+// variant — the batching pipeline's parity guarantee rests on this, so the
+// comparisons below are EXPECT_EQ, never EXPECT_NEAR.
+
+TEST(SimdKernels, MqKernelsBitIdenticalToSequentialPerVariant) {
+  Rng rng(53);
+  for (const std::size_t dim : {std::size_t{7}, std::size_t{96},
+                                std::size_t{257}}) {
+    const std::size_t n = 37;        // not a multiple of the 4-row block
+    const std::size_t nq = 5;        // odd, exercises queries-inner tails
+    const std::size_t stride = dim + 3;
+    const std::size_t qstride = dim + 2;
+
+    std::vector<float> rows(n * stride, -1.0f);
+    std::vector<float> queries(nq * qstride, -1.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        rows[i * stride + j] = static_cast<float>(rng.Normal());
+      }
+    }
+    for (std::size_t q = 0; q < nq; ++q) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        queries[q * qstride + j] = static_cast<float>(rng.Normal());
+      }
+    }
+
+    // Scattered-row views in reversed order so the gather kernels cannot
+    // shortcut to the contiguous path.
+    std::vector<const float*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ptrs[i] = rows.data() + (n - 1 - i) * stride;
+    }
+
+    // int8 rows + per-row scales, and per-query quantizations.
+    std::vector<std::int8_t> rows_i8(n * dim);
+    std::vector<float> row_scales(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      row_scales[i] = simd::QuantizeRowI8(
+          std::span<const float>(rows.data() + i * stride, dim),
+          rows_i8.data() + i * dim);
+    }
+    std::vector<const std::int8_t*> ptrs_i8(n);
+    std::vector<float> scales_scattered(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ptrs_i8[i] = rows_i8.data() + (n - 1 - i) * dim;
+      scales_scattered[i] = row_scales[n - 1 - i];
+    }
+    const std::size_t qstride_i8 = dim + 5;
+    std::vector<std::int8_t> queries_i8(nq * qstride_i8, 0);
+    std::vector<float> query_scales(nq);
+    for (std::size_t q = 0; q < nq; ++q) {
+      query_scales[q] = simd::QuantizeRowI8(
+          std::span<const float>(queries.data() + q * qstride, dim),
+          queries_i8.data() + q * qstride_i8);
+    }
+
+    // fp16 rows, scattered like the fp32 gather path.
+    std::vector<std::uint16_t> rows_f16(n * dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        rows_f16[i * dim + j] = simd::F32ToF16(rows[i * stride + j]);
+      }
+    }
+    std::vector<const std::uint16_t*> ptrs_f16(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ptrs_f16[i] = rows_f16.data() + (n - 1 - i) * dim;
+    }
+
+    std::vector<float> mq(nq * n), seq(n);
+    for (const auto variant : simd::SupportedVariants()) {
+      const auto& ks = simd::KernelsFor(variant);
+
+      ks.dot_batch_mq(queries.data(), nq, qstride, rows.data(), n, stride,
+                      dim, mq.data());
+      for (std::size_t q = 0; q < nq; ++q) {
+        ks.dot_batch(queries.data() + q * qstride, rows.data(), n, stride,
+                     dim, seq.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(mq[q * n + i], seq[i])
+              << simd::VariantName(variant) << "/dot_batch_mq dim " << dim
+              << " query " << q << " row " << i;
+        }
+      }
+
+      ks.l2sq_batch_mq(queries.data(), nq, qstride, rows.data(), n, stride,
+                       dim, mq.data());
+      for (std::size_t q = 0; q < nq; ++q) {
+        ks.l2sq_batch(queries.data() + q * qstride, rows.data(), n, stride,
+                      dim, seq.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(mq[q * n + i], seq[i])
+              << simd::VariantName(variant) << "/l2sq_batch_mq dim " << dim
+              << " query " << q << " row " << i;
+        }
+      }
+
+      ks.dot_rows_mq(queries.data(), nq, qstride, ptrs.data(), n, dim,
+                     mq.data());
+      for (std::size_t q = 0; q < nq; ++q) {
+        ks.dot_rows(queries.data() + q * qstride, ptrs.data(), n, dim,
+                    seq.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(mq[q * n + i], seq[i])
+              << simd::VariantName(variant) << "/dot_rows_mq dim " << dim
+              << " query " << q << " row " << i;
+        }
+      }
+
+      ks.dot_rows_i8_mq(queries_i8.data(), query_scales.data(), nq,
+                        qstride_i8, ptrs_i8.data(), scales_scattered.data(),
+                        n, dim, mq.data());
+      for (std::size_t q = 0; q < nq; ++q) {
+        ks.dot_rows_i8(queries_i8.data() + q * qstride_i8, query_scales[q],
+                       ptrs_i8.data(), scales_scattered.data(), n, dim,
+                       seq.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(mq[q * n + i], seq[i])
+              << simd::VariantName(variant) << "/dot_rows_i8_mq dim " << dim
+              << " query " << q << " row " << i;
+        }
+      }
+
+      ks.dot_rows_f16_mq(queries.data(), nq, qstride, ptrs_f16.data(), n,
+                         dim, mq.data());
+      for (std::size_t q = 0; q < nq; ++q) {
+        ks.dot_rows_f16(queries.data() + q * qstride, ptrs_f16.data(), n,
+                        dim, seq.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(mq[q * n + i], seq[i])
+              << simd::VariantName(variant) << "/dot_rows_f16_mq dim "
+              << dim << " query " << q << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+// int8 mq scores must additionally be bit-identical ACROSS variants (the
+// integer dot is exact), mirroring I8KernelsBitIdenticalAcrossVariants.
+TEST(SimdKernels, I8MqKernelsBitIdenticalAcrossVariants) {
+  Rng rng(59);
+  const std::size_t dim = 192;
+  const std::size_t n = 23;
+  const std::size_t nq = 4;
+  std::vector<float> rows(n * dim), queries(nq * dim);
+  for (auto& x : rows) x = static_cast<float>(rng.Normal());
+  for (auto& x : queries) x = static_cast<float>(rng.Normal());
+
+  std::vector<std::int8_t> rows_i8(n * dim), queries_i8(nq * dim);
+  std::vector<float> row_scales(n), query_scales(nq);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_scales[i] = simd::QuantizeRowI8(
+        std::span<const float>(rows.data() + i * dim, dim),
+        rows_i8.data() + i * dim);
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    query_scales[q] = simd::QuantizeRowI8(
+        std::span<const float>(queries.data() + q * dim, dim),
+        queries_i8.data() + q * dim);
+  }
+  std::vector<const std::int8_t*> ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) ptrs[i] = rows_i8.data() + i * dim;
+
+  const auto& scalar = simd::KernelsFor(simd::Variant::kScalar);
+  std::vector<float> ref(nq * n), got(nq * n);
+  scalar.dot_rows_i8_mq(queries_i8.data(), query_scales.data(), nq, dim,
+                        ptrs.data(), row_scales.data(), n, dim, ref.data());
+  for (const auto variant : simd::SupportedVariants()) {
+    const auto& ks = simd::KernelsFor(variant);
+    ks.dot_rows_i8_mq(queries_i8.data(), query_scales.data(), nq, dim,
+                      ptrs.data(), row_scales.data(), n, dim, got.data());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(got[k], ref[k])
+          << simd::VariantName(variant) << " element " << k;
     }
   }
 }

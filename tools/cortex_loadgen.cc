@@ -19,6 +19,16 @@
 // in task order — the skewed-key regime a consistent-hash ring has to
 // absorb.  STATS/DUMPTRACE digests come from the first endpoint.
 //
+// Open-loop mode: --open-loop --arrival-rate=R replaces the closed loop
+// with Poisson arrivals at R req/s aggregate (split evenly across the
+// client threads, each sampling exponential inter-arrival gaps).  Latency
+// is measured from the SCHEDULED arrival, not the send, so queueing delay
+// from a lagging server shows up in the tail instead of silently
+// throttling the offered load — the standard open-loop correction for
+// coordinated omission.  The end-of-run report adds the server's
+// cross-request batching digest (cortex_pipeline_* from STATS): batch
+// size distribution, full vs window flushes, and stage-wait quantiles.
+//
 // Multi-tenant mode: --tenants=N tags every request with a tenant id
 // ("t0".."tN-1") and speaks TLOOKUP/TINSERT instead of LOOKUP/INSERT;
 // --tenant-skew=S samples the tenant per request from zipf(S) (rank 0
@@ -156,6 +166,12 @@ int main(int argc, char** argv) {
   const std::string host = flags.GetString("host", "127.0.0.1");
   const int port = static_cast<int>(flags.GetInt("port", 8377));
   const double skew = flags.GetDouble("skew", 0.0);
+  const bool open_loop = flags.GetBool("open-loop", false);
+  const double arrival_rate = flags.GetDouble("arrival-rate", 0.0);
+  if (open_loop && arrival_rate <= 0.0) {
+    std::cerr << "cortex_loadgen: --open-loop needs --arrival-rate=R > 0\n";
+    return 1;
+  }
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   const auto tenant_count = static_cast<std::size_t>(
       std::max<std::int64_t>(0, flags.GetInt("tenants", 0)));
@@ -279,10 +295,24 @@ int main(int argc, char** argv) {
       BlockingClient client;
       std::string err;
       Rng rng(seed * 0x9e3779b97f4a7c15ULL + tid);
+      // Open loop: this thread owns a 1/threads slice of the aggregate
+      // Poisson process; arrivals are scheduled ahead of time and never
+      // pushed back by a slow response.
+      const double per_thread_rate =
+          open_loop ? arrival_rate / static_cast<double>(threads) : 0.0;
+      double next_arrival = start;
       if (!Connect(client, endpoints[tid % endpoints.size()], &err)) {
         NoteError(local, "connect: " + err);
       } else {
         for (std::size_t n = tid; n < queries.size(); n += threads) {
+          if (open_loop) {
+            next_arrival += rng.Exponential(per_thread_rate);
+            const double now = NowSec();
+            if (next_arrival > now) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(next_arrival - now));
+            }
+          }
           const std::size_t qi = zipf ? zipf->Sample(rng) : n;
           const std::string& query = *queries[qi];
           std::size_t trank = 0;
@@ -297,7 +327,9 @@ int main(int argc, char** argv) {
             lookup.type = RequestType::kLookup;
           }
           lookup.query = query;
-          const double t0 = NowSec();
+          // Open loop measures from the scheduled arrival (coordinated
+          // omission correction); closed loop from the send.
+          const double t0 = open_loop ? next_arrival : NowSec();
           const auto response = client.Call(lookup, &err);
           const double lookup_sec = NowSec() - t0;
           local.lookup_latency.Add(lookup_sec);
@@ -393,6 +425,9 @@ int main(int argc, char** argv) {
       {"throughput (req/s)",
        TextTable::Num(wall > 0 ? static_cast<double>(requests) / wall : 0.0,
                       1)});
+  if (open_loop) {
+    summary.AddRow({"offered rate (req/s)", TextTable::Num(arrival_rate, 1)});
+  }
   summary.AddRow({"lookups", std::to_string(lookups)});
   summary.AddRow({"hit rate", TextTable::Percent(hit_rate)});
   summary.AddRow({"wrong hits", std::to_string(total.wrong_hits)});
@@ -445,6 +480,26 @@ int main(int argc, char** argv) {
     std::string serr;
     const auto stats = FetchStats(endpoints.front(), &serr);
     if (stats) {
+      // Cross-request batching digest: how well the server's pipeline
+      // coalesced this run's arrivals (present only when cortexd ran with
+      // --max-pipeline-batch > 1).
+      if (StatValue(*stats, "cortex_pipeline_requests") != "-") {
+        std::cout << "\npipeline batching (server):\n";
+        TextTable batching({"metric", "value"});
+        for (const char* key :
+             {"cortex_pipeline_requests", "cortex_pipeline_batches",
+              "cortex_pipeline_full_flushes",
+              "cortex_pipeline_window_flushes",
+              "cortex_pipeline_batch_size_mean",
+              "cortex_pipeline_batch_size_p50",
+              "cortex_pipeline_batch_size_p99",
+              "cortex_pipeline_batch_size_max",
+              "cortex_pipeline_stage_wait_seconds_p50",
+              "cortex_pipeline_stage_wait_seconds_p99"}) {
+          batching.AddRow({key, StatValue(*stats, key)});
+        }
+        batching.Print(std::cout, /*csv=*/false);
+      }
       std::cout << "\nserver telemetry (cortex_*):\n";
       TextTable registry({"metric", "value"});
       for (const auto& [k, v] : stats->stats) {
